@@ -1,0 +1,121 @@
+//! Fluid limit of the mate distribution (§5.2, Conjecture 1).
+//!
+//! With `p_n = d/n` and `n → ∞`, the mate distribution of peer
+//! `i_n = 1 + ⌊nα⌋` rescaled by `n` converges to an absolutely continuous
+//! law `M_{α,d}`. The paper derives the `α = 0` case (the best peer):
+//!
+//! ```text
+//! M_{0,d}(dβ) = d · e^{−βd} dβ
+//! ```
+//!
+//! i.e. the best peer's mate sits an *exponential* rank fraction below it
+//! with rate `d` — the crucial observation that makes stratification
+//! **scalable**: the distribution shape depends only on the mean number of
+//! acceptable peers `d`, not on the system size `n`.
+
+/// Fluid-limit density `M_{0,d}(β) = d·e^{−βd}` of the best peer's mate at
+/// scaled rank `β = j/n`.
+///
+/// # Examples
+///
+/// ```
+/// let f = strat_analytic::fluid::density_best(20.0, 0.0);
+/// assert_eq!(f, 20.0); // density at the top equals d
+/// ```
+#[must_use]
+pub fn density_best(d: f64, beta: f64) -> f64 {
+    if beta < 0.0 {
+        return 0.0;
+    }
+    d * (-beta * d).exp()
+}
+
+/// Fluid-limit CDF `1 − e^{−βd}` of the best peer's mate.
+#[must_use]
+pub fn cdf_best(d: f64, beta: f64) -> f64 {
+    if beta < 0.0 {
+        return 0.0;
+    }
+    1.0 - (-beta * d).exp()
+}
+
+/// Empirical check of Conjecture 1 at `α = 0`: solves Algorithm 2 with
+/// `p = d/n` and returns the maximum absolute error between `n·D(1, j)` and
+/// `d·e^{−(j/n)·d}` over scaled ranks `β = j/n ≤ beta_max`.
+///
+/// # Panics
+///
+/// Panics if parameters are non-positive or `d >= n`.
+#[must_use]
+pub fn best_peer_fluid_error(n: usize, d: f64, beta_max: f64) -> f64 {
+    assert!(n > 1 && d > 0.0 && beta_max > 0.0, "invalid parameters");
+    assert!(d < n as f64, "d must be below n");
+    let p = d / n as f64;
+    let sol = crate::one_matching::solve(n, p, &[0]);
+    let row = sol.row(0).expect("row 0 requested");
+    let j_max = ((beta_max * n as f64) as usize).min(n - 1);
+    let mut worst = 0.0f64;
+    for j in 1..=j_max {
+        let beta = j as f64 / n as f64;
+        let scaled = n as f64 * row[j];
+        let err = (scaled - density_best(d, beta)).abs();
+        worst = worst.max(err);
+    }
+    worst
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn density_integrates_to_one() {
+        let d = 10.0;
+        let steps = 200_000;
+        let h = 5.0 / steps as f64; // integrate to β = 5 (mass beyond is e^{-50})
+        let integral: f64 = (0..steps)
+            .map(|k| density_best(d, (k as f64 + 0.5) * h) * h)
+            .sum();
+        assert!((integral - 1.0).abs() < 1e-6, "integral {integral}");
+    }
+
+    #[test]
+    fn cdf_is_the_integral_of_density() {
+        let d = 7.0;
+        for beta in [0.01, 0.1, 0.5, 1.0] {
+            let steps = 20_000;
+            let h = beta / steps as f64;
+            let integral: f64 =
+                (0..steps).map(|k| density_best(d, (k as f64 + 0.5) * h) * h).sum();
+            assert!((integral - cdf_best(d, beta)).abs() < 1e-6, "beta={beta}");
+        }
+    }
+
+    #[test]
+    fn negative_beta_has_no_mass() {
+        assert_eq!(density_best(5.0, -0.1), 0.0);
+        assert_eq!(cdf_best(5.0, -0.1), 0.0);
+    }
+
+    #[test]
+    fn conjecture1_error_shrinks_with_n() {
+        // n·D(1, βn) → d·e^{−βd}: the sup-error over β ≤ 0.5 decreases in n
+        // and is already small at n = 4000.
+        let d = 10.0;
+        let e_small = best_peer_fluid_error(500, d, 0.5);
+        let e_large = best_peer_fluid_error(4000, d, 0.5);
+        assert!(e_large < e_small, "{e_large} !< {e_small}");
+        assert!(e_large < 0.2 * d, "error {e_large} too large vs d = {d}");
+    }
+
+    #[test]
+    fn exact_prelimit_formula() {
+        // Pre-limit: D(1, j) = p(1-p)^{j-2} in paper labels; the scaled
+        // value at small β must be close to d.
+        let n = 2000;
+        let d = 20.0;
+        let sol = crate::one_matching::solve(n, d / n as f64, &[0]);
+        let scaled = n as f64 * sol.row(0).unwrap()[1];
+        assert!((scaled - d).abs() < 0.5, "scaled {scaled}");
+    }
+}

@@ -1,0 +1,241 @@
+//! Monte-Carlo estimation of mate distributions (§5.4.3, Figure 9).
+//!
+//! The paper validates Algorithm 3 by drawing one million Erdős–Rényi
+//! realizations (`n = 5000`, `p = 1 %`, 2-matching), computing the stable
+//! configuration of each, and histogramming the first/second choices of
+//! peer 3000 — "simulations requiring several weeks" on 2006 hardware.
+//! This module reproduces that estimator with multi-threaded sampling
+//! (crossbeam scoped threads, one deterministic `ChaCha8` stream per
+//! thread), making tens of thousands of realizations a matter of seconds.
+
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+use strat_core::{stable_configuration, Capacities, GlobalRanking, RankedAcceptance};
+use strat_graph::{generators, NodeId};
+
+/// Configuration of a Monte-Carlo estimation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MonteCarloConfig {
+    /// Number of peers.
+    pub n: usize,
+    /// Erdős–Rényi edge probability.
+    pub p: f64,
+    /// Slots per peer (constant `b₀`-matching).
+    pub b0: u32,
+    /// Number of independent graph realizations.
+    pub realizations: u64,
+    /// Base RNG seed; each worker thread derives its own stream.
+    pub seed: u64,
+    /// Worker threads (clamped to at least 1).
+    pub threads: usize,
+}
+
+impl MonteCarloConfig {
+    /// The paper's Figure 9 setting, scaled down to `realizations` samples.
+    #[must_use]
+    pub fn figure9(realizations: u64) -> Self {
+        Self { n: 5000, p: 0.01, b0: 2, realizations, seed: 0x51a7, threads: 8 }
+    }
+}
+
+/// Per-choice mate-rank histograms for one observed peer.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChoiceHistogram {
+    /// The observed peer (0-based rank).
+    pub peer: usize,
+    /// `counts[c][j]` = number of realizations in which choice `c+1` of the
+    /// observed peer was peer `j`.
+    pub counts: Vec<Vec<u64>>,
+    /// Realizations in which the peer had fewer than `c+1` mates.
+    pub missing: Vec<u64>,
+    /// Total realizations.
+    pub realizations: u64,
+}
+
+impl ChoiceHistogram {
+    /// Empirical probability `D̂_c(peer, j)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c ∉ 1..=b₀` or `j` is out of range.
+    #[must_use]
+    pub fn probability(&self, c: u32, j: usize) -> f64 {
+        self.counts[(c - 1) as usize][j] as f64 / self.realizations as f64
+    }
+
+    /// Empirical probability that the peer had at least `c` mates.
+    #[must_use]
+    pub fn choice_mass(&self, c: u32) -> f64 {
+        1.0 - self.missing[(c - 1) as usize] as f64 / self.realizations as f64
+    }
+
+    /// Empirical distribution row for choice `c` (probabilities over ranks).
+    #[must_use]
+    pub fn row(&self, c: u32) -> Vec<f64> {
+        self.counts[(c - 1) as usize]
+            .iter()
+            .map(|&k| k as f64 / self.realizations as f64)
+            .collect()
+    }
+}
+
+/// Estimates the per-choice mate distribution of `peer` by simulating
+/// `cfg.realizations` independent acceptance graphs and computing each
+/// stable configuration with Algorithm 1.
+///
+/// Deterministic for a fixed `cfg` (including `threads`).
+///
+/// # Panics
+///
+/// Panics if `peer >= cfg.n` or `cfg.p ∉ [0, 1]`.
+#[must_use]
+pub fn estimate_choice_distribution(cfg: &MonteCarloConfig, peer: usize) -> ChoiceHistogram {
+    assert!(peer < cfg.n, "observed peer {peer} out of range for n = {}", cfg.n);
+    assert!(
+        cfg.p.is_finite() && (0.0..=1.0).contains(&cfg.p),
+        "p must be in [0, 1], got {}",
+        cfg.p
+    );
+    let threads = cfg.threads.max(1);
+    let b = cfg.b0 as usize;
+    let ranking = GlobalRanking::identity(cfg.n);
+    let caps = Capacities::constant(cfg.n, cfg.b0);
+
+    // Split realizations across workers; worker t gets its own RNG stream.
+    let shares: Vec<u64> = (0..threads as u64)
+        .map(|t| {
+            cfg.realizations / threads as u64
+                + u64::from(t < cfg.realizations % threads as u64)
+        })
+        .collect();
+
+    let partials: Vec<(Vec<Vec<u64>>, Vec<u64>)> = crossbeam::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .enumerate()
+            .map(|(t, &count)| {
+                let ranking = &ranking;
+                let caps = &caps;
+                scope.spawn(move |_| {
+                    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+                    rng.set_stream(t as u64 + 1);
+                    let mut counts = vec![vec![0u64; cfg.n]; b];
+                    let mut missing = vec![0u64; b];
+                    for _ in 0..count {
+                        let g = generators::erdos_renyi(cfg.n, cfg.p, &mut rng);
+                        let acc = RankedAcceptance::new(g, ranking.clone())
+                            .expect("sizes match");
+                        let m = stable_configuration(&acc, caps).expect("sizes match");
+                        let mates = m.mates(NodeId::new(peer));
+                        for c in 0..b {
+                            match mates.get(c) {
+                                Some(mate) => counts[c][mate.index()] += 1,
+                                None => missing[c] += 1,
+                            }
+                        }
+                    }
+                    (counts, missing)
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
+    })
+    .expect("scope panicked");
+
+    let mut counts = vec![vec![0u64; cfg.n]; b];
+    let mut missing = vec![0u64; b];
+    for (pc, pm) in partials {
+        for c in 0..b {
+            for j in 0..cfg.n {
+                counts[c][j] += pc[c][j];
+            }
+            missing[c] += pm[c];
+        }
+    }
+    ChoiceHistogram { peer, counts, missing, realizations: cfg.realizations }
+}
+
+/// L1 distance between an empirical row and an analytic row (both over
+/// ranks), a scale-free agreement measure for Figure 9-style validations.
+#[must_use]
+pub fn l1_distance(empirical: &[f64], analytic: &[f64]) -> f64 {
+    empirical
+        .iter()
+        .zip(analytic)
+        .map(|(e, a)| (e - a).abs())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::b_matching;
+
+    use super::*;
+
+    fn small_cfg(realizations: u64) -> MonteCarloConfig {
+        MonteCarloConfig { n: 120, p: 0.08, b0: 2, realizations, seed: 99, threads: 4 }
+    }
+
+    #[test]
+    fn histogram_totals_are_consistent() {
+        let cfg = small_cfg(400);
+        let h = estimate_choice_distribution(&cfg, 60);
+        for c in 0..2usize {
+            let total: u64 = h.counts[c].iter().sum::<u64>() + h.missing[c];
+            assert_eq!(total, 400, "choice {c}");
+        }
+        assert!(h.choice_mass(1) >= h.choice_mass(2));
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let cfg = small_cfg(100);
+        let a = estimate_choice_distribution(&cfg, 30);
+        let b = estimate_choice_distribution(&cfg, 30);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empirical_matches_analytic_within_sampling_error() {
+        // The Figure 9 validation in miniature: empirical vs Algorithm 3.
+        let cfg = small_cfg(4000);
+        let h = estimate_choice_distribution(&cfg, 60);
+        let analytic = b_matching::solve(cfg.n, cfg.p, cfg.b0, &[60]);
+        for c in 1..=2u32 {
+            let l1 = l1_distance(&h.row(c), analytic.choice_row(60, c).unwrap());
+            // L1 over ~25 effective support points with 4000 samples:
+            // statistical noise ~ sqrt(k/N) ≈ 0.08; independence bias adds a
+            // little. 0.25 is a conservative gate that still fails badly
+            // wrong implementations (uniform rows would score ~1.9).
+            assert!(l1 < 0.25, "choice {c}: L1 = {l1}");
+        }
+    }
+
+    #[test]
+    fn single_thread_equals_multi_thread_totals() {
+        let mut cfg = small_cfg(60);
+        let multi = estimate_choice_distribution(&cfg, 10);
+        cfg.threads = 1;
+        let single = estimate_choice_distribution(&cfg, 10);
+        // Different thread partitioning changes which stream generates which
+        // realization, but totals must match.
+        let sum = |h: &ChoiceHistogram| -> u64 {
+            h.counts.iter().flatten().sum::<u64>() + h.missing.iter().sum::<u64>()
+        };
+        assert_eq!(sum(&multi), sum(&single));
+    }
+
+    #[test]
+    fn l1_distance_basics() {
+        assert_eq!(l1_distance(&[0.5, 0.5], &[0.5, 0.5]), 0.0);
+        assert!((l1_distance(&[1.0, 0.0], &[0.0, 1.0]) - 2.0).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_peer_panics() {
+        let cfg = small_cfg(1);
+        let _ = estimate_choice_distribution(&cfg, 500);
+    }
+}

@@ -1,0 +1,104 @@
+//! Property-based tests for bandwidth CDFs and the efficiency model.
+
+use proptest::prelude::*;
+use strat_bandwidth::{efficiency_curve, BandwidthCdf, EfficiencyModel};
+
+/// Strategy: a valid set of CDF control points — strictly increasing
+/// bandwidths and fractions ending at 1.
+fn control_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
+    proptest::collection::vec((1.0f64..1e6, 1e-6f64..1.0), 2..12).prop_map(|raw| {
+        let mut bws: Vec<f64> = raw.iter().map(|r| r.0).collect();
+        bws.sort_by(f64::total_cmp);
+        bws.dedup_by(|a, b| *a <= *b * 1.0001);
+        let k = bws.len().max(2);
+        while bws.len() < k {
+            bws.push(bws.last().unwrap() * 2.0);
+        }
+        // Normalized cumulative fractions, strictly increasing to 1.
+        let mut fracs: Vec<f64> = raw.iter().take(bws.len()).map(|r| r.1).collect();
+        while fracs.len() < bws.len() {
+            fracs.push(0.5);
+        }
+        let total: f64 = fracs.iter().sum();
+        let mut cum = 0.0;
+        let mut points = Vec::with_capacity(bws.len());
+        for (i, bw) in bws.iter().enumerate() {
+            cum += fracs[i] / total;
+            let frac = if i + 1 == bws.len() { 1.0 } else { cum.min(1.0 - 1e-9) };
+            points.push((*bw, frac));
+        }
+        points
+    })
+}
+
+proptest! {
+    /// Any valid control-point set yields a monotone CDF with a correct
+    /// quantile inverse.
+    #[test]
+    fn cdf_quantile_inverse(points in control_points()) {
+        let Ok(cdf) = BandwidthCdf::from_points(&points) else {
+            // Degenerate deduplication can collapse adjacent points; the
+            // constructor rejecting them is the correct behaviour.
+            return Ok(());
+        };
+        let (lo, hi) = cdf.support();
+        prop_assert!(lo > 0.0 && hi >= lo);
+        // Monotone CDF.
+        let mut prev = -1.0;
+        let mut bw = lo;
+        while bw <= hi * 1.0001 {
+            let f = cdf.cdf(bw.min(hi));
+            prop_assert!(f >= prev - 1e-12);
+            prev = f;
+            bw *= 1.25;
+        }
+        // Quantile inverts wherever the CDF is above the first point's mass.
+        let base = points[0].1;
+        for u in [0.1, 0.3, 0.5, 0.7, 0.9, 1.0] {
+            if u <= base {
+                continue;
+            }
+            let q = cdf.quantile(u);
+            prop_assert!((cdf.cdf(q) - u).abs() < 1e-6, "u={}: q={}, back={}", u, q, cdf.cdf(q));
+        }
+    }
+
+    /// Ranked assignment is non-increasing and inside the support for any
+    /// valid CDF and size.
+    #[test]
+    fn ranked_assignment_monotone(points in control_points(), n in 1usize..300) {
+        let Ok(cdf) = BandwidthCdf::from_points(&points) else { return Ok(()); };
+        let bw = cdf.assign_by_rank(n);
+        prop_assert_eq!(bw.len(), n);
+        let (lo, hi) = cdf.support();
+        for w in bw.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-9);
+        }
+        for &x in &bw {
+            prop_assert!(x >= lo - 1e-9 && x <= hi + 1e-9);
+        }
+    }
+
+    /// The efficiency curve is finite, positive, and rank-ordered for any
+    /// valid CDF and small model.
+    #[test]
+    fn efficiency_curve_is_well_formed(
+        points in control_points(),
+        b0 in 1u32..4,
+        d in 4.0f64..30.0,
+    ) {
+        let Ok(cdf) = BandwidthCdf::from_points(&points) else { return Ok(()); };
+        let model = EfficiencyModel { b0, d, n: 120 };
+        let curve = efficiency_curve(&model, &cdf);
+        prop_assert_eq!(curve.len(), 120);
+        for (i, pt) in curve.iter().enumerate() {
+            prop_assert_eq!(pt.rank, i);
+            prop_assert!(pt.ratio.is_finite() && pt.ratio >= 0.0);
+            prop_assert!(pt.ratio_offered <= pt.ratio + 1e-9);
+            prop_assert!(pt.expected_mates <= f64::from(b0) + 1e-9);
+            prop_assert!(
+                (pt.slot_bandwidth - pt.upload / f64::from(b0 + 1)).abs() < 1e-9
+            );
+        }
+    }
+}

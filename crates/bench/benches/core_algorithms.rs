@@ -1,0 +1,149 @@
+//! Criterion benchmarks for the core algorithms: Algorithm 1 (generic and
+//! complete-graph forms), initiative dynamics, disorder, the analytic
+//! solvers, graph generation, and the swarm round loop.
+
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use strat_analytic::{b_matching, one_matching};
+use strat_bittorrent::{Swarm, SwarmConfig};
+use strat_core::{
+    stable_configuration, stable_configuration_complete, Capacities, Dynamics, GlobalRanking,
+    InitiativeStrategy, RankedAcceptance,
+};
+use strat_graph::generators;
+
+fn bench_stable_configuration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_configuration");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for &n in &[1000usize, 5000, 20_000] {
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let graph = generators::erdos_renyi_mean_degree(n, 20.0, &mut rng);
+        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n)).unwrap();
+        let caps = Capacities::constant(n, 3);
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_d20_b3", n), &n, |b, _| {
+            b.iter(|| stable_configuration(black_box(&acc), black_box(&caps)).unwrap());
+        });
+    }
+    for &n in &[10_000usize, 100_000] {
+        let ranking = GlobalRanking::identity(n);
+        let caps = Capacities::constant(n, 4);
+        group.bench_with_input(BenchmarkId::new("complete_b4", n), &n, |b, _| {
+            b.iter(|| {
+                stable_configuration_complete(black_box(&ranking), black_box(&caps)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_dynamics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    for strategy in [
+        InitiativeStrategy::BestMate,
+        InitiativeStrategy::Decremental,
+        InitiativeStrategy::Random,
+    ] {
+        group.bench_function(format!("{strategy:?}_base_unit_n1000_d10"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let graph = generators::erdos_renyi_mean_degree(1000, 10.0, &mut rng);
+            let acc = RankedAcceptance::new(graph, GlobalRanking::identity(1000)).unwrap();
+            let caps = Capacities::constant(1000, 1);
+            let mut dynamics = Dynamics::new(acc, caps, strategy).unwrap();
+            b.iter(|| black_box(dynamics.run_base_unit(&mut rng)));
+        });
+    }
+    group.bench_function("disorder_n1000_d10", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let graph = generators::erdos_renyi_mean_degree(1000, 10.0, &mut rng);
+        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(1000)).unwrap();
+        let caps = Capacities::constant(1000, 1);
+        let mut dynamics =
+            Dynamics::new(acc, caps, InitiativeStrategy::BestMate).unwrap();
+        for _ in 0..5 {
+            dynamics.run_base_unit(&mut rng);
+        }
+        b.iter(|| black_box(dynamics.disorder()));
+    });
+    group.finish();
+}
+
+fn bench_analytic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("analytic");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.sample_size(20);
+    group.bench_function("algorithm2_n5000_p0.005", |b| {
+        b.iter(|| one_matching::solve(black_box(5000), black_box(0.005), &[2500]));
+    });
+    group.bench_function("algorithm3_b2_n5000_p0.01", |b| {
+        b.iter(|| b_matching::solve(black_box(5000), black_box(0.01), 2, &[3000]));
+    });
+    group.bench_function("algorithm3_expectations_b3_n2000", |b| {
+        let weights: Vec<f64> = (0..2000).map(|i| 1.0 + i as f64).collect();
+        b.iter(|| b_matching::solve_expectations(black_box(2000), 0.01, 3, &weights));
+    });
+    group.finish();
+}
+
+fn bench_graph(c: &mut Criterion) {
+    let mut group = c.benchmark_group("graph");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("erdos_renyi_n5000_p0.01", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(4);
+        b.iter(|| generators::erdos_renyi(black_box(5000), black_box(0.01), &mut rng));
+    });
+    group.bench_function("components_n5000_d50", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(5);
+        let g = generators::erdos_renyi_mean_degree(5000, 50.0, &mut rng);
+        b.iter(|| strat_graph::components::Components::of(black_box(&g)));
+    });
+    group.finish();
+}
+
+fn bench_swarm(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm");
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_secs(3));
+    group.bench_function("round_n200_fluid", |b| {
+        let config = SwarmConfig::builder()
+            .leechers(200)
+            .seeds(2)
+            .fluid_content(true)
+            .seed(6)
+            .build();
+        let uploads: Vec<f64> = (0..202).map(|i| 100.0 + i as f64).collect();
+        let mut swarm = Swarm::new(config, &uploads);
+        b.iter(|| swarm.round());
+    });
+    group.bench_function("round_n200_pieces", |b| {
+        let config = SwarmConfig::builder()
+            .leechers(200)
+            .seeds(2)
+            .piece_count(512)
+            .piece_size_kbit(4000.0)
+            .initial_completion(0.3)
+            .seed(7)
+            .build();
+        let uploads: Vec<f64> = (0..202).map(|i| 100.0 + i as f64).collect();
+        let mut swarm = Swarm::new(config, &uploads);
+        b.iter(|| swarm.round());
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_stable_configuration,
+    bench_dynamics,
+    bench_analytic,
+    bench_graph,
+    bench_swarm
+);
+criterion_main!(benches);

@@ -1,0 +1,9 @@
+//! Benchmark-only crate: see `benches/` for the Criterion targets.
+//!
+//! * `core_algorithms` — Algorithm 1 scaling, dynamics throughput, the
+//!   analytic solvers, graph generation, swarm rounds;
+//! * `experiments` — one benchmark per paper table/figure (quick profile),
+//!   asserting the shape checks still pass;
+//! * `ablations` — the DESIGN.md design-decision comparisons (streaming vs
+//!   dense Algorithm 2, complete-graph specialization, mate-set structure,
+//!   rank-sorted best-mate search).

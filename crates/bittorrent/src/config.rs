@@ -1,0 +1,219 @@
+//! Swarm configuration.
+
+use serde::{Deserialize, Serialize};
+
+/// Parameters of a BitTorrent swarm simulation.
+///
+/// Time is discretized into **rounds**: one round models one rechoke period
+/// (10 s in the reference client — "it uploads to the contacts it has most
+/// downloaded from in the last 10 seconds", §1). Bandwidths are in kbps and
+/// piece sizes in kilobits, so a peer with `u` kbps uploads `10·u` kilobits
+/// per round.
+///
+/// Build with [`SwarmConfig::builder`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwarmConfig {
+    /// Number of leechers.
+    pub leechers: usize,
+    /// Number of seeds (hold all pieces, never download).
+    pub seeds: usize,
+    /// Pieces in the shared file.
+    pub piece_count: usize,
+    /// Size of one piece in kilobits.
+    pub piece_size_kbit: f64,
+    /// Seconds per round (rechoke period).
+    pub round_seconds: f64,
+    /// Tit-for-Tat unchoke slots per peer (paper default: 3).
+    pub tft_slots: usize,
+    /// Optimistic unchoke slots (paper default: 1, the "generous" slot).
+    pub optimistic_slots: usize,
+    /// Rounds between optimistic-unchoke rotations (30 s / 10 s = 3).
+    pub optimistic_period: u32,
+    /// Expected number of overlay neighbours per peer (the tracker hands out
+    /// random subsets — the paper's `d`).
+    pub mean_neighbors: f64,
+    /// Fraction of pieces each leecher starts with (post-flash-crowd
+    /// initialization, §6: all blocks have roughly the same repartition).
+    pub initial_completion: f64,
+    /// Whether leechers keep seeding after completing the file.
+    pub seed_after_completion: bool,
+    /// **Fluid-content mode**: models the paper's §6 steady-state
+    /// assumption that content availability is never the bottleneck. Every
+    /// peer stays interested in every other forever; transfers accumulate
+    /// rates without piece bookkeeping and nobody completes. This is the
+    /// setting in which stratification and share ratios are measured.
+    pub fluid_content: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SwarmConfig {
+    /// Starts a builder pre-loaded with the paper-aligned defaults:
+    /// 3 TFT + 1 optimistic slot, 10 s rounds, 30 s optimistic rotation,
+    /// `d = 20` neighbours, 40 % initial completion.
+    #[must_use]
+    pub fn builder() -> SwarmConfigBuilder {
+        SwarmConfigBuilder::default()
+    }
+}
+
+/// Builder for [`SwarmConfig`].
+#[derive(Debug, Clone)]
+pub struct SwarmConfigBuilder {
+    config: SwarmConfig,
+}
+
+impl Default for SwarmConfigBuilder {
+    fn default() -> Self {
+        Self {
+            config: SwarmConfig {
+                leechers: 100,
+                seeds: 1,
+                piece_count: 256,
+                piece_size_kbit: 2048.0, // 256 kB pieces
+                round_seconds: 10.0,
+                tft_slots: 3,
+                optimistic_slots: 1,
+                optimistic_period: 3,
+                mean_neighbors: 20.0,
+                initial_completion: 0.4,
+                seed_after_completion: true,
+                fluid_content: false,
+                seed: 0xb17,
+            },
+        }
+    }
+}
+
+impl SwarmConfigBuilder {
+    /// Sets the number of leechers.
+    pub fn leechers(&mut self, n: usize) -> &mut Self {
+        self.config.leechers = n;
+        self
+    }
+
+    /// Sets the number of seeds.
+    pub fn seeds(&mut self, n: usize) -> &mut Self {
+        self.config.seeds = n;
+        self
+    }
+
+    /// Sets the number of pieces.
+    pub fn piece_count(&mut self, n: usize) -> &mut Self {
+        self.config.piece_count = n;
+        self
+    }
+
+    /// Sets the piece size in kilobits.
+    pub fn piece_size_kbit(&mut self, kbit: f64) -> &mut Self {
+        self.config.piece_size_kbit = kbit;
+        self
+    }
+
+    /// Sets the TFT slot count (the paper's `b₀`).
+    pub fn tft_slots(&mut self, slots: usize) -> &mut Self {
+        self.config.tft_slots = slots;
+        self
+    }
+
+    /// Sets the optimistic slot count.
+    pub fn optimistic_slots(&mut self, slots: usize) -> &mut Self {
+        self.config.optimistic_slots = slots;
+        self
+    }
+
+    /// Sets the optimistic rotation period in rounds.
+    pub fn optimistic_period(&mut self, rounds: u32) -> &mut Self {
+        self.config.optimistic_period = rounds.max(1);
+        self
+    }
+
+    /// Sets the expected overlay degree (the paper's `d`).
+    pub fn mean_neighbors(&mut self, d: f64) -> &mut Self {
+        self.config.mean_neighbors = d;
+        self
+    }
+
+    /// Sets the post-flash-crowd initial completion fraction.
+    pub fn initial_completion(&mut self, fraction: f64) -> &mut Self {
+        self.config.initial_completion = fraction.clamp(0.0, 1.0);
+        self
+    }
+
+    /// Sets whether completed leechers keep seeding.
+    pub fn seed_after_completion(&mut self, keep: bool) -> &mut Self {
+        self.config.seed_after_completion = keep;
+        self
+    }
+
+    /// Enables fluid-content mode (steady-state exchange, no completion —
+    /// the paper's §6 "content availability is not a bottleneck" setting).
+    pub fn fluid_content(&mut self, fluid: bool) -> &mut Self {
+        self.config.fluid_content = fluid;
+        self
+    }
+
+    /// Sets the RNG seed.
+    pub fn seed(&mut self, seed: u64) -> &mut Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Finalizes the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration is degenerate (no peers, no pieces, or
+    /// zero slots).
+    #[must_use]
+    pub fn build(&self) -> SwarmConfig {
+        let c = &self.config;
+        assert!(c.leechers + c.seeds >= 2, "need at least two peers");
+        assert!(c.piece_count >= 1, "need at least one piece");
+        assert!(c.tft_slots + c.optimistic_slots >= 1, "need at least one unchoke slot");
+        assert!(c.piece_size_kbit > 0.0 && c.round_seconds > 0.0, "positive sizes required");
+        c.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = SwarmConfig::builder().build();
+        assert_eq!(c.tft_slots, 3);
+        assert_eq!(c.optimistic_slots, 1);
+        assert_eq!(c.optimistic_period, 3);
+        assert_eq!(c.mean_neighbors, 20.0);
+    }
+
+    #[test]
+    fn builder_chains() {
+        let c = SwarmConfig::builder()
+            .leechers(50)
+            .seeds(2)
+            .piece_count(64)
+            .tft_slots(4)
+            .seed(7)
+            .build();
+        assert_eq!(c.leechers, 50);
+        assert_eq!(c.seeds, 2);
+        assert_eq!(c.piece_count, 64);
+        assert_eq!(c.tft_slots, 4);
+        assert_eq!(c.seed, 7);
+    }
+
+    #[test]
+    fn completion_clamped() {
+        let c = SwarmConfig::builder().initial_completion(1.7).build();
+        assert_eq!(c.initial_completion, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two peers")]
+    fn degenerate_rejected() {
+        let _ = SwarmConfig::builder().leechers(1).seeds(0).build();
+    }
+}

@@ -1,0 +1,219 @@
+//! Piece sets: fixed-size bitsets over the pieces of the shared file.
+
+use serde::{Deserialize, Serialize};
+
+/// The set of pieces a peer holds, as a packed bitset.
+///
+/// # Examples
+///
+/// ```
+/// use strat_bittorrent::PieceSet;
+///
+/// let mut have = PieceSet::new(10);
+/// have.insert(3);
+/// assert!(have.contains(3));
+/// assert_eq!(have.count(), 1);
+/// assert!(!have.is_complete());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PieceSet {
+    words: Vec<u64>,
+    piece_count: usize,
+    held: usize,
+}
+
+impl PieceSet {
+    /// An empty set over `piece_count` pieces.
+    #[must_use]
+    pub fn new(piece_count: usize) -> Self {
+        Self { words: vec![0; piece_count.div_ceil(64)], piece_count, held: 0 }
+    }
+
+    /// A complete set (a seed's pieces).
+    #[must_use]
+    pub fn full(piece_count: usize) -> Self {
+        let mut s = Self::new(piece_count);
+        for w in 0..s.words.len() {
+            s.words[w] = u64::MAX;
+        }
+        // Clear the bits beyond piece_count.
+        let extra = s.words.len() * 64 - piece_count;
+        if extra > 0 {
+            let last = s.words.len() - 1;
+            s.words[last] >>= extra;
+        }
+        s.held = piece_count;
+        s
+    }
+
+    /// Total number of pieces in the file.
+    #[must_use]
+    pub fn piece_count(&self) -> usize {
+        self.piece_count
+    }
+
+    /// Number of pieces held.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.held
+    }
+
+    /// Whether all pieces are held.
+    #[must_use]
+    pub fn is_complete(&self) -> bool {
+        self.held == self.piece_count
+    }
+
+    /// Whether piece `i` is held.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= piece_count`.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, i: usize) -> bool {
+        assert!(i < self.piece_count, "piece {i} out of range");
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Adds piece `i`; returns `true` if it was new.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= piece_count`.
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.piece_count, "piece {i} out of range");
+        let mask = 1u64 << (i % 64);
+        let word = &mut self.words[i / 64];
+        if *word & mask != 0 {
+            return false;
+        }
+        *word |= mask;
+        self.held += 1;
+        true
+    }
+
+    /// Whether `other` holds at least one piece this set lacks — i.e.
+    /// whether we are *interested* in `other` (BitTorrent interest).
+    #[must_use]
+    pub fn is_interested_in(&self, other: &PieceSet) -> bool {
+        debug_assert_eq!(self.piece_count, other.piece_count);
+        self.words.iter().zip(&other.words).any(|(mine, theirs)| theirs & !mine != 0)
+    }
+
+    /// Iterates over the pieces `other` has and `self` lacks.
+    pub fn missing_from<'a>(
+        &'a self,
+        other: &'a PieceSet,
+    ) -> impl Iterator<Item = usize> + 'a {
+        debug_assert_eq!(self.piece_count, other.piece_count);
+        self.words
+            .iter()
+            .zip(&other.words)
+            .enumerate()
+            .flat_map(move |(w, (mine, theirs))| {
+                let mut bits = theirs & !mine;
+                core::iter::from_fn(move || {
+                    if bits == 0 {
+                        return None;
+                    }
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + b)
+                })
+            })
+    }
+
+    /// The **rarest-first** pick: among pieces `other` has and `self`
+    /// lacks, the one with the lowest global availability (ties broken by
+    /// lowest index, matching a deterministic tie-break).
+    #[must_use]
+    pub fn rarest_missing_from(&self, other: &PieceSet, availability: &[u32]) -> Option<usize> {
+        debug_assert_eq!(availability.len(), self.piece_count);
+        self.missing_from(other).min_by_key(|&i| (availability[i], i))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_full() {
+        let empty = PieceSet::new(70);
+        assert_eq!(empty.count(), 0);
+        assert!(!empty.is_complete());
+        let full = PieceSet::full(70);
+        assert_eq!(full.count(), 70);
+        assert!(full.is_complete());
+        for i in 0..70 {
+            assert!(!empty.contains(i));
+            assert!(full.contains(i));
+        }
+    }
+
+    #[test]
+    fn insert_and_double_insert() {
+        let mut s = PieceSet::new(5);
+        assert!(s.insert(4));
+        assert!(!s.insert(4));
+        assert_eq!(s.count(), 1);
+        assert!(s.contains(4));
+    }
+
+    #[test]
+    fn interest_logic() {
+        let mut a = PieceSet::new(4);
+        let mut b = PieceSet::new(4);
+        a.insert(0);
+        b.insert(0);
+        // b has nothing a lacks.
+        assert!(!a.is_interested_in(&b));
+        b.insert(2);
+        assert!(a.is_interested_in(&b));
+        assert!(!b.is_interested_in(&a));
+    }
+
+    #[test]
+    fn missing_iteration() {
+        let mut a = PieceSet::new(130); // force multiple words
+        let mut b = PieceSet::new(130);
+        b.insert(0);
+        b.insert(64);
+        b.insert(129);
+        a.insert(64);
+        let missing: Vec<usize> = a.missing_from(&b).collect();
+        assert_eq!(missing, vec![0, 129]);
+    }
+
+    #[test]
+    fn rarest_first_pick() {
+        let a = PieceSet::new(4);
+        let mut b = PieceSet::new(4);
+        b.insert(1);
+        b.insert(3);
+        // Piece 3 is rarer (availability 2 vs 5).
+        let avail = vec![1, 5, 9, 2];
+        assert_eq!(a.rarest_missing_from(&b, &avail), Some(3));
+        // Ties break to the lowest index.
+        let tie = vec![1, 5, 9, 5];
+        assert_eq!(a.rarest_missing_from(&b, &tie), Some(1));
+        // Nothing missing → None.
+        let full = PieceSet::full(4);
+        assert_eq!(full.rarest_missing_from(&b, &avail), None);
+    }
+
+    #[test]
+    fn full_set_has_no_stray_bits() {
+        // 70 pieces = 2 words with 58 bits cleared in the second.
+        let full = PieceSet::full(70);
+        assert_eq!(full.count(), 70);
+        assert_eq!(full.missing_from(&PieceSet::full(70)).count(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_contains_panics() {
+        let _ = PieceSet::new(3).contains(3);
+    }
+}

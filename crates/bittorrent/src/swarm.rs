@@ -1,0 +1,634 @@
+//! The round-based swarm simulator.
+//!
+//! One round models one rechoke period (10 s). Each round every peer:
+//!
+//! 1. **rechokes**: ranks its overlay neighbours by the download rate
+//!    received from them during the previous round and unchokes the top
+//!    `tft_slots` interested ones (Tit-for-Tat); every `optimistic_period`
+//!    rounds it also rotates one *optimistic* unchoke to a random interested
+//!    choked neighbour — the paper's "generous connection" that powers the
+//!    random-initiative discovery of better partners (§6);
+//! 2. **transfers**: its upload capacity is split equally among unchoked
+//!    interested neighbours; received credit converts into pieces selected
+//!    **rarest-first** among the pieces the sender holds.
+//!
+//! Seeds (and completed leechers, §6 post-flash-crowd) unchoke interested
+//! neighbours uniformly at random, rotating every round.
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use strat_graph::{generators, NodeId};
+
+use crate::{PieceSet, SwarmConfig};
+
+/// Index of a peer inside a [`Swarm`].
+pub type PeerId = usize;
+
+/// Per-peer simulation state.
+#[derive(Debug, Clone)]
+pub struct Peer {
+    /// Upload capacity in kbps.
+    upload_kbps: f64,
+    /// Pieces currently held.
+    pieces: PieceSet,
+    /// Whether this peer started as a seed.
+    original_seed: bool,
+    /// Round at which the file completed (leechers only).
+    completed_round: Option<u64>,
+    /// kbit received from each neighbour during the previous round.
+    received_prev: Vec<f64>,
+    /// kbit received from each neighbour during the current round.
+    received_curr: Vec<f64>,
+    /// Download credit (kbit) accumulated towards the next piece, per
+    /// neighbour.
+    credit: Vec<f64>,
+    /// Neighbour positions currently TFT-unchoked.
+    tft_unchoked: Vec<usize>,
+    /// Neighbour position currently optimistically unchoked.
+    optimistic: Option<usize>,
+    /// Cumulative kbit uploaded / downloaded.
+    total_up: f64,
+    total_down: f64,
+    /// Cumulative kbit uploaded / downloaded on reciprocation (TFT) slots.
+    tft_up: f64,
+    tft_down: f64,
+}
+
+impl Peer {
+    /// Upload capacity in kbps.
+    #[must_use]
+    pub fn upload_kbps(&self) -> f64 {
+        self.upload_kbps
+    }
+
+    /// The pieces currently held.
+    #[must_use]
+    pub fn pieces(&self) -> &PieceSet {
+        &self.pieces
+    }
+
+    /// Whether this peer started as a seed.
+    #[must_use]
+    pub fn is_original_seed(&self) -> bool {
+        self.original_seed
+    }
+
+    /// Whether the peer currently holds every piece.
+    #[must_use]
+    pub fn is_seeding(&self) -> bool {
+        self.pieces.is_complete()
+    }
+
+    /// Round at which a leecher completed the file.
+    #[must_use]
+    pub fn completed_round(&self) -> Option<u64> {
+        self.completed_round
+    }
+
+    /// Cumulative kilobits uploaded.
+    #[must_use]
+    pub fn total_uploaded(&self) -> f64 {
+        self.total_up
+    }
+
+    /// Cumulative kilobits downloaded.
+    #[must_use]
+    pub fn total_downloaded(&self) -> f64 {
+        self.total_down
+    }
+
+    /// Share ratio `downloaded / uploaded`; `None` when nothing was
+    /// uploaded yet.
+    #[must_use]
+    pub fn share_ratio(&self) -> Option<f64> {
+        (self.total_up > 0.0).then(|| self.total_down / self.total_up)
+    }
+
+    /// Kilobits uploaded through TFT (non-optimistic) slots.
+    #[must_use]
+    pub fn tft_uploaded(&self) -> f64 {
+        self.tft_up
+    }
+
+    /// Kilobits received from senders' TFT (non-optimistic) slots.
+    #[must_use]
+    pub fn tft_downloaded(&self) -> f64 {
+        self.tft_down
+    }
+
+    /// Share ratio of the **TFT economy only** — the quantity the paper's
+    /// Figure 11 models (optimistic-slot windfalls excluded); `None` when
+    /// nothing was TFT-uploaded yet.
+    #[must_use]
+    pub fn tft_share_ratio(&self) -> Option<f64> {
+        (self.tft_up > 0.0).then(|| self.tft_down / self.tft_up)
+    }
+}
+
+/// A BitTorrent swarm under Tit-for-Tat choking.
+///
+/// # Examples
+///
+/// ```
+/// use strat_bittorrent::{Swarm, SwarmConfig};
+///
+/// let config = SwarmConfig::builder().leechers(30).seeds(1).piece_count(32).build();
+/// let uploads: Vec<f64> = (0..31).map(|i| 100.0 + 10.0 * i as f64).collect();
+/// let mut swarm = Swarm::new(config, &uploads);
+/// for _ in 0..20 {
+///     swarm.round();
+/// }
+/// // Transfers happened and conservation holds.
+/// let up: f64 = (0..swarm.peer_count()).map(|p| swarm.peer(p).total_uploaded()).sum();
+/// let down: f64 = (0..swarm.peer_count()).map(|p| swarm.peer(p).total_downloaded()).sum();
+/// assert!(up > 0.0 && (up - down).abs() < 1e-6);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Swarm {
+    config: SwarmConfig,
+    rng: ChaCha8Rng,
+    /// Overlay adjacency: `neighbors[p]` lists the peers `p` knows.
+    neighbors: Vec<Vec<PeerId>>,
+    peers: Vec<Peer>,
+    /// Global piece availability (holder counts), kept incrementally.
+    availability: Vec<u32>,
+    round: u64,
+}
+
+impl Swarm {
+    /// Builds a swarm: `leechers + seeds` peers, random overlay of expected
+    /// degree `mean_neighbors`, post-flash-crowd piece initialization.
+    ///
+    /// `upload_kbps[p]` gives each peer's upload capacity; seeds occupy the
+    /// **last** `seeds` indices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upload_kbps.len() != leechers + seeds` or any capacity is
+    /// non-positive.
+    #[must_use]
+    pub fn new(config: SwarmConfig, upload_kbps: &[f64]) -> Self {
+        let n = config.leechers + config.seeds;
+        assert_eq!(upload_kbps.len(), n, "need one upload capacity per peer");
+        assert!(
+            upload_kbps.iter().all(|&u| u.is_finite() && u > 0.0),
+            "upload capacities must be positive"
+        );
+        let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
+
+        // Tracker overlay: Erdős–Rényi with the requested expected degree.
+        let overlay = generators::erdos_renyi_mean_degree(n, config.mean_neighbors, &mut rng);
+        let neighbors: Vec<Vec<PeerId>> = (0..n)
+            .map(|p| overlay.neighbors(NodeId::new(p)).iter().map(|v| v.index()).collect())
+            .collect();
+
+        let mut peers: Vec<Peer> = (0..n)
+            .map(|p| {
+                let is_seed = p >= config.leechers;
+                let pieces = if is_seed {
+                    PieceSet::full(config.piece_count)
+                } else {
+                    let mut set = PieceSet::new(config.piece_count);
+                    for i in 0..config.piece_count {
+                        if rng.gen_bool(config.initial_completion) {
+                            set.insert(i);
+                        }
+                    }
+                    set
+                };
+                let deg = neighbors[p].len();
+                Peer {
+                    upload_kbps: upload_kbps[p],
+                    pieces,
+                    original_seed: is_seed,
+                    completed_round: None,
+                    received_prev: vec![0.0; deg],
+                    received_curr: vec![0.0; deg],
+                    credit: vec![0.0; deg],
+                    tft_unchoked: Vec::new(),
+                    optimistic: None,
+                    total_up: 0.0,
+                    total_down: 0.0,
+                    tft_up: 0.0,
+                    tft_down: 0.0,
+                }
+            })
+            .collect();
+        // A leecher may complete by lucky initialization.
+        for peer in &mut peers {
+            if !peer.original_seed && peer.pieces.is_complete() {
+                peer.completed_round = Some(0);
+            }
+        }
+
+        let mut availability = vec![0u32; config.piece_count];
+        for peer in &peers {
+            for (i, a) in availability.iter_mut().enumerate() {
+                *a += u32::from(peer.pieces.contains(i));
+            }
+        }
+        Self { config, rng, neighbors, peers, availability, round: 0 }
+    }
+
+    /// The configuration in force.
+    #[must_use]
+    pub fn config(&self) -> &SwarmConfig {
+        &self.config
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn peer_count(&self) -> usize {
+        self.peers.len()
+    }
+
+    /// Read access to peer `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn peer(&self, p: PeerId) -> &Peer {
+        &self.peers[p]
+    }
+
+    /// Overlay neighbours of `p`.
+    #[must_use]
+    pub fn neighbors(&self, p: PeerId) -> &[PeerId] {
+        &self.neighbors[p]
+    }
+
+    /// Rounds simulated so far.
+    #[must_use]
+    pub fn round_count(&self) -> u64 {
+        self.round
+    }
+
+    /// Global availability (holder count) per piece.
+    #[must_use]
+    pub fn availability(&self) -> &[u32] {
+        &self.availability
+    }
+
+    /// Number of leechers that hold the complete file.
+    #[must_use]
+    pub fn completed_count(&self) -> usize {
+        self.peers
+            .iter()
+            .filter(|p| !p.original_seed && p.completed_round.is_some())
+            .count()
+    }
+
+    /// The peers `p` is currently TFT-unchoking.
+    #[must_use]
+    pub fn tft_unchoked(&self, p: PeerId) -> Vec<PeerId> {
+        self.peers[p].tft_unchoked.iter().map(|&k| self.neighbors[p][k]).collect()
+    }
+
+    /// The peer `p` is currently optimistically unchoking, if any.
+    #[must_use]
+    pub fn optimistic_unchoked(&self, p: PeerId) -> Option<PeerId> {
+        self.peers[p].optimistic.map(|k| self.neighbors[p][k])
+    }
+
+    /// Simulates one round (rechoke, then transfer).
+    pub fn round(&mut self) {
+        self.rechoke();
+        self.transfer();
+        self.round += 1;
+        for peer in &mut self.peers {
+            core::mem::swap(&mut peer.received_prev, &mut peer.received_curr);
+            peer.received_curr.iter_mut().for_each(|r| *r = 0.0);
+        }
+    }
+
+    /// Runs `rounds` rounds.
+    pub fn run(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.round();
+        }
+    }
+
+    /// Whether `q` is interested in `p`'s content.
+    ///
+    /// Fluid mode: leechers are always interested (content never
+    /// bottlenecks, §6); seeds are interested in nobody.
+    fn interested(&self, q: PeerId, p: PeerId) -> bool {
+        if self.config.fluid_content {
+            return q != p && !self.peers[q].original_seed;
+        }
+        self.peers[q].pieces.is_interested_in(&self.peers[p].pieces)
+    }
+
+    /// Whether `p` rechokes like a seed (no reciprocation signal).
+    fn acts_as_seed(&self, p: PeerId) -> bool {
+        if self.config.fluid_content {
+            self.peers[p].original_seed
+        } else {
+            self.peers[p].is_seeding()
+        }
+    }
+
+    /// Whether `p` currently uploads at all.
+    fn uploads(&self, p: PeerId) -> bool {
+        let peer = &self.peers[p];
+        if !self.config.fluid_content && peer.pieces.is_complete() && !peer.original_seed {
+            self.config.seed_after_completion
+        } else {
+            true
+        }
+    }
+
+    fn rechoke(&mut self) {
+        let n = self.peers.len();
+        let rotate_optimistic = self.round.is_multiple_of(u64::from(self.config.optimistic_period));
+        for p in 0..n {
+            if !self.uploads(p) {
+                self.peers[p].tft_unchoked.clear();
+                self.peers[p].optimistic = None;
+                continue;
+            }
+            // Interested candidate neighbour positions.
+            let candidates: Vec<usize> = (0..self.neighbors[p].len())
+                .filter(|&k| self.interested(self.neighbors[p][k], p))
+                .collect();
+
+            let tft: Vec<usize> = if self.acts_as_seed(p) {
+                // Seeds have no reciprocation signal: random rotation.
+                let mut cands = candidates.clone();
+                cands.shuffle(&mut self.rng);
+                cands.truncate(self.config.tft_slots);
+                cands
+            } else {
+                // Tit-for-Tat: top receivers from the last round.
+                let mut ranked = candidates.clone();
+                ranked.sort_by(|&a, &b| {
+                    self.peers[p].received_prev[b]
+                        .total_cmp(&self.peers[p].received_prev[a])
+                });
+                ranked.truncate(self.config.tft_slots);
+                ranked
+            };
+
+            // Optimistic slot: rotate periodically among interested,
+            // non-TFT-unchoked neighbours; drop it if no longer interested.
+            let mut optimistic = self.peers[p].optimistic;
+            if let Some(k) = optimistic {
+                let still_valid = candidates.contains(&k) && !tft.contains(&k);
+                if !still_valid {
+                    optimistic = None;
+                }
+            }
+            if self.config.optimistic_slots > 0 && (rotate_optimistic || optimistic.is_none())
+            {
+                let pool: Vec<usize> =
+                    candidates.iter().copied().filter(|k| !tft.contains(k)).collect();
+                optimistic = if pool.is_empty() {
+                    None
+                } else {
+                    Some(pool[self.rng.gen_range(0..pool.len())])
+                };
+            }
+            self.peers[p].tft_unchoked = tft;
+            self.peers[p].optimistic = optimistic;
+        }
+    }
+
+    fn transfer(&mut self) {
+        let n = self.peers.len();
+        let round_seconds = self.config.round_seconds;
+        for p in 0..n {
+            if !self.uploads(p) {
+                continue;
+            }
+            // Active flows: unchoked positions whose peer is (still)
+            // interested in p.
+            let mut targets: Vec<(usize, bool)> = self.peers[p]
+                .tft_unchoked
+                .iter()
+                .map(|&k| (k, true))
+                .collect();
+            if let Some(k) = self.peers[p].optimistic {
+                if !targets.iter().any(|&(t, _)| t == k) {
+                    targets.push((k, false));
+                }
+            }
+            targets.retain(|&(k, _)| self.interested(self.neighbors[p][k], p));
+            if targets.is_empty() {
+                continue;
+            }
+            let share =
+                self.peers[p].upload_kbps * round_seconds / targets.len() as f64;
+            for &(k, is_tft) in &targets {
+                let q = self.neighbors[p][k];
+                self.deliver(p, q, share, is_tft);
+            }
+        }
+    }
+
+    /// Delivers `kbit` from `p` to `q`, converting credit into rarest-first
+    /// pieces.
+    fn deliver(&mut self, p: PeerId, q: PeerId, kbit: f64, is_tft: bool) {
+        let pos_of_p = self.neighbors[q]
+            .iter()
+            .position(|&v| v == p)
+            .expect("overlay adjacency is symmetric");
+        self.peers[p].total_up += kbit;
+        self.peers[q].total_down += kbit;
+        if is_tft {
+            self.peers[p].tft_up += kbit;
+            self.peers[q].tft_down += kbit;
+        }
+        self.peers[q].received_curr[pos_of_p] += kbit;
+        if self.config.fluid_content {
+            return; // rates only; no piece bookkeeping in fluid mode
+        }
+        self.peers[q].credit[pos_of_p] += kbit;
+        while self.peers[q].credit[pos_of_p] >= self.config.piece_size_kbit {
+            let pick = {
+                let (qp, pp) = (&self.peers[q].pieces, &self.peers[p].pieces);
+                qp.rarest_missing_from(pp, &self.availability)
+            };
+            let Some(piece) = pick else {
+                // Nothing useful left from p this round; credit waits in
+                // case p acquires new pieces.
+                break;
+            };
+            self.peers[q].credit[pos_of_p] -= self.config.piece_size_kbit;
+            self.peers[q].pieces.insert(piece);
+            self.availability[piece] += 1;
+            if self.peers[q].pieces.is_complete() && self.peers[q].completed_round.is_none() {
+                self.peers[q].completed_round = Some(self.round + 1);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn uniform_uploads(n: usize, kbps: f64) -> Vec<f64> {
+        vec![kbps; n]
+    }
+
+    fn small_config(leechers: usize, seeds: usize) -> SwarmConfig {
+        SwarmConfig::builder()
+            .leechers(leechers)
+            .seeds(seeds)
+            .piece_count(64)
+            .piece_size_kbit(400.0)
+            .seed(42)
+            .build()
+    }
+
+    #[test]
+    fn construction_shapes() {
+        let cfg = small_config(20, 2);
+        let swarm = Swarm::new(cfg, &uniform_uploads(22, 500.0));
+        assert_eq!(swarm.peer_count(), 22);
+        // Seeds are the last indices and complete.
+        assert!(swarm.peer(20).is_original_seed());
+        assert!(swarm.peer(21).pieces().is_complete());
+        assert!(!swarm.peer(0).is_original_seed());
+        // Availability counts all holders.
+        assert!(swarm.availability().iter().all(|&a| a >= 2));
+    }
+
+    #[test]
+    fn conservation_of_traffic() {
+        let cfg = small_config(25, 1);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(26, 400.0));
+        swarm.run(30);
+        let up: f64 = (0..26).map(|p| swarm.peer(p).total_uploaded()).sum();
+        let down: f64 = (0..26).map(|p| swarm.peer(p).total_downloaded()).sum();
+        assert!(up > 0.0);
+        assert!((up - down).abs() < 1e-6, "up {up} vs down {down}");
+    }
+
+    #[test]
+    fn pieces_only_increase_and_availability_consistent() {
+        let cfg = small_config(15, 1);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(16, 600.0));
+        let mut prev: Vec<usize> = (0..16).map(|p| swarm.peer(p).pieces().count()).collect();
+        for _ in 0..25 {
+            swarm.round();
+            for p in 0..16 {
+                let now = swarm.peer(p).pieces().count();
+                assert!(now >= prev[p], "peer {p} lost pieces");
+                prev[p] = now;
+            }
+            // Recount availability from scratch.
+            for i in 0..swarm.config().piece_count {
+                let holders =
+                    (0..16).filter(|&p| swarm.peer(p).pieces().contains(i)).count() as u32;
+                assert_eq!(holders, swarm.availability()[i], "piece {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn seeds_never_download() {
+        let cfg = small_config(12, 2);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(14, 500.0));
+        swarm.run(20);
+        for p in 12..14 {
+            assert_eq!(swarm.peer(p).total_downloaded(), 0.0);
+            assert!(swarm.peer(p).total_uploaded() > 0.0);
+        }
+    }
+
+    #[test]
+    fn swarm_completes_with_enough_rounds() {
+        let cfg = SwarmConfig::builder()
+            .leechers(10)
+            .seeds(1)
+            .piece_count(32)
+            .piece_size_kbit(100.0)
+            .initial_completion(0.5)
+            .seed(3)
+            .build();
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(11, 1000.0));
+        for _ in 0..400 {
+            swarm.round();
+            if swarm.completed_count() == 10 {
+                break;
+            }
+        }
+        assert_eq!(swarm.completed_count(), 10, "swarm failed to complete");
+        // Completion rounds recorded and within the horizon.
+        for p in 0..10 {
+            assert!(swarm.peer(p).completed_round().is_some());
+        }
+    }
+
+    #[test]
+    fn upload_capacity_respected_per_round() {
+        let cfg = small_config(20, 1);
+        let uploads = uniform_uploads(21, 300.0);
+        let mut swarm = Swarm::new(cfg, &uploads);
+        for _ in 0..10 {
+            let before: Vec<f64> = (0..21).map(|p| swarm.peer(p).total_uploaded()).collect();
+            swarm.round();
+            for p in 0..21 {
+                let sent = swarm.peer(p).total_uploaded() - before[p];
+                let cap = uploads[p] * swarm.config().round_seconds;
+                assert!(sent <= cap + 1e-9, "peer {p} sent {sent} above cap {cap}");
+            }
+        }
+    }
+
+    #[test]
+    fn unchoke_counts_bounded_by_slots() {
+        let cfg = small_config(30, 1);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(31, 500.0));
+        for _ in 0..15 {
+            swarm.round();
+            for p in 0..31 {
+                assert!(swarm.tft_unchoked(p).len() <= swarm.config().tft_slots);
+                // Optimistic target is never also a TFT target.
+                if let Some(o) = swarm.optimistic_unchoked(p) {
+                    assert!(!swarm.tft_unchoked(p).contains(&o));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_for_fixed_seed() {
+        let mk = || {
+            let cfg = small_config(18, 1);
+            let mut swarm = Swarm::new(cfg, &uniform_uploads(19, 450.0));
+            swarm.run(12);
+            (0..19).map(|p| swarm.peer(p).total_downloaded()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn completed_leechers_keep_seeding_when_configured() {
+        let cfg = SwarmConfig::builder()
+            .leechers(8)
+            .seeds(1)
+            .piece_count(16)
+            .piece_size_kbit(50.0)
+            .initial_completion(0.8)
+            .seed_after_completion(true)
+            .seed(5)
+            .build();
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(9, 2000.0));
+        swarm.run(100);
+        assert_eq!(swarm.completed_count(), 8);
+        // Completed leechers continued to upload after completing.
+        let up: f64 = (0..8).map(|p| swarm.peer(p).total_uploaded()).sum();
+        assert!(up > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "one upload capacity per peer")]
+    fn wrong_capacity_count_panics() {
+        let cfg = small_config(5, 1);
+        let _ = Swarm::new(cfg, &uniform_uploads(3, 100.0));
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the swarm simulator: conservation laws and
+//! protocol invariants under arbitrary configurations.
+
+#![allow(clippy::needless_range_loop)]
+
+use proptest::prelude::*;
+use strat_bittorrent::{metrics, Swarm, SwarmConfig};
+
+fn swarm_params() -> impl Strategy<Value = (usize, usize, usize, f64, bool, u64)> {
+    (
+        4usize..40,          // leechers
+        1usize..3,           // seeds
+        8usize..64,          // pieces
+        0.0f64..0.9,         // initial completion
+        any::<bool>(),       // fluid content
+        any::<u64>(),        // seed
+    )
+}
+
+fn build(
+    leechers: usize,
+    seeds: usize,
+    pieces: usize,
+    completion: f64,
+    fluid: bool,
+    seed: u64,
+) -> Swarm {
+    let config = SwarmConfig::builder()
+        .leechers(leechers)
+        .seeds(seeds)
+        .piece_count(pieces)
+        .piece_size_kbit(150.0)
+        .initial_completion(completion)
+        .mean_neighbors(8.0)
+        .fluid_content(fluid)
+        .seed(seed)
+        .build();
+    let uploads: Vec<f64> =
+        (0..leechers + seeds).map(|i| 50.0 + 37.0 * (i as f64 + 1.0)).collect();
+    Swarm::new(config, &uploads)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Traffic is conserved and capacities respected for any configuration.
+    #[test]
+    fn conservation_and_capacity(
+        (leechers, seeds, pieces, completion, fluid, seed) in swarm_params(),
+        rounds in 1u64..20,
+    ) {
+        let mut swarm = build(leechers, seeds, pieces, completion, fluid, seed);
+        let n = swarm.peer_count();
+        swarm.run(rounds);
+        let up: f64 = (0..n).map(|p| swarm.peer(p).total_uploaded()).sum();
+        let down: f64 = (0..n).map(|p| swarm.peer(p).total_downloaded()).sum();
+        prop_assert!((up - down).abs() < 1e-6 * up.max(1.0), "up {} vs down {}", up, down);
+        // TFT sub-accounting is itself conserved and bounded by totals.
+        let tft_up: f64 = (0..n).map(|p| swarm.peer(p).tft_uploaded()).sum();
+        let tft_down: f64 = (0..n).map(|p| swarm.peer(p).tft_downloaded()).sum();
+        prop_assert!((tft_up - tft_down).abs() < 1e-6 * up.max(1.0));
+        prop_assert!(tft_up <= up + 1e-9);
+        // Per-round capacity: total upload <= capacity * time.
+        for p in 0..n {
+            let cap = swarm.peer(p).upload_kbps()
+                * swarm.config().round_seconds
+                * rounds as f64;
+            prop_assert!(swarm.peer(p).total_uploaded() <= cap + 1e-6);
+        }
+    }
+
+    /// Piece holdings only grow, availability stays consistent, and seeds
+    /// never download (piece mode).
+    #[test]
+    fn piece_invariants(
+        (leechers, seeds, pieces, completion, _fluid, seed) in swarm_params(),
+    ) {
+        let mut swarm = build(leechers, seeds, pieces, completion, false, seed);
+        let n = swarm.peer_count();
+        let mut prev: Vec<usize> = (0..n).map(|p| swarm.peer(p).pieces().count()).collect();
+        for _ in 0..10 {
+            swarm.round();
+            for p in 0..n {
+                let now = swarm.peer(p).pieces().count();
+                prop_assert!(now >= prev[p], "peer {} lost pieces", p);
+                prev[p] = now;
+            }
+        }
+        for i in 0..pieces {
+            let holders =
+                (0..n).filter(|&p| swarm.peer(p).pieces().contains(i)).count() as u32;
+            prop_assert_eq!(holders, swarm.availability()[i], "piece {}", i);
+        }
+        for p in leechers..n {
+            prop_assert_eq!(swarm.peer(p).total_downloaded(), 0.0);
+        }
+    }
+
+    /// Unchoke structure: slot bounds hold and reciprocal pairs are
+    /// mutual, every round, in both content modes.
+    #[test]
+    fn unchoke_structure(
+        (leechers, seeds, pieces, completion, fluid, seed) in swarm_params(),
+    ) {
+        let mut swarm = build(leechers, seeds, pieces, completion, fluid, seed);
+        let n = swarm.peer_count();
+        for _ in 0..8 {
+            swarm.round();
+            for p in 0..n {
+                let tft = swarm.tft_unchoked(p);
+                prop_assert!(tft.len() <= swarm.config().tft_slots);
+                if let Some(o) = swarm.optimistic_unchoked(p) {
+                    prop_assert!(!tft.contains(&o));
+                    prop_assert!(o != p);
+                }
+                for &q in &tft {
+                    prop_assert!(q != p);
+                    prop_assert!(swarm.neighbors(p).contains(&q));
+                }
+            }
+            for (a, b) in metrics::reciprocal_tft_pairs(&swarm) {
+                prop_assert!(a < b);
+                prop_assert!(swarm.tft_unchoked(a).contains(&b));
+                prop_assert!(swarm.tft_unchoked(b).contains(&a));
+            }
+        }
+    }
+
+    /// Determinism: identical configurations yield identical trajectories.
+    #[test]
+    fn determinism(
+        (leechers, seeds, pieces, completion, fluid, seed) in swarm_params(),
+    ) {
+        let run = |rounds: u64| {
+            let mut swarm = build(leechers, seeds, pieces, completion, fluid, seed);
+            swarm.run(rounds);
+            (0..swarm.peer_count())
+                .map(|p| (swarm.peer(p).total_downloaded(), swarm.peer(p).pieces().count()))
+                .collect::<Vec<_>>()
+        };
+        prop_assert_eq!(run(6), run(6));
+    }
+}

@@ -1,0 +1,130 @@
+//! Acceptance structure: the acceptance graph with rank-sorted adjacency.
+
+use strat_graph::{Graph, NodeId};
+
+use crate::{GlobalRanking, ModelError};
+
+/// An acceptance graph paired with the global ranking, with each peer's
+/// acceptance list pre-sorted **best-rank-first**.
+///
+/// Both Algorithm 1 and every initiative strategy repeatedly ask "who is the
+/// best acceptable peer for `p` satisfying …"; sorting adjacency by rank once
+/// makes those scans linear with early exit.
+///
+/// # Examples
+///
+/// ```
+/// use strat_core::{GlobalRanking, RankedAcceptance};
+/// use strat_graph::{generators, NodeId};
+///
+/// let graph = generators::complete(4);
+/// let ranking = GlobalRanking::identity(4);
+/// let acc = RankedAcceptance::new(graph, ranking)?;
+/// // Neighbours of the worst peer, best first:
+/// assert_eq!(
+///     acc.neighbors_best_first(NodeId::new(3)),
+///     &[NodeId::new(0), NodeId::new(1), NodeId::new(2)]
+/// );
+/// # Ok::<(), strat_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RankedAcceptance {
+    graph: Graph,
+    ranking: GlobalRanking,
+    /// `by_rank[v]` = neighbours of `v` sorted best-rank-first.
+    by_rank: Vec<Vec<NodeId>>,
+}
+
+impl RankedAcceptance {
+    /// Combines an acceptance graph and a ranking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SizeMismatch`] if the ranking does not cover
+    /// exactly the graph's nodes.
+    pub fn new(graph: Graph, ranking: GlobalRanking) -> Result<Self, ModelError> {
+        if graph.node_count() != ranking.len() {
+            return Err(ModelError::SizeMismatch {
+                expected: graph.node_count(),
+                actual: ranking.len(),
+            });
+        }
+        let by_rank = graph
+            .nodes()
+            .map(|v| {
+                let mut neigh = graph.neighbors(v).to_vec();
+                neigh.sort_by_key(|&w| ranking.rank_of(w));
+                neigh
+            })
+            .collect();
+        Ok(Self { graph, ranking, by_rank })
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.graph.node_count()
+    }
+
+    /// The underlying acceptance graph.
+    #[must_use]
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The global ranking.
+    #[must_use]
+    pub fn ranking(&self) -> &GlobalRanking {
+        &self.ranking
+    }
+
+    /// Acceptable peers of `v`, best-rank-first.
+    #[inline]
+    #[must_use]
+    pub fn neighbors_best_first(&self, v: NodeId) -> &[NodeId] {
+        &self.by_rank[v.index()]
+    }
+
+    /// Whether `u` accepts `v` (symmetric).
+    #[inline]
+    #[must_use]
+    pub fn accepts(&self, u: NodeId, v: NodeId) -> bool {
+        self.graph.has_edge(u, v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use strat_graph::generators;
+
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn sorted_by_nonidentity_ranking() {
+        // Ranking: node 3 best, then 1, then 2, then 0.
+        let ranking =
+            GlobalRanking::from_permutation(vec![n(3), n(1), n(2), n(0)]).unwrap();
+        let acc = RankedAcceptance::new(generators::complete(4), ranking).unwrap();
+        assert_eq!(acc.neighbors_best_first(n(0)), &[n(3), n(1), n(2)]);
+        assert_eq!(acc.neighbors_best_first(n(3)), &[n(1), n(2), n(0)]);
+        assert!(acc.accepts(n(0), n(3)));
+    }
+
+    #[test]
+    fn size_mismatch_rejected() {
+        let err =
+            RankedAcceptance::new(generators::complete(3), GlobalRanking::identity(4)).unwrap_err();
+        assert_eq!(err, ModelError::SizeMismatch { expected: 3, actual: 4 });
+    }
+
+    #[test]
+    fn empty_graph() {
+        let acc = RankedAcceptance::new(Graph::empty(3), GlobalRanking::identity(3)).unwrap();
+        assert!(acc.neighbors_best_first(n(1)).is_empty());
+        assert!(!acc.accepts(n(0), n(1)));
+    }
+}

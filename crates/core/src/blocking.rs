@@ -1,0 +1,211 @@
+//! Blocking pairs and stability (§2 of the paper).
+//!
+//! A **blocking pair** for configuration `C` is an acceptable pair `(p, q)`
+//! not matched together such that both would welcome the other — each has a
+//! free slot or prefers the other to its worst current mate. A configuration
+//! without blocking pairs is **stable** (a Nash equilibrium).
+
+use strat_graph::NodeId;
+
+use crate::{Capacities, Matching, RankedAcceptance};
+
+/// Whether `(p, q)` is a blocking pair of `matching`.
+///
+/// Checks acceptability, non-matched-ness, and the two reciprocal
+/// "would accept" conditions.
+///
+/// # Examples
+///
+/// ```
+/// use strat_core::{blocking, Capacities, GlobalRanking, Matching, RankedAcceptance};
+/// use strat_graph::{generators, NodeId};
+///
+/// let acc = RankedAcceptance::new(generators::complete(2), GlobalRanking::identity(2))?;
+/// let caps = Capacities::constant(2, 1);
+/// let empty = Matching::new(2);
+/// // Two unmated acceptable peers always block the empty configuration.
+/// assert!(blocking::is_blocking_pair(&acc, &caps, &empty, NodeId::new(0), NodeId::new(1)));
+/// # Ok::<(), strat_core::ModelError>(())
+/// ```
+#[must_use]
+pub fn is_blocking_pair(
+    acc: &RankedAcceptance,
+    caps: &Capacities,
+    matching: &Matching,
+    p: NodeId,
+    q: NodeId,
+) -> bool {
+    p != q
+        && acc.accepts(p, q)
+        && !matching.contains(p, q)
+        && matching.would_accept(acc.ranking(), caps, p, q)
+        && matching.would_accept(acc.ranking(), caps, q, p)
+}
+
+/// Finds the **best** blocking mate for `p` (the *best mate* initiative):
+/// the highest-ranked `q` such that `(p, q)` blocks `matching`, restricted
+/// to peers for which `present` returns `true`.
+///
+/// Exploits the best-first ordering of the acceptance lists for early exit:
+/// once a candidate is no longer attractive to `p`, no later one is.
+#[must_use]
+pub fn best_blocking_mate<F>(
+    acc: &RankedAcceptance,
+    caps: &Capacities,
+    matching: &Matching,
+    p: NodeId,
+    present: F,
+) -> Option<NodeId>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let ranking = acc.ranking();
+    if caps.of(p) == 0 {
+        return None;
+    }
+    let saturated = matching.is_saturated(caps, p);
+    let worst_rank = matching.worst_mate(p).map(|w| ranking.rank_of(w));
+    for &q in acc.neighbors_best_first(p) {
+        if saturated {
+            // Once q no longer improves on p's worst mate, stop: the list is
+            // best-first, so nobody later improves either.
+            let worst =
+                worst_rank.expect("saturated peer with positive capacity has mates");
+            if !ranking.rank_of(q).is_better_than(worst) {
+                return None;
+            }
+        }
+        if present(q)
+            && !matching.contains(p, q)
+            && matching.would_accept(ranking, caps, q, p)
+        {
+            // `q` is attractive to p here: either p has a free slot, or the
+            // saturated check above guaranteed q outranks p's worst mate.
+            return Some(q);
+        }
+    }
+    None
+}
+
+/// Whether `matching` is stable: no blocking pair over all acceptance edges.
+///
+/// `O(m · b)`; meant for verification, tests, and experiment assertions.
+#[must_use]
+pub fn is_stable(acc: &RankedAcceptance, caps: &Capacities, matching: &Matching) -> bool {
+    first_blocking_pair(acc, caps, matching).is_none()
+}
+
+/// Returns some blocking pair if one exists (for diagnostics).
+#[must_use]
+pub fn first_blocking_pair(
+    acc: &RankedAcceptance,
+    caps: &Capacities,
+    matching: &Matching,
+) -> Option<(NodeId, NodeId)> {
+    acc.graph().edges().find(|&(u, v)| is_blocking_pair(acc, caps, matching, u, v))
+}
+
+/// All blocking pairs (canonical `u < v` order). Test/diagnostic helper.
+#[must_use]
+pub fn blocking_pairs(
+    acc: &RankedAcceptance,
+    caps: &Capacities,
+    matching: &Matching,
+) -> Vec<(NodeId, NodeId)> {
+    acc.graph()
+        .edges()
+        .filter(|&(u, v)| is_blocking_pair(acc, caps, matching, u, v))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use strat_graph::generators;
+
+    use crate::GlobalRanking;
+
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn complete_setup(count: usize, b0: u32) -> (RankedAcceptance, Capacities) {
+        let acc =
+            RankedAcceptance::new(generators::complete(count), GlobalRanking::identity(count))
+                .unwrap();
+        (acc, Capacities::constant(count, b0))
+    }
+
+    #[test]
+    fn empty_config_blocks_everywhere() {
+        let (acc, caps) = complete_setup(4, 1);
+        let m = Matching::new(4);
+        assert!(!is_stable(&acc, &caps, &m));
+        assert_eq!(blocking_pairs(&acc, &caps, &m).len(), 6);
+    }
+
+    #[test]
+    fn stable_pairs_do_not_block() {
+        let (acc, caps) = complete_setup(4, 1);
+        let mut m = Matching::new(4);
+        // Stable 1-matching on complete K4 with identity ranking: (0,1), (2,3).
+        m.connect(acc.ranking(), &caps, n(0), n(1)).unwrap();
+        m.connect(acc.ranking(), &caps, n(2), n(3)).unwrap();
+        assert!(is_stable(&acc, &caps, &m));
+        assert_eq!(first_blocking_pair(&acc, &caps, &m), None);
+    }
+
+    #[test]
+    fn unstable_cross_pairing_detected() {
+        let (acc, caps) = complete_setup(4, 1);
+        let mut m = Matching::new(4);
+        // (0,2), (1,3) is blocked by (0,1): both prefer each other.
+        m.connect(acc.ranking(), &caps, n(0), n(2)).unwrap();
+        m.connect(acc.ranking(), &caps, n(1), n(3)).unwrap();
+        assert!(is_blocking_pair(&acc, &caps, &m, n(0), n(1)));
+        assert_eq!(blocking_pairs(&acc, &caps, &m), vec![(n(0), n(1))]);
+    }
+
+    #[test]
+    fn best_blocking_mate_returns_best() {
+        let (acc, caps) = complete_setup(5, 1);
+        let mut m = Matching::new(5);
+        m.connect(acc.ranking(), &caps, n(3), n(4)).unwrap();
+        // Peer 3 is mated to 4 but peers 0, 1, 2 are free: best is 0... but a
+        // free better peer must also accept; 0 is free so yes.
+        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(3), |_| true), Some(n(0)));
+    }
+
+    #[test]
+    fn best_blocking_mate_early_exit_when_saturated() {
+        let (acc, caps) = complete_setup(4, 1);
+        let mut m = Matching::new(4);
+        m.connect(acc.ranking(), &caps, n(0), n(1)).unwrap();
+        m.connect(acc.ranking(), &caps, n(2), n(3)).unwrap();
+        // Stable: nobody has a blocking mate.
+        for v in 0..4 {
+            assert_eq!(best_blocking_mate(&acc, &caps, &m, n(v), |_| true), None);
+        }
+    }
+
+    #[test]
+    fn present_mask_excludes_peers() {
+        let (acc, caps) = complete_setup(3, 1);
+        let m = Matching::new(3);
+        // Without mask peer 1's best blocking mate is 0; with 0 absent, it is 2.
+        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(1), |_| true), Some(n(0)));
+        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(1), |q| q != n(0)), Some(n(2)));
+    }
+
+    #[test]
+    fn zero_capacity_peer_never_blocks() {
+        let acc =
+            RankedAcceptance::new(generators::complete(3), GlobalRanking::identity(3)).unwrap();
+        let caps = Capacities::from_values(vec![0, 1, 1]);
+        let m = Matching::new(3);
+        assert!(!is_blocking_pair(&acc, &caps, &m, n(0), n(1)));
+        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(0), |_| true), None);
+        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(1), |_| true), Some(n(2)));
+    }
+}

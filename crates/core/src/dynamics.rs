@@ -1,0 +1,547 @@
+//! Initiative-driven convergence dynamics (§3).
+//!
+//! Peers continuously *take initiatives*: peer `p` proposes partnership to
+//! an acceptable peer; when the contacted peer forms a blocking pair with
+//! `p`, the initiative is **active** — the pair matches and each side drops
+//! its worst mate if saturated. Theorem 1 proves any sequence of active
+//! initiatives reaches the unique stable configuration.
+//!
+//! Three scan strategies are modeled, matching the paper:
+//!
+//! * **best mate** — `p` picks its best available blocking mate (full
+//!   knowledge of ranks and availability);
+//! * **decremental** — `p` circularly scans its acceptance list from the
+//!   last asked peer (knows ranks, not availability);
+//! * **random** — `p` probes one uniformly random acceptable peer (no
+//!   information; this is the BitTorrent optimistic-unchoke analogue, §6).
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use strat_graph::NodeId;
+
+use crate::{
+    blocking, distance, stable_configuration_masked, Capacities, Matching, ModelError,
+    RankedAcceptance,
+};
+
+/// How a peer scans its acceptance list for a blocking mate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum InitiativeStrategy {
+    /// Select the best available blocking mate.
+    BestMate,
+    /// Circularly scan the (rank-sorted) acceptance list starting just after
+    /// the last asked peer.
+    Decremental,
+    /// Probe a single uniformly random acceptable peer.
+    Random,
+}
+
+/// Outcome of one initiative.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum InitiativeOutcome {
+    /// The initiative changed the configuration: `peer` matched with `mate`.
+    Active {
+        /// The initiating peer.
+        peer: NodeId,
+        /// Its new mate.
+        mate: NodeId,
+        /// Mate dropped by the initiator to free a slot, if it was saturated.
+        dropped_by_peer: Option<NodeId>,
+        /// Mate dropped by the contacted peer, if it was saturated.
+        dropped_by_mate: Option<NodeId>,
+    },
+    /// No blocking mate was found (or the probed peer declined).
+    Inactive,
+}
+
+impl InitiativeOutcome {
+    /// Whether the initiative modified the configuration.
+    #[must_use]
+    pub fn is_active(&self) -> bool {
+        matches!(self, InitiativeOutcome::Active { .. })
+    }
+}
+
+/// Simulation driver for the initiative process, with optional peer
+/// presence (for the removal and churn experiments of Figures 2–3).
+///
+/// # Examples
+///
+/// Converge a small system from the empty configuration and verify it
+/// reaches the stable matching:
+///
+/// ```
+/// use rand::SeedableRng;
+/// use strat_core::{
+///     stable_configuration, Capacities, Dynamics, GlobalRanking, InitiativeStrategy,
+///     RankedAcceptance,
+/// };
+/// use strat_graph::generators;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let graph = generators::erdos_renyi_mean_degree(50, 8.0, &mut rng);
+/// let acc = RankedAcceptance::new(graph, GlobalRanking::identity(50))?;
+/// let caps = Capacities::constant(50, 1);
+/// let stable = stable_configuration(&acc, &caps)?;
+///
+/// let mut dynamics = Dynamics::new(acc, caps, InitiativeStrategy::BestMate)?;
+/// for _ in 0..100 {
+///     dynamics.run_base_unit(&mut rng); // n initiatives each
+/// }
+/// assert_eq!(dynamics.matching(), &stable);
+/// # Ok::<(), strat_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Dynamics {
+    acc: RankedAcceptance,
+    caps: Capacities,
+    matching: Matching,
+    strategy: InitiativeStrategy,
+    /// Decremental-scan cursors, one per peer.
+    cursors: Vec<usize>,
+    /// Peer presence; absent peers neither initiate nor get matched.
+    present: Vec<bool>,
+    present_count: usize,
+    initiatives: u64,
+    active_initiatives: u64,
+}
+
+impl Dynamics {
+    /// Creates a driver starting from the empty configuration `C∅`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SizeMismatch`] if `caps` does not cover the
+    /// acceptance structure.
+    pub fn new(
+        acc: RankedAcceptance,
+        caps: Capacities,
+        strategy: InitiativeStrategy,
+    ) -> Result<Self, ModelError> {
+        let n = acc.node_count();
+        caps.check_len(n)?;
+        Ok(Self {
+            acc,
+            caps,
+            matching: Matching::new(n),
+            strategy,
+            cursors: vec![0; n],
+            present: vec![true; n],
+            present_count: n,
+            initiatives: 0,
+            active_initiatives: 0,
+        })
+    }
+
+    /// Creates a driver starting from an arbitrary configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SizeMismatch`] on size disagreement.
+    pub fn with_configuration(
+        acc: RankedAcceptance,
+        caps: Capacities,
+        strategy: InitiativeStrategy,
+        matching: Matching,
+    ) -> Result<Self, ModelError> {
+        if matching.node_count() != acc.node_count() {
+            return Err(ModelError::SizeMismatch {
+                expected: acc.node_count(),
+                actual: matching.node_count(),
+            });
+        }
+        let mut d = Self::new(acc, caps, strategy)?;
+        d.matching = matching;
+        Ok(d)
+    }
+
+    /// Number of peers (present or not).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.acc.node_count()
+    }
+
+    /// Current configuration.
+    #[must_use]
+    pub fn matching(&self) -> &Matching {
+        &self.matching
+    }
+
+    /// The acceptance structure.
+    #[must_use]
+    pub fn acceptance(&self) -> &RankedAcceptance {
+        &self.acc
+    }
+
+    /// Capacities in force.
+    #[must_use]
+    pub fn capacities(&self) -> &Capacities {
+        &self.caps
+    }
+
+    /// Total initiatives taken so far.
+    #[must_use]
+    pub fn initiative_count(&self) -> u64 {
+        self.initiatives
+    }
+
+    /// Active (configuration-changing) initiatives taken so far.
+    #[must_use]
+    pub fn active_initiative_count(&self) -> u64 {
+        self.active_initiatives
+    }
+
+    /// Number of present peers.
+    #[must_use]
+    pub fn present_count(&self) -> usize {
+        self.present_count
+    }
+
+    /// Whether peer `v` is present.
+    #[must_use]
+    pub fn is_present(&self, v: NodeId) -> bool {
+        self.present[v.index()]
+    }
+
+    /// Removes a peer: drops its collaborations and excludes it from the
+    /// system (Figure 2's perturbation). No-op if already absent.
+    pub fn remove_peer(&mut self, v: NodeId) {
+        if !self.present[v.index()] {
+            return;
+        }
+        self.present[v.index()] = false;
+        self.present_count -= 1;
+        self.matching.isolate(v);
+    }
+
+    /// Re-inserts an absent peer with no mates. No-op if already present.
+    pub fn insert_peer(&mut self, v: NodeId) {
+        if self.present[v.index()] {
+            return;
+        }
+        self.present[v.index()] = true;
+        self.present_count += 1;
+        debug_assert_eq!(self.matching.degree(v), 0);
+    }
+
+    /// Performs one initiative by a uniformly random present peer.
+    ///
+    /// Returns [`InitiativeOutcome::Inactive`] when no peers are present.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> InitiativeOutcome {
+        let Some(p) = self.random_present_peer(rng) else {
+            return InitiativeOutcome::Inactive;
+        };
+        self.initiative(p, rng)
+    }
+
+    /// Runs `n` initiatives (one *base unit* in the paper's time axis: one
+    /// expected initiative per peer). Returns the number of active ones.
+    pub fn run_base_unit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        let n = self.node_count();
+        (0..n).filter(|_| self.step(rng).is_active()).count()
+    }
+
+    /// Has peer `p` take one initiative with the configured strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn initiative<R: Rng + ?Sized>(&mut self, p: NodeId, rng: &mut R) -> InitiativeOutcome {
+        if !self.present[p.index()] {
+            return InitiativeOutcome::Inactive;
+        }
+        self.initiatives += 1;
+        let mate = match self.strategy {
+            InitiativeStrategy::BestMate => blocking::best_blocking_mate(
+                &self.acc,
+                &self.caps,
+                &self.matching,
+                p,
+                |q| self.present[q.index()],
+            ),
+            InitiativeStrategy::Decremental => self.decremental_scan(p),
+            InitiativeStrategy::Random => self.random_probe(p, rng),
+        };
+        match mate {
+            Some(q) => {
+                let outcome = self.execute(p, q);
+                self.active_initiatives += 1;
+                outcome
+            }
+            None => InitiativeOutcome::Inactive,
+        }
+    }
+
+    /// Disorder of the current configuration: distance to the instant stable
+    /// configuration of the present peers (1-matching metric of §3).
+    ///
+    /// Recomputes the stable configuration; `O(Σ deg)`.
+    #[must_use]
+    pub fn disorder(&self) -> f64 {
+        let stable = self.instant_stable();
+        distance::disorder(self.acc.ranking(), &self.matching, &stable)
+    }
+
+    /// Disorder under the generalized b-matching metric.
+    #[must_use]
+    pub fn disorder_general(&self) -> f64 {
+        let stable = self.instant_stable();
+        distance::distance_general(self.acc.ranking(), &self.matching, &stable)
+    }
+
+    /// The instant stable configuration over present peers.
+    #[must_use]
+    pub fn instant_stable(&self) -> Matching {
+        stable_configuration_masked(&self.acc, &self.caps, |v| self.present[v.index()])
+            .expect("sizes validated at construction")
+    }
+
+    /// Whether the current configuration is stable for the present peers.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.acc.graph().edges().all(|(u, v)| {
+            !(self.present[u.index()]
+                && self.present[v.index()]
+                && blocking::is_blocking_pair(&self.acc, &self.caps, &self.matching, u, v))
+        })
+    }
+
+    fn random_present_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
+        if self.present_count == 0 {
+            return None;
+        }
+        let n = self.node_count();
+        if self.present_count == n {
+            return Some(NodeId::new(rng.gen_range(0..n)));
+        }
+        // Rejection sampling; presence is the common case in experiments.
+        loop {
+            let v = NodeId::new(rng.gen_range(0..n));
+            if self.present[v.index()] {
+                return Some(v);
+            }
+        }
+    }
+
+    /// Circular scan from the last asked position (decremental strategy).
+    fn decremental_scan(&mut self, p: NodeId) -> Option<NodeId> {
+        let neigh = self.acc.neighbors_best_first(p);
+        let len = neigh.len();
+        if len == 0 {
+            return None;
+        }
+        let start = self.cursors[p.index()] % len;
+        for k in 0..len {
+            let idx = (start + k) % len;
+            let q = neigh[idx];
+            if self.present[q.index()]
+                && blocking::is_blocking_pair(&self.acc, &self.caps, &self.matching, p, q)
+            {
+                self.cursors[p.index()] = (idx + 1) % len;
+                return Some(q);
+            }
+        }
+        self.cursors[p.index()] = start;
+        None
+    }
+
+    /// Single random probe (random strategy).
+    fn random_probe<R: Rng + ?Sized>(&self, p: NodeId, rng: &mut R) -> Option<NodeId> {
+        let neigh = self.acc.neighbors_best_first(p);
+        if neigh.is_empty() {
+            return None;
+        }
+        let q = neigh[rng.gen_range(0..neigh.len())];
+        (self.present[q.index()]
+            && blocking::is_blocking_pair(&self.acc, &self.caps, &self.matching, p, q))
+        .then_some(q)
+    }
+
+    /// Matches a confirmed blocking pair, evicting worst mates as needed.
+    fn execute(&mut self, p: NodeId, q: NodeId) -> InitiativeOutcome {
+        debug_assert!(blocking::is_blocking_pair(&self.acc, &self.caps, &self.matching, p, q));
+        let ranking = self.acc.ranking();
+        let mut dropped_by_peer = None;
+        let mut dropped_by_mate = None;
+        if self.matching.is_saturated(&self.caps, p) {
+            let worst = self.matching.worst_mate(p).expect("saturated implies mates");
+            self.matching.disconnect(p, worst).expect("worst mate is matched");
+            dropped_by_peer = Some(worst);
+        }
+        if self.matching.is_saturated(&self.caps, q) {
+            let worst = self.matching.worst_mate(q).expect("saturated implies mates");
+            self.matching.disconnect(q, worst).expect("worst mate is matched");
+            dropped_by_mate = Some(worst);
+        }
+        self.matching.connect(ranking, &self.caps, p, q).expect("slots were freed");
+        InitiativeOutcome::Active { peer: p, mate: q, dropped_by_peer, dropped_by_mate }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use strat_graph::generators;
+
+    use crate::{stable_configuration, GlobalRanking};
+
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn build(
+        count: usize,
+        degree: f64,
+        b0: u32,
+        strategy: InitiativeStrategy,
+        seed: u64,
+    ) -> (Dynamics, ChaCha8Rng) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let graph = generators::erdos_renyi_mean_degree(count, degree, &mut rng);
+        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(count)).unwrap();
+        let caps = Capacities::constant(count, b0);
+        (Dynamics::new(acc, caps, strategy).unwrap(), rng)
+    }
+
+    #[test]
+    fn best_mate_converges_to_stable() {
+        let (mut dyn_, mut rng) = build(80, 10.0, 1, InitiativeStrategy::BestMate, 4);
+        let stable = stable_configuration(dyn_.acceptance(), dyn_.capacities()).unwrap();
+        for _ in 0..200 {
+            dyn_.run_base_unit(&mut rng);
+            if dyn_.matching() == &stable {
+                break;
+            }
+        }
+        assert_eq!(dyn_.matching(), &stable);
+        assert!(dyn_.is_stable());
+        assert_eq!(dyn_.disorder(), 0.0);
+    }
+
+    #[test]
+    fn decremental_and_random_also_converge() {
+        for strategy in [InitiativeStrategy::Decremental, InitiativeStrategy::Random] {
+            let (mut dyn_, mut rng) = build(40, 8.0, 2, strategy, 9);
+            for _ in 0..2000 {
+                dyn_.run_base_unit(&mut rng);
+                if dyn_.is_stable() {
+                    break;
+                }
+            }
+            assert!(dyn_.is_stable(), "{strategy:?} failed to converge");
+            let stable = stable_configuration(dyn_.acceptance(), dyn_.capacities()).unwrap();
+            assert_eq!(dyn_.matching(), &stable, "{strategy:?} reached a different fixpoint");
+        }
+    }
+
+    #[test]
+    fn initiatives_preserve_invariants() {
+        let (mut dyn_, mut rng) = build(50, 12.0, 3, InitiativeStrategy::Random, 21);
+        for _ in 0..500 {
+            dyn_.step(&mut rng);
+            assert!(dyn_
+                .matching
+                .check_invariants(dyn_.acc.ranking(), &dyn_.caps));
+        }
+    }
+
+    #[test]
+    fn active_initiative_counting() {
+        let (mut dyn_, mut rng) = build(30, 6.0, 1, InitiativeStrategy::BestMate, 2);
+        for _ in 0..300 {
+            dyn_.step(&mut rng);
+        }
+        assert!(dyn_.initiative_count() >= 300);
+        assert!(dyn_.active_initiative_count() <= dyn_.initiative_count());
+        // Theorem 1: at most B/2 active initiatives are *needed*; the random
+        // scheduler may use more, but convergence must have happened here.
+        assert!(dyn_.is_stable());
+    }
+
+    #[test]
+    fn removal_perturbs_then_reconverges() {
+        let (mut dyn_, mut rng) = build(60, 10.0, 1, InitiativeStrategy::BestMate, 7);
+        while !dyn_.is_stable() {
+            dyn_.run_base_unit(&mut rng);
+        }
+        dyn_.remove_peer(n(0));
+        assert!(!dyn_.is_present(n(0)));
+        assert_eq!(dyn_.present_count(), 59);
+        // Disorder is measured against the new instant stable configuration.
+        let d0 = dyn_.disorder();
+        for _ in 0..100 {
+            dyn_.run_base_unit(&mut rng);
+        }
+        assert!(dyn_.is_stable());
+        assert!(dyn_.disorder() <= d0);
+        // The removed peer stays unmated.
+        assert_eq!(dyn_.matching().degree(n(0)), 0);
+    }
+
+    #[test]
+    fn insert_restores_presence() {
+        let (mut dyn_, mut rng) = build(20, 8.0, 1, InitiativeStrategy::BestMate, 3);
+        dyn_.remove_peer(n(5));
+        dyn_.insert_peer(n(5));
+        assert!(dyn_.is_present(n(5)));
+        assert_eq!(dyn_.present_count(), 20);
+        for _ in 0..200 {
+            dyn_.run_base_unit(&mut rng);
+        }
+        assert!(dyn_.is_stable());
+    }
+
+    #[test]
+    fn empty_system_steps_are_inactive() {
+        let (mut dyn_, mut rng) = build(3, 2.0, 1, InitiativeStrategy::BestMate, 1);
+        for i in 0..3 {
+            dyn_.remove_peer(n(i));
+        }
+        assert_eq!(dyn_.step(&mut rng), InitiativeOutcome::Inactive);
+    }
+
+    #[test]
+    fn with_configuration_starts_elsewhere() {
+        let (dyn0, _) = build(10, 9.0, 1, InitiativeStrategy::BestMate, 5);
+        let acc = dyn0.acceptance().clone();
+        let caps = dyn0.capacities().clone();
+        let stable = stable_configuration(&acc, &caps).unwrap();
+        let dyn_ = Dynamics::with_configuration(
+            acc,
+            caps,
+            InitiativeStrategy::BestMate,
+            stable.clone(),
+        )
+        .unwrap();
+        assert!(dyn_.is_stable());
+        assert_eq!(dyn_.disorder(), 0.0);
+    }
+
+    #[test]
+    fn theorem1_greedy_schedule_uses_at_most_b_over_2_actives() {
+        // Theorem 1: the stable solution CAN be reached in B/2 initiatives.
+        // The witnessing schedule processes peers best-rank-first, each
+        // repeating best-mate initiatives until inactive (Algorithm 1 replay).
+        // Every active initiative then creates one stable edge, so the count
+        // equals the stable edge count <= B/2.
+        let (mut dyn_, mut rng) = build(40, 10.0, 2, InitiativeStrategy::BestMate, 13);
+        let b_total = dyn_.capacities().total();
+        let mut actives = 0u64;
+        for v in 0..dyn_.node_count() {
+            while dyn_.initiative(n(v), &mut rng).is_active() {
+                actives += 1;
+            }
+        }
+        assert!(dyn_.is_stable());
+        assert_eq!(actives as usize, dyn_.matching().edge_count());
+        assert!(
+            actives <= b_total / 2,
+            "greedy schedule used {actives} active initiatives, bound {}",
+            b_total / 2
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Error types of the core stratification model.
+
+use core::fmt;
+
+use strat_graph::NodeId;
+
+/// Error raised by model construction and mutation.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ModelError {
+    /// Scores used to build a global ranking contained a tie.
+    ///
+    /// The paper assumes distinct utilities (`S(p) ≠ S(q)` for `p ≠ q`):
+    /// ties can break existence of a stable matching, so they are rejected
+    /// at the API boundary.
+    TiedScores {
+        /// First node of the tied pair.
+        a: NodeId,
+        /// Second node of the tied pair.
+        b: NodeId,
+        /// The shared score.
+        score: f64,
+    },
+    /// A score was NaN, which admits no total order.
+    InvalidScore {
+        /// The node with the NaN score.
+        node: NodeId,
+    },
+    /// Sizes of two model components disagree (e.g. ranking over `n` nodes
+    /// combined with capacities for `m ≠ n` nodes).
+    SizeMismatch {
+        /// What was expected.
+        expected: usize,
+        /// What was provided.
+        actual: usize,
+    },
+    /// A permutation used to build a ranking was not a bijection on `0..n`.
+    NotAPermutation,
+    /// Attempted to connect a peer beyond its slot capacity.
+    CapacityExceeded {
+        /// The saturated node.
+        node: NodeId,
+        /// Its capacity.
+        capacity: u32,
+    },
+    /// Attempted to connect two peers that are already matched together, or
+    /// a peer to itself.
+    InvalidPair {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+    /// Attempted to disconnect two peers that are not matched together.
+    NotMatched {
+        /// First node.
+        a: NodeId,
+        /// Second node.
+        b: NodeId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            ModelError::TiedScores { a, b, score } => {
+                write!(f, "nodes {a} and {b} share score {score}; global ranking requires distinct scores")
+            }
+            ModelError::InvalidScore { node } => {
+                write!(f, "score of node {node} is NaN")
+            }
+            ModelError::SizeMismatch { expected, actual } => {
+                write!(f, "size mismatch: expected {expected}, got {actual}")
+            }
+            ModelError::NotAPermutation => {
+                write!(f, "provided ranking is not a permutation of 0..n")
+            }
+            ModelError::CapacityExceeded { node, capacity } => {
+                write!(f, "node {node} already uses all {capacity} collaboration slots")
+            }
+            ModelError::InvalidPair { a, b } => {
+                write!(f, "cannot match pair ({a}, {b})")
+            }
+            ModelError::NotMatched { a, b } => {
+                write!(f, "pair ({a}, {b}) is not currently matched")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ModelError::TiedScores { a: NodeId::new(0), b: NodeId::new(3), score: 1.5 };
+        assert!(e.to_string().contains("distinct scores"));
+        let e = ModelError::CapacityExceeded { node: NodeId::new(2), capacity: 4 };
+        assert!(e.to_string().contains("4 collaboration slots"));
+        let e = ModelError::SizeMismatch { expected: 5, actual: 3 };
+        assert_eq!(e.to_string(), "size mismatch: expected 5, got 3");
+    }
+
+    #[test]
+    fn is_std_error() {
+        fn assert_err<E: std::error::Error + Send + Sync>() {}
+        assert_err::<ModelError>();
+    }
+}

@@ -1,0 +1,185 @@
+//! Gossip-based rank discovery (§1: "This framework also fits gossip-based
+//! protocols used by a peer to discover its rank", citing Jelasity et al.'s
+//! peer sampling service).
+//!
+//! In a deployed system no peer knows the global ranking; each estimates
+//! its standing by comparing its mark against a random sample of peers
+//! (provided by a gossip/peer-sampling substrate). This module models that
+//! estimator and lets the rest of the stack run on **estimated** rankings,
+//! quantifying how much stratification survives estimation noise:
+//!
+//! * [`estimate_ranking`] — every peer samples `k` peers uniformly and
+//!   scores itself by the fraction it beats; the induced order (ties broken
+//!   by true mark) is the *estimated* global ranking;
+//! * [`ranking_distortion`] — mean absolute rank displacement between true
+//!   and estimated rankings (in ranks);
+//! * with `k → n` the estimate converges to the truth; the `ext2`
+//!   experiment in `strat-sim` shows the stable configuration's disorder
+//!   and MMO degrade gracefully in `k`.
+
+use rand::Rng;
+use strat_graph::NodeId;
+
+use crate::GlobalRanking;
+
+/// Estimates the global ranking by uniform peer sampling.
+///
+/// Each peer draws `sample_size` uniform peers (with replacement, excluding
+/// itself) and counts how many it outranks under the *true* ranking; the
+/// estimated score is that count plus an infinitesimal tie-break by true
+/// rank, so the result is a valid strict ranking.
+///
+/// # Panics
+///
+/// Panics if `sample_size == 0` or the ranking is empty.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use strat_core::{gossip, GlobalRanking};
+///
+/// let truth = GlobalRanking::identity(100);
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(1);
+/// let estimated = gossip::estimate_ranking(&truth, 50, &mut rng);
+/// // Sampling noise displaces ranks, but only locally:
+/// let distortion = gossip::ranking_distortion(&truth, &estimated);
+/// assert!(distortion < 15.0, "{distortion}");
+/// ```
+#[must_use]
+pub fn estimate_ranking<R: Rng + ?Sized>(
+    truth: &GlobalRanking,
+    sample_size: usize,
+    rng: &mut R,
+) -> GlobalRanking {
+    let n = truth.len();
+    assert!(n > 0, "ranking must be non-empty");
+    assert!(sample_size > 0, "sample size must be positive");
+    // score[v] = (#sampled peers v outranks, tie-break by true rank).
+    let mut order: Vec<NodeId> = (0..n).map(NodeId::new).collect();
+    let mut score = vec![0u32; n];
+    for v in 0..n {
+        let v_id = NodeId::new(v);
+        for _ in 0..sample_size {
+            let other = loop {
+                let candidate = NodeId::new(rng.gen_range(0..n));
+                if candidate != v_id || n == 1 {
+                    break candidate;
+                }
+            };
+            if truth.prefers(v_id, other) {
+                score[v] += 1;
+            }
+        }
+    }
+    // Higher score = better estimated rank; ties resolved by true rank so
+    // the estimate stays a strict order (a deployed system would tie-break
+    // by comparing marks directly, which is exactly the true order).
+    order.sort_by(|&a, &b| {
+        score[b.index()]
+            .cmp(&score[a.index()])
+            .then_with(|| truth.rank_of(a).cmp(&truth.rank_of(b)))
+    });
+    GlobalRanking::from_permutation(order).expect("sorted identity is a permutation")
+}
+
+/// Mean absolute displacement (in ranks) between two rankings over the
+/// same peers.
+///
+/// # Panics
+///
+/// Panics if the rankings cover different peer counts.
+#[must_use]
+pub fn ranking_distortion(truth: &GlobalRanking, estimate: &GlobalRanking) -> f64 {
+    assert_eq!(truth.len(), estimate.len(), "rankings must cover the same peers");
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let total: usize = (0..truth.len())
+        .map(|v| {
+            let v = NodeId::new(v);
+            truth.rank_of(v).position().abs_diff(estimate.rank_of(v).position())
+        })
+        .sum();
+    total as f64 / truth.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+
+    use super::*;
+
+    #[test]
+    fn estimate_is_a_valid_ranking() {
+        let truth = GlobalRanking::identity(80);
+        let mut rng = ChaCha8Rng::seed_from_u64(2);
+        let est = estimate_ranking(&truth, 10, &mut rng);
+        assert_eq!(est.len(), 80);
+        // Permutation round-trip.
+        for v in 0..80 {
+            let v = NodeId::new(v);
+            assert_eq!(est.node_at_rank(est.rank_of(v)), v);
+        }
+    }
+
+    #[test]
+    fn distortion_decreases_with_sample_size() {
+        let truth = GlobalRanking::identity(300);
+        let distortion_at = |k: usize| {
+            let mut total = 0.0;
+            for seed in 0..5 {
+                let mut rng = ChaCha8Rng::seed_from_u64(seed);
+                let est = estimate_ranking(&truth, k, &mut rng);
+                total += ranking_distortion(&truth, &est);
+            }
+            total / 5.0
+        };
+        let coarse = distortion_at(5);
+        let mid = distortion_at(40);
+        let fine = distortion_at(300);
+        assert!(coarse > mid && mid > fine, "{coarse} > {mid} > {fine} violated");
+        assert!(fine < 10.0, "fine estimate distortion {fine}");
+    }
+
+    #[test]
+    fn identical_rankings_have_zero_distortion() {
+        let truth = GlobalRanking::identity(50);
+        assert_eq!(ranking_distortion(&truth, &truth.clone()), 0.0);
+    }
+
+    #[test]
+    fn single_peer_edge_case() {
+        let truth = GlobalRanking::identity(1);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let est = estimate_ranking(&truth, 3, &mut rng);
+        assert_eq!(est.len(), 1);
+        assert_eq!(ranking_distortion(&truth, &est), 0.0);
+    }
+
+    #[test]
+    fn estimate_preserves_coarse_order() {
+        // The best decile should rarely be estimated into the worst decile.
+        let n = 200;
+        let truth = GlobalRanking::identity(n);
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let est = estimate_ranking(&truth, 30, &mut rng);
+        let mut misplaced = 0;
+        for r in 0..n / 10 {
+            let v = truth.node_at_rank(crate::Rank::new(r));
+            if est.rank_of(v).position() > 9 * n / 10 {
+                misplaced += 1;
+            }
+        }
+        assert_eq!(misplaced, 0, "{misplaced} top-decile peers landed in the bottom decile");
+    }
+
+    #[test]
+    #[should_panic(expected = "sample size must be positive")]
+    fn zero_sample_panics() {
+        let truth = GlobalRanking::identity(5);
+        let mut rng = ChaCha8Rng::seed_from_u64(1);
+        let _ = estimate_ranking(&truth, 0, &mut rng);
+    }
+}

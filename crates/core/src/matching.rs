@@ -1,0 +1,380 @@
+//! b-matching configurations.
+//!
+//! A *configuration* (the paper also says *matching*) is a subgraph of the
+//! acceptance graph in which each peer `p` has degree at most `b(p)`. This
+//! module provides the mutable configuration type on which both Algorithm 1
+//! and the initiative dynamics operate.
+
+use serde::{Deserialize, Serialize};
+use strat_graph::{Graph, GraphBuilder, NodeId, UnionFind};
+
+use crate::{Capacities, GlobalRanking, ModelError};
+
+/// A b-matching configuration: symmetric collaboration links between peers.
+///
+/// Each peer's mate list is kept **sorted best-rank-first** with respect to
+/// the [`GlobalRanking`] passed to [`connect`](Matching::connect), so the
+/// worst mate (the one a blocking pair would evict) is always the last entry.
+///
+/// The type does not own ranking or capacities; callers pass them to the
+/// operations that need them. All mutating operations preserve symmetry.
+///
+/// # Examples
+///
+/// ```
+/// use strat_core::{Capacities, GlobalRanking, Matching};
+/// use strat_graph::NodeId;
+///
+/// let ranking = GlobalRanking::identity(4);
+/// let caps = Capacities::constant(4, 1);
+/// let mut m = Matching::new(4);
+/// m.connect(&ranking, &caps, NodeId::new(0), NodeId::new(2))?;
+/// assert!(m.contains(NodeId::new(2), NodeId::new(0)));
+/// assert_eq!(m.degree(NodeId::new(0)), 1);
+/// # Ok::<(), strat_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Matching {
+    /// `mates[v]` = mates of `v`, sorted best-rank-first.
+    mates: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl Matching {
+    /// The empty configuration `C∅` over `n` peers.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { mates: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.mates.len()
+    }
+
+    /// Number of collaboration links.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Current number of mates of `v`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.mates[v.index()].len()
+    }
+
+    /// Mates of `v`, best-rank-first.
+    #[inline]
+    #[must_use]
+    pub fn mates(&self, v: NodeId) -> &[NodeId] {
+        &self.mates[v.index()]
+    }
+
+    /// The single mate of `v` for 1-matchings (`None` if unmated).
+    ///
+    /// This is the paper's `σ(C, i)` accessor; see
+    /// [`crate::distance::disorder`].
+    #[must_use]
+    pub fn mate_of(&self, v: NodeId) -> Option<NodeId> {
+        debug_assert!(self.degree(v) <= 1, "mate_of used on a non-1-matching");
+        self.mates[v.index()].first().copied()
+    }
+
+    /// Worst (lowest-ranked) current mate of `v`, if any.
+    #[inline]
+    #[must_use]
+    pub fn worst_mate(&self, v: NodeId) -> Option<NodeId> {
+        self.mates[v.index()].last().copied()
+    }
+
+    /// Whether `u` and `v` are currently matched together.
+    #[must_use]
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        // Mate lists are tiny (b(p) slots); linear scan of the shorter list.
+        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        self.mates[a.index()].contains(&b)
+    }
+
+    /// Whether `v` uses all its slots under `caps`.
+    #[inline]
+    #[must_use]
+    pub fn is_saturated(&self, caps: &Capacities, v: NodeId) -> bool {
+        self.degree(v) >= caps.of(v) as usize
+    }
+
+    /// Whether `v` would welcome `candidate` as a new mate: either a slot is
+    /// free, or `candidate` outranks `v`'s worst current mate.
+    ///
+    /// This is one half of the blocking-pair condition (§2); it does **not**
+    /// check the acceptance graph or the reciprocal condition.
+    #[must_use]
+    pub fn would_accept(
+        &self,
+        ranking: &GlobalRanking,
+        caps: &Capacities,
+        v: NodeId,
+        candidate: NodeId,
+    ) -> bool {
+        if v == candidate || caps.of(v) == 0 || self.contains(v, candidate) {
+            return false;
+        }
+        if !self.is_saturated(caps, v) {
+            return true;
+        }
+        let worst = self.worst_mate(v).expect("saturated peer with capacity > 0 has a mate");
+        ranking.prefers(candidate, worst)
+    }
+
+    /// Connects `u` and `v`, keeping both mate lists rank-sorted.
+    ///
+    /// # Errors
+    ///
+    /// * [`ModelError::InvalidPair`] if `u == v` or already matched;
+    /// * [`ModelError::CapacityExceeded`] if either endpoint is saturated.
+    pub fn connect(
+        &mut self,
+        ranking: &GlobalRanking,
+        caps: &Capacities,
+        u: NodeId,
+        v: NodeId,
+    ) -> Result<(), ModelError> {
+        if u == v || self.contains(u, v) {
+            return Err(ModelError::InvalidPair { a: u, b: v });
+        }
+        for w in [u, v] {
+            if self.is_saturated(caps, w) {
+                return Err(ModelError::CapacityExceeded { node: w, capacity: caps.of(w) });
+            }
+        }
+        self.insert_sorted(ranking, u, v);
+        self.insert_sorted(ranking, v, u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
+    /// Removes the link between `u` and `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NotMatched`] if they are not matched together.
+    pub fn disconnect(&mut self, u: NodeId, v: NodeId) -> Result<(), ModelError> {
+        let pos_u = self.mates[u.index()].iter().position(|&w| w == v);
+        let pos_v = self.mates[v.index()].iter().position(|&w| w == u);
+        match (pos_u, pos_v) {
+            (Some(pu), Some(pv)) => {
+                self.mates[u.index()].remove(pu);
+                self.mates[v.index()].remove(pv);
+                self.edge_count -= 1;
+                Ok(())
+            }
+            _ => Err(ModelError::NotMatched { a: u, b: v }),
+        }
+    }
+
+    /// Drops all links of `v` (peer departure). Returns the former mates.
+    pub fn isolate(&mut self, v: NodeId) -> Vec<NodeId> {
+        let mates = core::mem::take(&mut self.mates[v.index()]);
+        for &m in &mates {
+            let pos = self.mates[m.index()]
+                .iter()
+                .position(|&w| w == v)
+                .expect("matching is symmetric");
+            self.mates[m.index()].remove(pos);
+        }
+        self.edge_count -= mates.len();
+        mates
+    }
+
+    /// Exports the collaboration graph for structural analysis.
+    #[must_use]
+    pub fn to_graph(&self) -> Graph {
+        let mut builder = GraphBuilder::new(self.node_count());
+        for (u, mates) in self.mates.iter().enumerate() {
+            let u = NodeId::new(u);
+            for &v in mates {
+                if u < v {
+                    builder.add_edge(u, v).expect("matching links are valid edges");
+                }
+            }
+        }
+        builder.build()
+    }
+
+    /// Union-find over the collaboration links (for cluster statistics
+    /// without materializing a graph).
+    #[must_use]
+    pub fn to_union_find(&self) -> UnionFind {
+        let mut uf = UnionFind::new(self.node_count());
+        for (u, mates) in self.mates.iter().enumerate() {
+            for &v in mates {
+                uf.union(u, v.index());
+            }
+        }
+        uf
+    }
+
+    /// Checks all structural invariants: symmetry, looplessness, capacity
+    /// bounds, rank-sorted mate lists, consistent edge count.
+    #[must_use]
+    pub fn check_invariants(&self, ranking: &GlobalRanking, caps: &Capacities) -> bool {
+        let mut half_edges = 0usize;
+        for (u, mates) in self.mates.iter().enumerate() {
+            let u = NodeId::new(u);
+            if mates.len() > caps.of(u) as usize {
+                return false;
+            }
+            if mates.windows(2).any(|w| !ranking.prefers(w[0], w[1])) {
+                return false; // not strictly best-first (also catches duplicates)
+            }
+            for &v in mates {
+                if v == u || !self.mates[v.index()].contains(&u) {
+                    return false;
+                }
+            }
+            half_edges += mates.len();
+        }
+        half_edges == 2 * self.edge_count
+    }
+
+    fn insert_sorted(&mut self, ranking: &GlobalRanking, owner: NodeId, mate: NodeId) {
+        let list = &mut self.mates[owner.index()];
+        let rank = ranking.rank_of(mate);
+        let pos = list.partition_point(|&w| ranking.rank_of(w).is_better_than(rank));
+        list.insert(pos, mate);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn setup(count: usize, b0: u32) -> (GlobalRanking, Capacities, Matching) {
+        (GlobalRanking::identity(count), Capacities::constant(count, b0), Matching::new(count))
+    }
+
+    #[test]
+    fn empty_configuration() {
+        let m = Matching::new(3);
+        assert_eq!(m.edge_count(), 0);
+        assert_eq!(m.degree(n(0)), 0);
+        assert_eq!(m.mate_of(n(1)), None);
+        assert_eq!(m.worst_mate(n(2)), None);
+    }
+
+    #[test]
+    fn connect_is_symmetric_and_sorted() {
+        let (ranking, caps, mut m) = setup(5, 3);
+        m.connect(&ranking, &caps, n(2), n(4)).unwrap();
+        m.connect(&ranking, &caps, n(2), n(0)).unwrap();
+        m.connect(&ranking, &caps, n(2), n(3)).unwrap();
+        assert_eq!(m.mates(n(2)), &[n(0), n(3), n(4)]); // best-first
+        assert_eq!(m.worst_mate(n(2)), Some(n(4)));
+        assert!(m.contains(n(4), n(2)));
+        assert_eq!(m.edge_count(), 3);
+        assert!(m.check_invariants(&ranking, &caps));
+    }
+
+    #[test]
+    fn connect_rejects_self_and_duplicate() {
+        let (ranking, caps, mut m) = setup(3, 2);
+        assert!(matches!(
+            m.connect(&ranking, &caps, n(1), n(1)),
+            Err(ModelError::InvalidPair { .. })
+        ));
+        m.connect(&ranking, &caps, n(0), n(1)).unwrap();
+        assert!(matches!(
+            m.connect(&ranking, &caps, n(1), n(0)),
+            Err(ModelError::InvalidPair { .. })
+        ));
+    }
+
+    #[test]
+    fn connect_respects_capacity() {
+        let (ranking, caps, mut m) = setup(4, 1);
+        m.connect(&ranking, &caps, n(0), n(1)).unwrap();
+        let err = m.connect(&ranking, &caps, n(0), n(2)).unwrap_err();
+        assert_eq!(err, ModelError::CapacityExceeded { node: n(0), capacity: 1 });
+    }
+
+    #[test]
+    fn disconnect_and_isolate() {
+        let (ranking, caps, mut m) = setup(4, 3);
+        m.connect(&ranking, &caps, n(0), n(1)).unwrap();
+        m.connect(&ranking, &caps, n(0), n(2)).unwrap();
+        m.connect(&ranking, &caps, n(0), n(3)).unwrap();
+        m.disconnect(n(0), n(2)).unwrap();
+        assert!(!m.contains(n(0), n(2)));
+        assert_eq!(m.edge_count(), 2);
+        assert!(matches!(m.disconnect(n(0), n(2)), Err(ModelError::NotMatched { .. })));
+
+        let dropped = m.isolate(n(0));
+        assert_eq!(dropped, vec![n(1), n(3)]);
+        assert_eq!(m.edge_count(), 0);
+        assert!(m.check_invariants(&ranking, &caps));
+    }
+
+    #[test]
+    fn would_accept_logic() {
+        let (ranking, caps, mut m) = setup(4, 1);
+        // Free slot: accepts anyone acceptable.
+        assert!(m.would_accept(&ranking, &caps, n(2), n(3)));
+        assert!(!m.would_accept(&ranking, &caps, n(2), n(2))); // self
+        m.connect(&ranking, &caps, n(2), n(3)).unwrap();
+        // Saturated with mate 3: accepts better peer 0, rejects worse-or-same.
+        assert!(m.would_accept(&ranking, &caps, n(2), n(0)));
+        assert!(!m.would_accept(&ranking, &caps, n(2), n(3))); // already mates
+        assert!(!m.would_accept(&ranking, &caps, n(3), n(2))); // already mates
+    }
+
+    #[test]
+    fn zero_capacity_never_accepts() {
+        let ranking = GlobalRanking::identity(2);
+        let caps = Capacities::constant(2, 0);
+        let m = Matching::new(2);
+        assert!(!m.would_accept(&ranking, &caps, n(0), n(1)));
+    }
+
+    #[test]
+    fn to_graph_round_trip() {
+        let (ranking, caps, mut m) = setup(4, 2);
+        m.connect(&ranking, &caps, n(0), n(1)).unwrap();
+        m.connect(&ranking, &caps, n(2), n(1)).unwrap();
+        let g = m.to_graph();
+        assert_eq!(g.edge_count(), 2);
+        assert!(g.has_edge(n(1), n(2)));
+        let mut uf = m.to_union_find();
+        assert!(uf.connected(0, 2));
+        assert!(!uf.connected(0, 3));
+    }
+
+    #[test]
+    fn invariants_catch_capacity_violation() {
+        let (ranking, _caps, mut m) = setup(3, 2);
+        let big = Capacities::constant(3, 2);
+        m.connect(&ranking, &big, n(0), n(1)).unwrap();
+        m.connect(&ranking, &big, n(0), n(2)).unwrap();
+        let small = Capacities::constant(3, 1);
+        assert!(!m.check_invariants(&ranking, &small));
+        assert!(m.check_invariants(&ranking, &big));
+    }
+
+    #[test]
+    fn mate_lists_sorted_under_nonidentity_ranking() {
+        // Node 2 best, node 0 middle, node 1 worst.
+        let ranking =
+            GlobalRanking::from_permutation(vec![n(2), n(0), n(1)]).unwrap();
+        let caps = Capacities::constant(3, 2);
+        let mut m = Matching::new(3);
+        m.connect(&ranking, &caps, n(0), n(1)).unwrap();
+        m.connect(&ranking, &caps, n(0), n(2)).unwrap();
+        assert_eq!(m.mates(n(0)), &[n(2), n(1)]);
+        assert!(m.check_invariants(&ranking, &caps));
+    }
+}

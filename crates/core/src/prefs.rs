@@ -1,0 +1,592 @@
+//! Generalized preference systems (§2 framework, §7 future work).
+//!
+//! The paper's analysis targets the *global ranking* utility class, but its
+//! model — stable b-matching driven by per-peer preferences — is generic,
+//! and the conclusion explicitly proposes richer utilities: *"Such a
+//! combination can, for instance, be achieved by introducing a second type
+//! of collaborations depending on a different global ranking or depending
+//! on a symmetric ranking such as latency."* This module implements that
+//! program:
+//!
+//! * [`PreferenceSystem`] — the abstract mate-comparison interface;
+//! * [`GlobalPrefs`] — the paper's global ranking (no preference cycles;
+//!   unique stable configuration);
+//! * [`LatencyPrefs`] — a *symmetric* utility: peers prefer nearby peers
+//!   (e.g. RTT). Symmetric utilities are also cycle-free (they derive from
+//!   a potential on edges), so stability is still guaranteed — but the
+//!   stable configuration clusters by *distance*, not rank;
+//! * [`LexicographicPrefs`] — combination of two systems (primary, then
+//!   secondary tie-break);
+//! * [`PrefMatching`] + [`best_mate_dynamics`] — blocking-pair dynamics
+//!   under arbitrary preferences, with oscillation detection. General
+//!   roommates instances may have **no** stable configuration (Tan's odd
+//!   preference cycles); [`best_mate_dynamics`] reports that instead of
+//!   spinning forever, and [`odd_cycle_instance`] constructs the classic
+//!   witness.
+
+use std::collections::hash_map::DefaultHasher;
+use std::collections::HashSet;
+use std::hash::{Hash, Hasher};
+
+use strat_graph::{Graph, NodeId};
+
+use crate::{Capacities, GlobalRanking};
+
+/// A per-peer preference order over potential mates.
+///
+/// Implementations must be *strict* (no ties) for the dynamics to be
+/// well-defined; use deterministic tie-breaks (e.g. node id) when the
+/// underlying utility can collide.
+pub trait PreferenceSystem {
+    /// Number of peers.
+    fn n(&self) -> usize;
+
+    /// Whether peer `p` strictly prefers `a` to `b` as a mate.
+    fn prefers(&self, p: NodeId, a: NodeId, b: NodeId) -> bool;
+
+    /// The most preferred element of `candidates` for `p`, if any.
+    fn best_of(&self, p: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+        let mut best: Option<NodeId> = None;
+        for &c in candidates {
+            if best.is_none_or(|b| self.prefers(p, c, b)) {
+                best = Some(c);
+            }
+        }
+        best
+    }
+
+    /// The least preferred element of `candidates` for `p`, if any.
+    fn worst_of(&self, p: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
+        let mut worst: Option<NodeId> = None;
+        for &c in candidates {
+            if worst.is_none_or(|w| self.prefers(p, w, c)) {
+                worst = Some(c);
+            }
+        }
+        worst
+    }
+}
+
+/// The paper's global-ranking utility: everyone prefers better-ranked
+/// peers. Cycle-free ⇒ unique stable configuration (§3).
+#[derive(Debug, Clone)]
+pub struct GlobalPrefs {
+    ranking: GlobalRanking,
+}
+
+impl GlobalPrefs {
+    /// Wraps a global ranking.
+    #[must_use]
+    pub fn new(ranking: GlobalRanking) -> Self {
+        Self { ranking }
+    }
+
+    /// The wrapped ranking.
+    #[must_use]
+    pub fn ranking(&self) -> &GlobalRanking {
+        &self.ranking
+    }
+}
+
+impl PreferenceSystem for GlobalPrefs {
+    fn n(&self) -> usize {
+        self.ranking.len()
+    }
+
+    fn prefers(&self, _p: NodeId, a: NodeId, b: NodeId) -> bool {
+        self.ranking.prefers(a, b)
+    }
+}
+
+/// A symmetric, distance-based utility: peer `p` prefers mates with
+/// smaller `|position(p) − position(a)|` (think RTT in a latency space).
+///
+/// Symmetric utilities admit no preference cycle either — along any cycle
+/// `p₁ … p_k` where each prefers its successor to its predecessor, the
+/// edge distances must strictly decrease around the cycle, which is
+/// impossible — so a stable configuration exists; the induced clustering
+/// is by *distance* rather than by rank (the paper's §7 streaming
+/// trade-off).
+#[derive(Debug, Clone)]
+pub struct LatencyPrefs {
+    positions: Vec<f64>,
+}
+
+impl LatencyPrefs {
+    /// Builds from per-peer coordinates in a 1-D latency space.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a position is not finite.
+    #[must_use]
+    pub fn new(positions: Vec<f64>) -> Self {
+        assert!(positions.iter().all(|x| x.is_finite()), "positions must be finite");
+        Self { positions }
+    }
+
+    /// Distance between two peers.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> f64 {
+        (self.positions[a.index()] - self.positions[b.index()]).abs()
+    }
+}
+
+impl PreferenceSystem for LatencyPrefs {
+    fn n(&self) -> usize {
+        self.positions.len()
+    }
+
+    fn prefers(&self, p: NodeId, a: NodeId, b: NodeId) -> bool {
+        let da = self.distance(p, a);
+        let db = self.distance(p, b);
+        // Deterministic tie-break on node id keeps preferences strict.
+        da < db || (da == db && a < b)
+    }
+}
+
+/// Lexicographic combination: compare with `primary`; on a primary tie
+/// (neither preferred), fall back to `secondary`.
+///
+/// With a strict primary this degenerates to the primary alone; it shines
+/// when the primary is a *coarsened* utility (e.g. bandwidth classes) and
+/// the secondary refines within classes (e.g. latency) — the paper's
+/// "combining different utility functions".
+#[derive(Debug, Clone)]
+pub struct LexicographicPrefs<P, S> {
+    primary: P,
+    secondary: S,
+}
+
+impl<P: PreferenceSystem, S: PreferenceSystem> LexicographicPrefs<P, S> {
+    /// Combines two systems.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the systems cover different peer counts.
+    #[must_use]
+    pub fn new(primary: P, secondary: S) -> Self {
+        assert_eq!(primary.n(), secondary.n(), "peer counts must agree");
+        Self { primary, secondary }
+    }
+}
+
+impl<P: PreferenceSystem, S: PreferenceSystem> PreferenceSystem for LexicographicPrefs<P, S> {
+    fn n(&self) -> usize {
+        self.primary.n()
+    }
+
+    fn prefers(&self, p: NodeId, a: NodeId, b: NodeId) -> bool {
+        if self.primary.prefers(p, a, b) {
+            return true;
+        }
+        if self.primary.prefers(p, b, a) {
+            return false;
+        }
+        self.secondary.prefers(p, a, b)
+    }
+}
+
+/// A coarsened global ranking: peers are compared by `rank / class_width`
+/// (banded classes), leaving intra-class comparisons to a secondary
+/// system.
+#[derive(Debug, Clone)]
+pub struct BandedRankPrefs {
+    ranking: GlobalRanking,
+    class_width: usize,
+}
+
+impl BandedRankPrefs {
+    /// Bands the ranking into classes of `class_width` consecutive ranks.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class_width == 0`.
+    #[must_use]
+    pub fn new(ranking: GlobalRanking, class_width: usize) -> Self {
+        assert!(class_width > 0, "class width must be positive");
+        Self { ranking, class_width }
+    }
+
+    fn class(&self, v: NodeId) -> usize {
+        self.ranking.rank_of(v).position() / self.class_width
+    }
+}
+
+impl PreferenceSystem for BandedRankPrefs {
+    fn n(&self) -> usize {
+        self.ranking.len()
+    }
+
+    fn prefers(&self, _p: NodeId, a: NodeId, b: NodeId) -> bool {
+        self.class(a) < self.class(b)
+    }
+}
+
+/// A b-matching configuration under arbitrary preferences (mate lists
+/// unsorted; worst-mate queries go through the preference system).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrefMatching {
+    mates: Vec<Vec<NodeId>>,
+    edge_count: usize,
+}
+
+impl PrefMatching {
+    /// Empty configuration.
+    #[must_use]
+    pub fn new(n: usize) -> Self {
+        Self { mates: vec![Vec::new(); n], edge_count: 0 }
+    }
+
+    /// Number of peers.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.mates.len()
+    }
+
+    /// Number of collaborations.
+    #[must_use]
+    pub fn edge_count(&self) -> usize {
+        self.edge_count
+    }
+
+    /// Mates of `v` (unordered).
+    #[must_use]
+    pub fn mates(&self, v: NodeId) -> &[NodeId] {
+        &self.mates[v.index()]
+    }
+
+    /// Whether `u` and `v` are matched together.
+    #[must_use]
+    pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
+        self.mates[u.index()].contains(&v)
+    }
+
+    fn connect(&mut self, u: NodeId, v: NodeId) {
+        debug_assert!(u != v && !self.contains(u, v));
+        self.mates[u.index()].push(v);
+        self.mates[v.index()].push(u);
+        self.edge_count += 1;
+    }
+
+    fn disconnect(&mut self, u: NodeId, v: NodeId) {
+        let pu = self.mates[u.index()].iter().position(|&w| w == v).expect("matched");
+        let pv = self.mates[v.index()].iter().position(|&w| w == u).expect("matched");
+        self.mates[u.index()].swap_remove(pu);
+        self.mates[v.index()].swap_remove(pv);
+        self.edge_count -= 1;
+    }
+
+    /// Whether `v` would welcome `candidate` under `prefs`.
+    #[must_use]
+    pub fn would_accept<P: PreferenceSystem>(
+        &self,
+        prefs: &P,
+        caps: &Capacities,
+        v: NodeId,
+        candidate: NodeId,
+    ) -> bool {
+        if v == candidate || caps.of(v) == 0 || self.contains(v, candidate) {
+            return false;
+        }
+        if self.mates[v.index()].len() < caps.of(v) as usize {
+            return true;
+        }
+        let worst =
+            prefs.worst_of(v, &self.mates[v.index()]).expect("saturated peer has mates");
+        prefs.prefers(v, candidate, worst)
+    }
+
+    /// Order-insensitive fingerprint of the configuration (for cycle
+    /// detection in the dynamics).
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut edges: Vec<(u32, u32)> = Vec::with_capacity(self.edge_count);
+        for (u, mates) in self.mates.iter().enumerate() {
+            for &v in mates {
+                if u < v.index() {
+                    edges.push((u as u32, v.raw()));
+                }
+            }
+        }
+        edges.sort_unstable();
+        let mut hasher = DefaultHasher::new();
+        edges.hash(&mut hasher);
+        hasher.finish()
+    }
+}
+
+/// Outcome of the generalized best-mate dynamics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PrefDynamicsOutcome {
+    /// A stable configuration was reached.
+    Stable(PrefMatching),
+    /// The dynamics revisited a configuration: a preference cycle exists on
+    /// this instance (Tan's condition fails) and no run of active
+    /// initiatives can settle from here.
+    Oscillating {
+        /// The configuration at which the revisit was detected.
+        at: PrefMatching,
+        /// Active initiatives performed before detection.
+        steps: u64,
+    },
+}
+
+/// Runs deterministic round-robin best-mate dynamics under arbitrary
+/// preferences until stability or a configuration revisit.
+///
+/// Each sweep gives every peer one initiative: find the best acceptable
+/// blocking mate and match with it (evicting worst mates as needed). For
+/// cycle-free systems — any [`GlobalPrefs`], [`LatencyPrefs`], or
+/// lexicographic combination of them — this terminates in a stable
+/// configuration (the argument of the paper's Theorem 1 applies verbatim:
+/// a revisit would extract a preference cycle).
+///
+/// # Panics
+///
+/// Panics if sizes of `graph`, `prefs` and `caps` disagree.
+pub fn best_mate_dynamics<P: PreferenceSystem>(
+    graph: &Graph,
+    prefs: &P,
+    caps: &Capacities,
+) -> PrefDynamicsOutcome {
+    let n = graph.node_count();
+    assert_eq!(prefs.n(), n, "preference system size mismatch");
+    caps.check_len(n).expect("capacity size mismatch");
+    let mut matching = PrefMatching::new(n);
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(matching.fingerprint());
+    let mut steps = 0u64;
+    loop {
+        let mut any_active = false;
+        for p in graph.nodes() {
+            // Best blocking mate of p under prefs.
+            let candidates: Vec<NodeId> = graph
+                .neighbors(p)
+                .iter()
+                .copied()
+                .filter(|&q| {
+                    matching.would_accept(prefs, caps, p, q)
+                        && matching.would_accept(prefs, caps, q, p)
+                })
+                .collect();
+            let Some(q) = prefs.best_of(p, &candidates) else {
+                continue;
+            };
+            // Evict worst mates if saturated, then connect.
+            for v in [p, q] {
+                if matching.mates(v).len() >= caps.of(v) as usize {
+                    let worst =
+                        prefs.worst_of(v, matching.mates(v)).expect("saturated has mates");
+                    matching.disconnect(v, worst);
+                }
+            }
+            matching.connect(p, q);
+            steps += 1;
+            any_active = true;
+        }
+        if !any_active {
+            return PrefDynamicsOutcome::Stable(matching);
+        }
+        if !seen.insert(matching.fingerprint()) {
+            return PrefDynamicsOutcome::Oscillating { at: matching, steps };
+        }
+    }
+}
+
+/// The classic stable-roommates instance **without** a stable matching:
+/// three peers in an odd preference cycle (each prefers its successor)
+/// plus an isolated option-less fourth. Returns `(graph, prefs)` where
+/// prefs are encoded as explicit per-peer orders.
+///
+/// Used to demonstrate that general utilities lose the paper's
+/// existence/uniqueness guarantees — exactly why the global-ranking class
+/// matters.
+#[must_use]
+pub fn odd_cycle_instance() -> (Graph, ExplicitPrefs) {
+    let n = |i: usize| NodeId::new(i);
+    // Complete graph on 3 peers.
+    let graph = Graph::from_edges(3, [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))])
+        .expect("valid triangle");
+    // 0 prefers 1 over 2; 1 prefers 2 over 0; 2 prefers 0 over 1.
+    let orders = vec![vec![n(1), n(2)], vec![n(2), n(0)], vec![n(0), n(1)]];
+    (graph, ExplicitPrefs::new(orders))
+}
+
+/// Preferences given as explicit per-peer orders (most preferred first).
+/// Peers absent from an order are less preferred than all listed ones,
+/// compared by node id among themselves.
+#[derive(Debug, Clone)]
+pub struct ExplicitPrefs {
+    orders: Vec<Vec<NodeId>>,
+}
+
+impl ExplicitPrefs {
+    /// Builds from explicit orders.
+    #[must_use]
+    pub fn new(orders: Vec<Vec<NodeId>>) -> Self {
+        Self { orders }
+    }
+
+    fn position(&self, p: NodeId, a: NodeId) -> usize {
+        self.orders[p.index()]
+            .iter()
+            .position(|&x| x == a)
+            .unwrap_or(usize::MAX - a.index())
+    }
+}
+
+impl PreferenceSystem for ExplicitPrefs {
+    fn n(&self) -> usize {
+        self.orders.len()
+    }
+
+    fn prefers(&self, p: NodeId, a: NodeId, b: NodeId) -> bool {
+        self.position(p, a) < self.position(p, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use strat_graph::generators;
+
+    use crate::{stable_configuration, RankedAcceptance};
+
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    #[test]
+    fn global_prefs_match_ranking() {
+        let prefs = GlobalPrefs::new(GlobalRanking::identity(4));
+        assert!(prefs.prefers(n(3), n(0), n(1)));
+        assert!(!prefs.prefers(n(3), n(2), n(1)));
+        assert_eq!(prefs.best_of(n(0), &[n(2), n(1), n(3)]), Some(n(1)));
+        assert_eq!(prefs.worst_of(n(0), &[n(2), n(1), n(3)]), Some(n(3)));
+    }
+
+    #[test]
+    fn latency_prefs_prefer_nearby() {
+        let prefs = LatencyPrefs::new(vec![0.0, 1.0, 5.0, 5.5]);
+        assert!(prefs.prefers(n(0), n(1), n(2)));
+        assert!(prefs.prefers(n(2), n(3), n(1)));
+        assert_eq!(prefs.distance(n(2), n(3)), 0.5);
+    }
+
+    #[test]
+    fn lexicographic_falls_back_to_secondary() {
+        let primary = BandedRankPrefs::new(GlobalRanking::identity(6), 3);
+        let secondary = LatencyPrefs::new(vec![0.0, 9.0, 1.0, 2.0, 8.0, 7.0]);
+        let prefs = LexicographicPrefs::new(primary, secondary);
+        // 1 and 2 share the top class {0,1,2}: latency decides for peer 0.
+        assert!(prefs.prefers(n(0), n(2), n(1)));
+        // Across classes, the band wins regardless of latency.
+        assert!(prefs.prefers(n(0), n(1), n(3)));
+    }
+
+    #[test]
+    fn global_prefs_dynamics_agree_with_algorithm1() {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..5 {
+            let graph = generators::erdos_renyi_mean_degree(40, 8.0, &mut rng);
+            let ranking = GlobalRanking::random(40, &mut rng);
+            let caps = Capacities::constant(40, 2);
+            let prefs = GlobalPrefs::new(ranking.clone());
+            let outcome = best_mate_dynamics(&graph, &prefs, &caps);
+            let PrefDynamicsOutcome::Stable(m) = outcome else {
+                panic!("global ranking oscillated");
+            };
+            let acc = RankedAcceptance::new(graph, ranking).unwrap();
+            let reference = stable_configuration(&acc, &caps).unwrap();
+            // Same edge sets.
+            for v in 0..40 {
+                let mut a: Vec<_> = m.mates(n(v)).to_vec();
+                let mut b: Vec<_> = reference.mates(n(v)).to_vec();
+                a.sort();
+                b.sort();
+                assert_eq!(a, b, "peer {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn latency_prefs_reach_stability_and_cluster_by_distance() {
+        let mut rng = ChaCha8Rng::seed_from_u64(9);
+        let n_peers = 60;
+        let positions: Vec<f64> = (0..n_peers).map(|i| (i * 37 % n_peers) as f64).collect();
+        let graph = generators::erdos_renyi_mean_degree(n_peers, 12.0, &mut rng);
+        let prefs = LatencyPrefs::new(positions.clone());
+        let caps = Capacities::constant(n_peers, 2);
+        let outcome = best_mate_dynamics(&graph, &prefs, &caps);
+        let PrefDynamicsOutcome::Stable(m) = outcome else {
+            panic!("symmetric utility oscillated");
+        };
+        // Mates are nearby in latency on average: compare against random
+        // acceptable pairs.
+        let mut mate_dist = 0.0;
+        let mut mate_count = 0.0;
+        for v in 0..n_peers {
+            for &w in m.mates(NodeId::new(v)) {
+                mate_dist += (positions[v] - positions[w.index()]).abs();
+                mate_count += 1.0;
+            }
+        }
+        let mate_mean = mate_dist / mate_count;
+        let mut edge_dist = 0.0;
+        let mut edge_count = 0.0;
+        for (u, w) in graph.edges() {
+            edge_dist += (positions[u.index()] - positions[w.index()]).abs();
+            edge_count += 1.0;
+        }
+        let edge_mean = edge_dist / edge_count;
+        assert!(
+            mate_mean < 0.5 * edge_mean,
+            "latency clustering absent: mates {mate_mean:.1} vs acceptable {edge_mean:.1}"
+        );
+    }
+
+    #[test]
+    fn odd_cycle_has_no_stable_matching() {
+        let (graph, prefs) = odd_cycle_instance();
+        let caps = Capacities::constant(3, 1);
+        match best_mate_dynamics(&graph, &prefs, &caps) {
+            PrefDynamicsOutcome::Oscillating { steps, .. } => {
+                assert!(steps > 0);
+            }
+            PrefDynamicsOutcome::Stable(m) => {
+                panic!("odd preference cycle produced a 'stable' matching: {m:?}")
+            }
+        }
+    }
+
+    #[test]
+    fn explicit_prefs_unlisted_peers_rank_last() {
+        let prefs = ExplicitPrefs::new(vec![vec![n(2)], vec![], vec![]]);
+        assert!(prefs.prefers(n(0), n(2), n(1)));
+        // Among unlisted peers, larger index is preferred (usize::MAX - id).
+        assert!(prefs.prefers(n(0), n(2), n(1)));
+    }
+
+    #[test]
+    fn pref_matching_basics() {
+        let mut m = PrefMatching::new(3);
+        m.connect(n(0), n(2));
+        assert!(m.contains(n(2), n(0)));
+        assert_eq!(m.edge_count(), 1);
+        let f1 = m.fingerprint();
+        m.disconnect(n(0), n(2));
+        assert_eq!(m.edge_count(), 0);
+        m.connect(n(2), n(0));
+        assert_eq!(m.fingerprint(), f1, "fingerprint must be order-insensitive");
+    }
+
+    #[test]
+    fn banded_prefs_group_ranks() {
+        let prefs = BandedRankPrefs::new(GlobalRanking::identity(9), 3);
+        assert!(!prefs.prefers(n(8), n(1), n(2))); // same class
+        assert!(prefs.prefers(n(8), n(2), n(3))); // class 0 vs class 1
+    }
+}

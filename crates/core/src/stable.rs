@@ -1,0 +1,316 @@
+//! Algorithm 1: the unique stable configuration under a global ranking.
+//!
+//! With a global ranking there are no preference cycles, so by Tan's theorem
+//! the stable b-matching exists and is unique (§3). It is computed greedily:
+//! the best peer grabs its best acceptable peers, then the second best fills
+//! its remaining slots, and so on. When the greedy loop reaches peer `i`,
+//! every better peer has spent its slots, so `i` only needs to scan peers
+//! ranked below itself.
+
+use strat_graph::NodeId;
+
+use crate::{Capacities, GlobalRanking, Matching, ModelError, RankedAcceptance};
+
+/// Computes the unique stable configuration of the b-matching problem
+/// (Algorithm 1 of the paper).
+///
+/// Runs in `O(Σ deg)` after the rank-sorting already stored in
+/// [`RankedAcceptance`].
+///
+/// # Errors
+///
+/// Returns [`ModelError::SizeMismatch`] if `caps` does not cover the peers.
+///
+/// # Examples
+///
+/// ```
+/// use strat_core::{stable_configuration, Capacities, GlobalRanking, RankedAcceptance};
+/// use strat_graph::{generators, NodeId};
+///
+/// let acc = RankedAcceptance::new(generators::complete(6), GlobalRanking::identity(6))?;
+/// let caps = Capacities::constant(6, 1);
+/// let stable = stable_configuration(&acc, &caps)?;
+/// // 1-matching on a complete graph pairs (0,1), (2,3), (4,5).
+/// assert_eq!(stable.mate_of(NodeId::new(0)), Some(NodeId::new(1)));
+/// assert_eq!(stable.mate_of(NodeId::new(4)), Some(NodeId::new(5)));
+/// # Ok::<(), strat_core::ModelError>(())
+/// ```
+pub fn stable_configuration(
+    acc: &RankedAcceptance,
+    caps: &Capacities,
+) -> Result<Matching, ModelError> {
+    stable_configuration_masked(acc, caps, |_| true)
+}
+
+/// [`stable_configuration`] restricted to the peers for which `present`
+/// returns `true` — the "instant stable configuration" used to measure
+/// disorder under churn (§3, Figure 3). Absent peers end up unmated.
+///
+/// # Errors
+///
+/// Returns [`ModelError::SizeMismatch`] if `caps` does not cover the peers.
+pub fn stable_configuration_masked<F>(
+    acc: &RankedAcceptance,
+    caps: &Capacities,
+    present: F,
+) -> Result<Matching, ModelError>
+where
+    F: Fn(NodeId) -> bool,
+{
+    let n = acc.node_count();
+    caps.check_len(n)?;
+    let ranking = acc.ranking();
+    let mut remaining: Vec<u32> = (0..n).map(|v| caps.of(NodeId::new(v))).collect();
+    let mut matching = Matching::new(n);
+    for i in ranking.nodes_best_first() {
+        if !present(i) {
+            continue;
+        }
+        if remaining[i.index()] == 0 {
+            continue;
+        }
+        let my_rank = ranking.rank_of(i);
+        for &j in acc.neighbors_best_first(i) {
+            // Better-ranked neighbours were already given their chance to
+            // pick `i`; only scan below.
+            if ranking.rank_of(j).is_better_than(my_rank) {
+                continue;
+            }
+            if !present(j) || remaining[j.index()] == 0 {
+                continue;
+            }
+            matching
+                .connect(ranking, caps, i, j)
+                .expect("greedy respects capacities and never duplicates a pair");
+            remaining[i.index()] -= 1;
+            remaining[j.index()] -= 1;
+            if remaining[i.index()] == 0 {
+                break;
+            }
+        }
+    }
+    Ok(matching)
+}
+
+/// Stable configuration for a **complete acceptance graph** without
+/// materializing the `O(n²)` edges (the §4 toy model at scale).
+///
+/// On a complete graph the greedy choice of peer `r` (by rank) is simply the
+/// next ranks below `r` with remaining capacity; a path-compressed
+/// "next-available-rank" pointer structure yields `O(n·b·α(n))` time and
+/// `O(n)` memory, letting Table 1 / Figure 6 run with hundreds of thousands
+/// of peers.
+///
+/// # Errors
+///
+/// Returns [`ModelError::SizeMismatch`] if `caps` does not cover the ranking.
+pub fn stable_configuration_complete(
+    ranking: &GlobalRanking,
+    caps: &Capacities,
+) -> Result<Matching, ModelError> {
+    let n = ranking.len();
+    caps.check_len(n)?;
+    // Per-rank remaining capacity.
+    let mut remaining: Vec<u32> =
+        (0..n).map(|r| caps.of(ranking.node_at_rank(crate::Rank::new(r)))).collect();
+    // next_avail[r] = candidate for the smallest rank >= r with capacity,
+    // maintained with path compression. Index n is a sentinel.
+    let mut next_avail: Vec<u32> = (0..=n as u32).collect();
+
+    fn find(next_avail: &mut [u32], remaining: &[u32], r: usize) -> usize {
+        let n = remaining.len();
+        let mut r = r;
+        // Walk and compress until a rank with capacity (or the sentinel).
+        let mut path = Vec::new();
+        while r < n && remaining[r] == 0 {
+            path.push(r);
+            r = next_avail[r] as usize;
+            if r <= *path.last().expect("just pushed") {
+                // Pointer not yet advanced; move to the next rank directly.
+                r = path.last().expect("just pushed") + 1;
+            }
+        }
+        for p in path {
+            next_avail[p] = r as u32;
+        }
+        r
+    }
+
+    let mut matching = Matching::new(n);
+    for r in 0..n {
+        let i = ranking.node_at_rank(crate::Rank::new(r));
+        let mut cursor = r + 1;
+        while remaining[r] > 0 {
+            let s = find(&mut next_avail, &remaining, cursor);
+            if s >= n {
+                break; // everyone below r is saturated: slots stay unsatisfied
+            }
+            let j = ranking.node_at_rank(crate::Rank::new(s));
+            matching
+                .connect(ranking, caps, i, j)
+                .expect("distinct ranks with remaining capacity form a valid pair");
+            remaining[r] -= 1;
+            remaining[s] -= 1;
+            cursor = s + 1;
+        }
+    }
+    Ok(matching)
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use strat_graph::generators;
+
+    use crate::{blocking, CapacityDistribution};
+
+    use super::*;
+
+    fn n(i: usize) -> NodeId {
+        NodeId::new(i)
+    }
+
+    fn complete_acc(count: usize) -> RankedAcceptance {
+        RankedAcceptance::new(generators::complete(count), GlobalRanking::identity(count)).unwrap()
+    }
+
+    #[test]
+    fn one_matching_on_complete_graph_pairs_adjacent_ranks() {
+        let acc = complete_acc(7);
+        let caps = Capacities::constant(7, 1);
+        let m = stable_configuration(&acc, &caps).unwrap();
+        assert_eq!(m.mate_of(n(0)), Some(n(1)));
+        assert_eq!(m.mate_of(n(2)), Some(n(3)));
+        assert_eq!(m.mate_of(n(4)), Some(n(5)));
+        assert_eq!(m.mate_of(n(6)), None); // odd one out
+        assert!(blocking::is_stable(&acc, &caps, &m));
+    }
+
+    #[test]
+    fn constant_b_matching_forms_cliques() {
+        // §4.1 / Figure 4: clusters are consecutive (b0+1)-cliques.
+        let b0 = 2u32;
+        let acc = complete_acc(9);
+        let caps = Capacities::constant(9, b0);
+        let m = stable_configuration(&acc, &caps).unwrap();
+        for cluster in [[0usize, 1, 2], [3, 4, 5], [6, 7, 8]] {
+            for &a in &cluster {
+                for &b in &cluster {
+                    if a != b {
+                        assert!(m.contains(n(a), n(b)), "{a} and {b} should be mates");
+                    }
+                }
+            }
+        }
+        assert!(blocking::is_stable(&acc, &caps, &m));
+    }
+
+    #[test]
+    fn output_is_stable_on_random_graphs() {
+        let mut rng = ChaCha8Rng::seed_from_u64(17);
+        for seed in 0..8u64 {
+            let mut graph_rng = ChaCha8Rng::seed_from_u64(seed);
+            let g = generators::erdos_renyi(60, 0.15, &mut graph_rng);
+            let ranking = GlobalRanking::random(60, &mut rng);
+            let acc = RankedAcceptance::new(g, ranking).unwrap();
+            let caps = Capacities::sample(
+                60,
+                &CapacityDistribution::RoundedNormal { mean: 3.0, sigma: 1.0 },
+                &mut rng,
+            );
+            let m = stable_configuration(&acc, &caps).unwrap();
+            assert!(m.check_invariants(acc.ranking(), &caps));
+            assert!(
+                blocking::is_stable(&acc, &caps, &m),
+                "blocking pair remains: {:?}",
+                blocking::first_blocking_pair(&acc, &caps, &m)
+            );
+        }
+    }
+
+    #[test]
+    fn complete_specialization_agrees_with_generic() {
+        let mut rng = ChaCha8Rng::seed_from_u64(23);
+        for count in [1usize, 2, 5, 12, 30] {
+            let ranking = GlobalRanking::random(count, &mut rng);
+            let caps = Capacities::sample(
+                count,
+                &CapacityDistribution::RoundedNormal { mean: 3.0, sigma: 1.5 },
+                &mut rng,
+            );
+            let acc = RankedAcceptance::new(generators::complete(count), ranking.clone()).unwrap();
+            let generic = stable_configuration(&acc, &caps).unwrap();
+            let fast = stable_configuration_complete(&ranking, &caps).unwrap();
+            assert_eq!(generic, fast, "n={count}");
+        }
+    }
+
+    #[test]
+    fn figure5_extra_connection_connects_clusters() {
+        // §4.2 / Figure 5: granting peer 1 (rank 0) one extra slot chains the
+        // 2-matching clusters into one connected component.
+        let count = 8;
+        let ranking = GlobalRanking::identity(count);
+        let mut caps = Capacities::constant(count, 2);
+        caps.grant_extra(n(0), 1);
+        let m = stable_configuration_complete(&ranking, &caps).unwrap();
+        let comps = strat_graph::components::Components::of(&m.to_graph());
+        assert!(comps.is_connected(), "sizes: {:?}", comps.sizes());
+    }
+
+    #[test]
+    fn masked_excludes_absent_peers() {
+        let acc = complete_acc(6);
+        let caps = Capacities::constant(6, 1);
+        // Remove peer 1: peer 0 now pairs with 2, etc.
+        let m = stable_configuration_masked(&acc, &caps, |v| v != n(1)).unwrap();
+        assert_eq!(m.mate_of(n(0)), Some(n(2)));
+        assert_eq!(m.mate_of(n(1)), None);
+        assert_eq!(m.mate_of(n(3)), Some(n(4)));
+        assert_eq!(m.mate_of(n(5)), None);
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        let ranking = GlobalRanking::identity(0);
+        let caps = Capacities::constant(0, 3);
+        assert_eq!(stable_configuration_complete(&ranking, &caps).unwrap().edge_count(), 0);
+
+        let ranking = GlobalRanking::identity(1);
+        let caps = Capacities::constant(1, 3);
+        assert_eq!(stable_configuration_complete(&ranking, &caps).unwrap().edge_count(), 0);
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let acc = complete_acc(3);
+        let caps = Capacities::constant(2, 1);
+        assert!(stable_configuration(&acc, &caps).is_err());
+        assert!(stable_configuration_complete(&GlobalRanking::identity(3), &caps).is_err());
+    }
+
+    #[test]
+    fn zero_capacity_peers_stay_isolated() {
+        let acc = complete_acc(4);
+        let caps = Capacities::from_values(vec![1, 0, 1, 0]);
+        let m = stable_configuration(&acc, &caps).unwrap();
+        assert_eq!(m.mate_of(n(0)), Some(n(2)));
+        assert_eq!(m.degree(n(1)), 0);
+        assert_eq!(m.degree(n(3)), 0);
+    }
+
+    #[test]
+    fn large_complete_instance_is_fast_and_stable_by_shape() {
+        // 30k peers, b0 = 4: clusters must be consecutive 5-cliques.
+        let count = 30_000;
+        let ranking = GlobalRanking::identity(count);
+        let caps = Capacities::constant(count, 4);
+        let m = stable_configuration_complete(&ranking, &caps).unwrap();
+        assert_eq!(m.mates(n(0)), &[n(1), n(2), n(3), n(4)]);
+        assert_eq!(m.mates(n(7)), &[n(5), n(6), n(8), n(9)]);
+        let comps = strat_graph::components::Components::of(&m.to_graph());
+        assert_eq!(comps.giant_size(), 5);
+        assert_eq!(comps.count(), count / 5);
+    }
+}

@@ -1,0 +1,196 @@
+//! Connected-component analysis.
+
+use crate::{Graph, NodeId, UnionFind};
+
+/// Decomposition of a graph into connected components.
+///
+/// Cluster analysis (Section 4 of the paper) is built on this: the
+/// *collaboration graph* of a stable configuration is decomposed and the
+/// component sizes summarize how fragmented collaborations are.
+///
+/// # Examples
+///
+/// ```
+/// use strat_graph::{components::Components, generators};
+///
+/// let g = generators::path(3); // one component of size 3
+/// let comps = Components::of(&g);
+/// assert_eq!(comps.count(), 1);
+/// assert_eq!(comps.sizes(), &[3]);
+/// assert_eq!(comps.mean_size(), 3.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Components {
+    /// `membership[v]` is the component index of node `v` (dense, `0..count`).
+    membership: Vec<u32>,
+    /// Component sizes, sorted descending.
+    sizes: Vec<usize>,
+}
+
+impl Components {
+    /// Computes the connected components of `graph`.
+    #[must_use]
+    pub fn of(graph: &Graph) -> Self {
+        let n = graph.node_count();
+        let mut uf = UnionFind::new(n);
+        for (u, v) in graph.edges() {
+            uf.union(u.index(), v.index());
+        }
+        Self::from_union_find(&mut uf)
+    }
+
+    /// Builds the decomposition recorded in a pre-populated [`UnionFind`].
+    ///
+    /// Useful when the caller already unions edges incrementally (e.g. while
+    /// constructing a matching) and wants to avoid materializing a graph.
+    #[must_use]
+    pub fn from_union_find(uf: &mut UnionFind) -> Self {
+        let n = uf.len();
+        let mut root_to_component = vec![u32::MAX; n];
+        let mut membership = vec![0u32; n];
+        let mut sizes = Vec::new();
+        for v in 0..n {
+            let root = uf.find(v);
+            if root_to_component[root] == u32::MAX {
+                root_to_component[root] =
+                    u32::try_from(sizes.len()).expect("component count fits u32");
+                sizes.push(0usize);
+            }
+            let comp = root_to_component[root];
+            membership[v] = comp;
+            sizes[comp as usize] += 1;
+        }
+        // Sort sizes descending but keep membership indices consistent:
+        // remap component ids by decreasing size.
+        let mut order: Vec<usize> = (0..sizes.len()).collect();
+        order.sort_by_key(|&c| core::cmp::Reverse(sizes[c]));
+        let mut remap = vec![0u32; sizes.len()];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            remap[old_id] = new_id as u32;
+        }
+        for m in &mut membership {
+            *m = remap[*m as usize];
+        }
+        let mut sorted_sizes: Vec<usize> = order.iter().map(|&c| sizes[c]).collect();
+        debug_assert!(sorted_sizes.windows(2).all(|w| w[0] >= w[1]));
+        sorted_sizes.shrink_to_fit();
+        Self { membership, sizes: sorted_sizes }
+    }
+
+    /// Number of components.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.sizes.len()
+    }
+
+    /// Component index of `v` (components are numbered by decreasing size).
+    #[must_use]
+    pub fn component_of(&self, v: NodeId) -> usize {
+        self.membership[v.index()] as usize
+    }
+
+    /// Component sizes, sorted descending.
+    #[must_use]
+    pub fn sizes(&self) -> &[usize] {
+        &self.sizes
+    }
+
+    /// Size of the largest component, or 0 for an empty graph.
+    #[must_use]
+    pub fn giant_size(&self) -> usize {
+        self.sizes.first().copied().unwrap_or(0)
+    }
+
+    /// Mean component size (`n / count`), or 0 for an empty graph.
+    #[must_use]
+    pub fn mean_size(&self) -> f64 {
+        if self.sizes.is_empty() {
+            return 0.0;
+        }
+        self.membership.len() as f64 / self.sizes.len() as f64
+    }
+
+    /// Whether two nodes are in the same component.
+    #[must_use]
+    pub fn same_component(&self, u: NodeId, v: NodeId) -> bool {
+        self.membership[u.index()] == self.membership[v.index()]
+    }
+
+    /// Whether the whole graph is connected (vacuously true when `n <= 1`).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        self.sizes.len() <= 1
+    }
+
+    /// Iterates over the nodes of component `c`.
+    pub fn members(&self, c: usize) -> impl Iterator<Item = NodeId> + '_ {
+        let c = c as u32;
+        self.membership
+            .iter()
+            .enumerate()
+            .filter(move |&(_, &m)| m == c)
+            .map(|(v, _)| NodeId::new(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generators;
+
+    use super::*;
+
+    #[test]
+    fn empty_graph_components() {
+        let comps = Components::of(&Graph::empty(0));
+        assert_eq!(comps.count(), 0);
+        assert!(comps.is_connected());
+        assert_eq!(comps.giant_size(), 0);
+        assert_eq!(comps.mean_size(), 0.0);
+    }
+
+    #[test]
+    fn isolated_nodes_are_singletons() {
+        let comps = Components::of(&Graph::empty(4));
+        assert_eq!(comps.count(), 4);
+        assert_eq!(comps.sizes(), &[1, 1, 1, 1]);
+        assert!(!comps.is_connected());
+    }
+
+    #[test]
+    fn two_triangles() {
+        let n = |i| NodeId::new(i);
+        let g = Graph::from_edges(
+            6,
+            [(n(0), n(1)), (n(1), n(2)), (n(2), n(0)), (n(3), n(4)), (n(4), n(5)), (n(5), n(3))],
+        )
+        .unwrap();
+        let comps = Components::of(&g);
+        assert_eq!(comps.count(), 2);
+        assert_eq!(comps.sizes(), &[3, 3]);
+        assert!(comps.same_component(n(0), n(2)));
+        assert!(!comps.same_component(n(0), n(3)));
+        assert_eq!(comps.mean_size(), 3.0);
+    }
+
+    #[test]
+    fn sizes_sorted_descending_and_membership_consistent() {
+        let n = |i| NodeId::new(i);
+        // Component {0,1,2,3} and component {4,5}.
+        let g = Graph::from_edges(6, [(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(4), n(5))])
+            .unwrap();
+        let comps = Components::of(&g);
+        assert_eq!(comps.sizes(), &[4, 2]);
+        assert_eq!(comps.component_of(n(0)), 0);
+        assert_eq!(comps.component_of(n(5)), 1);
+        let big: Vec<_> = comps.members(0).collect();
+        assert_eq!(big.len(), 4);
+        assert!(big.contains(&n(3)));
+    }
+
+    #[test]
+    fn complete_graph_is_connected() {
+        let comps = Components::of(&generators::complete(10));
+        assert!(comps.is_connected());
+        assert_eq!(comps.giant_size(), 10);
+    }
+}

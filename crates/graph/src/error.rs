@@ -1,0 +1,58 @@
+//! Error types for graph construction and queries.
+
+use core::fmt;
+
+use crate::NodeId;
+
+/// Error raised by graph construction and mutation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum GraphError {
+    /// An edge endpoint refers to a node outside `0..n`.
+    NodeOutOfRange {
+        /// The offending node.
+        node: NodeId,
+        /// The number of nodes in the graph.
+        node_count: usize,
+    },
+    /// A self-loop `(v, v)` was supplied; graphs in this crate are loopless.
+    SelfLoop {
+        /// The node that would be looped to itself.
+        node: NodeId,
+    },
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            GraphError::NodeOutOfRange { node, node_count } => {
+                write!(f, "node {node} out of range for graph with {node_count} nodes")
+            }
+            GraphError::SelfLoop { node } => {
+                write!(f, "self-loop at {node} is not allowed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 5 };
+        assert_eq!(e.to_string(), "node n9 out of range for graph with 5 nodes");
+        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        assert_eq!(e.to_string(), "self-loop at n2 is not allowed");
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let e: Box<dyn std::error::Error> =
+            Box::new(GraphError::SelfLoop { node: NodeId::new(0) });
+        assert!(e.to_string().contains("self-loop"));
+    }
+}

@@ -1,0 +1,162 @@
+//! Structural graph metrics: degrees, distances, clustering coefficient.
+
+use std::collections::VecDeque;
+
+use crate::{Graph, NodeId};
+
+/// Mean degree `2m / n` of the graph, or 0 for the empty node set.
+///
+/// # Examples
+///
+/// ```
+/// let g = strat_graph::generators::cycle(6);
+/// assert_eq!(strat_graph::metrics::mean_degree(&g), 2.0);
+/// ```
+#[must_use]
+pub fn mean_degree(graph: &Graph) -> f64 {
+    if graph.node_count() == 0 {
+        return 0.0;
+    }
+    2.0 * graph.edge_count() as f64 / graph.node_count() as f64
+}
+
+/// Edge density `m / (n choose 2)`, or 0 when `n < 2`.
+#[must_use]
+pub fn density(graph: &Graph) -> f64 {
+    let n = graph.node_count();
+    if n < 2 {
+        return 0.0;
+    }
+    graph.edge_count() as f64 / (n * (n - 1) / 2) as f64
+}
+
+/// Histogram of node degrees: `hist[k]` = number of nodes of degree `k`.
+#[must_use]
+pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
+    let max_deg = graph.nodes().map(|v| graph.degree(v)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max_deg + 1];
+    for v in graph.nodes() {
+        hist[graph.degree(v)] += 1;
+    }
+    hist
+}
+
+/// BFS distances (in hops) from `source`; `None` for unreachable nodes.
+///
+/// # Panics
+///
+/// Panics if `source` is out of range.
+#[must_use]
+pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<u32>> {
+    let n = graph.node_count();
+    assert!(source.index() < n, "source {source} out of range for {n} nodes");
+    let mut dist = vec![None; n];
+    dist[source.index()] = Some(0);
+    let mut queue = VecDeque::from([source]);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u.index()].expect("queued nodes have distances");
+        for &v in graph.neighbors(u) {
+            if dist[v.index()].is_none() {
+                dist[v.index()] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Eccentricity of `source` within its component (max BFS distance).
+#[must_use]
+pub fn eccentricity(graph: &Graph, source: NodeId) -> u32 {
+    bfs_distances(graph, source).into_iter().flatten().max().unwrap_or(0)
+}
+
+/// Exact diameter: max eccentricity over all nodes, per component.
+///
+/// `O(n · (n + m))`; intended for analysis-sized graphs (the collaboration
+/// graphs of Section 4 have at most thousands of nodes).
+#[must_use]
+pub fn diameter(graph: &Graph) -> u32 {
+    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+}
+
+/// Global clustering coefficient: `3 × triangles / open-or-closed wedges`.
+///
+/// Returns 0 when there are no wedges. Used to characterize collaboration
+/// graphs (§4.1 discusses small-world properties of overlays).
+#[must_use]
+pub fn clustering_coefficient(graph: &Graph) -> f64 {
+    let mut wedges = 0u64;
+    let mut closed = 0u64; // ordered triangle corners (3 per triangle × 2 directions)
+    for v in graph.nodes() {
+        let neigh = graph.neighbors(v);
+        let deg = neigh.len() as u64;
+        wedges += deg.saturating_sub(1) * deg / 2;
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if graph.has_edge(a, b) {
+                    closed += 1;
+                }
+            }
+        }
+    }
+    if wedges == 0 {
+        return 0.0;
+    }
+    closed as f64 / wedges as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generators;
+
+    use super::*;
+
+    #[test]
+    fn mean_degree_and_density() {
+        let g = generators::complete(5);
+        assert_eq!(mean_degree(&g), 4.0);
+        assert_eq!(density(&g), 1.0);
+        assert_eq!(mean_degree(&Graph::empty(0)), 0.0);
+        assert_eq!(density(&Graph::empty(1)), 0.0);
+    }
+
+    #[test]
+    fn histogram_of_star() {
+        let g = generators::star(5);
+        let h = degree_histogram(&g);
+        assert_eq!(h[1], 4); // leaves
+        assert_eq!(h[4], 1); // centre
+    }
+
+    #[test]
+    fn bfs_on_path() {
+        let g = generators::path(4);
+        let d = bfs_distances(&g, NodeId::new(0));
+        assert_eq!(d, vec![Some(0), Some(1), Some(2), Some(3)]);
+        assert_eq!(eccentricity(&g, NodeId::new(0)), 3);
+        assert_eq!(eccentricity(&g, NodeId::new(1)), 2);
+        assert_eq!(diameter(&g), 3);
+    }
+
+    #[test]
+    fn bfs_unreachable() {
+        let g = Graph::empty(3);
+        let d = bfs_distances(&g, NodeId::new(1));
+        assert_eq!(d, vec![None, Some(0), None]);
+        assert_eq!(diameter(&g), 0);
+    }
+
+    #[test]
+    fn clustering_extremes() {
+        assert_eq!(clustering_coefficient(&generators::complete(6)), 1.0);
+        assert_eq!(clustering_coefficient(&generators::path(5)), 0.0);
+        assert_eq!(clustering_coefficient(&Graph::empty(3)), 0.0);
+    }
+
+    #[test]
+    fn cycle_diameter() {
+        assert_eq!(diameter(&generators::cycle(6)), 3);
+        assert_eq!(diameter(&generators::cycle(7)), 3);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the graph substrate.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use strat_graph::{components::Components, generators, metrics, Graph, NodeId};
+
+/// Strategy: a random edge list over `n` nodes.
+fn edge_list(max_n: usize) -> impl Strategy<Value = (usize, Vec<(usize, usize)>)> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(3 * n));
+        (Just(n), edges)
+    })
+}
+
+fn build(n: usize, raw_edges: &[(usize, usize)]) -> Graph {
+    let mut builder = Graph::builder(n);
+    for &(u, v) in raw_edges {
+        if u != v {
+            builder.add_edge(NodeId::new(u), NodeId::new(v)).expect("endpoints are in range");
+        }
+    }
+    builder.build()
+}
+
+proptest! {
+    /// Every built graph satisfies the structural invariants.
+    #[test]
+    fn built_graphs_are_valid((n, edges) in edge_list(64)) {
+        let g = build(n, &edges);
+        prop_assert!(g.check_invariants());
+    }
+
+    /// `has_edge` agrees with the edge iterator.
+    #[test]
+    fn has_edge_matches_edge_iter((n, edges) in edge_list(32)) {
+        let g = build(n, &edges);
+        let listed: std::collections::HashSet<_> = g.edges().collect();
+        for u in g.nodes() {
+            for v in g.nodes() {
+                let canonical = if u < v { (u, v) } else { (v, u) };
+                prop_assert_eq!(g.has_edge(u, v), u != v && listed.contains(&canonical));
+            }
+        }
+    }
+
+    /// Complementing twice is the identity.
+    #[test]
+    fn complement_involution((n, edges) in edge_list(24)) {
+        let g = build(n, &edges);
+        prop_assert_eq!(g.complement().complement(), g);
+    }
+
+    /// Component sizes partition the node set and are sorted descending.
+    #[test]
+    fn components_partition_nodes((n, edges) in edge_list(64)) {
+        let g = build(n, &edges);
+        let comps = Components::of(&g);
+        prop_assert_eq!(comps.sizes().iter().sum::<usize>(), n);
+        prop_assert!(comps.sizes().windows(2).all(|w| w[0] >= w[1]));
+        // Edge endpoints share a component.
+        for (u, v) in g.edges() {
+            prop_assert!(comps.same_component(u, v));
+        }
+    }
+
+    /// BFS distance satisfies the triangle property along edges.
+    #[test]
+    fn bfs_distances_are_consistent((n, edges) in edge_list(48)) {
+        let g = build(n, &edges);
+        let src = NodeId::new(0);
+        let dist = metrics::bfs_distances(&g, src);
+        for (u, v) in g.edges() {
+            match (dist[u.index()], dist[v.index()]) {
+                (Some(du), Some(dv)) => {
+                    prop_assert!(du.abs_diff(dv) <= 1, "edge endpoints differ by >1 hop");
+                }
+                (None, None) => {}
+                _ => prop_assert!(false, "edge spans reachable/unreachable"),
+            }
+        }
+    }
+
+    /// The ER sampler never produces invalid graphs and respects `p = 0 | 1`.
+    #[test]
+    fn erdos_renyi_valid(n in 1usize..200, seed in any::<u64>(), p in 0.0f64..=1.0) {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        let g = generators::erdos_renyi(n, p, &mut rng);
+        prop_assert!(g.check_invariants());
+        prop_assert_eq!(g.node_count(), n);
+        if p == 0.0 {
+            prop_assert_eq!(g.edge_count(), 0);
+        }
+        if p == 1.0 {
+            prop_assert_eq!(g.edge_count(), n * (n - 1) / 2);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! CLI for regenerating the paper's tables and figures.
+//!
+//! ```text
+//! experiments [IDS...] [--quick] [--seed N] [--out DIR] [--list] [--plot]
+//! ```
+//!
+//! Without ids, runs the full registry. Writes one CSV per experiment into
+//! `--out` (default `results/`), prints each data table, shape-check
+//! verdicts and (with `--plot`) an ASCII rendering of the figure.
+
+use std::io::Write as _;
+use std::path::PathBuf;
+use std::time::Instant;
+
+use strat_sim::output;
+use strat_sim::runner::{self, ExperimentContext, ExperimentResult};
+
+struct Args {
+    ids: Vec<String>,
+    quick: bool,
+    seed: u64,
+    out: PathBuf,
+    list: bool,
+    plot: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        ids: Vec::new(),
+        quick: false,
+        seed: 2007,
+        out: PathBuf::from("results"),
+        list: false,
+        plot: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => args.quick = true,
+            "--list" => args.list = true,
+            "--plot" => args.plot = true,
+            "--seed" => {
+                let v = it.next().ok_or("--seed needs a value")?;
+                args.seed = v.parse().map_err(|e| format!("bad seed {v}: {e}"))?;
+            }
+            "--out" => {
+                let v = it.next().ok_or("--out needs a value")?;
+                args.out = PathBuf::from(v);
+            }
+            "--help" | "-h" => {
+                println!(
+                    "usage: experiments [IDS...] [--quick] [--seed N] [--out DIR] [--list] [--plot]"
+                );
+                std::process::exit(0);
+            }
+            other if other.starts_with('-') => {
+                return Err(format!("unknown flag {other}"));
+            }
+            id => args.ids.push(id.to_string()),
+        }
+    }
+    Ok(args)
+}
+
+fn print_result(result: &ExperimentResult, plot: bool) {
+    println!("\n=== {} — {}", result.id, result.title);
+    println!("    params: {}", result.params);
+    println!("{}", output::to_ascii_table(result, 12));
+    if plot && result.columns.len() >= 2 && !result.rows.is_empty() {
+        let ycols: Vec<usize> = (1..result.columns.len().min(5)).collect();
+        println!("{}", output::ascii_plot(result, 0, &ycols, 64, 16));
+    }
+    for check in &result.checks {
+        let mark = if check.passed { "PASS" } else { "FAIL" };
+        println!("  [{mark}] {} — {}", check.name, check.detail);
+    }
+    for note in &result.notes {
+        println!("  note: {note}");
+    }
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    };
+    let registry = runner::registry();
+    if args.list {
+        for entry in &registry {
+            println!("{:8} {}", entry.id, entry.description);
+        }
+        return;
+    }
+    let selected: Vec<_> = if args.ids.is_empty() {
+        registry
+    } else {
+        args.ids
+            .iter()
+            .map(|id| {
+                runner::find(id).unwrap_or_else(|| {
+                    eprintln!("error: unknown experiment id `{id}` (try --list)");
+                    std::process::exit(2);
+                })
+            })
+            .collect()
+    };
+
+    std::fs::create_dir_all(&args.out).expect("create output directory");
+    let ctx = ExperimentContext { quick: args.quick, seed: args.seed };
+    let mut failures = 0usize;
+    let mut summary = Vec::new();
+    for entry in selected {
+        let start = Instant::now();
+        let result = (entry.run)(&ctx);
+        let elapsed = start.elapsed();
+        print_result(&result, args.plot);
+        println!("  ({:.2?})", elapsed);
+
+        let csv_path = args.out.join(format!("{}.csv", result.id));
+        std::fs::write(&csv_path, output::to_csv(&result)).expect("write csv");
+        let json_path = args.out.join(format!("{}.json", result.id));
+        let mut f = std::fs::File::create(&json_path).expect("create json");
+        serde_json::to_writer_pretty(&mut f, &result).expect("serialize result");
+        f.write_all(b"\n").expect("finish json");
+
+        failures += result.checks.iter().filter(|c| !c.passed).count();
+        summary.push((
+            result.id.clone(),
+            result.checks.len(),
+            result.checks.iter().filter(|c| c.passed).count(),
+            elapsed,
+        ));
+    }
+
+    println!("\n==== summary ====");
+    for (id, total, passed, elapsed) in &summary {
+        println!("{id:8} {passed}/{total} checks passed ({elapsed:.2?})");
+    }
+    if failures > 0 {
+        eprintln!("{failures} shape check(s) FAILED");
+        std::process::exit(1);
+    }
+    println!("all shape checks passed");
+}

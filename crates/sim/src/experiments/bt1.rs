@@ -1,0 +1,146 @@
+//! BT1 (extension experiment): the paper's §6 claims observed in the
+//! protocol simulator rather than the abstract model.
+//!
+//! A fluid-content swarm (content never bottlenecks — §6's post-flash-crowd
+//! assumption) with upload capacities drawn from the Figure 10 bandwidth
+//! distribution. We track:
+//!
+//! * stratification: the mean upload-rank offset of reciprocated TFT pairs
+//!   shrinking over time;
+//! * the share-ratio structure of Figure 11: fastest peers below 1, slowest
+//!   peers above 1.
+
+use strat_bandwidth::BandwidthCdf;
+use strat_bittorrent::{metrics, Swarm, SwarmConfig};
+
+use crate::runner::{ExperimentContext, ExperimentResult};
+
+/// Runs the BT swarm validation experiment.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+    let leechers = if ctx.quick { 120 } else { 400 };
+    let rounds = if ctx.quick { 80u64 } else { 240 };
+    let seeds = 2usize;
+    let config = SwarmConfig::builder()
+        .leechers(leechers)
+        .seeds(seeds)
+        .mean_neighbors(20.0)
+        .tft_slots(3)
+        .optimistic_slots(1)
+        .fluid_content(true)
+        .seed(ctx.seed ^ 0xb7)
+        .build();
+
+    // Upload capacities: mid-quantile draws from the Figure 10 CDF,
+    // assigned in shuffled order (peer index carries no rank info).
+    let cdf = BandwidthCdf::saroiu_gnutella_upstream();
+    let mut uploads = cdf.assign_by_rank(leechers);
+    use rand::seq::SliceRandom;
+    use rand::SeedableRng;
+    let mut shuffle_rng = rand_chacha::ChaCha8Rng::seed_from_u64(ctx.seed ^ 0x5455);
+    uploads.shuffle(&mut shuffle_rng);
+    uploads.extend(std::iter::repeat_n(1000.0, seeds));
+
+    let mut swarm = Swarm::new(config, &uploads);
+    let mut result = ExperimentResult::new(
+        "bt1",
+        "BT swarm: TFT stratification and share ratios (section 6 in vivo)",
+        format!("{leechers} leechers + {seeds} seeds, fluid content, {rounds} rounds"),
+        vec![
+            "round".into(),
+            "reciprocal_pairs".into(),
+            "mean_rank_offset".into(),
+            "normalized_offset".into(),
+        ],
+    );
+
+    let mut early_offset = None;
+    for r in 0..rounds {
+        swarm.round();
+        if r % 5 == 4 || r == 1 {
+            let snap = metrics::stratification_snapshot(&swarm);
+            if let (Some(off), Some(norm)) = (snap.mean_rank_offset, snap.normalized_offset) {
+                if early_offset.is_none() {
+                    early_offset = Some(off);
+                }
+                result.push_row(vec![
+                    snap.round as f64,
+                    snap.reciprocal_pairs as f64,
+                    off,
+                    norm,
+                ]);
+            }
+        }
+    }
+
+    let late = metrics::stratification_snapshot(&swarm);
+    let early = early_offset.expect("early snapshot captured");
+    let late_off = late.mean_rank_offset.expect("pairs persist in fluid mode");
+    result.check(
+        "TFT partners stratify (rank offset shrinks)",
+        late_off < 0.6 * early,
+        format!("early offset {early:.1} -> late {late_off:.1}"),
+    );
+    result.check(
+        "reciprocated pairs persist",
+        late.reciprocal_pairs * 3 > leechers,
+        format!("{} reciprocated pairs for {leechers} leechers", late.reciprocal_pairs),
+    );
+
+    // Share-ratio structure over bandwidth deciles.
+    let perf = metrics::leecher_performance(&swarm);
+    let mut by_bw: Vec<&metrics::PeerPerformance> = perf.iter().collect();
+    by_bw.sort_by(|a, b| a.upload_kbps.total_cmp(&b.upload_kbps));
+    let decile = leechers / 10;
+    let mean_ratio = |slice: &[&metrics::PeerPerformance]| {
+        let rs: Vec<f64> = slice.iter().filter_map(|p| p.share_ratio).collect();
+        rs.iter().sum::<f64>() / rs.len() as f64
+    };
+    let slowest = mean_ratio(&by_bw[..decile]);
+    let fastest = mean_ratio(&by_bw[leechers - decile..]);
+    result.check(
+        "fastest decile has share ratio below 1",
+        fastest < 1.0,
+        format!("mean D/U {fastest:.3}"),
+    );
+    result.check(
+        "slowest decile has share ratio above 1",
+        slowest > 1.0,
+        format!("mean D/U {slowest:.3}"),
+    );
+    result.check(
+        "slow peers beat fast peers in D/U",
+        slowest > fastest,
+        format!("slowest {slowest:.3} > fastest {fastest:.3}"),
+    );
+    result.note(format!(
+        "Share ratios by decile (slow to fast): {}",
+        (0..10)
+            .map(|k| {
+                let lo = k * decile;
+                let hi = if k == 9 { leechers } else { (k + 1) * decile };
+                format!("{:.2}", mean_ratio(&by_bw[lo..hi]))
+            })
+            .collect::<Vec<_>>()
+            .join(", ")
+    ));
+    result.note(
+        "This experiment exercises the actual protocol loop (TFT rechoke + optimistic \
+         probe), i.e. the random-initiative dynamics of section 3 — the offsets shrink \
+         exactly as Theorem 1's convergence predicts."
+            .to_string(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_passes_shape_checks() {
+        let ctx = ExperimentContext { quick: true, seed: 23 };
+        let result = run(&ctx);
+        assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
+    }
+}

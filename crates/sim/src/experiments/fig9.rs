@@ -1,0 +1,127 @@
+//! Figure 9: validation of the independent `b₀`-matching model
+//! (Algorithm 3) against brute-force simulation.
+//!
+//! Paper setup: 2-matching, `n = 5000`, `p = 1 %` (≈ 50 neighbours per
+//! peer), observing peer 3000's first and second choice distributions,
+//! centred at rank 3000. The paper drew 10⁶ Erdős–Rényi realizations
+//! ("simulations requiring several weeks"); we default to a few thousand on
+//! a reduced instance in quick mode and tens of thousands otherwise —
+//! unbiased, just wider error bars (see DESIGN.md).
+
+use strat_analytic::{b_matching, monte_carlo};
+
+use crate::runner::{ExperimentContext, ExperimentResult};
+
+/// Runs the Figure 9 reproduction.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+    let (n, p, realizations) = if ctx.quick {
+        (600, 0.05, 1500u64) // d = 30, same regime, CI-sized
+    } else {
+        (5000, 0.01, 20_000u64)
+    };
+    let b0 = 2u32;
+    let peer = n * 3000 / 5000 - 1; // paper's peer 3000, scaled & 0-based
+    let window = n / 6; // plot/report window around the peer
+
+    let analytic = b_matching::solve(n, p, b0, &[peer]);
+    let cfg = monte_carlo::MonteCarloConfig {
+        n,
+        p,
+        b0,
+        realizations,
+        seed: ctx.seed ^ 0x9,
+        threads: 16,
+    };
+    let empirical = monte_carlo::estimate_choice_distribution(&cfg, peer);
+
+    let mut result = ExperimentResult::new(
+        "fig9",
+        "Figure 9: first/second choice distributions, simulation vs Algorithm 3",
+        format!("2-matching, n={n}, p={p}, peer {}, {realizations} realizations", peer + 1),
+        vec![
+            "rank_offset".into(),
+            "first_choice_simulated".into(),
+            "second_choice_simulated".into(),
+            "first_choice_estimated".into(),
+            "second_choice_estimated".into(),
+        ],
+    );
+
+    let emp1 = empirical.row(1);
+    let emp2 = empirical.row(2);
+    let ana1 = analytic.choice_row(peer, 1).expect("requested row");
+    let ana2 = analytic.choice_row(peer, 2).expect("requested row");
+    let lo = peer.saturating_sub(window);
+    let hi = (peer + window).min(n - 1);
+    for j in lo..=hi {
+        result.push_row(vec![
+            j as f64 - peer as f64,
+            emp1[j],
+            emp2[j],
+            ana1[j],
+            ana2[j],
+        ]);
+    }
+
+    // Agreement criteria: L1 distance between empirical and analytic rows.
+    let l1_first = monte_carlo::l1_distance(&emp1, ana1);
+    let l1_second = monte_carlo::l1_distance(&emp2, ana2);
+    // Statistical noise floor: L1 of a multinomial estimate with N samples
+    // over k effective support points is ~ sqrt(k/N). Mate offsets carry
+    // meaningful mass over ~ +/- 4n/d ranks, i.e. k ~ 8/p.
+    let k_eff = 8.0 / p;
+    let noise = (k_eff / realizations as f64).sqrt();
+    let gate = (3.0 * noise).clamp(0.10, 1.2);
+    result.check(
+        "first-choice distribution matches Algorithm 3",
+        l1_first < gate,
+        format!("L1 = {l1_first:.4} (gate {gate:.3})"),
+    );
+    result.check(
+        "second-choice distribution matches Algorithm 3",
+        l1_second < gate,
+        format!("L1 = {l1_second:.4} (gate {gate:.3})"),
+    );
+    // First choices outrank second choices on both sides.
+    let mean_rank = |row: &[f64]| {
+        let mass: f64 = row.iter().sum();
+        row.iter().enumerate().map(|(j, d)| j as f64 * d).sum::<f64>() / mass
+    };
+    result.check(
+        "first choice outranks second choice (both methods)",
+        mean_rank(&emp1) < mean_rank(&emp2) && mean_rank(ana1) < mean_rank(ana2),
+        format!(
+            "simulated means {:.0}/{:.0}, estimated {:.0}/{:.0}",
+            mean_rank(&emp1),
+            mean_rank(&emp2),
+            mean_rank(ana1),
+            mean_rank(ana2)
+        ),
+    );
+    result.note(format!(
+        "Choice masses — simulated: {:.4}/{:.4}, estimated: {:.4}/{:.4}",
+        empirical.choice_mass(1),
+        empirical.choice_mass(2),
+        analytic.choice_mass(peer, 1),
+        analytic.choice_mass(peer, 2),
+    ));
+    result.note(
+        "Paper ran 10^6 realizations over several weeks; the estimator here is identical \
+         and unbiased, with error bars scaled by sqrt(10^6/realizations)."
+            .to_string(),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_validates_algorithm3() {
+        let ctx = ExperimentContext { quick: true, seed: 17 };
+        let result = run(&ctx);
+        assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
+    }
+}

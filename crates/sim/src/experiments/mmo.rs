@@ -1,0 +1,57 @@
+//! MMO closed form (§4.2): `MMO(b₀) = (1/(b₀+1)) Σ max(i, b₀−i) → 3b₀/4`.
+
+use strat_core::{cluster, stable_configuration_complete, Capacities, GlobalRanking};
+
+use crate::runner::{ExperimentContext, ExperimentResult};
+
+/// Runs the MMO formula sweep.
+#[must_use]
+pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
+    let mut result = ExperimentResult::new(
+        "mmo",
+        "Mean Max Offset of constant b0-matching: measured, closed form, 3b0/4 limit",
+        "complete acceptance graph".to_string(),
+        vec![
+            "b0".into(),
+            "measured".into(),
+            "closed_form".into(),
+            "limit_3b0_over_4".into(),
+            "ratio_to_limit".into(),
+        ],
+    );
+
+    for b0 in [2u32, 3, 4, 5, 6, 7, 10, 16, 32, 64] {
+        let n = (b0 as usize + 1) * 64;
+        let ranking = GlobalRanking::identity(n);
+        let caps = Capacities::constant(n, b0);
+        let m = stable_configuration_complete(&ranking, &caps).expect("sizes match");
+        let measured = cluster::mean_max_offset(&ranking, &m);
+        let exact = cluster::mmo_constant_exact(b0);
+        let limit = cluster::mmo_constant_limit(b0);
+        result.push_row(vec![f64::from(b0), measured, exact, limit, measured / limit]);
+    }
+
+    result.check(
+        "measured MMO equals the closed form",
+        result.rows.iter().all(|r| (r[1] - r[2]).abs() < 1e-9),
+        "all b0 values".to_string(),
+    );
+    let last = result.rows.last().expect("rows present");
+    result.check(
+        "MMO/(3b0/4) -> 1",
+        (last[4] - 1.0).abs() < 0.02,
+        format!("ratio at b0={} is {:.4}", last[0], last[4]),
+    );
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formula_sweep_passes() {
+        let result = run(&ExperimentContext::default());
+        assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
+    }
+}

@@ -1,0 +1,47 @@
+//! One module per paper artifact. Each exposes
+//! `run(&ExperimentContext) -> ExperimentResult`.
+
+pub mod bt1;
+pub mod ext1;
+pub mod ext2;
+pub mod fig1;
+pub mod fig10;
+pub mod fig11;
+pub mod fig2;
+pub mod fig3;
+pub mod fig45;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;
+pub mod fig9;
+pub mod fluid;
+pub mod mmo;
+pub mod table1;
+
+pub(crate) mod common {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use strat_core::{Capacities, Dynamics, GlobalRanking, InitiativeStrategy, RankedAcceptance};
+    use strat_graph::generators;
+
+    /// Deterministic RNG stream `stream` derived from the context seed.
+    pub fn rng(seed: u64, stream: u64) -> ChaCha8Rng {
+        let mut rng = ChaCha8Rng::seed_from_u64(seed);
+        rng.set_stream(stream);
+        rng
+    }
+
+    /// Builds the paper's standard simulation setup: `G(n, d)` acceptance
+    /// graph, identity ranking, constant 1-matching, best-mate initiatives.
+    pub fn one_matching_dynamics(
+        n: usize,
+        d: f64,
+        rng: &mut ChaCha8Rng,
+    ) -> Dynamics {
+        let graph = generators::erdos_renyi_mean_degree(n, d, rng);
+        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n))
+            .expect("sizes match");
+        let caps = Capacities::constant(n, 1);
+        Dynamics::new(acc, caps, InitiativeStrategy::BestMate).expect("sizes match")
+    }
+}

@@ -1,0 +1,213 @@
+//! Rendering experiment results: CSV, ASCII tables, terminal line plots.
+
+use crate::runner::ExperimentResult;
+
+/// Serializes the result's data table as CSV (header + rows).
+///
+/// # Examples
+///
+/// ```
+/// use strat_sim::runner::ExperimentResult;
+///
+/// let mut r = ExperimentResult::new("x", "t", "p", vec!["a".into(), "b".into()]);
+/// r.push_row(vec![1.0, 2.5]);
+/// assert_eq!(strat_sim::output::to_csv(&r), "a,b\n1,2.5\n");
+/// ```
+#[must_use]
+pub fn to_csv(result: &ExperimentResult) -> String {
+    let mut out = String::new();
+    out.push_str(&result.columns.join(","));
+    out.push('\n');
+    for row in &result.rows {
+        let line: Vec<String> = row.iter().map(|v| format_number(*v)).collect();
+        out.push_str(&line.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders a bounded ASCII table of the result (first `max_rows` rows).
+#[must_use]
+pub fn to_ascii_table(result: &ExperimentResult, max_rows: usize) -> String {
+    let mut widths: Vec<usize> = result.columns.iter().map(String::len).collect();
+    let shown: Vec<Vec<String>> = result
+        .rows
+        .iter()
+        .take(max_rows)
+        .map(|row| row.iter().map(|v| format_number(*v)).collect())
+        .collect();
+    for row in &shown {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let mut out = String::new();
+    let header: Vec<String> = result
+        .columns
+        .iter()
+        .zip(&widths)
+        .map(|(c, w)| format!("{c:>w$}"))
+        .collect();
+    out.push_str(&header.join("  "));
+    out.push('\n');
+    out.push_str(&"-".repeat(header.join("  ").len()));
+    out.push('\n');
+    for row in &shown {
+        let line: Vec<String> =
+            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        out.push_str(&line.join("  "));
+        out.push('\n');
+    }
+    if result.rows.len() > max_rows {
+        out.push_str(&format!("... ({} more rows)\n", result.rows.len() - max_rows));
+    }
+    out
+}
+
+/// Renders an ASCII line plot of column `ycol` against column `xcol`.
+///
+/// Each series point becomes a `*` on a `width × height` canvas with axis
+/// labels — enough to eyeball the shape of a paper figure in a terminal.
+///
+/// # Panics
+///
+/// Panics if the column indices are out of range.
+#[must_use]
+pub fn ascii_plot(
+    result: &ExperimentResult,
+    xcol: usize,
+    ycols: &[usize],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(xcol < result.columns.len(), "xcol out of range");
+    for &y in ycols {
+        assert!(y < result.columns.len(), "ycol out of range");
+    }
+    if result.rows.is_empty() || ycols.is_empty() {
+        return String::from("(no data)\n");
+    }
+    let xs: Vec<f64> = result.rows.iter().map(|r| r[xcol]).collect();
+    let mut ymin = f64::INFINITY;
+    let mut ymax = f64::NEG_INFINITY;
+    for row in &result.rows {
+        for &y in ycols {
+            let v = row[y];
+            if v.is_finite() {
+                ymin = ymin.min(v);
+                ymax = ymax.max(v);
+            }
+        }
+    }
+    let (xmin, xmax) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+        (lo.min(x), hi.max(x))
+    });
+    if !(ymin.is_finite() && ymax.is_finite() && xmin.is_finite() && xmax.is_finite()) {
+        return String::from("(no finite data)\n");
+    }
+    let yspan = if ymax > ymin { ymax - ymin } else { 1.0 };
+    let xspan = if xmax > xmin { xmax - xmin } else { 1.0 };
+    let mut canvas = vec![vec![b' '; width]; height];
+    let marks = [b'*', b'o', b'+', b'x', b'#'];
+    for row in &result.rows {
+        let cx = (((row[xcol] - xmin) / xspan) * (width - 1) as f64).round() as usize;
+        for (si, &y) in ycols.iter().enumerate() {
+            let v = row[y];
+            if !v.is_finite() {
+                continue;
+            }
+            let cy = (((v - ymin) / yspan) * (height - 1) as f64).round() as usize;
+            canvas[height - 1 - cy][cx.min(width - 1)] = marks[si % marks.len()];
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("{ymax:>10.4} ┤"));
+    out.push_str(core::str::from_utf8(&canvas[0]).expect("ascii"));
+    out.push('\n');
+    for line in canvas.iter().take(height - 1).skip(1) {
+        out.push_str("           │");
+        out.push_str(core::str::from_utf8(line).expect("ascii"));
+        out.push('\n');
+    }
+    out.push_str(&format!("{ymin:>10.4} ┤"));
+    out.push_str(core::str::from_utf8(&canvas[height - 1]).expect("ascii"));
+    out.push('\n');
+    out.push_str(&format!(
+        "            {xmin:<.4}{:pad$}{xmax:>.4}\n",
+        "",
+        pad = width.saturating_sub(16)
+    ));
+    let legend: Vec<String> = ycols
+        .iter()
+        .enumerate()
+        .map(|(si, &y)| {
+            format!("{} = {}", char::from(marks[si % marks.len()]), result.columns[y])
+        })
+        .collect();
+    out.push_str(&format!("            {}\n", legend.join(", ")));
+    out
+}
+
+/// Formats a float compactly: integers without decimals, others trimmed.
+fn format_number(v: f64) -> String {
+    if !v.is_finite() {
+        return format!("{v}");
+    }
+    if v == v.trunc() && v.abs() < 1e15 {
+        return format!("{}", v as i64);
+    }
+    let s = format!("{v:.6}");
+    let s = s.trim_end_matches('0').trim_end_matches('.');
+    s.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ExperimentResult {
+        let mut r =
+            ExperimentResult::new("s", "sample", "p", vec!["x".into(), "y".into()]);
+        for i in 0..20 {
+            r.push_row(vec![i as f64, (i * i) as f64]);
+        }
+        r
+    }
+
+    #[test]
+    fn csv_shape() {
+        let csv = to_csv(&sample());
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 21);
+        assert_eq!(lines[0], "x,y");
+        assert_eq!(lines[3], "2,4");
+    }
+
+    #[test]
+    fn ascii_table_truncates() {
+        let t = to_ascii_table(&sample(), 5);
+        assert!(t.contains("... (15 more rows)"));
+        assert!(t.starts_with('x'));
+    }
+
+    #[test]
+    fn plot_renders_marks() {
+        let p = ascii_plot(&sample(), 0, &[1], 40, 10);
+        assert!(p.contains('*'));
+        assert!(p.contains("* = y"));
+    }
+
+    #[test]
+    fn plot_handles_empty() {
+        let r = ExperimentResult::new("e", "t", "p", vec!["x".into(), "y".into()]);
+        assert_eq!(ascii_plot(&r, 0, &[1], 10, 5), "(no data)\n");
+    }
+
+    #[test]
+    fn number_formatting() {
+        assert_eq!(format_number(3.0), "3");
+        assert_eq!(format_number(0.25), "0.25");
+        assert_eq!(format_number(0.1234567), "0.123457");
+        assert_eq!(format_number(f64::NAN), "NaN");
+    }
+}

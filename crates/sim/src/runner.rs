@@ -1,0 +1,245 @@
+//! Experiment runner scaffolding: results, shape checks, registry.
+
+use serde::{Deserialize, Serialize};
+
+/// Shared knobs for every experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ExperimentContext {
+    /// Reduced sizes/realizations for CI-speed runs.
+    pub quick: bool,
+    /// Base RNG seed (experiments derive their own streams).
+    pub seed: u64,
+}
+
+impl Default for ExperimentContext {
+    fn default() -> Self {
+        Self { quick: false, seed: 2007 }
+    }
+}
+
+/// A machine-checked "shape criterion": the qualitative property of a paper
+/// figure/table that the reproduction must exhibit.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Check {
+    /// Short name of the criterion.
+    pub name: String,
+    /// Whether the measured data satisfied it.
+    pub passed: bool,
+    /// Measured values backing the verdict.
+    pub detail: String,
+}
+
+impl Check {
+    /// Builds a check result.
+    pub fn new(name: impl Into<String>, passed: bool, detail: impl Into<String>) -> Self {
+        Self { name: name.into(), passed, detail: detail.into() }
+    }
+}
+
+/// The output of one experiment: a column-labeled numeric table plus the
+/// shape checks and free-form notes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ExperimentResult {
+    /// Experiment id (`fig1`, `table1`, …) as used in DESIGN.md.
+    pub id: String,
+    /// Human title (paper artifact).
+    pub title: String,
+    /// Parameter summary.
+    pub params: String,
+    /// Column headers of `rows`.
+    pub columns: Vec<String>,
+    /// Numeric data rows.
+    pub rows: Vec<Vec<f64>>,
+    /// Shape criteria verdicts.
+    pub checks: Vec<Check>,
+    /// Additional commentary (paper-vs-measured notes).
+    pub notes: Vec<String>,
+}
+
+impl ExperimentResult {
+    /// Creates an empty result shell.
+    pub fn new(
+        id: impl Into<String>,
+        title: impl Into<String>,
+        params: impl Into<String>,
+        columns: Vec<String>,
+    ) -> Self {
+        Self {
+            id: id.into(),
+            title: title.into(),
+            params: params.into(),
+            columns,
+            rows: Vec::new(),
+            checks: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a data row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row width disagrees with the column count.
+    pub fn push_row(&mut self, row: Vec<f64>) {
+        assert_eq!(row.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(row);
+    }
+
+    /// Appends a shape check.
+    pub fn check(&mut self, name: impl Into<String>, passed: bool, detail: impl Into<String>) {
+        self.checks.push(Check::new(name, passed, detail));
+    }
+
+    /// Appends a note.
+    pub fn note(&mut self, text: impl Into<String>) {
+        self.notes.push(text.into());
+    }
+
+    /// Whether every shape check passed.
+    #[must_use]
+    pub fn all_passed(&self) -> bool {
+        self.checks.iter().all(|c| c.passed)
+    }
+}
+
+/// An experiment entry point.
+pub type ExperimentFn = fn(&ExperimentContext) -> ExperimentResult;
+
+/// One registry entry.
+#[derive(Clone, Copy)]
+pub struct ExperimentEntry {
+    /// Experiment id.
+    pub id: &'static str,
+    /// One-line description.
+    pub description: &'static str,
+    /// Entry point.
+    pub run: ExperimentFn,
+}
+
+/// All experiments, in paper order.
+#[must_use]
+pub fn registry() -> Vec<ExperimentEntry> {
+    use crate::experiments;
+    vec![
+        ExperimentEntry {
+            id: "fig1",
+            description: "Convergence from the empty configuration (Figure 1)",
+            run: experiments::fig1::run,
+        },
+        ExperimentEntry {
+            id: "fig2",
+            description: "Peer-removal perturbation and reconvergence (Figure 2)",
+            run: experiments::fig2::run,
+        },
+        ExperimentEntry {
+            id: "fig3",
+            description: "Disorder under continuous churn (Figure 3)",
+            run: experiments::fig3::run,
+        },
+        ExperimentEntry {
+            id: "fig45",
+            description: "Clusters of constant b-matching; one extra connection (Figures 4-5)",
+            run: experiments::fig45::run,
+        },
+        ExperimentEntry {
+            id: "table1",
+            description: "Clustering and stratification on complete graphs (Table 1)",
+            run: experiments::table1::run,
+        },
+        ExperimentEntry {
+            id: "fig6",
+            description: "Phase transition in sigma for N(6, sigma^2) capacities (Figure 6)",
+            run: experiments::fig6::run,
+        },
+        ExperimentEntry {
+            id: "fig7",
+            description: "Exact vs independent-model error for n = 3 (Figure 7)",
+            run: experiments::fig7::run,
+        },
+        ExperimentEntry {
+            id: "fig8",
+            description: "Mate distributions of peers 200/2500/4800, n = 5000 (Figure 8)",
+            run: experiments::fig8::run,
+        },
+        ExperimentEntry {
+            id: "fig9",
+            description: "Algorithm 3 vs Monte-Carlo simulation, 2-matching (Figure 9)",
+            run: experiments::fig9::run,
+        },
+        ExperimentEntry {
+            id: "fig10",
+            description: "Upstream bandwidth CDF, Saroiu-style synthetic (Figure 10)",
+            run: experiments::fig10::run,
+        },
+        ExperimentEntry {
+            id: "fig11",
+            description: "Expected D/U ratio vs upload bandwidth per slot (Figure 11)",
+            run: experiments::fig11::run,
+        },
+        ExperimentEntry {
+            id: "bt1",
+            description: "BitTorrent swarm stratification and share ratios (section 6 claims)",
+            run: experiments::bt1::run,
+        },
+        ExperimentEntry {
+            id: "ext1",
+            description: "Combined utilities: rank stratification vs latency clustering (section 7)",
+            run: experiments::ext1::run,
+        },
+        ExperimentEntry {
+            id: "ext2",
+            description: "Gossip-estimated ranks: stratification robustness (section 1 ref [8])",
+            run: experiments::ext2::run,
+        },
+        ExperimentEntry {
+            id: "fluid",
+            description: "Fluid-limit convergence n*D(1,.) -> d*exp(-beta*d) (Conjecture 1)",
+            run: experiments::fluid::run,
+        },
+        ExperimentEntry {
+            id: "mmo",
+            description: "Mean Max Offset closed form and 3b/4 limit (section 4.2)",
+            run: experiments::mmo::run,
+        },
+    ]
+}
+
+/// Looks up an experiment by id.
+#[must_use]
+pub fn find(id: &str) -> Option<ExperimentEntry> {
+    registry().into_iter().find(|e| e.id == id)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_ids_are_unique_and_findable() {
+        let reg = registry();
+        let mut ids: Vec<&str> = reg.iter().map(|e| e.id).collect();
+        ids.sort_unstable();
+        let before = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), before, "duplicate experiment ids");
+        assert!(find("fig1").is_some());
+        assert!(find("nope").is_none());
+    }
+
+    #[test]
+    fn result_row_width_checked() {
+        let mut r = ExperimentResult::new("x", "t", "p", vec!["a".into(), "b".into()]);
+        r.push_row(vec![1.0, 2.0]);
+        assert_eq!(r.rows.len(), 1);
+        assert!(r.all_passed());
+        r.check("c", false, "d");
+        assert!(!r.all_passed());
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn bad_row_panics() {
+        let mut r = ExperimentResult::new("x", "t", "p", vec!["a".into()]);
+        r.push_row(vec![1.0, 2.0]);
+    }
+}

@@ -1,0 +1,64 @@
+//! Watch the initiative dynamics converge to the stable configuration
+//! (the paper's Figure 1), then survive a perturbation (Figure 2) and
+//! churn (Figure 3).
+//!
+//! ```text
+//! cargo run --example convergence
+//! ```
+
+use rand::SeedableRng;
+use stratification::core::{
+    Capacities, ChurnProcess, Dynamics, GlobalRanking, InitiativeStrategy, RankedAcceptance,
+};
+use stratification::graph::{generators, NodeId};
+
+fn bar(disorder: f64) -> String {
+    let filled = (disorder * 50.0).round() as usize;
+    format!("{}{}", "#".repeat(filled.min(50)), ".".repeat(50usize.saturating_sub(filled)))
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 1000;
+    let d = 10.0;
+    let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+    let graph = generators::erdos_renyi_mean_degree(n, d, &mut rng);
+    let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n))?;
+    let caps = Capacities::constant(n, 1);
+    let mut dynamics = Dynamics::new(acc, caps, InitiativeStrategy::BestMate)?;
+
+    println!("phase 1 — convergence from the empty configuration (n={n}, d={d}):");
+    println!("t= 0  {}  disorder={:.4}", bar(dynamics.disorder()), dynamics.disorder());
+    for t in 1..=12 {
+        dynamics.run_base_unit(&mut rng);
+        let dis = dynamics.disorder();
+        println!("t={t:>2}  {}  disorder={dis:.4}", bar(dis));
+        if dynamics.is_stable() {
+            println!("stable configuration reached after {t} base units");
+            break;
+        }
+    }
+
+    println!("\nphase 2 — removing the best peer (domino effect):");
+    dynamics.remove_peer(NodeId::new(0));
+    for t in 0..6 {
+        let dis = dynamics.disorder();
+        println!("t={t:>2}  {}  disorder={dis:.4}", bar(dis * 20.0));
+        if dis == 0.0 {
+            break;
+        }
+        dynamics.run_base_unit(&mut rng);
+    }
+
+    println!("\nphase 3 — continuous churn (10 events per 1000 initiatives):");
+    let mut churn = ChurnProcess::new(dynamics, 0.01);
+    for t in 0..10 {
+        churn.run_base_unit(&mut rng);
+        let dis = churn.dynamics().disorder();
+        println!("t={t:>2}  {}  disorder={dis:.4}", bar(dis * 20.0));
+    }
+    println!(
+        "churned {} peers; disorder stays bounded — the stable configuration is a strong attractor",
+        churn.event_count()
+    );
+    Ok(())
+}

@@ -1,0 +1,53 @@
+//! Compare the paper's three initiative strategies (§3): best mate,
+//! decremental, and random — how fast does each reach the stable
+//! configuration, and at what information cost?
+//!
+//! ```text
+//! cargo run --example strategies
+//! ```
+
+use rand::SeedableRng;
+use stratification::core::{
+    Capacities, Dynamics, GlobalRanking, InitiativeStrategy, RankedAcceptance,
+};
+use stratification::graph::generators;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n = 500;
+    let d = 15.0;
+    let b0 = 2;
+    let strategies = [
+        (InitiativeStrategy::BestMate, "best mate  (full knowledge)"),
+        (InitiativeStrategy::Decremental, "decremental (knows ranks)"),
+        (InitiativeStrategy::Random, "random      (no information)"),
+    ];
+
+    println!("convergence to the stable configuration, n={n}, d={d}, b0={b0}:");
+    println!("{:<30} {:>12} {:>12} {:>14}", "strategy", "base units", "initiatives", "active ratio");
+    for (strategy, label) in strategies {
+        // Same graph for every strategy: seed the generator identically.
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);
+        let graph = generators::erdos_renyi_mean_degree(n, d, &mut rng);
+        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n))?;
+        let caps = Capacities::constant(n, b0);
+        let mut dynamics = Dynamics::new(acc, caps, strategy)?;
+
+        let mut units = 0u32;
+        while !dynamics.is_stable() && units < 10_000 {
+            dynamics.run_base_unit(&mut rng);
+            units += 1;
+        }
+        let total = dynamics.initiative_count();
+        let active = dynamics.active_initiative_count();
+        println!(
+            "{label:<30} {units:>12} {total:>12} {:>13.1}%",
+            100.0 * active as f64 / total as f64
+        );
+    }
+    println!(
+        "\nall three reach the same unique stable configuration (Theorem 1); \
+         they differ only in how many probes they burn to find blocking mates. \
+         BitTorrent's optimistic unchoke is the random strategy."
+    );
+    Ok(())
+}

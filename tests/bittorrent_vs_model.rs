@@ -1,0 +1,144 @@
+//! Integration: the BitTorrent protocol simulator exhibits the behaviour
+//! the abstract matching model predicts (the paper's §6 correspondence).
+
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use stratification::bandwidth::{efficiency_curve, BandwidthCdf, EfficiencyModel};
+use stratification::bittorrent::{metrics, Swarm, SwarmConfig};
+
+fn saroiu_swarm(leechers: usize, rounds: u64, seed: u64) -> Swarm {
+    let seeds = 2;
+    let config = SwarmConfig::builder()
+        .leechers(leechers)
+        .seeds(seeds)
+        .mean_neighbors(20.0)
+        .tft_slots(3)
+        .optimistic_slots(1)
+        .fluid_content(true)
+        .seed(seed)
+        .build();
+    let cdf = BandwidthCdf::saroiu_gnutella_upstream();
+    let mut uploads = cdf.assign_by_rank(leechers);
+    uploads.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ 0xf00d));
+    uploads.extend(std::iter::repeat_n(1000.0, seeds));
+    let mut swarm = Swarm::new(config, &uploads);
+    swarm.run(rounds);
+    swarm
+}
+
+/// TFT reciprocation stratifies: the mean rank offset of reciprocated
+/// pairs ends far below the random-pairing baseline (~n/3).
+#[test]
+fn swarm_stratifies_far_below_random_baseline() {
+    let n = 200;
+    let swarm = saroiu_swarm(n, 120, 1);
+    let snap = metrics::stratification_snapshot(&swarm);
+    let offset = snap.mean_rank_offset.expect("pairs exist");
+    let random_baseline = n as f64 / 3.0;
+    assert!(
+        offset < 0.5 * random_baseline,
+        "offset {offset:.1} not well below random {random_baseline:.1}"
+    );
+    assert!(snap.reciprocal_pairs as f64 > n as f64 / 4.0);
+}
+
+/// The swarm's TFT-economy share ratios have the Figure 11 direction: the
+/// fastest class pays (aggregate D/U < 1) and the slowest class rides
+/// (aggregate D/U > 1). Aggregate (traffic-weighted) ratios are the robust
+/// class-level measure: per-peer means are dominated by the coarse
+/// discretization of the heavy Saroiu top tail at swarm sizes.
+#[test]
+fn swarm_share_ratios_follow_figure11_direction() {
+    let n = 240;
+    let swarm = saroiu_swarm(n, 160, 2);
+    let mut uploads: Vec<f64> = metrics::leecher_performance(&swarm)
+        .iter()
+        .map(|p| p.upload_kbps)
+        .collect();
+    uploads.sort_by(f64::total_cmp);
+    let q1 = uploads[n / 4];
+    let q3 = uploads[3 * n / 4];
+    let slow = metrics::aggregate_tft_ratio_in_band(&swarm, 0.0, q1)
+        .expect("slow class carries TFT traffic");
+    let fast = metrics::aggregate_tft_ratio_in_band(&swarm, q3, 1e12)
+        .expect("fast class carries TFT traffic");
+    assert!(
+        slow > fast,
+        "slow-class aggregate D/U {slow:.2} must exceed fast-class {fast:.2}"
+    );
+    assert!(fast < 1.0, "fastest class not subsidizing: {fast:.2}");
+    assert!(slow > 1.0, "slowest class not subsidized: {slow:.2}");
+}
+
+/// The analytic efficiency model (Algorithm 3 + bandwidth CDF) and the
+/// protocol simulator agree on who wins and who pays: correlation between
+/// per-class D/U ratios is positive and strong in direction.
+#[test]
+fn analytic_and_simulated_efficiency_agree_by_class() {
+    let n = 240;
+    let swarm = saroiu_swarm(n, 160, 3);
+    let curve = efficiency_curve(
+        &EfficiencyModel { b0: 3, d: 20.0, n: 1000 },
+        &BandwidthCdf::saroiu_gnutella_upstream(),
+    );
+    // Classes by upload bandwidth (kbps).
+    let classes = [(10.0, 64.0), (64.0, 300.0), (300.0, 1500.0), (1500.0, 1e7)];
+    let mut agree = 0usize;
+    let mut total = 0usize;
+    for (lo, hi) in classes {
+        let sim = metrics::mean_share_ratio_in_band(&swarm, lo, hi);
+        let ana: Vec<f64> = curve
+            .iter()
+            .filter(|p| p.upload >= lo && p.upload < hi)
+            .map(|p| p.ratio)
+            .collect();
+        if let (Some(sim), false) = (sim, ana.is_empty()) {
+            let ana = ana.iter().sum::<f64>() / ana.len() as f64;
+            total += 1;
+            // Same side of 1.0 = same winner/payer verdict.
+            if (sim > 1.0) == (ana > 1.0) {
+                agree += 1;
+            }
+        }
+    }
+    assert!(total >= 3, "too few comparable classes");
+    assert!(
+        agree >= total - 1,
+        "model and simulator disagree on {}/{total} classes",
+        total - agree
+    );
+}
+
+/// Piece-level swarm sanity at integration scale: a heterogeneous swarm
+/// with real piece dynamics completes, respecting rarest-first coupon
+/// collection.
+#[test]
+fn heterogeneous_swarm_completes_with_piece_dynamics() {
+    let leechers = 60;
+    let config = SwarmConfig::builder()
+        .leechers(leechers)
+        .seeds(2)
+        .piece_count(64)
+        .piece_size_kbit(200.0)
+        .initial_completion(0.2)
+        .mean_neighbors(16.0)
+        .seed(9)
+        .build();
+    let mut uploads: Vec<f64> =
+        (0..leechers).map(|i| 200.0 * 1.03f64.powi(i as i32)).collect();
+    uploads.extend([2000.0, 2000.0]);
+    let mut swarm = Swarm::new(config, &uploads);
+    for _ in 0..3000 {
+        swarm.round();
+        if swarm.completed_count() == leechers {
+            break;
+        }
+    }
+    assert_eq!(swarm.completed_count(), leechers, "swarm failed to complete");
+    // Conservation at the end of the run.
+    let up: f64 = (0..swarm.peer_count()).map(|p| swarm.peer(p).total_uploaded()).sum();
+    let down: f64 =
+        (0..swarm.peer_count()).map(|p| swarm.peer(p).total_downloaded()).sum();
+    assert!((up - down).abs() < 1e-6);
+}

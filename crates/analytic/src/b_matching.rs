@@ -86,7 +86,11 @@ impl BMatchingDistribution {
     /// Panics if `i >= n` or `c ∉ 1..=b₀`.
     #[must_use]
     pub fn choice_mass(&self, i: usize, c: u32) -> f64 {
-        assert!((1..=self.b0).contains(&c), "choice {c} out of 1..={}", self.b0);
+        assert!(
+            (1..=self.b0).contains(&c),
+            "choice {c} out of 1..={}",
+            self.b0
+        );
         self.mass[(c - 1) as usize][i]
     }
 
@@ -105,7 +109,10 @@ impl BMatchingDistribution {
 /// Panics if `p ∉ [0, 1]`, `b0 == 0`, or a requested peer is `>= n`.
 #[must_use]
 pub fn solve(n: usize, p: f64, b0: u32, peers: &[usize]) -> BMatchingDistribution {
-    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "p must be in [0, 1], got {p}"
+    );
     assert!(b0 >= 1, "b0 must be at least 1");
     let b = b0 as usize;
     let mut rows: BTreeMap<usize, Vec<Vec<f64>>> = peers
@@ -168,7 +175,13 @@ pub fn solve(n: usize, p: f64, b0: u32, peers: &[usize]) -> BMatchingDistributio
             mass[c][i] = rowcum[c];
         }
     }
-    BMatchingDistribution { n, p, b0, rows, mass }
+    BMatchingDistribution {
+        n,
+        p,
+        b0,
+        rows,
+        mass,
+    }
 }
 
 /// Per-peer expectations over the mate distribution, computed in one
@@ -196,7 +209,10 @@ pub struct ExchangeExpectations {
 /// Panics if `p ∉ [0, 1]`, `b0 == 0`, or `weights.len() != n`.
 #[must_use]
 pub fn solve_expectations(n: usize, p: f64, b0: u32, weights: &[f64]) -> ExchangeExpectations {
-    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "p must be in [0, 1], got {p}"
+    );
     assert!(b0 >= 1, "b0 must be at least 1");
     assert_eq!(weights.len(), n, "weights must cover all peers");
     let b = b0 as usize;
@@ -242,9 +258,12 @@ pub fn solve_expectations(n: usize, p: f64, b0: u32, weights: &[f64]) -> Exchang
             mass[c][i] = rowcum[c];
         }
     }
-    let expected_degree =
-        (0..n).map(|i| (0..b).map(|c| mass[c][i]).sum()).collect();
-    ExchangeExpectations { weighted, expected_degree, choice_mass: mass }
+    let expected_degree = (0..n).map(|i| (0..b).map(|c| mass[c][i]).sum()).collect();
+    ExchangeExpectations {
+        weighted,
+        expected_degree,
+        choice_mass: mass,
+    }
 }
 
 #[cfg(test)]
@@ -264,7 +283,12 @@ mod tests {
             let r1 = one.row(i).unwrap();
             let rb = b.choice_row(i, 1).unwrap();
             for j in 0..n {
-                assert!((r1[j] - rb[j]).abs() < 1e-12, "D({i},{j}): {} vs {}", r1[j], rb[j]);
+                assert!(
+                    (r1[j] - rb[j]).abs() < 1e-12,
+                    "D({i},{j}): {} vs {}",
+                    r1[j],
+                    rb[j]
+                );
             }
             assert!((one.match_probability(i) - b.choice_mass(i, 1)).abs() < 1e-12);
         }
@@ -279,7 +303,10 @@ mod tests {
             assert!(row.iter().all(|&x| (0.0..=1.0).contains(&x)));
             let mass: f64 = row.iter().sum();
             assert!((mass - sol.choice_mass(150, c)).abs() < 1e-9);
-            assert!(mass <= prev_mass + 1e-12, "choice {c} mass {mass} above previous");
+            assert!(
+                mass <= prev_mass + 1e-12,
+                "choice {c} mass {mass} above previous"
+            );
             prev_mass = mass;
         }
         assert!(sol.expected_degree(150) <= 3.0 + 1e-9);
@@ -290,11 +317,18 @@ mod tests {
         let sol = solve(500, 0.04, 2, &[250]);
         let mean_rank = |row: &[f64]| {
             let m: f64 = row.iter().sum();
-            row.iter().enumerate().map(|(j, d)| j as f64 * d).sum::<f64>() / m
+            row.iter()
+                .enumerate()
+                .map(|(j, d)| j as f64 * d)
+                .sum::<f64>()
+                / m
         };
         let m1 = mean_rank(sol.choice_row(250, 1).unwrap());
         let m2 = mean_rank(sol.choice_row(250, 2).unwrap());
-        assert!(m1 < m2, "first-choice mean rank {m1} not better than second {m2}");
+        assert!(
+            m1 < m2,
+            "first-choice mean rank {m1} not better than second {m2}"
+        );
     }
 
     #[test]
@@ -309,7 +343,10 @@ mod tests {
         let small = solve(80, 0.06, 2, &[30]);
         let large = solve(200, 0.06, 2, &[30]);
         for c in 1..=2u32 {
-            let (rs, rl) = (small.choice_row(30, c).unwrap(), large.choice_row(30, c).unwrap());
+            let (rs, rl) = (
+                small.choice_row(30, c).unwrap(),
+                large.choice_row(30, c).unwrap(),
+            );
             for j in 0..80 {
                 assert!((rs[j] - rl[j]).abs() < 1e-12, "c={c} j={j}");
             }

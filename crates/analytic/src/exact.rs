@@ -16,9 +16,7 @@
 //! while Algorithm 2 yields `D(2,3) = p(1−p)(1 − p(1−p))`, an excess of
 //! exactly `p³(1−p)`.
 
-use strat_core::{
-    stable_configuration, Capacities, GlobalRanking, RankedAcceptance,
-};
+use strat_core::{stable_configuration, Capacities, GlobalRanking, RankedAcceptance};
 use strat_graph::{Graph, NodeId};
 
 /// Exact mate distribution for `b₀`-matching on `G(n, p)`, by enumerating
@@ -43,7 +41,10 @@ use strat_graph::{Graph, NodeId};
 #[must_use]
 pub fn exact_distribution(n: usize, p: f64, b0: u32) -> Vec<Vec<f64>> {
     assert!(n <= 8, "exact enumeration supports n <= 8, got {n}");
-    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "p must be in [0, 1], got {p}"
+    );
     let ranking = GlobalRanking::identity(n);
     let caps = Capacities::constant(n, b0);
     let pair_count = n * n.saturating_sub(1) / 2;
@@ -60,11 +61,12 @@ pub fn exact_distribution(n: usize, p: f64, b0: u32) -> Vec<Vec<f64>> {
         let mut builder = Graph::builder(n);
         for (bit, &(i, j)) in pairs.iter().enumerate() {
             if mask & (1 << bit) != 0 {
-                builder.add_edge(NodeId::new(i), NodeId::new(j)).expect("valid pair");
+                builder
+                    .add_edge(NodeId::new(i), NodeId::new(j))
+                    .expect("valid pair");
             }
         }
-        let acc = RankedAcceptance::new(builder.build(), ranking.clone())
-            .expect("sizes match");
+        let acc = RankedAcceptance::new(builder.build(), ranking.clone()).expect("sizes match");
         let m = stable_configuration(&acc, &caps).expect("sizes match");
         for i in 0..n {
             for &mate in m.mates(NodeId::new(i)) {
@@ -118,7 +120,10 @@ mod tests {
             let (_, _, exact) = figure7_exact(p);
             let (_, _, approx) = figure7_approx(p);
             let err = approx - exact;
-            assert!((err - p.powi(3) * (1.0 - p)).abs() < 1e-12, "p={p}: err {err}");
+            assert!(
+                (err - p.powi(3) * (1.0 - p)).abs() < 1e-12,
+                "p={p}: err {err}"
+            );
         }
     }
 
@@ -173,7 +178,10 @@ mod tests {
         assert!((d[1][2] - 1.0).abs() < 1e-12);
         // Peer 3's mass: everyone better is saturated.
         let mass3: f64 = d[3].iter().sum();
-        assert!(mass3.abs() < 1e-12, "peer 3 should be isolated, mass {mass3}");
+        assert!(
+            mass3.abs() < 1e-12,
+            "peer 3 should be isolated, mass {mass3}"
+        );
     }
 
     #[test]

@@ -85,8 +85,9 @@ mod tests {
         for beta in [0.01, 0.1, 0.5, 1.0] {
             let steps = 20_000;
             let h = beta / steps as f64;
-            let integral: f64 =
-                (0..steps).map(|k| density_best(d, (k as f64 + 0.5) * h) * h).sum();
+            let integral: f64 = (0..steps)
+                .map(|k| density_best(d, (k as f64 + 0.5) * h) * h)
+                .sum();
             assert!((integral - cdf_best(d, beta)).abs() < 1e-6, "beta={beta}");
         }
     }

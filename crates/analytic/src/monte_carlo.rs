@@ -5,8 +5,16 @@
 //! configuration of each, and histogramming the first/second choices of
 //! peer 3000 — "simulations requiring several weeks" on 2006 hardware.
 //! This module reproduces that estimator with multi-threaded sampling
-//! (crossbeam scoped threads, one deterministic `ChaCha8` stream per
-//! thread), making tens of thousands of realizations a matter of seconds.
+//! ([`strat_par`] scoped threads), making tens of thousands of
+//! realizations a matter of seconds.
+//!
+//! # Determinism contract
+//!
+//! Every realization `r` draws from its **own** ChaCha8 stream
+//! `(seed, stream = r + 1)`, so the estimate is a pure function of the
+//! configuration — independent of [`MonteCarloConfig::threads`] and of OS
+//! scheduling. Histograms produced with 1 thread and with N threads are
+//! identical, bit for bit (covered by a unit test below).
 
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
@@ -25,9 +33,10 @@ pub struct MonteCarloConfig {
     pub b0: u32,
     /// Number of independent graph realizations.
     pub realizations: u64,
-    /// Base RNG seed; each worker thread derives its own stream.
+    /// Base RNG seed; realization `r` uses stream `r + 1` of this seed.
     pub seed: u64,
-    /// Worker threads (clamped to at least 1).
+    /// Worker threads (clamped to at least 1). Changes wall-clock time
+    /// only, never the result.
     pub threads: usize,
 }
 
@@ -35,7 +44,14 @@ impl MonteCarloConfig {
     /// The paper's Figure 9 setting, scaled down to `realizations` samples.
     #[must_use]
     pub fn figure9(realizations: u64) -> Self {
-        Self { n: 5000, p: 0.01, b0: 2, realizations, seed: 0x51a7, threads: 8 }
+        Self {
+            n: 5000,
+            p: 0.01,
+            b0: 2,
+            realizations,
+            seed: 0x51a7,
+            threads: strat_par::default_threads(),
+        }
     }
 }
 
@@ -80,80 +96,80 @@ impl ChoiceHistogram {
     }
 }
 
+/// One worker's partial histogram.
+struct Partial {
+    counts: Vec<Vec<u64>>,
+    missing: Vec<u64>,
+}
+
 /// Estimates the per-choice mate distribution of `peer` by simulating
 /// `cfg.realizations` independent acceptance graphs and computing each
 /// stable configuration with Algorithm 1.
 ///
-/// Deterministic for a fixed `cfg` (including `threads`).
+/// Deterministic for a fixed `cfg.seed` — **regardless of
+/// `cfg.threads`** — because realization `r` always draws from stream
+/// `r + 1` of the base seed (see the module docs).
 ///
 /// # Panics
 ///
 /// Panics if `peer >= cfg.n` or `cfg.p ∉ [0, 1]`.
 #[must_use]
 pub fn estimate_choice_distribution(cfg: &MonteCarloConfig, peer: usize) -> ChoiceHistogram {
-    assert!(peer < cfg.n, "observed peer {peer} out of range for n = {}", cfg.n);
+    assert!(
+        peer < cfg.n,
+        "observed peer {peer} out of range for n = {}",
+        cfg.n
+    );
     assert!(
         cfg.p.is_finite() && (0.0..=1.0).contains(&cfg.p),
         "p must be in [0, 1], got {}",
         cfg.p
     );
-    let threads = cfg.threads.max(1);
     let b = cfg.b0 as usize;
     let ranking = GlobalRanking::identity(cfg.n);
     let caps = Capacities::constant(cfg.n, cfg.b0);
 
-    // Split realizations across workers; worker t gets its own RNG stream.
-    let shares: Vec<u64> = (0..threads as u64)
-        .map(|t| {
-            cfg.realizations / threads as u64
-                + u64::from(t < cfg.realizations % threads as u64)
-        })
-        .collect();
-
-    let partials: Vec<(Vec<Vec<u64>>, Vec<u64>)> = crossbeam::thread::scope(|scope| {
-        let handles: Vec<_> = shares
-            .iter()
-            .enumerate()
-            .map(|(t, &count)| {
-                let ranking = &ranking;
-                let caps = &caps;
-                scope.spawn(move |_| {
-                    let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
-                    rng.set_stream(t as u64 + 1);
-                    let mut counts = vec![vec![0u64; cfg.n]; b];
-                    let mut missing = vec![0u64; b];
-                    for _ in 0..count {
-                        let g = generators::erdos_renyi(cfg.n, cfg.p, &mut rng);
-                        let acc = RankedAcceptance::new(g, ranking.clone())
-                            .expect("sizes match");
-                        let m = stable_configuration(&acc, caps).expect("sizes match");
-                        let mates = m.mates(NodeId::new(peer));
-                        for c in 0..b {
-                            match mates.get(c) {
-                                Some(mate) => counts[c][mate.index()] += 1,
-                                None => missing[c] += 1,
-                            }
-                        }
-                    }
-                    (counts, missing)
-                })
-            })
-            .collect();
-        handles.into_iter().map(|h| h.join().expect("worker panicked")).collect()
-    })
-    .expect("scope panicked");
+    // Contiguous blocks of realization indices; the block → worker mapping
+    // is irrelevant to the result because streams are per-realization.
+    let blocks = strat_par::chunk_ranges(cfg.realizations, cfg.threads.max(1));
+    let partials: Vec<Partial> = strat_par::par_map(&blocks, cfg.threads.max(1), |_, block| {
+        let mut partial = Partial {
+            counts: vec![vec![0u64; cfg.n]; b],
+            missing: vec![0u64; b],
+        };
+        for r in block.clone() {
+            let mut rng = ChaCha8Rng::seed_from_u64(cfg.seed);
+            rng.set_stream(r + 1);
+            let g = generators::erdos_renyi(cfg.n, cfg.p, &mut rng);
+            let acc = RankedAcceptance::new(g, ranking.clone()).expect("sizes match");
+            let m = stable_configuration(&acc, &caps).expect("sizes match");
+            let mates = m.mates(NodeId::new(peer));
+            for c in 0..b {
+                match mates.get(c) {
+                    Some(mate) => partial.counts[c][mate.index()] += 1,
+                    None => partial.missing[c] += 1,
+                }
+            }
+        }
+        partial
+    });
 
     let mut counts = vec![vec![0u64; cfg.n]; b];
     let mut missing = vec![0u64; b];
-    for (pc, pm) in partials {
+    for partial in partials {
         for c in 0..b {
             for j in 0..cfg.n {
-                counts[c][j] += pc[c][j];
+                counts[c][j] += partial.counts[c][j];
             }
-            missing[c] += pm[c];
+            missing[c] += partial.missing[c];
         }
     }
-    ChoiceHistogram { peer, counts, missing, realizations: cfg.realizations }
+    ChoiceHistogram {
+        peer,
+        counts,
+        missing,
+        realizations: cfg.realizations,
+    }
 }
 
 /// L1 distance between an empirical row and an analytic row (both over
@@ -174,7 +190,14 @@ mod tests {
     use super::*;
 
     fn small_cfg(realizations: u64) -> MonteCarloConfig {
-        MonteCarloConfig { n: 120, p: 0.08, b0: 2, realizations, seed: 99, threads: 4 }
+        MonteCarloConfig {
+            n: 120,
+            p: 0.08,
+            b0: 2,
+            realizations,
+            seed: 99,
+            threads: 4,
+        }
     }
 
     #[test]
@@ -213,17 +236,16 @@ mod tests {
     }
 
     #[test]
-    fn single_thread_equals_multi_thread_totals() {
+    fn thread_count_does_not_change_the_histogram() {
+        // Per-realization streams: the full histogram (not just totals) is
+        // identical for every thread count.
         let mut cfg = small_cfg(60);
-        let multi = estimate_choice_distribution(&cfg, 10);
-        cfg.threads = 1;
-        let single = estimate_choice_distribution(&cfg, 10);
-        // Different thread partitioning changes which stream generates which
-        // realization, but totals must match.
-        let sum = |h: &ChoiceHistogram| -> u64 {
-            h.counts.iter().flatten().sum::<u64>() + h.missing.iter().sum::<u64>()
-        };
-        assert_eq!(sum(&multi), sum(&single));
+        let reference = estimate_choice_distribution(&cfg, 10);
+        for threads in [1usize, 2, 3, 8, 64] {
+            cfg.threads = threads;
+            let h = estimate_choice_distribution(&cfg, 10);
+            assert_eq!(h, reference, "threads = {threads}");
+        }
     }
 
     #[test]

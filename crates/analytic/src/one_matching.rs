@@ -100,7 +100,10 @@ impl MateDistribution {
 /// Panics if `p ∉ [0, 1]` or any requested peer is `>= n`.
 #[must_use]
 pub fn solve(n: usize, p: f64, peers: &[usize]) -> MateDistribution {
-    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "p must be in [0, 1], got {p}"
+    );
     let mut rows: BTreeMap<usize, Vec<f64>> = peers
         .iter()
         .map(|&i| {
@@ -141,7 +144,10 @@ pub fn solve(n: usize, p: f64, peers: &[usize]) -> MateDistribution {
 /// Panics if `p ∉ [0, 1]`.
 #[must_use]
 pub fn solve_dense(n: usize, p: f64) -> Vec<Vec<f64>> {
-    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "p must be in [0, 1], got {p}"
+    );
     let mut d = vec![vec![0.0f64; n]; n];
     for i in 0..n {
         for j in (i + 1)..n {
@@ -227,7 +233,11 @@ mod tests {
     fn lemma1_mass_approaches_one_with_peers_below() {
         // Adding many peers below rank i drives the match probability to 1.
         let sol = solve(2000, 0.01, &[]);
-        assert!(sol.match_probability(100) > 0.999, "{}", sol.match_probability(100));
+        assert!(
+            sol.match_probability(100) > 0.999,
+            "{}",
+            sol.match_probability(100)
+        );
         // The worst peer matches in roughly half the cases (§5.3).
         let last = sol.match_probability(1999);
         assert!((last - 0.5).abs() < 0.05, "worst peer mass {last}");

@@ -92,7 +92,9 @@ impl BandwidthCdf {
             log_points.push((bw.log10(), frac));
         }
         if (log_points.last().expect("nonempty").1 - 1.0).abs() > 1e-12 {
-            return Err(BandwidthError::InvalidPoints { index: points.len() - 1 });
+            return Err(BandwidthError::InvalidPoints {
+                index: points.len() - 1,
+            });
         }
         Ok(Self { points: log_points })
     }
@@ -106,18 +108,18 @@ impl BandwidthCdf {
     #[must_use]
     pub fn saroiu_gnutella_upstream() -> Self {
         Self::from_points(&[
-            (16.0, 0.0),      // slowest measured hosts
-            (40.0, 0.04),     // slow tail
+            (16.0, 0.0),  // slowest measured hosts
+            (40.0, 0.04), // slow tail
             (48.0, 0.06),
-            (64.0, 0.25),     // 56k modem class: ~19% of hosts at 48-64 kbps
+            (64.0, 0.25), // 56k modem class: ~19% of hosts at 48-64 kbps
             (96.0, 0.32),
-            (128.0, 0.41),    // ISDN / low-DSL upstream class
+            (128.0, 0.41), // ISDN / low-DSL upstream class
             (192.0, 0.48),
-            (256.0, 0.56),    // DSL 256k upstream class
+            (256.0, 0.56), // DSL 256k upstream class
             (384.0, 0.63),
-            (512.0, 0.71),    // DSL 512k upstream class
+            (512.0, 0.71), // DSL 512k upstream class
             (800.0, 0.78),
-            (1_200.0, 0.84),  // cable ~1M class
+            (1_200.0, 0.84), // cable ~1M class
             (2_500.0, 0.89),
             (5_000.0, 0.93),
             (12_000.0, 0.97), // 10M LAN class
@@ -131,7 +133,10 @@ impl BandwidthCdf {
     /// Clamps outside the supported range.
     #[must_use]
     pub fn cdf(&self, bw: f64) -> f64 {
-        assert!(bw > 0.0 && bw.is_finite(), "bandwidth must be positive, got {bw}");
+        assert!(
+            bw > 0.0 && bw.is_finite(),
+            "bandwidth must be positive, got {bw}"
+        );
         let x = bw.log10();
         let pts = &self.points;
         if x <= pts[0].0 {
@@ -156,7 +161,10 @@ impl BandwidthCdf {
     /// Panics if `u ∉ [0, 1]` or `u` is NaN.
     #[must_use]
     pub fn quantile(&self, u: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&u), "fraction must be in [0, 1], got {u}");
+        assert!(
+            (0.0..=1.0).contains(&u),
+            "fraction must be in [0, 1], got {u}"
+        );
         let pts = &self.points;
         if u <= pts[0].1 {
             return 10f64.powf(pts[0].0);
@@ -183,7 +191,9 @@ impl BandwidthCdf {
     /// `S(p)`.
     #[must_use]
     pub fn assign_by_rank(&self, n: usize) -> Vec<f64> {
-        (0..n).map(|r| self.quantile(1.0 - (r as f64 + 0.5) / n as f64)).collect()
+        (0..n)
+            .map(|r| self.quantile(1.0 - (r as f64 + 0.5) / n as f64))
+            .collect()
     }
 
     /// Supported bandwidth range `(min, max)` in kbps.
@@ -199,7 +209,10 @@ impl BandwidthCdf {
     /// Figure 10).
     #[must_use]
     pub fn control_points(&self) -> Vec<(f64, f64)> {
-        self.points.iter().map(|&(x, f)| (10f64.powf(x), f)).collect()
+        self.points
+            .iter()
+            .map(|&(x, f)| (10f64.powf(x), f))
+            .collect()
     }
 }
 
@@ -244,7 +257,10 @@ mod tests {
         let cdf = BandwidthCdf::saroiu_gnutella_upstream();
         let peak_slope = (cdf.cdf(64.0) - cdf.cdf(48.0)) / (64f64.log10() - 48f64.log10());
         let before_slope = (cdf.cdf(48.0) - cdf.cdf(40.0)) / (48f64.log10() - 40f64.log10());
-        assert!(peak_slope > 3.0 * before_slope, "{peak_slope} vs {before_slope}");
+        assert!(
+            peak_slope > 3.0 * before_slope,
+            "{peak_slope} vs {before_slope}"
+        );
     }
 
     #[test]
@@ -265,10 +281,12 @@ mod tests {
         let cdf = BandwidthCdf::saroiu_gnutella_upstream();
         let mut rng = ChaCha8Rng::seed_from_u64(8);
         let n = 50_000;
-        let below_64k =
-            (0..n).filter(|_| cdf.sample(&mut rng) <= 64.0).count() as f64 / n as f64;
+        let below_64k = (0..n).filter(|_| cdf.sample(&mut rng) <= 64.0).count() as f64 / n as f64;
         let expected = cdf.cdf(64.0);
-        assert!((below_64k - expected).abs() < 0.01, "{below_64k} vs {expected}");
+        assert!(
+            (below_64k - expected).abs() < 0.01,
+            "{below_64k} vs {expected}"
+        );
     }
 
     #[test]

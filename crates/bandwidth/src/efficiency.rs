@@ -41,7 +41,11 @@ impl Default for EfficiencyModel {
     /// The paper's Figure 11 parameters (`b₀ = 3`, `d = 20`) at a
     /// resolution of 2000 peers.
     fn default() -> Self {
-        Self { b0: 3, d: 20.0, n: 2000 }
+        Self {
+            b0: 3,
+            d: 20.0,
+            n: 2000,
+        }
     }
 }
 
@@ -93,8 +97,10 @@ pub fn efficiency_curve(model: &EfficiencyModel, cdf: &BandwidthCdf) -> Vec<Effi
     assert!(model.d > 0.0 && model.d.is_finite(), "d must be positive");
     let n = model.n;
     let uploads = cdf.assign_by_rank(n);
-    let slots: Vec<f64> =
-        uploads.iter().map(|u| u / f64::from(model.b0 + 1)).collect();
+    let slots: Vec<f64> = uploads
+        .iter()
+        .map(|u| u / f64::from(model.b0 + 1))
+        .collect();
     let p = (model.d / (n as f64 - 1.0)).clamp(0.0, 1.0);
     let exp = b_matching::solve_expectations(n, p, model.b0, &slots);
     (0..n)
@@ -109,8 +115,16 @@ pub fn efficiency_curve(model: &EfficiencyModel, cdf: &BandwidthCdf) -> Vec<Effi
                 slot_bandwidth: slots[i],
                 expected_download,
                 expected_mates,
-                ratio: if used > 0.0 { expected_download / used } else { 0.0 },
-                ratio_offered: if offered > 0.0 { expected_download / offered } else { 0.0 },
+                ratio: if used > 0.0 {
+                    expected_download / used
+                } else {
+                    0.0
+                },
+                ratio_offered: if offered > 0.0 {
+                    expected_download / offered
+                } else {
+                    0.0
+                },
             }
         })
         .collect()
@@ -137,7 +151,14 @@ mod tests {
 
     fn curve() -> Vec<EfficiencyPoint> {
         let cdf = BandwidthCdf::saroiu_gnutella_upstream();
-        efficiency_curve(&EfficiencyModel { b0: 3, d: 20.0, n: 800 }, &cdf)
+        efficiency_curve(
+            &EfficiencyModel {
+                b0: 3,
+                d: 20.0,
+                n: 800,
+            },
+            &cdf,
+        )
     }
 
     #[test]
@@ -195,7 +216,11 @@ mod tests {
         }
         // For a mid-rank (always matched) peer the two coincide.
         let mid = &curve[400];
-        assert!((mid.expected_mates - 3.0).abs() < 0.05, "{}", mid.expected_mates);
+        assert!(
+            (mid.expected_mates - 3.0).abs() < 0.05,
+            "{}",
+            mid.expected_mates
+        );
         assert!((mid.ratio - mid.ratio_offered).abs() < 0.05);
     }
 

@@ -27,6 +27,4 @@ mod distribution;
 mod efficiency;
 
 pub use distribution::{BandwidthCdf, BandwidthError};
-pub use efficiency::{
-    efficiency_curve, mean_ratio_in_band, EfficiencyModel, EfficiencyPoint,
-};
+pub use efficiency::{efficiency_curve, mean_ratio_in_band, EfficiencyModel, EfficiencyPoint};

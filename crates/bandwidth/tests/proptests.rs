@@ -24,7 +24,11 @@ fn control_points() -> impl Strategy<Value = Vec<(f64, f64)>> {
         let mut points = Vec::with_capacity(bws.len());
         for (i, bw) in bws.iter().enumerate() {
             cum += fracs[i] / total;
-            let frac = if i + 1 == bws.len() { 1.0 } else { cum.min(1.0 - 1e-9) };
+            let frac = if i + 1 == bws.len() {
+                1.0
+            } else {
+                cum.min(1.0 - 1e-9)
+            };
             points.push((*bw, frac));
         }
         points

@@ -52,8 +52,7 @@ fn ablation_complete_graph(c: &mut Criterion) {
         b.iter(|| stable_configuration_complete(black_box(&ranking), black_box(&caps)).unwrap());
     });
     group.bench_function("generic_on_materialized_k_n", |b| {
-        let acc =
-            RankedAcceptance::new(generators::complete(n), ranking.clone()).unwrap();
+        let acc = RankedAcceptance::new(generators::complete(n), ranking.clone()).unwrap();
         b.iter(|| stable_configuration(black_box(&acc), black_box(&caps)).unwrap());
     });
     group.finish();
@@ -159,8 +158,7 @@ fn ablation_correctness(c: &mut Criterion) {
         let n = 500;
         let ranking = GlobalRanking::identity(n);
         let caps = Capacities::constant(n, 3);
-        let acc =
-            RankedAcceptance::new(generators::complete(n), ranking.clone()).unwrap();
+        let acc = RankedAcceptance::new(generators::complete(n), ranking.clone()).unwrap();
         b.iter(|| {
             let fast = stable_configuration_complete(&ranking, &caps).unwrap();
             let slow = stable_configuration(&acc, &caps).unwrap();

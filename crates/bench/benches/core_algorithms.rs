@@ -1,77 +1,20 @@
 //! Criterion benchmarks for the core algorithms: Algorithm 1 (generic and
-//! complete-graph forms), initiative dynamics, disorder, the analytic
-//! solvers, graph generation, and the swarm round loop.
+//! complete-graph forms) and the initiative dynamics — optimized vs the
+//! seed-faithful reference implementations (shared groups from
+//! `strat_bench`) — plus the analytic solvers, graph generation, and the
+//! swarm round loop.
 
 use std::time::Duration;
 
-use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use strat_analytic::{b_matching, one_matching};
-use strat_bittorrent::{Swarm, SwarmConfig};
-use strat_core::{
-    stable_configuration, stable_configuration_complete, Capacities, Dynamics, GlobalRanking,
-    InitiativeStrategy, RankedAcceptance,
+use strat_bench::{
+    bench_dynamics, bench_dynamics_ref, bench_stable_configuration, bench_stable_configuration_ref,
 };
+use strat_bittorrent::{Swarm, SwarmConfig};
 use strat_graph::generators;
-
-fn bench_stable_configuration(c: &mut Criterion) {
-    let mut group = c.benchmark_group("stable_configuration");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-    for &n in &[1000usize, 5000, 20_000] {
-        let mut rng = ChaCha8Rng::seed_from_u64(1);
-        let graph = generators::erdos_renyi_mean_degree(n, 20.0, &mut rng);
-        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n)).unwrap();
-        let caps = Capacities::constant(n, 3);
-        group.bench_with_input(BenchmarkId::new("erdos_renyi_d20_b3", n), &n, |b, _| {
-            b.iter(|| stable_configuration(black_box(&acc), black_box(&caps)).unwrap());
-        });
-    }
-    for &n in &[10_000usize, 100_000] {
-        let ranking = GlobalRanking::identity(n);
-        let caps = Capacities::constant(n, 4);
-        group.bench_with_input(BenchmarkId::new("complete_b4", n), &n, |b, _| {
-            b.iter(|| {
-                stable_configuration_complete(black_box(&ranking), black_box(&caps)).unwrap()
-            });
-        });
-    }
-    group.finish();
-}
-
-fn bench_dynamics(c: &mut Criterion) {
-    let mut group = c.benchmark_group("dynamics");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-    for strategy in [
-        InitiativeStrategy::BestMate,
-        InitiativeStrategy::Decremental,
-        InitiativeStrategy::Random,
-    ] {
-        group.bench_function(format!("{strategy:?}_base_unit_n1000_d10"), |b| {
-            let mut rng = ChaCha8Rng::seed_from_u64(2);
-            let graph = generators::erdos_renyi_mean_degree(1000, 10.0, &mut rng);
-            let acc = RankedAcceptance::new(graph, GlobalRanking::identity(1000)).unwrap();
-            let caps = Capacities::constant(1000, 1);
-            let mut dynamics = Dynamics::new(acc, caps, strategy).unwrap();
-            b.iter(|| black_box(dynamics.run_base_unit(&mut rng)));
-        });
-    }
-    group.bench_function("disorder_n1000_d10", |b| {
-        let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let graph = generators::erdos_renyi_mean_degree(1000, 10.0, &mut rng);
-        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(1000)).unwrap();
-        let caps = Capacities::constant(1000, 1);
-        let mut dynamics =
-            Dynamics::new(acc, caps, InitiativeStrategy::BestMate).unwrap();
-        for _ in 0..5 {
-            dynamics.run_base_unit(&mut rng);
-        }
-        b.iter(|| black_box(dynamics.disorder()));
-    });
-    group.finish();
-}
 
 fn bench_analytic(c: &mut Criterion) {
     let mut group = c.benchmark_group("analytic");
@@ -141,7 +84,9 @@ fn bench_swarm(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_stable_configuration,
+    bench_stable_configuration_ref,
     bench_dynamics,
+    bench_dynamics_ref,
     bench_analytic,
     bench_graph,
     bench_swarm

@@ -12,7 +12,10 @@ fn bench_experiments(c: &mut Criterion) {
     group.sample_size(10);
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(5));
-    let ctx = ExperimentContext { quick: true, seed: 2007 };
+    let ctx = ExperimentContext {
+        quick: true,
+        seed: 2007,
+    };
     for entry in runner::registry() {
         group.bench_function(entry.id, |b| {
             b.iter(|| {

@@ -1,9 +1,142 @@
-//! Benchmark-only crate: see `benches/` for the Criterion targets.
+//! Shared benchmark suite for the stratification workspace.
 //!
-//! * `core_algorithms` — Algorithm 1 scaling, dynamics throughput, the
-//!   analytic solvers, graph generation, swarm rounds;
+//! The hot-path groups live here (not in `benches/`) so that both the
+//! `cargo bench` harness (`benches/core_algorithms.rs`) and the
+//! `BENCH_core.json` exporter (`src/bin/export.rs`) measure **exactly the
+//! same kernels**. Each optimized group has a `*_ref` twin running the
+//! seed-faithful implementations from `strat_core::reference`, which keeps
+//! the speedup a measured number rather than a claim.
+//!
+//! Criterion targets under `benches/`:
+//!
+//! * `core_algorithms` — the groups below plus the analytic solvers, graph
+//!   generation and swarm rounds;
 //! * `experiments` — one benchmark per paper table/figure (quick profile),
 //!   asserting the shape checks still pass;
 //! * `ablations` — the DESIGN.md design-decision comparisons (streaming vs
 //!   dense Algorithm 2, complete-graph specialization, mate-set structure,
 //!   rank-sorted best-mate search).
+
+#![warn(clippy::all)]
+
+use std::time::Duration;
+
+use criterion::{black_box, BenchmarkId, Criterion};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use strat_core::{
+    reference, stable_configuration, stable_configuration_complete, Capacities, Dynamics,
+    GlobalRanking, InitiativeStrategy, RankedAcceptance,
+};
+use strat_graph::generators;
+
+/// Standard instance: `G(n, d)` acceptance graph, identity ranking.
+#[must_use]
+pub fn er_acceptance(n: usize, d: f64, seed: u64) -> RankedAcceptance {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let graph = generators::erdos_renyi_mean_degree(n, d, &mut rng);
+    RankedAcceptance::new(graph, GlobalRanking::identity(n)).expect("sizes match")
+}
+
+/// `stable_configuration` on `G(n, 20)` with `b = 3` at n ∈ {1k, 10k, 100k},
+/// plus the complete-graph specialization at {10k, 100k}.
+pub fn bench_stable_configuration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_configuration");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1000usize, 10_000, 100_000] {
+        let acc = er_acceptance(n, 20.0, 1);
+        let caps = Capacities::constant(n, 3);
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_d20_b3", n), &n, |b, _| {
+            b.iter(|| stable_configuration(black_box(&acc), black_box(&caps)).unwrap());
+        });
+    }
+    for &n in &[10_000usize, 100_000] {
+        let ranking = GlobalRanking::identity(n);
+        let caps = Capacities::constant(n, 4);
+        group.bench_with_input(BenchmarkId::new("complete_b4", n), &n, |b, _| {
+            b.iter(|| {
+                stable_configuration_complete(black_box(&ranking), black_box(&caps)).unwrap()
+            });
+        });
+    }
+    group.finish();
+}
+
+/// Seed-faithful Algorithm 1 (`strat_core::reference`) on the same
+/// instances as [`bench_stable_configuration`]'s Erdős–Rényi rows.
+pub fn bench_stable_configuration_ref(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_configuration_ref");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[1000usize, 10_000, 100_000] {
+        let acc = reference::RefAcceptance::from_optimized(&er_acceptance(n, 20.0, 1));
+        let caps = Capacities::constant(n, 3);
+        group.bench_with_input(BenchmarkId::new("erdos_renyi_d20_b3", n), &n, |b, _| {
+            b.iter(|| reference::stable_configuration(black_box(&acc), black_box(&caps)));
+        });
+    }
+    group.finish();
+}
+
+/// Steady-state initiative cost per base unit, n = 1000, d = 10, b = 1:
+/// the three scan strategies plus the disorder metric.
+pub fn bench_dynamics(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for strategy in [
+        InitiativeStrategy::BestMate,
+        InitiativeStrategy::Decremental,
+        InitiativeStrategy::Random,
+    ] {
+        group.bench_function(format!("{strategy:?}_base_unit_n1000_d10"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let acc = er_acceptance(1000, 10.0, 2);
+            let caps = Capacities::constant(1000, 1);
+            let mut dynamics = Dynamics::new(acc, caps, strategy).unwrap();
+            b.iter(|| black_box(dynamics.run_base_unit(&mut rng)));
+        });
+    }
+    group.bench_function("disorder_n1000_d10", |b| {
+        let mut rng = ChaCha8Rng::seed_from_u64(3);
+        let acc = er_acceptance(1000, 10.0, 3);
+        let caps = Capacities::constant(1000, 1);
+        let mut dynamics = Dynamics::new(acc, caps, InitiativeStrategy::BestMate).unwrap();
+        for _ in 0..5 {
+            dynamics.run_base_unit(&mut rng);
+        }
+        b.iter(|| black_box(dynamics.disorder()));
+    });
+    group.finish();
+}
+
+/// Seed-faithful initiative driver on the same instances as
+/// [`bench_dynamics`].
+pub fn bench_dynamics_ref(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dynamics_ref");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for strategy in [
+        InitiativeStrategy::BestMate,
+        InitiativeStrategy::Decremental,
+        InitiativeStrategy::Random,
+    ] {
+        group.bench_function(format!("{strategy:?}_base_unit_n1000_d10"), |b| {
+            let mut rng = ChaCha8Rng::seed_from_u64(2);
+            let acc = reference::RefAcceptance::from_optimized(&er_acceptance(1000, 10.0, 2));
+            let caps = Capacities::constant(1000, 1);
+            let mut dynamics = reference::RefDynamics::new(acc, caps, strategy);
+            b.iter(|| black_box(dynamics.run_base_unit(&mut rng)));
+        });
+    }
+    group.finish();
+}
+
+/// Registers every core group (optimized + reference) on `c`.
+pub fn core_groups(c: &mut Criterion) {
+    bench_stable_configuration(c);
+    bench_stable_configuration_ref(c);
+    bench_dynamics(c);
+    bench_dynamics_ref(c);
+}

@@ -170,8 +170,14 @@ impl SwarmConfigBuilder {
         let c = &self.config;
         assert!(c.leechers + c.seeds >= 2, "need at least two peers");
         assert!(c.piece_count >= 1, "need at least one piece");
-        assert!(c.tft_slots + c.optimistic_slots >= 1, "need at least one unchoke slot");
-        assert!(c.piece_size_kbit > 0.0 && c.round_seconds > 0.0, "positive sizes required");
+        assert!(
+            c.tft_slots + c.optimistic_slots >= 1,
+            "need at least one unchoke slot"
+        );
+        assert!(
+            c.piece_size_kbit > 0.0 && c.round_seconds > 0.0,
+            "positive sizes required"
+        );
         c.clone()
     }
 }

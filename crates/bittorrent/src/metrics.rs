@@ -220,10 +220,7 @@ mod tests {
         swarm.run(60);
         let pairs = reciprocal_tft_pairs(&swarm);
         assert!(!pairs.is_empty(), "no reciprocated pairs formed");
-        let same_class = pairs
-            .iter()
-            .filter(|&&(p, q)| (p < 30) == (q < 30))
-            .count() as f64;
+        let same_class = pairs.iter().filter(|&&(p, q)| (p < 30) == (q < 30)).count() as f64;
         let frac = same_class / pairs.len() as f64;
         assert!(frac > 0.7, "only {frac:.2} of pairs are same-class");
     }

@@ -26,7 +26,11 @@ impl PieceSet {
     /// An empty set over `piece_count` pieces.
     #[must_use]
     pub fn new(piece_count: usize) -> Self {
-        Self { words: vec![0; piece_count.div_ceil(64)], piece_count, held: 0 }
+        Self {
+            words: vec![0; piece_count.div_ceil(64)],
+            piece_count,
+            held: 0,
+        }
     }
 
     /// A complete set (a seed's pieces).
@@ -98,14 +102,14 @@ impl PieceSet {
     #[must_use]
     pub fn is_interested_in(&self, other: &PieceSet) -> bool {
         debug_assert_eq!(self.piece_count, other.piece_count);
-        self.words.iter().zip(&other.words).any(|(mine, theirs)| theirs & !mine != 0)
+        self.words
+            .iter()
+            .zip(&other.words)
+            .any(|(mine, theirs)| theirs & !mine != 0)
     }
 
     /// Iterates over the pieces `other` has and `self` lacks.
-    pub fn missing_from<'a>(
-        &'a self,
-        other: &'a PieceSet,
-    ) -> impl Iterator<Item = usize> + 'a {
+    pub fn missing_from<'a>(&'a self, other: &'a PieceSet) -> impl Iterator<Item = usize> + 'a {
         debug_assert_eq!(self.piece_count, other.piece_count);
         self.words
             .iter()
@@ -130,7 +134,8 @@ impl PieceSet {
     #[must_use]
     pub fn rarest_missing_from(&self, other: &PieceSet, availability: &[u32]) -> Option<usize> {
         debug_assert_eq!(availability.len(), self.piece_count);
-        self.missing_from(other).min_by_key(|&i| (availability[i], i))
+        self.missing_from(other)
+            .min_by_key(|&i| (availability[i], i))
     }
 }
 

@@ -180,7 +180,13 @@ impl Swarm {
         // Tracker overlay: Erdős–Rényi with the requested expected degree.
         let overlay = generators::erdos_renyi_mean_degree(n, config.mean_neighbors, &mut rng);
         let neighbors: Vec<Vec<PeerId>> = (0..n)
-            .map(|p| overlay.neighbors(NodeId::new(p)).iter().map(|v| v.index()).collect())
+            .map(|p| {
+                overlay
+                    .neighbors(NodeId::new(p))
+                    .iter()
+                    .map(|v| v.index())
+                    .collect()
+            })
             .collect();
 
         let mut peers: Vec<Peer> = (0..n)
@@ -228,7 +234,14 @@ impl Swarm {
                 *a += u32::from(peer.pieces.contains(i));
             }
         }
-        Self { config, rng, neighbors, peers, availability, round: 0 }
+        Self {
+            config,
+            rng,
+            neighbors,
+            peers,
+            availability,
+            round: 0,
+        }
     }
 
     /// The configuration in force.
@@ -283,7 +296,11 @@ impl Swarm {
     /// The peers `p` is currently TFT-unchoking.
     #[must_use]
     pub fn tft_unchoked(&self, p: PeerId) -> Vec<PeerId> {
-        self.peers[p].tft_unchoked.iter().map(|&k| self.neighbors[p][k]).collect()
+        self.peers[p]
+            .tft_unchoked
+            .iter()
+            .map(|&k| self.neighbors[p][k])
+            .collect()
     }
 
     /// The peer `p` is currently optimistically unchoking, if any.
@@ -342,7 +359,9 @@ impl Swarm {
 
     fn rechoke(&mut self) {
         let n = self.peers.len();
-        let rotate_optimistic = self.round.is_multiple_of(u64::from(self.config.optimistic_period));
+        let rotate_optimistic = self
+            .round
+            .is_multiple_of(u64::from(self.config.optimistic_period));
         for p in 0..n {
             if !self.uploads(p) {
                 self.peers[p].tft_unchoked.clear();
@@ -364,8 +383,7 @@ impl Swarm {
                 // Tit-for-Tat: top receivers from the last round.
                 let mut ranked = candidates.clone();
                 ranked.sort_by(|&a, &b| {
-                    self.peers[p].received_prev[b]
-                        .total_cmp(&self.peers[p].received_prev[a])
+                    self.peers[p].received_prev[b].total_cmp(&self.peers[p].received_prev[a])
                 });
                 ranked.truncate(self.config.tft_slots);
                 ranked
@@ -380,10 +398,12 @@ impl Swarm {
                     optimistic = None;
                 }
             }
-            if self.config.optimistic_slots > 0 && (rotate_optimistic || optimistic.is_none())
-            {
-                let pool: Vec<usize> =
-                    candidates.iter().copied().filter(|k| !tft.contains(k)).collect();
+            if self.config.optimistic_slots > 0 && (rotate_optimistic || optimistic.is_none()) {
+                let pool: Vec<usize> = candidates
+                    .iter()
+                    .copied()
+                    .filter(|k| !tft.contains(k))
+                    .collect();
                 optimistic = if pool.is_empty() {
                     None
                 } else {
@@ -418,8 +438,7 @@ impl Swarm {
             if targets.is_empty() {
                 continue;
             }
-            let share =
-                self.peers[p].upload_kbps * round_seconds / targets.len() as f64;
+            let share = self.peers[p].upload_kbps * round_seconds / targets.len() as f64;
             for &(k, is_tft) in &targets {
                 let q = self.neighbors[p][k];
                 self.deliver(p, q, share, is_tft);
@@ -521,8 +540,9 @@ mod tests {
             }
             // Recount availability from scratch.
             for i in 0..swarm.config().piece_count {
-                let holders =
-                    (0..16).filter(|&p| swarm.peer(p).pieces().contains(i)).count() as u32;
+                let holders = (0..16)
+                    .filter(|&p| swarm.peer(p).pieces().contains(i))
+                    .count() as u32;
                 assert_eq!(holders, swarm.availability()[i], "piece {i}");
             }
         }
@@ -601,7 +621,9 @@ mod tests {
             let cfg = small_config(18, 1);
             let mut swarm = Swarm::new(cfg, &uniform_uploads(19, 450.0));
             swarm.run(12);
-            (0..19).map(|p| swarm.peer(p).total_downloaded()).collect::<Vec<_>>()
+            (0..19)
+                .map(|p| swarm.peer(p).total_downloaded())
+                .collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
     }

@@ -8,12 +8,12 @@ use strat_bittorrent::{metrics, Swarm, SwarmConfig};
 
 fn swarm_params() -> impl Strategy<Value = (usize, usize, usize, f64, bool, u64)> {
     (
-        4usize..40,          // leechers
-        1usize..3,           // seeds
-        8usize..64,          // pieces
-        0.0f64..0.9,         // initial completion
-        any::<bool>(),       // fluid content
-        any::<u64>(),        // seed
+        4usize..40,    // leechers
+        1usize..3,     // seeds
+        8usize..64,    // pieces
+        0.0f64..0.9,   // initial completion
+        any::<bool>(), // fluid content
+        any::<u64>(),  // seed
     )
 }
 
@@ -35,8 +35,9 @@ fn build(
         .fluid_content(fluid)
         .seed(seed)
         .build();
-    let uploads: Vec<f64> =
-        (0..leechers + seeds).map(|i| 50.0 + 37.0 * (i as f64 + 1.0)).collect();
+    let uploads: Vec<f64> = (0..leechers + seeds)
+        .map(|i| 50.0 + 37.0 * (i as f64 + 1.0))
+        .collect();
     Swarm::new(config, &uploads)
 }
 

@@ -1,15 +1,25 @@
-//! Acceptance structure: the acceptance graph with rank-sorted adjacency.
+//! Acceptance structure: the acceptance graph in CSR form with rank-sorted,
+//! rank-annotated adjacency.
+//!
+//! Both Algorithm 1 and every initiative strategy repeatedly ask "who is the
+//! best acceptable peer for `p` satisfying …". The structure is therefore
+//! laid out for exactly that scan:
+//!
+//! * adjacency is **flattened** (CSR: one `offsets` array into one `adj`
+//!   array) so a peer's acceptance list is a contiguous slice — no
+//!   pointer-chasing through per-node `Vec`s;
+//! * each row is sorted **best-rank-first** and stored alongside a parallel
+//!   [`Rank`] array, so inner loops compare precomputed ranks instead of
+//!   calling [`GlobalRanking::rank_of`] per candidate;
+//! * membership ([`RankedAcceptance::accepts`]) is a binary search by rank
+//!   on the shorter row, `O(log deg)` with no hashing.
 
 use strat_graph::{Graph, NodeId};
 
-use crate::{GlobalRanking, ModelError};
+use crate::{GlobalRanking, ModelError, Rank};
 
 /// An acceptance graph paired with the global ranking, with each peer's
 /// acceptance list pre-sorted **best-rank-first**.
-///
-/// Both Algorithm 1 and every initiative strategy repeatedly ask "who is the
-/// best acceptable peer for `p` satisfying …"; sorting adjacency by rank once
-/// makes those scans linear with early exit.
 ///
 /// # Examples
 ///
@@ -31,8 +41,12 @@ use crate::{GlobalRanking, ModelError};
 pub struct RankedAcceptance {
     graph: Graph,
     ranking: GlobalRanking,
-    /// `by_rank[v]` = neighbours of `v` sorted best-rank-first.
-    by_rank: Vec<Vec<NodeId>>,
+    /// CSR row boundaries: row `v` is `adj[offsets[v]..offsets[v + 1]]`.
+    offsets: Vec<u32>,
+    /// Flattened adjacency, each row sorted best-rank-first.
+    adj: Vec<NodeId>,
+    /// `adj_ranks[k] == ranking.rank_of(adj[k])`, precomputed.
+    adj_ranks: Vec<Rank>,
 }
 
 impl RankedAcceptance {
@@ -43,21 +57,39 @@ impl RankedAcceptance {
     /// Returns [`ModelError::SizeMismatch`] if the ranking does not cover
     /// exactly the graph's nodes.
     pub fn new(graph: Graph, ranking: GlobalRanking) -> Result<Self, ModelError> {
-        if graph.node_count() != ranking.len() {
+        let n = graph.node_count();
+        if n != ranking.len() {
             return Err(ModelError::SizeMismatch {
-                expected: graph.node_count(),
+                expected: n,
                 actual: ranking.len(),
             });
         }
-        let by_rank = graph
-            .nodes()
-            .map(|v| {
-                let mut neigh = graph.neighbors(v).to_vec();
-                neigh.sort_by_key(|&w| ranking.rank_of(w));
-                neigh
-            })
-            .collect();
-        Ok(Self { graph, ranking, by_rank })
+        let total: usize = graph.nodes().map(|v| graph.degree(v)).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "acceptance graph too large for CSR offsets"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut adj = Vec::with_capacity(total);
+        let mut adj_ranks = Vec::with_capacity(total);
+        let mut scratch: Vec<(Rank, NodeId)> = Vec::new();
+        offsets.push(0u32);
+        for v in graph.nodes() {
+            scratch.clear();
+            scratch.extend(graph.neighbors(v).iter().map(|&w| (ranking.rank_of(w), w)));
+            // Ranks are unique, so sorting by rank alone is total.
+            scratch.sort_unstable_by_key(|&(r, _)| r);
+            adj.extend(scratch.iter().map(|&(_, w)| w));
+            adj_ranks.extend(scratch.iter().map(|&(r, _)| r));
+            offsets.push(adj.len() as u32);
+        }
+        Ok(Self {
+            graph,
+            ranking,
+            offsets,
+            adj,
+            adj_ranks,
+        })
     }
 
     /// Number of peers.
@@ -78,18 +110,67 @@ impl RankedAcceptance {
         &self.ranking
     }
 
+    /// CSR row bounds of `v`.
+    #[inline]
+    fn row(&self, v: NodeId) -> (usize, usize) {
+        (
+            self.offsets[v.index()] as usize,
+            self.offsets[v.index() + 1] as usize,
+        )
+    }
+
+    /// Number of acceptable peers of `v`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let (lo, hi) = self.row(v);
+        hi - lo
+    }
+
     /// Acceptable peers of `v`, best-rank-first.
     #[inline]
     #[must_use]
     pub fn neighbors_best_first(&self, v: NodeId) -> &[NodeId] {
-        &self.by_rank[v.index()]
+        let (lo, hi) = self.row(v);
+        &self.adj[lo..hi]
+    }
+
+    /// Ranks of the acceptable peers of `v`, parallel to
+    /// [`neighbors_best_first`](Self::neighbors_best_first) (so ascending).
+    #[inline]
+    #[must_use]
+    pub fn neighbor_ranks(&self, v: NodeId) -> &[Rank] {
+        let (lo, hi) = self.row(v);
+        &self.adj_ranks[lo..hi]
+    }
+
+    /// The acceptance row of `v` as parallel `(ids, ranks)` slices — the
+    /// form every hot scan consumes.
+    #[inline]
+    #[must_use]
+    pub fn neighbors_with_ranks(&self, v: NodeId) -> (&[NodeId], &[Rank]) {
+        let (lo, hi) = self.row(v);
+        (&self.adj[lo..hi], &self.adj_ranks[lo..hi])
     }
 
     /// Whether `u` accepts `v` (symmetric).
+    ///
+    /// Binary search by rank on the shorter CSR row: `O(log deg)`, no
+    /// [`GlobalRanking::rank_of`] calls beyond the one for `v` itself.
     #[inline]
     #[must_use]
     pub fn accepts(&self, u: NodeId, v: NodeId) -> bool {
-        self.graph.has_edge(u, v)
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbor_ranks(a)
+            .binary_search(&self.ranking.rank_of(b))
+            .is_ok()
     }
 }
 
@@ -106,8 +187,7 @@ mod tests {
     #[test]
     fn sorted_by_nonidentity_ranking() {
         // Ranking: node 3 best, then 1, then 2, then 0.
-        let ranking =
-            GlobalRanking::from_permutation(vec![n(3), n(1), n(2), n(0)]).unwrap();
+        let ranking = GlobalRanking::from_permutation(vec![n(3), n(1), n(2), n(0)]).unwrap();
         let acc = RankedAcceptance::new(generators::complete(4), ranking).unwrap();
         assert_eq!(acc.neighbors_best_first(n(0)), &[n(3), n(1), n(2)]);
         assert_eq!(acc.neighbors_best_first(n(3)), &[n(1), n(2), n(0)]);
@@ -118,7 +198,13 @@ mod tests {
     fn size_mismatch_rejected() {
         let err =
             RankedAcceptance::new(generators::complete(3), GlobalRanking::identity(4)).unwrap_err();
-        assert_eq!(err, ModelError::SizeMismatch { expected: 3, actual: 4 });
+        assert_eq!(
+            err,
+            ModelError::SizeMismatch {
+                expected: 3,
+                actual: 4
+            }
+        );
     }
 
     #[test]
@@ -126,5 +212,41 @@ mod tests {
         let acc = RankedAcceptance::new(Graph::empty(3), GlobalRanking::identity(3)).unwrap();
         assert!(acc.neighbors_best_first(n(1)).is_empty());
         assert!(!acc.accepts(n(0), n(1)));
+    }
+
+    #[test]
+    fn ranks_row_is_parallel_and_ascending() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        let graph = generators::erdos_renyi(60, 0.2, &mut rng);
+        let ranking = GlobalRanking::random(60, &mut rng);
+        let acc = RankedAcceptance::new(graph, ranking).unwrap();
+        for v in 0..60 {
+            let (ids, ranks) = acc.neighbors_with_ranks(n(v));
+            assert_eq!(ids.len(), ranks.len());
+            assert_eq!(acc.degree(n(v)), ids.len());
+            for (k, (&id, &rank)) in ids.iter().zip(ranks).enumerate() {
+                assert_eq!(acc.ranking().rank_of(id), rank, "row {v} slot {k}");
+            }
+            assert!(ranks.windows(2).all(|w| w[0].is_better_than(w[1])));
+        }
+    }
+
+    #[test]
+    fn accepts_agrees_with_graph() {
+        use rand::SeedableRng;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        let graph = generators::erdos_renyi(40, 0.15, &mut rng);
+        let ranking = GlobalRanking::random(40, &mut rng);
+        let acc = RankedAcceptance::new(graph.clone(), ranking).unwrap();
+        for u in 0..40 {
+            for v in 0..40 {
+                assert_eq!(
+                    acc.accepts(n(u), n(v)),
+                    graph.has_edge(n(u), n(v)),
+                    "({u}, {v})"
+                );
+            }
+        }
     }
 }

@@ -4,10 +4,18 @@
 //! not matched together such that both would welcome the other — each has a
 //! free slot or prefers the other to its worst current mate. A configuration
 //! without blocking pairs is **stable** (a Nash equilibrium).
+//!
+//! The scans here are the innermost loops of every initiative and of every
+//! stability check, so they run entirely on precomputed ranks: candidates
+//! come from the CSR rows of [`RankedAcceptance`] (ids + ranks side by
+//! side), current mates are skipped by a sorted two-pointer merge against
+//! the candidate row, and the reciprocal "would accept" test is a single
+//! rank comparison against the contacted peer's cached worst-mate rank.
+//! No `rank_of` lookups and no membership scans happen per candidate.
 
 use strat_graph::NodeId;
 
-use crate::{Capacities, Matching, RankedAcceptance};
+use crate::{Capacities, Matching, Rank, RankedAcceptance};
 
 /// Whether `(p, q)` is a blocking pair of `matching`.
 ///
@@ -35,11 +43,12 @@ pub fn is_blocking_pair(
     p: NodeId,
     q: NodeId,
 ) -> bool {
-    p != q
-        && acc.accepts(p, q)
-        && !matching.contains(p, q)
-        && matching.would_accept(acc.ranking(), caps, p, q)
-        && matching.would_accept(acc.ranking(), caps, q, p)
+    if p == q || !acc.accepts(p, q) || matching.contains(p, q) {
+        return false;
+    }
+    let ranking = acc.ranking();
+    matching.would_accept_rank(caps, p, ranking.rank_of(q))
+        && matching.would_accept_rank(caps, q, ranking.rank_of(p))
 }
 
 /// Finds the **best** blocking mate for `p` (the *best mate* initiative):
@@ -59,28 +68,70 @@ pub fn best_blocking_mate<F>(
 where
     F: Fn(NodeId) -> bool,
 {
-    let ranking = acc.ranking();
-    if caps.of(p) == 0 {
-        return None;
+    // `p` stops being interested at its worst mate's rank once saturated;
+    // an unsaturated peer is interested in its whole acceptance row.
+    let attractive_below = accept_threshold(matching, caps, p);
+    let p_rank = acc.ranking().rank_of(p);
+    best_blocking_mate_below(acc, matching, p, p_rank, attractive_below, present, |q| {
+        accept_threshold(matching, caps, q)
+    })
+}
+
+/// Rank bound below which `v` welcomes a new candidate: the worst mate's
+/// rank when saturated, "everything" when a slot is free, "nothing" when
+/// `b(v) = 0`. Encoded as a raw rank position for branch-free comparisons.
+#[inline]
+pub(crate) fn accept_threshold(matching: &Matching, caps: &Capacities, v: NodeId) -> u32 {
+    let cap = caps.of(v) as usize;
+    if matching.degree(v) < cap {
+        u32::MAX
+    } else {
+        // cap == 0 (threshold 0: accept nobody) or saturated (worst rank).
+        matching.worst_rank(v).map_or(0, |r| r.position() as u32)
     }
-    let saturated = matching.is_saturated(caps, p);
-    let worst_rank = matching.worst_mate(p).map(|w| ranking.rank_of(w));
-    for &q in acc.neighbors_best_first(p) {
-        if saturated {
-            // Once q no longer improves on p's worst mate, stop: the list is
-            // best-first, so nobody later improves either.
-            let worst =
-                worst_rank.expect("saturated peer with positive capacity has mates");
-            if !ranking.rank_of(q).is_better_than(worst) {
-                return None;
-            }
+}
+
+/// Core of [`best_blocking_mate`]: scans `p`'s acceptance row best-first,
+/// stopping at `attractive_below` (a raw rank position; `u32::MAX` means no
+/// bound). The contacted side's acceptance test reads `threshold_of(q)` —
+/// either computed on the fly (public entry point) or served from the
+/// incrementally-maintained cache inside [`crate::Dynamics`].
+pub(crate) fn best_blocking_mate_below<F, G>(
+    acc: &RankedAcceptance,
+    matching: &Matching,
+    p: NodeId,
+    p_rank: Rank,
+    attractive_below: u32,
+    present: F,
+    threshold_of: G,
+) -> Option<NodeId>
+where
+    F: Fn(NodeId) -> bool,
+    G: Fn(NodeId) -> u32,
+{
+    if attractive_below == 0 {
+        return None; // b(p) = 0, or saturated with the best possible mates
+    }
+    let p_pos = p_rank.position() as u32;
+    let (ids, ranks) = acc.neighbors_with_ranks(p);
+    let mate_ranks = matching.mate_ranks(p);
+    let mut mate_ptr = 0usize;
+    for (&q, &q_rank) in ids.iter().zip(ranks) {
+        if q_rank.position() as u32 >= attractive_below {
+            // Best-first row: nobody later is attractive to p either.
+            return None;
         }
-        if present(q)
-            && !matching.contains(p, q)
-            && matching.would_accept(ranking, caps, q, p)
-        {
-            // `q` is attractive to p here: either p has a free slot, or the
-            // saturated check above guaranteed q outranks p's worst mate.
+        // Sorted two-pointer merge: skip candidates already mated to p.
+        // Ranks are globally unique, so equal rank means the same peer.
+        while mate_ptr < mate_ranks.len() && mate_ranks[mate_ptr].is_better_than(q_rank) {
+            mate_ptr += 1;
+        }
+        if mate_ptr < mate_ranks.len() && mate_ranks[mate_ptr] == q_rank {
+            mate_ptr += 1;
+            continue;
+        }
+        if present(q) && p_pos < threshold_of(q) {
+            // `q` is attractive to p here (checked above) and welcomes p.
             return Some(q);
         }
     }
@@ -102,7 +153,9 @@ pub fn first_blocking_pair(
     caps: &Capacities,
     matching: &Matching,
 ) -> Option<(NodeId, NodeId)> {
-    acc.graph().edges().find(|&(u, v)| is_blocking_pair(acc, caps, matching, u, v))
+    acc.graph()
+        .edges()
+        .find(|&(u, v)| is_blocking_pair(acc, caps, matching, u, v))
 }
 
 /// All blocking pairs (canonical `u < v` order). Test/diagnostic helper.
@@ -174,7 +227,10 @@ mod tests {
         m.connect(acc.ranking(), &caps, n(3), n(4)).unwrap();
         // Peer 3 is mated to 4 but peers 0, 1, 2 are free: best is 0... but a
         // free better peer must also accept; 0 is free so yes.
-        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(3), |_| true), Some(n(0)));
+        assert_eq!(
+            best_blocking_mate(&acc, &caps, &m, n(3), |_| true),
+            Some(n(0))
+        );
     }
 
     #[test]
@@ -194,8 +250,14 @@ mod tests {
         let (acc, caps) = complete_setup(3, 1);
         let m = Matching::new(3);
         // Without mask peer 1's best blocking mate is 0; with 0 absent, it is 2.
-        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(1), |_| true), Some(n(0)));
-        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(1), |q| q != n(0)), Some(n(2)));
+        assert_eq!(
+            best_blocking_mate(&acc, &caps, &m, n(1), |_| true),
+            Some(n(0))
+        );
+        assert_eq!(
+            best_blocking_mate(&acc, &caps, &m, n(1), |q| q != n(0)),
+            Some(n(2))
+        );
     }
 
     #[test]
@@ -206,6 +268,29 @@ mod tests {
         let m = Matching::new(3);
         assert!(!is_blocking_pair(&acc, &caps, &m, n(0), n(1)));
         assert_eq!(best_blocking_mate(&acc, &caps, &m, n(0), |_| true), None);
-        assert_eq!(best_blocking_mate(&acc, &caps, &m, n(1), |_| true), Some(n(2)));
+        assert_eq!(
+            best_blocking_mate(&acc, &caps, &m, n(1), |_| true),
+            Some(n(2))
+        );
+    }
+
+    #[test]
+    fn mate_skip_handles_interleaved_mates() {
+        // Peer 5's mates sit in the middle of its acceptance row; the merge
+        // pointer must skip exactly those and nothing else.
+        let (acc, caps) = complete_setup(6, 3);
+        let mut m = Matching::new(6);
+        m.connect(acc.ranking(), &caps, n(5), n(1)).unwrap();
+        m.connect(acc.ranking(), &caps, n(5), n(3)).unwrap();
+        // Free slot left, best non-mate is 0.
+        assert_eq!(
+            best_blocking_mate(&acc, &caps, &m, n(5), |_| true),
+            Some(n(0))
+        );
+        // 0 absent: next non-mates are 2 (free) then 4.
+        assert_eq!(
+            best_blocking_mate(&acc, &caps, &m, n(5), |q| q != n(0)),
+            Some(n(2))
+        );
     }
 }

@@ -33,7 +33,10 @@ impl Capacities {
     /// Constant `b₀`-matching capacities: every peer gets `b0` slots.
     #[must_use]
     pub fn constant(n: usize, b0: u32) -> Self {
-        Self { values: vec![b0; n], total: n as u64 * u64::from(b0) }
+        Self {
+            values: vec![b0; n],
+            total: n as u64 * u64::from(b0),
+        }
     }
 
     /// Capacities from explicit per-peer values.
@@ -113,7 +116,10 @@ impl Capacities {
         if self.values.len() == n {
             Ok(())
         } else {
-            Err(ModelError::SizeMismatch { expected: n, actual: self.values.len() })
+            Err(ModelError::SizeMismatch {
+                expected: n,
+                actual: self.values.len(),
+            })
         }
     }
 
@@ -219,7 +225,10 @@ mod tests {
     #[test]
     fn rounded_normal_is_positive_and_centered() {
         let mut rng = ChaCha8Rng::seed_from_u64(11);
-        let dist = CapacityDistribution::RoundedNormal { mean: 6.0, sigma: 0.5 };
+        let dist = CapacityDistribution::RoundedNormal {
+            mean: 6.0,
+            sigma: 0.5,
+        };
         let caps = Capacities::sample(20_000, &dist, &mut rng);
         assert!(caps.as_slice().iter().all(|&b| b >= 1));
         let mean = caps.mean();
@@ -229,7 +238,10 @@ mod tests {
     #[test]
     fn rounded_normal_sigma_zero_is_constant() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let dist = CapacityDistribution::RoundedNormal { mean: 4.0, sigma: 0.0 };
+        let dist = CapacityDistribution::RoundedNormal {
+            mean: 4.0,
+            sigma: 0.0,
+        };
         let caps = Capacities::sample(100, &dist, &mut rng);
         assert!(caps.as_slice().iter().all(|&b| b == 4));
     }
@@ -237,7 +249,10 @@ mod tests {
     #[test]
     fn rounded_normal_clamps_to_one() {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let dist = CapacityDistribution::RoundedNormal { mean: -5.0, sigma: 0.1 };
+        let dist = CapacityDistribution::RoundedNormal {
+            mean: -5.0,
+            sigma: 0.1,
+        };
         let caps = Capacities::sample(50, &dist, &mut rng);
         assert!(caps.as_slice().iter().all(|&b| b == 1));
     }
@@ -257,6 +272,10 @@ mod tests {
     #[should_panic(expected = "invalid normal parameters")]
     fn invalid_normal_panics() {
         let mut rng = ChaCha8Rng::seed_from_u64(0);
-        let _ = CapacityDistribution::RoundedNormal { mean: 1.0, sigma: -1.0 }.sample_one(&mut rng);
+        let _ = CapacityDistribution::RoundedNormal {
+            mean: 1.0,
+            sigma: -1.0,
+        }
+        .sample_one(&mut rng);
     }
 }

@@ -80,7 +80,11 @@ impl ChurnProcess {
             rate.is_finite() && (0.0..=1.0).contains(&rate),
             "churn rate must be in [0, 1], got {rate}"
         );
-        Self { dynamics, rate, events: 0 }
+        Self {
+            dynamics,
+            rate,
+            events: 0,
+        }
     }
 
     /// The wrapped dynamics (current configuration, disorder, …).
@@ -199,7 +203,10 @@ mod tests {
         }
         let expected = 0.05 * steps as f64;
         let got = churn.event_count() as f64;
-        assert!((got - expected).abs() < 5.0 * expected.sqrt(), "{got} events vs {expected}");
+        assert!(
+            (got - expected).abs() < 5.0 * expected.sqrt(),
+            "{got} events vs {expected}"
+        );
     }
 
     #[test]
@@ -220,7 +227,11 @@ mod tests {
         for _ in 0..30 {
             churn.run_base_unit(&mut rng);
         }
-        assert!(churn.dynamics().disorder() < 0.15, "disorder {}", churn.dynamics().disorder());
+        assert!(
+            churn.dynamics().disorder() < 0.15,
+            "disorder {}",
+            churn.dynamics().disorder()
+        );
     }
 
     #[test]
@@ -240,7 +251,10 @@ mod tests {
         };
         let low = avg(0.001);
         let high = avg(0.1);
-        assert!(high > low, "high-churn disorder {high} not above low-churn {low}");
+        assert!(
+            high > low,
+            "high-churn disorder {high} not above low-churn {low}"
+        );
     }
 
     #[test]

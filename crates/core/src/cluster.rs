@@ -78,14 +78,15 @@ pub fn mean_max_offset(ranking: &GlobalRanking, matching: &Matching) -> f64 {
     let mut total = 0.0;
     let mut mated = 0usize;
     for v in ranking.nodes_best_first() {
-        let mates = matching.mates(v);
-        if mates.is_empty() {
+        let mate_ranks = matching.mate_ranks(v);
+        if mate_ranks.is_empty() {
             continue;
         }
-        // Mates are sorted best-first; the max offset is attained at the
-        // first or last mate.
-        let first = ranking.offset(v, mates[0]);
-        let last = ranking.offset(v, *mates.last().expect("nonempty"));
+        // Mates are sorted best-first with ranks cached alongside; the max
+        // offset is attained at the first or last mate.
+        let v_rank = ranking.rank_of(v);
+        let first = v_rank.offset(mate_ranks[0]);
+        let last = v_rank.offset(*mate_ranks.last().expect("nonempty"));
         total += first.max(last) as f64;
         mated += 1;
     }
@@ -135,7 +136,14 @@ mod tests {
     #[test]
     fn mmo_constant_matches_paper_table1() {
         // Table 1, constant b0-matching row "Max Mean Offset".
-        let expected = [(2u32, 1.67), (3, 2.5), (4, 3.2), (5, 4.0), (6, 4.71), (7, 5.5)];
+        let expected = [
+            (2u32, 1.67),
+            (3, 2.5),
+            (4, 3.2),
+            (5, 4.0),
+            (6, 4.71),
+            (7, 5.5),
+        ];
         for (b0, want) in expected {
             let got = mmo_constant_exact(b0);
             assert!((got - want).abs() < 0.01, "b0={b0}: got {got}, want {want}");
@@ -146,7 +154,10 @@ mod tests {
     fn mmo_converges_to_three_quarters_b0() {
         for b0 in [64u32, 256, 1024] {
             let ratio = mmo_constant_exact(b0) / mmo_constant_limit(b0);
-            assert!((ratio - 1.0).abs() < 2.0 / f64::from(b0), "b0={b0}: ratio {ratio}");
+            assert!(
+                (ratio - 1.0).abs() < 2.0 / f64::from(b0),
+                "b0={b0}: ratio {ratio}"
+            );
         }
     }
 
@@ -159,7 +170,10 @@ mod tests {
             let m = stable_configuration_complete(&ranking, &caps).unwrap();
             let measured = mean_max_offset(&ranking, &m);
             let exact = mmo_constant_exact(b0);
-            assert!((measured - exact).abs() < 1e-9, "b0={b0}: {measured} vs {exact}");
+            assert!(
+                (measured - exact).abs() < 1e-9,
+                "b0={b0}: {measured} vs {exact}"
+            );
         }
     }
 
@@ -189,7 +203,8 @@ mod tests {
         let ranking = GlobalRanking::identity(5);
         let caps = Capacities::constant(5, 1);
         let mut m = Matching::new(5);
-        m.connect(&ranking, &caps, NodeId::new(0), NodeId::new(4)).unwrap();
+        m.connect(&ranking, &caps, NodeId::new(0), NodeId::new(4))
+            .unwrap();
         // Only peers 0 and 4 are mated; both have offset 4.
         assert_eq!(mean_max_offset(&ranking, &m), 4.0);
     }
@@ -206,8 +221,10 @@ mod tests {
         let ranking = GlobalRanking::identity(6);
         let caps = Capacities::constant(6, 1);
         let mut m = Matching::new(6);
-        m.connect(&ranking, &caps, NodeId::new(0), NodeId::new(1)).unwrap();
-        m.connect(&ranking, &caps, NodeId::new(2), NodeId::new(3)).unwrap();
+        m.connect(&ranking, &caps, NodeId::new(0), NodeId::new(1))
+            .unwrap();
+        m.connect(&ranking, &caps, NodeId::new(2), NodeId::new(3))
+            .unwrap();
         let stats = cluster_stats(&ranking, &m);
         assert_eq!(stats.component_count, 4);
         assert_eq!(stats.mean_cluster_size, 1.5);

@@ -50,11 +50,17 @@ pub fn disorder(ranking: &GlobalRanking, c1: &Matching, c2: &Matching) -> f64 {
         return 0.0;
     }
     let unmated = (n + 1) as f64;
+    // Mate ranks are cached inside the configuration; no ranking lookups.
     let label = |m: &Matching, v| {
-        m.mate_of(v).map_or(unmated, |mate| (ranking.rank_of(mate).position() + 1) as f64)
+        debug_assert!(m.degree(v) <= 1, "disorder used on a non-1-matching");
+        m.mate_ranks(v)
+            .first()
+            .map_or(unmated, |r| (r.position() + 1) as f64)
     };
-    let sum: f64 =
-        ranking.nodes_best_first().map(|v| (label(c1, v) - label(c2, v)).abs()).sum();
+    let sum: f64 = ranking
+        .nodes_best_first()
+        .map(|v| (label(c1, v) - label(c2, v)).abs())
+        .sum();
     sum * 2.0 / (n as f64 * (n + 1) as f64)
 }
 
@@ -79,12 +85,12 @@ pub fn distance_general(ranking: &GlobalRanking, c1: &Matching, c2: &Matching) -
     let mut sum = 0.0;
     let mut slots = 0usize;
     for v in ranking.nodes_best_first() {
-        let (m1, m2) = (c1.mates(v), c2.mates(v));
+        let (m1, m2) = (c1.mate_ranks(v), c2.mate_ranks(v));
         let width = m1.len().max(m2.len());
         slots += width.max(1);
         for k in 0..width {
-            let l1 = m1.get(k).map_or(unmated, |&w| (ranking.rank_of(w).position() + 1) as f64);
-            let l2 = m2.get(k).map_or(unmated, |&w| (ranking.rank_of(w).position() + 1) as f64);
+            let l1 = m1.get(k).map_or(unmated, |r| (r.position() + 1) as f64);
+            let l2 = m2.get(k).map_or(unmated, |r| (r.position() + 1) as f64);
             sum += (l1 - l2).abs();
         }
     }
@@ -126,7 +132,10 @@ mod tests {
         let a = pair_up(&ranking, &[(0, 1), (2, 3)]);
         let b = pair_up(&ranking, &[(0, 2), (4, 5)]);
         assert_eq!(disorder(&ranking, &a, &b), disorder(&ranking, &b, &a));
-        assert_eq!(distance_general(&ranking, &a, &b), distance_general(&ranking, &b, &a));
+        assert_eq!(
+            distance_general(&ranking, &a, &b),
+            distance_general(&ranking, &b, &a)
+        );
     }
 
     #[test]
@@ -191,6 +200,9 @@ mod tests {
     #[test]
     fn empty_ranking_distance_zero() {
         let ranking = GlobalRanking::identity(0);
-        assert_eq!(disorder(&ranking, &Matching::new(0), &Matching::new(0)), 0.0);
+        assert_eq!(
+            disorder(&ranking, &Matching::new(0), &Matching::new(0)),
+            0.0
+        );
     }
 }

@@ -14,13 +14,22 @@
 //!   last asked peer (knows ranks, not availability);
 //! * **random** — `p` probes one uniformly random acceptable peer (no
 //!   information; this is the BitTorrent optimistic-unchoke analogue, §6).
+//!
+//! # Hot-path caches
+//!
+//! The driver maintains, per peer, the **acceptance threshold**: the raw
+//! rank position below which that peer welcomes a new candidate (worst-mate
+//! rank when saturated, "anyone" when a slot is free, "nobody" at zero
+//! capacity). Thresholds are updated incrementally on the peers an
+//! initiative or churn event touches — never recomputed per scan — so each
+//! candidate probe inside an initiative is two array reads and a compare.
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use strat_graph::NodeId;
 
 use crate::{
-    blocking, distance, stable_configuration_masked, Capacities, Matching, ModelError,
+    blocking, distance, stable_configuration_masked, Capacities, Matching, ModelError, Rank,
     RankedAcceptance,
 };
 
@@ -103,6 +112,11 @@ pub struct Dynamics {
     /// Peer presence; absent peers neither initiate nor get matched.
     present: Vec<bool>,
     present_count: usize,
+    /// Cached acceptance threshold per peer (see the module docs).
+    accept_below: Vec<u32>,
+    /// Clean/dirty memo: `false` means "a full scan since the last relevant
+    /// change found no blocking mate for this peer".
+    dirty: Vec<bool>,
     initiatives: u64,
     active_initiatives: u64,
 }
@@ -121,17 +135,22 @@ impl Dynamics {
     ) -> Result<Self, ModelError> {
         let n = acc.node_count();
         caps.check_len(n)?;
-        Ok(Self {
+        let matching = Matching::with_capacities(&caps);
+        let mut dynamics = Self {
             acc,
             caps,
-            matching: Matching::new(n),
+            matching,
             strategy,
             cursors: vec![0; n],
             present: vec![true; n],
             present_count: n,
+            accept_below: vec![0; n],
+            dirty: vec![true; n],
             initiatives: 0,
             active_initiatives: 0,
-        })
+        };
+        dynamics.refresh_all_thresholds();
+        Ok(dynamics)
     }
 
     /// Creates a driver starting from an arbitrary configuration.
@@ -153,6 +172,8 @@ impl Dynamics {
         }
         let mut d = Self::new(acc, caps, strategy)?;
         d.matching = matching;
+        d.refresh_all_thresholds();
+        d.dirty.fill(true);
         Ok(d)
     }
 
@@ -212,7 +233,13 @@ impl Dynamics {
         }
         self.present[v.index()] = false;
         self.present_count -= 1;
-        self.matching.isolate(v);
+        let dropped = self.matching.isolate(v);
+        self.refresh_threshold(v);
+        self.mark_neighborhood_dirty(v);
+        for mate in dropped {
+            self.refresh_threshold(mate);
+            self.mark_neighborhood_dirty(mate);
+        }
     }
 
     /// Re-inserts an absent peer with no mates. No-op if already present.
@@ -223,6 +250,8 @@ impl Dynamics {
         self.present[v.index()] = true;
         self.present_count += 1;
         debug_assert_eq!(self.matching.degree(v), 0);
+        self.refresh_threshold(v);
+        self.mark_neighborhood_dirty(v);
     }
 
     /// Performs one initiative by a uniformly random present peer.
@@ -253,14 +282,40 @@ impl Dynamics {
         }
         self.initiatives += 1;
         let mate = match self.strategy {
-            InitiativeStrategy::BestMate => blocking::best_blocking_mate(
-                &self.acc,
-                &self.caps,
-                &self.matching,
-                p,
-                |q| self.present[q.index()],
-            ),
-            InitiativeStrategy::Decremental => self.decremental_scan(p),
+            // The deterministic scans are memoized: a clean peer has no
+            // blocking mate by construction, so skip the scan entirely.
+            InitiativeStrategy::BestMate => {
+                if !self.dirty[p.index()] {
+                    None
+                } else {
+                    let found = blocking::best_blocking_mate_below(
+                        &self.acc,
+                        &self.matching,
+                        p,
+                        self.acc.ranking().rank_of(p),
+                        self.accept_below[p.index()],
+                        |q| self.present[q.index()],
+                        |q| self.accept_below[q.index()],
+                    );
+                    if found.is_none() {
+                        self.dirty[p.index()] = false;
+                    }
+                    found
+                }
+            }
+            InitiativeStrategy::Decremental => {
+                if !self.dirty[p.index()] {
+                    None
+                } else {
+                    let found = self.decremental_scan(p);
+                    if found.is_none() {
+                        self.dirty[p.index()] = false;
+                    }
+                    found
+                }
+            }
+            // The random probe draws from the RNG before the memo could
+            // apply; always perform it so streams stay aligned.
             InitiativeStrategy::Random => self.random_probe(p, rng),
         };
         match mate {
@@ -300,11 +355,21 @@ impl Dynamics {
     /// Whether the current configuration is stable for the present peers.
     #[must_use]
     pub fn is_stable(&self) -> bool {
+        let ranking = self.acc.ranking();
         self.acc.graph().edges().all(|(u, v)| {
             !(self.present[u.index()]
                 && self.present[v.index()]
-                && blocking::is_blocking_pair(&self.acc, &self.caps, &self.matching, u, v))
+                && self.is_blocking_pair_cached(ranking.rank_of(u), ranking.rank_of(v), u, v))
         })
+    }
+
+    /// Blocking-pair test against the cached thresholds; callers guarantee
+    /// `(u, v)` is an acceptance edge with both endpoints present.
+    #[inline]
+    fn is_blocking_pair_cached(&self, u_rank: Rank, v_rank: Rank, u: NodeId, v: NodeId) -> bool {
+        (v_rank.position() as u32) < self.accept_below[u.index()]
+            && (u_rank.position() as u32) < self.accept_below[v.index()]
+            && self.matching.mate_ranks(u).binary_search(&v_rank).is_err()
     }
 
     fn random_present_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
@@ -326,17 +391,18 @@ impl Dynamics {
 
     /// Circular scan from the last asked position (decremental strategy).
     fn decremental_scan(&mut self, p: NodeId) -> Option<NodeId> {
-        let neigh = self.acc.neighbors_best_first(p);
+        let (neigh, neigh_ranks) = self.acc.neighbors_with_ranks(p);
         let len = neigh.len();
         if len == 0 {
             return None;
         }
+        let p_rank = self.acc.ranking().rank_of(p);
         let start = self.cursors[p.index()] % len;
         for k in 0..len {
             let idx = (start + k) % len;
             let q = neigh[idx];
             if self.present[q.index()]
-                && blocking::is_blocking_pair(&self.acc, &self.caps, &self.matching, p, q)
+                && self.is_blocking_pair_cached(p_rank, neigh_ranks[idx], p, q)
             {
                 self.cursors[p.index()] = (idx + 1) % len;
                 return Some(q);
@@ -348,34 +414,94 @@ impl Dynamics {
 
     /// Single random probe (random strategy).
     fn random_probe<R: Rng + ?Sized>(&self, p: NodeId, rng: &mut R) -> Option<NodeId> {
-        let neigh = self.acc.neighbors_best_first(p);
+        let (neigh, neigh_ranks) = self.acc.neighbors_with_ranks(p);
         if neigh.is_empty() {
             return None;
         }
-        let q = neigh[rng.gen_range(0..neigh.len())];
-        (self.present[q.index()]
-            && blocking::is_blocking_pair(&self.acc, &self.caps, &self.matching, p, q))
-        .then_some(q)
+        let idx = rng.gen_range(0..neigh.len());
+        let q = neigh[idx];
+        let p_rank = self.acc.ranking().rank_of(p);
+        (self.present[q.index()] && self.is_blocking_pair_cached(p_rank, neigh_ranks[idx], p, q))
+            .then_some(q)
     }
 
     /// Matches a confirmed blocking pair, evicting worst mates as needed.
     fn execute(&mut self, p: NodeId, q: NodeId) -> InitiativeOutcome {
-        debug_assert!(blocking::is_blocking_pair(&self.acc, &self.caps, &self.matching, p, q));
+        debug_assert!(blocking::is_blocking_pair(
+            &self.acc,
+            &self.caps,
+            &self.matching,
+            p,
+            q
+        ));
         let ranking = self.acc.ranking();
         let mut dropped_by_peer = None;
         let mut dropped_by_mate = None;
         if self.matching.is_saturated(&self.caps, p) {
-            let worst = self.matching.worst_mate(p).expect("saturated implies mates");
-            self.matching.disconnect(p, worst).expect("worst mate is matched");
+            let worst = self
+                .matching
+                .worst_mate(p)
+                .expect("saturated implies mates");
+            self.matching
+                .disconnect(p, worst)
+                .expect("worst mate is matched");
             dropped_by_peer = Some(worst);
         }
         if self.matching.is_saturated(&self.caps, q) {
-            let worst = self.matching.worst_mate(q).expect("saturated implies mates");
-            self.matching.disconnect(q, worst).expect("worst mate is matched");
+            let worst = self
+                .matching
+                .worst_mate(q)
+                .expect("saturated implies mates");
+            self.matching
+                .disconnect(q, worst)
+                .expect("worst mate is matched");
             dropped_by_mate = Some(worst);
         }
-        self.matching.connect(ranking, &self.caps, p, q).expect("slots were freed");
-        InitiativeOutcome::Active { peer: p, mate: q, dropped_by_peer, dropped_by_mate }
+        self.matching
+            .connect(ranking, &self.caps, p, q)
+            .expect("slots were freed");
+        // Incremental cache maintenance: only the touched peers change, and
+        // only their neighbourhoods can gain new blocking pairs.
+        self.refresh_threshold(p);
+        self.refresh_threshold(q);
+        self.mark_neighborhood_dirty(p);
+        self.mark_neighborhood_dirty(q);
+        if let Some(w) = dropped_by_peer {
+            self.refresh_threshold(w);
+            self.mark_neighborhood_dirty(w);
+        }
+        if let Some(w) = dropped_by_mate {
+            self.refresh_threshold(w);
+            self.mark_neighborhood_dirty(w);
+        }
+        InitiativeOutcome::Active {
+            peer: p,
+            mate: q,
+            dropped_by_peer,
+            dropped_by_mate,
+        }
+    }
+
+    /// Recomputes the cached acceptance threshold of `v` (O(1)).
+    #[inline]
+    fn refresh_threshold(&mut self, v: NodeId) {
+        self.accept_below[v.index()] = blocking::accept_threshold(&self.matching, &self.caps, v);
+    }
+
+    fn refresh_all_thresholds(&mut self) {
+        for v in 0..self.node_count() {
+            self.refresh_threshold(NodeId::new(v));
+        }
+    }
+
+    /// Marks `v` and every acceptance-neighbour of `v` dirty: `v`'s mate
+    /// set or presence changed, which is the only way a blocking pair
+    /// involving them can appear.
+    fn mark_neighborhood_dirty(&mut self, v: NodeId) {
+        self.dirty[v.index()] = true;
+        for &w in self.acc.neighbors_best_first(v) {
+            self.dirty[w.index()] = true;
+        }
     }
 }
 
@@ -407,6 +533,19 @@ mod tests {
         (Dynamics::new(acc, caps, strategy).unwrap(), rng)
     }
 
+    /// Brute-force recomputation of every threshold; the incremental cache
+    /// must match it after any sequence of operations.
+    fn assert_thresholds_consistent(dynamics: &Dynamics) {
+        for v in 0..dynamics.node_count() {
+            let v = n(v);
+            assert_eq!(
+                dynamics.accept_below[v.index()],
+                blocking::accept_threshold(&dynamics.matching, &dynamics.caps, v),
+                "stale threshold for {v}"
+            );
+        }
+    }
+
     #[test]
     fn best_mate_converges_to_stable() {
         let (mut dyn_, mut rng) = build(80, 10.0, 1, InitiativeStrategy::BestMate, 4);
@@ -434,7 +573,11 @@ mod tests {
             }
             assert!(dyn_.is_stable(), "{strategy:?} failed to converge");
             let stable = stable_configuration(dyn_.acceptance(), dyn_.capacities()).unwrap();
-            assert_eq!(dyn_.matching(), &stable, "{strategy:?} reached a different fixpoint");
+            assert_eq!(
+                dyn_.matching(),
+                &stable,
+                "{strategy:?} reached a different fixpoint"
+            );
         }
     }
 
@@ -446,6 +589,22 @@ mod tests {
             assert!(dyn_
                 .matching
                 .check_invariants(dyn_.acc.ranking(), &dyn_.caps));
+        }
+        assert_thresholds_consistent(&dyn_);
+    }
+
+    #[test]
+    fn threshold_cache_stays_consistent_under_churn_and_steps() {
+        let (mut dyn_, mut rng) = build(40, 9.0, 2, InitiativeStrategy::BestMate, 33);
+        for round in 0..60 {
+            dyn_.step(&mut rng);
+            if round % 7 == 0 {
+                dyn_.remove_peer(n(round % 40));
+            }
+            if round % 11 == 0 {
+                dyn_.insert_peer(n((round * 3) % 40));
+            }
+            assert_thresholds_consistent(&dyn_);
         }
     }
 
@@ -510,15 +669,12 @@ mod tests {
         let acc = dyn0.acceptance().clone();
         let caps = dyn0.capacities().clone();
         let stable = stable_configuration(&acc, &caps).unwrap();
-        let dyn_ = Dynamics::with_configuration(
-            acc,
-            caps,
-            InitiativeStrategy::BestMate,
-            stable.clone(),
-        )
-        .unwrap();
+        let dyn_ =
+            Dynamics::with_configuration(acc, caps, InitiativeStrategy::BestMate, stable.clone())
+                .unwrap();
         assert!(dyn_.is_stable());
         assert_eq!(dyn_.disorder(), 0.0);
+        assert_thresholds_consistent(&dyn_);
     }
 
     #[test]

@@ -76,7 +76,10 @@ impl fmt::Display for ModelError {
                 write!(f, "provided ranking is not a permutation of 0..n")
             }
             ModelError::CapacityExceeded { node, capacity } => {
-                write!(f, "node {node} already uses all {capacity} collaboration slots")
+                write!(
+                    f,
+                    "node {node} already uses all {capacity} collaboration slots"
+                )
             }
             ModelError::InvalidPair { a, b } => {
                 write!(f, "cannot match pair ({a}, {b})")
@@ -96,11 +99,21 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = ModelError::TiedScores { a: NodeId::new(0), b: NodeId::new(3), score: 1.5 };
+        let e = ModelError::TiedScores {
+            a: NodeId::new(0),
+            b: NodeId::new(3),
+            score: 1.5,
+        };
         assert!(e.to_string().contains("distinct scores"));
-        let e = ModelError::CapacityExceeded { node: NodeId::new(2), capacity: 4 };
+        let e = ModelError::CapacityExceeded {
+            node: NodeId::new(2),
+            capacity: 4,
+        };
         assert!(e.to_string().contains("4 collaboration slots"));
-        let e = ModelError::SizeMismatch { expected: 5, actual: 3 };
+        let e = ModelError::SizeMismatch {
+            expected: 5,
+            actual: 3,
+        };
         assert_eq!(e.to_string(), "size mismatch: expected 5, got 3");
     }
 

@@ -91,14 +91,21 @@ pub fn estimate_ranking<R: Rng + ?Sized>(
 /// Panics if the rankings cover different peer counts.
 #[must_use]
 pub fn ranking_distortion(truth: &GlobalRanking, estimate: &GlobalRanking) -> f64 {
-    assert_eq!(truth.len(), estimate.len(), "rankings must cover the same peers");
+    assert_eq!(
+        truth.len(),
+        estimate.len(),
+        "rankings must cover the same peers"
+    );
     if truth.is_empty() {
         return 0.0;
     }
     let total: usize = (0..truth.len())
         .map(|v| {
             let v = NodeId::new(v);
-            truth.rank_of(v).position().abs_diff(estimate.rank_of(v).position())
+            truth
+                .rank_of(v)
+                .position()
+                .abs_diff(estimate.rank_of(v).position())
         })
         .sum();
     total as f64 / truth.len() as f64
@@ -139,7 +146,10 @@ mod tests {
         let coarse = distortion_at(5);
         let mid = distortion_at(40);
         let fine = distortion_at(300);
-        assert!(coarse > mid && mid > fine, "{coarse} > {mid} > {fine} violated");
+        assert!(
+            coarse > mid && mid > fine,
+            "{coarse} > {mid} > {fine} violated"
+        );
         assert!(fine < 10.0, "fine estimate distortion {fine}");
     }
 
@@ -172,7 +182,10 @@ mod tests {
                 misplaced += 1;
             }
         }
-        assert_eq!(misplaced, 0, "{misplaced} top-decile peers landed in the bottom decile");
+        assert_eq!(
+            misplaced, 0,
+            "{misplaced} top-decile peers landed in the bottom decile"
+        );
     }
 
     #[test]

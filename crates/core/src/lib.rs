@@ -29,6 +29,17 @@
 //! be made huge (variable capacities), yet every peer stays within a small
 //! rank offset of its mates.
 //!
+//! # Data-oriented hot paths
+//!
+//! The matching core is laid out for the scans the model hammers in a
+//! loop: [`RankedAcceptance`] stores adjacency in CSR form with a parallel
+//! per-neighbour [`Rank`] array and binary-search membership;
+//! [`Matching`] keeps each mate list as parallel `(NodeId, Rank)` arrays so
+//! worst-mate ranks are `O(1)` reads; [`Dynamics`] maintains per-peer
+//! acceptance thresholds incrementally, making each candidate probe two
+//! array reads and a compare. The pre-optimization implementations live on
+//! in [`reference`] for differential testing and benchmarking.
+//!
 //! # Quick start
 //!
 //! ```
@@ -65,6 +76,7 @@ pub mod gossip;
 mod matching;
 pub mod prefs;
 mod rank;
+pub mod reference;
 mod stable;
 
 pub use accept::RankedAcceptance;

@@ -5,16 +5,28 @@
 //! module provides the mutable configuration type on which both Algorithm 1
 //! and the initiative dynamics operate.
 
-use serde::{Deserialize, Serialize};
+use serde::Serialize;
 use strat_graph::{Graph, GraphBuilder, NodeId, UnionFind};
 
-use crate::{Capacities, GlobalRanking, ModelError};
+use crate::{Capacities, GlobalRanking, ModelError, Rank};
 
 /// A b-matching configuration: symmetric collaboration links between peers.
 ///
-/// Each peer's mate list is kept **sorted best-rank-first** with respect to
-/// the [`GlobalRanking`] passed to [`connect`](Matching::connect), so the
-/// worst mate (the one a blocking pair would evict) is always the last entry.
+/// # Data layout
+///
+/// Mate lists live in a **flat arena**: two parallel arrays (`ids`,
+/// `ranks`) sliced per peer through offset/length tables — the whole
+/// configuration is five allocations regardless of peer count, and a peer's
+/// mates with their ranks are two contiguous slices. Each row is kept
+/// **sorted best-rank-first** with the mate's rank cached next to its id,
+/// so the worst mate (the one a blocking pair would evict) and its rank are
+/// `O(1)` reads and no scan ever calls [`GlobalRanking::rank_of`] per
+/// element.
+///
+/// [`Matching::with_capacities`] sizes every row to its peer's capacity
+/// upfront (the fast path used by Algorithm 1 and [`crate::Dynamics`]);
+/// [`Matching::new`] starts rows at zero and grows them by relocating to
+/// the arena tail on demand.
 ///
 /// The type does not own ranking or capacities; callers pass them to the
 /// operations that need them. All mutating operations preserve symmetry.
@@ -33,24 +45,76 @@ use crate::{Capacities, GlobalRanking, ModelError};
 /// assert_eq!(m.degree(NodeId::new(0)), 1);
 /// # Ok::<(), strat_core::ModelError>(())
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Matching {
-    /// `mates[v]` = mates of `v`, sorted best-rank-first.
-    mates: Vec<Vec<NodeId>>,
+    /// Per-peer row metadata, packed so one row touch is one cache line.
+    rows: Vec<RowMeta>,
+    /// Arena of mate ids; peer `v`'s row is `ids[slot..slot + len]`.
+    ids: Vec<NodeId>,
+    /// Arena of mate ranks, parallel to `ids`.
+    ranks: Vec<Rank>,
     edge_count: usize,
 }
 
+/// Arena row descriptor: start offset, allocated slots, used slots.
+#[derive(Debug, Clone, Copy)]
+struct RowMeta {
+    slot: u32,
+    cap: u32,
+    len: u32,
+}
+
 impl Matching {
-    /// The empty configuration `C∅` over `n` peers.
+    /// The empty configuration `C∅` over `n` peers (zero-capacity rows that
+    /// grow on demand).
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { mates: vec![Vec::new(); n], edge_count: 0 }
+        Self {
+            rows: vec![
+                RowMeta {
+                    slot: 0,
+                    cap: 0,
+                    len: 0
+                };
+                n
+            ],
+            ids: Vec::new(),
+            ranks: Vec::new(),
+            edge_count: 0,
+        }
+    }
+
+    /// The empty configuration with every row preallocated to its peer's
+    /// capacity: two arena allocations total, and no growth relocations on
+    /// any fill pattern Algorithm 1 or the dynamics can produce.
+    #[must_use]
+    pub fn with_capacities(caps: &Capacities) -> Self {
+        let n = caps.len();
+        let mut rows = Vec::with_capacity(n);
+        let mut total = 0u64;
+        for &b in caps.as_slice() {
+            let slot = u32::try_from(total).expect("arena exceeds u32 slots");
+            rows.push(RowMeta {
+                slot,
+                cap: b,
+                len: 0,
+            });
+            total += u64::from(b);
+        }
+        let total = usize::try_from(total).expect("arena fits in memory");
+        assert!(total <= u32::MAX as usize, "arena exceeds u32 slots");
+        Self {
+            rows,
+            ids: vec![NodeId::new(0); total],
+            ranks: vec![Rank::new(0); total],
+            edge_count: 0,
+        }
     }
 
     /// Number of peers.
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.mates.len()
+        self.rows.len()
     }
 
     /// Number of collaboration links.
@@ -59,18 +123,47 @@ impl Matching {
         self.edge_count
     }
 
+    /// Row bounds of `v`.
+    #[inline]
+    fn row(&self, v: NodeId) -> (usize, usize) {
+        let row = self.rows[v.index()];
+        (row.slot as usize, (row.slot + row.len) as usize)
+    }
+
     /// Current number of mates of `v`.
     #[inline]
     #[must_use]
     pub fn degree(&self, v: NodeId) -> usize {
-        self.mates[v.index()].len()
+        self.rows[v.index()].len as usize
+    }
+
+    /// Free slots in `v`'s arena row (`row capacity - degree`).
+    ///
+    /// Only meaningful on a [`Matching::with_capacities`] configuration,
+    /// where row capacities equal the model capacities `b(v)` — Algorithm 1
+    /// reads this instead of maintaining a separate remaining-slots array,
+    /// since the append path already touches the row's metadata cache line.
+    #[inline]
+    pub(crate) fn free_slots(&self, v: NodeId) -> u32 {
+        let row = self.rows[v.index()];
+        row.cap - row.len
     }
 
     /// Mates of `v`, best-rank-first.
     #[inline]
     #[must_use]
     pub fn mates(&self, v: NodeId) -> &[NodeId] {
-        &self.mates[v.index()]
+        let (lo, hi) = self.row(v);
+        &self.ids[lo..hi]
+    }
+
+    /// Ranks of the mates of `v`, parallel to [`mates`](Self::mates) (so
+    /// ascending).
+    #[inline]
+    #[must_use]
+    pub fn mate_ranks(&self, v: NodeId) -> &[Rank] {
+        let (lo, hi) = self.row(v);
+        &self.ranks[lo..hi]
     }
 
     /// The single mate of `v` for 1-matchings (`None` if unmated).
@@ -80,22 +173,34 @@ impl Matching {
     #[must_use]
     pub fn mate_of(&self, v: NodeId) -> Option<NodeId> {
         debug_assert!(self.degree(v) <= 1, "mate_of used on a non-1-matching");
-        self.mates[v.index()].first().copied()
+        self.mates(v).first().copied()
     }
 
     /// Worst (lowest-ranked) current mate of `v`, if any.
     #[inline]
     #[must_use]
     pub fn worst_mate(&self, v: NodeId) -> Option<NodeId> {
-        self.mates[v.index()].last().copied()
+        self.mates(v).last().copied()
+    }
+
+    /// Rank of the worst current mate of `v`, if any — `O(1)`, no ranking
+    /// lookup.
+    #[inline]
+    #[must_use]
+    pub fn worst_rank(&self, v: NodeId) -> Option<Rank> {
+        self.mate_ranks(v).last().copied()
     }
 
     /// Whether `u` and `v` are currently matched together.
     #[must_use]
     pub fn contains(&self, u: NodeId, v: NodeId) -> bool {
         // Mate lists are tiny (b(p) slots); linear scan of the shorter list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
-        self.mates[a.index()].contains(&b)
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.mates(a).contains(&b)
     }
 
     /// Whether `v` uses all its slots under `caps`.
@@ -103,6 +208,26 @@ impl Matching {
     #[must_use]
     pub fn is_saturated(&self, caps: &Capacities, v: NodeId) -> bool {
         self.degree(v) >= caps.of(v) as usize
+    }
+
+    /// Whether `v` would welcome a **new** (non-mate, non-self) candidate of
+    /// rank `candidate_rank`: either a slot is free, or the candidate
+    /// outranks `v`'s worst current mate.
+    ///
+    /// This is the rank-only core of [`would_accept`](Self::would_accept);
+    /// callers on the hot path (which already know the candidate is not `v`
+    /// or a current mate) use it to skip the duplicate checks.
+    #[inline]
+    #[must_use]
+    pub fn would_accept_rank(&self, caps: &Capacities, v: NodeId, candidate_rank: Rank) -> bool {
+        let cap = caps.of(v) as usize;
+        if self.degree(v) < cap {
+            return cap > 0;
+        }
+        match self.worst_rank(v) {
+            Some(worst) => candidate_rank.is_better_than(worst),
+            None => false, // cap == 0
+        }
     }
 
     /// Whether `v` would welcome `candidate` as a new mate: either a slot is
@@ -118,14 +243,10 @@ impl Matching {
         v: NodeId,
         candidate: NodeId,
     ) -> bool {
-        if v == candidate || caps.of(v) == 0 || self.contains(v, candidate) {
+        if v == candidate || self.contains(v, candidate) {
             return false;
         }
-        if !self.is_saturated(caps, v) {
-            return true;
-        }
-        let worst = self.worst_mate(v).expect("saturated peer with capacity > 0 has a mate");
-        ranking.prefers(candidate, worst)
+        self.would_accept_rank(caps, v, ranking.rank_of(candidate))
     }
 
     /// Connects `u` and `v`, keeping both mate lists rank-sorted.
@@ -146,13 +267,75 @@ impl Matching {
         }
         for w in [u, v] {
             if self.is_saturated(caps, w) {
-                return Err(ModelError::CapacityExceeded { node: w, capacity: caps.of(w) });
+                return Err(ModelError::CapacityExceeded {
+                    node: w,
+                    capacity: caps.of(w),
+                });
             }
         }
-        self.insert_sorted(ranking, u, v);
-        self.insert_sorted(ranking, v, u);
+        self.insert_sorted(u, v, ranking.rank_of(v));
+        self.insert_sorted(v, u, ranking.rank_of(u));
         self.edge_count += 1;
         Ok(())
+    }
+
+    /// Connects `u` (rank `u_rank`) and `v` (rank `v_rank`) by **appending**
+    /// to both rows, skipping every validity check.
+    ///
+    /// Only for construction loops that add mates in ascending-rank order on
+    /// both sides — Algorithm 1 does (each peer receives mates best-first) —
+    /// which debug builds assert.
+    pub(crate) fn push_pair_append(&mut self, u: NodeId, v: NodeId, u_rank: Rank, v_rank: Rank) {
+        debug_assert_ne!(u, v);
+        debug_assert!(self.worst_rank(u).is_none_or(|r| r.is_better_than(v_rank)));
+        debug_assert!(self.worst_rank(v).is_none_or(|r| r.is_better_than(u_rank)));
+        self.append_one(u, v, v_rank);
+        self.append_one(v, u, u_rank);
+        self.edge_count += 1;
+    }
+
+    #[inline]
+    fn append_one(&mut self, owner: NodeId, mate: NodeId, mate_rank: Rank) {
+        let o = owner.index();
+        if self.rows[o].len == self.rows[o].cap {
+            self.grow_row(owner);
+        }
+        let row = self.rows[o];
+        let at = (row.slot + row.len) as usize;
+        self.ids[at] = mate;
+        self.ranks[at] = mate_rank;
+        self.rows[o].len += 1;
+    }
+
+    /// Relocates `owner`'s row to the arena tail with doubled capacity.
+    ///
+    /// Only the growth path of [`Matching::new`] rows ever runs this; rows
+    /// from [`Matching::with_capacities`] are born at full size. The old
+    /// row becomes a hole — acceptable for the small ad-hoc configurations
+    /// built through `new`.
+    #[cold]
+    fn grow_row(&mut self, owner: NodeId) {
+        let o = owner.index();
+        let old = self.rows[o];
+        let new_cap = (old.cap * 2).max(2) as usize;
+        let new_slot = self.ids.len();
+        assert!(
+            new_slot + new_cap <= u32::MAX as usize,
+            "arena exceeds u32 slots"
+        );
+        for k in 0..old.len as usize {
+            self.ids.push(self.ids[old.slot as usize + k]);
+            self.ranks.push(self.ranks[old.slot as usize + k]);
+        }
+        for _ in old.len as usize..new_cap {
+            self.ids.push(NodeId::new(0));
+            self.ranks.push(Rank::new(0));
+        }
+        self.rows[o] = RowMeta {
+            slot: new_slot as u32,
+            cap: new_cap as u32,
+            len: old.len,
+        };
     }
 
     /// Removes the link between `u` and `v`.
@@ -161,12 +344,12 @@ impl Matching {
     ///
     /// Returns [`ModelError::NotMatched`] if they are not matched together.
     pub fn disconnect(&mut self, u: NodeId, v: NodeId) -> Result<(), ModelError> {
-        let pos_u = self.mates[u.index()].iter().position(|&w| w == v);
-        let pos_v = self.mates[v.index()].iter().position(|&w| w == u);
+        let pos_u = self.mates(u).iter().position(|&w| w == v);
+        let pos_v = self.mates(v).iter().position(|&w| w == u);
         match (pos_u, pos_v) {
             (Some(pu), Some(pv)) => {
-                self.mates[u.index()].remove(pu);
-                self.mates[v.index()].remove(pv);
+                self.remove_at(u, pu);
+                self.remove_at(v, pv);
                 self.edge_count -= 1;
                 Ok(())
             }
@@ -176,14 +359,16 @@ impl Matching {
 
     /// Drops all links of `v` (peer departure). Returns the former mates.
     pub fn isolate(&mut self, v: NodeId) -> Vec<NodeId> {
-        let mates = core::mem::take(&mut self.mates[v.index()]);
+        let mates = self.mates(v).to_vec();
         for &m in &mates {
-            let pos = self.mates[m.index()]
+            let pos = self
+                .mates(m)
                 .iter()
                 .position(|&w| w == v)
                 .expect("matching is symmetric");
-            self.mates[m.index()].remove(pos);
+            self.remove_at(m, pos);
         }
+        self.rows[v.index()].len = 0;
         self.edge_count -= mates.len();
         mates
     }
@@ -192,11 +377,13 @@ impl Matching {
     #[must_use]
     pub fn to_graph(&self) -> Graph {
         let mut builder = GraphBuilder::new(self.node_count());
-        for (u, mates) in self.mates.iter().enumerate() {
+        for u in 0..self.node_count() {
             let u = NodeId::new(u);
-            for &v in mates {
+            for &v in self.mates(u) {
                 if u < v {
-                    builder.add_edge(u, v).expect("matching links are valid edges");
+                    builder
+                        .add_edge(u, v)
+                        .expect("matching links are valid edges");
                 }
             }
         }
@@ -208,8 +395,8 @@ impl Matching {
     #[must_use]
     pub fn to_union_find(&self) -> UnionFind {
         let mut uf = UnionFind::new(self.node_count());
-        for (u, mates) in self.mates.iter().enumerate() {
-            for &v in mates {
+        for u in 0..self.node_count() {
+            for &v in self.mates(NodeId::new(u)) {
                 uf.union(u, v.index());
             }
         }
@@ -217,20 +404,22 @@ impl Matching {
     }
 
     /// Checks all structural invariants: symmetry, looplessness, capacity
-    /// bounds, rank-sorted mate lists, consistent edge count.
+    /// bounds, rank-sorted rows with ranks consistent with `ranking`,
+    /// consistent edge count.
     #[must_use]
     pub fn check_invariants(&self, ranking: &GlobalRanking, caps: &Capacities) -> bool {
         let mut half_edges = 0usize;
-        for (u, mates) in self.mates.iter().enumerate() {
+        for u in 0..self.node_count() {
             let u = NodeId::new(u);
+            let (mates, mate_ranks) = (self.mates(u), self.mate_ranks(u));
             if mates.len() > caps.of(u) as usize {
                 return false;
             }
-            if mates.windows(2).any(|w| !ranking.prefers(w[0], w[1])) {
+            if mate_ranks.windows(2).any(|w| !w[0].is_better_than(w[1])) {
                 return false; // not strictly best-first (also catches duplicates)
             }
-            for &v in mates {
-                if v == u || !self.mates[v.index()].contains(&u) {
+            for (&v, &r) in mates.iter().zip(mate_ranks) {
+                if v == u || ranking.rank_of(v) != r || !self.mates(v).contains(&u) {
                     return false;
                 }
             }
@@ -239,11 +428,62 @@ impl Matching {
         half_edges == 2 * self.edge_count
     }
 
-    fn insert_sorted(&mut self, ranking: &GlobalRanking, owner: NodeId, mate: NodeId) {
-        let list = &mut self.mates[owner.index()];
-        let rank = ranking.rank_of(mate);
-        let pos = list.partition_point(|&w| ranking.rank_of(w).is_better_than(rank));
-        list.insert(pos, mate);
+    fn insert_sorted(&mut self, owner: NodeId, mate: NodeId, rank: Rank) {
+        let o = owner.index();
+        if self.rows[o].len == self.rows[o].cap {
+            self.grow_row(owner);
+        }
+        let row = self.rows[o];
+        let (slot, len) = (row.slot as usize, row.len as usize);
+        let pos = self.ranks[slot..slot + len].partition_point(|&r| r.is_better_than(rank));
+        // Shift the tail right one slot inside the row (rows are tiny).
+        self.ids.copy_within(slot + pos..slot + len, slot + pos + 1);
+        self.ranks
+            .copy_within(slot + pos..slot + len, slot + pos + 1);
+        self.ids[slot + pos] = mate;
+        self.ranks[slot + pos] = rank;
+        self.rows[o].len += 1;
+    }
+
+    fn remove_at(&mut self, owner: NodeId, pos: usize) {
+        let o = owner.index();
+        let row = self.rows[o];
+        let (slot, len) = (row.slot as usize, row.len as usize);
+        self.ids.copy_within(slot + pos + 1..slot + len, slot + pos);
+        self.ranks
+            .copy_within(slot + pos + 1..slot + len, slot + pos);
+        self.rows[o].len -= 1;
+    }
+}
+
+/// Logical equality: same peers with the same mate rows (arena layout —
+/// offsets, holes, spare capacity — is ignored).
+impl PartialEq for Matching {
+    fn eq(&self, other: &Self) -> bool {
+        if self.node_count() != other.node_count() || self.edge_count != other.edge_count {
+            return false;
+        }
+        (0..self.node_count()).all(|v| {
+            let v = NodeId::new(v);
+            self.mates(v) == other.mates(v) && self.mate_ranks(v) == other.mate_ranks(v)
+        })
+    }
+}
+
+impl Eq for Matching {}
+
+/// Serializes the logical view: `{"mates": [[ids of peer 0], ...]}`.
+impl Serialize for Matching {
+    fn serialize_json_into(&self, out: &mut String) {
+        out.push_str("{\"mates\":[");
+        for v in 0..self.node_count() {
+            if v > 0 {
+                out.push(',');
+            }
+            let row: Vec<u32> = self.mates(NodeId::new(v)).iter().map(|m| m.raw()).collect();
+            row.serialize_json_into(out);
+        }
+        out.push_str("]}");
     }
 }
 
@@ -256,7 +496,11 @@ mod tests {
     }
 
     fn setup(count: usize, b0: u32) -> (GlobalRanking, Capacities, Matching) {
-        (GlobalRanking::identity(count), Capacities::constant(count, b0), Matching::new(count))
+        (
+            GlobalRanking::identity(count),
+            Capacities::constant(count, b0),
+            Matching::new(count),
+        )
     }
 
     #[test]
@@ -266,6 +510,7 @@ mod tests {
         assert_eq!(m.degree(n(0)), 0);
         assert_eq!(m.mate_of(n(1)), None);
         assert_eq!(m.worst_mate(n(2)), None);
+        assert_eq!(m.worst_rank(n(2)), None);
     }
 
     #[test]
@@ -275,7 +520,12 @@ mod tests {
         m.connect(&ranking, &caps, n(2), n(0)).unwrap();
         m.connect(&ranking, &caps, n(2), n(3)).unwrap();
         assert_eq!(m.mates(n(2)), &[n(0), n(3), n(4)]); // best-first
+        assert_eq!(
+            m.mate_ranks(n(2)),
+            &[Rank::new(0), Rank::new(3), Rank::new(4)]
+        );
         assert_eq!(m.worst_mate(n(2)), Some(n(4)));
+        assert_eq!(m.worst_rank(n(2)), Some(Rank::new(4)));
         assert!(m.contains(n(4), n(2)));
         assert_eq!(m.edge_count(), 3);
         assert!(m.check_invariants(&ranking, &caps));
@@ -300,7 +550,13 @@ mod tests {
         let (ranking, caps, mut m) = setup(4, 1);
         m.connect(&ranking, &caps, n(0), n(1)).unwrap();
         let err = m.connect(&ranking, &caps, n(0), n(2)).unwrap_err();
-        assert_eq!(err, ModelError::CapacityExceeded { node: n(0), capacity: 1 });
+        assert_eq!(
+            err,
+            ModelError::CapacityExceeded {
+                node: n(0),
+                capacity: 1
+            }
+        );
     }
 
     #[test]
@@ -312,7 +568,10 @@ mod tests {
         m.disconnect(n(0), n(2)).unwrap();
         assert!(!m.contains(n(0), n(2)));
         assert_eq!(m.edge_count(), 2);
-        assert!(matches!(m.disconnect(n(0), n(2)), Err(ModelError::NotMatched { .. })));
+        assert!(matches!(
+            m.disconnect(n(0), n(2)),
+            Err(ModelError::NotMatched { .. })
+        ));
 
         let dropped = m.isolate(n(0));
         assert_eq!(dropped, vec![n(1), n(3)]);
@@ -334,11 +593,26 @@ mod tests {
     }
 
     #[test]
+    fn would_accept_rank_matches_would_accept_for_non_mates() {
+        let (ranking, caps, mut m) = setup(6, 2);
+        m.connect(&ranking, &caps, n(3), n(1)).unwrap();
+        m.connect(&ranking, &caps, n(3), n(4)).unwrap();
+        for cand in [0usize, 2, 5] {
+            assert_eq!(
+                m.would_accept_rank(&caps, n(3), ranking.rank_of(n(cand))),
+                m.would_accept(&ranking, &caps, n(3), n(cand)),
+                "candidate {cand}"
+            );
+        }
+    }
+
+    #[test]
     fn zero_capacity_never_accepts() {
         let ranking = GlobalRanking::identity(2);
         let caps = Capacities::constant(2, 0);
         let m = Matching::new(2);
         assert!(!m.would_accept(&ranking, &caps, n(0), n(1)));
+        assert!(!m.would_accept_rank(&caps, n(0), Rank::new(1)));
     }
 
     #[test]
@@ -368,13 +642,55 @@ mod tests {
     #[test]
     fn mate_lists_sorted_under_nonidentity_ranking() {
         // Node 2 best, node 0 middle, node 1 worst.
-        let ranking =
-            GlobalRanking::from_permutation(vec![n(2), n(0), n(1)]).unwrap();
+        let ranking = GlobalRanking::from_permutation(vec![n(2), n(0), n(1)]).unwrap();
         let caps = Capacities::constant(3, 2);
         let mut m = Matching::new(3);
         m.connect(&ranking, &caps, n(0), n(1)).unwrap();
         m.connect(&ranking, &caps, n(0), n(2)).unwrap();
         assert_eq!(m.mates(n(0)), &[n(2), n(1)]);
         assert!(m.check_invariants(&ranking, &caps));
+    }
+
+    #[test]
+    fn push_pair_append_matches_connect() {
+        let (ranking, caps, mut slow) = setup(6, 2);
+        let mut fast = Matching::with_capacities(&caps);
+        // Ascending-rank appends on both sides.
+        for (u, v) in [(0usize, 1usize), (0, 2), (1, 3), (2, 4)] {
+            slow.connect(&ranking, &caps, n(u), n(v)).unwrap();
+            fast.push_pair_append(n(u), n(v), ranking.rank_of(n(u)), ranking.rank_of(n(v)));
+        }
+        assert_eq!(slow, fast);
+        assert!(fast.check_invariants(&ranking, &caps));
+    }
+
+    #[test]
+    fn grown_rows_equal_preallocated_rows() {
+        // `new` (grow-on-demand) and `with_capacities` (preallocated) must
+        // be logically equal after the same operations, despite different
+        // arena layouts.
+        let ranking = GlobalRanking::identity(8);
+        let caps = Capacities::constant(8, 3);
+        let mut grown = Matching::new(8);
+        let mut flat = Matching::with_capacities(&caps);
+        let ops = [(0usize, 5usize), (0, 3), (1, 2), (0, 6), (4, 7), (3, 6)];
+        for &(u, v) in &ops {
+            grown.connect(&ranking, &caps, n(u), n(v)).unwrap();
+            flat.connect(&ranking, &caps, n(u), n(v)).unwrap();
+        }
+        grown.disconnect(n(0), n(3)).unwrap();
+        flat.disconnect(n(0), n(3)).unwrap();
+        assert_eq!(grown, flat);
+        assert!(grown.check_invariants(&ranking, &caps));
+        assert!(flat.check_invariants(&ranking, &caps));
+        // Serialization reflects the logical view for both layouts.
+        assert_eq!(grown.to_json(), flat.to_json());
+    }
+
+    #[test]
+    fn serialize_shape() {
+        let (ranking, caps, mut m) = setup(3, 1);
+        m.connect(&ranking, &caps, n(0), n(2)).unwrap();
+        assert_eq!(m.to_json(), "{\"mates\":[[2],[],[0]]}");
     }
 }

@@ -120,7 +120,10 @@ impl LatencyPrefs {
     /// Panics if a position is not finite.
     #[must_use]
     pub fn new(positions: Vec<f64>) -> Self {
-        assert!(positions.iter().all(|x| x.is_finite()), "positions must be finite");
+        assert!(
+            positions.iter().all(|x| x.is_finite()),
+            "positions must be finite"
+        );
         Self { positions }
     }
 
@@ -204,7 +207,10 @@ impl BandedRankPrefs {
     #[must_use]
     pub fn new(ranking: GlobalRanking, class_width: usize) -> Self {
         assert!(class_width > 0, "class width must be positive");
-        Self { ranking, class_width }
+        Self {
+            ranking,
+            class_width,
+        }
     }
 
     fn class(&self, v: NodeId) -> usize {
@@ -234,7 +240,10 @@ impl PrefMatching {
     /// Empty configuration.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        Self { mates: vec![Vec::new(); n], edge_count: 0 }
+        Self {
+            mates: vec![Vec::new(); n],
+            edge_count: 0,
+        }
     }
 
     /// Number of peers.
@@ -269,8 +278,14 @@ impl PrefMatching {
     }
 
     fn disconnect(&mut self, u: NodeId, v: NodeId) {
-        let pu = self.mates[u.index()].iter().position(|&w| w == v).expect("matched");
-        let pv = self.mates[v.index()].iter().position(|&w| w == u).expect("matched");
+        let pu = self.mates[u.index()]
+            .iter()
+            .position(|&w| w == v)
+            .expect("matched");
+        let pv = self.mates[v.index()]
+            .iter()
+            .position(|&w| w == u)
+            .expect("matched");
         self.mates[u.index()].swap_remove(pu);
         self.mates[v.index()].swap_remove(pv);
         self.edge_count -= 1;
@@ -291,8 +306,9 @@ impl PrefMatching {
         if self.mates[v.index()].len() < caps.of(v) as usize {
             return true;
         }
-        let worst =
-            prefs.worst_of(v, &self.mates[v.index()]).expect("saturated peer has mates");
+        let worst = prefs
+            .worst_of(v, &self.mates[v.index()])
+            .expect("saturated peer has mates");
         prefs.prefers(v, candidate, worst)
     }
 
@@ -359,24 +375,27 @@ pub fn best_mate_dynamics<P: PreferenceSystem>(
     loop {
         let mut any_active = false;
         for p in graph.nodes() {
-            // Best blocking mate of p under prefs.
-            let candidates: Vec<NodeId> = graph
-                .neighbors(p)
-                .iter()
-                .copied()
-                .filter(|&q| {
-                    matching.would_accept(prefs, caps, p, q)
-                        && matching.would_accept(prefs, caps, q, p)
-                })
-                .collect();
-            let Some(q) = prefs.best_of(p, &candidates) else {
+            // Best blocking mate of p under prefs: single streaming pass,
+            // no candidate buffer (this sweep dominates the runtime on
+            // dense instances).
+            let mut best: Option<NodeId> = None;
+            for &q in graph.neighbors(p) {
+                if best.is_none_or(|b| prefs.prefers(p, q, b))
+                    && matching.would_accept(prefs, caps, p, q)
+                    && matching.would_accept(prefs, caps, q, p)
+                {
+                    best = Some(q);
+                }
+            }
+            let Some(q) = best else {
                 continue;
             };
             // Evict worst mates if saturated, then connect.
             for v in [p, q] {
                 if matching.mates(v).len() >= caps.of(v) as usize {
-                    let worst =
-                        prefs.worst_of(v, matching.mates(v)).expect("saturated has mates");
+                    let worst = prefs
+                        .worst_of(v, matching.mates(v))
+                        .expect("saturated has mates");
                     matching.disconnect(v, worst);
                 }
             }
@@ -388,7 +407,10 @@ pub fn best_mate_dynamics<P: PreferenceSystem>(
             return PrefDynamicsOutcome::Stable(matching);
         }
         if !seen.insert(matching.fingerprint()) {
-            return PrefDynamicsOutcome::Oscillating { at: matching, steps };
+            return PrefDynamicsOutcome::Oscillating {
+                at: matching,
+                steps,
+            };
         }
     }
 }
@@ -405,8 +427,8 @@ pub fn best_mate_dynamics<P: PreferenceSystem>(
 pub fn odd_cycle_instance() -> (Graph, ExplicitPrefs) {
     let n = |i: usize| NodeId::new(i);
     // Complete graph on 3 peers.
-    let graph = Graph::from_edges(3, [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))])
-        .expect("valid triangle");
+    let graph =
+        Graph::from_edges(3, [(n(0), n(1)), (n(1), n(2)), (n(2), n(0))]).expect("valid triangle");
     // 0 prefers 1 over 2; 1 prefers 2 over 0; 2 prefers 0 over 1.
     let orders = vec![vec![n(1), n(2)], vec![n(2), n(0)], vec![n(0), n(1)]];
     (graph, ExplicitPrefs::new(orders))

@@ -113,12 +113,16 @@ impl GlobalRanking {
     pub fn from_scores(scores: &[f64]) -> Result<Self, ModelError> {
         for (v, s) in scores.iter().enumerate() {
             if s.is_nan() {
-                return Err(ModelError::InvalidScore { node: NodeId::new(v) });
+                return Err(ModelError::InvalidScore {
+                    node: NodeId::new(v),
+                });
             }
         }
         let mut order: Vec<usize> = (0..scores.len()).collect();
         order.sort_by(|&a, &b| {
-            scores[b].partial_cmp(&scores[a]).expect("NaN scores were rejected above")
+            scores[b]
+                .partial_cmp(&scores[a])
+                .expect("NaN scores were rejected above")
         });
         for w in order.windows(2) {
             if scores[w[0]] == scores[w[1]] {
@@ -149,7 +153,10 @@ impl GlobalRanking {
             seen[v.index()] = true;
             rank_of[v.index()] = Rank::new(r);
         }
-        Ok(Self { rank_of, node_at: order })
+        Ok(Self {
+            rank_of,
+            node_at: order,
+        })
     }
 
     /// A uniformly random ranking.
@@ -256,7 +263,12 @@ mod tests {
     #[test]
     fn nan_rejected() {
         let err = GlobalRanking::from_scores(&[1.0, f64::NAN]).unwrap_err();
-        assert_eq!(err, ModelError::InvalidScore { node: NodeId::new(1) });
+        assert_eq!(
+            err,
+            ModelError::InvalidScore {
+                node: NodeId::new(1)
+            }
+        );
     }
 
     #[test]

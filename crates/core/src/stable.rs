@@ -5,7 +5,11 @@
 //! the best peer grabs its best acceptable peers, then the second best fills
 //! its remaining slots, and so on. When the greedy loop reaches peer `i`,
 //! every better peer has spent its slots, so `i` only needs to scan peers
-//! ranked below itself.
+//! ranked below itself — which the CSR acceptance rows locate with one
+//! binary search (the better-ranked prefix is skipped wholesale instead of
+//! being re-scanned and filtered per edge). Every link is then formed by
+//! appending to both mate lists: the greedy order hands each peer its mates
+//! best-first, so no sorted insertion and no validity checks are needed.
 
 use strat_graph::NodeId;
 
@@ -60,31 +64,42 @@ where
     let n = acc.node_count();
     caps.check_len(n)?;
     let ranking = acc.ranking();
-    let mut remaining: Vec<u32> = (0..n).map(|v| caps.of(NodeId::new(v))).collect();
-    let mut matching = Matching::new(n);
-    for i in ranking.nodes_best_first() {
-        if !present(i) {
-            continue;
+    // Availability bitset: bit `v` set iff `v` is present with free slots.
+    // The inner scan's only random memory access becomes one bit probe in a
+    // structure 32× smaller than a remaining-slots array (L1-resident up to
+    // ~2M peers), and the `present` predicate is evaluated once per peer,
+    // not per edge. Exact free-slot counts live in the matching's own arena
+    // row metadata, which every append touches anyway.
+    let mut avail = vec![0u64; n.div_ceil(64)];
+    for v in 0..n {
+        if caps.of(NodeId::new(v)) > 0 && present(NodeId::new(v)) {
+            avail[v >> 6] |= 1 << (v & 63);
         }
-        if remaining[i.index()] == 0 {
+    }
+    let mut matching = Matching::with_capacities(caps);
+    for i in ranking.nodes_best_first() {
+        if avail[i.index() >> 6] & (1 << (i.index() & 63)) == 0 {
             continue;
         }
         let my_rank = ranking.rank_of(i);
-        for &j in acc.neighbors_best_first(i) {
-            // Better-ranked neighbours were already given their chance to
-            // pick `i`; only scan below.
-            if ranking.rank_of(j).is_better_than(my_rank) {
+        let (ids, ranks) = acc.neighbors_with_ranks(i);
+        // Better-ranked neighbours already had their chance to pick `i`;
+        // jump straight past them (the row is sorted by rank).
+        let start = ranks.partition_point(|r| r.is_better_than(my_rank));
+        let mut slots_left = matching.free_slots(i);
+        for (&j, &j_rank) in ids[start..].iter().zip(&ranks[start..]) {
+            if avail[j.index() >> 6] & (1 << (j.index() & 63)) == 0 {
                 continue;
             }
-            if !present(j) || remaining[j.index()] == 0 {
-                continue;
+            // Greedy order delivers mates best-first on both sides, so a
+            // plain append keeps the lists sorted (debug-asserted inside).
+            matching.push_pair_append(i, j, my_rank, j_rank);
+            if matching.free_slots(j) == 0 {
+                avail[j.index() >> 6] &= !(1 << (j.index() & 63));
             }
-            matching
-                .connect(ranking, caps, i, j)
-                .expect("greedy respects capacities and never duplicates a pair");
-            remaining[i.index()] -= 1;
-            remaining[j.index()] -= 1;
-            if remaining[i.index()] == 0 {
+            slots_left -= 1;
+            if slots_left == 0 {
+                avail[i.index() >> 6] &= !(1 << (i.index() & 63));
                 break;
             }
         }
@@ -111,8 +126,9 @@ pub fn stable_configuration_complete(
     let n = ranking.len();
     caps.check_len(n)?;
     // Per-rank remaining capacity.
-    let mut remaining: Vec<u32> =
-        (0..n).map(|r| caps.of(ranking.node_at_rank(crate::Rank::new(r)))).collect();
+    let mut remaining: Vec<u32> = (0..n)
+        .map(|r| caps.of(ranking.node_at_rank(crate::Rank::new(r))))
+        .collect();
     // next_avail[r] = candidate for the smallest rank >= r with capacity,
     // maintained with path compression. Index n is a sentinel.
     let mut next_avail: Vec<u32> = (0..=n as u32).collect();
@@ -136,7 +152,7 @@ pub fn stable_configuration_complete(
         r
     }
 
-    let mut matching = Matching::new(n);
+    let mut matching = Matching::with_capacities(caps);
     for r in 0..n {
         let i = ranking.node_at_rank(crate::Rank::new(r));
         let mut cursor = r + 1;
@@ -146,9 +162,9 @@ pub fn stable_configuration_complete(
                 break; // everyone below r is saturated: slots stay unsatisfied
             }
             let j = ranking.node_at_rank(crate::Rank::new(s));
-            matching
-                .connect(ranking, caps, i, j)
-                .expect("distinct ranks with remaining capacity form a valid pair");
+            // `i` grabs ranks below itself in ascending order, and `j`
+            // receives grabs from above in ascending order: appends suffice.
+            matching.push_pair_append(i, j, crate::Rank::new(r), crate::Rank::new(s));
             remaining[r] -= 1;
             remaining[s] -= 1;
             cursor = s + 1;
@@ -216,7 +232,10 @@ mod tests {
             let acc = RankedAcceptance::new(g, ranking).unwrap();
             let caps = Capacities::sample(
                 60,
-                &CapacityDistribution::RoundedNormal { mean: 3.0, sigma: 1.0 },
+                &CapacityDistribution::RoundedNormal {
+                    mean: 3.0,
+                    sigma: 1.0,
+                },
                 &mut rng,
             );
             let m = stable_configuration(&acc, &caps).unwrap();
@@ -236,7 +255,10 @@ mod tests {
             let ranking = GlobalRanking::random(count, &mut rng);
             let caps = Capacities::sample(
                 count,
-                &CapacityDistribution::RoundedNormal { mean: 3.0, sigma: 1.5 },
+                &CapacityDistribution::RoundedNormal {
+                    mean: 3.0,
+                    sigma: 1.5,
+                },
                 &mut rng,
             );
             let acc = RankedAcceptance::new(generators::complete(count), ranking.clone()).unwrap();
@@ -275,11 +297,21 @@ mod tests {
     fn empty_and_tiny_inputs() {
         let ranking = GlobalRanking::identity(0);
         let caps = Capacities::constant(0, 3);
-        assert_eq!(stable_configuration_complete(&ranking, &caps).unwrap().edge_count(), 0);
+        assert_eq!(
+            stable_configuration_complete(&ranking, &caps)
+                .unwrap()
+                .edge_count(),
+            0
+        );
 
         let ranking = GlobalRanking::identity(1);
         let caps = Capacities::constant(1, 3);
-        assert_eq!(stable_configuration_complete(&ranking, &caps).unwrap().edge_count(), 0);
+        assert_eq!(
+            stable_configuration_complete(&ranking, &caps)
+                .unwrap()
+                .edge_count(),
+            0
+        );
     }
 
     #[test]
@@ -312,5 +344,20 @@ mod tests {
         let comps = strat_graph::components::Components::of(&m.to_graph());
         assert_eq!(comps.giant_size(), 5);
         assert_eq!(comps.count(), count / 5);
+    }
+
+    #[test]
+    fn nonidentity_ranking_greedy_matches_reference_shape() {
+        // Regression for the partition_point fast path: a scrambled ranking
+        // must still yield a stable configuration identical to the masked
+        // reference (full-present mask).
+        let mut rng = ChaCha8Rng::seed_from_u64(41);
+        let g = generators::erdos_renyi(80, 0.1, &mut rng);
+        let ranking = GlobalRanking::random(80, &mut rng);
+        let acc = RankedAcceptance::new(g, ranking).unwrap();
+        let caps = Capacities::constant(80, 2);
+        let m = stable_configuration(&acc, &caps).unwrap();
+        assert!(blocking::is_stable(&acc, &caps, &m));
+        assert!(m.check_invariants(acc.ranking(), &caps));
     }
 }

@@ -1,0 +1,135 @@
+//! Differential properties: the data-oriented hot paths (CSR acceptance,
+//! arena matching, threshold + clean/dirty caches) must be observationally
+//! identical to the seed-faithful implementations in
+//! `strat_core::reference` — same stable configuration, and the same
+//! [`InitiativeOutcome`] stream for a fixed seed, including under peer
+//! removal and re-insertion.
+
+use proptest::prelude::*;
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use strat_core::reference::{RefAcceptance, RefDynamics};
+use strat_core::{
+    reference, stable_configuration, Capacities, Dynamics, GlobalRanking, InitiativeOutcome,
+    InitiativeStrategy, RankedAcceptance,
+};
+use strat_graph::{Graph, NodeId};
+
+/// Raw instance material: `(n, edge list, rank permutation, capacities)`.
+type RawInstance = (usize, Vec<(usize, usize)>, Vec<usize>, Vec<u32>);
+
+fn instance(max_n: usize) -> impl Strategy<Value = RawInstance> {
+    (2..max_n).prop_flat_map(|n| {
+        let edges = proptest::collection::vec((0..n, 0..n), 0..(4 * n));
+        let perm = Just((0..n).collect::<Vec<_>>()).prop_shuffle();
+        let caps = proptest::collection::vec(0u32..5, n);
+        (Just(n), edges, perm, caps)
+    })
+}
+
+/// Builds the optimized and the seed-faithful acceptance structures from
+/// the same raw material.
+fn build_both(
+    n: usize,
+    raw_edges: &[(usize, usize)],
+    perm: &[usize],
+    caps: &[u32],
+) -> (RankedAcceptance, RefAcceptance, Capacities) {
+    let mut builder = Graph::builder(n);
+    for &(u, v) in raw_edges {
+        if u != v {
+            builder
+                .add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("endpoints in range");
+        }
+    }
+    let graph = builder.build();
+    let ranking = GlobalRanking::from_permutation(perm.iter().map(|&v| NodeId::new(v)).collect())
+        .expect("shuffled identity is a permutation");
+    let acc = RankedAcceptance::new(graph.clone(), ranking.clone()).expect("sizes match");
+    let ref_acc = RefAcceptance::new(graph, ranking);
+    (acc, ref_acc, Capacities::from_values(caps.to_vec()))
+}
+
+fn assert_same_matching(
+    optimized: &strat_core::Matching,
+    seed_style: &reference::RefMatching,
+) -> Result<(), String> {
+    if optimized.node_count() != seed_style.node_count()
+        || optimized.edge_count() != seed_style.edge_count()
+    {
+        return Err(format!(
+            "size/edge mismatch: {}/{} vs {}/{}",
+            optimized.node_count(),
+            optimized.edge_count(),
+            seed_style.node_count(),
+            seed_style.edge_count()
+        ));
+    }
+    for v in 0..optimized.node_count() {
+        let v = NodeId::new(v);
+        if optimized.mates(v) != seed_style.mates(v) {
+            return Err(format!(
+                "peer {v}: {:?} vs {:?}",
+                optimized.mates(v),
+                seed_style.mates(v)
+            ));
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Algorithm 1: the CSR + arena + bitset fast path computes exactly the
+    /// configuration the seed implementation computes.
+    #[test]
+    fn stable_configuration_matches_reference((n, edges, perm, caps) in instance(120)) {
+        let (acc, ref_acc, caps) = build_both(n, &edges, &perm, &caps);
+        let fast = stable_configuration(&acc, &caps).expect("sizes match");
+        let slow = reference::stable_configuration(&ref_acc, &caps);
+        assert_same_matching(&fast, &slow)?;
+        prop_assert!(fast.check_invariants(acc.ranking(), &caps));
+    }
+
+    /// Every initiative strategy produces the *same outcome stream* as the
+    /// seed driver for a fixed seed — including when peers are removed and
+    /// re-inserted mid-run — so the caches are pure accelerators.
+    #[test]
+    fn dynamics_outcome_stream_matches_reference(
+        (n, edges, perm, caps) in instance(60),
+        seed in any::<u64>(),
+    ) {
+        for strategy in [
+            InitiativeStrategy::BestMate,
+            InitiativeStrategy::Decremental,
+            InitiativeStrategy::Random,
+        ] {
+            let (acc, ref_acc, caps) = build_both(n, &edges, &perm, &caps);
+            let mut fast = Dynamics::new(acc, caps.clone(), strategy).expect("sizes match");
+            let mut slow = RefDynamics::new(ref_acc, caps, strategy);
+            let mut rng_fast = ChaCha8Rng::seed_from_u64(seed);
+            let mut rng_slow = ChaCha8Rng::seed_from_u64(seed);
+            for step in 0..6 * n {
+                // Interleave churn-like perturbations on both drivers.
+                if step % 11 == 5 {
+                    let v = NodeId::new(step % n);
+                    fast.remove_peer(v);
+                    slow.remove_peer(v);
+                }
+                if step % 17 == 9 {
+                    let v = NodeId::new((step * 3) % n);
+                    fast.insert_peer(v);
+                    slow.insert_peer(v);
+                }
+                let a: InitiativeOutcome = fast.step(&mut rng_fast);
+                let b: InitiativeOutcome = slow.step(&mut rng_slow);
+                prop_assert_eq!(a, b, "{:?} diverged at step {}", strategy, step);
+            }
+            if let Err(msg) = assert_same_matching(fast.matching(), slow.matching()) {
+                return Err(format!("{strategy:?}: {msg}"));
+            }
+        }
+    }
+}

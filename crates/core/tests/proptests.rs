@@ -11,8 +11,8 @@ use proptest::prelude::*;
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use strat_core::{
-    blocking, distance, stable_configuration, stable_configuration_complete, Capacities,
-    Dynamics, GlobalRanking, InitiativeStrategy, Matching, RankedAcceptance,
+    blocking, distance, stable_configuration, stable_configuration_complete, Capacities, Dynamics,
+    GlobalRanking, InitiativeStrategy, Matching, RankedAcceptance,
 };
 use strat_graph::{generators, Graph, NodeId};
 
@@ -38,12 +38,13 @@ fn build_instance(
     let mut builder = Graph::builder(n);
     for &(u, v) in raw_edges {
         if u != v {
-            builder.add_edge(NodeId::new(u), NodeId::new(v)).expect("valid endpoints");
+            builder
+                .add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("valid endpoints");
         }
     }
-    let ranking =
-        GlobalRanking::from_permutation(perm.iter().map(|&i| NodeId::new(i)).collect())
-            .expect("permutation strategy yields bijections");
+    let ranking = GlobalRanking::from_permutation(perm.iter().map(|&i| NodeId::new(i)).collect())
+        .expect("permutation strategy yields bijections");
     let acc = RankedAcceptance::new(builder.build(), ranking).expect("sizes match");
     (acc, Capacities::from_values(caps.to_vec()))
 }

@@ -74,7 +74,10 @@ impl Components {
         let mut sorted_sizes: Vec<usize> = order.iter().map(|&c| sizes[c]).collect();
         debug_assert!(sorted_sizes.windows(2).all(|w| w[0] >= w[1]));
         sorted_sizes.shrink_to_fit();
-        Self { membership, sizes: sorted_sizes }
+        Self {
+            membership,
+            sizes: sorted_sizes,
+        }
     }
 
     /// Number of components.
@@ -161,7 +164,14 @@ mod tests {
         let n = |i| NodeId::new(i);
         let g = Graph::from_edges(
             6,
-            [(n(0), n(1)), (n(1), n(2)), (n(2), n(0)), (n(3), n(4)), (n(4), n(5)), (n(5), n(3))],
+            [
+                (n(0), n(1)),
+                (n(1), n(2)),
+                (n(2), n(0)),
+                (n(3), n(4)),
+                (n(4), n(5)),
+                (n(5), n(3)),
+            ],
         )
         .unwrap();
         let comps = Components::of(&g);
@@ -176,8 +186,8 @@ mod tests {
     fn sizes_sorted_descending_and_membership_consistent() {
         let n = |i| NodeId::new(i);
         // Component {0,1,2,3} and component {4,5}.
-        let g = Graph::from_edges(6, [(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(4), n(5))])
-            .unwrap();
+        let g =
+            Graph::from_edges(6, [(n(0), n(1)), (n(1), n(2)), (n(2), n(3)), (n(4), n(5))]).unwrap();
         let comps = Components::of(&g);
         assert_eq!(comps.sizes(), &[4, 2]);
         assert_eq!(comps.component_of(n(0)), 0);

@@ -26,7 +26,10 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             GraphError::NodeOutOfRange { node, node_count } => {
-                write!(f, "node {node} out of range for graph with {node_count} nodes")
+                write!(
+                    f,
+                    "node {node} out of range for graph with {node_count} nodes"
+                )
             }
             GraphError::SelfLoop { node } => {
                 write!(f, "self-loop at {node} is not allowed")
@@ -43,16 +46,22 @@ mod tests {
 
     #[test]
     fn display_messages() {
-        let e = GraphError::NodeOutOfRange { node: NodeId::new(9), node_count: 5 };
+        let e = GraphError::NodeOutOfRange {
+            node: NodeId::new(9),
+            node_count: 5,
+        };
         assert_eq!(e.to_string(), "node n9 out of range for graph with 5 nodes");
-        let e = GraphError::SelfLoop { node: NodeId::new(2) };
+        let e = GraphError::SelfLoop {
+            node: NodeId::new(2),
+        };
         assert_eq!(e.to_string(), "self-loop at n2 is not allowed");
     }
 
     #[test]
     fn error_trait_object() {
-        let e: Box<dyn std::error::Error> =
-            Box::new(GraphError::SelfLoop { node: NodeId::new(0) });
+        let e: Box<dyn std::error::Error> = Box::new(GraphError::SelfLoop {
+            node: NodeId::new(0),
+        });
         assert!(e.to_string().contains("self-loop"));
     }
 }

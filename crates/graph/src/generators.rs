@@ -69,7 +69,9 @@ pub fn path(n: usize) -> Graph {
 pub fn star(n: usize) -> Graph {
     let mut builder = GraphBuilder::new(n);
     for u in 1..n {
-        builder.add_edge(NodeId::new(0), NodeId::new(u)).expect("star edges are valid");
+        builder
+            .add_edge(NodeId::new(0), NodeId::new(u))
+            .expect("star edges are valid");
     }
     builder.build()
 }
@@ -96,7 +98,10 @@ pub fn star(n: usize) -> Graph {
 /// ```
 #[must_use]
 pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
-    assert!(p.is_finite() && (0.0..=1.0).contains(&p), "p must be in [0, 1], got {p}");
+    assert!(
+        p.is_finite() && (0.0..=1.0).contains(&p),
+        "p must be in [0, 1], got {p}"
+    );
     if n == 0 || p == 0.0 {
         return Graph::empty(n);
     }
@@ -149,7 +154,10 @@ pub fn erdos_renyi<R: Rng + ?Sized>(n: usize, p: f64, rng: &mut R) -> Graph {
 /// ```
 #[must_use]
 pub fn erdos_renyi_mean_degree<R: Rng + ?Sized>(n: usize, d: f64, rng: &mut R) -> Graph {
-    assert!(d.is_finite() && d >= 0.0, "expected degree must be non-negative, got {d}");
+    assert!(
+        d.is_finite() && d >= 0.0,
+        "expected degree must be non-negative, got {d}"
+    );
     if n <= 1 {
         return Graph::empty(n);
     }

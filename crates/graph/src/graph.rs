@@ -56,7 +56,10 @@ impl Graph {
     /// ```
     #[must_use]
     pub fn empty(node_count: usize) -> Self {
-        Self { adjacency: vec![Vec::new(); node_count], edge_count: 0 }
+        Self {
+            adjacency: vec![Vec::new(); node_count],
+            edge_count: 0,
+        }
     }
 
     /// Builds a graph from an edge list.
@@ -123,7 +126,11 @@ impl Graph {
             return false;
         }
         // Search the shorter list.
-        let (a, b) = if self.degree(u) <= self.degree(v) { (u, v) } else { (v, u) };
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
         self.adjacency[a.index()].binary_search(&b).is_ok()
     }
 
@@ -139,7 +146,11 @@ impl Graph {
     pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
         self.adjacency.iter().enumerate().flat_map(|(u, neigh)| {
             let u = NodeId::new(u);
-            neigh.iter().copied().filter(move |&v| u < v).map(move |v| (u, v))
+            neigh
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
         })
     }
 
@@ -213,7 +224,10 @@ impl GraphBuilder {
     /// Creates a builder for a graph with `node_count` nodes.
     #[must_use]
     pub fn new(node_count: usize) -> Self {
-        Self { node_count, adjacency: vec![Vec::new(); node_count] }
+        Self {
+            node_count,
+            adjacency: vec![Vec::new(); node_count],
+        }
     }
 
     /// Adds the undirected edge `(u, v)`.
@@ -229,7 +243,10 @@ impl GraphBuilder {
         }
         for w in [u, v] {
             if w.index() >= self.node_count {
-                return Err(GraphError::NodeOutOfRange { node: w, node_count: self.node_count });
+                return Err(GraphError::NodeOutOfRange {
+                    node: w,
+                    node_count: self.node_count,
+                });
             }
         }
         self.adjacency[u.index()].push(v);
@@ -246,7 +263,10 @@ impl GraphBuilder {
             neigh.dedup();
             edge_count += neigh.len();
         }
-        Graph { adjacency: self.adjacency, edge_count: edge_count / 2 }
+        Graph {
+            adjacency: self.adjacency,
+            edge_count: edge_count / 2,
+        }
     }
 }
 
@@ -282,7 +302,10 @@ mod tests {
     #[test]
     fn self_loop_rejected() {
         let mut b = Graph::builder(2);
-        assert_eq!(b.add_edge(n(1), n(1)).unwrap_err(), GraphError::SelfLoop { node: n(1) });
+        assert_eq!(
+            b.add_edge(n(1), n(1)).unwrap_err(),
+            GraphError::SelfLoop { node: n(1) }
+        );
     }
 
     #[test]
@@ -290,7 +313,10 @@ mod tests {
         let mut b = Graph::builder(2);
         assert_eq!(
             b.add_edge(n(0), n(5)).unwrap_err(),
-            GraphError::NodeOutOfRange { node: n(5), node_count: 2 }
+            GraphError::NodeOutOfRange {
+                node: n(5),
+                node_count: 2
+            }
         );
     }
 

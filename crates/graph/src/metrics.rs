@@ -49,7 +49,10 @@ pub fn degree_histogram(graph: &Graph) -> Vec<usize> {
 #[must_use]
 pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<u32>> {
     let n = graph.node_count();
-    assert!(source.index() < n, "source {source} out of range for {n} nodes");
+    assert!(
+        source.index() < n,
+        "source {source} out of range for {n} nodes"
+    );
     let mut dist = vec![None; n];
     dist[source.index()] = Some(0);
     let mut queue = VecDeque::from([source]);
@@ -68,7 +71,11 @@ pub fn bfs_distances(graph: &Graph, source: NodeId) -> Vec<Option<u32>> {
 /// Eccentricity of `source` within its component (max BFS distance).
 #[must_use]
 pub fn eccentricity(graph: &Graph, source: NodeId) -> u32 {
-    bfs_distances(graph, source).into_iter().flatten().max().unwrap_or(0)
+    bfs_distances(graph, source)
+        .into_iter()
+        .flatten()
+        .max()
+        .unwrap_or(0)
 }
 
 /// Exact diameter: max eccentricity over all nodes, per component.
@@ -77,7 +84,11 @@ pub fn eccentricity(graph: &Graph, source: NodeId) -> u32 {
 /// graphs of Section 4 have at most thousands of nodes).
 #[must_use]
 pub fn diameter(graph: &Graph) -> u32 {
-    graph.nodes().map(|v| eccentricity(graph, v)).max().unwrap_or(0)
+    graph
+        .nodes()
+        .map(|v| eccentricity(graph, v))
+        .max()
+        .unwrap_or(0)
 }
 
 /// Global clustering coefficient: `3 × triangles / open-or-closed wedges`.

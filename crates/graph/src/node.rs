@@ -120,7 +120,15 @@ mod tests {
     #[test]
     fn node_ids_iterates_densely() {
         let v: Vec<_> = node_ids(4).collect();
-        assert_eq!(v, vec![NodeId::new(0), NodeId::new(1), NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(
+            v,
+            vec![
+                NodeId::new(0),
+                NodeId::new(1),
+                NodeId::new(2),
+                NodeId::new(3)
+            ]
+        );
         assert_eq!(node_ids(0).count(), 0);
     }
 

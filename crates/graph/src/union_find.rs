@@ -30,8 +30,15 @@ impl UnionFind {
     /// Creates `n` singleton sets.
     #[must_use]
     pub fn new(n: usize) -> Self {
-        assert!(u32::try_from(n).is_ok(), "UnionFind supports at most u32::MAX elements");
-        Self { parent: (0..n as u32).collect(), size: vec![1; n], components: n }
+        assert!(
+            u32::try_from(n).is_ok(),
+            "UnionFind supports at most u32::MAX elements"
+        );
+        Self {
+            parent: (0..n as u32).collect(),
+            size: vec![1; n],
+            components: n,
+        }
     }
 
     /// Number of elements.

@@ -17,7 +17,9 @@ fn build(n: usize, raw_edges: &[(usize, usize)]) -> Graph {
     let mut builder = Graph::builder(n);
     for &(u, v) in raw_edges {
         if u != v {
-            builder.add_edge(NodeId::new(u), NodeId::new(v)).expect("endpoints are in range");
+            builder
+                .add_edge(NodeId::new(u), NodeId::new(v))
+                .expect("endpoints are in range");
         }
     }
     builder.build()

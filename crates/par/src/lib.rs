@@ -1,0 +1,159 @@
+//! Deterministic scoped-thread parallelism for the stratification workspace.
+//!
+//! The embarrassingly-parallel layers (Monte-Carlo realizations,
+//! independent experiment runs, parameter sweeps) fan out through
+//! [`par_map`], built on [`std::thread::scope`] — no external runtime.
+//!
+//! # Determinism contract
+//!
+//! Every function here is **order-preserving and schedule-independent**:
+//! `par_map(items, t, f)` returns exactly
+//! `items.iter().enumerate().map(|(i, x)| f(i, x)).collect()` for every
+//! thread count `t`, byte for byte. Callers keep results bit-reproducible
+//! by deriving any randomness from the *item index* (e.g. one ChaCha
+//! stream per realization), never from the worker thread. This is the
+//! workspace-wide rule; `strat_analytic::monte_carlo` documents the same
+//! contract at its API boundary.
+
+#![warn(missing_docs)]
+#![warn(clippy::all)]
+
+use std::num::NonZeroUsize;
+use std::ops::Range;
+
+/// Default worker count: `STRAT_THREADS` if set, else the machine's
+/// available parallelism, else 1.
+#[must_use]
+pub fn default_threads() -> usize {
+    if let Ok(v) = std::env::var("STRAT_THREADS") {
+        if let Ok(n) = v.parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Maps `f` over `items` on up to `threads` scoped threads, preserving
+/// input order in the output.
+///
+/// `f(i, &items[i])` receives the item **index**, so callers can derive
+/// per-item deterministic state (RNG streams, output slots) independent of
+/// the scheduling. With `threads <= 1` the loop runs inline, producing the
+/// identical result.
+///
+/// # Panics
+///
+/// Propagates panics from `f`.
+pub fn par_map<T, U, F>(items: &[T], threads: usize, f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(usize, &T) -> U + Sync,
+{
+    let threads = threads.max(1).min(items.len().max(1));
+    if threads <= 1 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+    let chunk_len = items.len().div_ceil(threads);
+    let parts: Vec<Vec<U>> = std::thread::scope(|scope| {
+        let f = &f;
+        let handles: Vec<_> = items
+            .chunks(chunk_len)
+            .enumerate()
+            .map(|(c, slice)| {
+                scope.spawn(move || {
+                    slice
+                        .iter()
+                        .enumerate()
+                        .map(|(k, item)| f(c * chunk_len + k, item))
+                        .collect::<Vec<U>>()
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+    let mut out = Vec::with_capacity(items.len());
+    for part in parts {
+        out.extend(part);
+    }
+    out
+}
+
+/// Splits `0..total` into at most `parts` contiguous, non-empty ranges
+/// covering the whole interval in order.
+///
+/// Used to hand each worker a contiguous block of realization indices while
+/// keeping the index→realization mapping independent of the worker count.
+#[must_use]
+pub fn chunk_ranges(total: u64, parts: usize) -> Vec<Range<u64>> {
+    if total == 0 {
+        return Vec::new();
+    }
+    let parts = (parts.max(1) as u64).min(total);
+    let base = total / parts;
+    let extra = total % parts;
+    let mut ranges = Vec::with_capacity(parts as usize);
+    let mut start = 0u64;
+    for part in 0..parts {
+        let len = base + u64::from(part < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn par_map_matches_sequential_for_all_thread_counts() {
+        let items: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = items
+            .iter()
+            .enumerate()
+            .map(|(i, x)| x * 3 + i as u64)
+            .collect();
+        for threads in [1, 2, 3, 7, 16, 200] {
+            let got = par_map(&items, threads, |i, x| x * 3 + i as u64);
+            assert_eq!(got, expected, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn par_map_empty_and_single() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |_, x| *x).is_empty());
+        assert_eq!(par_map(&[42u32], 8, |i, x| *x + i as u32), vec![42]);
+    }
+
+    #[test]
+    fn chunk_ranges_partition_the_interval() {
+        for total in [0u64, 1, 7, 100, 101] {
+            for parts in [1usize, 2, 3, 8, 200] {
+                let ranges = chunk_ranges(total, parts);
+                let mut expect = 0u64;
+                for r in &ranges {
+                    assert_eq!(r.start, expect);
+                    assert!(r.end > r.start);
+                    expect = r.end;
+                }
+                assert_eq!(expect, total);
+            }
+        }
+    }
+
+    #[test]
+    fn default_threads_is_positive() {
+        assert!(default_threads() >= 1);
+    }
+}

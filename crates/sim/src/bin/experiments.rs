@@ -1,12 +1,14 @@
 //! CLI for regenerating the paper's tables and figures.
 //!
 //! ```text
-//! experiments [IDS...] [--quick] [--seed N] [--out DIR] [--list] [--plot]
+//! experiments [IDS...] [--quick] [--seed N] [--out DIR] [--jobs N] [--list] [--plot]
 //! ```
 //!
-//! Without ids, runs the full registry. Writes one CSV per experiment into
-//! `--out` (default `results/`), prints each data table, shape-check
-//! verdicts and (with `--plot`) an ASCII rendering of the figure.
+//! Without ids, runs the full registry. Independent experiments run across
+//! `--jobs` threads (default: all cores; results are identical for any job
+//! count). Writes one CSV per experiment into `--out` (default
+//! `results/`), prints each data table, shape-check verdicts and (with
+//! `--plot`) an ASCII rendering of the figure.
 
 use std::io::Write as _;
 use std::path::PathBuf;
@@ -20,6 +22,7 @@ struct Args {
     quick: bool,
     seed: u64,
     out: PathBuf,
+    jobs: usize,
     list: bool,
     plot: bool,
 }
@@ -30,6 +33,7 @@ fn parse_args() -> Result<Args, String> {
         quick: false,
         seed: 2007,
         out: PathBuf::from("results"),
+        jobs: strat_par::default_threads(),
         list: false,
         plot: false,
     };
@@ -47,9 +51,17 @@ fn parse_args() -> Result<Args, String> {
                 let v = it.next().ok_or("--out needs a value")?;
                 args.out = PathBuf::from(v);
             }
+            "--jobs" => {
+                let v = it.next().ok_or("--jobs needs a value")?;
+                args.jobs = v
+                    .parse::<usize>()
+                    .map_err(|e| format!("bad job count {v}: {e}"))?
+                    .max(1);
+            }
             "--help" | "-h" => {
                 println!(
-                    "usage: experiments [IDS...] [--quick] [--seed N] [--out DIR] [--list] [--plot]"
+                    "usage: experiments [IDS...] [--quick] [--seed N] [--out DIR] [--jobs N] \
+                     [--list] [--plot]"
                 );
                 std::process::exit(0);
             }
@@ -109,15 +121,20 @@ fn main() {
     };
 
     std::fs::create_dir_all(&args.out).expect("create output directory");
-    let ctx = ExperimentContext { quick: args.quick, seed: args.seed };
+    let ctx = ExperimentContext {
+        quick: args.quick,
+        seed: args.seed,
+    };
+    let wall = Instant::now();
+    // Fan the independent experiments out across worker threads; results
+    // come back in registry order regardless of the job count.
+    let results = runner::run_parallel(&selected, &ctx, args.jobs);
+    let wall_elapsed = wall.elapsed();
     let mut failures = 0usize;
     let mut summary = Vec::new();
-    for entry in selected {
-        let start = Instant::now();
-        let result = (entry.run)(&ctx);
-        let elapsed = start.elapsed();
+    for (result, seconds) in results {
         print_result(&result, args.plot);
-        println!("  ({:.2?})", elapsed);
+        println!("  ({seconds:.2}s)");
 
         let csv_path = args.out.join(format!("{}.csv", result.id));
         std::fs::write(&csv_path, output::to_csv(&result)).expect("write csv");
@@ -131,14 +148,19 @@ fn main() {
             result.id.clone(),
             result.checks.len(),
             result.checks.iter().filter(|c| c.passed).count(),
-            elapsed,
+            seconds,
         ));
     }
 
     println!("\n==== summary ====");
-    for (id, total, passed, elapsed) in &summary {
-        println!("{id:8} {passed}/{total} checks passed ({elapsed:.2?})");
+    for (id, total, passed, seconds) in &summary {
+        println!("{id:8} {passed}/{total} checks passed ({seconds:.2}s)");
     }
+    println!(
+        "total wall clock: {wall_elapsed:.2?} across {} experiment(s) with {} job(s)",
+        summary.len(),
+        args.jobs
+    );
     if failures > 0 {
         eprintln!("{failures} shape check(s) FAILED");
         std::process::exit(1);

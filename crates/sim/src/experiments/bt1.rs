@@ -84,7 +84,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     result.check(
         "reciprocated pairs persist",
         late.reciprocal_pairs * 3 > leechers,
-        format!("{} reciprocated pairs for {leechers} leechers", late.reciprocal_pairs),
+        format!(
+            "{} reciprocated pairs for {leechers} leechers",
+            late.reciprocal_pairs
+        ),
     );
 
     // Share-ratio structure over bandwidth deciles.
@@ -139,7 +142,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 23 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 23,
+        };
         let result = run(&ctx);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
     }

@@ -28,11 +28,7 @@ struct Measured {
     matched_edges: usize,
 }
 
-fn measure(
-    matching: &PrefMatching,
-    ranking: &GlobalRanking,
-    latency: &LatencyPrefs,
-) -> Measured {
+fn measure(matching: &PrefMatching, ranking: &GlobalRanking, latency: &LatencyPrefs) -> Measured {
     let mut offset = 0.0f64;
     let mut dist = 0.0f64;
     let mut count = 0.0f64;
@@ -70,8 +66,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     let graph = generators::erdos_renyi_mean_degree(n, d, &mut rng);
     let ranking = GlobalRanking::identity(n);
     // Latency positions uncorrelated with rank.
-    let positions: Vec<f64> =
-        (0..n).map(|_| rand::Rng::gen_range(&mut rng, 0.0..1000.0)).collect();
+    let positions: Vec<f64> = (0..n)
+        .map(|_| rand::Rng::gen_range(&mut rng, 0.0..1000.0))
+        .collect();
     let latency = LatencyPrefs::new(positions);
     let caps = Capacities::constant(n, b0);
 
@@ -163,7 +160,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
         coarser_helps_latency,
         format!(
             "latency across widths: {:?}",
-            banded_results.iter().map(|m| m.mean_latency.round()).collect::<Vec<_>>()
+            banded_results
+                .iter()
+                .map(|m| m.mean_latency.round())
+                .collect::<Vec<_>>()
         ),
     );
     result.note(
@@ -181,7 +181,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 31 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 31,
+        };
         let result = run(&ctx);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
         assert_eq!(result.rows.len(), 6);

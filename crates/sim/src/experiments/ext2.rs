@@ -9,8 +9,7 @@
 //! true one, and the MMO degradation, as the gossip sample size grows.
 
 use strat_core::{
-    cluster, distance, gossip, stable_configuration, Capacities, GlobalRanking,
-    RankedAcceptance,
+    cluster, distance, gossip, stable_configuration, Capacities, GlobalRanking, RankedAcceptance,
 };
 use strat_graph::generators;
 
@@ -51,8 +50,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
             let estimated = gossip::estimate_ranking(&truth, k, &mut rng);
             let distortion = gossip::ranking_distortion(&truth, &estimated);
             // Stable configuration the *estimated* system converges to.
-            let est_acc =
-                RankedAcceptance::new(graph.clone(), estimated).expect("sizes");
+            let est_acc = RankedAcceptance::new(graph.clone(), estimated).expect("sizes");
             let est_stable = stable_configuration(&est_acc, &caps).expect("sizes");
             // Quality is judged against the TRUE ranking.
             let disorder = distance::disorder(&truth, &est_stable, &true_stable);
@@ -78,13 +76,19 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
         last < 0.6 * first,
         format!(
             "disorder across k: {:?}",
-            rows.iter().map(|r| (r[2] * 1000.0).round() / 1000.0).collect::<Vec<_>>()
+            rows.iter()
+                .map(|r| (r[2] * 1000.0).round() / 1000.0)
+                .collect::<Vec<_>>()
         ),
     );
     result.check(
         "large samples approach the true stable configuration",
         last < 0.25,
-        format!("disorder at k={}: {:.4}", rows.last().expect("rows")[0], last),
+        format!(
+            "disorder at k={}: {:.4}",
+            rows.last().expect("rows")[0],
+            last
+        ),
     );
     let mmo_ratio = rows[1][3] / rows[1][4];
     result.check(
@@ -109,7 +113,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 37 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 37,
+        };
         let result = run(&ctx);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
     }

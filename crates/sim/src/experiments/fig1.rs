@@ -101,7 +101,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 1 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 1,
+        };
         let result = run(&ctx);
         assert_eq!(result.rows.len(), 41);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);

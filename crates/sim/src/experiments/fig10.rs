@@ -27,19 +27,29 @@ pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
     result.check(
         "wide distribution spanning nearly four decades",
         cdf.quantile(0.99) / cdf.quantile(0.01) > 1000.0,
-        format!("1% at {:.0} kbps, 99% at {:.0} kbps", cdf.quantile(0.01), cdf.quantile(0.99)),
+        format!(
+            "1% at {:.0} kbps, 99% at {:.0} kbps",
+            cdf.quantile(0.01),
+            cdf.quantile(0.99)
+        ),
     );
     let modem_share = cdf.cdf(64.0) - cdf.cdf(40.0);
     result.check(
         "a large host share concentrates at the modem class",
         modem_share > 0.1,
-        format!("{:.1}% of hosts between 40 and 64 kbps", 100.0 * modem_share),
+        format!(
+            "{:.1}% of hosts between 40 and 64 kbps",
+            100.0 * modem_share
+        ),
     );
     let dsl_share = cdf.cdf(600.0) - cdf.cdf(100.0);
     result.check(
         "DSL classes hold the central mass",
         dsl_share > 0.3,
-        format!("{:.1}% of hosts between 100 and 600 kbps", 100.0 * dsl_share),
+        format!(
+            "{:.1}% of hosts between 100 and 600 kbps",
+            100.0 * dsl_share
+        ),
     );
     result.note(
         "Paper: 'One can observe a wide distribution of bandwidths (just like in \
@@ -48,7 +58,10 @@ pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
             .to_string(),
     );
     for (bw, frac) in cdf.control_points() {
-        result.note(format!("control point: {bw:.0} kbps -> {:.0}%", frac * 100.0));
+        result.note(format!(
+            "control point: {bw:.0} kbps -> {:.0}%",
+            frac * 100.0
+        ));
     }
     result
 }

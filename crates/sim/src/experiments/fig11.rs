@@ -15,7 +15,11 @@ use crate::runner::{ExperimentContext, ExperimentResult};
 /// Runs the Figure 11 reproduction.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let model = EfficiencyModel { b0: 3, d: 20.0, n: if ctx.quick { 800 } else { 4000 } };
+    let model = EfficiencyModel {
+        b0: 3,
+        d: 20.0,
+        n: if ctx.quick { 800 } else { 4000 },
+    };
     let cdf = BandwidthCdf::saroiu_gnutella_upstream();
     let curve = efficiency_curve(&model, &cdf);
 
@@ -40,9 +44,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
         ]);
     }
 
-    let top_mean: f64 =
-        curve[..curve.len() / 100].iter().map(|p| p.ratio).sum::<f64>()
-            / (curve.len() / 100) as f64;
+    let top_mean: f64 = curve[..curve.len() / 100]
+        .iter()
+        .map(|p| p.ratio)
+        .sum::<f64>()
+        / (curve.len() / 100) as f64;
     result.check(
         "best peers suffer low sharing ratios",
         top_mean < 1.0,
@@ -101,7 +107,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 19 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 19,
+        };
         let result = run(&ctx);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
         // x axis increasing.

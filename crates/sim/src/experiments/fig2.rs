@@ -31,7 +31,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
         format!("n={n}, d={d}, 1-matching, best-mate initiatives, {repetitions} runs averaged"),
         {
             let mut cols = vec!["initiatives_per_peer".to_string()];
-            cols.extend(removals.iter().map(|r| format!("disorder_remove_peer{}", r + 1)));
+            cols.extend(
+                removals
+                    .iter()
+                    .map(|r| format!("disorder_remove_peer{}", r + 1)),
+            );
             cols
         },
     );
@@ -111,7 +115,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 3 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 3,
+        };
         let result = run(&ctx);
         assert_eq!(result.rows.len(), 11);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);

@@ -70,7 +70,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     );
     for w in 0..rates.len() - 1 {
         result.check(
-            format!("disorder ordered by churn ({} > {})", labels[w], labels[w + 1]),
+            format!(
+                "disorder ordered by churn ({} > {})",
+                labels[w],
+                labels[w + 1]
+            ),
             steady[w] > steady[w + 1],
             format!("{:.5} > {:.5}", steady[w], steady[w + 1]),
         );
@@ -102,7 +106,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 5 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 5,
+        };
         let result = run(&ctx);
         assert_eq!(result.rows.len(), 21);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);

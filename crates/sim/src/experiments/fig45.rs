@@ -56,14 +56,14 @@ pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
     let stats4 = cluster::cluster_stats(&ranking, &m4);
     result.check(
         "fig4: disjoint (b0+1)-cliques",
-        comps4.sizes() == [3, 3, 3]
-            && (0..n).all(|p| m4.degree(NodeId::new(p)) == b0 as usize),
+        comps4.sizes() == [3, 3, 3] && (0..n).all(|p| m4.degree(NodeId::new(p)) == b0 as usize),
         format!("component sizes {:?}", comps4.sizes()),
     );
     result.check(
         "fig4: clusters are consecutive ranks",
-        (0..n).all(|p| comps4.component_of(NodeId::new(p)) == comps4
-            .component_of(NodeId::new(3 * (p / 3)))),
+        (0..n).all(|p| {
+            comps4.component_of(NodeId::new(p)) == comps4.component_of(NodeId::new(3 * (p / 3)))
+        }),
         "peers {1,2,3}, {4,5,6}, {7,8,9} cluster together".to_string(),
     );
     result.check(

@@ -43,7 +43,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
             let ranking = GlobalRanking::identity(n);
             let caps = Capacities::sample(
                 n,
-                &CapacityDistribution::RoundedNormal { mean: b_mean, sigma },
+                &CapacityDistribution::RoundedNormal {
+                    mean: b_mean,
+                    sigma,
+                },
                 &mut rng,
             );
             let m = stable_configuration_complete(&ranking, &caps).expect("sizes match");
@@ -76,12 +79,20 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     result.check(
         "cluster size explodes through sigma ~ 0.15",
         col(0.2, 1) > 20.0 * col(0.05, 1),
-        format!("cluster(0.05) {:.1} -> cluster(0.2) {:.1}", col(0.05, 1), col(0.2, 1)),
+        format!(
+            "cluster(0.05) {:.1} -> cluster(0.2) {:.1}",
+            col(0.05, 1),
+            col(0.2, 1)
+        ),
     );
     result.check(
         "cluster size roughly plateaus after the transition",
         col(2.0, 1) < 50.0 * col(0.3, 1),
-        format!("cluster(0.3) {:.1} vs cluster(2.0) {:.1}", col(0.3, 1), col(2.0, 1)),
+        format!(
+            "cluster(0.3) {:.1} vs cluster(2.0) {:.1}",
+            col(0.3, 1),
+            col(2.0, 1)
+        ),
     );
     result.check(
         "MMO decreases through the transition",
@@ -103,7 +114,10 @@ mod tests {
 
     #[test]
     fn quick_run_shows_phase_transition() {
-        let ctx = ExperimentContext { quick: true, seed: 11 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 11,
+        };
         let result = run(&ctx);
         assert_eq!(result.rows.len(), 15);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);

@@ -17,13 +17,13 @@ use crate::runner::{ExperimentContext, ExperimentResult};
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     let n = if ctx.quick { 2000 } else { 5000 };
-    let p = if ctx.quick { 0.005 * 5000.0 / 2000.0 } else { 0.005 }; // keep d = 25
-    // Paper peers 200 / 2500 / 4800 (1-based) scaled to n.
-    let peers = [
-        n * 200 / 5000 - 1,
-        n * 2500 / 5000 - 1,
-        n * 4800 / 5000 - 1,
-    ];
+    let p = if ctx.quick {
+        0.005 * 5000.0 / 2000.0
+    } else {
+        0.005
+    }; // keep d = 25
+       // Paper peers 200 / 2500 / 4800 (1-based) scaled to n.
+    let peers = [n * 200 / 5000 - 1, n * 2500 / 5000 - 1, n * 4800 / 5000 - 1];
     let worst = n - 1;
     let mut request = peers.to_vec();
     request.push(worst);
@@ -32,7 +32,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "fig8",
         "Figure 8: mate distribution D(i, .) for a top, middle and bottom peer",
-        format!("independent 1-matching, n={n}, p={p:.4} (d = {:.1})", p * (n as f64 - 1.0)),
+        format!(
+            "independent 1-matching, n={n}, p={p:.4} (d = {:.1})",
+            p * (n as f64 - 1.0)
+        ),
         vec![
             "rank_j".into(),
             format!("D_peer{}", peers[0] + 1),
@@ -41,21 +44,22 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
         ],
     );
 
-    let rows: Vec<&[f64]> =
-        peers.iter().map(|&i| sol.row(i).expect("row requested")).collect();
+    let rows: Vec<&[f64]> = peers
+        .iter()
+        .map(|&i| sol.row(i).expect("row requested"))
+        .collect();
     for j in 0..n {
-        result.push_row(vec![
-            (j + 1) as f64,
-            rows[0][j],
-            rows[1][j],
-            rows[2][j],
-        ]);
+        result.push_row(vec![(j + 1) as f64, rows[0][j], rows[1][j], rows[2][j]]);
     }
 
     // Shape criteria.
     let mean_rank = |row: &[f64]| {
         let mass: f64 = row.iter().sum();
-        row.iter().enumerate().map(|(j, d)| j as f64 * d).sum::<f64>() / mass
+        row.iter()
+            .enumerate()
+            .map(|(j, d)| j as f64 * d)
+            .sum::<f64>()
+            / mass
     };
     let mid = peers[1];
     let mid_mean = mean_rank(rows[1]);
@@ -128,7 +132,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 13 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 13,
+        };
         let result = run(&ctx);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
     }

@@ -38,7 +38,10 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "fig9",
         "Figure 9: first/second choice distributions, simulation vs Algorithm 3",
-        format!("2-matching, n={n}, p={p}, peer {}, {realizations} realizations", peer + 1),
+        format!(
+            "2-matching, n={n}, p={p}, peer {}, {realizations} realizations",
+            peer + 1
+        ),
         vec![
             "rank_offset".into(),
             "first_choice_simulated".into(),
@@ -86,7 +89,11 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     // First choices outrank second choices on both sides.
     let mean_rank = |row: &[f64]| {
         let mass: f64 = row.iter().sum();
-        row.iter().enumerate().map(|(j, d)| j as f64 * d).sum::<f64>() / mass
+        row.iter()
+            .enumerate()
+            .map(|(j, d)| j as f64 * d)
+            .sum::<f64>()
+            / mass
     };
     result.check(
         "first choice outranks second choice (both methods)",
@@ -120,7 +127,10 @@ mod tests {
 
     #[test]
     fn quick_run_validates_algorithm3() {
-        let ctx = ExperimentContext { quick: true, seed: 17 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 17,
+        };
         let result = run(&ctx);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
     }

@@ -13,7 +13,11 @@ use crate::runner::{ExperimentContext, ExperimentResult};
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     let ds = [5.0f64, 10.0, 20.0, 50.0];
-    let ns: &[usize] = if ctx.quick { &[500, 2000] } else { &[500, 2000, 8000] };
+    let ns: &[usize] = if ctx.quick {
+        &[500, 2000]
+    } else {
+        &[500, 2000, 8000]
+    };
     let beta_max = 0.5;
 
     let mut result = ExperimentResult::new(
@@ -67,7 +71,10 @@ mod tests {
 
     #[test]
     fn quick_run_passes_shape_checks() {
-        let ctx = ExperimentContext { quick: true, seed: 29 };
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 29,
+        };
         let result = run(&ctx);
         assert!(result.all_passed(), "failed checks: {:#?}", result.checks);
     }

@@ -28,7 +28,13 @@ pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
         let measured = cluster::mean_max_offset(&ranking, &m);
         let exact = cluster::mmo_constant_exact(b0);
         let limit = cluster::mmo_constant_limit(b0);
-        result.push_row(vec![f64::from(b0), measured, exact, limit, measured / limit]);
+        result.push_row(vec![
+            f64::from(b0),
+            measured,
+            exact,
+            limit,
+            measured / limit,
+        ]);
     }
 
     result.check(

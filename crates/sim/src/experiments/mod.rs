@@ -33,14 +33,9 @@ pub(crate) mod common {
 
     /// Builds the paper's standard simulation setup: `G(n, d)` acceptance
     /// graph, identity ranking, constant 1-matching, best-mate initiatives.
-    pub fn one_matching_dynamics(
-        n: usize,
-        d: f64,
-        rng: &mut ChaCha8Rng,
-    ) -> Dynamics {
+    pub fn one_matching_dynamics(n: usize, d: f64, rng: &mut ChaCha8Rng) -> Dynamics {
         let graph = generators::erdos_renyi_mean_degree(n, d, rng);
-        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n))
-            .expect("sizes match");
+        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n)).expect("sizes match");
         let caps = Capacities::constant(n, 1);
         Dynamics::new(acc, caps, InitiativeStrategy::BestMate).expect("sizes match")
     }

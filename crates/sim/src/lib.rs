@@ -8,6 +8,12 @@
 //! `experiments` binary runs them all, writes CSVs, renders ASCII plots and
 //! reports a PASS/FAIL summary; EXPERIMENTS.md records paper-vs-measured.
 //!
+//! Independent experiments fan out across worker threads
+//! ([`runner::run_parallel`], CLI flag `--jobs`). Every experiment derives
+//! its RNG streams from the context seed alone, so results are identical
+//! for any job count — the workspace-wide `strat_par` determinism
+//! contract.
+//!
 //! | id | artifact |
 //! |----|----------|
 //! | `fig1` | convergence from `C∅` |

@@ -53,13 +53,19 @@ pub fn to_ascii_table(result: &ExperimentResult, max_rows: usize) -> String {
     out.push_str(&"-".repeat(header.join("  ").len()));
     out.push('\n');
     for row in &shown {
-        let line: Vec<String> =
-            row.iter().zip(&widths).map(|(c, w)| format!("{c:>w$}")).collect();
+        let line: Vec<String> = row
+            .iter()
+            .zip(&widths)
+            .map(|(c, w)| format!("{c:>w$}"))
+            .collect();
         out.push_str(&line.join("  "));
         out.push('\n');
     }
     if result.rows.len() > max_rows {
-        out.push_str(&format!("... ({} more rows)\n", result.rows.len() - max_rows));
+        out.push_str(&format!(
+            "... ({} more rows)\n",
+            result.rows.len() - max_rows
+        ));
     }
     out
 }
@@ -99,9 +105,11 @@ pub fn ascii_plot(
             }
         }
     }
-    let (xmin, xmax) = xs.iter().fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
-        (lo.min(x), hi.max(x))
-    });
+    let (xmin, xmax) = xs
+        .iter()
+        .fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), &x| {
+            (lo.min(x), hi.max(x))
+        });
     if !(ymin.is_finite() && ymax.is_finite() && xmin.is_finite() && xmax.is_finite()) {
         return String::from("(no finite data)\n");
     }
@@ -141,7 +149,11 @@ pub fn ascii_plot(
         .iter()
         .enumerate()
         .map(|(si, &y)| {
-            format!("{} = {}", char::from(marks[si % marks.len()]), result.columns[y])
+            format!(
+                "{} = {}",
+                char::from(marks[si % marks.len()]),
+                result.columns[y]
+            )
         })
         .collect();
     out.push_str(&format!("            {}\n", legend.join(", ")));
@@ -166,8 +178,7 @@ mod tests {
     use super::*;
 
     fn sample() -> ExperimentResult {
-        let mut r =
-            ExperimentResult::new("s", "sample", "p", vec!["x".into(), "y".into()]);
+        let mut r = ExperimentResult::new("s", "sample", "p", vec!["x".into(), "y".into()]);
         for i in 0..20 {
             r.push_row(vec![i as f64, (i * i) as f64]);
         }

@@ -13,7 +13,10 @@ pub struct ExperimentContext {
 
 impl Default for ExperimentContext {
     fn default() -> Self {
-        Self { quick: false, seed: 2007 }
+        Self {
+            quick: false,
+            seed: 2007,
+        }
     }
 }
 
@@ -32,7 +35,11 @@ pub struct Check {
 impl Check {
     /// Builds a check result.
     pub fn new(name: impl Into<String>, passed: bool, detail: impl Into<String>) -> Self {
-        Self { name: name.into(), passed, detail: detail.into() }
+        Self {
+            name: name.into(),
+            passed,
+            detail: detail.into(),
+        }
     }
 }
 
@@ -183,7 +190,8 @@ pub fn registry() -> Vec<ExperimentEntry> {
         },
         ExperimentEntry {
             id: "ext1",
-            description: "Combined utilities: rank stratification vs latency clustering (section 7)",
+            description:
+                "Combined utilities: rank stratification vs latency clustering (section 7)",
             run: experiments::ext1::run,
         },
         ExperimentEntry {
@@ -208,6 +216,26 @@ pub fn registry() -> Vec<ExperimentEntry> {
 #[must_use]
 pub fn find(id: &str) -> Option<ExperimentEntry> {
     registry().into_iter().find(|e| e.id == id)
+}
+
+/// Runs `entries` across up to `jobs` threads, returning results (paired
+/// with per-experiment wall-clock seconds) in input order.
+///
+/// Independent experiment runs are the outermost embarrassingly-parallel
+/// layer of the harness. Every experiment derives its RNG streams from
+/// `ctx.seed` alone (see `experiments::common::rng`), so results are
+/// identical for any `jobs` — the `strat_par` determinism contract.
+#[must_use]
+pub fn run_parallel(
+    entries: &[ExperimentEntry],
+    ctx: &ExperimentContext,
+    jobs: usize,
+) -> Vec<(ExperimentResult, f64)> {
+    strat_par::par_map(entries, jobs, |_, entry| {
+        let start = std::time::Instant::now();
+        let result = (entry.run)(ctx);
+        (result, start.elapsed().as_secs_f64())
+    })
 }
 
 #[cfg(test)]
@@ -241,5 +269,27 @@ mod tests {
     fn bad_row_panics() {
         let mut r = ExperimentResult::new("x", "t", "p", vec!["a".into()]);
         r.push_row(vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn run_parallel_is_deterministic_and_ordered() {
+        // Two cheap experiments, quick profile: parallel execution must
+        // return the same results as sequential, in registry order.
+        let ctx = ExperimentContext {
+            quick: true,
+            seed: 5,
+        };
+        let entries: Vec<ExperimentEntry> = ["mmo", "fig7"]
+            .iter()
+            .map(|id| find(id).expect("registered"))
+            .collect();
+        let sequential: Vec<ExperimentResult> = entries.iter().map(|e| (e.run)(&ctx)).collect();
+        for jobs in [1usize, 2, 8] {
+            let parallel = run_parallel(&entries, &ctx, jobs);
+            assert_eq!(parallel.len(), sequential.len());
+            for ((got, _), want) in parallel.iter().zip(&sequential) {
+                assert_eq!(got, want, "jobs = {jobs}");
+            }
+        }
     }
 }

@@ -17,7 +17,7 @@ fn main() {
         .leechers(leechers)
         .seeds(seeds)
         .mean_neighbors(20.0)
-        .tft_slots(3)       // the paper's b0 = 3 ...
+        .tft_slots(3) // the paper's b0 = 3 ...
         .optimistic_slots(1) // ... plus the generous slot = 4 default slots
         .fluid_content(true) // post-flash-crowd: content is never the bottleneck
         .seed(2007)

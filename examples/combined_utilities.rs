@@ -15,12 +15,7 @@ use stratification::core::prefs::{
 use stratification::core::{gossip, Capacities, GlobalRanking};
 use stratification::graph::{generators, NodeId};
 
-fn report(
-    label: &str,
-    matching: &PrefMatching,
-    ranking: &GlobalRanking,
-    latency: &LatencyPrefs,
-) {
+fn report(label: &str, matching: &PrefMatching, ranking: &GlobalRanking, latency: &LatencyPrefs) {
     let (mut offset, mut dist, mut count) = (0.0, 0.0, 0.0f64);
     for v in 0..matching.node_count() {
         let v_id = NodeId::new(v);
@@ -53,8 +48,7 @@ fn main() {
     let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(17);
     let graph = generators::erdos_renyi_mean_degree(n, 24.0, &mut rng);
     let ranking = GlobalRanking::identity(n);
-    let latency =
-        LatencyPrefs::new((0..n).map(|_| rng.gen_range(0.0..1000.0)).collect());
+    let latency = LatencyPrefs::new((0..n).map(|_| rng.gen_range(0.0..1000.0)).collect());
     let caps = Capacities::constant(n, 3);
 
     println!("== trading stratification for locality (n={n}, b0=3, d=24) ==");
@@ -76,7 +70,12 @@ fn main() {
             &latency,
         );
     }
-    report("pure latency", &settle(&graph, &latency, &caps), &ranking, &latency);
+    report(
+        "pure latency",
+        &settle(&graph, &latency, &caps),
+        &ranking,
+        &latency,
+    );
 
     println!("\n== gossip-estimated ranks instead of an oracle ==");
     for k in [5usize, 25, 100] {

@@ -14,7 +14,11 @@ use stratification::graph::{generators, NodeId};
 
 fn bar(disorder: f64) -> String {
     let filled = (disorder * 50.0).round() as usize;
-    format!("{}{}", "#".repeat(filled.min(50)), ".".repeat(50usize.saturating_sub(filled)))
+    format!(
+        "{}{}",
+        "#".repeat(filled.min(50)),
+        ".".repeat(50usize.saturating_sub(filled))
+    )
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -27,7 +31,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut dynamics = Dynamics::new(acc, caps, InitiativeStrategy::BestMate)?;
 
     println!("phase 1 — convergence from the empty configuration (n={n}, d={d}):");
-    println!("t= 0  {}  disorder={:.4}", bar(dynamics.disorder()), dynamics.disorder());
+    println!(
+        "t= 0  {}  disorder={:.4}",
+        bar(dynamics.disorder()),
+        dynamics.disorder()
+    );
     for t in 1..=12 {
         dynamics.run_base_unit(&mut rng);
         let dis = dynamics.disorder();

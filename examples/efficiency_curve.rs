@@ -7,15 +7,19 @@
 //! cargo run --release --example efficiency_curve
 //! ```
 
-use stratification::bandwidth::{
-    efficiency_curve, BandwidthCdf, EfficiencyModel,
-};
+use stratification::bandwidth::{efficiency_curve, BandwidthCdf, EfficiencyModel};
 
 fn render(curve: &[stratification::bandwidth::EfficiencyPoint]) {
     // Log-spaced bands over slot bandwidth.
     let (lo, hi) = (
-        curve.iter().map(|p| p.slot_bandwidth).fold(f64::INFINITY, f64::min),
-        curve.iter().map(|p| p.slot_bandwidth).fold(0.0f64, f64::max),
+        curve
+            .iter()
+            .map(|p| p.slot_bandwidth)
+            .fold(f64::INFINITY, f64::min),
+        curve
+            .iter()
+            .map(|p| p.slot_bandwidth)
+            .fold(0.0f64, f64::max),
     );
     let bands = 24;
     println!("slot kbps | D/U  (x = 0.1)");
@@ -31,14 +35,20 @@ fn render(curve: &[stratification::bandwidth::EfficiencyPoint]) {
             continue;
         }
         let mean = in_band.iter().sum::<f64>() / in_band.len() as f64;
-        println!("{from:>9.1} | {}{}", "x".repeat((mean * 10.0).round() as usize), {
-            format!(" {mean:.2}")
-        });
+        println!(
+            "{from:>9.1} | {}{}",
+            "x".repeat((mean * 10.0).round() as usize),
+            { format!(" {mean:.2}") }
+        );
     }
 }
 
 fn main() {
-    let model = EfficiencyModel { b0: 3, d: 20.0, n: 2000 };
+    let model = EfficiencyModel {
+        b0: 3,
+        d: 20.0,
+        n: 2000,
+    };
 
     println!("=== Figure 11: Saroiu-style bandwidth distribution ===");
     let curve = efficiency_curve(&model, &BandwidthCdf::saroiu_gnutella_upstream());

@@ -26,13 +26,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Algorithm 1: the unique stable configuration.
     let stable = stable_configuration(&acc, &caps)?;
     assert!(blocking::is_stable(&acc, &caps, &stable));
-    println!("stable configuration: {} collaborations", stable.edge_count());
+    println!(
+        "stable configuration: {} collaborations",
+        stable.edge_count()
+    );
 
     // Who does a peer end up with? Its mates sit close to its own rank.
     for peer in [0usize, 150, 299] {
         let v = NodeId::new(peer);
-        let mates: Vec<String> =
-            stable.mates(v).iter().map(|m| format!("{}", m.index())).collect();
+        let mates: Vec<String> = stable
+            .mates(v)
+            .iter()
+            .map(|m| format!("{}", m.index()))
+            .collect();
         println!("peer {peer:>3} collaborates with: [{}]", mates.join(", "));
     }
 

@@ -23,7 +23,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     ];
 
     println!("convergence to the stable configuration, n={n}, d={d}, b0={b0}:");
-    println!("{:<30} {:>12} {:>12} {:>14}", "strategy", "base units", "initiatives", "active ratio");
+    println!(
+        "{:<30} {:>12} {:>12} {:>14}",
+        "strategy", "base units", "initiatives", "active ratio"
+    );
     for (strategy, label) in strategies {
         // Same graph for every strategy: seed the generator identically.
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(41);

@@ -1,0 +1,270 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the API subset the workspace's benches use (`benchmark_group`,
+//! `bench_function`, `bench_with_input`, `Bencher::iter`, `black_box`, the
+//! `criterion_group!`/`criterion_main!` macros) on top of a simple but
+//! honest measurement core: warm-up, then `sample_size` samples of
+//! auto-calibrated iteration batches, reporting the **median**
+//! per-iteration time.
+//!
+//! Environment knobs:
+//!
+//! * `CRITERION_JSON=path` — append one JSON line per benchmark
+//!   (`{"group":…,"bench":…,"median_ns":…}`), consumed by
+//!   `crates/bench/src/bin/export.rs`;
+//! * `BENCH_TIME_SCALE=x` — multiply warm-up and measurement budgets
+//!   (e.g. `0.2` for quick smoke runs).
+
+#![warn(clippy::all)]
+
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    time_scale: f64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let time_scale = std::env::var("BENCH_TIME_SCALE")
+            .ok()
+            .and_then(|v| v.parse::<f64>().ok())
+            .filter(|s| s.is_finite() && *s > 0.0)
+            .unwrap_or(1.0);
+        Self { time_scale }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            warm_up: Duration::from_millis(400),
+            measurement: Duration::from_secs(2),
+            sample_size: 15,
+        }
+    }
+}
+
+/// Identifier of a parameterized benchmark (`name/parameter`).
+pub struct BenchmarkId {
+    full: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            full: format!("{}/{}", name.into(), parameter),
+        }
+    }
+}
+
+/// A group of benchmarks sharing measurement settings.
+pub struct BenchmarkGroup<'c> {
+    criterion: &'c mut Criterion,
+    name: String,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the warm-up budget.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(3);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let mut bencher = self.make_bencher();
+        f(&mut bencher);
+        self.report(&id, &bencher);
+        self
+    }
+
+    /// Runs one benchmark with an explicit input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut bencher = self.make_bencher();
+        f(&mut bencher, input);
+        self.report(&id.full, &bencher);
+        self
+    }
+
+    /// Ends the group (cosmetic; reports are emitted eagerly).
+    pub fn finish(&mut self) {}
+
+    fn make_bencher(&self) -> Bencher {
+        let scale = self.criterion.time_scale;
+        Bencher {
+            warm_up: self.warm_up.mul_f64(scale),
+            measurement: self.measurement.mul_f64(scale),
+            sample_size: self.sample_size,
+            median_ns: None,
+            samples: 0,
+            iters_per_sample: 0,
+        }
+    }
+
+    fn report(&self, id: &str, bencher: &Bencher) {
+        let Some(median_ns) = bencher.median_ns else {
+            eprintln!(
+                "warning: benchmark {}/{id} never called Bencher::iter",
+                self.name
+            );
+            return;
+        };
+        println!(
+            "{:<52} median {:>12.1} ns  ({} samples x {} iters)",
+            format!("{}/{}", self.name, id),
+            median_ns,
+            bencher.samples,
+            bencher.iters_per_sample,
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"group\":\"{}\",\"bench\":\"{}\",\"median_ns\":{:.1}}}",
+                    self.name, id, median_ns
+                );
+            }
+        }
+    }
+}
+
+/// Runs and times one benchmark body.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+    median_ns: Option<f64>,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+impl Bencher {
+    /// Measures `f`, storing the median per-iteration time.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up while estimating the cost of one iteration.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up || warm_iters == 0 {
+            black_box(f());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Calibrate iterations per sample to fill the measurement budget.
+        let budget = self.measurement.as_secs_f64().max(1e-3);
+        let per_sample = budget / self.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)).floor() as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(f());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            samples_ns.push(elapsed / iters as f64);
+        }
+        samples_ns.sort_by(f64::total_cmp);
+        let mid = samples_ns.len() / 2;
+        let median = if samples_ns.len() % 2 == 0 {
+            (samples_ns[mid - 1] + samples_ns[mid]) / 2.0
+        } else {
+            samples_ns[mid]
+        };
+        self.median_ns = Some(median);
+        self.samples = self.sample_size;
+        self.iters_per_sample = iters;
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_something_sane() {
+        std::env::remove_var("CRITERION_JSON");
+        let mut c = Criterion { time_scale: 0.02 };
+        let mut group = c.benchmark_group("shim");
+        group.sample_size(5);
+        let mut ran = false;
+        group.bench_function("spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            });
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+
+    #[test]
+    fn benchmark_id_formats() {
+        let id = BenchmarkId::new("stable", 1000);
+        assert_eq!(id.full, "stable/1000");
+    }
+}

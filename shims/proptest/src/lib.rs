@@ -1,0 +1,460 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `prop_shuffle`, range and tuple strategies, [`Just`],
+//! [`collection::vec`], [`any`], the [`proptest!`] macro and the
+//! `prop_assert!` family.
+//!
+//! Differences from the real crate: cases are generated from a
+//! deterministic per-test ChaCha8 stream (derived from the test's module
+//! path), and there is **no shrinking** — a failure reports its case index
+//! so it can be replayed exactly, which is enough for CI triage here.
+
+#![warn(clippy::all)]
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+use rand::seq::SliceRandom;
+use rand::{Rng, RngCore, SampleRange, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Commonly used items, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, proptest, Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Per-test configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 64 }
+    }
+}
+
+/// Deterministic per-case RNG handed to strategies.
+pub struct TestRng(ChaCha8Rng);
+
+impl TestRng {
+    /// RNG for case `case` of the test identified by `base` (a hash of its
+    /// path): one independent ChaCha stream per case.
+    #[must_use]
+    pub fn for_case(base: u64, case: u32) -> Self {
+        let mut rng = ChaCha8Rng::seed_from_u64(base);
+        rng.set_stream(u64::from(case).wrapping_add(1));
+        Self(rng)
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+}
+
+/// FNV-1a hash used to derive a per-test seed from its path.
+#[must_use]
+pub const fn fnv1a(s: &str) -> u64 {
+    let bytes = s.as_bytes();
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut i = 0;
+    while i < bytes.len() {
+        hash ^= bytes[i] as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        i += 1;
+    }
+    hash
+}
+
+/// A generator of random values of one type.
+pub trait Strategy {
+    /// Generated type.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> U,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Feeds generated values into a strategy-producing `f` (dependent
+    /// generation).
+    fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+    where
+        Self: Sized,
+        S2: Strategy,
+        F: Fn(Self::Value) -> S2,
+    {
+        FlatMap { inner: self, f }
+    }
+
+    /// Uniformly permutes generated vectors.
+    fn prop_shuffle(self) -> Shuffle<Self>
+    where
+        Self: Sized,
+    {
+        Shuffle(self)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// See [`Strategy::prop_flat_map`].
+pub struct FlatMap<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+    type Value = S2::Value;
+
+    fn generate(&self, rng: &mut TestRng) -> S2::Value {
+        (self.f)(self.inner.generate(rng)).generate(rng)
+    }
+}
+
+/// See [`Strategy::prop_shuffle`].
+pub struct Shuffle<S>(S);
+
+impl<T, S: Strategy<Value = Vec<T>>> Strategy for Shuffle<S> {
+    type Value = Vec<T>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+        let mut v = self.0.generate(rng);
+        v.shuffle(rng);
+        v
+    }
+}
+
+/// Constant strategy: always yields a clone of the wrapped value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                self.clone().sample_from(rng)
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u32, u64, usize, i64, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5),
+);
+
+/// Strategy for "any value of `T`" (supported: `bool`, `u32`, `u64`).
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+/// `proptest::arbitrary::any` equivalent.
+#[must_use]
+pub fn any<T>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+impl Strategy for AnyStrategy<bool> {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Strategy for AnyStrategy<u64> {
+    type Value = u64;
+
+    fn generate(&self, rng: &mut TestRng) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Strategy for AnyStrategy<u32> {
+    type Value = u32;
+
+    fn generate(&self, rng: &mut TestRng) -> u32 {
+        rng.next_u32()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Element-count specification for [`vec`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        min: usize,
+        /// Exclusive upper bound.
+        max_excl: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(exact: usize) -> Self {
+            Self {
+                min: exact,
+                max_excl: exact + 1,
+            }
+        }
+    }
+
+    impl From<core::ops::Range<usize>> for SizeRange {
+        fn from(range: core::ops::Range<usize>) -> Self {
+            assert!(range.start < range.end, "empty size range");
+            Self {
+                min: range.start,
+                max_excl: range.end,
+            }
+        }
+    }
+
+    /// Strategy for vectors of `element` values with a length drawn from
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let len = if self.size.min + 1 == self.size.max_excl {
+                self.size.min
+            } else {
+                rng.gen_range(self.size.min..self.size.max_excl)
+            };
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` deterministic random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl!{ (<$crate::ProptestConfig as ::core::default::Default>::default()) $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ( ($cfg:expr) ) => {};
+    ( ($cfg:expr)
+      $(#[$meta:meta])*
+      fn $name:ident( $($pat:pat_param in $strat:expr),+ $(,)? ) $body:block
+      $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let __base = $crate::fnv1a(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::TestRng::for_case(__base, __case);
+                $(let $pat = $crate::Strategy::generate(&($strat), &mut __rng);)+
+                let __outcome = ::std::panic::catch_unwind(
+                    ::std::panic::AssertUnwindSafe(
+                        || -> ::std::result::Result<(), ::std::string::String> {
+                            $body
+                            #[allow(unreachable_code)]
+                            Ok(())
+                        },
+                    ),
+                );
+                match __outcome {
+                    Ok(::std::result::Result::Ok(())) => {}
+                    Ok(::std::result::Result::Err(msg)) => {
+                        panic!(
+                            "proptest `{}` failed at case {}/{}: {}",
+                            stringify!($name), __case + 1, __cfg.cases, msg
+                        );
+                    }
+                    Err(err) => {
+                        eprintln!(
+                            "proptest `{}` failed at case {}/{} (replay: same case index)",
+                            stringify!($name), __case + 1, __cfg.cases
+                        );
+                        ::std::panic::resume_unwind(err);
+                    }
+                }
+            }
+        }
+        $crate::__proptest_impl!{ ($cfg) $($rest)* }
+    };
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)+) => { assert!($cond, $($fmt)+) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_eq!($a, $b, $($fmt)+) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)+) => { assert_ne!($a, $b, $($fmt)+) };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::Strategy;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = super::TestRng::for_case(1, 0);
+        for _ in 0..100 {
+            let (a, b) = (3usize..10, 0.5f64..=1.0).generate(&mut rng);
+            assert!((3..10).contains(&a));
+            assert!((0.5..=1.0).contains(&b));
+        }
+    }
+
+    #[test]
+    fn vec_strategy_respects_sizes() {
+        let mut rng = super::TestRng::for_case(2, 0);
+        let exact = super::collection::vec(0u32..5, 7usize).generate(&mut rng);
+        assert_eq!(exact.len(), 7);
+        for _ in 0..50 {
+            let ranged = super::collection::vec(0u32..5, 2usize..6).generate(&mut rng);
+            assert!((2..6).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn shuffle_preserves_elements() {
+        let mut rng = super::TestRng::for_case(3, 0);
+        let v = Just((0..20).collect::<Vec<u32>>())
+            .prop_shuffle()
+            .generate(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..20).collect::<Vec<u32>>());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        /// The macro itself: bindings, flat-map, early return.
+        #[test]
+        fn macro_smoke(n in 1usize..10, v in super::collection::vec(0u64..100, 0usize..8)) {
+            if v.is_empty() {
+                return Ok(());
+            }
+            prop_assert!(n >= 1);
+            prop_assert_eq!(v.len(), v.len());
+        }
+
+        #[test]
+        fn flat_map_dependent((n, xs) in (2usize..12).prop_flat_map(|n| {
+            (Just(n), super::collection::vec(0usize..n, 1usize..5))
+        })) {
+            prop_assert!(xs.iter().all(|&x| x < n));
+        }
+    }
+}

@@ -1,0 +1,311 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline `serde` shim.
+//!
+//! No `syn`/`quote` are available offline, so this parses the derive input
+//! token stream directly. It supports exactly the shapes this workspace
+//! derives on: non-generic structs (named, tuple, unit) and non-generic
+//! enums (unit, tuple and struct variants). One-field tuple structs
+//! serialize transparently (matching the workspace's only uses of
+//! `#[serde(transparent)]`), other serde attributes are accepted and
+//! ignored. `Deserialize` expands to nothing — the workspace never
+//! deserializes.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (JSON, externally tagged enums).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let body = match &item.shape {
+        Shape::NamedStruct(fields) => named_struct_body(fields),
+        Shape::TupleStruct(arity) => tuple_struct_body(*arity),
+        Shape::UnitStruct => "out.push_str(\"null\");".to_string(),
+        Shape::Enum(variants) => enum_body(&item.name, variants),
+    };
+    let impl_code = format!(
+        "impl ::serde::Serialize for {} {{\n\
+         fn serialize_json_into(&self, out: &mut String) {{\n{body}\n}}\n}}",
+        item.name
+    );
+    impl_code.parse().expect("generated impl parses")
+}
+
+/// Accepts `#[derive(Deserialize)]` and expands to nothing.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+enum Shape {
+    NamedStruct(Vec<String>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Struct(Vec<String>),
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let keyword = expect_ident(&tokens, &mut i);
+    let name = expect_ident(&tokens, &mut i);
+    if matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim derive does not support generic types (on `{name}`)");
+    }
+    let shape = match keyword.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::NamedStruct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::TupleStruct(count_top_level_items(g.stream()))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Shape::UnitStruct,
+            other => panic!("unexpected struct body for `{name}`: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(g.stream()))
+            }
+            other => panic!("unexpected enum body for `{name}`: {other:?}"),
+        },
+        other => panic!("derive target must be a struct or enum, found `{other}`"),
+    };
+    Item { name, shape }
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while matches!(tokens.get(*i), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        *i += 1; // '#'
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if matches!(tokens.get(*i), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+        *i += 1;
+        if matches!(tokens.get(*i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            *i += 1;
+        }
+    }
+}
+
+fn expect_ident(tokens: &[TokenTree], i: &mut usize) -> String {
+    match tokens.get(*i) {
+        Some(TokenTree::Ident(id)) => {
+            *i += 1;
+            id.to_string()
+        }
+        other => panic!("expected identifier, found {other:?}"),
+    }
+}
+
+/// Parses `name: Type, ...` field lists, tracking `<...>` nesting so types
+/// like `HashMap<K, V>` do not split fields at inner commas.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => panic!("expected `:` after field `{name}`, found {other:?}"),
+        }
+        fields.push(name);
+        let mut angle_depth = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            if let TokenTree::Punct(p) = tok {
+                match p.as_char() {
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    ',' if angle_depth == 0 => {
+                        i += 1;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Counts comma-separated items at angle-depth zero (tuple fields).
+fn count_top_level_items(stream: TokenStream) -> usize {
+    let mut count = 0;
+    let mut pending = false;
+    let mut angle_depth = 0i32;
+    for tok in stream {
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    if pending {
+                        count += 1;
+                    }
+                    pending = false;
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        pending = true;
+    }
+    if pending {
+        count += 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = expect_ident(&tokens, &mut i);
+        let kind = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                VariantKind::Struct(parse_named_fields(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                VariantKind::Tuple(count_top_level_items(g.stream()))
+            }
+            _ => VariantKind::Unit,
+        };
+        // Skip to the next variant separator.
+        while let Some(tok) = tokens.get(i) {
+            i += 1;
+            if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                break;
+            }
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn push_literal(code: &mut String, text: &str) {
+    code.push_str(&format!("out.push_str({text:?});\n"));
+}
+
+fn named_struct_body(fields: &[String]) -> String {
+    let mut code = String::new();
+    push_literal(&mut code, "{");
+    for (k, field) in fields.iter().enumerate() {
+        let sep = if k > 0 { "," } else { "" };
+        push_literal(&mut code, &format!("{sep}\"{field}\":"));
+        code.push_str(&format!(
+            "::serde::Serialize::serialize_json_into(&self.{field}, out);\n"
+        ));
+    }
+    push_literal(&mut code, "}");
+    code
+}
+
+fn tuple_struct_body(arity: usize) -> String {
+    let mut code = String::new();
+    if arity == 1 {
+        // Transparent newtype (covers the workspace's `#[serde(transparent)]`).
+        code.push_str("::serde::Serialize::serialize_json_into(&self.0, out);\n");
+        return code;
+    }
+    push_literal(&mut code, "[");
+    for k in 0..arity {
+        if k > 0 {
+            push_literal(&mut code, ",");
+        }
+        code.push_str(&format!(
+            "::serde::Serialize::serialize_json_into(&self.{k}, out);\n"
+        ));
+    }
+    push_literal(&mut code, "]");
+    code
+}
+
+fn enum_body(name: &str, variants: &[Variant]) -> String {
+    let mut code = String::from("match self {\n");
+    for variant in variants {
+        let vname = &variant.name;
+        match &variant.kind {
+            VariantKind::Unit => {
+                code.push_str(&format!(
+                    "{name}::{vname} => out.push_str(\"\\\"{vname}\\\"\"),\n"
+                ));
+            }
+            VariantKind::Tuple(arity) => {
+                let binders: Vec<String> = (0..*arity).map(|k| format!("__f{k}")).collect();
+                code.push_str(&format!("{name}::{vname}({}) => {{\n", binders.join(", ")));
+                push_literal(&mut code, &format!("{{\"{vname}\":"));
+                if *arity == 1 {
+                    code.push_str("::serde::Serialize::serialize_json_into(__f0, out);\n");
+                } else {
+                    push_literal(&mut code, "[");
+                    for (k, b) in binders.iter().enumerate() {
+                        if k > 0 {
+                            push_literal(&mut code, ",");
+                        }
+                        code.push_str(&format!(
+                            "::serde::Serialize::serialize_json_into({b}, out);\n"
+                        ));
+                    }
+                    push_literal(&mut code, "]");
+                }
+                push_literal(&mut code, "}");
+                code.push_str("}\n");
+            }
+            VariantKind::Struct(fields) => {
+                code.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => {{\n",
+                    fields.join(", ")
+                ));
+                push_literal(&mut code, &format!("{{\"{vname}\":{{"));
+                for (k, field) in fields.iter().enumerate() {
+                    let sep = if k > 0 { "," } else { "" };
+                    push_literal(&mut code, &format!("{sep}\"{field}\":"));
+                    code.push_str(&format!(
+                        "::serde::Serialize::serialize_json_into({field}, out);\n"
+                    ));
+                }
+                push_literal(&mut code, "}}");
+                code.push_str("}\n");
+            }
+        }
+    }
+    code.push_str("}\n");
+    code
+}

@@ -79,7 +79,11 @@ fn analytic_and_simulated_efficiency_agree_by_class() {
     let n = 240;
     let swarm = saroiu_swarm(n, 160, 3);
     let curve = efficiency_curve(
-        &EfficiencyModel { b0: 3, d: 20.0, n: 1000 },
+        &EfficiencyModel {
+            b0: 3,
+            d: 20.0,
+            n: 1000,
+        },
         &BandwidthCdf::saroiu_gnutella_upstream(),
     );
     // Classes by upload bandwidth (kbps).
@@ -125,8 +129,9 @@ fn heterogeneous_swarm_completes_with_piece_dynamics() {
         .mean_neighbors(16.0)
         .seed(9)
         .build();
-    let mut uploads: Vec<f64> =
-        (0..leechers).map(|i| 200.0 * 1.03f64.powi(i as i32)).collect();
+    let mut uploads: Vec<f64> = (0..leechers)
+        .map(|i| 200.0 * 1.03f64.powi(i as i32))
+        .collect();
     uploads.extend([2000.0, 2000.0]);
     let mut swarm = Swarm::new(config, &uploads);
     for _ in 0..3000 {
@@ -135,10 +140,17 @@ fn heterogeneous_swarm_completes_with_piece_dynamics() {
             break;
         }
     }
-    assert_eq!(swarm.completed_count(), leechers, "swarm failed to complete");
+    assert_eq!(
+        swarm.completed_count(),
+        leechers,
+        "swarm failed to complete"
+    );
     // Conservation at the end of the run.
-    let up: f64 = (0..swarm.peer_count()).map(|p| swarm.peer(p).total_uploaded()).sum();
-    let down: f64 =
-        (0..swarm.peer_count()).map(|p| swarm.peer(p).total_downloaded()).sum();
+    let up: f64 = (0..swarm.peer_count())
+        .map(|p| swarm.peer(p).total_uploaded())
+        .sum();
+    let down: f64 = (0..swarm.peer_count())
+        .map(|p| swarm.peer(p).total_downloaded())
+        .sum();
     assert!((up - down).abs() < 1e-6);
 }

@@ -27,8 +27,7 @@ fn all_strategies_share_the_fixpoint() {
         InitiativeStrategy::Random,
     ] {
         let mut rng = ChaCha8Rng::seed_from_u64(88);
-        let mut dynamics =
-            Dynamics::new(acc.clone(), caps.clone(), strategy).unwrap();
+        let mut dynamics = Dynamics::new(acc.clone(), caps.clone(), strategy).unwrap();
         for _ in 0..4000 {
             dynamics.run_base_unit(&mut rng);
             if dynamics.is_stable() {
@@ -36,7 +35,11 @@ fn all_strategies_share_the_fixpoint() {
             }
         }
         assert!(dynamics.is_stable(), "{strategy:?} did not converge");
-        assert_eq!(dynamics.matching(), &reference, "{strategy:?} found another fixpoint");
+        assert_eq!(
+            dynamics.matching(),
+            &reference,
+            "{strategy:?} found another fixpoint"
+        );
     }
 }
 
@@ -56,8 +59,7 @@ fn dynamics_ensemble_matches_algorithm2() {
         let graph = generators::erdos_renyi(n, p, &mut rng);
         let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n)).unwrap();
         let caps = Capacities::constant(n, 1);
-        let mut dynamics =
-            Dynamics::new(acc, caps, InitiativeStrategy::BestMate).unwrap();
+        let mut dynamics = Dynamics::new(acc, caps, InitiativeStrategy::BestMate).unwrap();
         // Run dynamics rather than calling Algorithm 1.
         for _ in 0..200 {
             dynamics.run_base_unit(&mut rng);
@@ -71,8 +73,10 @@ fn dynamics_ensemble_matches_algorithm2() {
             None => unmatched += 1,
         }
     }
-    let empirical: Vec<f64> =
-        counts.iter().map(|&c| c as f64 / realizations as f64).collect();
+    let empirical: Vec<f64> = counts
+        .iter()
+        .map(|&c| c as f64 / realizations as f64)
+        .collect();
     let analytic = one_matching::solve(n, p, &[peer]);
     let l1 = monte_carlo::l1_distance(&empirical, analytic.row(peer).unwrap());
     assert!(l1 < 0.35, "dynamics-ensemble vs Algorithm 2: L1 = {l1}");

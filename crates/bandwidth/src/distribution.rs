@@ -196,6 +196,25 @@ impl BandwidthCdf {
             .collect()
     }
 
+    /// Bandwidths for `n` peers in **shuffled order**: the mid-quantile
+    /// rank assignment of [`assign_by_rank`](Self::assign_by_rank),
+    /// permuted by a ChaCha8 stream seeded with `seed` so the peer index
+    /// carries no rank information.
+    ///
+    /// This is the standard way experiments hand upload capacities to the
+    /// swarm simulator (peer ids are protocol-level, not rank-level); the
+    /// seed makes the permutation part of the declarative scenario rather
+    /// than ambient RNG state.
+    #[must_use]
+    pub fn assign_shuffled(&self, n: usize, seed: u64) -> Vec<f64> {
+        use rand::seq::SliceRandom;
+        use rand::SeedableRng;
+        let mut values = self.assign_by_rank(n);
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        values.shuffle(&mut rng);
+        values
+    }
+
     /// Supported bandwidth range `(min, max)` in kbps.
     #[must_use]
     pub fn support(&self) -> (f64, f64) {
@@ -274,6 +293,22 @@ mod tests {
         // Best peer near the top of the support, worst near the bottom.
         assert!(bw[0] > 30_000.0);
         assert!(bw[499] < 20.0);
+    }
+
+    #[test]
+    fn assign_shuffled_is_a_seeded_permutation_of_by_rank() {
+        let cdf = BandwidthCdf::saroiu_gnutella_upstream();
+        let by_rank = cdf.assign_by_rank(200);
+        let shuffled = cdf.assign_shuffled(200, 9);
+        // Same multiset, different order, deterministic per seed.
+        let mut a = by_rank.clone();
+        let mut b = shuffled.clone();
+        a.sort_by(f64::total_cmp);
+        b.sort_by(f64::total_cmp);
+        assert_eq!(a, b);
+        assert_ne!(by_rank, shuffled);
+        assert_eq!(shuffled, cdf.assign_shuffled(200, 9));
+        assert_ne!(shuffled, cdf.assign_shuffled(200, 10));
     }
 
     #[test]

@@ -12,9 +12,10 @@ use rand_chacha::ChaCha8Rng;
 use strat_analytic::{b_matching, one_matching};
 use strat_bench::{
     bench_dynamics, bench_dynamics_ref, bench_stable_configuration, bench_stable_configuration_ref,
+    er_scenario,
 };
-use strat_bittorrent::{Swarm, SwarmConfig};
 use strat_graph::generators;
+use strat_scenario::{CapacityModel, SwarmParams};
 
 fn bench_analytic(c: &mut Criterion) {
     let mut group = c.benchmark_group("analytic");
@@ -54,28 +55,39 @@ fn bench_swarm(c: &mut Criterion) {
     let mut group = c.benchmark_group("swarm");
     group.warm_up_time(Duration::from_millis(500));
     group.measurement_time(Duration::from_secs(3));
+    let uploads: Vec<f64> = (0..200).map(|i| 100.0 + i as f64).collect();
     group.bench_function("round_n200_fluid", |b| {
-        let config = SwarmConfig::builder()
-            .leechers(200)
-            .seeds(2)
-            .fluid_content(true)
-            .seed(6)
-            .build();
-        let uploads: Vec<f64> = (0..202).map(|i| 100.0 + i as f64).collect();
-        let mut swarm = Swarm::new(config, &uploads);
+        let scenario = er_scenario(200, 20.0, 6)
+            .with_capacity(CapacityModel::Explicit {
+                values: uploads.clone(),
+            })
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                seed_upload_kbps: 300.0,
+                fluid_content: true,
+                swarm_seed: 6,
+                ..SwarmParams::default()
+            });
+        let mut rng = ChaCha8Rng::seed_from_u64(6);
+        let mut swarm = scenario.build_swarm(&mut rng).expect("valid scenario");
         b.iter(|| swarm.round());
     });
     group.bench_function("round_n200_pieces", |b| {
-        let config = SwarmConfig::builder()
-            .leechers(200)
-            .seeds(2)
-            .piece_count(512)
-            .piece_size_kbit(4000.0)
-            .initial_completion(0.3)
-            .seed(7)
-            .build();
-        let uploads: Vec<f64> = (0..202).map(|i| 100.0 + i as f64).collect();
-        let mut swarm = Swarm::new(config, &uploads);
+        let scenario = er_scenario(200, 20.0, 7)
+            .with_capacity(CapacityModel::Explicit {
+                values: uploads.clone(),
+            })
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                seed_upload_kbps: 300.0,
+                piece_count: 512,
+                piece_size_kbit: 4000.0,
+                initial_completion: 0.3,
+                swarm_seed: 7,
+                ..SwarmParams::default()
+            });
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let mut swarm = scenario.build_swarm(&mut rng).expect("valid scenario");
         b.iter(|| swarm.round());
     });
     group.finish();

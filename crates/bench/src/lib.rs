@@ -25,17 +25,28 @@ use criterion::{black_box, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use strat_core::{
-    reference, stable_configuration, stable_configuration_complete, Capacities, Dynamics,
-    GlobalRanking, InitiativeStrategy, RankedAcceptance,
+    reference, stable_configuration, stable_configuration_complete, Capacities, GlobalRanking,
+    InitiativeStrategy, RankedAcceptance,
 };
-use strat_graph::generators;
+use strat_scenario::{Scenario, TopologyModel};
+
+/// Standard declarative instance: `G(n, d)` acceptance graph, identity
+/// ranking, constant 1-matching (the scenario layer is the only builder
+/// the bench harness uses).
+#[must_use]
+pub fn er_scenario(n: usize, d: f64, seed: u64) -> Scenario {
+    Scenario::new("bench", n)
+        .with_seed(seed)
+        .with_topology(TopologyModel::ErdosRenyiMeanDegree { d })
+}
 
 /// Standard instance: `G(n, d)` acceptance graph, identity ranking.
 #[must_use]
 pub fn er_acceptance(n: usize, d: f64, seed: u64) -> RankedAcceptance {
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
-    let graph = generators::erdos_renyi_mean_degree(n, d, &mut rng);
-    RankedAcceptance::new(graph, GlobalRanking::identity(n)).expect("sizes match")
+    er_scenario(n, d, seed)
+        .build_acceptance(&mut rng)
+        .expect("valid scenario")
 }
 
 /// `stable_configuration` on `G(n, 20)` with `b = 3` at n ∈ {1k, 10k, 100k},
@@ -92,17 +103,18 @@ pub fn bench_dynamics(c: &mut Criterion) {
     ] {
         group.bench_function(format!("{strategy:?}_base_unit_n1000_d10"), |b| {
             let mut rng = ChaCha8Rng::seed_from_u64(2);
-            let acc = er_acceptance(1000, 10.0, 2);
-            let caps = Capacities::constant(1000, 1);
-            let mut dynamics = Dynamics::new(acc, caps, strategy).unwrap();
+            let mut dynamics = er_scenario(1000, 10.0, 2)
+                .with_strategy(strategy)
+                .build_dynamics(&mut rng)
+                .expect("valid scenario");
             b.iter(|| black_box(dynamics.run_base_unit(&mut rng)));
         });
     }
     group.bench_function("disorder_n1000_d10", |b| {
         let mut rng = ChaCha8Rng::seed_from_u64(3);
-        let acc = er_acceptance(1000, 10.0, 3);
-        let caps = Capacities::constant(1000, 1);
-        let mut dynamics = Dynamics::new(acc, caps, InitiativeStrategy::BestMate).unwrap();
+        let mut dynamics = er_scenario(1000, 10.0, 3)
+            .build_dynamics(&mut rng)
+            .expect("valid scenario");
         for _ in 0..5 {
             dynamics.run_base_unit(&mut rng);
         }

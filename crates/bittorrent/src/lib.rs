@@ -45,11 +45,13 @@
 // Index-coupled loops are the domain idiom here: round loops couple peer indices across multiple state arrays.
 #![allow(clippy::needless_range_loop)]
 
+mod behavior;
 mod config;
 pub mod metrics;
 mod piece;
 mod swarm;
 
+pub use behavior::PeerBehavior;
 pub use config::{SwarmConfig, SwarmConfigBuilder};
 pub use piece::PieceSet;
 pub use swarm::{Peer, PeerId, Swarm};

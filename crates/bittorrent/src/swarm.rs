@@ -20,7 +20,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use strat_graph::{generators, NodeId};
 
-use crate::{PieceSet, SwarmConfig};
+use crate::{PeerBehavior, PieceSet, SwarmConfig};
 
 /// Index of a peer inside a [`Swarm`].
 pub type PeerId = usize;
@@ -30,6 +30,8 @@ pub type PeerId = usize;
 pub struct Peer {
     /// Upload capacity in kbps.
     upload_kbps: f64,
+    /// Choking behavior.
+    behavior: PeerBehavior,
     /// Pieces currently held.
     pieces: PieceSet,
     /// Whether this peer started as a seed.
@@ -60,6 +62,12 @@ impl Peer {
     #[must_use]
     pub fn upload_kbps(&self) -> f64 {
         self.upload_kbps
+    }
+
+    /// The peer's choking behavior.
+    #[must_use]
+    pub fn behavior(&self) -> PeerBehavior {
+        self.behavior
     }
 
     /// The pieces currently held.
@@ -169,8 +177,27 @@ impl Swarm {
     /// non-positive.
     #[must_use]
     pub fn new(config: SwarmConfig, upload_kbps: &[f64]) -> Self {
+        let behaviors = vec![PeerBehavior::Compliant; config.leechers + config.seeds];
+        Self::with_behaviors(config, upload_kbps, &behaviors)
+    }
+
+    /// Builds a swarm with an explicit per-peer [`PeerBehavior`] mix (see
+    /// the `behavior` module docs). [`Swarm::new`] is the all-compliant
+    /// special case and behaves identically to it.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Swarm::new`], or if
+    /// `behaviors.len()` disagrees with the peer count.
+    #[must_use]
+    pub fn with_behaviors(
+        config: SwarmConfig,
+        upload_kbps: &[f64],
+        behaviors: &[PeerBehavior],
+    ) -> Self {
         let n = config.leechers + config.seeds;
         assert_eq!(upload_kbps.len(), n, "need one upload capacity per peer");
+        assert_eq!(behaviors.len(), n, "need one behavior per peer");
         assert!(
             upload_kbps.iter().all(|&u| u.is_finite() && u > 0.0),
             "upload capacities must be positive"
@@ -206,6 +233,7 @@ impl Swarm {
                 let deg = neighbors[p].len();
                 Peer {
                     upload_kbps: upload_kbps[p],
+                    behavior: behaviors[p],
                     pieces,
                     original_seed: is_seed,
                     completed_round: None,
@@ -340,6 +368,9 @@ impl Swarm {
 
     /// Whether `p` rechokes like a seed (no reciprocation signal).
     fn acts_as_seed(&self, p: PeerId) -> bool {
+        if self.peers[p].behavior.ignores_reciprocation() {
+            return true;
+        }
         if self.config.fluid_content {
             self.peers[p].original_seed
         } else {
@@ -350,6 +381,9 @@ impl Swarm {
     /// Whether `p` currently uploads at all.
     fn uploads(&self, p: PeerId) -> bool {
         let peer = &self.peers[p];
+        if !peer.behavior.uploads() {
+            return false;
+        }
         if !self.config.fluid_content && peer.pieces.is_complete() && !peer.original_seed {
             self.config.seed_after_completion
         } else {
@@ -652,5 +686,84 @@ mod tests {
     fn wrong_capacity_count_panics() {
         let cfg = small_config(5, 1);
         let _ = Swarm::new(cfg, &uniform_uploads(3, 100.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "one behavior per peer")]
+    fn wrong_behavior_count_panics() {
+        let cfg = small_config(5, 1);
+        let _ = Swarm::with_behaviors(
+            cfg,
+            &uniform_uploads(6, 100.0),
+            &[PeerBehavior::Compliant; 2],
+        );
+    }
+
+    #[test]
+    fn all_compliant_behaviors_match_default_constructor() {
+        let mk = |explicit: bool| {
+            let cfg = small_config(18, 1);
+            let uploads = uniform_uploads(19, 450.0);
+            let mut swarm = if explicit {
+                Swarm::with_behaviors(cfg, &uploads, &[PeerBehavior::Compliant; 19])
+            } else {
+                Swarm::new(cfg, &uploads)
+            };
+            swarm.run(12);
+            (0..19)
+                .map(|p| swarm.peer(p).total_downloaded())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(mk(true), mk(false));
+    }
+
+    #[test]
+    fn free_riders_upload_nothing_but_still_download() {
+        let mut cfg = small_config(20, 2);
+        cfg.fluid_content = true;
+        // Heterogeneous capacities so TFT ranks carry signal; free riders
+        // occupy the last leecher indices (the scenario layer's convention).
+        let uploads: Vec<f64> = (0..22).map(|i| 300.0 + 40.0 * i as f64).collect();
+        let mut behaviors = vec![PeerBehavior::Compliant; 22];
+        behaviors[18] = PeerBehavior::FreeRider;
+        behaviors[19] = PeerBehavior::FreeRider;
+        let mut swarm = Swarm::with_behaviors(cfg, &uploads, &behaviors);
+        swarm.run(40);
+        for p in [18, 19] {
+            assert_eq!(
+                swarm.peer(p).total_uploaded(),
+                0.0,
+                "free rider {p} uploaded"
+            );
+            // Optimistic slots still feed them.
+            assert!(swarm.peer(p).total_downloaded() > 0.0);
+            assert!(swarm.tft_unchoked(p).is_empty());
+            assert!(swarm.optimistic_unchoked(p).is_none());
+        }
+        // Free riders live off the optimistic economy alone: they download
+        // strictly less than the median compliant leecher.
+        let mut compliant: Vec<f64> = (0..18).map(|p| swarm.peer(p).total_downloaded()).collect();
+        compliant.sort_by(f64::total_cmp);
+        let median = compliant[compliant.len() / 2];
+        for p in [18, 19] {
+            assert!(
+                swarm.peer(p).total_downloaded() < median,
+                "free rider {p} outperformed the median compliant peer"
+            );
+        }
+    }
+
+    #[test]
+    fn altruists_upload_without_reciprocation_signal() {
+        let mut cfg = small_config(20, 1);
+        cfg.fluid_content = true;
+        let mut behaviors = vec![PeerBehavior::Compliant; 21];
+        behaviors[3] = PeerBehavior::Altruistic;
+        let mut swarm = Swarm::with_behaviors(cfg, &uniform_uploads(21, 500.0), &behaviors);
+        swarm.run(30);
+        assert_eq!(swarm.peer(3).behavior(), PeerBehavior::Altruistic);
+        // Altruists keep uploading and (being leechers) keep downloading.
+        assert!(swarm.peer(3).total_uploaded() > 0.0);
+        assert!(swarm.peer(3).total_downloaded() > 0.0);
     }
 }

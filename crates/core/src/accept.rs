@@ -37,7 +37,7 @@ use crate::{GlobalRanking, ModelError, Rank};
 /// );
 /// # Ok::<(), strat_core::ModelError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct RankedAcceptance {
     graph: Graph,
     ranking: GlobalRanking,

@@ -179,8 +179,10 @@ impl CapacityDistribution {
 /// One standard-normal draw via the Box–Muller transform.
 ///
 /// `rand` does not ship a normal distribution (that lives in `rand_distr`,
-/// outside the allowed dependency set), and Box–Muller is exact.
-fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+/// outside the allowed dependency set), and Box–Muller is exact. Public so
+/// other samplers (the scenario layer's bandwidth models) consume the RNG
+/// identically to [`CapacityDistribution::RoundedNormal`].
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
     // u1 in (0, 1] to avoid ln(0).
     let u1: f64 = 1.0 - rng.gen_range(0.0..1.0);
     let u2: f64 = rng.gen_range(0.0..1.0);

@@ -24,6 +24,8 @@
 //! initiative or churn event touches — never recomputed per scan — so each
 //! candidate probe inside an initiative is two array reads and a compare.
 
+use std::cell::RefCell;
+
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 use strat_graph::NodeId;
@@ -117,6 +119,14 @@ pub struct Dynamics {
     /// Clean/dirty memo: `false` means "a full scan since the last relevant
     /// change found no blocking mate for this peer".
     dirty: Vec<bool>,
+    /// Presence-set version; bumped by every churn (remove/insert) event.
+    presence_version: u64,
+    /// Memoized instant stable configuration, tagged with the
+    /// `presence_version` it was computed under. The stable configuration
+    /// depends only on the acceptance structure, the capacities and the
+    /// present set — never on the current matching — so initiatives leave
+    /// it valid and only churn events invalidate it.
+    stable_memo: RefCell<Option<(u64, Matching)>>,
     initiatives: u64,
     active_initiatives: u64,
 }
@@ -146,6 +156,8 @@ impl Dynamics {
             present_count: n,
             accept_below: vec![0; n],
             dirty: vec![true; n],
+            presence_version: 0,
+            stable_memo: RefCell::new(None),
             initiatives: 0,
             active_initiatives: 0,
         };
@@ -233,6 +245,7 @@ impl Dynamics {
         }
         self.present[v.index()] = false;
         self.present_count -= 1;
+        self.presence_version += 1;
         let dropped = self.matching.isolate(v);
         self.refresh_threshold(v);
         self.mark_neighborhood_dirty(v);
@@ -249,6 +262,7 @@ impl Dynamics {
         }
         self.present[v.index()] = true;
         self.present_count += 1;
+        self.presence_version += 1;
         debug_assert_eq!(self.matching.degree(v), 0);
         self.refresh_threshold(v);
         self.mark_neighborhood_dirty(v);
@@ -331,25 +345,46 @@ impl Dynamics {
     /// Disorder of the current configuration: distance to the instant stable
     /// configuration of the present peers (1-matching metric of §3).
     ///
-    /// Recomputes the stable configuration; `O(Σ deg)`.
+    /// The instant stable configuration is memoized per presence set:
+    /// repeated calls between churn events reuse it (`O(n)` per call
+    /// instead of a full `O(Σ deg)` recomputation — the first bite of
+    /// scaling the metric past 10⁶ peers).
     #[must_use]
     pub fn disorder(&self) -> f64 {
-        let stable = self.instant_stable();
-        distance::disorder(self.acc.ranking(), &self.matching, &stable)
+        self.with_instant_stable(|stable, matching| {
+            distance::disorder(self.acc.ranking(), matching, stable)
+        })
     }
 
     /// Disorder under the generalized b-matching metric.
     #[must_use]
     pub fn disorder_general(&self) -> f64 {
-        let stable = self.instant_stable();
-        distance::distance_general(self.acc.ranking(), &self.matching, &stable)
+        self.with_instant_stable(|stable, matching| {
+            distance::distance_general(self.acc.ranking(), matching, stable)
+        })
     }
 
-    /// The instant stable configuration over present peers.
+    /// The instant stable configuration over present peers (memoized; see
+    /// [`disorder`](Self::disorder)).
     #[must_use]
     pub fn instant_stable(&self) -> Matching {
-        stable_configuration_masked(&self.acc, &self.caps, |v| self.present[v.index()])
-            .expect("sizes validated at construction")
+        self.with_instant_stable(|stable, _| stable.clone())
+    }
+
+    /// Runs `f` on the (memoized) instant stable configuration and the
+    /// current matching, refreshing the memo if a churn event invalidated
+    /// it.
+    fn with_instant_stable<T>(&self, f: impl FnOnce(&Matching, &Matching) -> T) -> T {
+        let mut memo = self.stable_memo.borrow_mut();
+        let fresh = !matches!(*memo, Some((version, _)) if version == self.presence_version);
+        if fresh {
+            let stable =
+                stable_configuration_masked(&self.acc, &self.caps, |v| self.present[v.index()])
+                    .expect("sizes validated at construction");
+            *memo = Some((self.presence_version, stable));
+        }
+        let (_, stable) = memo.as_ref().expect("memo just refreshed");
+        f(stable, &self.matching)
     }
 
     /// Whether the current configuration is stable for the present peers.
@@ -606,6 +641,52 @@ mod tests {
             }
             assert_thresholds_consistent(&dyn_);
         }
+    }
+
+    #[test]
+    fn instant_stable_memo_matches_fresh_computation() {
+        let (mut dyn_, mut rng) = build(60, 9.0, 2, InitiativeStrategy::Random, 17);
+        let fresh = |d: &Dynamics| {
+            stable_configuration_masked(d.acceptance(), d.capacities(), |v| d.is_present(v))
+                .unwrap()
+        };
+        for round in 0..80 {
+            dyn_.step(&mut rng);
+            if round % 9 == 3 {
+                dyn_.remove_peer(n(round % 60));
+            }
+            if round % 13 == 5 {
+                dyn_.insert_peer(n((round * 7) % 60));
+            }
+            // Memoized metric must agree with a from-scratch recomputation
+            // after any mix of initiative and churn events, including
+            // repeated reads between events.
+            let stable = fresh(&dyn_);
+            assert_eq!(dyn_.instant_stable(), stable);
+            let want =
+                distance::distance_general(dyn_.acceptance().ranking(), dyn_.matching(), &stable);
+            assert_eq!(dyn_.disorder_general(), want);
+            assert_eq!(
+                dyn_.disorder_general(),
+                want,
+                "second (memoized) read differs"
+            );
+        }
+    }
+
+    #[test]
+    fn disorder_memo_survives_initiatives_and_invalidates_on_churn() {
+        let (mut dyn_, mut rng) = build(40, 8.0, 1, InitiativeStrategy::BestMate, 23);
+        let before = dyn_.instant_stable();
+        for _ in 0..5 {
+            dyn_.run_base_unit(&mut rng);
+        }
+        // Initiatives never change the instant stable configuration.
+        assert_eq!(dyn_.instant_stable(), before);
+        dyn_.remove_peer(n(0));
+        let after = dyn_.instant_stable();
+        assert_eq!(after.degree(n(0)), 0);
+        assert_ne!(after, before);
     }
 
     #[test]

@@ -38,7 +38,7 @@
 //! worst-mate ranks are `O(1)` reads; [`Dynamics`] maintains per-peer
 //! acceptance thresholds incrementally, making each candidate probe two
 //! array reads and a compare. The pre-optimization implementations live on
-//! in [`reference`] for differential testing and benchmarking.
+//! in [`mod@reference`] for differential testing and benchmarking.
 //!
 //! # Quick start
 //!
@@ -80,7 +80,7 @@ pub mod reference;
 mod stable;
 
 pub use accept::RankedAcceptance;
-pub use capacity::{Capacities, CapacityDistribution};
+pub use capacity::{standard_normal, Capacities, CapacityDistribution};
 pub use churn::{ChurnEvent, ChurnProcess};
 pub use dynamics::{Dynamics, InitiativeOutcome, InitiativeStrategy};
 pub use error::ModelError;

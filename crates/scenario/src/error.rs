@@ -1,0 +1,85 @@
+//! Errors raised while validating or building scenarios.
+
+use strat_core::ModelError;
+use strat_graph::GraphError;
+
+/// Why a [`Scenario`](crate::Scenario) could not be built or parsed.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ScenarioError {
+    /// A model parameter is out of its domain.
+    InvalidParameter {
+        /// Which parameter.
+        what: &'static str,
+        /// Human-readable constraint violation.
+        reason: String,
+    },
+    /// The capacity model cannot be interpreted in the requested unit
+    /// (e.g. Saroiu bandwidths asked for as collaboration slots).
+    CapacityUnit {
+        /// The offending model, rendered for the message.
+        model: String,
+        /// The unit the caller asked for.
+        wanted: &'static str,
+    },
+    /// An explicit value list does not cover the peer count.
+    SizeMismatch {
+        /// Peers the scenario declares.
+        expected: usize,
+        /// Values actually provided.
+        actual: usize,
+    },
+    /// A swarm build was requested but the scenario has no `swarm` section.
+    MissingSwarm,
+    /// The underlying graph construction failed.
+    Graph(GraphError),
+    /// The underlying matching-model construction failed.
+    Model(ModelError),
+    /// JSON parsing or schema walking failed.
+    Parse(String),
+}
+
+impl core::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ScenarioError::InvalidParameter { what, reason } => {
+                write!(f, "invalid {what}: {reason}")
+            }
+            ScenarioError::CapacityUnit { model, wanted } => {
+                write!(f, "capacity model {model} cannot provide {wanted}")
+            }
+            ScenarioError::SizeMismatch { expected, actual } => {
+                write!(
+                    f,
+                    "explicit values cover {actual} peers, scenario declares {expected}"
+                )
+            }
+            ScenarioError::MissingSwarm => {
+                write!(f, "scenario has no `swarm` section; cannot build a swarm")
+            }
+            ScenarioError::Graph(e) => write!(f, "topology: {e}"),
+            ScenarioError::Model(e) => write!(f, "model: {e}"),
+            ScenarioError::Parse(msg) => write!(f, "scenario JSON: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+impl From<GraphError> for ScenarioError {
+    fn from(e: GraphError) -> Self {
+        ScenarioError::Graph(e)
+    }
+}
+
+impl From<ModelError> for ScenarioError {
+    fn from(e: ModelError) -> Self {
+        ScenarioError::Model(e)
+    }
+}
+
+impl From<serde_json::ParseError> for ScenarioError {
+    fn from(e: serde_json::ParseError) -> Self {
+        ScenarioError::Parse(e.to_string())
+    }
+}

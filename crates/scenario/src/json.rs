@@ -1,0 +1,361 @@
+//! JSON round-trip for [`Scenario`]: serialization comes from the serde
+//! derives (externally tagged enums, exactly like upstream serde's
+//! defaults); deserialization walks the `serde_json::Value` tree produced
+//! by the shim parser.
+
+use serde_json::Value;
+use strat_core::InitiativeStrategy;
+
+use crate::{
+    BehaviorMix, CapacityModel, ChurnModel, PreferenceModel, Scenario, ScenarioError, SwarmParams,
+    TopologyModel,
+};
+
+impl Scenario {
+    /// Compact JSON encoding of this scenario.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde::Serialize::to_json(self)
+    }
+
+    /// Pretty-printed JSON encoding (what preset files ship as).
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        serde_json::to_string_pretty(self).expect("in-memory serialization cannot fail")
+    }
+
+    /// Parses a scenario from its JSON encoding.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::Parse`] on malformed JSON, unknown
+    /// variants, or missing/ill-typed fields.
+    pub fn from_json(input: &str) -> Result<Self, ScenarioError> {
+        let value = serde_json::from_str_value(input)?;
+        Self::from_value(&value)
+    }
+
+    fn from_value(value: &Value) -> Result<Self, ScenarioError> {
+        Ok(Self {
+            name: string_field(value, "name")?,
+            experiment: string_field(value, "experiment")?,
+            seed: u64_field(value, "seed")?,
+            peers: usize_field(value, "peers")?,
+            capacity: CapacityModel::from_value(require(value, "capacity")?)?,
+            topology: TopologyModel::from_value(require(value, "topology")?)?,
+            preference: PreferenceModel::from_value(require(value, "preference")?)?,
+            churn: ChurnModel::from_value(require(value, "churn")?)?,
+            strategy: strategy_from_value(require(value, "strategy")?)?,
+            swarm: match require(value, "swarm")? {
+                Value::Null => None,
+                v => Some(SwarmParams::from_value(v)?),
+            },
+        })
+    }
+}
+
+impl CapacityModel {
+    fn from_value(value: &Value) -> Result<Self, ScenarioError> {
+        let (tag, body) = variant(value, "capacity model")?;
+        match tag {
+            "Constant" => Ok(CapacityModel::Constant {
+                value: f64_field(body, "value")?,
+            }),
+            "RoundedNormal" => Ok(CapacityModel::RoundedNormal {
+                mean: f64_field(body, "mean")?,
+                sigma: f64_field(body, "sigma")?,
+            }),
+            "Uniform" => Ok(CapacityModel::Uniform {
+                lo: f64_field(body, "lo")?,
+                hi: f64_field(body, "hi")?,
+            }),
+            "SaroiuByRank" => Ok(CapacityModel::SaroiuByRank),
+            "SaroiuShuffled" => Ok(CapacityModel::SaroiuShuffled {
+                shuffle_seed: u64_field(body, "shuffle_seed")?,
+            }),
+            "Explicit" => Ok(CapacityModel::Explicit {
+                values: f64_array_field(body, "values")?,
+            }),
+            other => Err(unknown_variant("capacity model", other)),
+        }
+    }
+}
+
+impl TopologyModel {
+    fn from_value(value: &Value) -> Result<Self, ScenarioError> {
+        let (tag, body) = variant(value, "topology model")?;
+        match tag {
+            "Complete" => Ok(TopologyModel::Complete),
+            "ErdosRenyiMeanDegree" => Ok(TopologyModel::ErdosRenyiMeanDegree {
+                d: f64_field(body, "d")?,
+            }),
+            "ErdosRenyiEdgeProbability" => Ok(TopologyModel::ErdosRenyiEdgeProbability {
+                p: f64_field(body, "p")?,
+            }),
+            "Explicit" => {
+                let raw = require(body, "edges")?
+                    .as_array()
+                    .ok_or_else(|| type_error("edges", "array"))?;
+                let mut edges = Vec::with_capacity(raw.len());
+                for pair in raw {
+                    let pair = pair
+                        .as_array()
+                        .filter(|p| p.len() == 2)
+                        .ok_or_else(|| type_error("edge", "[u, v] pair"))?;
+                    edges.push((
+                        pair[0]
+                            .as_usize()
+                            .ok_or_else(|| type_error("edge endpoint", "index"))?,
+                        pair[1]
+                            .as_usize()
+                            .ok_or_else(|| type_error("edge endpoint", "index"))?,
+                    ));
+                }
+                Ok(TopologyModel::Explicit { edges })
+            }
+            other => Err(unknown_variant("topology model", other)),
+        }
+    }
+}
+
+impl PreferenceModel {
+    fn from_value(value: &Value) -> Result<Self, ScenarioError> {
+        let (tag, body) = variant(value, "preference model")?;
+        match tag {
+            "GlobalRank" => Ok(PreferenceModel::GlobalRank),
+            "GossipEstimated" => Ok(PreferenceModel::GossipEstimated {
+                sample_size: usize_field(body, "sample_size")?,
+            }),
+            "Latency" => Ok(PreferenceModel::Latency {
+                span: f64_field(body, "span")?,
+            }),
+            "BandedRankLatency" => Ok(PreferenceModel::BandedRankLatency {
+                class_width: usize_field(body, "class_width")?,
+                span: f64_field(body, "span")?,
+            }),
+            other => Err(unknown_variant("preference model", other)),
+        }
+    }
+}
+
+impl ChurnModel {
+    fn from_value(value: &Value) -> Result<Self, ScenarioError> {
+        let (tag, body) = variant(value, "churn model")?;
+        match tag {
+            "None" => Ok(ChurnModel::None),
+            "Rate" => Ok(ChurnModel::Rate {
+                rate: f64_field(body, "rate")?,
+            }),
+            "PoissonPerBaseUnit" => Ok(ChurnModel::PoissonPerBaseUnit {
+                events_per_base_unit: f64_field(body, "events_per_base_unit")?,
+            }),
+            other => Err(unknown_variant("churn model", other)),
+        }
+    }
+}
+
+impl SwarmParams {
+    fn from_value(value: &Value) -> Result<Self, ScenarioError> {
+        let behavior = require(value, "behavior")?;
+        Ok(Self {
+            seeds: usize_field(value, "seeds")?,
+            seed_upload_kbps: f64_field(value, "seed_upload_kbps")?,
+            tft_slots: usize_field(value, "tft_slots")?,
+            optimistic_slots: usize_field(value, "optimistic_slots")?,
+            optimistic_period: u32::try_from(u64_field(value, "optimistic_period")?)
+                .map_err(|_| type_error("optimistic_period", "u32"))?,
+            piece_count: usize_field(value, "piece_count")?,
+            piece_size_kbit: f64_field(value, "piece_size_kbit")?,
+            round_seconds: f64_field(value, "round_seconds")?,
+            initial_completion: f64_field(value, "initial_completion")?,
+            seed_after_completion: bool_field(value, "seed_after_completion")?,
+            fluid_content: bool_field(value, "fluid_content")?,
+            swarm_seed: u64_field(value, "swarm_seed")?,
+            behavior: BehaviorMix {
+                free_riders: usize_field(behavior, "free_riders")?,
+                altruists: usize_field(behavior, "altruists")?,
+            },
+        })
+    }
+}
+
+fn strategy_from_value(value: &Value) -> Result<InitiativeStrategy, ScenarioError> {
+    match value.as_str() {
+        Some("BestMate") => Ok(InitiativeStrategy::BestMate),
+        Some("Decremental") => Ok(InitiativeStrategy::Decremental),
+        Some("Random") => Ok(InitiativeStrategy::Random),
+        Some(other) => Err(unknown_variant("initiative strategy", other)),
+        None => Err(type_error("strategy", "string")),
+    }
+}
+
+/// Splits an externally tagged enum value into `(variant, body)`; unit
+/// variants are bare strings with a null body.
+fn variant<'v>(value: &'v Value, what: &str) -> Result<(&'v str, &'v Value), ScenarioError> {
+    static NULL: Value = Value::Null;
+    if let Some(tag) = value.as_str() {
+        return Ok((tag, &NULL));
+    }
+    if let Some(map) = value.as_object() {
+        if map.len() == 1 {
+            let (tag, body) = map.iter().next().expect("len checked");
+            return Ok((tag.as_str(), body));
+        }
+    }
+    Err(ScenarioError::Parse(format!(
+        "expected an externally tagged {what}, found {value:?}"
+    )))
+}
+
+fn require<'v>(value: &'v Value, field: &str) -> Result<&'v Value, ScenarioError> {
+    value
+        .get(field)
+        .ok_or_else(|| ScenarioError::Parse(format!("missing field `{field}`")))
+}
+
+fn type_error(field: &str, wanted: &str) -> ScenarioError {
+    ScenarioError::Parse(format!("field `{field}` must be a {wanted}"))
+}
+
+fn string_field(value: &Value, field: &str) -> Result<String, ScenarioError> {
+    require(value, field)?
+        .as_str()
+        .map(str::to_owned)
+        .ok_or_else(|| type_error(field, "string"))
+}
+
+fn f64_field(value: &Value, field: &str) -> Result<f64, ScenarioError> {
+    require(value, field)?
+        .as_f64()
+        .ok_or_else(|| type_error(field, "number"))
+}
+
+fn u64_field(value: &Value, field: &str) -> Result<u64, ScenarioError> {
+    require(value, field)?
+        .as_u64()
+        .ok_or_else(|| type_error(field, "unsigned integer"))
+}
+
+fn usize_field(value: &Value, field: &str) -> Result<usize, ScenarioError> {
+    require(value, field)?
+        .as_usize()
+        .ok_or_else(|| type_error(field, "unsigned integer"))
+}
+
+fn bool_field(value: &Value, field: &str) -> Result<bool, ScenarioError> {
+    require(value, field)?
+        .as_bool()
+        .ok_or_else(|| type_error(field, "bool"))
+}
+
+fn f64_array_field(value: &Value, field: &str) -> Result<Vec<f64>, ScenarioError> {
+    require(value, field)?
+        .as_array()
+        .ok_or_else(|| type_error(field, "array"))?
+        .iter()
+        .map(|v| v.as_f64().ok_or_else(|| type_error(field, "number array")))
+        .collect()
+}
+
+fn unknown_variant(what: &str, tag: &str) -> ScenarioError {
+    ScenarioError::Parse(format!("unknown {what} variant `{tag}`"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwarmParams;
+
+    fn full_scenario() -> Scenario {
+        Scenario::new("full", 321)
+            .with_seed(u64::MAX - 1)
+            .with_experiment("bt1")
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 12.5 })
+            .with_capacity(CapacityModel::SaroiuShuffled {
+                shuffle_seed: 0x5455,
+            })
+            .with_preference(PreferenceModel::BandedRankLatency {
+                class_width: 10,
+                span: 1000.0,
+            })
+            .with_churn(ChurnModel::Rate { rate: 0.003 })
+            .with_strategy(InitiativeStrategy::Random)
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                fluid_content: true,
+                behavior: BehaviorMix {
+                    free_riders: 4,
+                    altruists: 2,
+                },
+                ..SwarmParams::default()
+            })
+    }
+
+    #[test]
+    fn round_trip_identity() {
+        for scenario in [
+            Scenario::new("minimal", 10),
+            full_scenario(),
+            Scenario::new("explicit", 3)
+                .with_topology(TopologyModel::Explicit {
+                    edges: vec![(0, 1), (1, 2)],
+                })
+                .with_capacity(CapacityModel::Explicit {
+                    values: vec![3.0, 2.0, 2.0],
+                })
+                .with_preference(PreferenceModel::GossipEstimated { sample_size: 30 })
+                .with_churn(ChurnModel::PoissonPerBaseUnit {
+                    events_per_base_unit: 2.5,
+                }),
+        ] {
+            let json = scenario.to_json();
+            let parsed = Scenario::from_json(&json).expect("round trip parses");
+            assert_eq!(parsed, scenario, "round trip for {}", scenario.name);
+            // Pretty form parses to the same value.
+            assert_eq!(
+                Scenario::from_json(&scenario.to_json_pretty()).unwrap(),
+                scenario
+            );
+        }
+    }
+
+    #[test]
+    fn json_shape_is_externally_tagged() {
+        let json = full_scenario().to_json();
+        assert!(json.contains("\"capacity\":{\"SaroiuShuffled\":{\"shuffle_seed\":21589}}"));
+        assert!(json.contains("\"strategy\":\"Random\""));
+        assert!(json.contains("\"churn\":{\"Rate\":{\"rate\":0.003}}"));
+    }
+
+    #[test]
+    fn missing_and_unknown_fields_error() {
+        assert!(matches!(
+            Scenario::from_json("{}"),
+            Err(ScenarioError::Parse(_))
+        ));
+        let mut json = full_scenario().to_json();
+        json = json.replace("SaroiuShuffled", "Saroiuu");
+        assert!(matches!(
+            Scenario::from_json(&json),
+            Err(ScenarioError::Parse(_))
+        ));
+        assert!(Scenario::from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn null_swarm_round_trips_to_none() {
+        let scenario = Scenario::new("dyn-only", 5);
+        let json = scenario.to_json();
+        assert!(json.contains("\"swarm\":null"));
+        assert_eq!(Scenario::from_json(&json).unwrap().swarm, None);
+    }
+
+    #[test]
+    fn to_json_matches_trait_serialization() {
+        use serde::Serialize as _;
+        let s = Scenario::new("x", 1);
+        let mut out = String::new();
+        s.serialize_json_into(&mut out);
+        assert_eq!(out, s.to_json());
+    }
+}

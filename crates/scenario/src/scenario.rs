@@ -1,0 +1,480 @@
+//! The [`Scenario`] value and its build entry points.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use strat_bittorrent::{Swarm, SwarmConfig};
+use strat_core::{
+    stable_configuration, stable_configuration_complete, stable_configuration_masked, Capacities,
+    ChurnProcess, Dynamics, GlobalRanking, InitiativeStrategy, Matching, RankedAcceptance,
+};
+use strat_graph::Graph;
+
+use crate::{
+    BehaviorMix, CapacityModel, ChurnModel, PreferenceModel, ScenarioError, TopologyModel,
+};
+
+/// Swarm-backend parameters (the protocol knobs the abstract dynamics do
+/// not have). `peers` on the [`Scenario`] is the **leecher** count; seeds
+/// are extra.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SwarmParams {
+    /// Number of seeds appended after the leechers.
+    pub seeds: usize,
+    /// Upload capacity handed to every seed (kbps).
+    pub seed_upload_kbps: f64,
+    /// Tit-for-Tat unchoke slots (the paper's `b₀`).
+    pub tft_slots: usize,
+    /// Optimistic unchoke slots.
+    pub optimistic_slots: usize,
+    /// Rounds between optimistic rotations.
+    pub optimistic_period: u32,
+    /// Pieces in the shared file.
+    pub piece_count: usize,
+    /// Size of one piece in kilobits.
+    pub piece_size_kbit: f64,
+    /// Seconds per round.
+    pub round_seconds: f64,
+    /// Initial completion fraction of each leecher.
+    pub initial_completion: f64,
+    /// Whether completed leechers keep seeding.
+    pub seed_after_completion: bool,
+    /// Fluid-content mode (§6 steady state; no piece bookkeeping).
+    pub fluid_content: bool,
+    /// Seed of the swarm's internal RNG (overlay, rotations, piece init).
+    pub swarm_seed: u64,
+    /// Protocol-behavior mix of the leecher population.
+    pub behavior: BehaviorMix,
+}
+
+impl Default for SwarmParams {
+    /// Paper-aligned defaults mirroring [`SwarmConfig::builder`]: 3 TFT +
+    /// 1 optimistic slot, 10 s rounds, rotation every 3 rounds, 256 pieces
+    /// of 2048 kbit, 40 % initial completion, all-compliant.
+    fn default() -> Self {
+        Self {
+            seeds: 1,
+            seed_upload_kbps: 1000.0,
+            tft_slots: 3,
+            optimistic_slots: 1,
+            optimistic_period: 3,
+            piece_count: 256,
+            piece_size_kbit: 2048.0,
+            round_seconds: 10.0,
+            initial_completion: 0.4,
+            seed_after_completion: true,
+            fluid_content: false,
+            swarm_seed: 0xb17,
+            behavior: BehaviorMix::compliant(),
+        }
+    }
+}
+
+/// A complete, serializable description of a simulation setting.
+///
+/// See the [crate docs](crate) for the component axes and a worked
+/// example. Build entry points:
+///
+/// * [`build_dynamics`](Self::build_dynamics) — the §3 initiative process;
+/// * [`build_churn`](Self::build_churn) — dynamics wrapped in the churn
+///   model;
+/// * [`build_swarm`](Self::build_swarm) — the §6 protocol simulator;
+/// * [`stable_matching`](Self::stable_matching) — the stable configuration
+///   directly (Algorithm 1, with the complete-graph specialization);
+/// * [`build_graph`](Self::build_graph) /
+///   [`build_acceptance`](Self::build_acceptance) /
+///   [`build_capacities`](Self::build_capacities) — the individual pieces,
+///   for kernels that recombine them.
+///
+/// All entry points consume the caller's RNG in a fixed documented order
+/// (topology → preference → capacities), so a scenario plus an RNG stream
+/// is a reproducible instance.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Preset name (`fig3`, `bt1-freeriders`, …).
+    pub name: String,
+    /// Registry id of the experiment kernel that measures this scenario
+    /// (`experiments --scenario` dispatches on it).
+    pub experiment: String,
+    /// Base seed; experiment kernels derive their ChaCha8 streams from it
+    /// via [`stream_rng`](crate::stream_rng).
+    pub seed: u64,
+    /// Number of peers (for swarm scenarios: number of **leechers**).
+    pub peers: usize,
+    /// The mark model `S(p)` (slots / upload bandwidth).
+    pub capacity: CapacityModel,
+    /// Acceptance graph / overlay.
+    pub topology: TopologyModel,
+    /// Mate-ordering model.
+    pub preference: PreferenceModel,
+    /// Population turnover.
+    pub churn: ChurnModel,
+    /// Initiative scan strategy for the dynamics backend.
+    pub strategy: InitiativeStrategy,
+    /// Swarm-backend section; `None` for pure-dynamics scenarios.
+    pub swarm: Option<SwarmParams>,
+}
+
+impl Scenario {
+    /// A minimal scenario: `peers` peers, complete topology, global rank,
+    /// constant 1-matching, best-mate initiatives, no churn, no swarm
+    /// section, seed 2007. `experiment` starts equal to `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>, peers: usize) -> Self {
+        let name = name.into();
+        Self {
+            experiment: name.clone(),
+            name,
+            seed: 2007,
+            peers,
+            capacity: CapacityModel::Constant { value: 1.0 },
+            topology: TopologyModel::Complete,
+            preference: PreferenceModel::GlobalRank,
+            churn: ChurnModel::None,
+            strategy: InitiativeStrategy::BestMate,
+            swarm: None,
+        }
+    }
+
+    /// Replaces the peer count.
+    #[must_use]
+    pub fn with_peers(mut self, peers: usize) -> Self {
+        self.peers = peers;
+        self
+    }
+
+    /// Replaces the base seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Replaces the preset name (keeps the experiment binding).
+    #[must_use]
+    pub fn with_name(mut self, name: impl Into<String>) -> Self {
+        self.name = name.into();
+        self
+    }
+
+    /// Replaces the experiment binding.
+    #[must_use]
+    pub fn with_experiment(mut self, experiment: impl Into<String>) -> Self {
+        self.experiment = experiment.into();
+        self
+    }
+
+    /// Replaces the capacity model.
+    #[must_use]
+    pub fn with_capacity(mut self, capacity: CapacityModel) -> Self {
+        self.capacity = capacity;
+        self
+    }
+
+    /// Replaces the topology model.
+    #[must_use]
+    pub fn with_topology(mut self, topology: TopologyModel) -> Self {
+        self.topology = topology;
+        self
+    }
+
+    /// Replaces the preference model.
+    #[must_use]
+    pub fn with_preference(mut self, preference: PreferenceModel) -> Self {
+        self.preference = preference;
+        self
+    }
+
+    /// Replaces the churn model.
+    #[must_use]
+    pub fn with_churn(mut self, churn: ChurnModel) -> Self {
+        self.churn = churn;
+        self
+    }
+
+    /// Replaces the initiative strategy.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: InitiativeStrategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Attaches (or replaces) the swarm section.
+    #[must_use]
+    pub fn with_swarm(mut self, swarm: SwarmParams) -> Self {
+        self.swarm = Some(swarm);
+        self
+    }
+
+    /// Materializes the topology on this scenario's peer count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TopologyModel::build_graph`] failures.
+    pub fn build_graph<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Graph, ScenarioError> {
+        self.topology.build_graph(self.peers, rng)
+    }
+
+    /// The global ranking the preference model induces (identity, or a
+    /// gossip estimate drawn from `rng`).
+    pub fn build_ranking<R: Rng + ?Sized>(&self, rng: &mut R) -> GlobalRanking {
+        self.preference.build_ranking(self.peers, rng)
+    }
+
+    /// Slot capacities for the dynamics backend.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`CapacityModel::slot_capacities`] failures.
+    pub fn build_capacities<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<Capacities, ScenarioError> {
+        self.capacity.slot_capacities(self.peers, rng)
+    }
+
+    /// The ranked acceptance structure (topology + preference). Consumes
+    /// the RNG in the order topology → preference.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn build_acceptance<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<RankedAcceptance, ScenarioError> {
+        let graph = self.build_graph(rng)?;
+        let ranking = self.build_ranking(rng);
+        Ok(RankedAcceptance::new(graph, ranking)?)
+    }
+
+    /// The initiative-process driver from the empty configuration,
+    /// consuming the RNG in the order topology → preference → capacities.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn build_dynamics<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Dynamics, ScenarioError> {
+        let acc = self.build_acceptance(rng)?;
+        let caps = self.build_capacities(rng)?;
+        Ok(Dynamics::new(acc, caps, self.strategy)?)
+    }
+
+    /// The initiative-process driver started **at** the stable
+    /// configuration (Figure 2's perturbation experiments begin here
+    /// rather than at `C∅`). Same RNG consumption as
+    /// [`build_dynamics`](Self::build_dynamics).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn build_dynamics_at_stable<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<Dynamics, ScenarioError> {
+        let acc = self.build_acceptance(rng)?;
+        let caps = self.build_capacities(rng)?;
+        let stable = stable_configuration(&acc, &caps)?;
+        Ok(Dynamics::with_configuration(
+            acc,
+            caps,
+            self.strategy,
+            stable,
+        )?)
+    }
+
+    /// The dynamics wrapped in this scenario's churn model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn build_churn<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<ChurnProcess, ScenarioError> {
+        let rate = self.churn.rate_per_step(self.peers)?;
+        Ok(ChurnProcess::new(self.build_dynamics(rng)?, rate))
+    }
+
+    /// The stable configuration of this scenario (Algorithm 1).
+    ///
+    /// Complete topologies dispatch to the `O(n·b·α)` specialization and
+    /// never materialize the quadratic edge set — the Table 1 / Figure 6
+    /// instances at `n = 10⁵` stay sub-second.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn stable_matching<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Matching, ScenarioError> {
+        if matches!(self.topology, TopologyModel::Complete) {
+            let ranking = self.build_ranking(rng);
+            let caps = self.build_capacities(rng)?;
+            Ok(stable_configuration_complete(&ranking, &caps)?)
+        } else {
+            let acc = self.build_acceptance(rng)?;
+            let caps = self.build_capacities(rng)?;
+            Ok(stable_configuration(&acc, &caps)?)
+        }
+    }
+
+    /// The stable configuration restricted to peers where `present`
+    /// holds (non-complete topologies; the churn experiments' metric).
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn stable_matching_masked<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        present: impl Fn(strat_graph::NodeId) -> bool,
+    ) -> Result<Matching, ScenarioError> {
+        let acc = self.build_acceptance(rng)?;
+        let caps = self.build_capacities(rng)?;
+        Ok(stable_configuration_masked(&acc, &caps, present)?)
+    }
+
+    /// The protocol-level swarm: `peers` leechers plus the swarm section's
+    /// seeds, upload bandwidths from the capacity model (RNG-consuming
+    /// models draw from `rng`), overlay degree from the topology model,
+    /// behaviors from the mix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::MissingSwarm`] without a swarm section;
+    /// otherwise propagates component failures.
+    pub fn build_swarm<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Swarm, ScenarioError> {
+        let params = self.swarm.as_ref().ok_or(ScenarioError::MissingSwarm)?;
+        if !(params.seed_upload_kbps.is_finite() && params.seed_upload_kbps > 0.0) {
+            return Err(ScenarioError::InvalidParameter {
+                what: "seed upload",
+                reason: format!("must be positive kbps, got {}", params.seed_upload_kbps),
+            });
+        }
+        let mut uploads = self.capacity.upload_bandwidths(self.peers, rng)?;
+        uploads.extend(std::iter::repeat_n(params.seed_upload_kbps, params.seeds));
+        let behaviors = params.behavior.assign(self.peers, params.seeds)?;
+        let total = self.peers + params.seeds;
+        let config: SwarmConfig = SwarmConfig::builder()
+            .leechers(self.peers)
+            .seeds(params.seeds)
+            .piece_count(params.piece_count)
+            .piece_size_kbit(params.piece_size_kbit)
+            .tft_slots(params.tft_slots)
+            .optimistic_slots(params.optimistic_slots)
+            .optimistic_period(params.optimistic_period)
+            .mean_neighbors(self.topology.mean_degree(total))
+            .initial_completion(params.initial_completion)
+            .seed_after_completion(params.seed_after_completion)
+            .fluid_content(params.fluid_content)
+            .seed(params.swarm_seed)
+            .build();
+        Ok(Swarm::with_behaviors(config, &uploads, &behaviors))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::SeedableRng;
+    use rand_chacha::ChaCha8Rng;
+    use strat_bittorrent::PeerBehavior;
+
+    use crate::stream_rng;
+
+    use super::*;
+
+    fn rng(seed: u64) -> ChaCha8Rng {
+        ChaCha8Rng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn default_scenario_builds_everything() {
+        let scenario = Scenario::new("t", 30);
+        let mut r = rng(1);
+        let dynamics = scenario.build_dynamics(&mut r).unwrap();
+        assert_eq!(dynamics.node_count(), 30);
+        let stable = scenario.stable_matching(&mut rng(1)).unwrap();
+        // Complete 1-matching: consecutive pairs.
+        assert_eq!(stable.edge_count(), 15);
+    }
+
+    #[test]
+    fn build_order_is_topology_preference_capacity() {
+        // A scenario whose every axis consumes RNG: the composite build
+        // must equal the hand-sequenced one on a shared stream.
+        let scenario = Scenario::new("t", 120)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 8.0 })
+            .with_preference(PreferenceModel::GossipEstimated { sample_size: 20 })
+            .with_capacity(CapacityModel::RoundedNormal {
+                mean: 2.0,
+                sigma: 0.5,
+            });
+        let mut a = rng(5);
+        let built = scenario.build_dynamics(&mut a).unwrap();
+        let mut b = rng(5);
+        let graph = scenario.topology.build_graph(120, &mut b).unwrap();
+        let ranking = scenario.preference.build_ranking(120, &mut b);
+        let caps = scenario.capacity.slot_capacities(120, &mut b).unwrap();
+        let by_hand = Dynamics::new(
+            RankedAcceptance::new(graph, ranking).unwrap(),
+            caps,
+            scenario.strategy,
+        )
+        .unwrap();
+        assert_eq!(built.acceptance(), by_hand.acceptance());
+        assert_eq!(built.capacities(), by_hand.capacities());
+    }
+
+    #[test]
+    fn churn_scenario_rate_reaches_process() {
+        let scenario = Scenario::new("t", 50)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 6.0 })
+            .with_churn(ChurnModel::PoissonPerBaseUnit {
+                events_per_base_unit: 5.0,
+            });
+        let churn = scenario.build_churn(&mut rng(2)).unwrap();
+        assert!((churn.rate() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn swarm_scenario_builds_with_behaviors() {
+        let scenario = Scenario::new("t", 20)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 10.0 })
+            .with_capacity(CapacityModel::SaroiuShuffled { shuffle_seed: 3 })
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                fluid_content: true,
+                behavior: BehaviorMix {
+                    free_riders: 3,
+                    altruists: 1,
+                },
+                ..SwarmParams::default()
+            });
+        let swarm = scenario.build_swarm(&mut rng(4)).unwrap();
+        assert_eq!(swarm.peer_count(), 22);
+        assert_eq!(swarm.peer(0).behavior(), PeerBehavior::Altruistic);
+        assert_eq!(swarm.peer(19).behavior(), PeerBehavior::FreeRider);
+        assert!(swarm.peer(20).is_original_seed());
+        assert_eq!(swarm.peer(20).upload_kbps(), 1000.0);
+    }
+
+    #[test]
+    fn missing_swarm_section_is_an_error() {
+        let scenario = Scenario::new("t", 10);
+        assert!(matches!(
+            scenario.build_swarm(&mut rng(1)),
+            Err(ScenarioError::MissingSwarm)
+        ));
+    }
+
+    #[test]
+    fn same_stream_same_instance() {
+        let scenario = Scenario::new("t", 80)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 9.0 })
+            .with_capacity(CapacityModel::RoundedNormal {
+                mean: 3.0,
+                sigma: 0.4,
+            });
+        let a = scenario.build_dynamics(&mut stream_rng(7, 3)).unwrap();
+        let b = scenario.build_dynamics(&mut stream_rng(7, 3)).unwrap();
+        assert_eq!(a.acceptance(), b.acceptance());
+        assert_eq!(a.capacities(), b.capacities());
+        let c = scenario.build_dynamics(&mut stream_rng(7, 4)).unwrap();
+        assert_ne!(a.capacities(), c.capacities());
+    }
+}

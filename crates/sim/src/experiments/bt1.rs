@@ -10,38 +10,52 @@
 //! * the share-ratio structure of Figure 11: fastest peers below 1, slowest
 //!   peers above 1.
 
-use strat_bandwidth::BandwidthCdf;
-use strat_bittorrent::{metrics, Swarm, SwarmConfig};
+use strat_bittorrent::metrics;
+use strat_scenario::{BehaviorMix, CapacityModel, Scenario, SwarmParams, TopologyModel};
 
+use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the BT swarm validation experiment.
+/// The BT1 scenario: a fluid-content swarm with Figure 10 upload
+/// capacities in shuffled order (peer index carries no rank info), the
+/// reference client's 3 TFT + 1 optimistic slots, and 2 fast seeds.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    let leechers = if ctx.quick { 120 } else { 400 };
+    Scenario::new("bt1", leechers)
+        .with_seed(ctx.seed)
+        .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 20.0 })
+        .with_capacity(CapacityModel::SaroiuShuffled {
+            shuffle_seed: ctx.seed ^ 0x5455,
+        })
+        .with_swarm(SwarmParams {
+            seeds: 2,
+            seed_upload_kbps: 1000.0,
+            tft_slots: 3,
+            optimistic_slots: 1,
+            fluid_content: true,
+            swarm_seed: ctx.seed ^ 0xb7,
+            behavior: BehaviorMix::compliant(),
+            ..SwarmParams::default()
+        })
+}
+
+/// Runs the BT swarm validation on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let leechers = if ctx.quick { 120 } else { 400 };
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the BT swarm validation kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let leechers = scenario.peers;
     let rounds = if ctx.quick { 80u64 } else { 240 };
-    let seeds = 2usize;
-    let config = SwarmConfig::builder()
-        .leechers(leechers)
-        .seeds(seeds)
-        .mean_neighbors(20.0)
-        .tft_slots(3)
-        .optimistic_slots(1)
-        .fluid_content(true)
-        .seed(ctx.seed ^ 0xb7)
-        .build();
+    let seeds = scenario.swarm.as_ref().map_or(2, |s| s.seeds);
 
-    // Upload capacities: mid-quantile draws from the Figure 10 CDF,
-    // assigned in shuffled order (peer index carries no rank info).
-    let cdf = BandwidthCdf::saroiu_gnutella_upstream();
-    let mut uploads = cdf.assign_by_rank(leechers);
-    use rand::seq::SliceRandom;
-    use rand::SeedableRng;
-    let mut shuffle_rng = rand_chacha::ChaCha8Rng::seed_from_u64(ctx.seed ^ 0x5455);
-    uploads.shuffle(&mut shuffle_rng);
-    uploads.extend(std::iter::repeat_n(1000.0, seeds));
-
-    let mut swarm = Swarm::new(config, &uploads);
+    let mut swarm = scenario
+        .build_swarm(&mut common::rng(scenario.seed, 0xb1))
+        .unwrap_or_else(|e| panic!("bt1 scenario: {e}"));
     let mut result = ExperimentResult::new(
         "bt1",
         "BT swarm: TFT stratification and share ratios (section 6 in vivo)",

@@ -17,7 +17,8 @@ use strat_core::prefs::{
     PrefDynamicsOutcome, PrefMatching, PreferenceSystem,
 };
 use strat_core::{Capacities, GlobalRanking};
-use strat_graph::{generators, Graph, NodeId};
+use strat_graph::{Graph, NodeId};
+use strat_scenario::{CapacityModel, PreferenceModel, Scenario, TopologyModel};
 
 use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
@@ -56,21 +57,46 @@ fn settle<P: PreferenceSystem>(graph: &Graph, prefs: &P, caps: &Capacities) -> P
     }
 }
 
-/// Runs the combined-utilities trade-off experiment.
+/// The EXT1 scenario: the §7 combined utility — banded rank classes of
+/// width `n/20` refined by latency over a `[0, 1000)` space; the kernel
+/// sweeps the class width between the pure-rank and pure-latency poles.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    let n = if ctx.quick { 200 } else { 600 };
+    Scenario::new("ext1", n)
+        .with_seed(ctx.seed)
+        .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 24.0 })
+        .with_capacity(CapacityModel::Constant { value: 3.0 })
+        .with_preference(PreferenceModel::BandedRankLatency {
+            class_width: n / 20,
+            span: 1000.0,
+        })
+}
+
+/// Runs the combined-utilities trade-off on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let n = if ctx.quick { 200 } else { 600 };
-    let d = 24.0;
-    let b0 = 3u32;
-    let mut rng = common::rng(ctx.seed, 0xe1);
-    let graph = generators::erdos_renyi_mean_degree(n, d, &mut rng);
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the combined-utilities kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(_ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let n = scenario.peers;
+    let d = scenario.topology.mean_degree(n);
+    let mut rng = common::rng(scenario.seed, 0xe1);
+    // Scenario build order: topology, then preference (the latency
+    // embedding all preference variants share), then capacities.
+    let graph = scenario.build_graph(&mut rng).expect("valid scenario");
     let ranking = GlobalRanking::identity(n);
     // Latency positions uncorrelated with rank.
-    let positions: Vec<f64> = (0..n)
-        .map(|_| rand::Rng::gen_range(&mut rng, 0.0..1000.0))
-        .collect();
+    let positions = scenario
+        .preference
+        .latency_positions(n, &mut rng)
+        .expect("ext1 requires a latency-flavoured preference model");
     let latency = LatencyPrefs::new(positions);
-    let caps = Capacities::constant(n, b0);
+    let caps: Capacities = scenario.build_capacities(&mut rng).expect("valid scenario");
+    let b0 = caps.of(NodeId::new(0));
 
     let mut result = ExperimentResult::new(
         "ext1",

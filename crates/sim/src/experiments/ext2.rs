@@ -3,25 +3,49 @@
 //!
 //! Deployed peers never see the true global ranking — they estimate their
 //! standing by sampling peers (Jelasity et al.'s peer sampling service,
-//! the paper's reference [8]). This experiment runs the entire pipeline on
+//! the paper's reference `[8]`). This experiment runs the entire pipeline on
 //! **estimated** rankings and measures how much of the stable structure
 //! survives: the disorder of the estimated-stable configuration w.r.t. the
 //! true one, and the MMO degradation, as the gossip sample size grows.
 
-use strat_core::{
-    cluster, distance, gossip, stable_configuration, Capacities, GlobalRanking, RankedAcceptance,
-};
-use strat_graph::generators;
+use strat_core::{cluster, distance, gossip, stable_configuration, RankedAcceptance};
+use strat_scenario::{PreferenceModel, Scenario};
 
 use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the gossip-rank-estimation experiment.
+/// The EXT2 scenario: the standard 1-matching system driven by
+/// gossip-estimated ranks at the `k = 10` operating point; the kernel
+/// sweeps the sample size around it.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    let n = if ctx.quick { 300 } else { 1000 };
+    common::one_matching_scenario("ext2", n, 10.0)
+        .with_seed(ctx.seed)
+        .with_preference(PreferenceModel::GossipEstimated { sample_size: 10 })
+}
+
+/// Runs the gossip-rank-estimation experiment on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let n = if ctx.quick { 300 } else { 1000 };
-    let d = 10.0;
-    let sample_sizes = [3usize, 10, 30, 100, 300];
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the gossip-rank-estimation kernel on an arbitrary base scenario;
+/// the scenario's gossip sample size anchors the sweep
+/// `k × {0.3, 1, 3, 10, 30}`.
+#[must_use]
+pub fn run_scenario(ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let n = scenario.peers;
+    let d = scenario.topology.mean_degree(n);
+    let anchor = match scenario.preference {
+        PreferenceModel::GossipEstimated { sample_size } => sample_size,
+        _ => 10,
+    };
+    let sample_sizes: Vec<usize> = [0.3f64, 1.0, 3.0, 10.0, 30.0]
+        .into_iter()
+        .map(|f| ((anchor as f64 * f).round() as usize).max(1))
+        .collect();
     let repetitions = if ctx.quick { 2 } else { 6 };
 
     let mut result = ExperimentResult::new(
@@ -39,10 +63,12 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
 
     let mut rows: Vec<[f64; 5]> = vec![[0.0; 5]; sample_sizes.len()];
     for rep in 0..repetitions {
-        let mut rng = common::rng(ctx.seed, 0xe2_00 + rep as u64);
-        let graph = generators::erdos_renyi_mean_degree(n, d, &mut rng);
-        let truth = GlobalRanking::identity(n);
-        let caps = Capacities::constant(n, 1);
+        let mut rng = common::rng(scenario.seed, 0xe2_00 + rep as u64);
+        // The scenario provides the shared substrate (graph + truth +
+        // capacities); each k re-estimates ranks from the same stream.
+        let graph = scenario.build_graph(&mut rng).expect("valid scenario");
+        let truth = PreferenceModel::GlobalRank.build_ranking(n, &mut rng);
+        let caps = scenario.build_capacities(&mut rng).expect("valid scenario");
         let true_acc = RankedAcceptance::new(graph.clone(), truth.clone()).expect("sizes");
         let true_stable = stable_configuration(&true_acc, &caps).expect("sizes");
         let true_mmo = cluster::mean_max_offset(&truth, &true_stable);
@@ -92,9 +118,15 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     );
     let mmo_ratio = rows[1][3] / rows[1][4];
     result.check(
-        "stratification survives coarse estimates (MMO within 3x at k=10)",
+        format!(
+            "stratification survives coarse estimates (MMO within 3x at k={})",
+            sample_sizes[1]
+        ),
         mmo_ratio < 3.0,
-        format!("MMO estimated/true = {mmo_ratio:.2} at k=10"),
+        format!(
+            "MMO estimated/true = {mmo_ratio:.2} at k={}",
+            sample_sizes[1]
+        ),
     );
     result.note(
         "Even k = 10 samples per peer keep collaborations local in true rank: the \

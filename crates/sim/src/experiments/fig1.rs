@@ -10,13 +10,31 @@
 //! Paper observation: disorder quickly decreases; the stable configuration
 //! is reached in less than `d` base units.
 
+use strat_scenario::{Scenario, TopologyModel};
+
 use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 1 reproduction.
+/// The Figure 1 scenario: the headline `(n, d) = (1000, 50)` system; the
+/// kernel derives the `(n/10, d)` and `(n, d/5)` companion curves.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    common::one_matching_scenario("fig1", 1000, 50.0).with_seed(ctx.seed)
+}
+
+/// Runs the Figure 1 reproduction on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let configs: &[(usize, f64)] = &[(100, 50.0), (1000, 10.0), (1000, 50.0)];
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 1 kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let n = scenario.peers;
+    assert!(n >= 10, "fig1 scenario needs at least 10 peers, got {n}");
+    let d = scenario.topology.mean_degree(n);
+    let configs: &[(usize, f64)] = &[(n / 10, d), (n, d / 5.0), (n, d)];
     let units = 40usize;
     let repetitions = if ctx.quick { 2 } else { 8 };
 
@@ -34,9 +52,13 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     // traces[c][t] = mean disorder of config c after t base units.
     let mut traces = vec![vec![0.0f64; units + 1]; configs.len()];
     for (c, &(n, d)) in configs.iter().enumerate() {
+        let variant = scenario
+            .clone()
+            .with_peers(n)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d });
         for rep in 0..repetitions {
-            let mut rng = common::rng(ctx.seed, (c as u64) << 8 | rep as u64);
-            let mut dynamics = common::one_matching_dynamics(n, d, &mut rng);
+            let mut rng = common::rng(scenario.seed, (c as u64) << 8 | rep as u64);
+            let mut dynamics = variant.build_dynamics(&mut rng).expect("valid scenario");
             traces[c][0] += dynamics.disorder();
             for t in 1..=units {
                 dynamics.run_base_unit(&mut rng);

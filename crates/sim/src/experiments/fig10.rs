@@ -4,14 +4,33 @@
 //! distribution substituted for the Saroiu et al. Gnutella measurement
 //! (substitution rationale in DESIGN.md).
 
-use strat_bandwidth::BandwidthCdf;
+use strat_scenario::{CapacityModel, Scenario};
 
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 10 reproduction.
+/// The Figure 10 scenario: any population marked by the Saroiu CDF (the
+/// kernel reports the distribution itself).
 #[must_use]
-pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
-    let cdf = BandwidthCdf::saroiu_gnutella_upstream();
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    Scenario::new("fig10", 4000)
+        .with_seed(ctx.seed)
+        .with_capacity(CapacityModel::SaroiuByRank)
+}
+
+/// Runs the Figure 10 reproduction on its preset.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 10 kernel on an arbitrary base scenario (which must
+/// use a Saroiu capacity model).
+#[must_use]
+pub fn run_scenario(_ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let cdf = scenario
+        .capacity
+        .bandwidth_cdf()
+        .expect("fig10 requires a Saroiu capacity model");
 
     let mut result = ExperimentResult::new(
         "fig10",

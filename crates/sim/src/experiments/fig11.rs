@@ -8,19 +8,42 @@
 //! 3. efficiency peaks appear just above density peaks;
 //! 4. the lowest peers see high efficiency (while risking unmatchedness).
 
-use strat_bandwidth::{efficiency_curve, mean_ratio_in_band, BandwidthCdf, EfficiencyModel};
+use strat_bandwidth::{efficiency_curve, mean_ratio_in_band, EfficiencyModel};
+use strat_scenario::{CapacityModel, Scenario, SwarmParams, TopologyModel};
 
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 11 reproduction.
+/// The Figure 11 scenario: Saroiu-marked peers, `d = 20` overlay, and the
+/// reference client's `b₀ = 3` TFT slots (carried by the swarm section).
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    Scenario::new("fig11", if ctx.quick { 800 } else { 4000 })
+        .with_seed(ctx.seed)
+        .with_capacity(CapacityModel::SaroiuByRank)
+        .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 20.0 })
+        .with_swarm(SwarmParams::default())
+}
+
+/// Runs the Figure 11 reproduction on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 11 kernel on an arbitrary base scenario (Saroiu
+/// capacities; `b₀` read from the swarm section's TFT slots).
+#[must_use]
+pub fn run_scenario(_ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let b0 = scenario.swarm.as_ref().map_or(3, |s| s.tft_slots as u32);
     let model = EfficiencyModel {
-        b0: 3,
-        d: 20.0,
-        n: if ctx.quick { 800 } else { 4000 },
+        b0,
+        d: scenario.topology.mean_degree(scenario.peers),
+        n: scenario.peers,
     };
-    let cdf = BandwidthCdf::saroiu_gnutella_upstream();
+    let cdf = scenario
+        .capacity
+        .bandwidth_cdf()
+        .expect("fig11 requires a Saroiu capacity model");
     let curve = efficiency_curve(&model, &cdf);
 
     let mut result = ExperimentResult::new(

@@ -9,19 +9,33 @@
 //! stays small, and — the domino effect — removing a good peer generally
 //! induces more disorder than removing a bad one.
 
-use strat_core::{Dynamics, InitiativeStrategy};
 use strat_graph::NodeId;
+use strat_scenario::Scenario;
 
 use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 2 reproduction.
+/// The Figure 2 scenario: the paper's `n = 1000`, `d = 10` system.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    common::one_matching_scenario("fig2", 1000, 10.0).with_seed(ctx.seed)
+}
+
+/// Runs the Figure 2 reproduction on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let n = 1000usize;
-    let d = 10.0f64;
-    // Paper's removed peers are 1-based labels; ours are 0-based ranks.
-    let removals = [0usize, 99, 299, 599];
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 2 kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let n = scenario.peers;
+    assert!(n >= 10, "fig2 scenario needs at least 10 peers, got {n}");
+    let d = scenario.topology.mean_degree(n);
+    // Paper's removed peers are the 1-based labels 1/100/300/600; ours are
+    // 0-based ranks, scaled to the scenario's population.
+    let removals = [0usize, n / 10 - 1, 3 * n / 10 - 1, 6 * n / 10 - 1];
     let units = 10usize;
     let repetitions = if ctx.quick { 3 } else { 30 };
 
@@ -44,18 +58,12 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     let mut peak = vec![0.0f64; removals.len()];
     for (c, &removed) in removals.iter().enumerate() {
         for rep in 0..repetitions {
-            let mut rng = common::rng(ctx.seed, 0x0200 + ((c as u64) << 8) + rep as u64);
-            let base = common::one_matching_dynamics(n, d, &mut rng);
+            let mut rng = common::rng(scenario.seed, 0x0200 + ((c as u64) << 8) + rep as u64);
             // Jump straight to the stable configuration (Algorithm 1), then
             // perturb.
-            let stable = base.instant_stable();
-            let mut dynamics = Dynamics::with_configuration(
-                base.acceptance().clone(),
-                base.capacities().clone(),
-                InitiativeStrategy::BestMate,
-                stable,
-            )
-            .expect("sizes match");
+            let mut dynamics = scenario
+                .build_dynamics_at_stable(&mut rng)
+                .expect("valid scenario");
             dynamics.remove_peer(NodeId::new(removed));
             let d0 = dynamics.disorder();
             traces[c][0] += d0;

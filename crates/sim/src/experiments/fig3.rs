@@ -8,19 +8,53 @@
 //! the instant stable configuration, but disorder stays under control and
 //! the average disorder is roughly proportional to the churn rate.
 
-use strat_core::ChurnProcess;
+use strat_scenario::{ChurnModel, Scenario};
 
 use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 3 reproduction.
+/// The Figure 3 scenario: the `n = 1000`, `d = 10` system at the paper's
+/// highest churn level (30/1000); the kernel sweeps the lower levels.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    common::one_matching_scenario("fig3", 1000, 10.0)
+        .with_seed(ctx.seed)
+        .with_churn(ChurnModel::Rate { rate: 0.03 })
+}
+
+/// Runs the Figure 3 reproduction on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let n = 1000usize;
-    let d = 10.0f64;
-    // Churn per initiative step, matching the paper's x/1000 labels.
-    let rates = [0.03f64, 0.01, 0.003, 0.0005, 0.0];
-    let labels = ["30/1000", "10/1000", "3/1000", "0.5/1000", "none"];
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 3 kernel on an arbitrary base scenario; the scenario's
+/// churn rate anchors the sweep `rate × {1, 1/3, 1/10, 1/60, 0}`.
+#[must_use]
+pub fn run_scenario(ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let n = scenario.peers;
+    let d = scenario.topology.mean_degree(n);
+    // Churn per initiative step, matching the paper's x/1000 labels. The
+    // scenario's churn rate anchors the paper's 30/1000 level; the sweep
+    // rescales the whole level ladder with it (scale 1.0 — i.e. exactly
+    // the paper's rates — for the preset).
+    let top = match scenario.churn {
+        ChurnModel::Rate { rate } => rate,
+        _ => 0.03,
+    };
+    let scale = top / 0.03;
+    let levels = [30.0f64, 10.0, 3.0, 0.5, 0.0];
+    let rates = levels.map(|l| l / 1000.0 * scale);
+    let labels: Vec<String> = levels
+        .iter()
+        .map(|&l| {
+            if l == 0.0 {
+                "none".to_string()
+            } else {
+                format!("{}/1000", l * scale)
+            }
+        })
+        .collect();
     let units = 20usize;
     let repetitions = if ctx.quick { 2 } else { 8 };
 
@@ -37,10 +71,14 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
 
     let mut traces = vec![vec![0.0f64; units + 1]; rates.len()];
     for (c, &rate) in rates.iter().enumerate() {
+        let variant = scenario.clone().with_churn(if rate == 0.0 {
+            ChurnModel::None
+        } else {
+            ChurnModel::Rate { rate }
+        });
         for rep in 0..repetitions {
-            let mut rng = common::rng(ctx.seed, 0x0300 + ((c as u64) << 8) + rep as u64);
-            let dynamics = common::one_matching_dynamics(n, d, &mut rng);
-            let mut churn = ChurnProcess::new(dynamics, rate);
+            let mut rng = common::rng(scenario.seed, 0x0300 + ((c as u64) << 8) + rep as u64);
+            let mut churn = variant.build_churn(&mut rng).expect("valid scenario");
             traces[c][0] += churn.dynamics().disorder();
             for t in 1..=units {
                 churn.run_base_unit(&mut rng);

@@ -6,16 +6,36 @@
 //! Figure 5: granting one extra connection to peer 1 chains the clusters
 //! into a single connected component.
 
-use strat_core::{cluster, stable_configuration_complete, Capacities, GlobalRanking};
+use strat_core::{cluster, GlobalRanking};
 use strat_graph::{components::Components, NodeId};
+use strat_scenario::{CapacityModel, Scenario};
 
+use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figures 4–5 reproduction.
+/// The Figures 4–5 scenario: 9 peers, complete knowledge, constant
+/// `b₀ = 2`; the kernel grants peer 1 its extra connection for Figure 5.
 #[must_use]
-pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
-    let n = 9usize; // 3k+3 peers as in the paper's drawing
-    let b0 = 2u32;
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    Scenario::new("fig45", 9)
+        .with_seed(ctx.seed)
+        .with_capacity(CapacityModel::Constant { value: 2.0 })
+}
+
+/// Runs the Figures 4–5 reproduction on its preset.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figures 4–5 kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(_ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let n = scenario.peers; // 3k+3 peers as in the paper's drawing
+    let b0 = match scenario.capacity {
+        CapacityModel::Constant { value } => value as u32,
+        _ => 2,
+    };
     let ranking = GlobalRanking::identity(n);
 
     let mut result = ExperimentResult::new(
@@ -32,14 +52,17 @@ pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
     );
 
     // Figure 4: constant b0-matching.
-    let caps4 = Capacities::constant(n, b0);
-    let m4 = stable_configuration_complete(&ranking, &caps4).expect("sizes match");
+    let mut rng = common::rng(scenario.seed, 0x45);
+    let m4 = scenario.stable_matching(&mut rng).expect("valid scenario");
     let comps4 = Components::of(&m4.to_graph());
 
     // Figure 5: same but peer 1 (rank 0) gets one extra slot.
-    let mut caps5 = Capacities::constant(n, b0);
-    caps5.grant_extra(NodeId::new(0), 1);
-    let m5 = stable_configuration_complete(&ranking, &caps5).expect("sizes match");
+    let mut caps5: Vec<f64> = vec![f64::from(b0); n];
+    caps5[0] += 1.0;
+    let fig5 = scenario
+        .clone()
+        .with_capacity(CapacityModel::Explicit { values: caps5 });
+    let m5 = fig5.stable_matching(&mut rng).expect("valid scenario");
     let comps5 = Components::of(&m5.to_graph());
 
     for p in 0..n {

@@ -7,21 +7,43 @@
 //! before creeping back up: huge clusters, local collaborations —
 //! stratification.
 
-use strat_core::{
-    cluster, stable_configuration_complete, Capacities, CapacityDistribution, GlobalRanking,
-};
+use strat_core::cluster;
+use strat_scenario::{CapacityModel, Scenario};
 
 use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 6 reproduction.
+/// The Figure 6 scenario: complete knowledge, `N(6, σ²)` capacities at
+/// the post-transition σ = 0.2; the kernel sweeps σ through the phase
+/// transition.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    Scenario::new("fig6", if ctx.quick { 12_000 } else { 40_000 })
+        .with_seed(ctx.seed)
+        .with_capacity(CapacityModel::RoundedNormal {
+            mean: 6.0,
+            sigma: 0.2,
+        })
+}
+
+/// Runs the Figure 6 reproduction on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let b_mean = 6.0f64;
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 6 kernel on an arbitrary base scenario (the scenario's
+/// `b̄` anchors the sweep).
+#[must_use]
+pub fn run_scenario(ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let b_mean = match scenario.capacity {
+        CapacityModel::RoundedNormal { mean, .. } => mean,
+        _ => 6.0,
+    };
     let sigmas = [
         0.0, 0.05, 0.1, 0.125, 0.15, 0.175, 0.2, 0.25, 0.3, 0.4, 0.5, 0.75, 1.0, 1.5, 2.0,
     ];
-    let n = if ctx.quick { 12_000 } else { 40_000 };
+    let n = scenario.peers;
     let repetitions = if ctx.quick { 2 } else { 5 };
 
     let mut result = ExperimentResult::new(
@@ -35,21 +57,19 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
         ],
     );
 
+    let ranking = scenario.build_ranking(&mut common::rng(scenario.seed, 0x06));
     for (ci, &sigma) in sigmas.iter().enumerate() {
+        let variant = scenario
+            .clone()
+            .with_capacity(CapacityModel::RoundedNormal {
+                mean: b_mean,
+                sigma,
+            });
         let mut cluster_sum = 0.0;
         let mut mmo_sum = 0.0;
         for rep in 0..repetitions {
-            let mut rng = common::rng(ctx.seed, 0x0600 + ((ci as u64) << 8) + rep as u64);
-            let ranking = GlobalRanking::identity(n);
-            let caps = Capacities::sample(
-                n,
-                &CapacityDistribution::RoundedNormal {
-                    mean: b_mean,
-                    sigma,
-                },
-                &mut rng,
-            );
-            let m = stable_configuration_complete(&ranking, &caps).expect("sizes match");
+            let mut rng = common::rng(scenario.seed, 0x0600 + ((ci as u64) << 8) + rep as u64);
+            let m = variant.stable_matching(&mut rng).expect("valid scenario");
             let stats = cluster::cluster_stats(&ranking, &m);
             cluster_sum += stats.mean_cluster_size;
             mmo_sum += stats.mmo;
@@ -71,9 +91,9 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     // n is generally not divisible by 7, so one truncated remainder cluster
     // shifts the sigma = 0 statistics by O(1/n).
     result.check(
-        "sigma=0 reproduces constant 6-matching",
-        (col(0.0, 1) - 7.0).abs() < 0.05
-            && (col(0.0, 2) - cluster::mmo_constant_exact(6)).abs() < 0.01,
+        format!("sigma=0 reproduces constant {b_mean}-matching"),
+        (col(0.0, 1) - (b_mean + 1.0)).abs() < 0.05
+            && (col(0.0, 2) - cluster::mmo_constant_exact(b_mean as u32)).abs() < 0.01,
         format!("cluster {:.3}, MMO {:.4}", col(0.0, 1), col(0.0, 2)),
     );
     result.check(

@@ -6,12 +6,28 @@
 //! the independent model inflates `D(2,3)` by exactly `p³(1−p)`.
 
 use strat_analytic::{exact, one_matching};
+use strat_scenario::{Scenario, TopologyModel};
 
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 7 reproduction.
+/// The Figure 7 scenario: the 3-peer, 1-matching system whose acceptance
+/// edge probability the kernel sweeps.
 #[must_use]
-pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    Scenario::new("fig7", 3)
+        .with_seed(ctx.seed)
+        .with_topology(TopologyModel::ErdosRenyiEdgeProbability { p: 0.5 })
+}
+
+/// Runs the Figure 7 reproduction on its preset.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 7 kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(_ctx: &ExperimentContext, _scenario: &Scenario) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "fig7",
         "Figure 7: exact vs independent-model matching probabilities, n = 3",

@@ -10,19 +10,38 @@
 //!   worst peer is matched in exactly half of the cases.
 
 use strat_analytic::one_matching;
+use strat_scenario::{Scenario, TopologyModel};
 
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 8 reproduction.
+/// The Figure 8 scenario: the independent 1-matching system at `d = 25`
+/// (quick profiles shrink `n` and rescale `p` to keep `d` fixed).
 #[must_use]
-pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
     let n = if ctx.quick { 2000 } else { 5000 };
     let p = if ctx.quick {
         0.005 * 5000.0 / 2000.0
     } else {
         0.005
     }; // keep d = 25
-       // Paper peers 200 / 2500 / 4800 (1-based) scaled to n.
+    Scenario::new("fig8", n)
+        .with_seed(ctx.seed)
+        .with_topology(TopologyModel::ErdosRenyiEdgeProbability { p })
+}
+
+/// Runs the Figure 8 reproduction on its preset.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 8 kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(_ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let n = scenario.peers;
+    assert!(n >= 25, "fig8 scenario needs at least 25 peers, got {n}");
+    let p = scenario.topology.edge_probability(n);
+    // Paper peers 200 / 2500 / 4800 (1-based) scaled to n.
     let peers = [n * 200 / 5000 - 1, n * 2500 / 5000 - 1, n * 4800 / 5000 - 1];
     let worst = n - 1;
     let mut request = peers.to_vec();

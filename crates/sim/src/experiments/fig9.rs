@@ -9,18 +9,42 @@
 //! unbiased, just wider error bars (see DESIGN.md).
 
 use strat_analytic::{b_matching, monte_carlo};
+use strat_scenario::{CapacityModel, Scenario, TopologyModel};
 
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the Figure 9 reproduction.
+/// The Figure 9 scenario: the independent 2-matching system Algorithm 3
+/// is validated on (quick profiles shrink `n` in the same `d` regime).
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    let (n, p) = if ctx.quick {
+        (600, 0.05) // d = 30, same regime, CI-sized
+    } else {
+        (5000, 0.01)
+    };
+    Scenario::new("fig9", n)
+        .with_seed(ctx.seed)
+        .with_topology(TopologyModel::ErdosRenyiEdgeProbability { p })
+        .with_capacity(CapacityModel::Constant { value: 2.0 })
+}
+
+/// Runs the Figure 9 reproduction on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let (n, p, realizations) = if ctx.quick {
-        (600, 0.05, 1500u64) // d = 30, same regime, CI-sized
-    } else {
-        (5000, 0.01, 20_000u64)
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Figure 9 kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let n = scenario.peers;
+    assert!(n >= 12, "fig9 scenario needs at least 12 peers, got {n}");
+    let p = scenario.topology.edge_probability(n);
+    let realizations = if ctx.quick { 1500u64 } else { 20_000 };
+    let b0 = match scenario.capacity {
+        CapacityModel::Constant { value } => value as u32,
+        _ => 2,
     };
-    let b0 = 2u32;
     let peer = n * 3000 / 5000 - 1; // paper's peer 3000, scaled & 0-based
     let window = n / 6; // plot/report window around the peer
 
@@ -30,7 +54,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
         p,
         b0,
         realizations,
-        seed: ctx.seed ^ 0x9,
+        seed: scenario.seed ^ 0x9,
         threads: 16,
     };
     let empirical = monte_carlo::estimate_choice_distribution(&cfg, peer);

@@ -6,18 +6,40 @@
 //! stratification.
 
 use strat_analytic::fluid;
+use strat_scenario::{Scenario, TopologyModel};
 
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the fluid-limit validation.
+/// The fluid-limit scenario: the largest 1-matching system of the sweep
+/// at the paper's headline degree `d = 50`; the kernel shrinks `n` and
+/// `d` through the convergence ladder.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    let n = if ctx.quick { 2000 } else { 8000 };
+    Scenario::new("fluid", n)
+        .with_seed(ctx.seed)
+        .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 50.0 })
+}
+
+/// Runs the fluid-limit validation on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let ds = [5.0f64, 10.0, 20.0, 50.0];
-    let ns: &[usize] = if ctx.quick {
-        &[500, 2000]
-    } else {
-        &[500, 2000, 8000]
-    };
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the fluid-limit kernel on an arbitrary base scenario (its `n`
+/// and `d` cap the sweep).
+#[must_use]
+pub fn run_scenario(_ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let d_max = scenario.topology.mean_degree(scenario.peers);
+    let ds: Vec<f64> = [5.0f64, 10.0, 20.0, 50.0]
+        .into_iter()
+        .filter(|&d| d <= d_max)
+        .collect();
+    let ns: Vec<usize> = [500usize, 2000, 8000]
+        .into_iter()
+        .filter(|&n| n <= scenario.peers)
+        .collect();
     let beta_max = 0.5;
 
     let mut result = ExperimentResult::new(
@@ -32,7 +54,7 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     );
 
     let mut errors = vec![Vec::new(); ds.len()];
-    for &n in ns {
+    for &n in &ns {
         let mut row = vec![n as f64];
         for (k, &d) in ds.iter().enumerate() {
             let err = fluid::best_peer_fluid_error(n, d, beta_max);

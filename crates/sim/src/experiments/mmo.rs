@@ -1,12 +1,29 @@
 //! MMO closed form (§4.2): `MMO(b₀) = (1/(b₀+1)) Σ max(i, b₀−i) → 3b₀/4`.
 
-use strat_core::{cluster, stable_configuration_complete, Capacities, GlobalRanking};
+use strat_core::{cluster, GlobalRanking};
+use strat_scenario::{CapacityModel, Scenario};
 
+use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
 
-/// Runs the MMO formula sweep.
+/// The MMO scenario: complete knowledge, constant capacities (the sweep's
+/// largest `b₀ = 64` point).
 #[must_use]
-pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    Scenario::new("mmo", 65 * 64)
+        .with_seed(ctx.seed)
+        .with_capacity(CapacityModel::Constant { value: 64.0 })
+}
+
+/// Runs the MMO formula sweep on its preset.
+#[must_use]
+pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the MMO kernel on an arbitrary base scenario.
+#[must_use]
+pub fn run_scenario(_ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
     let mut result = ExperimentResult::new(
         "mmo",
         "Mean Max Offset of constant b0-matching: measured, closed form, 3b0/4 limit",
@@ -20,11 +37,17 @@ pub fn run(_ctx: &ExperimentContext) -> ExperimentResult {
         ],
     );
 
+    let mut rng = common::rng(scenario.seed, 0x30);
     for b0 in [2u32, 3, 4, 5, 6, 7, 10, 16, 32, 64] {
         let n = (b0 as usize + 1) * 64;
+        let variant = scenario
+            .clone()
+            .with_peers(n)
+            .with_capacity(CapacityModel::Constant {
+                value: f64::from(b0),
+            });
         let ranking = GlobalRanking::identity(n);
-        let caps = Capacities::constant(n, b0);
-        let m = stable_configuration_complete(&ranking, &caps).expect("sizes match");
+        let m = variant.stable_matching(&mut rng).expect("valid scenario");
         let measured = cluster::mean_max_offset(&ranking, &m);
         let exact = cluster::mmo_constant_exact(b0);
         let limit = cluster::mmo_constant_limit(b0);

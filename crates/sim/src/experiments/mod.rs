@@ -1,5 +1,17 @@
-//! One module per paper artifact. Each exposes
-//! `run(&ExperimentContext) -> ExperimentResult`.
+//! One module per paper artifact. Each exposes three entry points wired
+//! into the [`runner`](crate::runner) registry:
+//!
+//! * `preset(&ExperimentContext) -> Scenario` — the named declarative
+//!   scenario for the figure (what `experiments scenarios --dump` writes);
+//! * `run_scenario(&ExperimentContext, &Scenario) -> ExperimentResult` —
+//!   the measurement kernel, driven entirely by the scenario (sweeps are
+//!   expressed as `with_*` variants of it);
+//! * `run(&ExperimentContext) -> ExperimentResult` — shorthand for
+//!   `run_scenario(ctx, &preset(ctx))`.
+//!
+//! All simulation state is instantiated through the scenario layer
+//! (`strat-scenario`); experiment modules never construct `Dynamics` or
+//! `SwarmConfig` by hand.
 
 pub mod bt1;
 pub mod ext1;
@@ -19,24 +31,14 @@ pub mod mmo;
 pub mod table1;
 
 pub(crate) mod common {
-    use rand::SeedableRng;
-    use rand_chacha::ChaCha8Rng;
-    use strat_core::{Capacities, Dynamics, GlobalRanking, InitiativeStrategy, RankedAcceptance};
-    use strat_graph::generators;
+    use strat_scenario::{Scenario, TopologyModel};
 
-    /// Deterministic RNG stream `stream` derived from the context seed.
-    pub fn rng(seed: u64, stream: u64) -> ChaCha8Rng {
-        let mut rng = ChaCha8Rng::seed_from_u64(seed);
-        rng.set_stream(stream);
-        rng
-    }
+    pub use strat_scenario::stream_rng as rng;
 
-    /// Builds the paper's standard simulation setup: `G(n, d)` acceptance
-    /// graph, identity ranking, constant 1-matching, best-mate initiatives.
-    pub fn one_matching_dynamics(n: usize, d: f64, rng: &mut ChaCha8Rng) -> Dynamics {
-        let graph = generators::erdos_renyi_mean_degree(n, d, rng);
-        let acc = RankedAcceptance::new(graph, GlobalRanking::identity(n)).expect("sizes match");
-        let caps = Capacities::constant(n, 1);
-        Dynamics::new(acc, caps, InitiativeStrategy::BestMate).expect("sizes match")
+    /// The paper's standard declarative setup: `G(n, d)` acceptance graph,
+    /// identity ranking, constant 1-matching, best-mate initiatives.
+    /// Experiments attach their own name/seed/churn on top.
+    pub fn one_matching_scenario(id: &str, n: usize, d: f64) -> Scenario {
+        Scenario::new(id, n).with_topology(TopologyModel::ErdosRenyiMeanDegree { d })
     }
 }

@@ -9,9 +9,8 @@
 //! sizes `6, 20, 78, 350, 1800, 11000` (growing roughly factorially) and
 //! MMO `1.33, 2.10, 2.52, 3.21, 3.65, 4.31`.
 
-use strat_core::{
-    cluster, stable_configuration_complete, Capacities, CapacityDistribution, GlobalRanking,
-};
+use strat_core::cluster;
+use strat_scenario::{CapacityModel, Scenario};
 
 use crate::experiments::common;
 use crate::runner::{ExperimentContext, ExperimentResult};
@@ -21,10 +20,33 @@ pub const PAPER_NORMAL_CLUSTER: [f64; 6] = [6.0, 20.0, 78.0, 350.0, 1800.0, 1100
 /// Paper Table 1 reference values for the normal MMO row.
 pub const PAPER_NORMAL_MMO: [f64; 6] = [1.33, 2.10, 2.52, 3.21, 3.65, 4.31];
 
-/// Runs the Table 1 reproduction.
+/// The Table 1 scenario: complete knowledge with `N(6, 0.2²)` capacities
+/// (the headline normal column); the kernel sweeps `b̄, b₀ ∈ 2..=7` and
+/// the matching constant column.
+#[must_use]
+pub fn preset(ctx: &ExperimentContext) -> Scenario {
+    Scenario::new("table1", 160_000)
+        .with_seed(ctx.seed)
+        .with_capacity(CapacityModel::RoundedNormal {
+            mean: 6.0,
+            sigma: 0.2,
+        })
+}
+
+/// Runs the Table 1 reproduction on its preset.
 #[must_use]
 pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
-    let sigma = 0.2f64;
+    run_scenario(ctx, &preset(ctx))
+}
+
+/// Runs the Table 1 kernel on an arbitrary base scenario (the scenario's
+/// σ anchors the normal column).
+#[must_use]
+pub fn run_scenario(ctx: &ExperimentContext, scenario: &Scenario) -> ExperimentResult {
+    let sigma = match scenario.capacity {
+        CapacityModel::RoundedNormal { sigma, .. } => sigma,
+        _ => 0.2,
+    };
     let repetitions = if ctx.quick { 4 } else { 6 };
 
     let mut result = ExperimentResult::new(
@@ -47,10 +69,18 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
     for (idx, b) in (2u32..=7).enumerate() {
         // Constant column: measured on a large instance (values are exact).
         let n_const = (b as usize + 1) * 2000;
-        let ranking = GlobalRanking::identity(n_const);
-        let caps = Capacities::constant(n_const, b);
-        let m = stable_configuration_complete(&ranking, &caps).expect("sizes match");
-        let const_stats = cluster::cluster_stats(&ranking, &m);
+        let const_scenario =
+            scenario
+                .clone()
+                .with_peers(n_const)
+                .with_capacity(CapacityModel::Constant {
+                    value: f64::from(b),
+                });
+        let mut const_rng = common::rng(scenario.seed, 0x1000 + u64::from(b));
+        let m = const_scenario
+            .stable_matching(&mut const_rng)
+            .expect("valid scenario");
+        let const_stats = cluster::cluster_stats(&const_scenario.build_ranking(&mut const_rng), &m);
 
         // Normal column: n must dwarf the expected cluster size.
         // Clusters must dwarf neither n (boundary clipping) nor the sample
@@ -63,20 +93,22 @@ pub fn run(ctx: &ExperimentContext) -> ExperimentResult {
         } else {
             (PAPER_NORMAL_CLUSTER[idx] as usize * 24).clamp(10_000, 160_000)
         };
+        let normal_scenario =
+            scenario
+                .clone()
+                .with_peers(n_normal)
+                .with_capacity(CapacityModel::RoundedNormal {
+                    mean: f64::from(b),
+                    sigma,
+                });
+        let ranking = normal_scenario.build_ranking(&mut const_rng);
         let mut cluster_sum = 0.0;
         let mut mmo_sum = 0.0;
         for rep in 0..repetitions {
-            let mut rng = common::rng(ctx.seed, 0x1000 + (u64::from(b) << 8) + rep as u64);
-            let ranking = GlobalRanking::identity(n_normal);
-            let caps = Capacities::sample(
-                n_normal,
-                &CapacityDistribution::RoundedNormal {
-                    mean: f64::from(b),
-                    sigma,
-                },
-                &mut rng,
-            );
-            let m = stable_configuration_complete(&ranking, &caps).expect("sizes match");
+            let mut rng = common::rng(scenario.seed, 0x1000 + (u64::from(b) << 8) + rep as u64);
+            let m = normal_scenario
+                .stable_matching(&mut rng)
+                .expect("valid scenario");
             let stats = cluster::cluster_stats(&ranking, &m);
             cluster_sum += stats.mean_cluster_size;
             mmo_sum += stats.mmo;

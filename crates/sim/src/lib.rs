@@ -8,9 +8,16 @@
 //! `experiments` binary runs them all, writes CSVs, renders ASCII plots and
 //! reports a PASS/FAIL summary; EXPERIMENTS.md records paper-vs-measured.
 //!
+//! Every experiment is **scenario-driven**: its setting is a declarative
+//! `strat_scenario::Scenario` preset ([`runner::ExperimentEntry::preset`])
+//! and its kernel ([`runner::ExperimentEntry::run_scenario`]) measures an
+//! arbitrary scenario — `experiments --scenario file.json` reruns a figure
+//! from JSON bit-identically, and `experiments scenarios --dump` writes
+//! the named presets (canonical copies in `results/scenarios/`).
+//!
 //! Independent experiments fan out across worker threads
 //! ([`runner::run_parallel`], CLI flag `--jobs`). Every experiment derives
-//! its RNG streams from the context seed alone, so results are identical
+//! its RNG streams from the scenario seed alone, so results are identical
 //! for any job count — the workspace-wide `strat_par` determinism
 //! contract.
 //!

@@ -112,6 +112,12 @@ impl ExperimentResult {
 /// An experiment entry point.
 pub type ExperimentFn = fn(&ExperimentContext) -> ExperimentResult;
 
+/// The named declarative scenario of a paper figure.
+pub type PresetFn = fn(&ExperimentContext) -> strat_scenario::Scenario;
+
+/// A measurement kernel driven by an explicit scenario.
+pub type ScenarioRunFn = fn(&ExperimentContext, &strat_scenario::Scenario) -> ExperimentResult;
+
 /// One registry entry.
 #[derive(Clone, Copy)]
 pub struct ExperimentEntry {
@@ -119,96 +125,106 @@ pub struct ExperimentEntry {
     pub id: &'static str,
     /// One-line description.
     pub description: &'static str,
-    /// Entry point.
+    /// Entry point on the entry's own preset (`run_scenario ∘ preset`).
     pub run: ExperimentFn,
+    /// The figure's named scenario preset.
+    pub preset: PresetFn,
+    /// The measurement kernel for an arbitrary (e.g. file-loaded) scenario.
+    pub run_scenario: ScenarioRunFn,
+}
+
+macro_rules! entry {
+    ($id:literal, $module:ident, $description:literal) => {
+        ExperimentEntry {
+            id: $id,
+            description: $description,
+            run: crate::experiments::$module::run,
+            preset: crate::experiments::$module::preset,
+            run_scenario: crate::experiments::$module::run_scenario,
+        }
+    };
 }
 
 /// All experiments, in paper order.
 #[must_use]
 pub fn registry() -> Vec<ExperimentEntry> {
-    use crate::experiments;
     vec![
-        ExperimentEntry {
-            id: "fig1",
-            description: "Convergence from the empty configuration (Figure 1)",
-            run: experiments::fig1::run,
-        },
-        ExperimentEntry {
-            id: "fig2",
-            description: "Peer-removal perturbation and reconvergence (Figure 2)",
-            run: experiments::fig2::run,
-        },
-        ExperimentEntry {
-            id: "fig3",
-            description: "Disorder under continuous churn (Figure 3)",
-            run: experiments::fig3::run,
-        },
-        ExperimentEntry {
-            id: "fig45",
-            description: "Clusters of constant b-matching; one extra connection (Figures 4-5)",
-            run: experiments::fig45::run,
-        },
-        ExperimentEntry {
-            id: "table1",
-            description: "Clustering and stratification on complete graphs (Table 1)",
-            run: experiments::table1::run,
-        },
-        ExperimentEntry {
-            id: "fig6",
-            description: "Phase transition in sigma for N(6, sigma^2) capacities (Figure 6)",
-            run: experiments::fig6::run,
-        },
-        ExperimentEntry {
-            id: "fig7",
-            description: "Exact vs independent-model error for n = 3 (Figure 7)",
-            run: experiments::fig7::run,
-        },
-        ExperimentEntry {
-            id: "fig8",
-            description: "Mate distributions of peers 200/2500/4800, n = 5000 (Figure 8)",
-            run: experiments::fig8::run,
-        },
-        ExperimentEntry {
-            id: "fig9",
-            description: "Algorithm 3 vs Monte-Carlo simulation, 2-matching (Figure 9)",
-            run: experiments::fig9::run,
-        },
-        ExperimentEntry {
-            id: "fig10",
-            description: "Upstream bandwidth CDF, Saroiu-style synthetic (Figure 10)",
-            run: experiments::fig10::run,
-        },
-        ExperimentEntry {
-            id: "fig11",
-            description: "Expected D/U ratio vs upload bandwidth per slot (Figure 11)",
-            run: experiments::fig11::run,
-        },
-        ExperimentEntry {
-            id: "bt1",
-            description: "BitTorrent swarm stratification and share ratios (section 6 claims)",
-            run: experiments::bt1::run,
-        },
-        ExperimentEntry {
-            id: "ext1",
-            description:
-                "Combined utilities: rank stratification vs latency clustering (section 7)",
-            run: experiments::ext1::run,
-        },
-        ExperimentEntry {
-            id: "ext2",
-            description: "Gossip-estimated ranks: stratification robustness (section 1 ref [8])",
-            run: experiments::ext2::run,
-        },
-        ExperimentEntry {
-            id: "fluid",
-            description: "Fluid-limit convergence n*D(1,.) -> d*exp(-beta*d) (Conjecture 1)",
-            run: experiments::fluid::run,
-        },
-        ExperimentEntry {
-            id: "mmo",
-            description: "Mean Max Offset closed form and 3b/4 limit (section 4.2)",
-            run: experiments::mmo::run,
-        },
+        entry!(
+            "fig1",
+            fig1,
+            "Convergence from the empty configuration (Figure 1)"
+        ),
+        entry!(
+            "fig2",
+            fig2,
+            "Peer-removal perturbation and reconvergence (Figure 2)"
+        ),
+        entry!("fig3", fig3, "Disorder under continuous churn (Figure 3)"),
+        entry!(
+            "fig45",
+            fig45,
+            "Clusters of constant b-matching; one extra connection (Figures 4-5)"
+        ),
+        entry!(
+            "table1",
+            table1,
+            "Clustering and stratification on complete graphs (Table 1)"
+        ),
+        entry!(
+            "fig6",
+            fig6,
+            "Phase transition in sigma for N(6, sigma^2) capacities (Figure 6)"
+        ),
+        entry!(
+            "fig7",
+            fig7,
+            "Exact vs independent-model error for n = 3 (Figure 7)"
+        ),
+        entry!(
+            "fig8",
+            fig8,
+            "Mate distributions of peers 200/2500/4800, n = 5000 (Figure 8)"
+        ),
+        entry!(
+            "fig9",
+            fig9,
+            "Algorithm 3 vs Monte-Carlo simulation, 2-matching (Figure 9)"
+        ),
+        entry!(
+            "fig10",
+            fig10,
+            "Upstream bandwidth CDF, Saroiu-style synthetic (Figure 10)"
+        ),
+        entry!(
+            "fig11",
+            fig11,
+            "Expected D/U ratio vs upload bandwidth per slot (Figure 11)"
+        ),
+        entry!(
+            "bt1",
+            bt1,
+            "BitTorrent swarm stratification and share ratios (section 6 claims)"
+        ),
+        entry!(
+            "ext1",
+            ext1,
+            "Combined utilities: rank stratification vs latency clustering (section 7)"
+        ),
+        entry!(
+            "ext2",
+            ext2,
+            "Gossip-estimated ranks: stratification robustness (section 1 ref [8])"
+        ),
+        entry!(
+            "fluid",
+            fluid,
+            "Fluid-limit convergence n*D(1,.) -> d*exp(-beta*d) (Conjecture 1)"
+        ),
+        entry!(
+            "mmo",
+            mmo,
+            "Mean Max Offset closed form and 3b/4 limit (section 4.2)"
+        ),
     ]
 }
 

@@ -1,0 +1,75 @@
+//! Differential guard for the Scenario migration: every experiment's data
+//! rows, at the quick profile with seed 2007, must stay **bit-identical**
+//! to the pre-migration harness (PR 1 state). The golden fingerprints were
+//! harvested from that code before any experiment was touched.
+//!
+//! Run with `GOLDEN_PRINT=1` to print current fingerprints (for refreshing
+//! after an *intentional* row change — document such changes in
+//! EXPERIMENTS.md/CHANGES.md).
+
+use strat_sim::runner::{self, ExperimentContext};
+
+/// FNV-1a over the exact f64 bit patterns of the row data.
+fn fingerprint(rows: &[Vec<f64>]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |byte: u8| {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for row in rows {
+        for &value in row {
+            for byte in value.to_bits().to_le_bytes() {
+                eat(byte);
+            }
+        }
+        eat(b'\n');
+    }
+    hash
+}
+
+/// `(id, fingerprint)` pairs harvested from the pre-Scenario harness.
+const GOLDEN: &[(&str, u64)] = &[
+    ("fig1", 0xb2286407dc63a8c5),
+    ("fig2", 0x3a232a9f25ec8a95),
+    ("fig3", 0xa23bcad813f4d0f4),
+    ("fig45", 0x5ce337a2a7fddfd4),
+    ("table1", 0xdb7fc9a38eddd76e),
+    ("fig6", 0x080854c2f705590f),
+    ("fig7", 0xbf02c29edd43147f),
+    ("fig8", 0x76ff142f830e32fb),
+    ("fig9", 0x9fbcb12c1525e1ed),
+    ("fig10", 0x8e127414f94cddf0),
+    ("fig11", 0xe1aa4db351f79bf1),
+    ("bt1", 0x703d7a80283f8682),
+    ("ext1", 0x96ff492352c0fa6e),
+    ("ext2", 0x87423fc70fa52cc7),
+    ("fluid", 0xc0fe96f77ba157fe),
+    ("mmo", 0x27179e7ca8fb3385),
+];
+
+#[test]
+fn rows_match_pre_migration_goldens() {
+    let ctx = ExperimentContext {
+        quick: true,
+        seed: 2007,
+    };
+    let print = std::env::var("GOLDEN_PRINT").is_ok();
+    let mut failures = Vec::new();
+    for entry in runner::registry() {
+        let result = (entry.run)(&ctx);
+        let fp = fingerprint(&result.rows);
+        if print {
+            println!("    (\"{}\", 0x{fp:016x}),", entry.id);
+            continue;
+        }
+        match GOLDEN.iter().find(|(id, _)| *id == entry.id) {
+            Some(&(_, want)) if want == fp => {}
+            Some(&(_, want)) => failures.push(format!(
+                "{}: fingerprint 0x{fp:016x} != golden 0x{want:016x}",
+                entry.id
+            )),
+            None => failures.push(format!("{}: no golden recorded (0x{fp:016x})", entry.id)),
+        }
+    }
+    assert!(failures.is_empty(), "row drift detected:\n{failures:#?}");
+}

@@ -263,7 +263,7 @@ impl Strategy for AnyStrategy<u32> {
 pub mod collection {
     use super::{Rng, Strategy, TestRng};
 
-    /// Element-count specification for [`vec`].
+    /// Element-count specification for [`vec()`].
     #[derive(Debug, Clone, Copy)]
     pub struct SizeRange {
         min: usize,
@@ -299,7 +299,7 @@ pub mod collection {
         }
     }
 
-    /// See [`vec`].
+    /// See [`vec()`].
     pub struct VecStrategy<S> {
         element: S,
         size: SizeRange,

@@ -21,7 +21,8 @@
 //! | [`core`] | `strat-core` | ranking, b-matching, Algorithm 1, initiative dynamics, churn, cluster/MMO |
 //! | [`analytic`] | `strat-analytic` | Algorithms 2–3, exact enumeration, fluid limit, Monte Carlo |
 //! | [`bandwidth`] | `strat-bandwidth` | Saroiu-style bandwidth CDF, D/U efficiency model |
-//! | [`bittorrent`] | `strat-bittorrent` | TFT swarm simulator (rarest-first, optimistic unchoke) |
+//! | [`bittorrent`] | `strat-bittorrent` | TFT swarm simulator (rarest-first, optimistic unchoke, behavior mixes) |
+//! | [`scenario`] | `strat-scenario` | declarative, JSON-serializable `Scenario` values driving both backends |
 //! | [`sim`] | `strat-sim` | the experiment harness regenerating every paper table/figure |
 //!
 //! # Quick start
@@ -60,4 +61,5 @@ pub use strat_bandwidth as bandwidth;
 pub use strat_bittorrent as bittorrent;
 pub use strat_core as core;
 pub use strat_graph as graph;
+pub use strat_scenario as scenario;
 pub use strat_sim as sim;

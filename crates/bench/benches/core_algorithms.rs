@@ -2,7 +2,7 @@
 //! complete-graph forms) and the initiative dynamics — optimized vs the
 //! seed-faithful reference implementations (shared groups from
 //! `strat_bench`) — plus the analytic solvers, graph generation, and the
-//! swarm round loop.
+//! swarm round loop (optimized vs the retained reference engine).
 
 use std::time::Duration;
 
@@ -12,10 +12,9 @@ use rand_chacha::ChaCha8Rng;
 use strat_analytic::{b_matching, one_matching};
 use strat_bench::{
     bench_dynamics, bench_dynamics_ref, bench_stable_configuration, bench_stable_configuration_ref,
-    er_scenario,
+    bench_swarm_rounds, bench_swarm_rounds_ref,
 };
 use strat_graph::generators;
-use strat_scenario::{CapacityModel, SwarmParams};
 
 fn bench_analytic(c: &mut Criterion) {
     let mut group = c.benchmark_group("analytic");
@@ -51,48 +50,6 @@ fn bench_graph(c: &mut Criterion) {
     group.finish();
 }
 
-fn bench_swarm(c: &mut Criterion) {
-    let mut group = c.benchmark_group("swarm");
-    group.warm_up_time(Duration::from_millis(500));
-    group.measurement_time(Duration::from_secs(3));
-    let uploads: Vec<f64> = (0..200).map(|i| 100.0 + i as f64).collect();
-    group.bench_function("round_n200_fluid", |b| {
-        let scenario = er_scenario(200, 20.0, 6)
-            .with_capacity(CapacityModel::Explicit {
-                values: uploads.clone(),
-            })
-            .with_swarm(SwarmParams {
-                seeds: 2,
-                seed_upload_kbps: 300.0,
-                fluid_content: true,
-                swarm_seed: 6,
-                ..SwarmParams::default()
-            });
-        let mut rng = ChaCha8Rng::seed_from_u64(6);
-        let mut swarm = scenario.build_swarm(&mut rng).expect("valid scenario");
-        b.iter(|| swarm.round());
-    });
-    group.bench_function("round_n200_pieces", |b| {
-        let scenario = er_scenario(200, 20.0, 7)
-            .with_capacity(CapacityModel::Explicit {
-                values: uploads.clone(),
-            })
-            .with_swarm(SwarmParams {
-                seeds: 2,
-                seed_upload_kbps: 300.0,
-                piece_count: 512,
-                piece_size_kbit: 4000.0,
-                initial_completion: 0.3,
-                swarm_seed: 7,
-                ..SwarmParams::default()
-            });
-        let mut rng = ChaCha8Rng::seed_from_u64(7);
-        let mut swarm = scenario.build_swarm(&mut rng).expect("valid scenario");
-        b.iter(|| swarm.round());
-    });
-    group.finish();
-}
-
 criterion_group!(
     benches,
     bench_stable_configuration,
@@ -101,6 +58,7 @@ criterion_group!(
     bench_dynamics_ref,
     bench_analytic,
     bench_graph,
-    bench_swarm
+    bench_swarm_rounds,
+    bench_swarm_rounds_ref
 );
 criterion_main!(benches);

@@ -24,6 +24,7 @@ use std::time::Duration;
 use criterion::{black_box, BenchmarkId, Criterion};
 use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
+use strat_bittorrent::{reference::RefSwarm, Swarm, SwarmConfig};
 use strat_core::{
     reference, stable_configuration, stable_configuration_complete, Capacities, GlobalRanking,
     InitiativeStrategy, RankedAcceptance,
@@ -145,10 +146,93 @@ pub fn bench_dynamics_ref(c: &mut Criterion) {
     group.finish();
 }
 
+/// The shared swarm-round instance: `n` leechers + 2 seeds on a `d = 20`
+/// overlay with a bandwidth ramp, in fluid or piece mode.
+fn swarm_inputs(leechers: usize, fluid: bool, seed: u64) -> (SwarmConfig, Vec<f64>) {
+    let config = SwarmConfig::builder()
+        .leechers(leechers)
+        .seeds(2)
+        .piece_count(256)
+        .piece_size_kbit(1200.0)
+        .initial_completion(0.35)
+        .mean_neighbors(20.0)
+        .fluid_content(fluid)
+        .seed(seed)
+        .build();
+    let uploads: Vec<f64> = (0..leechers + 2).map(|i| 100.0 + i as f64).collect();
+    (config, uploads)
+}
+
+/// Rounds measured per iteration of the piece-mode benches: each
+/// iteration clones the pristine swarm and runs this fixed pre-completion
+/// window, so the measured regime is the active transfer path (candidate
+/// filtering, rarest-first conversion) rather than the degenerate
+/// post-completion rounds an ever-advancing swarm decays into.
+const PIECE_WINDOW: u64 = 8;
+
+/// The serial swarm round at n = 500 leechers: the fluid steady state
+/// (rechoke + rate transfer, the bt1 regime), a fixed pre-completion
+/// window in piece mode, and one indexed-semantics round at n = 2000 run
+/// through [`Swarm::run_rounds_parallel`] on all available cores.
+pub fn bench_swarm_rounds(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    let (config, uploads) = swarm_inputs(500, true, 0xb17);
+    let mut swarm = Swarm::new(config, &uploads);
+    group.bench_function("round_n500_fluid", |b| b.iter(|| swarm.round()));
+    let (config, uploads) = swarm_inputs(500, false, 0xb17);
+    let pristine = Swarm::new(config, &uploads);
+    group.bench_function("rounds8_n500_pieces", |b| {
+        b.iter(|| {
+            let mut swarm = pristine.clone();
+            swarm.run_rounds(PIECE_WINDOW);
+            swarm
+        });
+    });
+    let threads = strat_par::default_threads();
+    let (config, uploads) = swarm_inputs(2000, true, 0xb18);
+    let mut swarm = Swarm::new(config, &uploads);
+    group.bench_function("rounds_indexed_n2000_fluid", |b| {
+        b.iter(|| swarm.run_rounds_parallel(1, threads));
+    });
+    group.finish();
+}
+
+/// The retained reference engine ([`RefSwarm`]) on the same instances as
+/// [`bench_swarm_rounds`]: serial rounds (same clone-per-iteration piece
+/// window), and the serial indexed-round oracle as the baseline of the
+/// parallel row.
+pub fn bench_swarm_rounds_ref(c: &mut Criterion) {
+    let mut group = c.benchmark_group("swarm_ref");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    let (config, uploads) = swarm_inputs(500, true, 0xb17);
+    let mut swarm = RefSwarm::new(config, &uploads);
+    group.bench_function("round_n500_fluid", |b| b.iter(|| swarm.round()));
+    let (config, uploads) = swarm_inputs(500, false, 0xb17);
+    let pristine = RefSwarm::new(config, &uploads);
+    group.bench_function("rounds8_n500_pieces", |b| {
+        b.iter(|| {
+            let mut swarm = pristine.clone();
+            swarm.run_rounds(PIECE_WINDOW);
+            swarm
+        });
+    });
+    let (config, uploads) = swarm_inputs(2000, true, 0xb18);
+    let mut swarm = RefSwarm::new(config, &uploads);
+    group.bench_function("rounds_indexed_n2000_fluid", |b| {
+        b.iter(|| swarm.round_indexed());
+    });
+    group.finish();
+}
+
 /// Registers every core group (optimized + reference) on `c`.
 pub fn core_groups(c: &mut Criterion) {
     bench_stable_configuration(c);
     bench_stable_configuration_ref(c);
     bench_dynamics(c);
     bench_dynamics_ref(c);
+    bench_swarm_rounds(c);
+    bench_swarm_rounds_ref(c);
 }

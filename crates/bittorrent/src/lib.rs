@@ -34,13 +34,13 @@
 //! let mut uploads = vec![100.0; 20];
 //! uploads.extend(vec![1000.0; 21]);
 //! let mut swarm = Swarm::new(config, &uploads);
-//! swarm.run(50);
+//! swarm.run_rounds(50);
 //!
 //! let snap = metrics::stratification_snapshot(&swarm);
 //! assert!(snap.reciprocal_pairs > 0);
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 // Index-coupled loops are the domain idiom here: round loops couple peer indices across multiple state arrays.
 #![allow(clippy::needless_range_loop)]
@@ -49,6 +49,7 @@ mod behavior;
 mod config;
 pub mod metrics;
 mod piece;
+pub mod reference;
 mod swarm;
 
 pub use behavior::PeerBehavior;

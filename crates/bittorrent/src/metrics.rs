@@ -204,7 +204,7 @@ mod tests {
     #[test]
     fn reciprocal_pairs_are_symmetric_and_canonical() {
         let mut swarm = two_class_swarm(2);
-        swarm.run(10);
+        swarm.run_rounds(10);
         for (p, q) in reciprocal_tft_pairs(&swarm) {
             assert!(p < q);
             assert!(swarm.tft_unchoked(p).contains(&q));
@@ -217,7 +217,7 @@ mod tests {
         // The paper's §6 claim in miniature: after TFT settles, fast peers
         // reciprocate mostly with fast peers.
         let mut swarm = two_class_swarm(3);
-        swarm.run(60);
+        swarm.run_rounds(60);
         let pairs = reciprocal_tft_pairs(&swarm);
         assert!(!pairs.is_empty(), "no reciprocated pairs formed");
         let same_class = pairs.iter().filter(|&&(p, q)| (p < 30) == (q < 30)).count() as f64;
@@ -246,9 +246,9 @@ mod tests {
         uploads.shuffle(&mut shuffle_rng);
         uploads.push(1000.0); // the seed
         let mut swarm = Swarm::new(cfg, &uploads);
-        swarm.run(2);
+        swarm.run_rounds(2);
         let early = stratification_snapshot(&swarm);
-        swarm.run(80);
+        swarm.run_rounds(80);
         let late = stratification_snapshot(&swarm);
         let (Some(e), Some(l)) = (early.mean_rank_offset, late.mean_rank_offset) else {
             panic!("missing offsets: {early:?} {late:?}");
@@ -262,7 +262,7 @@ mod tests {
     #[test]
     fn fast_peers_download_faster() {
         let mut swarm = two_class_swarm(5);
-        swarm.run(40);
+        swarm.run_rounds(40);
         let perf = leecher_performance(&swarm);
         let mean = |lo: f64, hi: f64| {
             let xs: Vec<f64> = perf
@@ -283,7 +283,7 @@ mod tests {
     #[test]
     fn share_ratio_band_probe() {
         let mut swarm = two_class_swarm(6);
-        swarm.run(40);
+        swarm.run_rounds(40);
         assert!(mean_share_ratio_in_band(&swarm, 0.0, 1e9).is_some());
         assert!(mean_share_ratio_in_band(&swarm, 1e9, 2e9).is_none());
     }

@@ -128,6 +128,14 @@ impl PieceSet {
             })
     }
 
+    /// Overwrites `self` with `src`'s bits without reallocating (the
+    /// parallel round loop's snapshot refresh).
+    pub(crate) fn copy_bits_from(&mut self, src: &PieceSet) {
+        debug_assert_eq!(self.piece_count, src.piece_count);
+        self.words.copy_from_slice(&src.words);
+        self.held = src.held;
+    }
+
     /// The **rarest-first** pick: among pieces `other` has and `self`
     /// lacks, the one with the lowest global availability (ties broken by
     /// lowest index, matching a deterministic tie-break).

@@ -14,115 +14,138 @@
 //!
 //! Seeds (and completed leechers, §6 post-flash-crowd) unchoke interested
 //! neighbours uniformly at random, rotating every round.
+//!
+//! # Engine layout
+//!
+//! The engine is data-oriented, mirroring the `strat-core` treatment of
+//! the matching hot paths: the overlay is a CSR adjacency with a
+//! precomputed reverse-edge index (`rev[e]` locates the slot of edge
+//! `q → p` given `e = p → q`, replacing the reference engine's linear
+//! `position()` scan on every delivery), per-peer scalars live in flat
+//! parallel arrays, per-edge rate/credit state lives in CSR-aligned
+//! arrays, and unchoke sets live in a fixed-stride arena. A persistent
+//! [`Scratch`] arena holds the per-peer candidate/rank/pool buffers, so a
+//! steady-state [`Swarm::round`] performs **zero heap allocation**.
+//!
+//! Two round semantics are offered:
+//!
+//! * [`Swarm::round`] / [`Swarm::run_rounds`] — the serial semantics,
+//!   bit-identical to the retained reference engine
+//!   ([`crate::reference::RefSwarm::round`]): one shared ChaCha stream,
+//!   sender-major delivery with live piece/availability state;
+//! * [`Swarm::run_rounds_parallel`] — the indexed-stream semantics
+//!   ([`crate::reference::RefSwarm::round_indexed`]): per-peer randomness
+//!   derived from `(seed, round, peer)`, phase-structured rounds
+//!   (rechoke + sender flows, then recipient-major delivery against the
+//!   start-of-round snapshot), bit-reproducible for **any** thread count
+//!   under the workspace determinism contract (`strat-par`).
+
+use std::collections::HashMap;
+use std::ops::Range;
 
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use strat_graph::{generators, NodeId};
+use strat_par::split_lengths;
 
 use crate::{PeerBehavior, PieceSet, SwarmConfig};
 
 /// Index of a peer inside a [`Swarm`].
 pub type PeerId = usize;
 
-/// Per-peer simulation state.
-#[derive(Debug, Clone)]
-pub struct Peer {
-    /// Upload capacity in kbps.
-    upload_kbps: f64,
-    /// Choking behavior.
-    behavior: PeerBehavior,
-    /// Pieces currently held.
-    pieces: PieceSet,
-    /// Whether this peer started as a seed.
-    original_seed: bool,
-    /// Round at which the file completed (leechers only).
-    completed_round: Option<u64>,
-    /// kbit received from each neighbour during the previous round.
-    received_prev: Vec<f64>,
-    /// kbit received from each neighbour during the current round.
-    received_curr: Vec<f64>,
-    /// Download credit (kbit) accumulated towards the next piece, per
-    /// neighbour.
-    credit: Vec<f64>,
-    /// Neighbour positions currently TFT-unchoked.
-    tft_unchoked: Vec<usize>,
-    /// Neighbour position currently optimistically unchoked.
-    optimistic: Option<usize>,
-    /// Cumulative kbit uploaded / downloaded.
-    total_up: f64,
-    total_down: f64,
-    /// Cumulative kbit uploaded / downloaded on reciprocation (TFT) slots.
-    tft_up: f64,
-    tft_down: f64,
+/// Sentinel for "no optimistic unchoke" in the flat optimistic array.
+const NO_OPT: u32 = u32::MAX;
+
+/// One independent ChaCha stream per `(round, peer)` pair: the randomness
+/// source of the indexed-round semantics. The stream id packs the round in
+/// the high 32 bits and the peer index in the low 32 (both comfortably
+/// below 2³² — a 10 s round cadence would take 1 300 years to wrap), and
+/// the key is derived from the swarm seed XOR a domain separator so the
+/// streams never collide with the shared serial stream.
+pub(crate) fn peer_round_rng(seed: u64, round: u64, peer: usize) -> ChaCha8Rng {
+    debug_assert!(peer < u32::MAX as usize, "peer index exceeds stream space");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7061_7261_6c6c_656c); // "parallel"
+    rng.set_stream((round << 32) | peer as u64);
+    rng
 }
 
-impl Peer {
+/// Borrowed view of one peer's state (the accessor surface the old
+/// array-of-structs `Peer` offered, now over the flat engine arrays).
+///
+/// Obtained from [`Swarm::peer`]; copies are cheap (two words).
+#[derive(Debug, Clone, Copy)]
+pub struct Peer<'a> {
+    swarm: &'a Swarm,
+    id: PeerId,
+}
+
+impl<'a> Peer<'a> {
     /// Upload capacity in kbps.
     #[must_use]
     pub fn upload_kbps(&self) -> f64 {
-        self.upload_kbps
+        self.swarm.upload_kbps[self.id]
     }
 
     /// The peer's choking behavior.
     #[must_use]
     pub fn behavior(&self) -> PeerBehavior {
-        self.behavior
+        self.swarm.behavior[self.id]
     }
 
     /// The pieces currently held.
     #[must_use]
-    pub fn pieces(&self) -> &PieceSet {
-        &self.pieces
+    pub fn pieces(&self) -> &'a PieceSet {
+        &self.swarm.pieces[self.id]
     }
 
     /// Whether this peer started as a seed.
     #[must_use]
     pub fn is_original_seed(&self) -> bool {
-        self.original_seed
+        self.id >= self.swarm.config.leechers
     }
 
     /// Whether the peer currently holds every piece.
     #[must_use]
     pub fn is_seeding(&self) -> bool {
-        self.pieces.is_complete()
+        self.pieces().is_complete()
     }
 
     /// Round at which a leecher completed the file.
     #[must_use]
     pub fn completed_round(&self) -> Option<u64> {
-        self.completed_round
+        self.swarm.completed_round[self.id]
     }
 
     /// Cumulative kilobits uploaded.
     #[must_use]
     pub fn total_uploaded(&self) -> f64 {
-        self.total_up
+        self.swarm.total_up[self.id]
     }
 
     /// Cumulative kilobits downloaded.
     #[must_use]
     pub fn total_downloaded(&self) -> f64 {
-        self.total_down
+        self.swarm.total_down[self.id]
     }
 
     /// Share ratio `downloaded / uploaded`; `None` when nothing was
     /// uploaded yet.
     #[must_use]
     pub fn share_ratio(&self) -> Option<f64> {
-        (self.total_up > 0.0).then(|| self.total_down / self.total_up)
+        (self.total_uploaded() > 0.0).then(|| self.total_downloaded() / self.total_uploaded())
     }
 
     /// Kilobits uploaded through TFT (non-optimistic) slots.
     #[must_use]
     pub fn tft_uploaded(&self) -> f64 {
-        self.tft_up
+        self.swarm.tft_up[self.id]
     }
 
     /// Kilobits received from senders' TFT (non-optimistic) slots.
     #[must_use]
     pub fn tft_downloaded(&self) -> f64 {
-        self.tft_down
+        self.swarm.tft_down[self.id]
     }
 
     /// Share ratio of the **TFT economy only** — the quantity the paper's
@@ -130,8 +153,36 @@ impl Peer {
     /// nothing was TFT-uploaded yet.
     #[must_use]
     pub fn tft_share_ratio(&self) -> Option<f64> {
-        (self.tft_up > 0.0).then(|| self.tft_down / self.tft_up)
+        (self.tft_uploaded() > 0.0).then(|| self.tft_downloaded() / self.tft_uploaded())
     }
+}
+
+/// Reusable per-round buffers: candidate positions, the rank working copy,
+/// the optimistic pool and the transfer target list. Persisted across
+/// rounds so the steady-state serial round never allocates.
+#[derive(Debug, Clone, Default)]
+struct Scratch {
+    cand: Vec<u32>,
+    ranked: Vec<u32>,
+    pool: Vec<u32>,
+    targets: Vec<(u32, bool)>,
+    /// Prefetched rarest-first picks, packed `(availability << 32) | piece`.
+    picks: Vec<u64>,
+}
+
+/// Working state of the parallel round driver — flow buffers, the
+/// start-of-round piece/availability snapshots, per-worker scratches and
+/// availability deltas. Persisted on the [`Swarm`] (like [`Scratch`]) so
+/// repeated [`Swarm::run_rounds_parallel`] calls — the sampling pattern
+/// of the flash-crowd kernel — allocate nothing in the steady state.
+#[derive(Debug, Clone, Default)]
+struct ParBuffers {
+    flow: Vec<f64>,
+    flow_tft: Vec<bool>,
+    pieces_prev: Vec<PieceSet>,
+    avail_prev: Vec<u32>,
+    scratches: Vec<Scratch>,
+    deltas: Vec<Vec<u32>>,
 }
 
 /// A BitTorrent swarm under Tit-for-Tat choking.
@@ -155,13 +206,44 @@ impl Peer {
 #[derive(Debug, Clone)]
 pub struct Swarm {
     config: SwarmConfig,
+    /// Shared stream of the serial round semantics.
     rng: ChaCha8Rng,
-    /// Overlay adjacency: `neighbors[p]` lists the peers `p` knows.
-    neighbors: Vec<Vec<PeerId>>,
-    peers: Vec<Peer>,
+    /// CSR overlay: `nbr[nbr_off[p]..nbr_off[p + 1]]` lists `p`'s
+    /// neighbours.
+    nbr_off: Vec<usize>,
+    nbr: Vec<u32>,
+    /// `rev[e]` = global slot of the reverse edge: for `e` in `p`'s row
+    /// pointing at `q`, the slot of `p` inside `q`'s row.
+    rev: Vec<u32>,
+    // Per-peer state, struct-of-arrays.
+    upload_kbps: Vec<f64>,
+    behavior: Vec<PeerBehavior>,
+    pieces: Vec<PieceSet>,
+    completed_round: Vec<Option<u64>>,
+    total_up: Vec<f64>,
+    total_down: Vec<f64>,
+    tft_up: Vec<f64>,
+    tft_down: Vec<f64>,
+    // Per-edge state, CSR-aligned.
+    received_prev: Vec<f64>,
+    received_curr: Vec<f64>,
+    credit: Vec<f64>,
+    /// Unchoke arena: row `p` occupies
+    /// `tft_store[p * tft_slots..][..tft_len[p]]` (local neighbour
+    /// positions).
+    tft_store: Vec<u32>,
+    tft_len: Vec<u32>,
+    /// Local neighbour position of the optimistic unchoke, or [`NO_OPT`].
+    optimistic: Vec<u32>,
     /// Global piece availability (holder counts), kept incrementally.
     availability: Vec<u32>,
     round: u64,
+    /// Per-round cached completion/behaviour flags (recomputed once per
+    /// round instead of per rechoke query).
+    uploads_now: Vec<bool>,
+    acts_seed_now: Vec<bool>,
+    scratch: Scratch,
+    par: ParBuffers,
 }
 
 impl Swarm {
@@ -204,71 +286,89 @@ impl Swarm {
         );
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
-        // Tracker overlay: Erdős–Rényi with the requested expected degree.
+        // Tracker overlay: Erdős–Rényi with the requested expected degree
+        // (identical RNG consumption to the reference construction).
         let overlay = generators::erdos_renyi_mean_degree(n, config.mean_neighbors, &mut rng);
-        let neighbors: Vec<Vec<PeerId>> = (0..n)
-            .map(|p| {
-                overlay
-                    .neighbors(NodeId::new(p))
-                    .iter()
-                    .map(|v| v.index())
-                    .collect()
-            })
-            .collect();
-
-        let mut peers: Vec<Peer> = (0..n)
-            .map(|p| {
-                let is_seed = p >= config.leechers;
-                let pieces = if is_seed {
-                    PieceSet::full(config.piece_count)
-                } else {
-                    let mut set = PieceSet::new(config.piece_count);
-                    for i in 0..config.piece_count {
-                        if rng.gen_bool(config.initial_completion) {
-                            set.insert(i);
-                        }
-                    }
-                    set
-                };
-                let deg = neighbors[p].len();
-                Peer {
-                    upload_kbps: upload_kbps[p],
-                    behavior: behaviors[p],
-                    pieces,
-                    original_seed: is_seed,
-                    completed_round: None,
-                    received_prev: vec![0.0; deg],
-                    received_curr: vec![0.0; deg],
-                    credit: vec![0.0; deg],
-                    tft_unchoked: Vec::new(),
-                    optimistic: None,
-                    total_up: 0.0,
-                    total_down: 0.0,
-                    tft_up: 0.0,
-                    tft_down: 0.0,
-                }
-            })
-            .collect();
-        // A leecher may complete by lucky initialization.
-        for peer in &mut peers {
-            if !peer.original_seed && peer.pieces.is_complete() {
-                peer.completed_round = Some(0);
+        let mut nbr_off = Vec::with_capacity(n + 1);
+        nbr_off.push(0usize);
+        let mut nbr: Vec<u32> = Vec::new();
+        for p in 0..n {
+            for v in overlay.neighbors(NodeId::new(p)) {
+                nbr.push(v.index() as u32);
+            }
+            nbr_off.push(nbr.len());
+        }
+        // Reverse-edge index: slot of (q → p) for every slot (p → q).
+        let mut slot_of: HashMap<u64, u32> = HashMap::with_capacity(nbr.len());
+        for p in 0..n {
+            for e in nbr_off[p]..nbr_off[p + 1] {
+                slot_of.insert(((p as u64) << 32) | u64::from(nbr[e]), e as u32);
             }
         }
+        let mut rev = Vec::with_capacity(nbr.len());
+        for p in 0..n {
+            for e in nbr_off[p]..nbr_off[p + 1] {
+                let q = u64::from(nbr[e]);
+                rev.push(slot_of[&((q << 32) | p as u64)]);
+            }
+        }
+
+        // Piece initialization draws in peer order, exactly like the
+        // reference engine.
+        let mut pieces = Vec::with_capacity(n);
+        for p in 0..n {
+            if p >= config.leechers {
+                pieces.push(PieceSet::full(config.piece_count));
+            } else {
+                let mut set = PieceSet::new(config.piece_count);
+                for i in 0..config.piece_count {
+                    if rng.gen_bool(config.initial_completion) {
+                        set.insert(i);
+                    }
+                }
+                pieces.push(set);
+            }
+        }
+        // A leecher may complete by lucky initialization.
+        let completed_round: Vec<Option<u64>> = (0..n)
+            .map(|p| (p < config.leechers && pieces[p].is_complete()).then_some(0))
+            .collect();
 
         let mut availability = vec![0u32; config.piece_count];
-        for peer in &peers {
+        for set in &pieces {
             for (i, a) in availability.iter_mut().enumerate() {
-                *a += u32::from(peer.pieces.contains(i));
+                *a += u32::from(set.contains(i));
             }
         }
+
+        let edges = nbr.len();
+        let stride = config.tft_slots;
         Self {
-            config,
             rng,
-            neighbors,
-            peers,
+            nbr_off,
+            nbr,
+            rev,
+            upload_kbps: upload_kbps.to_vec(),
+            behavior: behaviors.to_vec(),
+            pieces,
+            completed_round,
+            total_up: vec![0.0; n],
+            total_down: vec![0.0; n],
+            tft_up: vec![0.0; n],
+            tft_down: vec![0.0; n],
+            received_prev: vec![0.0; edges],
+            received_curr: vec![0.0; edges],
+            credit: vec![0.0; edges],
+            tft_store: vec![0; n * stride],
+            tft_len: vec![0; n],
+            optimistic: vec![NO_OPT; n],
             availability,
             round: 0,
+            uploads_now: vec![false; n],
+            acts_seed_now: vec![false; n],
+            scratch: Scratch::default(),
+            par: ParBuffers::default(),
+            config,
         }
     }
 
@@ -281,7 +381,7 @@ impl Swarm {
     /// Number of peers.
     #[must_use]
     pub fn peer_count(&self) -> usize {
-        self.peers.len()
+        self.upload_kbps.len()
     }
 
     /// Read access to peer `p`.
@@ -290,14 +390,16 @@ impl Swarm {
     ///
     /// Panics if `p` is out of range.
     #[must_use]
-    pub fn peer(&self, p: PeerId) -> &Peer {
-        &self.peers[p]
+    pub fn peer(&self, p: PeerId) -> Peer<'_> {
+        assert!(p < self.peer_count(), "peer {p} out of range");
+        Peer { swarm: self, id: p }
     }
 
-    /// Overlay neighbours of `p`.
-    #[must_use]
-    pub fn neighbors(&self, p: PeerId) -> &[PeerId] {
-        &self.neighbors[p]
+    /// Overlay neighbours of `p`, in adjacency order.
+    pub fn neighbors(&self, p: PeerId) -> impl ExactSizeIterator<Item = PeerId> + '_ {
+        self.nbr[self.nbr_off[p]..self.nbr_off[p + 1]]
+            .iter()
+            .map(|&q| q as PeerId)
     }
 
     /// Rounds simulated so far.
@@ -315,207 +417,744 @@ impl Swarm {
     /// Number of leechers that hold the complete file.
     #[must_use]
     pub fn completed_count(&self) -> usize {
-        self.peers
+        self.completed_round[..self.config.leechers]
             .iter()
-            .filter(|p| !p.original_seed && p.completed_round.is_some())
+            .filter(|c| c.is_some())
             .count()
     }
 
     /// The peers `p` is currently TFT-unchoking.
     #[must_use]
     pub fn tft_unchoked(&self, p: PeerId) -> Vec<PeerId> {
-        self.peers[p]
-            .tft_unchoked
+        let stride = self.config.tft_slots;
+        let base = self.nbr_off[p];
+        self.tft_store[p * stride..p * stride + self.tft_len[p] as usize]
             .iter()
-            .map(|&k| self.neighbors[p][k])
+            .map(|&k| self.nbr[base + k as usize] as PeerId)
             .collect()
     }
 
     /// The peer `p` is currently optimistically unchoking, if any.
     #[must_use]
     pub fn optimistic_unchoked(&self, p: PeerId) -> Option<PeerId> {
-        self.peers[p].optimistic.map(|k| self.neighbors[p][k])
+        let k = self.optimistic[p];
+        (k != NO_OPT).then(|| self.nbr[self.nbr_off[p] + k as usize] as PeerId)
     }
 
-    /// Simulates one round (rechoke, then transfer).
+    /// Simulates one round (rechoke, then transfer) under the serial
+    /// semantics — bit-identical to
+    /// [`reference::RefSwarm::round`](crate::reference::RefSwarm::round).
     pub fn round(&mut self) {
+        self.refresh_round_flags();
         self.rechoke();
         self.transfer();
         self.round += 1;
-        for peer in &mut self.peers {
-            core::mem::swap(&mut peer.received_prev, &mut peer.received_curr);
-            peer.received_curr.iter_mut().for_each(|r| *r = 0.0);
-        }
+        std::mem::swap(&mut self.received_prev, &mut self.received_curr);
+        self.received_curr.fill(0.0);
     }
 
-    /// Runs `rounds` rounds.
-    pub fn run(&mut self, rounds: u64) {
+    /// Runs `rounds` serial rounds.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strat_bittorrent::{Swarm, SwarmConfig};
+    ///
+    /// let config = SwarmConfig::builder()
+    ///     .leechers(20)
+    ///     .seeds(1)
+    ///     .piece_count(32)
+    ///     .piece_size_kbit(100.0)
+    ///     .seed(7)
+    ///     .build();
+    /// let mut swarm = Swarm::new(config, &vec![500.0; 21]);
+    /// swarm.run_rounds(30);
+    /// assert_eq!(swarm.round_count(), 30);
+    /// // Same seed, same history: the engine is deterministic.
+    /// assert!(swarm.peer(0).total_downloaded() > 0.0);
+    /// ```
+    pub fn run_rounds(&mut self, rounds: u64) {
         for _ in 0..rounds {
             self.round();
         }
+    }
+
+    /// Runs `rounds` rounds under the **indexed-stream** semantics across
+    /// up to `threads` worker threads.
+    ///
+    /// Per-peer randomness derives from `(seed, round, peer index)` and
+    /// every phase writes only peer-owned state, so the outcome is
+    /// **bit-identical for any thread count** (including 1) — the
+    /// workspace `strat-par` determinism contract. The semantics differ
+    /// from [`Swarm::round`] only in the randomness source and in reading
+    /// piece/availability state from the start-of-round snapshot (see
+    /// [`reference::RefSwarm::round_indexed`](crate::reference::RefSwarm::round_indexed),
+    /// the serial oracle this method is differentially tested against).
+    ///
+    /// Round structure: flags + snapshot, then a parallel
+    /// rechoke-and-flows pass over senders, then a parallel delivery pass
+    /// over recipients, then an `O(pieces)` availability merge.
+    pub fn run_rounds_parallel(&mut self, rounds: u64, threads: usize) {
+        let n = self.peer_count();
+        if rounds == 0 || n == 0 {
+            return;
+        }
+        let threads = threads.max(1).min(n);
+        let fluid = self.config.fluid_content;
+        let piece_count = self.config.piece_count;
+        let ranges: Vec<Range<usize>> = strat_par::chunk_ranges(n as u64, threads)
+            .into_iter()
+            .map(|r| r.start as usize..r.end as usize)
+            .collect();
+        let workers = ranges.len();
+        // Persistent buffers: sized on first use, reused by every round of
+        // every later call (worker-count changes only resize the per-worker
+        // vectors).
+        let mut par = std::mem::take(&mut self.par);
+        par.flow.resize(self.nbr.len(), 0.0);
+        par.flow_tft.resize(self.nbr.len(), false);
+        par.deltas.resize_with(workers, Vec::new);
+        if !fluid {
+            if par.pieces_prev.len() != n {
+                par.pieces_prev = self.pieces.clone();
+            }
+            par.avail_prev.resize(piece_count, 0);
+            for delta in &mut par.deltas {
+                delta.resize(piece_count, 0);
+            }
+        }
+        par.scratches.resize_with(workers, Scratch::default);
+
+        for _ in 0..rounds {
+            self.refresh_round_flags();
+            if !fluid {
+                for (dst, src) in par.pieces_prev.iter_mut().zip(self.pieces.iter()) {
+                    dst.copy_bits_from(src);
+                }
+                par.avail_prev.copy_from_slice(&self.availability);
+            }
+            self.par_rechoke_and_flows(
+                &ranges,
+                &mut par.scratches,
+                &mut par.flow,
+                &mut par.flow_tft,
+            );
+            self.par_delivery(
+                &ranges,
+                &par.flow,
+                &par.flow_tft,
+                &par.pieces_prev,
+                &par.avail_prev,
+                &mut par.deltas,
+                &mut par.scratches,
+            );
+            if !fluid {
+                for delta in &mut par.deltas {
+                    for (a, d) in self.availability.iter_mut().zip(delta.iter_mut()) {
+                        *a += *d;
+                        *d = 0;
+                    }
+                }
+            }
+            self.round += 1;
+            std::mem::swap(&mut self.received_prev, &mut self.received_curr);
+            self.received_curr.fill(0.0);
+        }
+        self.par = par;
     }
 
     /// Whether `q` is interested in `p`'s content.
     ///
     /// Fluid mode: leechers are always interested (content never
     /// bottlenecks, §6); seeds are interested in nobody.
+    ///
+    /// The completion fast paths are exact: a complete `q` lacks nothing
+    /// (never interested), and a complete `p` holds every piece an
+    /// incomplete `q` lacks (always interesting) — both `O(1)` instead of
+    /// a bitset scan.
     fn interested(&self, q: PeerId, p: PeerId) -> bool {
-        if self.config.fluid_content {
-            return q != p && !self.peers[q].original_seed;
-        }
-        self.peers[q].pieces.is_interested_in(&self.peers[p].pieces)
+        interested_at(
+            self.config.fluid_content,
+            self.config.leechers,
+            &self.pieces,
+            q,
+            p,
+        )
     }
 
     /// Whether `p` rechokes like a seed (no reciprocation signal).
     fn acts_as_seed(&self, p: PeerId) -> bool {
-        if self.peers[p].behavior.ignores_reciprocation() {
+        if self.behavior[p].ignores_reciprocation() {
             return true;
         }
         if self.config.fluid_content {
-            self.peers[p].original_seed
+            p >= self.config.leechers
         } else {
-            self.peers[p].is_seeding()
+            self.pieces[p].is_complete()
         }
     }
 
     /// Whether `p` currently uploads at all.
     fn uploads(&self, p: PeerId) -> bool {
-        let peer = &self.peers[p];
-        if !peer.behavior.uploads() {
+        if !self.behavior[p].uploads() {
             return false;
         }
-        if !self.config.fluid_content && peer.pieces.is_complete() && !peer.original_seed {
+        if !self.config.fluid_content && self.pieces[p].is_complete() && p < self.config.leechers {
             self.config.seed_after_completion
         } else {
             true
         }
     }
 
-    fn rechoke(&mut self) {
-        let n = self.peers.len();
-        let rotate_optimistic = self
-            .round
-            .is_multiple_of(u64::from(self.config.optimistic_period));
-        for p in 0..n {
-            if !self.uploads(p) {
-                self.peers[p].tft_unchoked.clear();
-                self.peers[p].optimistic = None;
-                continue;
-            }
-            // Interested candidate neighbour positions.
-            let candidates: Vec<usize> = (0..self.neighbors[p].len())
-                .filter(|&k| self.interested(self.neighbors[p][k], p))
-                .collect();
-
-            let tft: Vec<usize> = if self.acts_as_seed(p) {
-                // Seeds have no reciprocation signal: random rotation.
-                let mut cands = candidates.clone();
-                cands.shuffle(&mut self.rng);
-                cands.truncate(self.config.tft_slots);
-                cands
-            } else {
-                // Tit-for-Tat: top receivers from the last round.
-                let mut ranked = candidates.clone();
-                ranked.sort_by(|&a, &b| {
-                    self.peers[p].received_prev[b].total_cmp(&self.peers[p].received_prev[a])
-                });
-                ranked.truncate(self.config.tft_slots);
-                ranked
-            };
-
-            // Optimistic slot: rotate periodically among interested,
-            // non-TFT-unchoked neighbours; drop it if no longer interested.
-            let mut optimistic = self.peers[p].optimistic;
-            if let Some(k) = optimistic {
-                let still_valid = candidates.contains(&k) && !tft.contains(&k);
-                if !still_valid {
-                    optimistic = None;
-                }
-            }
-            if self.config.optimistic_slots > 0 && (rotate_optimistic || optimistic.is_none()) {
-                let pool: Vec<usize> = candidates
-                    .iter()
-                    .copied()
-                    .filter(|k| !tft.contains(k))
-                    .collect();
-                optimistic = if pool.is_empty() {
-                    None
-                } else {
-                    Some(pool[self.rng.gen_range(0..pool.len())])
-                };
-            }
-            self.peers[p].tft_unchoked = tft;
-            self.peers[p].optimistic = optimistic;
+    /// Caches the completion-dependent flags once per round. Nothing the
+    /// rechoke phase does can change them, so the per-peer recomputation
+    /// the reference engine performs inside its rechoke loop is redundant
+    /// — this is the per-round completion cache.
+    fn refresh_round_flags(&mut self) {
+        for p in 0..self.peer_count() {
+            self.uploads_now[p] = self.uploads(p);
+            self.acts_seed_now[p] = self.acts_as_seed(p);
         }
     }
 
+    fn rechoke(&mut self) {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let Swarm {
+            ref config,
+            ref nbr_off,
+            ref nbr,
+            ref pieces,
+            ref received_prev,
+            ref uploads_now,
+            ref acts_seed_now,
+            ref mut rng,
+            ref mut tft_store,
+            ref mut tft_len,
+            ref mut optimistic,
+            round,
+            ..
+        } = *self;
+        let n = uploads_now.len();
+        let stride = config.tft_slots;
+        let fluid = config.fluid_content;
+        let leechers = config.leechers;
+        let rotate_optimistic = round.is_multiple_of(u64::from(config.optimistic_period));
+        for p in 0..n {
+            if !uploads_now[p] {
+                tft_len[p] = 0;
+                optimistic[p] = NO_OPT;
+                continue;
+            }
+            let base = nbr_off[p];
+            let opt = choke_policy(
+                &mut scratch,
+                rng,
+                nbr_off[p + 1] - base,
+                |k| interested_at(fluid, leechers, pieces, nbr[base + k] as usize, p),
+                |k| received_prev[base + k],
+                acts_seed_now[p],
+                stride,
+                config.optimistic_slots,
+                rotate_optimistic,
+                optimistic[p],
+            );
+            tft_len[p] = scratch.ranked.len() as u32;
+            tft_store[p * stride..p * stride + scratch.ranked.len()]
+                .copy_from_slice(&scratch.ranked);
+            optimistic[p] = opt;
+        }
+        self.scratch = scratch;
+    }
+
     fn transfer(&mut self) {
-        let n = self.peers.len();
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let n = self.peer_count();
+        let stride = self.config.tft_slots;
         let round_seconds = self.config.round_seconds;
         for p in 0..n {
+            // Live check (not the round cache): a peer that completed
+            // earlier in this transfer phase may stop uploading mid-round
+            // when `seed_after_completion` is off, exactly like the
+            // reference engine.
             if !self.uploads(p) {
                 continue;
             }
             // Active flows: unchoked positions whose peer is (still)
             // interested in p.
-            let mut targets: Vec<(usize, bool)> = self.peers[p]
-                .tft_unchoked
-                .iter()
-                .map(|&k| (k, true))
-                .collect();
-            if let Some(k) = self.peers[p].optimistic {
-                if !targets.iter().any(|&(t, _)| t == k) {
-                    targets.push((k, false));
-                }
+            scratch.targets.clear();
+            for s in 0..self.tft_len[p] as usize {
+                scratch.targets.push((self.tft_store[p * stride + s], true));
             }
-            targets.retain(|&(k, _)| self.interested(self.neighbors[p][k], p));
-            if targets.is_empty() {
+            let opt = self.optimistic[p];
+            if opt != NO_OPT && !scratch.targets.iter().any(|&(k, _)| k == opt) {
+                scratch.targets.push((opt, false));
+            }
+            let base = self.nbr_off[p];
+            scratch
+                .targets
+                .retain(|&(k, _)| self.interested(self.nbr[base + k as usize] as usize, p));
+            if scratch.targets.is_empty() {
                 continue;
             }
-            let share = self.peers[p].upload_kbps * round_seconds / targets.len() as f64;
-            for &(k, is_tft) in &targets {
-                let q = self.neighbors[p][k];
-                self.deliver(p, q, share, is_tft);
+            let share = self.upload_kbps[p] * round_seconds / scratch.targets.len() as f64;
+            for &(k, is_tft) in &scratch.targets {
+                self.deliver(p, base + k as usize, share, is_tft, &mut scratch.picks);
             }
         }
+        self.scratch = scratch;
     }
 
-    /// Delivers `kbit` from `p` to `q`, converting credit into rarest-first
-    /// pieces.
-    fn deliver(&mut self, p: PeerId, q: PeerId, kbit: f64, is_tft: bool) {
-        let pos_of_p = self.neighbors[q]
-            .iter()
-            .position(|&v| v == p)
-            .expect("overlay adjacency is symmetric");
-        self.peers[p].total_up += kbit;
-        self.peers[q].total_down += kbit;
+    /// Delivers `kbit` from `p` along its edge slot `e`, converting credit
+    /// into rarest-first pieces (prefetched into `picks`).
+    fn deliver(&mut self, p: PeerId, e: usize, kbit: f64, is_tft: bool, picks: &mut Vec<u64>) {
+        let q = self.nbr[e] as usize;
+        let er = self.rev[e] as usize;
+        self.total_up[p] += kbit;
+        self.total_down[q] += kbit;
         if is_tft {
-            self.peers[p].tft_up += kbit;
-            self.peers[q].tft_down += kbit;
+            self.tft_up[p] += kbit;
+            self.tft_down[q] += kbit;
         }
-        self.peers[q].received_curr[pos_of_p] += kbit;
+        self.received_curr[er] += kbit;
         if self.config.fluid_content {
             return; // rates only; no piece bookkeeping in fluid mode
         }
-        self.peers[q].credit[pos_of_p] += kbit;
-        while self.peers[q].credit[pos_of_p] >= self.config.piece_size_kbit {
-            let pick = {
-                let (qp, pp) = (&self.peers[q].pieces, &self.peers[p].pieces);
-                qp.rarest_missing_from(pp, &self.availability)
-            };
-            let Some(piece) = pick else {
+        self.credit[er] += kbit;
+        let piece_size = self.config.piece_size_kbit;
+        if self.credit[er] < piece_size {
+            return;
+        }
+        // Prefetch the whole pick sequence in one scan (see
+        // [`batch_rarest_picks`]); the bound covers every iteration the
+        // credit loop can possibly run.
+        let want = (self.credit[er] / piece_size) as usize + 2;
+        batch_rarest_picks(
+            &self.pieces[q],
+            &self.pieces[p],
+            &self.availability,
+            want,
+            picks,
+        );
+        let mut used = 0;
+        while self.credit[er] >= piece_size {
+            let Some(&packed) = picks.get(used) else {
                 // Nothing useful left from p this round; credit waits in
                 // case p acquires new pieces.
                 break;
             };
-            self.peers[q].credit[pos_of_p] -= self.config.piece_size_kbit;
-            self.peers[q].pieces.insert(piece);
+            used += 1;
+            let piece = (packed & u64::from(u32::MAX)) as usize;
+            self.credit[er] -= piece_size;
+            self.pieces[q].insert(piece);
             self.availability[piece] += 1;
-            if self.peers[q].pieces.is_complete() && self.peers[q].completed_round.is_none() {
-                self.peers[q].completed_round = Some(self.round + 1);
+            if self.pieces[q].is_complete() && self.completed_round[q].is_none() {
+                self.completed_round[q] = Some(self.round + 1);
             }
         }
     }
+
+    /// Parallel pass 1: rechoke decisions plus outgoing flow computation.
+    /// Every write lands in sender-owned rows (unchoke arena, flow rows,
+    /// upload totals), so peers partition freely across workers.
+    fn par_rechoke_and_flows(
+        &mut self,
+        ranges: &[Range<usize>],
+        scratches: &mut [Scratch],
+        flow: &mut [f64],
+        flow_tft: &mut [bool],
+    ) {
+        let Swarm {
+            ref config,
+            ref nbr_off,
+            ref nbr,
+            ref upload_kbps,
+            ref pieces,
+            ref received_prev,
+            ref uploads_now,
+            ref acts_seed_now,
+            ref mut tft_store,
+            ref mut tft_len,
+            ref mut optimistic,
+            ref mut total_up,
+            ref mut tft_up,
+            round,
+            ..
+        } = *self;
+        let stride = config.tft_slots;
+        let fluid = config.fluid_content;
+        let leechers = config.leechers;
+        let rotate_optimistic = round.is_multiple_of(u64::from(config.optimistic_period));
+
+        let peer_sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+        let edge_sizes: Vec<usize> = ranges
+            .iter()
+            .map(|r| nbr_off[r.end] - nbr_off[r.start])
+            .collect();
+        let tft_sizes: Vec<usize> = peer_sizes.iter().map(|l| l * stride).collect();
+
+        let tft_store_parts = split_lengths(tft_store, &tft_sizes);
+        let tft_len_parts = split_lengths(tft_len, &peer_sizes);
+        let opt_parts = split_lengths(optimistic, &peer_sizes);
+        let up_parts = split_lengths(total_up, &peer_sizes);
+        let tftup_parts = split_lengths(tft_up, &peer_sizes);
+        let flow_parts = split_lengths(flow, &edge_sizes);
+        let ftft_parts = split_lengths(flow_tft, &edge_sizes);
+
+        std::thread::scope(|scope| {
+            let mut tft_store_parts = tft_store_parts.into_iter();
+            let mut tft_len_parts = tft_len_parts.into_iter();
+            let mut opt_parts = opt_parts.into_iter();
+            let mut up_parts = up_parts.into_iter();
+            let mut tftup_parts = tftup_parts.into_iter();
+            let mut flow_parts = flow_parts.into_iter();
+            let mut ftft_parts = ftft_parts.into_iter();
+            let mut scratch_parts = scratches.iter_mut();
+            for range in ranges {
+                let range = range.clone();
+                let tft_store_c = tft_store_parts.next().expect("one part per range");
+                let tft_len_c = tft_len_parts.next().expect("one part per range");
+                let opt_c = opt_parts.next().expect("one part per range");
+                let up_c = up_parts.next().expect("one part per range");
+                let tftup_c = tftup_parts.next().expect("one part per range");
+                let flow_c = flow_parts.next().expect("one part per range");
+                let ftft_c = ftft_parts.next().expect("one part per range");
+                let scratch = scratch_parts.next().expect("one scratch per range");
+                scope.spawn(move || {
+                    let edge_base = nbr_off[range.start];
+                    for p in range.clone() {
+                        let li = p - range.start;
+                        let eb = nbr_off[p];
+                        let ee = nbr_off[p + 1];
+                        // Reset this sender's flow row from the last round.
+                        for e in eb..ee {
+                            flow_c[e - edge_base] = 0.0;
+                            ftft_c[e - edge_base] = false;
+                        }
+                        if !uploads_now[p] {
+                            tft_len_c[li] = 0;
+                            opt_c[li] = NO_OPT;
+                            continue;
+                        }
+                        let mut rng = peer_round_rng(config.seed, round, p);
+                        let opt = choke_policy(
+                            scratch,
+                            &mut rng,
+                            ee - eb,
+                            |k| interested_at(fluid, leechers, pieces, nbr[eb + k] as usize, p),
+                            |k| received_prev[eb + k],
+                            acts_seed_now[p],
+                            stride,
+                            config.optimistic_slots,
+                            rotate_optimistic,
+                            opt_c[li],
+                        );
+                        tft_len_c[li] = scratch.ranked.len() as u32;
+                        tft_store_c[li * stride..li * stride + scratch.ranked.len()]
+                            .copy_from_slice(&scratch.ranked);
+                        opt_c[li] = opt;
+
+                        // Outgoing flows from start-of-round interest.
+                        scratch.targets.clear();
+                        for &k in &scratch.ranked {
+                            scratch.targets.push((k, true));
+                        }
+                        if opt != NO_OPT && !scratch.targets.iter().any(|&(k, _)| k == opt) {
+                            scratch.targets.push((opt, false));
+                        }
+                        scratch.targets.retain(|&(k, _)| {
+                            interested_at(fluid, leechers, pieces, nbr[eb + k as usize] as usize, p)
+                        });
+                        if scratch.targets.is_empty() {
+                            continue;
+                        }
+                        let share =
+                            upload_kbps[p] * config.round_seconds / scratch.targets.len() as f64;
+                        for &(k, is_tft) in &scratch.targets {
+                            flow_c[eb + k as usize - edge_base] = share;
+                            ftft_c[eb + k as usize - edge_base] = is_tft;
+                            up_c[li] += share;
+                            if is_tft {
+                                tftup_c[li] += share;
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+
+    /// Parallel pass 2: recipient-major delivery. Each recipient drains
+    /// its incoming flows in ascending neighbour-slot order, converting
+    /// credit into rarest-first picks against the start-of-round piece /
+    /// availability snapshot; availability increments accumulate into
+    /// per-worker deltas merged serially afterwards.
+    #[allow(clippy::too_many_arguments)] // one slot per worker-owned buffer
+    fn par_delivery(
+        &mut self,
+        ranges: &[Range<usize>],
+        flow: &[f64],
+        flow_tft: &[bool],
+        pieces_prev: &[PieceSet],
+        avail_prev: &[u32],
+        deltas: &mut [Vec<u32>],
+        scratches: &mut [Scratch],
+    ) {
+        let Swarm {
+            ref config,
+            ref nbr_off,
+            ref nbr,
+            ref rev,
+            ref mut pieces,
+            ref mut completed_round,
+            ref mut total_down,
+            ref mut tft_down,
+            ref mut received_curr,
+            ref mut credit,
+            round,
+            ..
+        } = *self;
+        let fluid = config.fluid_content;
+        let piece_size = config.piece_size_kbit;
+
+        let peer_sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
+        let edge_sizes: Vec<usize> = ranges
+            .iter()
+            .map(|r| nbr_off[r.end] - nbr_off[r.start])
+            .collect();
+
+        let pieces_parts = split_lengths(pieces, &peer_sizes);
+        let completed_parts = split_lengths(completed_round, &peer_sizes);
+        let down_parts = split_lengths(total_down, &peer_sizes);
+        let tftdown_parts = split_lengths(tft_down, &peer_sizes);
+        let rc_parts = split_lengths(received_curr, &edge_sizes);
+        let credit_parts = split_lengths(credit, &edge_sizes);
+
+        std::thread::scope(|scope| {
+            let mut pieces_parts = pieces_parts.into_iter();
+            let mut completed_parts = completed_parts.into_iter();
+            let mut down_parts = down_parts.into_iter();
+            let mut tftdown_parts = tftdown_parts.into_iter();
+            let mut rc_parts = rc_parts.into_iter();
+            let mut credit_parts = credit_parts.into_iter();
+            let mut delta_parts = deltas.iter_mut();
+            let mut scratch_parts = scratches.iter_mut();
+            for range in ranges {
+                let range = range.clone();
+                let pieces_c = pieces_parts.next().expect("one part per range");
+                let completed_c = completed_parts.next().expect("one part per range");
+                let down_c = down_parts.next().expect("one part per range");
+                let tftdown_c = tftdown_parts.next().expect("one part per range");
+                let rc_c = rc_parts.next().expect("one part per range");
+                let credit_c = credit_parts.next().expect("one part per range");
+                let delta = delta_parts.next().expect("one delta per range");
+                let scratch = scratch_parts.next().expect("one scratch per range");
+                scope.spawn(move || {
+                    let edge_base = nbr_off[range.start];
+                    for q in range.clone() {
+                        let li = q - range.start;
+                        let eb = nbr_off[q];
+                        let ee = nbr_off[q + 1];
+                        for e in eb..ee {
+                            let f = flow[rev[e] as usize];
+                            if f == 0.0 {
+                                continue;
+                            }
+                            let is_tft = flow_tft[rev[e] as usize];
+                            down_c[li] += f;
+                            if is_tft {
+                                tftdown_c[li] += f;
+                            }
+                            rc_c[e - edge_base] += f;
+                            if fluid {
+                                continue;
+                            }
+                            let cr = &mut credit_c[e - edge_base];
+                            *cr += f;
+                            if *cr < piece_size {
+                                continue;
+                            }
+                            let p = nbr[e] as usize;
+                            let want = (*cr / piece_size) as usize + 2;
+                            batch_rarest_picks(
+                                &pieces_c[li],
+                                &pieces_prev[p],
+                                avail_prev,
+                                want,
+                                &mut scratch.picks,
+                            );
+                            let mut used = 0;
+                            while *cr >= piece_size {
+                                let Some(&packed) = scratch.picks.get(used) else {
+                                    break;
+                                };
+                                used += 1;
+                                let piece = (packed & u64::from(u32::MAX)) as usize;
+                                *cr -= piece_size;
+                                pieces_c[li].insert(piece);
+                                delta[piece] += 1;
+                                if pieces_c[li].is_complete() && completed_c[li].is_none() {
+                                    completed_c[li] = Some(round + 1);
+                                }
+                            }
+                        }
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// Piece-mode interest with `O(1)` completion fast paths (see
+/// [`Swarm::interested`]); semantics identical to
+/// `q.is_interested_in(p)`.
+#[inline]
+fn interested_pieces(q: &PieceSet, p: &PieceSet) -> bool {
+    if q.is_complete() {
+        return false;
+    }
+    if p.is_complete() {
+        return true;
+    }
+    q.is_interested_in(p)
+}
+
+/// The first `want` rarest-first picks among the pieces `other` has and
+/// `q` lacks, sorted in pick order and packed `(availability << 32) |
+/// piece`. This is exactly the sequence `want` successive
+/// [`PieceSet::rarest_missing_from`] + insert steps produce: inserting a
+/// pick removes it from the candidate set and bumps only its *own*
+/// availability, so the remaining candidates' `(availability, index)`
+/// keys never change — one scan replaces a rescan per converted piece.
+fn batch_rarest_picks(
+    q: &PieceSet,
+    other: &PieceSet,
+    availability: &[u32],
+    want: usize,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    if want == 0 {
+        return;
+    }
+    for i in q.missing_from(other) {
+        let key = (u64::from(availability[i]) << 32) | i as u64;
+        if out.len() < want {
+            let pos = out.partition_point(|&k| k < key);
+            out.insert(pos, key);
+        } else if key < *out.last().expect("non-empty at capacity") {
+            let pos = out.partition_point(|&k| k < key);
+            out.pop();
+            out.insert(pos, key);
+        }
+    }
+}
+
+/// The engine's interest predicate over raw state (fluid shortcut or
+/// piece-mode fast paths) — the single definition every rechoke/flow
+/// closure and [`Swarm::interested`] share, so the predicate cannot drift
+/// between the serial and parallel semantics.
+#[inline]
+fn interested_at(fluid: bool, leechers: usize, pieces: &[PieceSet], q: usize, p: usize) -> bool {
+    if fluid {
+        q != p && q < leechers
+    } else {
+        interested_pieces(&pieces[q], &pieces[p])
+    }
+}
+
+/// One peer's complete choking decision — candidate filter, seed shuffle
+/// or TFT top-k, optimistic validity check and rotation. Fills
+/// `scratch.cand` (interested neighbour positions) and `scratch.ranked`
+/// (the TFT unchoke set, ranked) and returns the optimistic position (or
+/// [`NO_OPT`]). `interested` and `rate` take local neighbour positions.
+///
+/// Shared verbatim by the serial round and the parallel rechoke pass (the
+/// only difference between the two is which RNG arrives here), so the
+/// policy cannot drift between the two semantics.
+#[allow(clippy::too_many_arguments)]
+fn choke_policy(
+    scratch: &mut Scratch,
+    rng: &mut ChaCha8Rng,
+    deg: usize,
+    interested: impl Fn(usize) -> bool,
+    rate: impl Fn(usize) -> f64,
+    acts_seed: bool,
+    tft_slots: usize,
+    optimistic_slots: usize,
+    rotate_optimistic: bool,
+    prev_optimistic: u32,
+) -> u32 {
+    // Interested candidate neighbour positions.
+    scratch.cand.clear();
+    for k in 0..deg {
+        if interested(k) {
+            scratch.cand.push(k as u32);
+        }
+    }
+    scratch.ranked.clear();
+    scratch.ranked.extend_from_slice(&scratch.cand);
+    if acts_seed {
+        // Seeds have no reciprocation signal: random rotation (same
+        // Fisher–Yates draws as the reference shuffle).
+        scratch.ranked.shuffle(rng);
+        scratch.ranked.truncate(tft_slots);
+    } else {
+        // Tit-for-Tat: top receivers from the last round. The index
+        // tie-break makes the order strict, so top-k selection reproduces
+        // the reference stable-sort-then-truncate without sorting the
+        // tail.
+        rank_top_k(&mut scratch.ranked, tft_slots, |&a, &b| {
+            rate(b as usize)
+                .total_cmp(&rate(a as usize))
+                .then(a.cmp(&b))
+        });
+    }
+
+    // Optimistic slot: rotate periodically among interested,
+    // non-TFT-unchoked neighbours; drop it if no longer interested.
+    let mut optimistic = prev_optimistic;
+    if optimistic != NO_OPT {
+        let still_valid =
+            scratch.cand.contains(&optimistic) && !scratch.ranked.contains(&optimistic);
+        if !still_valid {
+            optimistic = NO_OPT;
+        }
+    }
+    if optimistic_slots > 0 && (rotate_optimistic || optimistic == NO_OPT) {
+        scratch.pool.clear();
+        scratch.pool.extend(
+            scratch
+                .cand
+                .iter()
+                .copied()
+                .filter(|k| !scratch.ranked.contains(k)),
+        );
+        optimistic = if scratch.pool.is_empty() {
+            NO_OPT
+        } else {
+            scratch.pool[rng.gen_range(0..scratch.pool.len())]
+        };
+    }
+    optimistic
+}
+
+/// Selects the top `k` of `ranked` under `cmp` in sorted order — the exact
+/// result of a full stable sort followed by `truncate(k)`, because `cmp`
+/// is a strict total order (rate descending, index ascending).
+fn rank_top_k(
+    ranked: &mut Vec<u32>,
+    k: usize,
+    mut cmp: impl FnMut(&u32, &u32) -> std::cmp::Ordering,
+) {
+    if k == 0 {
+        ranked.clear();
+        return;
+    }
+    if ranked.len() > k {
+        ranked.select_nth_unstable_by(k - 1, &mut cmp);
+        ranked.truncate(k);
+    }
+    ranked.sort_unstable_by(cmp);
 }
 
 #[cfg(test)]
@@ -550,10 +1189,25 @@ mod tests {
     }
 
     #[test]
+    fn reverse_edges_are_consistent() {
+        let cfg = small_config(25, 1);
+        let swarm = Swarm::new(cfg, &uniform_uploads(26, 500.0));
+        for p in 0..26 {
+            for e in swarm.nbr_off[p]..swarm.nbr_off[p + 1] {
+                let q = swarm.nbr[e] as usize;
+                let er = swarm.rev[e] as usize;
+                assert!((swarm.nbr_off[q]..swarm.nbr_off[q + 1]).contains(&er));
+                assert_eq!(swarm.nbr[er] as usize, p);
+                assert_eq!(swarm.rev[er] as usize, e);
+            }
+        }
+    }
+
+    #[test]
     fn conservation_of_traffic() {
         let cfg = small_config(25, 1);
         let mut swarm = Swarm::new(cfg, &uniform_uploads(26, 400.0));
-        swarm.run(30);
+        swarm.run_rounds(30);
         let up: f64 = (0..26).map(|p| swarm.peer(p).total_uploaded()).sum();
         let down: f64 = (0..26).map(|p| swarm.peer(p).total_downloaded()).sum();
         assert!(up > 0.0);
@@ -586,7 +1240,7 @@ mod tests {
     fn seeds_never_download() {
         let cfg = small_config(12, 2);
         let mut swarm = Swarm::new(cfg, &uniform_uploads(14, 500.0));
-        swarm.run(20);
+        swarm.run_rounds(20);
         for p in 12..14 {
             assert_eq!(swarm.peer(p).total_downloaded(), 0.0);
             assert!(swarm.peer(p).total_uploaded() > 0.0);
@@ -654,12 +1308,65 @@ mod tests {
         let mk = || {
             let cfg = small_config(18, 1);
             let mut swarm = Swarm::new(cfg, &uniform_uploads(19, 450.0));
-            swarm.run(12);
+            swarm.run_rounds(12);
             (0..19)
                 .map(|p| swarm.peer(p).total_downloaded())
                 .collect::<Vec<_>>()
         };
         assert_eq!(mk(), mk());
+    }
+
+    #[test]
+    fn parallel_rounds_identical_for_any_thread_count() {
+        // The strat-par determinism contract, at the engine level: the
+        // indexed semantics must not depend on the worker count.
+        for fluid in [false, true] {
+            let mk = |threads: usize| {
+                let mut cfg = small_config(23, 2);
+                cfg.fluid_content = fluid;
+                let uploads: Vec<f64> = (0..25).map(|i| 150.0 + 30.0 * i as f64).collect();
+                let mut swarm = Swarm::new(cfg, &uploads);
+                swarm.run_rounds_parallel(17, threads);
+                let state: Vec<(f64, f64, f64, f64, usize)> = (0..25)
+                    .map(|p| {
+                        (
+                            swarm.peer(p).total_uploaded(),
+                            swarm.peer(p).total_downloaded(),
+                            swarm.peer(p).tft_uploaded(),
+                            swarm.peer(p).tft_downloaded(),
+                            swarm.peer(p).pieces().count(),
+                        )
+                    })
+                    .collect();
+                (state, swarm.availability().to_vec())
+            };
+            let baseline = mk(1);
+            for threads in [2, 3, 8, 64] {
+                assert_eq!(
+                    mk(threads),
+                    baseline,
+                    "threads = {threads}, fluid = {fluid}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rounds_conserve_traffic() {
+        let cfg = small_config(20, 1);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(21, 400.0));
+        swarm.run_rounds_parallel(25, 4);
+        let up: f64 = (0..21).map(|p| swarm.peer(p).total_uploaded()).sum();
+        let down: f64 = (0..21).map(|p| swarm.peer(p).total_downloaded()).sum();
+        assert!(up > 0.0);
+        assert!((up - down).abs() < 1e-6, "up {up} vs down {down}");
+        // Availability stays consistent with the piece sets.
+        for i in 0..swarm.config().piece_count {
+            let holders = (0..21)
+                .filter(|&p| swarm.peer(p).pieces().contains(i))
+                .count() as u32;
+            assert_eq!(holders, swarm.availability()[i], "piece {i}");
+        }
     }
 
     #[test]
@@ -674,7 +1381,7 @@ mod tests {
             .seed(5)
             .build();
         let mut swarm = Swarm::new(cfg, &uniform_uploads(9, 2000.0));
-        swarm.run(100);
+        swarm.run_rounds(100);
         assert_eq!(swarm.completed_count(), 8);
         // Completed leechers continued to upload after completing.
         let up: f64 = (0..8).map(|p| swarm.peer(p).total_uploaded()).sum();
@@ -709,7 +1416,7 @@ mod tests {
             } else {
                 Swarm::new(cfg, &uploads)
             };
-            swarm.run(12);
+            swarm.run_rounds(12);
             (0..19)
                 .map(|p| swarm.peer(p).total_downloaded())
                 .collect::<Vec<_>>()
@@ -728,7 +1435,7 @@ mod tests {
         behaviors[18] = PeerBehavior::FreeRider;
         behaviors[19] = PeerBehavior::FreeRider;
         let mut swarm = Swarm::with_behaviors(cfg, &uploads, &behaviors);
-        swarm.run(40);
+        swarm.run_rounds(40);
         for p in [18, 19] {
             assert_eq!(
                 swarm.peer(p).total_uploaded(),
@@ -760,7 +1467,7 @@ mod tests {
         let mut behaviors = vec![PeerBehavior::Compliant; 21];
         behaviors[3] = PeerBehavior::Altruistic;
         let mut swarm = Swarm::with_behaviors(cfg, &uniform_uploads(21, 500.0), &behaviors);
-        swarm.run(30);
+        swarm.run_rounds(30);
         assert_eq!(swarm.peer(3).behavior(), PeerBehavior::Altruistic);
         // Altruists keep uploading and (being leechers) keep downloading.
         assert!(swarm.peer(3).total_uploaded() > 0.0);

@@ -1,0 +1,254 @@
+//! Differential tests: the data-oriented engine is bit-identical to the
+//! retained reference implementation (`strat_bittorrent::reference`).
+//!
+//! * serial semantics — [`Swarm::round`] vs [`RefSwarm::round`], shared
+//!   ChaCha stream, compared round by round;
+//! * indexed semantics — [`Swarm::run_rounds_parallel`] (every thread
+//!   count) vs the serial oracle [`RefSwarm::round_indexed`];
+//! * free-rider regression — deviant-behavior accounting survives the
+//!   engine rewrite unchanged.
+//!
+//! "Bit-identical" is literal: `f64` totals, piece sets, unchoke sets and
+//! availability are compared with exact equality.
+
+use strat_bittorrent::reference::RefSwarm;
+use strat_bittorrent::{PeerBehavior, Swarm, SwarmConfig};
+
+/// Everything externally observable about one peer.
+#[derive(Debug, PartialEq, Clone)]
+struct PeerState {
+    total_up: f64,
+    total_down: f64,
+    tft_up: f64,
+    tft_down: f64,
+    completed_round: Option<u64>,
+    piece_count: usize,
+    pieces: Vec<usize>,
+    tft_unchoked: Vec<usize>,
+    optimistic: Option<usize>,
+}
+
+fn engine_state(swarm: &Swarm) -> (Vec<PeerState>, Vec<u32>) {
+    let states = (0..swarm.peer_count())
+        .map(|p| {
+            let peer = swarm.peer(p);
+            PeerState {
+                total_up: peer.total_uploaded(),
+                total_down: peer.total_downloaded(),
+                tft_up: peer.tft_uploaded(),
+                tft_down: peer.tft_downloaded(),
+                completed_round: peer.completed_round(),
+                piece_count: peer.pieces().count(),
+                pieces: (0..swarm.config().piece_count)
+                    .filter(|&i| peer.pieces().contains(i))
+                    .collect(),
+                tft_unchoked: swarm.tft_unchoked(p),
+                optimistic: swarm.optimistic_unchoked(p),
+            }
+        })
+        .collect();
+    (states, swarm.availability().to_vec())
+}
+
+fn reference_state(swarm: &RefSwarm) -> (Vec<PeerState>, Vec<u32>) {
+    let states = (0..swarm.peer_count())
+        .map(|p| {
+            let peer = swarm.peer(p);
+            PeerState {
+                total_up: peer.total_uploaded(),
+                total_down: peer.total_downloaded(),
+                tft_up: peer.tft_uploaded(),
+                tft_down: peer.tft_downloaded(),
+                completed_round: peer.completed_round(),
+                piece_count: peer.pieces().count(),
+                pieces: (0..swarm.config().piece_count)
+                    .filter(|&i| peer.pieces().contains(i))
+                    .collect(),
+                tft_unchoked: swarm.tft_unchoked(p),
+                optimistic: swarm.optimistic_unchoked(p),
+            }
+        })
+        .collect();
+    (states, swarm.availability().to_vec())
+}
+
+/// A matrix of structurally distinct configurations: fluid and piece
+/// modes, degenerate slot counts, deviant behaviors, completion shutdown.
+fn config_matrix() -> Vec<(SwarmConfig, Vec<f64>, Vec<PeerBehavior>, &'static str)> {
+    let mut cases = Vec::new();
+
+    let base = |leechers: usize, seeds: usize, seed: u64| {
+        let mut b = SwarmConfig::builder();
+        b.leechers(leechers)
+            .seeds(seeds)
+            .piece_count(48)
+            .piece_size_kbit(250.0)
+            .mean_neighbors(9.0)
+            .seed(seed);
+        b
+    };
+    let ramp = |n: usize| -> Vec<f64> { (0..n).map(|i| 120.0 + 35.0 * i as f64).collect() };
+    let compliant = |n: usize| vec![PeerBehavior::Compliant; n];
+
+    // Piece mode, defaults.
+    cases.push((base(22, 2, 101).build(), ramp(24), compliant(24), "pieces"));
+    // Fluid mode.
+    cases.push((
+        base(20, 2, 102).fluid_content(true).build(),
+        ramp(22),
+        compliant(22),
+        "fluid",
+    ));
+    // High initial completion: completions happen mid-horizon.
+    cases.push((
+        base(16, 1, 103)
+            .initial_completion(0.8)
+            .piece_size_kbit(80.0)
+            .build(),
+        ramp(17),
+        compliant(17),
+        "fast-completion",
+    ));
+    // Completed leechers stop uploading (exercises the live mid-round
+    // upload check).
+    cases.push((
+        base(14, 1, 104)
+            .initial_completion(0.85)
+            .piece_size_kbit(60.0)
+            .seed_after_completion(false)
+            .build(),
+        ramp(15),
+        compliant(15),
+        "completion-shutdown",
+    ));
+    // Degenerate slot counts.
+    cases.push((
+        base(18, 1, 105).tft_slots(1).optimistic_slots(0).build(),
+        ramp(19),
+        compliant(19),
+        "no-optimistic",
+    ));
+    cases.push((
+        base(18, 1, 106).tft_slots(0).optimistic_slots(1).build(),
+        ramp(19),
+        compliant(19),
+        "optimistic-only",
+    ));
+    // Deviant behaviors in both content modes.
+    let mut deviant = compliant(21);
+    deviant[0] = PeerBehavior::Altruistic;
+    deviant[17] = PeerBehavior::FreeRider;
+    deviant[18] = PeerBehavior::FreeRider;
+    cases.push((
+        base(19, 2, 107).build(),
+        ramp(21),
+        deviant.clone(),
+        "deviant-pieces",
+    ));
+    cases.push((
+        base(19, 2, 108).fluid_content(true).build(),
+        ramp(21),
+        deviant,
+        "deviant-fluid",
+    ));
+    cases
+}
+
+#[test]
+fn serial_round_bit_identical_to_reference() {
+    for (config, uploads, behaviors, label) in config_matrix() {
+        let mut engine = Swarm::with_behaviors(config.clone(), &uploads, &behaviors);
+        let mut reference = RefSwarm::with_behaviors(config, &uploads, &behaviors);
+        assert_eq!(
+            engine_state(&engine),
+            reference_state(&reference),
+            "construction diverged: {label}"
+        );
+        for round in 0..40 {
+            engine.round();
+            reference.round();
+            assert_eq!(
+                engine_state(&engine),
+                reference_state(&reference),
+                "round {round} diverged: {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_rounds_bit_identical_to_indexed_reference() {
+    for (config, uploads, behaviors, label) in config_matrix() {
+        let mut reference = RefSwarm::with_behaviors(config.clone(), &uploads, &behaviors);
+        for _ in 0..25 {
+            reference.round_indexed();
+        }
+        let want = reference_state(&reference);
+        for threads in [1usize, 2, 3, 8] {
+            let mut engine = Swarm::with_behaviors(config.clone(), &uploads, &behaviors);
+            engine.run_rounds_parallel(25, threads);
+            assert_eq!(
+                engine_state(&engine),
+                want,
+                "threads {threads} diverged: {label}"
+            );
+        }
+    }
+}
+
+#[test]
+fn mixing_serial_and_parallel_rounds_stays_in_lockstep() {
+    // Interleaving the two semantics must match the reference doing the
+    // same interleave: the engines share all persistent state.
+    let (config, uploads, behaviors, _) = config_matrix().swap_remove(0);
+    let mut engine = Swarm::with_behaviors(config.clone(), &uploads, &behaviors);
+    let mut reference = RefSwarm::with_behaviors(config, &uploads, &behaviors);
+    for _ in 0..6 {
+        engine.round();
+        reference.round();
+    }
+    engine.run_rounds_parallel(6, 3);
+    for _ in 0..6 {
+        reference.round_indexed();
+    }
+    engine.run_rounds(6);
+    reference.run_rounds(6);
+    assert_eq!(engine_state(&engine), reference_state(&reference));
+}
+
+/// Regression for the per-round completion/behavior flag cache: deviant
+/// accounting is exactly what the reference engine produces, and the
+/// deviant population counts stay stable over the horizon.
+#[test]
+fn free_rider_counts_stable_across_refactor() {
+    let mut config = SwarmConfig::builder()
+        .leechers(30)
+        .seeds(2)
+        .mean_neighbors(12.0)
+        .seed(2024)
+        .build();
+    config.fluid_content = true;
+    let uploads: Vec<f64> = (0..32).map(|i| 200.0 + 55.0 * i as f64).collect();
+    let mut behaviors = vec![PeerBehavior::Compliant; 32];
+    for behavior in behaviors.iter_mut().take(30).skip(25) {
+        *behavior = PeerBehavior::FreeRider;
+    }
+    let mut engine = Swarm::with_behaviors(config.clone(), &uploads, &behaviors);
+    let mut reference = RefSwarm::with_behaviors(config, &uploads, &behaviors);
+    for _ in 0..50 {
+        engine.round();
+        reference.round();
+        let engine_riders = (0..32)
+            .filter(|&p| {
+                engine.peer(p).total_uploaded() == 0.0 && engine.tft_unchoked(p).is_empty()
+            })
+            .filter(|&p| engine.peer(p).behavior() == PeerBehavior::FreeRider)
+            .count();
+        assert_eq!(engine_riders, 5, "free-rider population drifted");
+    }
+    assert_eq!(engine_state(&engine), reference_state(&reference));
+    for p in 25..30 {
+        assert_eq!(engine.peer(p).total_uploaded(), 0.0);
+        assert!(engine.peer(p).total_downloaded() > 0.0);
+    }
+}

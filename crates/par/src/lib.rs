@@ -111,9 +111,41 @@ pub fn chunk_ranges(total: u64, parts: usize) -> Vec<Range<u64>> {
     ranges
 }
 
+/// Splits `slice` into consecutive disjoint mutable chunks of the given
+/// lengths (which must sum to at most `slice.len()`).
+///
+/// The companion of [`chunk_ranges`] for phase-structured parallel loops:
+/// derive per-worker item ranges once, then hand each worker the matching
+/// chunk of every output array (different arrays may use different
+/// per-range lengths — e.g. one slot per item vs one slot per edge).
+///
+/// # Panics
+///
+/// Panics if the lengths overrun the slice.
+pub fn split_lengths<'a, T>(mut slice: &'a mut [T], lens: &[usize]) -> Vec<&'a mut [T]> {
+    let mut parts = Vec::with_capacity(lens.len());
+    for &len in lens {
+        let (head, rest) = slice.split_at_mut(len);
+        parts.push(head);
+        slice = rest;
+    }
+    parts
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn split_lengths_partitions_disjointly() {
+        let mut data: Vec<u32> = (0..10).collect();
+        let parts = split_lengths(&mut data, &[3, 0, 4, 3]);
+        assert_eq!(parts.len(), 4);
+        assert_eq!(parts[0], &[0, 1, 2]);
+        assert!(parts[1].is_empty());
+        assert_eq!(parts[2], &[3, 4, 5, 6]);
+        assert_eq!(parts[3], &[7, 8, 9]);
+    }
 
     #[test]
     fn par_map_matches_sequential_for_all_thread_counts() {

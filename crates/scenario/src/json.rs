@@ -26,6 +26,28 @@ impl Scenario {
 
     /// Parses a scenario from its JSON encoding.
     ///
+    /// # Examples
+    ///
+    /// ```
+    /// use strat_scenario::{Scenario, TopologyModel};
+    ///
+    /// let json = r#"{
+    ///   "name": "demo", "experiment": "fig3", "seed": 7, "peers": 100,
+    ///   "capacity": { "Constant": { "value": 1 } },
+    ///   "topology": { "ErdosRenyiMeanDegree": { "d": 10.0 } },
+    ///   "preference": "GlobalRank",
+    ///   "churn": { "Rate": { "rate": 0.03 } },
+    ///   "strategy": "BestMate",
+    ///   "swarm": null
+    /// }"#;
+    /// let scenario = Scenario::from_json(json)?;
+    /// assert_eq!(scenario.peers, 100);
+    /// assert_eq!(scenario.topology, TopologyModel::ErdosRenyiMeanDegree { d: 10.0 });
+    /// // The encoding round-trips losslessly.
+    /// assert_eq!(Scenario::from_json(&scenario.to_json())?, scenario);
+    /// # Ok::<(), strat_scenario::ScenarioError>(())
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`ScenarioError::Parse`] on malformed JSON, unknown

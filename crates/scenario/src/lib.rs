@@ -59,7 +59,7 @@
 //! # Ok::<(), strat_scenario::ScenarioError>(())
 //! ```
 
-#![warn(missing_docs)]
+#![deny(missing_docs)]
 #![warn(clippy::all)]
 
 mod error;

@@ -14,6 +14,8 @@
 //! `SwarmConfig` by hand.
 
 pub mod bt1;
+pub mod btflash;
+pub mod btfree;
 pub mod ext1;
 pub mod ext2;
 pub mod fig1;

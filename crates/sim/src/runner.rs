@@ -206,6 +206,16 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "BitTorrent swarm stratification and share ratios (section 6 claims)"
         ),
         entry!(
+            "btflash",
+            btflash,
+            "Flash crowd: completion wave of a cold 10k-leecher swarm (parallel rounds)"
+        ),
+        entry!(
+            "btfree",
+            btfree,
+            "Free-rider share sweep over the BehaviorMix (TFT incentive structure)"
+        ),
+        entry!(
             "ext1",
             ext1,
             "Combined utilities: rank stratification vs latency clustering (section 7)"

@@ -41,6 +41,9 @@ const GOLDEN: &[(&str, u64)] = &[
     ("fig10", 0x8e127414f94cddf0),
     ("fig11", 0xe1aa4db351f79bf1),
     ("bt1", 0x703d7a80283f8682),
+    // PR 3 additions (flash crowd + free-rider sweep), recorded at birth.
+    ("btflash", 0x422fc5a079cae2f7),
+    ("btfree", 0x540dc519723119b3),
     ("ext1", 0x96ff492352c0fa6e),
     ("ext2", 0x87423fc70fa52cc7),
     ("fluid", 0xc0fe96f77ba157fe),

@@ -43,7 +43,7 @@ fn build_fingerprint(scenario: &Scenario) -> Vec<f64> {
         let mut swarm = scenario
             .build_swarm(&mut stream_rng(scenario.seed, 0xf1))
             .expect("valid swarm scenario");
-        swarm.run(5);
+        swarm.run_rounds(5);
         (0..swarm.peer_count())
             .map(|p| swarm.peer(p).total_downloaded() + swarm.peer(p).upload_kbps())
             .collect()

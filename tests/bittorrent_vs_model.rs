@@ -23,7 +23,7 @@ fn saroiu_swarm(leechers: usize, rounds: u64, seed: u64) -> Swarm {
     uploads.shuffle(&mut ChaCha8Rng::seed_from_u64(seed ^ 0xf00d));
     uploads.extend(std::iter::repeat_n(1000.0, seeds));
     let mut swarm = Swarm::new(config, &uploads);
-    swarm.run(rounds);
+    swarm.run_rounds(rounds);
     swarm
 }
 

@@ -1,0 +1,246 @@
+//! Guard against documentation rot: the command snippets in the README
+//! and `docs/` must keep referencing real packages, binaries and preset
+//! files — and must keep *running*.
+//!
+//! Two layers:
+//!
+//! * the always-on tests statically validate every fenced `sh` block
+//!   (packages exist, binaries exist, referenced preset files exist) and
+//!   parse every complete scenario JSON snippet through
+//!   [`Scenario::from_json`];
+//! * [`documented_commands_execute`] (`#[ignore]`, run by the CI docs
+//!   job) executes the snippets for real, with bounded-time adaptations:
+//!   `--quick` profiles, temp output directories, and a scaled-down
+//!   benchmark export. Build/test invocations are skipped — CI runs those
+//!   directly.
+
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+use strat_scenario::Scenario;
+
+/// Every document whose command snippets are under guard.
+const DOC_FILES: &[&str] = &[
+    "README.md",
+    "docs/ARCHITECTURE.md",
+    "docs/SCENARIO_SCHEMA.md",
+    "results/scenarios/README.md",
+];
+
+/// Fenced code blocks of the given language in `text`.
+fn fenced_blocks(text: &str, lang: &str) -> Vec<String> {
+    let mut blocks = Vec::new();
+    let mut current: Option<String> = None;
+    for line in text.lines() {
+        let trimmed = line.trim();
+        match &mut current {
+            None if trimmed == format!("```{lang}") => current = Some(String::new()),
+            Some(block) if trimmed == "```" => {
+                blocks.push(std::mem::take(block));
+                current = None;
+            }
+            Some(block) => {
+                block.push_str(line);
+                block.push('\n');
+            }
+            None => {}
+        }
+    }
+    blocks
+}
+
+/// All `(doc file, command line)` pairs from the fenced `sh` blocks.
+fn documented_commands() -> Vec<(String, String)> {
+    let mut commands = Vec::new();
+    for file in DOC_FILES {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
+        for block in fenced_blocks(&text, "sh") {
+            for line in block.lines() {
+                let line = line.trim();
+                if !line.is_empty() && !line.starts_with('#') {
+                    commands.push((file.to_string(), line.to_string()));
+                }
+            }
+        }
+    }
+    assert!(
+        !commands.is_empty(),
+        "no documented commands found — extraction broke?"
+    );
+    commands
+}
+
+/// Workspace package names, read from every member manifest.
+fn workspace_packages() -> BTreeSet<String> {
+    let mut names = BTreeSet::new();
+    let mut manifests: Vec<PathBuf> = vec![PathBuf::from("Cargo.toml")];
+    for dir in ["crates", "shims"] {
+        for entry in std::fs::read_dir(dir).unwrap_or_else(|e| panic!("read {dir}: {e}")) {
+            let path = entry.expect("dir entry").path().join("Cargo.toml");
+            if path.is_file() {
+                manifests.push(path);
+            }
+        }
+    }
+    for manifest in manifests {
+        let text = std::fs::read_to_string(&manifest).expect("readable manifest");
+        if let Some(name) = text.lines().find_map(|l| {
+            l.strip_prefix("name = \"")
+                .and_then(|rest| rest.strip_suffix('"'))
+        }) {
+            names.insert(name.to_string());
+        }
+    }
+    names
+}
+
+/// Directory of a workspace package (for `--bin` existence checks).
+fn package_dir(package: &str) -> Option<PathBuf> {
+    if package == "stratification" {
+        return Some(PathBuf::from("."));
+    }
+    let dir = package.strip_prefix("strat-")?;
+    let path = PathBuf::from("crates").join(dir);
+    path.is_dir().then_some(path)
+}
+
+fn tokens(cmd: &str) -> Vec<String> {
+    cmd.split_whitespace().map(str::to_string).collect()
+}
+
+fn value_after(tokens: &[String], flag: &str) -> Option<String> {
+    tokens
+        .iter()
+        .position(|t| t == flag)
+        .and_then(|i| tokens.get(i + 1).cloned())
+}
+
+#[test]
+fn documented_commands_reference_real_artifacts() {
+    let packages = workspace_packages();
+    for (file, cmd) in documented_commands() {
+        let toks = tokens(&cmd);
+        assert_eq!(toks[0], "cargo", "{file}: non-cargo snippet `{cmd}`");
+        if let Some(package) = value_after(&toks, "-p") {
+            assert!(
+                packages.contains(&package),
+                "{file}: `{cmd}` references unknown package {package}"
+            );
+            if let Some(bin) = value_after(&toks, "--bin") {
+                let dir = package_dir(&package)
+                    .unwrap_or_else(|| panic!("{file}: no directory for package {package}"));
+                let bin_path = dir.join("src/bin").join(format!("{bin}.rs"));
+                assert!(
+                    bin_path.is_file(),
+                    "{file}: `{cmd}` references missing binary {}",
+                    bin_path.display()
+                );
+            }
+        }
+        for tok in &toks {
+            if tok.starts_with("results/scenarios/") && tok.ends_with(".json") {
+                assert!(
+                    Path::new(tok).is_file(),
+                    "{file}: `{cmd}` references missing preset {tok}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn documented_scenario_json_parses() {
+    // Every complete scenario snippet (it has an `experiment` binding)
+    // must parse through the real parser; fragments are exempt.
+    let mut checked = 0;
+    for file in DOC_FILES {
+        let text = std::fs::read_to_string(file).unwrap_or_else(|e| panic!("read {file}: {e}"));
+        for block in fenced_blocks(&text, "json") {
+            if !block.contains("\"experiment\"") {
+                continue;
+            }
+            let scenario = Scenario::from_json(&block)
+                .unwrap_or_else(|e| panic!("{file}: scenario snippet does not parse: {e}"));
+            assert!(scenario.peers > 0, "{file}: degenerate snippet");
+            checked += 1;
+        }
+    }
+    assert!(checked >= 2, "expected the schema doc's full examples");
+}
+
+/// Executes the documented commands (CI docs job; see module docs for the
+/// bounded-time adaptations). Run with `cargo test --release --test
+/// docs_commands -- --ignored`.
+#[test]
+#[ignore = "executes real cargo commands; run by the CI docs job"]
+fn documented_commands_execute() {
+    let scratch = std::env::temp_dir().join(format!("docs-commands-{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("create scratch dir");
+
+    // The schema doc's worked example references `my-sweep.json`;
+    // materialize it from the doc's own JSON block.
+    let schema = std::fs::read_to_string("docs/SCENARIO_SCHEMA.md").expect("schema doc");
+    let sweep = fenced_blocks(&schema, "json")
+        .into_iter()
+        .find(|b| b.contains("my-sweep"))
+        .expect("worked example present");
+    let sweep_path = scratch.join("my-sweep.json");
+    std::fs::write(&sweep_path, sweep).expect("write worked example");
+
+    for (idx, (file, cmd)) in documented_commands().into_iter().enumerate() {
+        let mut toks = tokens(&cmd);
+        // CI runs the build/test commands directly.
+        if toks[1] == "build" || toks[1] == "test" {
+            continue;
+        }
+        // Rewrite the documented tokens first (before any adaptation
+        // appends paths of its own): the schema doc's example file
+        // materializes in the scratch dir, and documented output paths
+        // redirect there too.
+        for tok in &mut toks {
+            if tok == "my-sweep.json" {
+                *tok = sweep_path.display().to_string();
+            } else if tok.starts_with("/tmp/") {
+                *tok = scratch
+                    .join(format!("redirect-{idx}.json"))
+                    .display()
+                    .to_string();
+            }
+        }
+        let out_dir = scratch.join(format!("out-{idx}"));
+        let is_experiments = value_after(&toks, "--bin").as_deref() == Some("experiments");
+        let is_export = value_after(&toks, "--bin").as_deref() == Some("export");
+        // Appended flags must land on the binary, not on cargo.
+        if (is_experiments || is_export) && !toks.iter().any(|t| t == "--") {
+            toks.push("--".into());
+        }
+        if is_experiments {
+            // Bound runtime and keep the checkout clean.
+            if !toks.iter().any(|t| t == "--quick") {
+                toks.push("--quick".into());
+            }
+            if let Some(i) = toks.iter().position(|t| t == "--out") {
+                toks[i + 1] = out_dir.display().to_string();
+            } else {
+                toks.push("--out".into());
+                toks.push(out_dir.display().to_string());
+            }
+        }
+        if is_export && !toks.last().is_some_and(|t| t.ends_with(".json")) {
+            toks.push(
+                scratch
+                    .join(format!("bench-{idx}.json"))
+                    .display()
+                    .to_string(),
+            );
+        }
+        let status = Command::new("cargo")
+            .args(&toks[1..])
+            .env("BENCH_TIME_SCALE", "0.02")
+            .status()
+            .unwrap_or_else(|e| panic!("{file}: `{cmd}` failed to spawn: {e}"));
+        assert!(status.success(), "{file}: `{cmd}` exited with {status}");
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}

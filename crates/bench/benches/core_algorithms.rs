@@ -11,8 +11,8 @@ use rand::SeedableRng;
 use rand_chacha::ChaCha8Rng;
 use strat_analytic::{b_matching, one_matching};
 use strat_bench::{
-    bench_dynamics, bench_dynamics_ref, bench_stable_configuration, bench_stable_configuration_ref,
-    bench_swarm_rounds, bench_swarm_rounds_ref,
+    bench_dynamics, bench_dynamics_ref, bench_prefs, bench_prefs_ref, bench_stable_configuration,
+    bench_stable_configuration_ref, bench_swarm_rounds, bench_swarm_rounds_ref,
 };
 use strat_graph::generators;
 
@@ -56,6 +56,8 @@ criterion_group!(
     bench_stable_configuration_ref,
     bench_dynamics,
     bench_dynamics_ref,
+    bench_prefs,
+    bench_prefs_ref,
     bench_analytic,
     bench_graph,
     bench_swarm_rounds,

@@ -22,13 +22,16 @@
 use std::time::Duration;
 
 use criterion::{black_box, BenchmarkId, Criterion};
-use rand::SeedableRng;
+use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use strat_bittorrent::{reference::RefSwarm, Swarm, SwarmConfig};
+use strat_core::prefs::{best_mate_dynamics, LatencyPrefs, PrefDynamicsOutcome};
+use strat_core::GeneralDynamics;
 use strat_core::{
     reference, stable_configuration, stable_configuration_complete, Capacities, GlobalRanking,
     InitiativeStrategy, RankedAcceptance,
 };
+use strat_graph::{generators, Graph};
 use strat_scenario::{Scenario, TopologyModel};
 
 /// Standard declarative instance: `G(n, d)` acceptance graph, identity
@@ -146,6 +149,101 @@ pub fn bench_dynamics_ref(c: &mut Criterion) {
     group.finish();
 }
 
+/// The shared generalized-preference instance: `G(n, 20)` acceptance
+/// graph, uniform latency embedding in `[0, 1000)`, `b = 3`.
+fn latency_instance(n: usize, seed: u64) -> (Graph, LatencyPrefs, Capacities) {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let graph = generators::erdos_renyi_mean_degree(n, 20.0, &mut rng);
+    let positions: Vec<f64> = (0..n).map(|_| rng.gen_range(0.0..1000.0)).collect();
+    (
+        graph,
+        LatencyPrefs::new(positions),
+        Capacities::constant(n, 3),
+    )
+}
+
+/// Generalized-preference dynamics on the dirty-set engine, latency
+/// instances:
+///
+/// * `converge_*` — full `best_mate_dynamics` from `C∅` to stability
+///   (includes key-table construction; early sweeps are all-dirty, so the
+///   memo only trims the tail);
+/// * `settled_sweep_*` — one round-robin sweep of a **converged** system
+///   (the steady-state regime continuing dynamics live in): every peer is
+///   provably clean and the sweep degenerates to n flag reads.
+pub fn bench_prefs(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefs");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[500usize, 2000] {
+        let (graph, prefs, caps) = latency_instance(n, 0x9e1);
+        group.bench_with_input(
+            BenchmarkId::new("converge_latency_d20_b3", n),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(best_mate_dynamics(&graph, &prefs, &caps)));
+            },
+        );
+    }
+    let n = 2000usize;
+    let (graph, prefs, caps) = latency_instance(n, 0x9e1);
+    let mut dynamics =
+        GeneralDynamics::new(&graph, &prefs, caps, InitiativeStrategy::BestMate).expect("sizes");
+    dynamics.settle().expect("latency systems are cycle-free");
+    group.bench_with_input(
+        BenchmarkId::new("settled_sweep_latency_d20_b3", n),
+        &n,
+        |b, _| {
+            b.iter(|| {
+                let mut active = 0u64;
+                for p in 0..n {
+                    active += u64::from(
+                        dynamics
+                            .best_mate_initiative(strat_graph::NodeId::new(p))
+                            .is_active(),
+                    );
+                }
+                active
+            });
+        },
+    );
+    group.finish();
+}
+
+/// The retained full-scan reference (`strat_core::reference`) on the same
+/// instances as [`bench_prefs`]: every sweep re-scans every neighborhood
+/// with live preference comparisons, converged or not.
+pub fn bench_prefs_ref(c: &mut Criterion) {
+    let mut group = c.benchmark_group("prefs_ref");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    for &n in &[500usize, 2000] {
+        let (graph, prefs, caps) = latency_instance(n, 0x9e1);
+        group.bench_with_input(
+            BenchmarkId::new("converge_latency_d20_b3", n),
+            &n,
+            |b, _| {
+                b.iter(|| black_box(reference::best_mate_dynamics(&graph, &prefs, &caps)));
+            },
+        );
+    }
+    let n = 2000usize;
+    let (graph, prefs, caps) = latency_instance(n, 0x9e1);
+    let PrefDynamicsOutcome::Stable(mut matching) =
+        reference::best_mate_dynamics(&graph, &prefs, &caps)
+    else {
+        panic!("latency systems are cycle-free")
+    };
+    group.bench_with_input(
+        BenchmarkId::new("settled_sweep_latency_d20_b3", n),
+        &n,
+        |b, _| {
+            b.iter(|| reference::best_mate_sweep(&graph, &prefs, &caps, &mut matching));
+        },
+    );
+    group.finish();
+}
+
 /// The shared swarm-round instance: `n` leechers + 2 seeds on a `d = 20`
 /// overlay with a bandwidth ramp, in fluid or piece mode.
 fn swarm_inputs(leechers: usize, fluid: bool, seed: u64) -> (SwarmConfig, Vec<f64>) {
@@ -233,6 +331,8 @@ pub fn core_groups(c: &mut Criterion) {
     bench_stable_configuration_ref(c);
     bench_dynamics(c);
     bench_dynamics_ref(c);
+    bench_prefs(c);
+    bench_prefs_ref(c);
     bench_swarm_rounds(c);
     bench_swarm_rounds_ref(c);
 }

@@ -40,7 +40,6 @@
 //!   start-of-round snapshot), bit-reproducible for **any** thread count
 //!   under the workspace determinism contract (`strat-par`).
 
-use std::collections::HashMap;
 use std::ops::Range;
 
 use rand::seq::SliceRandom;
@@ -298,20 +297,22 @@ impl Swarm {
             }
             nbr_off.push(nbr.len());
         }
-        // Reverse-edge index: slot of (q → p) for every slot (p → q).
-        let mut slot_of: HashMap<u64, u32> = HashMap::with_capacity(nbr.len());
+        // Reverse-edge index: slot of (q → p) for every slot (p → q), built
+        // with one counting-sort cursor pass instead of a hash map (the
+        // construction bottleneck at n ≫ 10⁵). Overlay rows ascend by
+        // neighbour id, so for a fixed target q the slots (p → q) are
+        // visited (outer loop p ascending) in exactly the order of q's own
+        // row — the k-th visit of target q is the reverse of q's k-th slot.
+        let mut rev = vec![0u32; nbr.len()];
+        let mut cursor: Vec<usize> = nbr_off[..n].to_vec();
         for p in 0..n {
             for e in nbr_off[p]..nbr_off[p + 1] {
-                slot_of.insert(((p as u64) << 32) | u64::from(nbr[e]), e as u32);
+                let q = nbr[e] as usize;
+                rev[e] = cursor[q] as u32;
+                cursor[q] += 1;
             }
         }
-        let mut rev = Vec::with_capacity(nbr.len());
-        for p in 0..n {
-            for e in nbr_off[p]..nbr_off[p + 1] {
-                let q = u64::from(nbr[e]);
-                rev.push(slot_of[&((q << 32) | p as u64)]);
-            }
-        }
+        debug_assert!((0..nbr.len()).all(|e| rev[rev[e] as usize] as usize == e));
 
         // Piece initialization draws in peer order, exactly like the
         // reference engine.

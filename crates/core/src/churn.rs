@@ -18,7 +18,7 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use strat_graph::NodeId;
 
-use crate::{Dynamics, InitiativeOutcome};
+use crate::{Dynamics, DynamicsDriver, InitiativeOutcome};
 
 /// What a single churn event did.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -35,8 +35,13 @@ pub enum ChurnEvent {
     },
 }
 
-/// Churn-driven simulation: wraps [`Dynamics`] and interleaves random
-/// departures/arrivals with initiative steps.
+/// Churn-driven simulation: wraps a dynamics backend and interleaves
+/// random departures/arrivals with initiative steps.
+///
+/// The process is generic over [`DynamicsDriver`] — any instantiation of
+/// the incremental engine (the ranked [`Dynamics`], which is the default
+/// type parameter, or the generalized-preference drivers) churns the same
+/// way, consuming identical randomness for identical presence decisions.
 ///
 /// # Examples
 ///
@@ -61,13 +66,13 @@ pub enum ChurnEvent {
 /// # Ok::<(), strat_core::ModelError>(())
 /// ```
 #[derive(Debug, Clone)]
-pub struct ChurnProcess {
-    dynamics: Dynamics,
+pub struct ChurnProcess<D: DynamicsDriver = Dynamics> {
+    dynamics: D,
     rate: f64,
     events: u64,
 }
 
-impl ChurnProcess {
+impl<D: DynamicsDriver> ChurnProcess<D> {
     /// Wraps a dynamics driver with churn at `rate` events per initiative
     /// step.
     ///
@@ -75,7 +80,7 @@ impl ChurnProcess {
     ///
     /// Panics if `rate` is not a finite value in `[0, 1]`.
     #[must_use]
-    pub fn new(dynamics: Dynamics, rate: f64) -> Self {
+    pub fn new(dynamics: D, rate: f64) -> Self {
         assert!(
             rate.is_finite() && (0.0..=1.0).contains(&rate),
             "churn rate must be in [0, 1], got {rate}"
@@ -89,13 +94,13 @@ impl ChurnProcess {
 
     /// The wrapped dynamics (current configuration, disorder, …).
     #[must_use]
-    pub fn dynamics(&self) -> &Dynamics {
+    pub fn dynamics(&self) -> &D {
         &self.dynamics
     }
 
     /// Mutable access to the wrapped dynamics.
     #[must_use]
-    pub fn dynamics_mut(&mut self) -> &mut Dynamics {
+    pub fn dynamics_mut(&mut self) -> &mut D {
         &mut self.dynamics
     }
 

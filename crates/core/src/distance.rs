@@ -78,13 +78,27 @@ pub fn distance_general(ranking: &GlobalRanking, c1: &Matching, c2: &Matching) -
     let n = ranking.len();
     assert_eq!(c1.node_count(), n, "c1 size mismatch");
     assert_eq!(c2.node_count(), n, "c2 size mismatch");
+    slotwise_l1(ranking.nodes_best_first(), c1, c2, n)
+}
+
+/// Shared core of [`distance_general`] and [`distance_keyed`]: per-node
+/// slot-wise L1 over the cached mate-key rows (best-first, padded with the
+/// "unmated" label `n + 1`), normalized by `S · (n + 1) / 2` over `S`
+/// compared slots. The caller fixes the node iteration order — float
+/// accumulation order is part of each metric's bit-exact contract.
+fn slotwise_l1(
+    nodes: impl Iterator<Item = strat_graph::NodeId>,
+    c1: &Matching,
+    c2: &Matching,
+    n: usize,
+) -> f64 {
     if n == 0 {
         return 0.0;
     }
     let unmated = (n + 1) as f64;
     let mut sum = 0.0;
     let mut slots = 0usize;
-    for v in ranking.nodes_best_first() {
+    for v in nodes {
         let (m1, m2) = (c1.mate_ranks(v), c2.mate_ranks(v));
         let width = m1.len().max(m2.len());
         slots += width.max(1);
@@ -95,6 +109,29 @@ pub fn distance_general(ranking: &GlobalRanking, c1: &Matching, c2: &Matching) -
         }
     }
     sum * 2.0 / (slots as f64 * (n + 1) as f64)
+}
+
+/// The b-matching metric of [`distance_general`] expressed over the
+/// configurations' **cached mate keys** instead of a global ranking — the
+/// disorder metric of the generalized-preference engine, where mate rows
+/// cache per-neighborhood preference positions rather than global ranks
+/// (see [`crate::PreferenceKeys`]).
+///
+/// Both configurations must cache keys from the same key table (their rows
+/// then agree exactly when their mate sets do, since keys are unique within
+/// a row). Each peer contributes the slot-wise L1 difference between its
+/// two key-label lists (label = key position + 1, padded with the "unmated"
+/// label `n + 1`), normalized as in [`distance_general`]; `0` iff the
+/// configurations are identical.
+///
+/// # Panics
+///
+/// Panics if the configurations cover different peer counts.
+#[must_use]
+pub fn distance_keyed(c1: &Matching, c2: &Matching) -> f64 {
+    let n = c1.node_count();
+    assert_eq!(c2.node_count(), n, "c2 size mismatch");
+    slotwise_l1((0..n).map(strat_graph::NodeId::new), c1, c2, n)
 }
 
 #[cfg(test)]
@@ -195,6 +232,25 @@ mod tests {
         }
         let d = distance_general(&ranking, &full, &Matching::new(4));
         assert!(d > 0.0 && d <= 1.0, "{d}");
+    }
+
+    #[test]
+    fn keyed_distance_zero_iff_identical() {
+        // Keyed matchings: rows cache arbitrary per-owner keys.
+        let caps = Capacities::constant(4, 2);
+        let mut a = Matching::with_capacities(&caps);
+        let mut b = Matching::with_capacities(&caps);
+        // Peer 0 keys peer 2 as its 1st choice; peer 2 keys peer 0 as 3rd.
+        a.connect_keyed(&caps, n(0), n(2), crate::Rank::new(0), crate::Rank::new(2))
+            .unwrap();
+        assert!(distance_keyed(&a, &b) > 0.0);
+        b.connect_keyed(&caps, n(0), n(2), crate::Rank::new(0), crate::Rank::new(2))
+            .unwrap();
+        assert_eq!(distance_keyed(&a, &b), 0.0);
+        // Symmetric.
+        a.connect_keyed(&caps, n(1), n(3), crate::Rank::new(1), crate::Rank::new(0))
+            .unwrap();
+        assert_eq!(distance_keyed(&a, &b), distance_keyed(&b, &a));
     }
 
     #[test]

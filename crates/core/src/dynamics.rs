@@ -15,67 +15,29 @@
 //! * **random** — `p` probes one uniformly random acceptable peer (no
 //!   information; this is the BitTorrent optimistic-unchoke analogue, §6).
 //!
-//! # Hot-path caches
+//! # Architecture
 //!
-//! The driver maintains, per peer, the **acceptance threshold**: the raw
-//! rank position below which that peer welcomes a new candidate (worst-mate
-//! rank when saturated, "anyone" when a slot is free, "nobody" at zero
-//! capacity). Thresholds are updated incrementally on the peers an
-//! initiative or churn event touches — never recomputed per scan — so each
-//! candidate probe inside an initiative is two array reads and a compare.
-
-use std::cell::RefCell;
+//! [`Dynamics`] is the **ranked instantiation** of the generic incremental
+//! engine ([`crate::engine::Engine`]): the hot-path machinery — incremental
+//! acceptance thresholds, the clean/dirty peer memo, presence versioning,
+//! the memoized instant-stable configuration — lives in the engine, keyed
+//! by the global ranks that [`RankedAcceptance`] precomputes per
+//! neighborhood. This type adds the ranking-specific surface on top: the
+//! paper's disorder metrics (which are defined against the global ranking)
+//! and Algorithm 1 as the instant-stable computation.
 
 use rand::Rng;
-use serde::{Deserialize, Serialize};
 use strat_graph::NodeId;
 
+use crate::engine::VersionMemo;
 use crate::{
-    blocking, distance, stable_configuration_masked, Capacities, Matching, ModelError, Rank,
-    RankedAcceptance,
+    distance, stable_configuration_masked, Capacities, DynamicsDriver, Engine, InitiativeOutcome,
+    InitiativeStrategy, Matching, ModelError, RankedAcceptance,
 };
 
-/// How a peer scans its acceptance list for a blocking mate.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
-#[non_exhaustive]
-pub enum InitiativeStrategy {
-    /// Select the best available blocking mate.
-    BestMate,
-    /// Circularly scan the (rank-sorted) acceptance list starting just after
-    /// the last asked peer.
-    Decremental,
-    /// Probe a single uniformly random acceptable peer.
-    Random,
-}
-
-/// Outcome of one initiative.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
-pub enum InitiativeOutcome {
-    /// The initiative changed the configuration: `peer` matched with `mate`.
-    Active {
-        /// The initiating peer.
-        peer: NodeId,
-        /// Its new mate.
-        mate: NodeId,
-        /// Mate dropped by the initiator to free a slot, if it was saturated.
-        dropped_by_peer: Option<NodeId>,
-        /// Mate dropped by the contacted peer, if it was saturated.
-        dropped_by_mate: Option<NodeId>,
-    },
-    /// No blocking mate was found (or the probed peer declined).
-    Inactive,
-}
-
-impl InitiativeOutcome {
-    /// Whether the initiative modified the configuration.
-    #[must_use]
-    pub fn is_active(&self) -> bool {
-        matches!(self, InitiativeOutcome::Active { .. })
-    }
-}
-
-/// Simulation driver for the initiative process, with optional peer
-/// presence (for the removal and churn experiments of Figures 2–3).
+/// Simulation driver for the initiative process under a global ranking,
+/// with optional peer presence (for the removal and churn experiments of
+/// Figures 2–3).
 ///
 /// # Examples
 ///
@@ -105,30 +67,10 @@ impl InitiativeOutcome {
 /// ```
 #[derive(Debug, Clone)]
 pub struct Dynamics {
-    acc: RankedAcceptance,
-    caps: Capacities,
-    matching: Matching,
-    strategy: InitiativeStrategy,
-    /// Decremental-scan cursors, one per peer.
-    cursors: Vec<usize>,
-    /// Peer presence; absent peers neither initiate nor get matched.
-    present: Vec<bool>,
-    present_count: usize,
-    /// Cached acceptance threshold per peer (see the module docs).
-    accept_below: Vec<u32>,
-    /// Clean/dirty memo: `false` means "a full scan since the last relevant
-    /// change found no blocking mate for this peer".
-    dirty: Vec<bool>,
-    /// Presence-set version; bumped by every churn (remove/insert) event.
-    presence_version: u64,
-    /// Memoized instant stable configuration, tagged with the
-    /// `presence_version` it was computed under. The stable configuration
-    /// depends only on the acceptance structure, the capacities and the
-    /// present set — never on the current matching — so initiatives leave
-    /// it valid and only churn events invalidate it.
-    stable_memo: RefCell<Option<(u64, Matching)>>,
-    initiatives: u64,
-    active_initiatives: u64,
+    engine: Engine<RankedAcceptance>,
+    /// Memoized [`disorder_general`](Self::disorder_general) value: reads
+    /// between events are O(1) instead of an O(n) metric scan.
+    general_memo: VersionMemo,
 }
 
 impl Dynamics {
@@ -143,26 +85,10 @@ impl Dynamics {
         caps: Capacities,
         strategy: InitiativeStrategy,
     ) -> Result<Self, ModelError> {
-        let n = acc.node_count();
-        caps.check_len(n)?;
-        let matching = Matching::with_capacities(&caps);
-        let mut dynamics = Self {
-            acc,
-            caps,
-            matching,
-            strategy,
-            cursors: vec![0; n],
-            present: vec![true; n],
-            present_count: n,
-            accept_below: vec![0; n],
-            dirty: vec![true; n],
-            presence_version: 0,
-            stable_memo: RefCell::new(None),
-            initiatives: 0,
-            active_initiatives: 0,
-        };
-        dynamics.refresh_all_thresholds();
-        Ok(dynamics)
+        Ok(Self {
+            engine: Engine::new(acc, caps, strategy)?,
+            general_memo: VersionMemo::default(),
+        })
     }
 
     /// Creates a driver starting from an arbitrary configuration.
@@ -176,113 +102,89 @@ impl Dynamics {
         strategy: InitiativeStrategy,
         matching: Matching,
     ) -> Result<Self, ModelError> {
-        if matching.node_count() != acc.node_count() {
-            return Err(ModelError::SizeMismatch {
-                expected: acc.node_count(),
-                actual: matching.node_count(),
-            });
-        }
-        let mut d = Self::new(acc, caps, strategy)?;
-        d.matching = matching;
-        d.refresh_all_thresholds();
-        d.dirty.fill(true);
-        Ok(d)
+        Ok(Self {
+            engine: Engine::with_configuration(acc, caps, strategy, matching)?,
+            general_memo: VersionMemo::default(),
+        })
+    }
+
+    /// The underlying generic engine (test/diagnostic access).
+    #[cfg(test)]
+    #[must_use]
+    pub(crate) fn engine(&self) -> &Engine<RankedAcceptance> {
+        &self.engine
     }
 
     /// Number of peers (present or not).
     #[must_use]
     pub fn node_count(&self) -> usize {
-        self.acc.node_count()
+        self.engine.node_count()
     }
 
     /// Current configuration.
     #[must_use]
     pub fn matching(&self) -> &Matching {
-        &self.matching
+        self.engine.matching()
     }
 
     /// The acceptance structure.
     #[must_use]
     pub fn acceptance(&self) -> &RankedAcceptance {
-        &self.acc
+        self.engine.keys()
     }
 
     /// Capacities in force.
     #[must_use]
     pub fn capacities(&self) -> &Capacities {
-        &self.caps
+        self.engine.capacities()
     }
 
     /// Total initiatives taken so far.
     #[must_use]
     pub fn initiative_count(&self) -> u64 {
-        self.initiatives
+        self.engine.initiative_count()
     }
 
     /// Active (configuration-changing) initiatives taken so far.
     #[must_use]
     pub fn active_initiative_count(&self) -> u64 {
-        self.active_initiatives
+        self.engine.active_initiative_count()
     }
 
     /// Number of present peers.
     #[must_use]
     pub fn present_count(&self) -> usize {
-        self.present_count
+        self.engine.present_count()
     }
 
     /// Whether peer `v` is present.
     #[must_use]
     pub fn is_present(&self, v: NodeId) -> bool {
-        self.present[v.index()]
+        self.engine.is_present(v)
     }
 
     /// Removes a peer: drops its collaborations and excludes it from the
     /// system (Figure 2's perturbation). No-op if already absent.
     pub fn remove_peer(&mut self, v: NodeId) {
-        if !self.present[v.index()] {
-            return;
-        }
-        self.present[v.index()] = false;
-        self.present_count -= 1;
-        self.presence_version += 1;
-        let dropped = self.matching.isolate(v);
-        self.refresh_threshold(v);
-        self.mark_neighborhood_dirty(v);
-        for mate in dropped {
-            self.refresh_threshold(mate);
-            self.mark_neighborhood_dirty(mate);
-        }
+        self.engine.remove_peer(v);
     }
 
     /// Re-inserts an absent peer with no mates. No-op if already present.
     pub fn insert_peer(&mut self, v: NodeId) {
-        if self.present[v.index()] {
-            return;
-        }
-        self.present[v.index()] = true;
-        self.present_count += 1;
-        self.presence_version += 1;
-        debug_assert_eq!(self.matching.degree(v), 0);
-        self.refresh_threshold(v);
-        self.mark_neighborhood_dirty(v);
+        self.engine.insert_peer(v);
     }
 
     /// Performs one initiative by a uniformly random present peer.
     ///
     /// Returns [`InitiativeOutcome::Inactive`] when no peers are present.
     pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> InitiativeOutcome {
-        let Some(p) = self.random_present_peer(rng) else {
-            return InitiativeOutcome::Inactive;
-        };
-        self.initiative(p, rng)
+        self.engine.step(rng)
     }
 
     /// Runs `n` initiatives (one *base unit* in the paper's time axis: one
     /// expected initiative per peer). Returns the number of active ones.
     pub fn run_base_unit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
-        let n = self.node_count();
-        (0..n).filter(|_| self.step(rng).is_active()).count()
+        self.engine.run_base_unit(rng)
     }
 
     /// Has peer `p` take one initiative with the configured strategy.
@@ -291,55 +193,7 @@ impl Dynamics {
     ///
     /// Panics if `p` is out of range.
     pub fn initiative<R: Rng + ?Sized>(&mut self, p: NodeId, rng: &mut R) -> InitiativeOutcome {
-        if !self.present[p.index()] {
-            return InitiativeOutcome::Inactive;
-        }
-        self.initiatives += 1;
-        let mate = match self.strategy {
-            // The deterministic scans are memoized: a clean peer has no
-            // blocking mate by construction, so skip the scan entirely.
-            InitiativeStrategy::BestMate => {
-                if !self.dirty[p.index()] {
-                    None
-                } else {
-                    let found = blocking::best_blocking_mate_below(
-                        &self.acc,
-                        &self.matching,
-                        p,
-                        self.acc.ranking().rank_of(p),
-                        self.accept_below[p.index()],
-                        |q| self.present[q.index()],
-                        |q| self.accept_below[q.index()],
-                    );
-                    if found.is_none() {
-                        self.dirty[p.index()] = false;
-                    }
-                    found
-                }
-            }
-            InitiativeStrategy::Decremental => {
-                if !self.dirty[p.index()] {
-                    None
-                } else {
-                    let found = self.decremental_scan(p);
-                    if found.is_none() {
-                        self.dirty[p.index()] = false;
-                    }
-                    found
-                }
-            }
-            // The random probe draws from the RNG before the memo could
-            // apply; always perform it so streams stay aligned.
-            InitiativeStrategy::Random => self.random_probe(p, rng),
-        };
-        match mate {
-            Some(q) => {
-                let outcome = self.execute(p, q);
-                self.active_initiatives += 1;
-                outcome
-            }
-            None => InitiativeOutcome::Inactive,
-        }
+        self.engine.initiative(p, rng)
     }
 
     /// Disorder of the current configuration: distance to the instant stable
@@ -352,16 +206,23 @@ impl Dynamics {
     #[must_use]
     pub fn disorder(&self) -> f64 {
         self.with_instant_stable(|stable, matching| {
-            distance::disorder(self.acc.ranking(), matching, stable)
+            distance::disorder(self.acceptance().ranking(), matching, stable)
         })
     }
 
     /// Disorder under the generalized b-matching metric.
+    ///
+    /// The *value* is memoized per `(presence, configuration)` version pair
+    /// on top of the shared instant-stable memo, so repeated reads between
+    /// events cost O(1) rather than an O(n) metric scan.
     #[must_use]
     pub fn disorder_general(&self) -> f64 {
-        self.with_instant_stable(|stable, matching| {
-            distance::distance_general(self.acc.ranking(), matching, stable)
-        })
+        self.general_memo
+            .get_or_compute(self.engine.versions(), || {
+                self.with_instant_stable(|stable, matching| {
+                    distance::distance_general(self.acceptance().ranking(), matching, stable)
+                })
+            })
     }
 
     /// The instant stable configuration over present peers (memoized; see
@@ -372,171 +233,50 @@ impl Dynamics {
     }
 
     /// Runs `f` on the (memoized) instant stable configuration and the
-    /// current matching, refreshing the memo if a churn event invalidated
-    /// it.
+    /// current matching, refreshing the memo via Algorithm 1 if a churn
+    /// event invalidated it.
     fn with_instant_stable<T>(&self, f: impl FnOnce(&Matching, &Matching) -> T) -> T {
-        let mut memo = self.stable_memo.borrow_mut();
-        let fresh = !matches!(*memo, Some((version, _)) if version == self.presence_version);
-        if fresh {
-            let stable =
-                stable_configuration_masked(&self.acc, &self.caps, |v| self.present[v.index()])
-                    .expect("sizes validated at construction");
-            *memo = Some((self.presence_version, stable));
-        }
-        let (_, stable) = memo.as_ref().expect("memo just refreshed");
-        f(stable, &self.matching)
+        self.engine.with_instant_stable(
+            || {
+                stable_configuration_masked(self.acceptance(), self.capacities(), |v| {
+                    self.is_present(v)
+                })
+                .expect("sizes validated at construction")
+            },
+            f,
+        )
     }
 
     /// Whether the current configuration is stable for the present peers.
     #[must_use]
     pub fn is_stable(&self) -> bool {
-        let ranking = self.acc.ranking();
-        self.acc.graph().edges().all(|(u, v)| {
-            !(self.present[u.index()]
-                && self.present[v.index()]
-                && self.is_blocking_pair_cached(ranking.rank_of(u), ranking.rank_of(v), u, v))
-        })
+        self.engine.is_stable()
+    }
+}
+
+impl DynamicsDriver for Dynamics {
+    fn node_count(&self) -> usize {
+        Dynamics::node_count(self)
     }
 
-    /// Blocking-pair test against the cached thresholds; callers guarantee
-    /// `(u, v)` is an acceptance edge with both endpoints present.
-    #[inline]
-    fn is_blocking_pair_cached(&self, u_rank: Rank, v_rank: Rank, u: NodeId, v: NodeId) -> bool {
-        (v_rank.position() as u32) < self.accept_below[u.index()]
-            && (u_rank.position() as u32) < self.accept_below[v.index()]
-            && self.matching.mate_ranks(u).binary_search(&v_rank).is_err()
+    fn present_count(&self) -> usize {
+        Dynamics::present_count(self)
     }
 
-    fn random_present_peer<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<NodeId> {
-        if self.present_count == 0 {
-            return None;
-        }
-        let n = self.node_count();
-        if self.present_count == n {
-            return Some(NodeId::new(rng.gen_range(0..n)));
-        }
-        // Rejection sampling; presence is the common case in experiments.
-        loop {
-            let v = NodeId::new(rng.gen_range(0..n));
-            if self.present[v.index()] {
-                return Some(v);
-            }
-        }
+    fn is_present(&self, v: NodeId) -> bool {
+        Dynamics::is_present(self, v)
     }
 
-    /// Circular scan from the last asked position (decremental strategy).
-    fn decremental_scan(&mut self, p: NodeId) -> Option<NodeId> {
-        let (neigh, neigh_ranks) = self.acc.neighbors_with_ranks(p);
-        let len = neigh.len();
-        if len == 0 {
-            return None;
-        }
-        let p_rank = self.acc.ranking().rank_of(p);
-        let start = self.cursors[p.index()] % len;
-        for k in 0..len {
-            let idx = (start + k) % len;
-            let q = neigh[idx];
-            if self.present[q.index()]
-                && self.is_blocking_pair_cached(p_rank, neigh_ranks[idx], p, q)
-            {
-                self.cursors[p.index()] = (idx + 1) % len;
-                return Some(q);
-            }
-        }
-        self.cursors[p.index()] = start;
-        None
+    fn remove_peer(&mut self, v: NodeId) {
+        Dynamics::remove_peer(self, v);
     }
 
-    /// Single random probe (random strategy).
-    fn random_probe<R: Rng + ?Sized>(&self, p: NodeId, rng: &mut R) -> Option<NodeId> {
-        let (neigh, neigh_ranks) = self.acc.neighbors_with_ranks(p);
-        if neigh.is_empty() {
-            return None;
-        }
-        let idx = rng.gen_range(0..neigh.len());
-        let q = neigh[idx];
-        let p_rank = self.acc.ranking().rank_of(p);
-        (self.present[q.index()] && self.is_blocking_pair_cached(p_rank, neigh_ranks[idx], p, q))
-            .then_some(q)
+    fn insert_peer(&mut self, v: NodeId) {
+        Dynamics::insert_peer(self, v);
     }
 
-    /// Matches a confirmed blocking pair, evicting worst mates as needed.
-    fn execute(&mut self, p: NodeId, q: NodeId) -> InitiativeOutcome {
-        debug_assert!(blocking::is_blocking_pair(
-            &self.acc,
-            &self.caps,
-            &self.matching,
-            p,
-            q
-        ));
-        let ranking = self.acc.ranking();
-        let mut dropped_by_peer = None;
-        let mut dropped_by_mate = None;
-        if self.matching.is_saturated(&self.caps, p) {
-            let worst = self
-                .matching
-                .worst_mate(p)
-                .expect("saturated implies mates");
-            self.matching
-                .disconnect(p, worst)
-                .expect("worst mate is matched");
-            dropped_by_peer = Some(worst);
-        }
-        if self.matching.is_saturated(&self.caps, q) {
-            let worst = self
-                .matching
-                .worst_mate(q)
-                .expect("saturated implies mates");
-            self.matching
-                .disconnect(q, worst)
-                .expect("worst mate is matched");
-            dropped_by_mate = Some(worst);
-        }
-        self.matching
-            .connect(ranking, &self.caps, p, q)
-            .expect("slots were freed");
-        // Incremental cache maintenance: only the touched peers change, and
-        // only their neighbourhoods can gain new blocking pairs.
-        self.refresh_threshold(p);
-        self.refresh_threshold(q);
-        self.mark_neighborhood_dirty(p);
-        self.mark_neighborhood_dirty(q);
-        if let Some(w) = dropped_by_peer {
-            self.refresh_threshold(w);
-            self.mark_neighborhood_dirty(w);
-        }
-        if let Some(w) = dropped_by_mate {
-            self.refresh_threshold(w);
-            self.mark_neighborhood_dirty(w);
-        }
-        InitiativeOutcome::Active {
-            peer: p,
-            mate: q,
-            dropped_by_peer,
-            dropped_by_mate,
-        }
-    }
-
-    /// Recomputes the cached acceptance threshold of `v` (O(1)).
-    #[inline]
-    fn refresh_threshold(&mut self, v: NodeId) {
-        self.accept_below[v.index()] = blocking::accept_threshold(&self.matching, &self.caps, v);
-    }
-
-    fn refresh_all_thresholds(&mut self) {
-        for v in 0..self.node_count() {
-            self.refresh_threshold(NodeId::new(v));
-        }
-    }
-
-    /// Marks `v` and every acceptance-neighbour of `v` dirty: `v`'s mate
-    /// set or presence changed, which is the only way a blocking pair
-    /// involving them can appear.
-    fn mark_neighborhood_dirty(&mut self, v: NodeId) {
-        self.dirty[v.index()] = true;
-        for &w in self.acc.neighbors_best_first(v) {
-            self.dirty[w.index()] = true;
-        }
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> InitiativeOutcome {
+        Dynamics::step(self, rng)
     }
 }
 
@@ -546,7 +286,7 @@ mod tests {
     use rand_chacha::ChaCha8Rng;
     use strat_graph::generators;
 
-    use crate::{stable_configuration, GlobalRanking};
+    use crate::{blocking, stable_configuration, GlobalRanking};
 
     use super::*;
 
@@ -574,8 +314,8 @@ mod tests {
         for v in 0..dynamics.node_count() {
             let v = n(v);
             assert_eq!(
-                dynamics.accept_below[v.index()],
-                blocking::accept_threshold(&dynamics.matching, &dynamics.caps, v),
+                dynamics.engine().accept_below()[v.index()],
+                blocking::accept_threshold(dynamics.matching(), dynamics.capacities(), v),
                 "stale threshold for {v}"
             );
         }
@@ -622,8 +362,8 @@ mod tests {
         for _ in 0..500 {
             dyn_.step(&mut rng);
             assert!(dyn_
-                .matching
-                .check_invariants(dyn_.acc.ranking(), &dyn_.caps));
+                .matching()
+                .check_invariants(dyn_.acceptance().ranking(), dyn_.capacities()));
         }
         assert_thresholds_consistent(&dyn_);
     }
@@ -672,6 +412,28 @@ mod tests {
                 "second (memoized) read differs"
             );
         }
+    }
+
+    #[test]
+    fn disorder_general_value_memo_tracks_every_event_kind() {
+        // The value memo must refresh across initiatives (config version),
+        // removals and insertions (presence version) alike.
+        let (mut dyn_, mut rng) = build(50, 10.0, 2, InitiativeStrategy::BestMate, 29);
+        let fresh = |d: &Dynamics| {
+            let stable =
+                stable_configuration_masked(d.acceptance(), d.capacities(), |v| d.is_present(v))
+                    .unwrap();
+            distance::distance_general(d.acceptance().ranking(), d.matching(), &stable)
+        };
+        assert_eq!(dyn_.disorder_general(), fresh(&dyn_));
+        dyn_.run_base_unit(&mut rng);
+        assert_eq!(dyn_.disorder_general(), fresh(&dyn_));
+        dyn_.remove_peer(n(3));
+        assert_eq!(dyn_.disorder_general(), fresh(&dyn_));
+        dyn_.insert_peer(n(3));
+        assert_eq!(dyn_.disorder_general(), fresh(&dyn_));
+        // And a second read with no event in between stays identical.
+        assert_eq!(dyn_.disorder_general(), fresh(&dyn_));
     }
 
     #[test]

@@ -58,6 +58,10 @@ pub enum ModelError {
         /// Second node.
         b: NodeId,
     },
+    /// The deterministic best-mate dynamics revisited a configuration: the
+    /// preference system has an odd preference cycle (Tan's condition
+    /// fails) and the instance admits **no** stable configuration.
+    NoStableConfiguration,
 }
 
 impl fmt::Display for ModelError {
@@ -86,6 +90,12 @@ impl fmt::Display for ModelError {
             }
             ModelError::NotMatched { a, b } => {
                 write!(f, "pair ({a}, {b}) is not currently matched")
+            }
+            ModelError::NoStableConfiguration => {
+                write!(
+                    f,
+                    "preference system has an odd preference cycle; no stable configuration exists"
+                )
             }
         }
     }

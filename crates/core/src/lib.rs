@@ -71,6 +71,7 @@ mod churn;
 pub mod cluster;
 pub mod distance;
 mod dynamics;
+pub mod engine;
 mod error;
 pub mod gossip;
 mod matching;
@@ -82,9 +83,11 @@ mod stable;
 pub use accept::RankedAcceptance;
 pub use capacity::{standard_normal, Capacities, CapacityDistribution};
 pub use churn::{ChurnEvent, ChurnProcess};
-pub use dynamics::{Dynamics, InitiativeOutcome, InitiativeStrategy};
+pub use dynamics::Dynamics;
+pub use engine::{DynamicsDriver, Engine, InitiativeOutcome, InitiativeStrategy, PreferenceKeys};
 pub use error::ModelError;
 pub use matching::Matching;
+pub use prefs::{GeneralDynamics, PrefAcceptance};
 pub use rank::{GlobalRanking, Rank};
 pub use stable::{
     stable_configuration, stable_configuration_complete, stable_configuration_masked,

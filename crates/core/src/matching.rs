@@ -279,6 +279,41 @@ impl Matching {
         Ok(())
     }
 
+    /// Connects `u` and `v` with explicit per-owner mate keys: `u`'s row
+    /// caches `key_of_v` and `v`'s row caches `key_of_u`, each kept sorted
+    /// by its owner's keys. This is the generalized-preference form of
+    /// [`connect`](Self::connect) — the generic engine supplies each side's
+    /// precomputed preference key instead of a shared global rank (with
+    /// global ranks as keys the two are identical).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`connect`](Self::connect).
+    pub(crate) fn connect_keyed(
+        &mut self,
+        caps: &Capacities,
+        u: NodeId,
+        v: NodeId,
+        key_of_v: Rank,
+        key_of_u: Rank,
+    ) -> Result<(), ModelError> {
+        if u == v || self.contains(u, v) {
+            return Err(ModelError::InvalidPair { a: u, b: v });
+        }
+        for w in [u, v] {
+            if self.is_saturated(caps, w) {
+                return Err(ModelError::CapacityExceeded {
+                    node: w,
+                    capacity: caps.of(w),
+                });
+            }
+        }
+        self.insert_sorted(u, v, key_of_v);
+        self.insert_sorted(v, u, key_of_u);
+        self.edge_count += 1;
+        Ok(())
+    }
+
     /// Connects `u` (rank `u_rank`) and `v` (rank `v_rank`) by **appending**
     /// to both rows, skipping every validity check.
     ///

@@ -17,20 +17,37 @@
 //!   stable configuration clusters by *distance*, not rank;
 //! * [`LexicographicPrefs`] — combination of two systems (primary, then
 //!   secondary tie-break);
+//! * [`PrefAcceptance`] — the precomputed per-neighborhood key table
+//!   ([`PreferenceKeys`]) that lets the generic incremental engine
+//!   ([`crate::engine::Engine`]) run *any* preference system at the ranked
+//!   path's speed: rows sorted best-first by the owner's preference, with
+//!   reciprocal keys materialized per slot;
+//! * [`GeneralDynamics`] — the initiative-process driver over arbitrary
+//!   preferences (the generalized sibling of [`crate::Dynamics`]), with
+//!   churn support and a keyed disorder metric;
 //! * [`PrefMatching`] + [`best_mate_dynamics`] — blocking-pair dynamics
 //!   under arbitrary preferences, with oscillation detection. General
 //!   roommates instances may have **no** stable configuration (Tan's odd
 //!   preference cycles); [`best_mate_dynamics`] reports that instead of
 //!   spinning forever, and [`odd_cycle_instance`] constructs the classic
-//!   witness.
+//!   witness. Since the engine unification, `best_mate_dynamics` runs on
+//!   the dirty-set path (clean peers skip their scans); the historical
+//!   full-scan implementation survives as
+//!   [`crate::reference::best_mate_dynamics`] for differential testing
+//!   and benchmarking.
 
+use std::cmp::Ordering;
 use std::collections::hash_map::DefaultHasher;
 use std::collections::HashSet;
 use std::hash::{Hash, Hasher};
 
+use rand::Rng;
 use strat_graph::{Graph, NodeId};
 
-use crate::{Capacities, GlobalRanking};
+use crate::{
+    distance, Capacities, DynamicsDriver, Engine, GlobalRanking, InitiativeOutcome,
+    InitiativeStrategy, Matching, ModelError, PreferenceKeys, Rank,
+};
 
 /// A per-peer preference order over potential mates.
 ///
@@ -270,14 +287,14 @@ impl PrefMatching {
         self.mates[u.index()].contains(&v)
     }
 
-    fn connect(&mut self, u: NodeId, v: NodeId) {
+    pub(crate) fn connect(&mut self, u: NodeId, v: NodeId) {
         debug_assert!(u != v && !self.contains(u, v));
         self.mates[u.index()].push(v);
         self.mates[v.index()].push(u);
         self.edge_count += 1;
     }
 
-    fn disconnect(&mut self, u: NodeId, v: NodeId) {
+    pub(crate) fn disconnect(&mut self, u: NodeId, v: NodeId) {
         let pu = self.mates[u.index()]
             .iter()
             .position(|&w| w == v)
@@ -357,6 +374,17 @@ pub enum PrefDynamicsOutcome {
 /// configuration (the argument of the paper's Theorem 1 applies verbatim:
 /// a revisit would extract a preference cycle).
 ///
+/// Internally the sweeps run on the generic incremental engine over a
+/// [`PrefAcceptance`] key table: a peer whose last scan found no blocking
+/// mate is *clean* and skips its scan entirely until an event in its
+/// neighborhood can re-create one (the dirty-set memo of
+/// [`crate::engine::Engine`]). A clean peer's scan would have returned
+/// `None` anyway, so the sequence of active initiatives — and therefore
+/// every intermediate and final configuration, including the reported
+/// `steps` and oscillation point — is identical to the historical full-scan
+/// implementation retained as [`crate::reference::best_mate_dynamics`]
+/// (which differential tests assert).
+///
 /// # Panics
 ///
 /// Panics if sizes of `graph`, `prefs` and `caps` disagree.
@@ -368,50 +396,536 @@ pub fn best_mate_dynamics<P: PreferenceSystem>(
     let n = graph.node_count();
     assert_eq!(prefs.n(), n, "preference system size mismatch");
     caps.check_len(n).expect("capacity size mismatch");
-    let mut matching = PrefMatching::new(n);
+    let keys = PrefAcceptance::build(graph, prefs);
+    let mut engine =
+        Engine::new(keys, caps.clone(), InitiativeStrategy::BestMate).expect("sizes checked above");
+    // The engine's arena matching caches preference keys; the public
+    // outcome keeps the historical `PrefMatching` representation, rebuilt
+    // by replaying the engine's own connect/evict events in order (cheap:
+    // O(b) per active initiative, off the scan hot path).
+    let mut shadow = PrefMatching::new(n);
     let mut seen: HashSet<u64> = HashSet::new();
-    seen.insert(matching.fingerprint());
+    seen.insert(shadow.fingerprint());
     let mut steps = 0u64;
     loop {
         let mut any_active = false;
         for p in graph.nodes() {
-            // Best blocking mate of p under prefs: single streaming pass,
-            // no candidate buffer (this sweep dominates the runtime on
-            // dense instances).
-            let mut best: Option<NodeId> = None;
-            for &q in graph.neighbors(p) {
-                if best.is_none_or(|b| prefs.prefers(p, q, b))
-                    && matching.would_accept(prefs, caps, p, q)
-                    && matching.would_accept(prefs, caps, q, p)
-                {
-                    best = Some(q);
+            if let InitiativeOutcome::Active {
+                peer,
+                mate,
+                dropped_by_peer,
+                dropped_by_mate,
+            } = engine.best_mate_initiative(p)
+            {
+                if let Some(w) = dropped_by_peer {
+                    shadow.disconnect(peer, w);
                 }
-            }
-            let Some(q) = best else {
-                continue;
-            };
-            // Evict worst mates if saturated, then connect.
-            for v in [p, q] {
-                if matching.mates(v).len() >= caps.of(v) as usize {
-                    let worst = prefs
-                        .worst_of(v, matching.mates(v))
-                        .expect("saturated has mates");
-                    matching.disconnect(v, worst);
+                if let Some(w) = dropped_by_mate {
+                    shadow.disconnect(mate, w);
                 }
+                shadow.connect(peer, mate);
+                steps += 1;
+                any_active = true;
             }
-            matching.connect(p, q);
-            steps += 1;
-            any_active = true;
         }
         if !any_active {
-            return PrefDynamicsOutcome::Stable(matching);
+            return PrefDynamicsOutcome::Stable(shadow);
         }
-        if !seen.insert(matching.fingerprint()) {
-            return PrefDynamicsOutcome::Oscillating {
-                at: matching,
-                steps,
-            };
+        if !seen.insert(shadow.fingerprint()) {
+            return PrefDynamicsOutcome::Oscillating { at: shadow, steps };
         }
+    }
+}
+
+/// Precomputed preference-key table over an acceptance graph: the
+/// [`PreferenceKeys`] instantiation for arbitrary [`PreferenceSystem`]s,
+/// built once per topology (the generalized analogue of
+/// [`crate::RankedAcceptance`]'s rank-sorted CSR rows).
+///
+/// Layout: one CSR arena holding, per peer, its acceptance row sorted
+/// **best-first by the owner's preference**, a parallel key slice (key of
+/// slot `k` is simply `k` — the owner's local preference position), and a
+/// parallel **reciprocal key** slice (`rev_keys[k]` = the position the
+/// `k`-th neighbour gives the owner in *its* row). The reciprocal half of
+/// every blocking-pair test thus becomes a single contiguous array read —
+/// no preference comparison runs after construction.
+///
+/// Construction is `O(Σ deg · log deg)` comparisons for the per-row sorts
+/// plus two `O(Σ deg)` counting passes for the reciprocal keys (the same
+/// cursor scatter the swarm overlay uses: the underlying adjacency rows
+/// ascend by id, so the slots pointing at a fixed target are visited in
+/// exactly that target's row order).
+#[derive(Debug, Clone)]
+pub struct PrefAcceptance {
+    /// CSR row boundaries: row `v` is `adj[offsets[v]..offsets[v + 1]]`.
+    offsets: Vec<u32>,
+    /// Flattened adjacency, each row sorted best-first by owner preference.
+    adj: Vec<NodeId>,
+    /// `adj_keys[offsets[v] + k] == Rank::new(k)` — materialized so engine
+    /// scans consume one contiguous slice per row.
+    adj_keys: Vec<Rank>,
+    /// `rev_keys[offsets[v] + k]` = key that `adj[offsets[v] + k]` assigns
+    /// to `v` in its own row.
+    rev_keys: Vec<Rank>,
+}
+
+impl PrefAcceptance {
+    /// Builds the key table for `graph` under `prefs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` and `prefs` cover different peer counts.
+    #[must_use]
+    pub fn build<P: PreferenceSystem>(graph: &Graph, prefs: &P) -> Self {
+        let n = graph.node_count();
+        assert_eq!(prefs.n(), n, "preference system size mismatch");
+        let total: usize = graph.nodes().map(|v| graph.degree(v)).sum();
+        assert!(
+            total <= u32::MAX as usize,
+            "acceptance graph too large for CSR offsets"
+        );
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0u32);
+        let mut running = 0usize;
+        for v in graph.nodes() {
+            running += graph.degree(v);
+            offsets.push(running as u32);
+        }
+
+        // Pass 1: preference position of every id-ordered slot. Strict
+        // preferences (the trait contract) decide every comparison with one
+        // `prefers` call; should an implementation still tie (e.g. a bare
+        // [`BandedRankPrefs`] outside a lexicographic wrapper), the node-id
+        // fallback keeps the comparator a total order — the table then
+        // *imposes* the strictness the contract asks for, deterministically,
+        // instead of handing `sort_unstable_by` an inconsistent comparator.
+        let mut pref_pos = vec![0u32; total];
+        let mut order: Vec<u32> = Vec::new();
+        for v in graph.nodes() {
+            let row = graph.neighbors(v);
+            let base = offsets[v.index()] as usize;
+            order.clear();
+            order.extend(0..row.len() as u32);
+            order.sort_unstable_by(|&a, &b| {
+                let (qa, qb) = (row[a as usize], row[b as usize]);
+                if prefs.prefers(v, qa, qb) {
+                    Ordering::Less
+                } else if prefs.prefers(v, qb, qa) {
+                    Ordering::Greater
+                } else {
+                    qa.cmp(&qb)
+                }
+            });
+            for (pos, &slot) in order.iter().enumerate() {
+                pref_pos[base + slot as usize] = pos as u32;
+            }
+        }
+
+        // Pass 2: reverse slot of every id-ordered slot via cursor
+        // counting — adjacency rows ascend by id, so for a fixed target
+        // `q` the slots `(v → q)` are visited in exactly the order of
+        // `q`'s own row.
+        let mut rev_slot = vec![0u32; total];
+        let mut cursor: Vec<u32> = offsets[..n].to_vec();
+        for v in graph.nodes() {
+            let base = offsets[v.index()] as usize;
+            for (k, &q) in graph.neighbors(v).iter().enumerate() {
+                rev_slot[base + k] = cursor[q.index()];
+                cursor[q.index()] += 1;
+            }
+        }
+
+        // Pass 3: scatter into the preference-sorted layout.
+        let mut adj = vec![NodeId::new(0); total];
+        let mut adj_keys = vec![Rank::new(0); total];
+        let mut rev_keys = vec![Rank::new(0); total];
+        for v in graph.nodes() {
+            let base = offsets[v.index()] as usize;
+            for (k, &q) in graph.neighbors(v).iter().enumerate() {
+                let pos = pref_pos[base + k] as usize;
+                adj[base + pos] = q;
+                adj_keys[base + pos] = Rank::new(pos);
+                rev_keys[base + pos] = Rank::new(pref_pos[rev_slot[base + k] as usize] as usize);
+            }
+        }
+        Self {
+            offsets,
+            adj,
+            adj_keys,
+            rev_keys,
+        }
+    }
+
+    /// CSR row bounds of `v`.
+    #[inline]
+    fn bounds(&self, v: NodeId) -> (usize, usize) {
+        (
+            self.offsets[v.index()] as usize,
+            self.offsets[v.index() + 1] as usize,
+        )
+    }
+
+    /// Number of acceptable peers of `v`.
+    #[inline]
+    #[must_use]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let (lo, hi) = self.bounds(v);
+        hi - lo
+    }
+
+    /// Acceptable peers of `v`, most preferred first.
+    #[inline]
+    #[must_use]
+    pub fn neighbors_best_first(&self, v: NodeId) -> &[NodeId] {
+        let (lo, hi) = self.bounds(v);
+        &self.adj[lo..hi]
+    }
+}
+
+impl PreferenceKeys for PrefAcceptance {
+    fn node_count(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    #[inline]
+    fn row(&self, v: NodeId) -> (&[NodeId], &[Rank]) {
+        let (lo, hi) = self.bounds(v);
+        (&self.adj[lo..hi], &self.adj_keys[lo..hi])
+    }
+
+    #[inline]
+    fn rev_key(&self, v: NodeId, k: usize) -> Rank {
+        self.rev_keys[self.offsets[v.index()] as usize + k]
+    }
+}
+
+/// Order-insensitive fingerprint of an arena configuration (the
+/// [`PrefMatching::fingerprint`] analogue for [`Matching`], used by the
+/// engine-side revisit detection).
+fn matching_fingerprint(m: &Matching) -> u64 {
+    let mut edges: Vec<(u32, u32)> = Vec::with_capacity(m.edge_count());
+    for u in 0..m.node_count() {
+        let u_id = NodeId::new(u);
+        for &v in m.mates(u_id) {
+            if u < v.index() {
+                edges.push((u as u32, v.raw()));
+            }
+        }
+    }
+    edges.sort_unstable();
+    let mut hasher = DefaultHasher::new();
+    edges.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// Runs deterministic round-robin best-mate sweeps on `engine` until
+/// stability, returning the number of active initiatives performed.
+///
+/// # Errors
+///
+/// Returns [`ModelError::NoStableConfiguration`] when a configuration is
+/// revisited (odd preference cycle).
+fn settle_engine<K: PreferenceKeys>(engine: &mut Engine<K>) -> Result<u64, ModelError> {
+    let n = engine.node_count();
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(matching_fingerprint(engine.matching()));
+    let mut steps = 0u64;
+    loop {
+        let mut any_active = false;
+        for p in 0..n {
+            if engine.best_mate_initiative(NodeId::new(p)).is_active() {
+                steps += 1;
+                any_active = true;
+            }
+        }
+        if !any_active {
+            return Ok(steps);
+        }
+        if !seen.insert(matching_fingerprint(engine.matching())) {
+            return Err(ModelError::NoStableConfiguration);
+        }
+    }
+}
+
+/// Initiative-process driver under an **arbitrary preference system** — the
+/// generalized sibling of [`crate::Dynamics`], running on the same
+/// incremental engine (thresholds, clean/dirty memo, presence versioning)
+/// over a [`PrefAcceptance`] key table.
+///
+/// Differences from the ranked driver, all consequences of dropping the
+/// global ranking:
+///
+/// * the *instant stable configuration* is no longer computable by
+///   Algorithm 1 (and need not be unique); this driver uses the
+///   deterministic round-robin best-mate fixpoint from `C∅` over the
+///   present peers, which is a canonical stable configuration for any
+///   cycle-free system — memoized per presence version exactly like the
+///   ranked driver's;
+/// * [`disorder`](Self::disorder) measures against that baseline with the
+///   key-space metric [`distance::distance_keyed`];
+/// * instances with odd preference cycles have no stable configuration:
+///   [`settle`](Self::settle) reports that as
+///   [`ModelError::NoStableConfiguration`], and the metric reads panic if
+///   asked for a baseline that does not exist.
+///
+/// # Examples
+///
+/// ```
+/// use rand::SeedableRng;
+/// use strat_core::prefs::{GeneralDynamics, LatencyPrefs};
+/// use strat_core::{Capacities, InitiativeStrategy};
+/// use strat_graph::generators;
+///
+/// let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+/// let graph = generators::erdos_renyi_mean_degree(60, 10.0, &mut rng);
+/// let prefs = LatencyPrefs::new((0..60).map(|i| (i * 37 % 60) as f64).collect());
+/// let caps = Capacities::constant(60, 2);
+/// let mut dynamics =
+///     GeneralDynamics::new(&graph, &prefs, caps, InitiativeStrategy::BestMate)?;
+/// dynamics.settle()?; // deterministic sweeps reach the canonical fixpoint
+/// assert!(dynamics.is_stable());
+/// assert_eq!(dynamics.disorder(), 0.0);
+/// # Ok::<(), strat_core::ModelError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct GeneralDynamics {
+    engine: Engine<PrefAcceptance>,
+    /// Memoized [`disorder`](Self::disorder) value.
+    disorder_memo: crate::engine::VersionMemo,
+}
+
+impl GeneralDynamics {
+    /// Creates a driver from the empty configuration, building the key
+    /// table from `graph` and `prefs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SizeMismatch`] if `caps` does not cover the
+    /// graph.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `graph` and `prefs` cover different peer counts.
+    pub fn new<P: PreferenceSystem>(
+        graph: &Graph,
+        prefs: &P,
+        caps: Capacities,
+        strategy: InitiativeStrategy,
+    ) -> Result<Self, ModelError> {
+        Self::from_keys(PrefAcceptance::build(graph, prefs), caps, strategy)
+    }
+
+    /// Creates a driver from a prebuilt key table (reuse the table across
+    /// drivers sharing a topology).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::SizeMismatch`] if `caps` does not cover the
+    /// key table.
+    pub fn from_keys(
+        keys: PrefAcceptance,
+        caps: Capacities,
+        strategy: InitiativeStrategy,
+    ) -> Result<Self, ModelError> {
+        Ok(Self {
+            engine: Engine::new(keys, caps, strategy)?,
+            disorder_memo: crate::engine::VersionMemo::default(),
+        })
+    }
+
+    /// Number of peers (present or not).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.engine.node_count()
+    }
+
+    /// Current configuration (mate rows cache preference keys, not global
+    /// ranks).
+    #[must_use]
+    pub fn matching(&self) -> &Matching {
+        self.engine.matching()
+    }
+
+    /// The preference-key table.
+    #[must_use]
+    pub fn keys(&self) -> &PrefAcceptance {
+        self.engine.keys()
+    }
+
+    /// Capacities in force.
+    #[must_use]
+    pub fn capacities(&self) -> &Capacities {
+        self.engine.capacities()
+    }
+
+    /// Total initiatives taken so far.
+    #[must_use]
+    pub fn initiative_count(&self) -> u64 {
+        self.engine.initiative_count()
+    }
+
+    /// Active (configuration-changing) initiatives taken so far.
+    #[must_use]
+    pub fn active_initiative_count(&self) -> u64 {
+        self.engine.active_initiative_count()
+    }
+
+    /// Number of present peers.
+    #[must_use]
+    pub fn present_count(&self) -> usize {
+        self.engine.present_count()
+    }
+
+    /// Whether peer `v` is present.
+    #[must_use]
+    pub fn is_present(&self, v: NodeId) -> bool {
+        self.engine.is_present(v)
+    }
+
+    /// Removes a peer (drops its collaborations). No-op if absent.
+    pub fn remove_peer(&mut self, v: NodeId) {
+        self.engine.remove_peer(v);
+    }
+
+    /// Re-inserts an absent peer with no mates. No-op if present.
+    pub fn insert_peer(&mut self, v: NodeId) {
+        self.engine.insert_peer(v);
+    }
+
+    /// Performs one initiative by a uniformly random present peer.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> InitiativeOutcome {
+        self.engine.step(rng)
+    }
+
+    /// Runs `n` initiatives (one base unit). Returns the active count.
+    pub fn run_base_unit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        self.engine.run_base_unit(rng)
+    }
+
+    /// Has peer `p` take one initiative with the configured strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn initiative<R: Rng + ?Sized>(&mut self, p: NodeId, rng: &mut R) -> InitiativeOutcome {
+        self.engine.initiative(p, rng)
+    }
+
+    /// Has peer `p` take one deterministic **best-mate** initiative
+    /// regardless of the configured strategy (the building block of
+    /// [`settle`](Self::settle) and of benchmark sweeps).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn best_mate_initiative(&mut self, p: NodeId) -> InitiativeOutcome {
+        self.engine.best_mate_initiative(p)
+    }
+
+    /// Whether the current configuration is stable for the present peers.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        self.engine.is_stable()
+    }
+
+    /// Runs deterministic round-robin best-mate sweeps until stability
+    /// (the generalized Figure 2 starting point), returning the number of
+    /// active initiatives performed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ModelError::NoStableConfiguration`] on a configuration
+    /// revisit (odd preference cycle).
+    pub fn settle(&mut self) -> Result<u64, ModelError> {
+        settle_engine(&mut self.engine)
+    }
+
+    /// Resets the initiative counters to zero. Construction paths that
+    /// converge internally (the scenario layer's build-at-stable) use this
+    /// so the driver starts with no recorded activity, matching the ranked
+    /// arm's Algorithm 1 jump.
+    pub fn reset_initiative_counters(&mut self) {
+        self.engine.reset_initiative_counters();
+    }
+
+    /// Disorder of the current configuration: key-space distance
+    /// ([`distance::distance_keyed`]) to the canonical instant stable
+    /// configuration of the present peers, memoized per
+    /// `(presence, configuration)` version like the ranked driver's
+    /// metrics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance admits no stable configuration.
+    #[must_use]
+    pub fn disorder(&self) -> f64 {
+        self.disorder_memo
+            .get_or_compute(self.engine.versions(), || {
+                self.with_instant_stable(|stable, matching| {
+                    distance::distance_keyed(matching, stable)
+                })
+            })
+    }
+
+    /// The canonical instant stable configuration over present peers
+    /// (memoized per presence version; see the type docs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the instance admits no stable configuration.
+    #[must_use]
+    pub fn instant_stable(&self) -> Matching {
+        self.with_instant_stable(|stable, _| stable.clone())
+    }
+
+    fn with_instant_stable<T>(&self, f: impl FnOnce(&Matching, &Matching) -> T) -> T {
+        self.engine.with_instant_stable(
+            || {
+                let mut scratch = Engine::new(
+                    self.engine.keys(),
+                    self.engine.capacities().clone(),
+                    InitiativeStrategy::BestMate,
+                )
+                .expect("sizes validated at construction");
+                for v in 0..self.engine.node_count() {
+                    let v = NodeId::new(v);
+                    if !self.engine.is_present(v) {
+                        scratch.remove_peer(v);
+                    }
+                }
+                settle_engine(&mut scratch)
+                    .expect("instant stable configuration requires a cycle-free system");
+                let (matching, _) = scratch.into_parts();
+                matching
+            },
+            f,
+        )
+    }
+}
+
+impl DynamicsDriver for GeneralDynamics {
+    fn node_count(&self) -> usize {
+        GeneralDynamics::node_count(self)
+    }
+
+    fn present_count(&self) -> usize {
+        GeneralDynamics::present_count(self)
+    }
+
+    fn is_present(&self, v: NodeId) -> bool {
+        GeneralDynamics::is_present(self, v)
+    }
+
+    fn remove_peer(&mut self, v: NodeId) {
+        GeneralDynamics::remove_peer(self, v);
+    }
+
+    fn insert_peer(&mut self, v: NodeId) {
+        GeneralDynamics::insert_peer(self, v);
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> InitiativeOutcome {
+        GeneralDynamics::step(self, rng)
     }
 }
 
@@ -610,5 +1124,168 @@ mod tests {
         let prefs = BandedRankPrefs::new(GlobalRanking::identity(9), 3);
         assert!(!prefs.prefers(n(8), n(1), n(2))); // same class
         assert!(prefs.prefers(n(8), n(2), n(3))); // class 0 vs class 1
+    }
+
+    #[test]
+    fn pref_acceptance_rows_sorted_and_reciprocal() {
+        let mut rng = ChaCha8Rng::seed_from_u64(12);
+        let graph = generators::erdos_renyi_mean_degree(50, 9.0, &mut rng);
+        let positions: Vec<f64> = (0..50).map(|i| (i * 17 % 50) as f64).collect();
+        let prefs = LatencyPrefs::new(positions);
+        let keys = PrefAcceptance::build(&graph, &prefs);
+        assert_eq!(keys.node_count(), 50);
+        for v in 0..50 {
+            let v = n(v);
+            let (ids, own) = keys.row(v);
+            assert_eq!(ids.len(), graph.degree(v));
+            assert_eq!(keys.degree(v), ids.len());
+            assert_eq!(keys.neighbors_best_first(v), ids);
+            // Keys are the local positions, strictly ascending.
+            for (k, &key) in own.iter().enumerate() {
+                assert_eq!(key.position(), k);
+            }
+            // Rows are sorted best-first by the owner's preference.
+            for w in ids.windows(2) {
+                assert!(prefs.prefers(v, w[0], w[1]), "row of {v} out of order");
+            }
+            // Reciprocal keys point back at the owner's slot in the
+            // neighbour's row.
+            for (k, &q) in ids.iter().enumerate() {
+                let (q_ids, _) = keys.row(q);
+                let back = q_ids.iter().position(|&w| w == v).expect("symmetric");
+                assert_eq!(keys.rev_key(v, k).position(), back, "({v}, {q})");
+            }
+        }
+    }
+
+    #[test]
+    fn general_dynamics_settle_reaches_canonical_fixpoint() {
+        let mut rng = ChaCha8Rng::seed_from_u64(19);
+        let n_peers = 70;
+        let graph = generators::erdos_renyi_mean_degree(n_peers, 11.0, &mut rng);
+        let positions: Vec<f64> = (0..n_peers).map(|i| (i * 29 % n_peers) as f64).collect();
+        let prefs = LatencyPrefs::new(positions);
+        let caps = Capacities::constant(n_peers, 2);
+        let mut dynamics =
+            GeneralDynamics::new(&graph, &prefs, caps.clone(), InitiativeStrategy::BestMate)
+                .unwrap();
+        let steps = dynamics.settle().unwrap();
+        assert!(dynamics.is_stable());
+        assert_eq!(dynamics.disorder(), 0.0);
+        // Same sweeps as best_mate_dynamics: identical mate sets and steps.
+        let PrefDynamicsOutcome::Stable(reference) = best_mate_dynamics(&graph, &prefs, &caps)
+        else {
+            panic!("latency prefs oscillated")
+        };
+        assert!(steps > 0);
+        for v in 0..n_peers {
+            let v = n(v);
+            let mut a: Vec<NodeId> = dynamics.matching().mates(v).to_vec();
+            let mut b: Vec<NodeId> = reference.mates(v).to_vec();
+            a.sort();
+            b.sort();
+            assert_eq!(a, b, "peer {v}");
+        }
+    }
+
+    #[test]
+    fn general_dynamics_random_strategy_converges() {
+        let mut rng = ChaCha8Rng::seed_from_u64(27);
+        let n_peers = 40;
+        let graph = generators::erdos_renyi_mean_degree(n_peers, 8.0, &mut rng);
+        let positions: Vec<f64> = (0..n_peers).map(|i| (i * 13 % n_peers) as f64).collect();
+        let prefs = LatencyPrefs::new(positions);
+        let caps = Capacities::constant(n_peers, 2);
+        for strategy in [
+            InitiativeStrategy::BestMate,
+            InitiativeStrategy::Decremental,
+            InitiativeStrategy::Random,
+        ] {
+            let mut dynamics =
+                GeneralDynamics::new(&graph, &prefs, caps.clone(), strategy).unwrap();
+            for _ in 0..3000 {
+                dynamics.run_base_unit(&mut rng);
+                if dynamics.is_stable() {
+                    break;
+                }
+            }
+            assert!(dynamics.is_stable(), "{strategy:?} failed to converge");
+            // The disorder metric reads cleanly at any stable point (it can
+            // be nonzero: general systems may have several stable configs).
+            assert!(dynamics.disorder() >= 0.0);
+        }
+    }
+
+    #[test]
+    fn general_dynamics_churn_keeps_caches_fresh() {
+        let mut rng = ChaCha8Rng::seed_from_u64(31);
+        let n_peers = 45;
+        let graph = generators::erdos_renyi_mean_degree(n_peers, 9.0, &mut rng);
+        let positions: Vec<f64> = (0..n_peers).map(|i| (i * 23 % n_peers) as f64).collect();
+        let prefs = LatencyPrefs::new(positions);
+        let caps = Capacities::constant(n_peers, 2);
+        let mut dynamics =
+            GeneralDynamics::new(&graph, &prefs, caps, InitiativeStrategy::BestMate).unwrap();
+        for round in 0..200usize {
+            dynamics.step(&mut rng);
+            if round % 9 == 0 {
+                dynamics.remove_peer(n(round % n_peers));
+            }
+            if round % 13 == 0 {
+                dynamics.insert_peer(n((round * 7) % n_peers));
+            }
+        }
+        // Settling from any perturbed state still reaches a stable point,
+        // and the memoized disorder agrees with a fresh double read.
+        dynamics.settle().unwrap();
+        assert!(dynamics.is_stable());
+        let d1 = dynamics.disorder();
+        let d2 = dynamics.disorder();
+        assert_eq!(d1, d2);
+        // Absent peers stay unmated.
+        for v in 0..n_peers {
+            let v = n(v);
+            if !dynamics.is_present(v) {
+                assert_eq!(dynamics.matching().degree(v), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn tied_preference_systems_get_deterministic_id_tiebreak() {
+        // A bare banded system ties inside every class; the key table must
+        // stay a total order (no inconsistent-comparator panic) with ties
+        // resolved by ascending node id.
+        let graph = generators::complete(9);
+        let prefs = BandedRankPrefs::new(GlobalRanking::identity(9), 3);
+        let keys = PrefAcceptance::build(&graph, &prefs);
+        for v in 0..9 {
+            let v = n(v);
+            let (ids, _) = keys.row(v);
+            for w in ids.windows(2) {
+                assert!(
+                    prefs.prefers(v, w[0], w[1]) || (!prefs.prefers(v, w[1], w[0]) && w[0] < w[1]),
+                    "row of {v} violates the banded-then-id order: {ids:?}"
+                );
+            }
+        }
+        // And the dynamics on such a system still settle.
+        let caps = Capacities::constant(9, 2);
+        let mut dynamics =
+            GeneralDynamics::new(&graph, &prefs, caps, InitiativeStrategy::BestMate).unwrap();
+        dynamics.settle().unwrap();
+        assert!(dynamics.is_stable());
+    }
+
+    #[test]
+    fn odd_cycle_settle_reports_no_stable_configuration() {
+        let (graph, prefs) = odd_cycle_instance();
+        let caps = Capacities::constant(3, 1);
+        let mut dynamics =
+            GeneralDynamics::new(&graph, &prefs, caps, InitiativeStrategy::BestMate).unwrap();
+        assert_eq!(
+            dynamics.settle(),
+            Err(crate::ModelError::NoStableConfiguration)
+        );
     }
 }

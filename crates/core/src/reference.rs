@@ -19,9 +19,12 @@
 //! draws), so both drivers stay in lockstep on a shared seed for their
 //! entire run.
 
+use std::collections::HashSet;
+
 use rand::Rng;
 use strat_graph::{Graph, NodeId};
 
+use crate::prefs::{PrefDynamicsOutcome, PrefMatching, PreferenceSystem};
 use crate::{
     Capacities, GlobalRanking, InitiativeOutcome, InitiativeStrategy, ModelError, RankedAcceptance,
 };
@@ -500,6 +503,90 @@ impl RefDynamics {
             dropped_by_mate,
         }
     }
+}
+
+/// The historical full-scan implementation of
+/// [`crate::prefs::best_mate_dynamics`] (pre-engine-unification): every
+/// sweep re-scans every peer's entire neighborhood with live
+/// [`PreferenceSystem`] comparisons and re-derives saturation and worst
+/// mates per probe — no thresholds, no clean/dirty memo.
+///
+/// Retained as the differential reference and benchmark baseline for the
+/// dirty-set path: both must produce identical configurations, step counts
+/// and oscillation reports on every instance.
+///
+/// # Panics
+///
+/// Panics if sizes of `graph`, `prefs` and `caps` disagree.
+pub fn best_mate_dynamics<P: PreferenceSystem>(
+    graph: &Graph,
+    prefs: &P,
+    caps: &Capacities,
+) -> PrefDynamicsOutcome {
+    let n = graph.node_count();
+    assert_eq!(prefs.n(), n, "preference system size mismatch");
+    caps.check_len(n).expect("capacity size mismatch");
+    let mut matching = PrefMatching::new(n);
+    let mut seen: HashSet<u64> = HashSet::new();
+    seen.insert(matching.fingerprint());
+    let mut steps = 0u64;
+    loop {
+        let active = best_mate_sweep(graph, prefs, caps, &mut matching);
+        steps += active;
+        if active == 0 {
+            return PrefDynamicsOutcome::Stable(matching);
+        }
+        if !seen.insert(matching.fingerprint()) {
+            return PrefDynamicsOutcome::Oscillating {
+                at: matching,
+                steps,
+            };
+        }
+    }
+}
+
+/// One full-scan sweep of [`best_mate_dynamics`]: every peer re-scans its
+/// entire neighborhood for its best acceptable blocking mate and matches
+/// with it. Returns the number of active initiatives.
+///
+/// Exposed so benchmarks can measure the per-sweep cost directly (against
+/// the engine's dirty-set sweeps, which skip provably clean peers).
+pub fn best_mate_sweep<P: PreferenceSystem>(
+    graph: &Graph,
+    prefs: &P,
+    caps: &Capacities,
+    matching: &mut PrefMatching,
+) -> u64 {
+    let mut active = 0u64;
+    for p in graph.nodes() {
+        // Best blocking mate of p under prefs: single streaming pass,
+        // no candidate buffer (this sweep dominates the runtime on
+        // dense instances).
+        let mut best: Option<NodeId> = None;
+        for &q in graph.neighbors(p) {
+            if best.is_none_or(|b| prefs.prefers(p, q, b))
+                && matching.would_accept(prefs, caps, p, q)
+                && matching.would_accept(prefs, caps, q, p)
+            {
+                best = Some(q);
+            }
+        }
+        let Some(q) = best else {
+            continue;
+        };
+        // Evict worst mates if saturated, then connect.
+        for v in [p, q] {
+            if matching.mates(v).len() >= caps.of(v) as usize {
+                let worst = prefs
+                    .worst_of(v, matching.mates(v))
+                    .expect("saturated has mates");
+                matching.disconnect(v, worst);
+            }
+        }
+        matching.connect(p, q);
+        active += 1;
+    }
+    active
 }
 
 #[cfg(test)]

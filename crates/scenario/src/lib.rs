@@ -68,8 +68,10 @@ mod model;
 mod scenario;
 
 pub use error::ScenarioError;
-pub use model::{BehaviorMix, CapacityModel, ChurnModel, PreferenceModel, TopologyModel};
-pub use scenario::{Scenario, SwarmParams};
+pub use model::{
+    BehaviorMix, BuiltPreferences, CapacityModel, ChurnModel, PreferenceModel, TopologyModel,
+};
+pub use scenario::{Scenario, ScenarioDynamics, SwarmParams};
 
 /// Deterministic ChaCha8 stream `stream` derived from `seed` — the
 /// workspace-wide seed-derivation convention (formerly

@@ -4,6 +4,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 use strat_bandwidth::BandwidthCdf;
 use strat_bittorrent::PeerBehavior;
+use strat_core::prefs::{
+    BandedRankPrefs, GlobalPrefs, LatencyPrefs, LexicographicPrefs, PreferenceSystem,
+};
 use strat_core::{gossip, standard_normal, Capacities, CapacityDistribution, GlobalRanking};
 use strat_graph::{generators, Graph, NodeId};
 
@@ -203,6 +206,17 @@ fn check_normal(mean: f64, sigma: f64) -> Result<(), ScenarioError> {
     }
 }
 
+fn check_span(span: f64) -> Result<(), ScenarioError> {
+    if span.is_finite() && span > 0.0 {
+        Ok(())
+    } else {
+        Err(ScenarioError::InvalidParameter {
+            what: "latency span",
+            reason: format!("must be positive and finite, got {span}"),
+        })
+    }
+}
+
 fn check_uniform(lo: f64, hi: f64) -> Result<(), ScenarioError> {
     if lo.is_finite() && hi.is_finite() && lo < hi {
         Ok(())
@@ -345,6 +359,50 @@ pub enum PreferenceModel {
     },
 }
 
+/// A materialized preference system — what [`PreferenceModel`] builds for
+/// the dynamics backends. Rank-shaped models carry a [`GlobalRanking`]
+/// (they run on the ranked fast path); the latency-flavoured models carry
+/// the core preference systems the generic engine consumes.
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum BuiltPreferences {
+    /// A global-ranking utility (exact or gossip-estimated).
+    Global(GlobalPrefs),
+    /// The symmetric latency utility.
+    Latency(LatencyPrefs),
+    /// Banded rank classes refined by latency (§7's combined utility).
+    BandedLatency(LexicographicPrefs<BandedRankPrefs, LatencyPrefs>),
+}
+
+impl BuiltPreferences {
+    /// The global ranking, when this is a rank-shaped system.
+    #[must_use]
+    pub fn ranking(&self) -> Option<&GlobalRanking> {
+        match self {
+            BuiltPreferences::Global(prefs) => Some(prefs.ranking()),
+            _ => None,
+        }
+    }
+}
+
+impl PreferenceSystem for BuiltPreferences {
+    fn n(&self) -> usize {
+        match self {
+            BuiltPreferences::Global(p) => p.n(),
+            BuiltPreferences::Latency(p) => p.n(),
+            BuiltPreferences::BandedLatency(p) => p.n(),
+        }
+    }
+
+    fn prefers(&self, p: NodeId, a: NodeId, b: NodeId) -> bool {
+        match self {
+            BuiltPreferences::Global(s) => s.prefers(p, a, b),
+            BuiltPreferences::Latency(s) => s.prefers(p, a, b),
+            BuiltPreferences::BandedLatency(s) => s.prefers(p, a, b),
+        }
+    }
+}
+
 impl PreferenceModel {
     /// The global ranking this model induces for the ranked-dynamics path.
     ///
@@ -357,6 +415,62 @@ impl PreferenceModel {
                 gossip::estimate_ranking(&GlobalRanking::identity(n), *sample_size, rng)
             }
             _ => GlobalRanking::identity(n),
+        }
+    }
+
+    /// Whether this model is a global-ranking utility, i.e. runs on the
+    /// ranked instantiation of the engine ([`strat_core::Dynamics`])
+    /// rather than the generalized one.
+    #[must_use]
+    pub fn is_ranked(&self) -> bool {
+        matches!(
+            self,
+            PreferenceModel::GlobalRank | PreferenceModel::GossipEstimated { .. }
+        )
+    }
+
+    /// Materializes the preference system this model describes, consuming
+    /// exactly the randomness of [`build_ranking`](Self::build_ranking)
+    /// (rank-shaped models) or
+    /// [`latency_positions`](Self::latency_positions) (latency-flavoured
+    /// models).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::InvalidParameter`] for a non-positive
+    /// latency span or a zero class width.
+    pub fn build_preferences<R: Rng + ?Sized>(
+        &self,
+        n: usize,
+        rng: &mut R,
+    ) -> Result<BuiltPreferences, ScenarioError> {
+        match self {
+            PreferenceModel::GlobalRank | PreferenceModel::GossipEstimated { .. } => Ok(
+                BuiltPreferences::Global(GlobalPrefs::new(self.build_ranking(n, rng))),
+            ),
+            PreferenceModel::Latency { span } => {
+                check_span(*span)?;
+                let positions = self
+                    .latency_positions(n, rng)
+                    .expect("latency model has positions");
+                Ok(BuiltPreferences::Latency(LatencyPrefs::new(positions)))
+            }
+            PreferenceModel::BandedRankLatency { class_width, span } => {
+                check_span(*span)?;
+                if *class_width == 0 {
+                    return Err(ScenarioError::InvalidParameter {
+                        what: "rank class width",
+                        reason: "must be positive".to_string(),
+                    });
+                }
+                let positions = self
+                    .latency_positions(n, rng)
+                    .expect("banded model has positions");
+                Ok(BuiltPreferences::BandedLatency(LexicographicPrefs::new(
+                    BandedRankPrefs::new(GlobalRanking::identity(n), *class_width),
+                    LatencyPrefs::new(positions),
+                )))
+            }
         }
     }
 

@@ -5,13 +5,249 @@ use serde::{Deserialize, Serialize};
 use strat_bittorrent::{Swarm, SwarmConfig};
 use strat_core::{
     stable_configuration, stable_configuration_complete, stable_configuration_masked, Capacities,
-    ChurnProcess, Dynamics, GlobalRanking, InitiativeStrategy, Matching, RankedAcceptance,
+    ChurnProcess, Dynamics, DynamicsDriver, GeneralDynamics, GlobalRanking, InitiativeOutcome,
+    InitiativeStrategy, Matching, RankedAcceptance,
 };
-use strat_graph::Graph;
+use strat_graph::{Graph, NodeId};
 
 use crate::{
-    BehaviorMix, CapacityModel, ChurnModel, PreferenceModel, ScenarioError, TopologyModel,
+    BehaviorMix, BuiltPreferences, CapacityModel, ChurnModel, PreferenceModel, ScenarioError,
+    TopologyModel,
 };
+
+/// The dynamics backend a scenario's preference axis selects — both arms
+/// are instantiations of the same incremental engine
+/// (`strat_core::engine::Engine`).
+///
+/// * [`PreferenceModel::GlobalRank`] and
+///   [`PreferenceModel::GossipEstimated`] are global-ranking utilities:
+///   they build the **ranked** arm ([`Dynamics`]), whose behaviour (scans,
+///   RNG consumption, disorder metrics) is exactly the historical ranked
+///   path;
+/// * [`PreferenceModel::Latency`] and
+///   [`PreferenceModel::BandedRankLatency`] build the **general** arm
+///   ([`GeneralDynamics`]) over a per-neighborhood preference-key table —
+///   the same threshold + clean/dirty machinery, now driven by the actual
+///   latency-flavoured preferences instead of silently degrading to the
+///   identity ranking.
+///
+/// The common driver surface is forwarded; backend-specific extras are
+/// reachable through [`as_ranked`](Self::as_ranked) /
+/// [`as_general`](Self::as_general).
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub enum ScenarioDynamics {
+    /// Global-ranking fast path.
+    Ranked(Dynamics),
+    /// Generalized-preference fast path.
+    General(GeneralDynamics),
+}
+
+impl ScenarioDynamics {
+    /// The ranked backend, if this scenario runs on it.
+    #[must_use]
+    pub fn as_ranked(&self) -> Option<&Dynamics> {
+        match self {
+            ScenarioDynamics::Ranked(d) => Some(d),
+            ScenarioDynamics::General(_) => None,
+        }
+    }
+
+    /// The generalized backend, if this scenario runs on it.
+    #[must_use]
+    pub fn as_general(&self) -> Option<&GeneralDynamics> {
+        match self {
+            ScenarioDynamics::Ranked(_) => None,
+            ScenarioDynamics::General(d) => Some(d),
+        }
+    }
+
+    /// Number of peers (present or not).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.node_count(),
+            ScenarioDynamics::General(d) => d.node_count(),
+        }
+    }
+
+    /// Number of present peers.
+    #[must_use]
+    pub fn present_count(&self) -> usize {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.present_count(),
+            ScenarioDynamics::General(d) => d.present_count(),
+        }
+    }
+
+    /// Whether peer `v` is present.
+    #[must_use]
+    pub fn is_present(&self, v: NodeId) -> bool {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.is_present(v),
+            ScenarioDynamics::General(d) => d.is_present(v),
+        }
+    }
+
+    /// Current configuration.
+    #[must_use]
+    pub fn matching(&self) -> &Matching {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.matching(),
+            ScenarioDynamics::General(d) => d.matching(),
+        }
+    }
+
+    /// Capacities in force.
+    #[must_use]
+    pub fn capacities(&self) -> &Capacities {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.capacities(),
+            ScenarioDynamics::General(d) => d.capacities(),
+        }
+    }
+
+    /// Total initiatives taken so far.
+    #[must_use]
+    pub fn initiative_count(&self) -> u64 {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.initiative_count(),
+            ScenarioDynamics::General(d) => d.initiative_count(),
+        }
+    }
+
+    /// Active (configuration-changing) initiatives taken so far.
+    #[must_use]
+    pub fn active_initiative_count(&self) -> u64 {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.active_initiative_count(),
+            ScenarioDynamics::General(d) => d.active_initiative_count(),
+        }
+    }
+
+    /// Removes a peer (drops its collaborations). No-op if absent.
+    pub fn remove_peer(&mut self, v: NodeId) {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.remove_peer(v),
+            ScenarioDynamics::General(d) => d.remove_peer(v),
+        }
+    }
+
+    /// Re-inserts an absent peer with no mates. No-op if present.
+    pub fn insert_peer(&mut self, v: NodeId) {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.insert_peer(v),
+            ScenarioDynamics::General(d) => d.insert_peer(v),
+        }
+    }
+
+    /// Performs one initiative by a uniformly random present peer.
+    pub fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> InitiativeOutcome {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.step(rng),
+            ScenarioDynamics::General(d) => d.step(rng),
+        }
+    }
+
+    /// Runs `n` initiatives (one base unit). Returns the active count.
+    pub fn run_base_unit<R: Rng + ?Sized>(&mut self, rng: &mut R) -> usize {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.run_base_unit(rng),
+            ScenarioDynamics::General(d) => d.run_base_unit(rng),
+        }
+    }
+
+    /// Has peer `p` take one initiative with the configured strategy.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn initiative<R: Rng + ?Sized>(&mut self, p: NodeId, rng: &mut R) -> InitiativeOutcome {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.initiative(p, rng),
+            ScenarioDynamics::General(d) => d.initiative(p, rng),
+        }
+    }
+
+    /// Whether the current configuration is stable for the present peers.
+    #[must_use]
+    pub fn is_stable(&self) -> bool {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.is_stable(),
+            ScenarioDynamics::General(d) => d.is_stable(),
+        }
+    }
+
+    /// Disorder of the current configuration: distance to the (memoized)
+    /// instant stable configuration of the present peers — the paper's §3
+    /// metric on the ranked arm, the key-space analogue on the general arm.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a general-arm instance admitting no stable configuration
+    /// (impossible for the cycle-free preference models scenarios expose).
+    #[must_use]
+    pub fn disorder(&self) -> f64 {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.disorder(),
+            ScenarioDynamics::General(d) => d.disorder(),
+        }
+    }
+
+    /// Disorder under the generalized b-matching metric (the ranked arm's
+    /// rank-label metric / the general arm's key-space metric) — use this
+    /// instead of [`disorder`](Self::disorder) when capacities exceed 1.
+    ///
+    /// # Panics
+    ///
+    /// See [`disorder`](Self::disorder).
+    #[must_use]
+    pub fn disorder_general(&self) -> f64 {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.disorder_general(),
+            ScenarioDynamics::General(d) => d.disorder(),
+        }
+    }
+
+    /// The instant stable configuration over present peers (memoized).
+    ///
+    /// # Panics
+    ///
+    /// See [`disorder`](Self::disorder).
+    #[must_use]
+    pub fn instant_stable(&self) -> Matching {
+        match self {
+            ScenarioDynamics::Ranked(d) => d.instant_stable(),
+            ScenarioDynamics::General(d) => d.instant_stable(),
+        }
+    }
+}
+
+impl DynamicsDriver for ScenarioDynamics {
+    fn node_count(&self) -> usize {
+        ScenarioDynamics::node_count(self)
+    }
+
+    fn present_count(&self) -> usize {
+        ScenarioDynamics::present_count(self)
+    }
+
+    fn is_present(&self, v: NodeId) -> bool {
+        ScenarioDynamics::is_present(self, v)
+    }
+
+    fn remove_peer(&mut self, v: NodeId) {
+        ScenarioDynamics::remove_peer(self, v);
+    }
+
+    fn insert_peer(&mut self, v: NodeId) {
+        ScenarioDynamics::insert_peer(self, v);
+    }
+
+    fn step<R: Rng + ?Sized>(&mut self, rng: &mut R) -> InitiativeOutcome {
+        ScenarioDynamics::step(self, rng)
+    }
+}
 
 /// Swarm-backend parameters (the protocol knobs the abstract dynamics do
 /// not have). `peers` on the [`Scenario`] is the **leecher** count; seeds
@@ -247,16 +483,54 @@ impl Scenario {
         Ok(RankedAcceptance::new(graph, ranking)?)
     }
 
-    /// The initiative-process driver from the empty configuration,
-    /// consuming the RNG in the order topology → preference → capacities.
+    /// The preference system this scenario's preference axis describes
+    /// (consumes the RNG like [`build_ranking`](Self::build_ranking) for
+    /// rank-shaped models, or the latency-position draws otherwise).
     ///
     /// # Errors
     ///
     /// Propagates component failures.
-    pub fn build_dynamics<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Dynamics, ScenarioError> {
-        let acc = self.build_acceptance(rng)?;
-        let caps = self.build_capacities(rng)?;
-        Ok(Dynamics::new(acc, caps, self.strategy)?)
+    pub fn build_preferences<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<BuiltPreferences, ScenarioError> {
+        self.preference.build_preferences(self.peers, rng)
+    }
+
+    /// The initiative-process driver from the empty configuration,
+    /// consuming the RNG in the order topology → preference → capacities.
+    ///
+    /// The preference axis selects the backend (see [`ScenarioDynamics`]):
+    /// global-ranking models build the ranked arm exactly as before;
+    /// latency-flavoured models now drive the generic engine instead of
+    /// degrading to an identity ranking.
+    ///
+    /// # Errors
+    ///
+    /// Propagates component failures.
+    pub fn build_dynamics<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<ScenarioDynamics, ScenarioError> {
+        if self.preference.is_ranked() {
+            let acc = self.build_acceptance(rng)?;
+            let caps = self.build_capacities(rng)?;
+            Ok(ScenarioDynamics::Ranked(Dynamics::new(
+                acc,
+                caps,
+                self.strategy,
+            )?))
+        } else {
+            let graph = self.build_graph(rng)?;
+            let prefs = self.build_preferences(rng)?;
+            let caps = self.build_capacities(rng)?;
+            Ok(ScenarioDynamics::General(GeneralDynamics::new(
+                &graph,
+                &prefs,
+                caps,
+                self.strategy,
+            )?))
+        }
     }
 
     /// The initiative-process driver started **at** the stable
@@ -264,22 +538,42 @@ impl Scenario {
     /// rather than at `C∅`). Same RNG consumption as
     /// [`build_dynamics`](Self::build_dynamics).
     ///
+    /// The ranked arm jumps there by Algorithm 1; the general arm settles
+    /// with deterministic best-mate sweeps (its canonical stable
+    /// configuration).
+    ///
     /// # Errors
     ///
-    /// Propagates component failures.
+    /// Propagates component failures; general-arm preference systems with
+    /// odd preference cycles surface as
+    /// [`strat_core::ModelError::NoStableConfiguration`] (none of the
+    /// scenario preference models can produce one).
     pub fn build_dynamics_at_stable<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-    ) -> Result<Dynamics, ScenarioError> {
-        let acc = self.build_acceptance(rng)?;
-        let caps = self.build_capacities(rng)?;
-        let stable = stable_configuration(&acc, &caps)?;
-        Ok(Dynamics::with_configuration(
-            acc,
-            caps,
-            self.strategy,
-            stable,
-        )?)
+    ) -> Result<ScenarioDynamics, ScenarioError> {
+        if self.preference.is_ranked() {
+            let acc = self.build_acceptance(rng)?;
+            let caps = self.build_capacities(rng)?;
+            let stable = stable_configuration(&acc, &caps)?;
+            Ok(ScenarioDynamics::Ranked(Dynamics::with_configuration(
+                acc,
+                caps,
+                self.strategy,
+                stable,
+            )?))
+        } else {
+            let mut built = self.build_dynamics(rng)?;
+            let ScenarioDynamics::General(ref mut dynamics) = built else {
+                unreachable!("non-ranked preference models build the general arm")
+            };
+            dynamics.settle().map_err(ScenarioError::Model)?;
+            // Counter parity with the ranked arm, which jumps to stability
+            // via Algorithm 1: a freshly built at-stable driver reports no
+            // pre-existing initiative activity.
+            dynamics.reset_initiative_counters();
+            Ok(built)
+        }
     }
 
     /// The dynamics wrapped in this scenario's churn model.
@@ -287,7 +581,10 @@ impl Scenario {
     /// # Errors
     ///
     /// Propagates component failures.
-    pub fn build_churn<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<ChurnProcess, ScenarioError> {
+    pub fn build_churn<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<ChurnProcess<ScenarioDynamics>, ScenarioError> {
         let rate = self.churn.rate_per_step(self.peers)?;
         Ok(ChurnProcess::new(self.build_dynamics(rng)?, rate))
     }
@@ -416,6 +713,7 @@ mod tests {
             scenario.strategy,
         )
         .unwrap();
+        let built = built.as_ranked().expect("gossip runs the ranked arm");
         assert_eq!(built.acceptance(), by_hand.acceptance());
         assert_eq!(built.capacities(), by_hand.capacities());
     }
@@ -472,9 +770,91 @@ mod tests {
             });
         let a = scenario.build_dynamics(&mut stream_rng(7, 3)).unwrap();
         let b = scenario.build_dynamics(&mut stream_rng(7, 3)).unwrap();
+        let (a, b) = (a.as_ranked().unwrap(), b.as_ranked().unwrap());
         assert_eq!(a.acceptance(), b.acceptance());
         assert_eq!(a.capacities(), b.capacities());
         let c = scenario.build_dynamics(&mut stream_rng(7, 4)).unwrap();
         assert_ne!(a.capacities(), c.capacities());
+    }
+
+    #[test]
+    fn latency_preferences_build_the_general_arm() {
+        let scenario = Scenario::new("t", 60)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 10.0 })
+            .with_capacity(CapacityModel::Constant { value: 2.0 })
+            .with_preference(PreferenceModel::Latency { span: 500.0 });
+        let built = scenario.build_dynamics(&mut rng(9)).unwrap();
+        assert!(built.as_general().is_some());
+        assert_eq!(built.node_count(), 60);
+        // Deterministic: same stream, same instance.
+        let mut a = scenario.build_dynamics(&mut rng(9)).unwrap();
+        let mut b = scenario.build_dynamics(&mut rng(9)).unwrap();
+        let mut rng_a = rng(10);
+        let mut rng_b = rng(10);
+        for _ in 0..5 {
+            a.run_base_unit(&mut rng_a);
+            b.run_base_unit(&mut rng_b);
+        }
+        assert_eq!(a.matching(), b.matching());
+    }
+
+    #[test]
+    fn latency_at_stable_is_stable_with_zero_disorder() {
+        let scenario = Scenario::new("t", 50)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 9.0 })
+            .with_capacity(CapacityModel::Constant { value: 2.0 })
+            .with_preference(PreferenceModel::BandedRankLatency {
+                class_width: 10,
+                span: 300.0,
+            });
+        let built = scenario.build_dynamics_at_stable(&mut rng(4)).unwrap();
+        assert!(built.as_general().is_some());
+        assert!(built.is_stable());
+        assert_eq!(built.disorder(), 0.0);
+        // Counter parity with the ranked arm: building at-stable reports no
+        // pre-existing initiative activity.
+        assert_eq!(built.initiative_count(), 0);
+        assert_eq!(built.active_initiative_count(), 0);
+    }
+
+    #[test]
+    fn latency_churn_drives_the_general_arm() {
+        let scenario = Scenario::new("t", 40)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 8.0 })
+            .with_capacity(CapacityModel::Constant { value: 1.0 })
+            .with_preference(PreferenceModel::Latency { span: 100.0 })
+            .with_churn(ChurnModel::Rate { rate: 0.05 });
+        let mut churn = scenario.build_churn(&mut rng(6)).unwrap();
+        let mut r = rng(7);
+        for _ in 0..10 {
+            churn.run_base_unit(&mut r);
+        }
+        assert!(churn.event_count() > 0);
+        assert!(churn.dynamics().as_general().is_some());
+        // Population pinned at n or n - 1 by replacement churn.
+        assert!((39..=40).contains(&churn.dynamics().present_count()));
+        // Disorder reads cleanly on the general arm under churn.
+        assert!(churn.dynamics().disorder() >= 0.0);
+    }
+
+    #[test]
+    fn invalid_latency_span_rejected() {
+        let scenario = Scenario::new("t", 10)
+            .with_preference(PreferenceModel::Latency { span: 0.0 })
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 4.0 });
+        assert!(matches!(
+            scenario.build_dynamics(&mut rng(1)),
+            Err(ScenarioError::InvalidParameter { .. })
+        ));
+        let banded = Scenario::new("t", 10)
+            .with_preference(PreferenceModel::BandedRankLatency {
+                class_width: 0,
+                span: 10.0,
+            })
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 4.0 });
+        assert!(matches!(
+            banded.build_dynamics(&mut rng(1)),
+            Err(ScenarioError::InvalidParameter { .. })
+        ));
     }
 }

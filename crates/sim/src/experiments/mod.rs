@@ -29,6 +29,7 @@ pub mod fig7;
 pub mod fig8;
 pub mod fig9;
 pub mod fluid;
+pub mod latstrat;
 pub mod mmo;
 pub mod table1;
 

@@ -226,6 +226,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Gossip-estimated ranks: stratification robustness (section 1 ref [8])"
         ),
         entry!(
+            "latstrat",
+            latstrat,
+            "Latency-cluster formation vs rank stratification on the generic engine (section 7)"
+        ),
+        entry!(
             "fluid",
             fluid,
             "Fluid-limit convergence n*D(1,.) -> d*exp(-beta*d) (Conjecture 1)"

@@ -46,6 +46,8 @@ const GOLDEN: &[(&str, u64)] = &[
     ("btfree", 0x540dc519723119b3),
     ("ext1", 0x96ff492352c0fa6e),
     ("ext2", 0x87423fc70fa52cc7),
+    // PR 4 addition (generic-engine latency clustering), recorded at birth.
+    ("latstrat", 0xc2b9f5910930b60f),
     ("fluid", 0xc0fe96f77ba157fe),
     ("mmo", 0x27179e7ca8fb3385),
 ];

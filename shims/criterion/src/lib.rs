@@ -5,7 +5,10 @@
 //! `criterion_group!`/`criterion_main!` macros) on top of a simple but
 //! honest measurement core: warm-up, then `sample_size` samples of
 //! auto-calibrated iteration batches, reporting the **median**
-//! per-iteration time.
+//! per-iteration time after Tukey IQR outlier rejection (samples outside
+//! `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` — warm-up spikes, scheduler
+//! preemptions — are discarded before the median is taken, so exported
+//! ratios stop absorbing them).
 //!
 //! Environment knobs:
 //!
@@ -204,15 +207,37 @@ impl Bencher {
             samples_ns.push(elapsed / iters as f64);
         }
         samples_ns.sort_by(f64::total_cmp);
-        let mid = samples_ns.len() / 2;
-        let median = if samples_ns.len() % 2 == 0 {
-            (samples_ns[mid - 1] + samples_ns[mid]) / 2.0
-        } else {
-            samples_ns[mid]
-        };
-        self.median_ns = Some(median);
+        self.median_ns = Some(robust_median(&samples_ns));
         self.samples = self.sample_size;
         self.iters_per_sample = iters;
+    }
+}
+
+/// Linearly interpolated quantile of a sorted, non-empty slice.
+fn quantile(sorted: &[f64], p: f64) -> f64 {
+    let idx = p * (sorted.len() - 1) as f64;
+    let lo = idx.floor() as usize;
+    let hi = idx.ceil() as usize;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * (idx - lo as f64)
+}
+
+/// Median of a sorted, non-empty sample after Tukey IQR outlier rejection:
+/// values outside `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` are dropped first. The
+/// median itself always lies inside the fences, so the kept set is never
+/// empty.
+fn robust_median(sorted: &[f64]) -> f64 {
+    let q1 = quantile(sorted, 0.25);
+    let q3 = quantile(sorted, 0.75);
+    let iqr = q3 - q1;
+    let (lo, hi) = (q1 - 1.5 * iqr, q3 + 1.5 * iqr);
+    let start = sorted.partition_point(|&x| x < lo);
+    let end = sorted.partition_point(|&x| x <= hi);
+    let kept = &sorted[start..end];
+    let mid = kept.len() / 2;
+    if kept.len().is_multiple_of(2) {
+        (kept[mid - 1] + kept[mid]) / 2.0
+    } else {
+        kept[mid]
     }
 }
 
@@ -266,5 +291,29 @@ mod tests {
     fn benchmark_id_formats() {
         let id = BenchmarkId::new("stable", 1000);
         assert_eq!(id.full, "stable/1000");
+    }
+
+    #[test]
+    fn iqr_rejection_discards_warmup_spikes() {
+        // A single 100 ns spike among 1–5 ns samples: the plain median
+        // would be 3.5 (it straddles the spike's pull on the midpoint);
+        // the fences reject the spike and the median of the rest is 3.
+        let samples = [1.0, 2.0, 3.0, 4.0, 5.0, 100.0];
+        assert_eq!(robust_median(&samples), 3.0);
+        // Spike-free samples are untouched.
+        assert_eq!(robust_median(&[1.0, 2.0, 3.0, 4.0, 5.0]), 3.0);
+        assert_eq!(robust_median(&[2.0, 4.0]), 3.0);
+        assert_eq!(robust_median(&[7.5]), 7.5);
+        // Outliers on both sides.
+        let two_sided = [0.001, 10.0, 10.5, 11.0, 11.5, 12.0, 500.0];
+        assert_eq!(robust_median(&two_sided), 11.0);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let sorted = [0.0, 1.0, 2.0, 3.0];
+        assert_eq!(quantile(&sorted, 0.0), 0.0);
+        assert_eq!(quantile(&sorted, 1.0), 3.0);
+        assert_eq!(quantile(&sorted, 0.5), 1.5);
     }
 }

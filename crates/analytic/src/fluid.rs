@@ -64,6 +64,164 @@ pub fn best_peer_fluid_error(n: usize, d: f64, beta_max: f64) -> f64 {
     worst
 }
 
+/// Parameters of the BitTorrent population fluid model (Qiu–Srikant form,
+/// the deterministic limit Xu's *Performance Modeling of BitTorrent P2P
+/// File Sharing Networks* (arXiv 1311.1195) builds on), in **per-round**
+/// units so the swarm session maps onto it directly:
+///
+/// * `lambda` — leecher arrivals per round;
+/// * `mu` — per-peer upload service rate in *files per round*
+///   (`upload_kbit_per_round / file_kbit`);
+/// * `gamma` — per-round departure rate of **promoted** seeds (leechers
+///   that completed and linger);
+/// * `theta` — per-round mid-download abort rate;
+/// * `eta` — effectiveness of leecher upload capacity (≈ 1 under
+///   rarest-first with enough pieces — the Qiu–Srikant argument);
+/// * `s0` — permanent original seeds (the publisher squad that never
+///   leaves; its capacity is a constant term).
+///
+/// With leecher population `x` and promoted-seed population `y`, the
+/// upload-constrained dynamics are
+///
+/// ```text
+/// x' = λ − θx − φ,   y' = φ − γy,   φ = μ(ηx + y + s0)
+/// ```
+///
+/// `φ` being the completion flux (total useful upload capacity, in files
+/// per round). Downloads are not separately capped — the swarm engine has
+/// no download limit — except for the trajectory integrator's
+/// regularization `φ ≤ x` (a leecher cannot complete faster than one file
+/// per round).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BtFluidParams {
+    /// Arrivals per round.
+    pub lambda: f64,
+    /// Per-peer service rate, files per round.
+    pub mu: f64,
+    /// Promoted-seed departure rate per round.
+    pub gamma: f64,
+    /// Mid-download abort rate per round.
+    pub theta: f64,
+    /// Leecher upload effectiveness.
+    pub eta: f64,
+    /// Permanent original seeds.
+    pub s0: f64,
+}
+
+/// A point of the fluid trajectory: leecher and promoted-seed masses.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BtFluidState {
+    /// Leecher population `x`.
+    pub leechers: f64,
+    /// Promoted-seed population `y` (original seeds excluded).
+    pub seeds: f64,
+}
+
+impl BtFluidParams {
+    fn validate(&self) {
+        assert!(
+            self.lambda >= 0.0
+                && self.mu > 0.0
+                && self.gamma > 0.0
+                && self.theta >= 0.0
+                && self.eta > 0.0
+                && self.s0 >= 0.0,
+            "fluid parameters out of range: {self:?}"
+        );
+    }
+
+    /// The steady state of the upload-constrained dynamics:
+    ///
+    /// ```text
+    /// x̄ = (λ − μ·s0·γ/(γ−μ)) / (θ + μ·η·γ/(γ−μ)),   ȳ = (λ − θ·x̄)/γ
+    /// ```
+    ///
+    /// (for `θ = 0` this is the classic `x̄ = (λ/μ − λ/γ − s0)/η`,
+    /// `ȳ = λ/γ`). Requires `γ > μ` — otherwise promoted seeds accumulate
+    /// capacity faster than they leave and the swarm is not
+    /// upload-constrained (no interior steady state exists in this
+    /// branch).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `γ ≤ μ`, on out-of-range parameters, or when the seed
+    /// squad alone oversupplies the arrival flux (`x̄ ≤ 0`).
+    #[must_use]
+    pub fn steady_state(&self) -> BtFluidState {
+        self.validate();
+        assert!(
+            self.gamma > self.mu,
+            "steady state requires gamma > mu (got gamma = {}, mu = {})",
+            self.gamma,
+            self.mu
+        );
+        let boost = self.gamma / (self.gamma - self.mu);
+        let x =
+            (self.lambda - self.mu * self.s0 * boost) / (self.theta + self.mu * self.eta * boost);
+        assert!(
+            x > 0.0,
+            "no interior steady state: seed capacity oversupplies arrivals ({self:?})"
+        );
+        let y = (self.lambda - self.theta * x) / self.gamma;
+        BtFluidState {
+            leechers: x,
+            seeds: y,
+        }
+    }
+
+    /// Mean rounds a peer spends downloading in steady state (Little's
+    /// law over the leecher pool, `x̄ / λ`).
+    ///
+    /// # Panics
+    ///
+    /// As [`BtFluidParams::steady_state`], plus `λ > 0` is required.
+    #[must_use]
+    pub fn mean_download_rounds(&self) -> f64 {
+        assert!(
+            self.lambda > 0.0,
+            "Little's law needs a positive arrival rate"
+        );
+        self.steady_state().leechers / self.lambda
+    }
+
+    /// Integrates the fluid ODE with classic RK4 from `(x0, y0)`,
+    /// sampling every `dt` rounds until `t_end`; returns
+    /// `(t, x, y)` triples including both endpoints. The completion flux
+    /// is clamped to `min(μ(ηx + y + s0), x)` and populations to ≥ 0, so
+    /// the integrator stays meaningful outside the upload-constrained
+    /// interior.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters or a non-positive `dt`.
+    #[must_use]
+    pub fn trajectory(&self, x0: f64, y0: f64, t_end: f64, dt: f64) -> Vec<(f64, f64, f64)> {
+        self.validate();
+        assert!(dt > 0.0 && t_end >= 0.0, "need dt > 0 and t_end >= 0");
+        let deriv = |x: f64, y: f64| -> (f64, f64) {
+            let flux = (self.mu * (self.eta * x + y + self.s0)).min(x.max(0.0));
+            (
+                self.lambda - self.theta * x.max(0.0) - flux,
+                flux - self.gamma * y.max(0.0),
+            )
+        };
+        let steps = (t_end / dt).ceil() as usize;
+        let mut out = Vec::with_capacity(steps + 1);
+        let (mut x, mut y) = (x0.max(0.0), y0.max(0.0));
+        out.push((0.0, x, y));
+        for step in 1..=steps {
+            let (k1x, k1y) = deriv(x, y);
+            let (k2x, k2y) = deriv(x + 0.5 * dt * k1x, y + 0.5 * dt * k1y);
+            let (k3x, k3y) = deriv(x + 0.5 * dt * k2x, y + 0.5 * dt * k2y);
+            let (k4x, k4y) = deriv(x + dt * k3x, y + dt * k3y);
+            x = (x + dt / 6.0 * (k1x + 2.0 * k2x + 2.0 * k3x + k4x)).max(0.0);
+            y = (y + dt / 6.0 * (k1y + 2.0 * k2y + 2.0 * k3y + k4y)).max(0.0);
+            out.push((step as f64 * dt, x, y));
+        }
+        out
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -107,6 +265,79 @@ mod tests {
         let e_large = best_peer_fluid_error(4000, d, 0.5);
         assert!(e_large < e_small, "{e_large} !< {e_small}");
         assert!(e_large < 0.2 * d, "error {e_large} too large vs d = {d}");
+    }
+
+    fn bt_params() -> BtFluidParams {
+        BtFluidParams {
+            lambda: 4.0,
+            mu: 1.0 / 16.0,
+            gamma: 0.25,
+            theta: 0.0,
+            eta: 1.0,
+            s0: 2.0,
+        }
+    }
+
+    #[test]
+    fn bt_steady_state_satisfies_the_balance_equations() {
+        let p = bt_params();
+        let s = p.steady_state();
+        // x' = 0 and y' = 0 at the fixed point.
+        let flux = p.mu * (p.eta * s.leechers + s.seeds + p.s0);
+        assert!((p.lambda - p.theta * s.leechers - flux).abs() < 1e-10);
+        assert!((flux - p.gamma * s.seeds).abs() < 1e-10);
+        // The theta = 0 closed form.
+        let expect = (p.lambda / p.mu - p.lambda / p.gamma - p.s0) / p.eta;
+        assert!((s.leechers - expect).abs() < 1e-10);
+        assert!((s.seeds - p.lambda / p.gamma).abs() < 1e-10);
+        // Little's law.
+        assert!((p.mean_download_rounds() - s.leechers / p.lambda).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bt_steady_state_with_aborts_balances() {
+        let p = BtFluidParams {
+            theta: 0.02,
+            ..bt_params()
+        };
+        let s = p.steady_state();
+        let flux = p.mu * (p.eta * s.leechers + s.seeds + p.s0);
+        assert!((p.lambda - p.theta * s.leechers - flux).abs() < 1e-10);
+        assert!((flux - p.gamma * s.seeds).abs() < 1e-10);
+        // Aborts shrink the leecher pool relative to the no-abort case.
+        assert!(s.leechers < bt_params().steady_state().leechers);
+    }
+
+    #[test]
+    fn bt_trajectory_converges_to_the_steady_state() {
+        let p = bt_params();
+        let s = p.steady_state();
+        // Start well away from the fixed point.
+        let path = p.trajectory(2.0 * s.leechers, 0.1, 600.0, 0.25);
+        let (_, x_end, y_end) = *path.last().expect("non-empty");
+        assert!(
+            (x_end - s.leechers).abs() < 0.01 * s.leechers,
+            "x_end {x_end} vs {}",
+            s.leechers
+        );
+        assert!(
+            (y_end - s.seeds).abs() < 0.01 * s.seeds.max(1.0),
+            "y_end {y_end} vs {}",
+            s.seeds
+        );
+        // Populations never go negative along the way.
+        assert!(path.iter().all(|&(_, x, y)| x >= 0.0 && y >= 0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma > mu")]
+    fn bt_seed_accumulation_regime_rejected() {
+        let p = BtFluidParams {
+            gamma: 0.05,
+            mu: 0.1,
+            ..bt_params()
+        };
+        let _ = p.steady_state();
     }
 
     #[test]

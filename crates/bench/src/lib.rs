@@ -24,7 +24,8 @@ use std::time::Duration;
 use criterion::{black_box, BenchmarkId, Criterion};
 use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
-use strat_bittorrent::{reference::RefSwarm, Swarm, SwarmConfig};
+use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
+use strat_bittorrent::{reference::RefSwarm, PeerBehavior, PieceSet, Swarm, SwarmConfig};
 use strat_core::prefs::{best_mate_dynamics, LatencyPrefs, PrefDynamicsOutcome};
 use strat_core::GeneralDynamics;
 use strat_core::{
@@ -166,8 +167,9 @@ fn latency_instance(n: usize, seed: u64) -> (Graph, LatencyPrefs, Capacities) {
 /// instances:
 ///
 /// * `converge_*` — full `best_mate_dynamics` from `C∅` to stability
-///   (includes key-table construction; early sweeps are all-dirty, so the
-///   memo only trims the tail);
+///   (includes key-table construction — now seeded by cached scalar sort
+///   keys instead of indirect preference comparisons; early sweeps are
+///   all-dirty, so the memo only trims the tail);
 /// * `settled_sweep_*` — one round-robin sweep of a **converged** system
 ///   (the steady-state regime continuing dynamics live in): every peer is
 ///   provably clean and the sweep degenerates to n flag reads.
@@ -325,6 +327,78 @@ pub fn bench_swarm_rounds_ref(c: &mut Criterion) {
     group.finish();
 }
 
+/// The open-membership session layer:
+///
+/// * `round_churn_n1000` — one full session round of a ~10³-peer swarm in
+///   stationary churn (Poisson arrivals, lingering-seed departures,
+///   tracker rewiring, then the piece-mode round itself);
+/// * `join_wire_leave_d20` — the pure membership cycle on a static
+///   swarm: admit a peer, splice 20 tracker edges, depart it again
+///   (arena reuse + incremental overlay/availability patching, no round);
+/// * `round_closed_n500` — a zero-churn session round next to the plain
+///   engine's `swarm/rounds8_n500_pieces` baseline: the wrapper's
+///   overhead on closed swarms is observational bookkeeping only.
+pub fn bench_session(c: &mut Criterion) {
+    let mut group = c.benchmark_group("session");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    // Stationary churn at ~1000 peers: lambda/mu = 60 * 16 downloads in
+    // flight plus a lingering-seed pool.
+    let churn_swarm = |n0: usize| {
+        let config = SwarmConfig::builder()
+            .leechers(n0)
+            .seeds(2)
+            .piece_count(256)
+            .piece_size_kbit(250.0)
+            .initial_completion(0.5)
+            .mean_neighbors(20.0)
+            .seed(0x5e55)
+            .build();
+        Swarm::new(config, &vec![400.0; n0 + 2])
+    };
+    let mut session = Session::new(
+        churn_swarm(700),
+        SessionConfig {
+            arrival: ArrivalProcess::Poisson { rate: 60.0 },
+            departure: DepartureRules {
+                seed_leave_prob: 0.25,
+                ..DepartureRules::none()
+            },
+            arrival_upload_kbps: 400.0,
+            target_degree: 20,
+            session_seed: 0x5e55,
+            ..SessionConfig::default()
+        },
+    );
+    session.run_rounds(40); // reach stationary turnover
+    group.bench_function("round_churn_n1000", |b| b.iter(|| session.run_rounds(1)));
+
+    let mut arena = churn_swarm(1000);
+    arena.reserve_overlay_slack(24);
+    group.bench_function("join_wire_leave_d20", |b| {
+        b.iter(|| {
+            let slot = arena.arrive(400.0, PeerBehavior::Compliant, PieceSet::new(256));
+            for q in 0..20 {
+                arena.connect_peers(slot, q * 37 % 1000);
+            }
+            arena.depart(slot);
+            black_box(slot)
+        });
+    });
+
+    let (config, uploads) = swarm_inputs(500, false, 0xb17);
+    let pristine = Session::new(Swarm::new(config, &uploads), SessionConfig::default());
+    group.bench_function("round_closed_n500", |b| {
+        b.iter(|| {
+            let mut session = pristine.clone();
+            session.run_rounds(PIECE_WINDOW);
+            session
+        });
+    });
+    group.finish();
+}
+
 /// Registers every core group (optimized + reference) on `c`.
 pub fn core_groups(c: &mut Criterion) {
     bench_stable_configuration(c);
@@ -335,4 +409,5 @@ pub fn core_groups(c: &mut Criterion) {
     bench_prefs_ref(c);
     bench_swarm_rounds(c);
     bench_swarm_rounds_ref(c);
+    bench_session(c);
 }

@@ -1,0 +1,357 @@
+//! Incrementally maintained piece-availability index.
+//!
+//! The engine's rarest-first pick wants pieces in ascending
+//! `(availability, index)` order. The historical implementation rescanned
+//! the candidate bitset per delivery ([`crate::reference`] retains it);
+//! this structure is a **bucketed counting histogram**: a permutation of
+//! the pieces kept contiguous by holder count (bucket `c` holds the
+//! pieces with exactly `c` present holders), with a ±1 availability
+//! change repositioned by one *swap against the bucket boundary* —
+//! strictly `O(1)`, no matter how the counts are distributed.
+//!
+//! Buckets are internally **unordered**; picks stay exact anyway because
+//! the scan walks the permutation (buckets appear in ascending-count
+//! order) and emits each count segment's candidates through a bounded
+//! insertion buffer, i.e. in ascending piece index within the segment.
+//! The emitted sequence is therefore identical to sorting by
+//! `(count, index)` — and identical to the reference engine's per-pick
+//! scans, which the differential suites in `crates/bittorrent/tests/`
+//! pin bit-for-bit.
+//!
+//! The `O(1)` update is exactly the operation open membership needs: a
+//! joining peer adds one holder per piece it brings, a leaving peer
+//! removes one per piece it takes away ([`crate::Swarm::arrive`] /
+//! [`crate::Swarm::depart`]).
+
+use crate::PieceSet;
+
+/// Piece availability (present-holder counts) with a bucket-contiguous
+/// rarest-first permutation (see the [module docs](self)).
+#[derive(Debug, Default)]
+pub(crate) struct AvailIndex {
+    /// Holder count per piece.
+    counts: Vec<u32>,
+    /// Permutation of the pieces, contiguous by ascending count; within a
+    /// bucket the order is arbitrary.
+    order: Vec<u32>,
+    /// Inverse of `order`: `pos[piece]` locates the piece in `order`.
+    pos: Vec<u32>,
+    /// `bucket_start[c]` = first `order` slot whose count is ≥ `c`
+    /// (equivalently: number of pieces with count < `c`). Extended lazily
+    /// as counts grow; trailing entries equal `order.len()`.
+    bucket_start: Vec<u32>,
+}
+
+/// Manual so `clone_from` reuses the destination's buffers — the parallel
+/// round loop refreshes its start-of-round snapshot once per round and
+/// must stay allocation-free in the steady state.
+impl Clone for AvailIndex {
+    fn clone(&self) -> Self {
+        Self {
+            counts: self.counts.clone(),
+            order: self.order.clone(),
+            pos: self.pos.clone(),
+            bucket_start: self.bucket_start.clone(),
+        }
+    }
+
+    fn clone_from(&mut self, src: &Self) {
+        self.counts.clone_from(&src.counts);
+        self.order.clone_from(&src.order);
+        self.pos.clone_from(&src.pos);
+        self.bucket_start.clone_from(&src.bucket_start);
+    }
+}
+
+impl AvailIndex {
+    /// Builds the index from raw holder counts.
+    pub(crate) fn from_counts(counts: Vec<u32>) -> Self {
+        let n = counts.len();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.sort_unstable_by_key(|&i| (counts[i as usize], i));
+        let mut pos = vec![0u32; n];
+        for (j, &i) in order.iter().enumerate() {
+            pos[i as usize] = j as u32;
+        }
+        let max = counts.iter().copied().max().unwrap_or(0) as usize;
+        let mut bucket_start = vec![0u32; max + 2];
+        for &c in &counts {
+            bucket_start[c as usize + 1] += 1;
+        }
+        for c in 0..max + 1 {
+            bucket_start[c + 1] += bucket_start[c];
+        }
+        Self {
+            counts,
+            order,
+            pos,
+            bucket_start,
+        }
+    }
+
+    /// Holder count per piece.
+    #[inline]
+    pub(crate) fn counts(&self) -> &[u32] {
+        &self.counts
+    }
+
+    /// Ensures `bucket_start[c]` is addressable.
+    #[inline]
+    fn ensure_bucket(&mut self, c: usize) {
+        if self.bucket_start.len() <= c {
+            let end = self.order.len() as u32;
+            self.bucket_start.resize(c + 1, end);
+        }
+    }
+
+    /// Swaps the permutation entries at `a` and `b`.
+    #[inline]
+    fn swap_slots(&mut self, a: usize, b: usize) {
+        if a != b {
+            self.order.swap(a, b);
+            self.pos[self.order[a] as usize] = a as u32;
+            self.pos[self.order[b] as usize] = b as u32;
+        }
+    }
+
+    /// Adds one holder of `piece`: one swap against the end of its bucket,
+    /// then the boundary moves — `O(1)`.
+    #[inline]
+    pub(crate) fn increment(&mut self, piece: usize) {
+        let c = self.counts[piece] as usize;
+        self.counts[piece] = (c + 1) as u32;
+        self.ensure_bucket(c + 2);
+        let last = self.bucket_start[c + 1] as usize - 1;
+        self.swap_slots(self.pos[piece] as usize, last);
+        self.bucket_start[c + 1] = last as u32;
+    }
+
+    /// Removes one holder of `piece`: one swap against the start of its
+    /// bucket, then the boundary moves — `O(1)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) if the count is already zero.
+    #[inline]
+    pub(crate) fn decrement(&mut self, piece: usize) {
+        let c = self.counts[piece] as usize;
+        debug_assert!(c > 0, "piece {piece} has no holders");
+        self.counts[piece] = (c - 1) as u32;
+        let first = self.bucket_start[c] as usize;
+        self.swap_slots(self.pos[piece] as usize, first);
+        self.bucket_start[c] = (first + 1) as u32;
+    }
+
+    /// The first `want` rarest-first picks among the pieces `other` has
+    /// and `q` lacks, in pick order, packed `(count << 32) | piece` — the
+    /// exact sequence `want` successive reference picks
+    /// ([`PieceSet::rarest_missing_from`] + insert) produce, because
+    /// inserting a pick bumps only its *own* availability and the
+    /// remaining candidates' `(count, index)` keys never change.
+    ///
+    /// Two equivalent strategies, chosen by candidate density **at the
+    /// rare end**: for a *seed* sender feeding a recipient that still
+    /// lacks a sizable fraction of the file — the dominant transfer of
+    /// flash crowds and churning swarms — every rare piece is a
+    /// candidate, so the permutation is walked front-to-back (count
+    /// segments ascend; each segment's candidates emit index-sorted
+    /// through the insertion buffer, and the walk stops at the first
+    /// segment boundary with the buffer full; an `O(1)` probe of the
+    /// rarest bucket's size keeps homogeneous-availability states off
+    /// this path, where whole-segment walks would not pay). Otherwise —
+    /// partial senders, whose holdings are exactly *not* the rare
+    /// prefix, or nearly-complete recipients — the candidate bitset is
+    /// scanned word-parallel instead, exactly like the retained
+    /// reference scan.
+    #[inline]
+    pub(crate) fn batch_picks(
+        &self,
+        q: &PieceSet,
+        other: &PieceSet,
+        want: usize,
+        out: &mut Vec<u64>,
+    ) {
+        out.clear();
+        if want == 0 {
+            return;
+        }
+        let pieces = q.piece_count();
+        let missing = pieces - q.count();
+        // O(1) probe of the rarest bucket's size: homogeneous availability
+        // (a few giant segments) forces the walk through whole segments
+        // before it may stop, so the bitset scan wins there.
+        let spread = pieces > 0 && {
+            let c0 = self.counts[self.order[0] as usize] as usize;
+            let first_bucket = self.bucket_start[c0 + 1] - self.bucket_start[c0];
+            (first_bucket as usize) * 8 <= pieces
+        };
+        if spread && missing * 8 >= pieces && other.is_complete() {
+            // Ordered walk over the bucket-contiguous permutation.
+            let mut segment_count = u32::MAX;
+            let mut segment_base = 0usize; // finalized picks before this segment
+            for &piece in &self.order {
+                let i = piece as usize;
+                let c = self.counts[i];
+                if c != segment_count {
+                    // A segment boundary: earlier segments' picks are final.
+                    if out.len() == want {
+                        return;
+                    }
+                    segment_count = c;
+                    segment_base = out.len();
+                }
+                // The walk is gated on a complete sender, so candidacy is
+                // just "q lacks the piece".
+                debug_assert!(other.contains(i));
+                if !q.contains(i) {
+                    // Insert index-sorted within the segment's own region,
+                    // bounded by the room the buffer still has.
+                    let key = (u64::from(c) << 32) | u64::from(piece);
+                    insert_bounded(out, segment_base, want, key);
+                }
+            }
+        } else {
+            // Sparse-candidate scan (the reference strategy): enumerate the
+            // few missing pieces word-parallel, insertion-sort the top
+            // `want` by key.
+            for i in q.missing_from(other) {
+                let key = (u64::from(self.counts[i]) << 32) | i as u64;
+                insert_bounded(out, 0, want, key);
+            }
+        }
+    }
+
+    /// Checks the structural invariants (test support).
+    #[cfg(test)]
+    pub(crate) fn validate(&self) {
+        let n = self.counts.len();
+        assert_eq!(self.order.len(), n);
+        assert_eq!(self.pos.len(), n);
+        for (j, &i) in self.order.iter().enumerate() {
+            assert_eq!(self.pos[i as usize] as usize, j, "pos inverse broken");
+        }
+        // Buckets are contiguous: counts never decrease along the
+        // permutation.
+        for w in self.order.windows(2) {
+            assert!(
+                self.counts[w[0] as usize] <= self.counts[w[1] as usize],
+                "bucket contiguity broken at {}/{}",
+                w[0],
+                w[1]
+            );
+        }
+        assert_eq!(self.bucket_start.first().copied().unwrap_or(0), 0);
+        for (c, w) in self.bucket_start.windows(2).enumerate() {
+            let below = self
+                .counts
+                .iter()
+                .filter(|&&x| (x as usize) < c + 1)
+                .count();
+            assert_eq!(w[1] as usize, below, "bucket_start[{}] wrong", c + 1);
+            assert!(w[0] <= w[1], "bucket boundaries must ascend");
+        }
+    }
+}
+
+/// Inserts `key` into the sorted region `out[base..]`, keeping the total
+/// length capped at `cap`: the bounded insertion buffer both scan
+/// strategies share.
+#[inline]
+fn insert_bounded(out: &mut Vec<u64>, base: usize, cap: usize, key: u64) {
+    if out.len() < cap {
+        let p = base + out[base..].partition_point(|&k| k < key);
+        out.insert(p, key);
+    } else if key < *out.last().expect("cap region is non-empty at capacity") {
+        let p = base + out[base..].partition_point(|&k| k < key);
+        out.pop();
+        out.insert(p, key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use rand::{Rng, SeedableRng};
+    use rand_chacha::ChaCha8Rng;
+
+    use super::*;
+
+    #[test]
+    fn build_matches_counts() {
+        let counts = vec![3, 0, 7, 3, 1, 0, 3];
+        let idx = AvailIndex::from_counts(counts.clone());
+        idx.validate();
+        assert_eq!(idx.counts(), &counts[..]);
+    }
+
+    #[test]
+    fn random_updates_keep_invariants() {
+        let mut rng = ChaCha8Rng::seed_from_u64(7);
+        let n = 40;
+        let counts: Vec<u32> = (0..n).map(|_| rng.gen_range(0..6)).collect();
+        let mut idx = AvailIndex::from_counts(counts);
+        for step in 0..2000 {
+            let piece = rng.gen_range(0..n as usize);
+            if idx.counts()[piece] == 0 || rng.gen_bool(0.6) {
+                idx.increment(piece);
+            } else {
+                idx.decrement(piece);
+            }
+            if step % 97 == 0 {
+                idx.validate();
+            }
+        }
+        idx.validate();
+    }
+
+    #[test]
+    fn batch_picks_match_reference_scan_on_both_strategies() {
+        let mut rng = ChaCha8Rng::seed_from_u64(21);
+        let pieces = 130; // multiple bitset words
+        for case in 0..300 {
+            // Alternate dense-missing and nearly-complete recipients so both
+            // strategies are exercised, and concentrate counts on few values
+            // every third case so segments hold many pieces (the
+            // giant-bucket regime the swap-based updates are built for).
+            let q_density = if case % 2 == 0 { 0.2 } else { 0.95 };
+            let spread: u32 = if case % 3 == 0 { 3 } else { 30 };
+            let mut q = PieceSet::new(pieces);
+            let mut other = PieceSet::new(pieces);
+            let counts: Vec<u32> = (0..pieces).map(|_| rng.gen_range(1..=spread)).collect();
+            for i in 0..pieces {
+                if rng.gen_bool(q_density) {
+                    q.insert(i);
+                }
+                if rng.gen_bool(0.5) {
+                    other.insert(i);
+                }
+            }
+            // Exercise the index after churny updates, not only a fresh
+            // build (fresh builds are fully sorted; updates shuffle the
+            // within-bucket order).
+            let mut idx = AvailIndex::from_counts(counts);
+            for _ in 0..200 {
+                let piece = rng.gen_range(0..pieces);
+                if idx.counts()[piece] == 0 || rng.gen_bool(0.6) {
+                    idx.increment(piece);
+                } else {
+                    idx.decrement(piece);
+                }
+            }
+            let want = rng.gen_range(0..6);
+            let mut got = Vec::new();
+            idx.batch_picks(&q, &other, want, &mut got);
+            let mut expect = Vec::new();
+            crate::reference::batch_rarest_picks_scan(&q, &other, idx.counts(), want, &mut expect);
+            assert_eq!(got, expect, "case {case} want {want}");
+        }
+    }
+
+    #[test]
+    fn zero_count_decrement_roundtrip() {
+        let mut idx = AvailIndex::from_counts(vec![1, 2, 1]);
+        idx.decrement(0);
+        idx.increment(0);
+        idx.validate();
+        assert_eq!(idx.counts(), &[1, 2, 1]);
+    }
+}

@@ -45,14 +45,16 @@
 // Index-coupled loops are the domain idiom here: round loops couple peer indices across multiple state arrays.
 #![allow(clippy::needless_range_loop)]
 
+mod avail;
 mod behavior;
 mod config;
 pub mod metrics;
 mod piece;
 pub mod reference;
+pub mod session;
 mod swarm;
 
 pub use behavior::PeerBehavior;
 pub use config::{SwarmConfig, SwarmConfigBuilder};
 pub use piece::PieceSet;
-pub use swarm::{Peer, PeerId, Swarm};
+pub use swarm::{Peer, PeerId, Population, Swarm};

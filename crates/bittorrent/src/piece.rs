@@ -97,6 +97,28 @@ impl PieceSet {
         true
     }
 
+    /// Iterates over the held pieces in ascending order (word-parallel).
+    pub fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            core::iter::from_fn(move || {
+                if bits == 0 {
+                    return None;
+                }
+                let b = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                Some(w * 64 + b)
+            })
+        })
+    }
+
+    /// Removes every piece, keeping the allocation (the membership
+    /// layer's slot-recycling path).
+    pub(crate) fn clear(&mut self) {
+        self.words.fill(0);
+        self.held = 0;
+    }
+
     /// Whether `other` holds at least one piece this set lacks — i.e.
     /// whether we are *interested* in `other` (BitTorrent interest).
     #[must_use]

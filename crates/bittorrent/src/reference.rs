@@ -32,6 +32,43 @@ use strat_graph::{generators, NodeId};
 use crate::swarm::peer_round_rng;
 use crate::{PeerBehavior, PeerId, PieceSet, SwarmConfig};
 
+/// The historical one-scan rarest-first prefetch: the first `want` picks
+/// among the pieces `other` has and `q` lacks, sorted in pick order and
+/// packed `(availability << 32) | piece`. This is exactly the sequence
+/// `want` successive [`PieceSet::rarest_missing_from`] + insert steps
+/// produce: inserting a pick removes it from the candidate set and bumps
+/// only its *own* availability, so the remaining candidates'
+/// `(availability, index)` keys never change.
+///
+/// Retained as the differential oracle for the optimized engine's
+/// incrementally ordered availability index (`crate::avail`); the
+/// per-pick scan used by the live [`RefSwarm`] paths is
+/// [`PieceSet::rarest_missing_from`].
+#[cfg(test)]
+pub(crate) fn batch_rarest_picks_scan(
+    q: &PieceSet,
+    other: &PieceSet,
+    availability: &[u32],
+    want: usize,
+    out: &mut Vec<u64>,
+) {
+    out.clear();
+    if want == 0 {
+        return;
+    }
+    for i in q.missing_from(other) {
+        let key = (u64::from(availability[i]) << 32) | i as u64;
+        if out.len() < want {
+            let pos = out.partition_point(|&k| k < key);
+            out.insert(pos, key);
+        } else if key < *out.last().expect("non-empty at capacity") {
+            let pos = out.partition_point(|&k| k < key);
+            out.pop();
+            out.insert(pos, key);
+        }
+    }
+}
+
 /// Per-peer simulation state of the reference engine (the original
 /// array-of-structs layout).
 #[derive(Debug, Clone)]

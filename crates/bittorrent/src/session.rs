@@ -1,0 +1,1018 @@
+//! Open-membership session layer: population turnover over the swarm
+//! engine.
+//!
+//! The closed [`Swarm`] simulates a fixed population; live
+//! BitTorrent swarms are **open** — leechers arrive (Poisson trickle,
+//! flash-crowd burst, or a recorded trace), complete, linger as seeds and
+//! leave. Xu's fluid model (arXiv 1311.1195) gives closed-form
+//! leecher/seed trajectories for exactly this regime, and the `btchurn`
+//! experiment validates this layer against it.
+//!
+//! A [`Session`] drives the swarm's membership primitives between rounds:
+//!
+//! * **arrivals** ([`ArrivalProcess`]) admit empty leechers through
+//!   [`Swarm::arrive`](crate::Swarm::arrive) and wire each to
+//!   `target_degree` random present peers (tracker-style rewiring that
+//!   patches the overlay incrementally);
+//! * **departures** ([`DepartureRules`]) remove peers through
+//!   [`Swarm::depart`](crate::Swarm::depart): leave-on-completion,
+//!   lingering promoted seeds leaving at a per-round probability,
+//!   mid-download aborts, and a *seed exodus* that withdraws the original
+//!   seeds at a fixed round;
+//! * arena slots are reused through the swarm's free list;
+//!   [`SessionPeerId`] tags each slot with a **generation** so stale
+//!   handles never alias a reincarnated slot.
+//!
+//! # Determinism contract
+//!
+//! All session randomness comes from per-event ChaCha streams keyed
+//! `(session_seed, round, event)` — event 0 is the round's departure
+//! pass, event 1 the arrival count, event `2 + i` the wiring of the
+//! `i`-th arrival. No event ever touches the swarm's own streams (the
+//! shared serial stream or the `(seed, round, peer)` streams of the
+//! parallel rounds), so:
+//!
+//! * a session whose processes are all inert is **bit-identical** to the
+//!   closed engine, serial and parallel, at any thread count;
+//! * session runs are bit-reproducible for any thread count, because
+//!   events execute serially between rounds and the rounds themselves
+//!   honour the `strat-par` contract.
+
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{PeerBehavior, PeerId, PieceSet, Population, Swarm};
+
+/// One independent ChaCha stream per `(round, event)` pair — the session
+/// analogue of the engine's `(seed, round, peer)` streams, under its own
+/// domain separator so the two families never collide. The stream id
+/// packs the round in the high 32 bits and the event index in the low 32.
+fn event_rng(seed: u64, round: u64, event: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7365_7373_696f_6e5f); // "session_"
+    rng.set_stream((round << 32) | event);
+    rng
+}
+
+/// Samples a Poisson count with mean `lambda` by Knuth's product method,
+/// chunked (Poisson additivity) so the per-chunk exponential never
+/// underflows and the draw count stays `O(lambda)`.
+fn poisson(rng: &mut ChaCha8Rng, lambda: f64) -> u64 {
+    debug_assert!(lambda.is_finite() && lambda >= 0.0);
+    let mut remaining = lambda;
+    let mut total = 0u64;
+    while remaining > 0.0 {
+        let chunk = remaining.min(16.0);
+        remaining -= chunk;
+        let limit = (-chunk).exp();
+        let mut product = 1.0f64;
+        loop {
+            product *= rng.gen_range(0.0..1.0);
+            if product <= limit {
+                break;
+            }
+            total += 1;
+        }
+    }
+    total
+}
+
+/// How new leechers enter the swarm.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[non_exhaustive]
+pub enum ArrivalProcess {
+    /// No arrivals (closed population).
+    None,
+    /// Poisson arrivals with mean `rate` peers per round.
+    Poisson {
+        /// Expected arrivals per round.
+        rate: f64,
+    },
+    /// A flash crowd: `count` peers arrive together at `round`.
+    Burst {
+        /// Round of the burst.
+        round: u64,
+        /// Peers in the burst.
+        count: u32,
+    },
+    /// An explicit arrival trace: `(round, count)` entries, summed per
+    /// round.
+    Trace {
+        /// Arrival schedule.
+        arrivals: Vec<(u64, u32)>,
+    },
+}
+
+impl ArrivalProcess {
+    /// Number of arrivals at `round`; Poisson draws come from `rng`.
+    fn count_at(&self, round: u64, rng: &mut ChaCha8Rng) -> u64 {
+        match self {
+            ArrivalProcess::None => 0,
+            ArrivalProcess::Poisson { rate } => poisson(rng, *rate),
+            ArrivalProcess::Burst { round: at, count } => {
+                if *at == round {
+                    u64::from(*count)
+                } else {
+                    0
+                }
+            }
+            ArrivalProcess::Trace { arrivals } => arrivals
+                .iter()
+                .filter(|(r, _)| *r == round)
+                .map(|(_, c)| u64::from(*c))
+                .sum(),
+        }
+    }
+
+    /// Whether this process can **never** produce an arrival.
+    fn is_inert(&self) -> bool {
+        match self {
+            ArrivalProcess::None => true,
+            ArrivalProcess::Poisson { rate } => *rate == 0.0,
+            ArrivalProcess::Burst { count, .. } => *count == 0,
+            ArrivalProcess::Trace { arrivals } => arrivals.iter().all(|(_, c)| *c == 0),
+        }
+    }
+}
+
+/// When peers leave the swarm.
+///
+/// The *lingering seed* rule (`seed_leave_prob`) applies to **promoted**
+/// seeds — leechers that completed and stayed, and session arrivals that
+/// entered already complete; only the initial population's original
+/// seeds (the *publisher squad* a tracker operator keeps alive, the
+/// fluid-model comparison's constant seed-capacity term) are exempt,
+/// staying until the `seed_exodus_round`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DepartureRules {
+    /// Probability that a leecher departs the round after completing.
+    pub leave_on_completion: f64,
+    /// Per-round departure probability of promoted (lingering) seeds.
+    pub seed_leave_prob: f64,
+    /// Round at which every original seed departs, if any.
+    pub seed_exodus_round: Option<u64>,
+    /// Per-round probability that an incomplete leecher aborts.
+    pub abort_prob: f64,
+}
+
+impl DepartureRules {
+    /// Rules under which nobody ever leaves.
+    #[must_use]
+    pub fn none() -> Self {
+        Self {
+            leave_on_completion: 0.0,
+            seed_leave_prob: 0.0,
+            seed_exodus_round: None,
+            abort_prob: 0.0,
+        }
+    }
+
+    /// Whether these rules can **never** remove a peer.
+    fn is_inert(&self) -> bool {
+        self.leave_on_completion == 0.0
+            && self.seed_leave_prob == 0.0
+            && self.seed_exodus_round.is_none()
+            && self.abort_prob == 0.0
+    }
+}
+
+/// Parameters of an open-membership session.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SessionConfig {
+    /// Arrival process of new leechers.
+    pub arrival: ArrivalProcess,
+    /// Departure rules.
+    pub departure: DepartureRules,
+    /// Upload capacity handed to every arrival (kbps).
+    pub arrival_upload_kbps: f64,
+    /// Fraction of the file an arrival already holds (drawn i.i.d. per
+    /// piece from its wiring stream; `0.0` = empty, the flash-crowd
+    /// realism default).
+    pub arrival_completion: f64,
+    /// Overlay neighbours the tracker hands each arrival.
+    pub target_degree: usize,
+    /// Seed of the session's `(seed, round, event)` streams.
+    pub session_seed: u64,
+}
+
+impl Default for SessionConfig {
+    /// A closed session: no arrivals, no departures, empty arrivals at
+    /// 1000 kbps wired to 20 neighbours, seed `0x5e55`.
+    fn default() -> Self {
+        Self {
+            arrival: ArrivalProcess::None,
+            departure: DepartureRules::none(),
+            arrival_upload_kbps: 1000.0,
+            arrival_completion: 0.0,
+            target_degree: 20,
+            session_seed: 0x5e55,
+        }
+    }
+}
+
+impl SessionConfig {
+    /// Checks every configuration constraint [`Session::new`] enforces —
+    /// the **single source of truth** both the panicking constructor and
+    /// the scenario layer's error path (`Scenario::build_session`) share,
+    /// so the two can never drift.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable constraint violation.
+    pub fn validate(&self) -> Result<(), String> {
+        for (name, p) in [
+            ("leave_on_completion", self.departure.leave_on_completion),
+            ("seed_leave_prob", self.departure.seed_leave_prob),
+            ("abort_prob", self.departure.abort_prob),
+            ("arrival_completion", self.arrival_completion),
+        ] {
+            if !(p.is_finite() && (0.0..=1.0).contains(&p)) {
+                return Err(format!("{name} must be a probability in [0, 1], got {p}"));
+            }
+        }
+        if let ArrivalProcess::Poisson { rate } = self.arrival {
+            if !(rate.is_finite() && rate >= 0.0) {
+                return Err(format!(
+                    "arrival rate must be non-negative and finite, got {rate}"
+                ));
+            }
+        }
+        if !(self.arrival_upload_kbps.is_finite() && self.arrival_upload_kbps > 0.0) {
+            return Err(format!(
+                "arrival upload capacity must be positive kbps, got {}",
+                self.arrival_upload_kbps
+            ));
+        }
+        if self.target_degree == 0 {
+            return Err("target degree must be positive".to_string());
+        }
+        Ok(())
+    }
+}
+
+/// Generation-tagged peer handle: the arena `slot` plus the `generation`
+/// the slot had when the handle was issued. A handle goes stale the
+/// moment its slot is recycled by a later arrival, so sessions can keep
+/// references across churn without aliasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SessionPeerId {
+    /// Arena slot.
+    pub slot: u32,
+    /// Generation of the slot at issue time.
+    pub generation: u32,
+}
+
+/// Why a peer left the swarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DepartReason {
+    /// Left right after completing (`leave_on_completion`).
+    Completed,
+    /// A promoted seed's lingering period ended (`seed_leave_prob`).
+    SeedLeft,
+    /// The original-seed squad withdrew (`seed_exodus_round`).
+    SeedExodus,
+    /// An incomplete leecher aborted (`abort_prob`).
+    Aborted,
+}
+
+/// Cumulative session statistics.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SessionStats {
+    /// Peers admitted by the arrival process.
+    pub arrivals: u64,
+    /// Peers removed, by any rule.
+    pub departures: u64,
+    /// Download completions observed (including initial-population peers).
+    pub completions: u64,
+    /// Mid-download aborts.
+    pub aborted: u64,
+    /// Original seeds withdrawn by the exodus.
+    pub seed_exodus: u64,
+    /// `(arrival_round, completed_round)` per completion, in completion
+    /// order — the raw material of the per-cohort metrics.
+    pub completion_records: Vec<(u64, u64)>,
+}
+
+impl SessionStats {
+    /// Mean download time (rounds from arrival to completion) over every
+    /// recorded completion; `None` before the first one.
+    #[must_use]
+    pub fn mean_download_rounds(&self) -> Option<f64> {
+        if self.completion_records.is_empty() {
+            return None;
+        }
+        let sum: f64 = self
+            .completion_records
+            .iter()
+            .map(|&(a, c)| (c - a) as f64)
+            .sum();
+        Some(sum / self.completion_records.len() as f64)
+    }
+}
+
+/// Completion summary of one arrival wave (see
+/// [`Session::cohort_completions`]).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CohortCompletion {
+    /// First round of the cohort's arrival window.
+    pub window_start: u64,
+    /// Completions recorded for peers that arrived in the window.
+    pub completed: usize,
+    /// Mean download time (rounds) of those completions.
+    pub mean_download_rounds: f64,
+}
+
+/// An open-membership swarm: the engine plus the arrival/departure
+/// processes driving its membership (see the [module docs](self)).
+///
+/// # Examples
+///
+/// ```
+/// use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
+/// use strat_bittorrent::{Swarm, SwarmConfig};
+///
+/// let config = SwarmConfig::builder()
+///     .leechers(30)
+///     .seeds(2)
+///     .piece_count(64)
+///     .piece_size_kbit(200.0)
+///     .seed(9)
+///     .build();
+/// let swarm = Swarm::new(config, &vec![400.0; 32]);
+/// let mut session = Session::new(
+///     swarm,
+///     SessionConfig {
+///         arrival: ArrivalProcess::Poisson { rate: 2.0 },
+///         departure: DepartureRules {
+///             seed_leave_prob: 0.3,
+///             ..DepartureRules::none()
+///         },
+///         arrival_upload_kbps: 400.0,
+///         ..SessionConfig::default()
+///     },
+/// );
+/// session.run_rounds(40);
+/// let pop = session.population();
+/// assert!(pop.total() > 0);
+/// assert!(session.stats().arrivals > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Session {
+    swarm: Swarm,
+    config: SessionConfig,
+    /// Per-slot reincarnation counter (bumped by every slot reuse).
+    generation: Vec<u32>,
+    /// Round at which the slot's current occupant arrived.
+    arrival_round: Vec<u64>,
+    /// Whether the occupant's completion has been recorded in the stats.
+    completion_recorded: Vec<bool>,
+    /// Whether the occupant already faced its leave-on-completion draw.
+    leave_decided: Vec<bool>,
+    /// Whether the slot's current occupant belongs to the **publisher
+    /// squad** — the initial population's original seeds, exempt from
+    /// every departure rule except the exodus. Session arrivals are never
+    /// publishers, even when they arrive holding the complete file (such
+    /// peers behave like freshly promoted seeds and stay mortal).
+    publisher: Vec<bool>,
+    /// Dense list of the present arena slots (swap-removed on departure),
+    /// so tracker wiring samples uniformly over **present** peers instead
+    /// of rejection-sampling an arena that may be mostly free-listed.
+    present_slots: Vec<u32>,
+    /// `slot_pos[slot]` locates the slot inside `present_slots`
+    /// ([`ABSENT`] when departed).
+    slot_pos: Vec<u32>,
+    stats: SessionStats,
+    /// True when both processes are inert — the zero-churn fast path that
+    /// keeps the session bit-identical to the closed engine.
+    inert: bool,
+}
+
+/// `slot_pos` sentinel for departed slots.
+const ABSENT: u32 = u32::MAX;
+
+impl Session {
+    /// Wraps a (piece-mode) swarm in an open-membership session. Reserves
+    /// overlay slack so tracker rewiring has room to splice edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a fluid-content swarm (open membership needs completions,
+    /// which fluid mode models away), a non-positive arrival capacity, an
+    /// out-of-range probability, or a zero target degree.
+    #[must_use]
+    pub fn new(mut swarm: Swarm, config: SessionConfig) -> Self {
+        assert!(
+            !swarm.config().fluid_content,
+            "open membership requires piece mode (fluid content never completes)"
+        );
+        if let Err(reason) = config.validate() {
+            panic!("invalid session configuration: {reason}");
+        }
+        let inert = config.arrival.is_inert() && config.departure.is_inert();
+        if !inert {
+            swarm.reserve_overlay_slack(config.target_degree.max(4));
+        }
+        let n = swarm.peer_count();
+        let publisher: Vec<bool> = (0..n).map(|p| swarm.peer(p).is_original_seed()).collect();
+        Self {
+            swarm,
+            config,
+            generation: vec![0; n],
+            arrival_round: vec![0; n],
+            completion_recorded: vec![false; n],
+            leave_decided: vec![false; n],
+            publisher,
+            present_slots: (0..n as u32).collect(),
+            slot_pos: (0..n as u32).collect(),
+            stats: SessionStats::default(),
+            inert,
+        }
+    }
+
+    /// The underlying swarm (read access).
+    #[must_use]
+    pub fn swarm(&self) -> &Swarm {
+        &self.swarm
+    }
+
+    /// The session configuration.
+    #[must_use]
+    pub fn config(&self) -> &SessionConfig {
+        &self.config
+    }
+
+    /// Cumulative statistics.
+    #[must_use]
+    pub fn stats(&self) -> &SessionStats {
+        &self.stats
+    }
+
+    /// Rounds simulated so far.
+    #[must_use]
+    pub fn round_count(&self) -> u64 {
+        self.swarm.round_count()
+    }
+
+    /// The present-population split (forwarded from the swarm's
+    /// incremental counters).
+    #[must_use]
+    pub fn population(&self) -> Population {
+        self.swarm.population()
+    }
+
+    /// The generation-tagged handle of arena slot `slot`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn id_of(&self, slot: PeerId) -> SessionPeerId {
+        SessionPeerId {
+            slot: slot as u32,
+            generation: self.generation[slot],
+        }
+    }
+
+    /// Resolves a handle back to its arena slot, or `None` if the slot has
+    /// been recycled since (or its occupant departed).
+    #[must_use]
+    pub fn resolve(&self, id: SessionPeerId) -> Option<PeerId> {
+        let slot = id.slot as usize;
+        (slot < self.swarm.peer_count()
+            && self.generation[slot] == id.generation
+            && self.swarm.is_present(slot))
+        .then_some(slot)
+    }
+
+    /// Round the occupant of `slot` arrived (0 for the initial
+    /// population).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slot` is out of range.
+    #[must_use]
+    pub fn arrival_round_of(&self, slot: PeerId) -> u64 {
+        self.arrival_round[slot]
+    }
+
+    /// Completion summaries bucketed by arrival wave: completions whose
+    /// peer arrived in `[k·window, (k+1)·window)` aggregate into cohort
+    /// `k`. Empty cohorts are omitted.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    #[must_use]
+    pub fn cohort_completions(&self, window: u64) -> Vec<CohortCompletion> {
+        assert!(window > 0, "cohort window must be positive");
+        let mut cohorts: Vec<(u64, usize, f64)> = Vec::new();
+        for &(arrived, completed) in &self.stats.completion_records {
+            let start = (arrived / window) * window;
+            let dt = (completed - arrived) as f64;
+            match cohorts.iter_mut().find(|(s, _, _)| *s == start) {
+                Some((_, count, sum)) => {
+                    *count += 1;
+                    *sum += dt;
+                }
+                None => cohorts.push((start, 1, dt)),
+            }
+        }
+        cohorts.sort_unstable_by_key(|&(s, _, _)| s);
+        cohorts
+            .into_iter()
+            .map(|(window_start, completed, sum)| CohortCompletion {
+                window_start,
+                completed,
+                mean_download_rounds: sum / completed as f64,
+            })
+            .collect()
+    }
+
+    /// Runs `rounds` rounds under the serial round semantics
+    /// ([`Swarm::round`]), with the session's membership events before
+    /// each round.
+    pub fn run_rounds(&mut self, rounds: u64) {
+        for _ in 0..rounds {
+            self.step_round(None);
+        }
+    }
+
+    /// Runs `rounds` rounds under the indexed-stream semantics
+    /// ([`Swarm::run_rounds_parallel`]) across up to `threads` workers.
+    /// Bit-identical for any thread count.
+    pub fn run_rounds_parallel(&mut self, rounds: u64, threads: usize) {
+        for _ in 0..rounds {
+            self.step_round(Some(threads));
+        }
+    }
+
+    /// One session step: departures, then arrivals, then one swarm round
+    /// (serial when `threads` is `None`), then completion recording.
+    fn step_round(&mut self, threads: Option<usize>) {
+        if !self.inert {
+            let round = self.swarm.round_count();
+            self.departure_pass(round);
+            self.arrival_pass(round);
+        }
+        match threads {
+            None => self.swarm.round(),
+            Some(t) => self.swarm.run_rounds_parallel(1, t),
+        }
+        self.record_completions();
+    }
+
+    /// Event 0 of the round: the departure pass, slots in ascending order.
+    fn departure_pass(&mut self, round: u64) {
+        let rules = self.config.departure;
+        if rules.is_inert() {
+            return;
+        }
+        let mut rng = event_rng(self.config.session_seed, round, 0);
+        let exodus_now = rules.seed_exodus_round == Some(round);
+        for p in 0..self.swarm.peer_count() {
+            if !self.swarm.is_present(p) {
+                continue;
+            }
+            if self.publisher[p] {
+                if exodus_now {
+                    self.depart(p, DepartReason::SeedExodus);
+                }
+                continue;
+            }
+            if self.swarm.peer(p).pieces().is_complete() {
+                if !self.leave_decided[p] {
+                    self.leave_decided[p] = true;
+                    if rules.leave_on_completion > 0.0 && rng.gen_bool(rules.leave_on_completion) {
+                        self.depart(p, DepartReason::Completed);
+                    }
+                } else if rules.seed_leave_prob > 0.0 && rng.gen_bool(rules.seed_leave_prob) {
+                    self.depart(p, DepartReason::SeedLeft);
+                }
+            } else if rules.abort_prob > 0.0 && rng.gen_bool(rules.abort_prob) {
+                self.depart(p, DepartReason::Aborted);
+            }
+        }
+    }
+
+    /// Events 1 and `2 + i` of the round: the arrival count, then one
+    /// wiring stream per admitted peer.
+    fn arrival_pass(&mut self, round: u64) {
+        let count = {
+            let mut rng = event_rng(self.config.session_seed, round, 1);
+            self.config.arrival.count_at(round, &mut rng)
+        };
+        for i in 0..count {
+            let mut rng = event_rng(self.config.session_seed, round, 2 + i);
+            let mut pieces = PieceSet::new(self.swarm.config().piece_count);
+            if self.config.arrival_completion > 0.0 {
+                for piece in 0..self.swarm.config().piece_count {
+                    if rng.gen_bool(self.config.arrival_completion) {
+                        pieces.insert(piece);
+                    }
+                }
+            }
+            let slot = self.swarm.arrive(
+                self.config.arrival_upload_kbps,
+                PeerBehavior::Compliant,
+                pieces,
+            );
+            self.on_slot_filled(slot, round);
+            self.stats.arrivals += 1;
+            self.wire(slot, &mut rng);
+        }
+    }
+
+    /// Tracker wiring: connects `slot` to up to `target_degree` distinct
+    /// random **present** peers, drawn uniformly from the dense
+    /// present-slot list (so a mostly free-listed arena cannot starve an
+    /// arrival of edges; the bounded attempt budget only absorbs
+    /// duplicate/full-row collisions).
+    fn wire(&mut self, slot: PeerId, rng: &mut ChaCha8Rng) {
+        let present = self.present_slots.len();
+        if present <= 1 {
+            return;
+        }
+        let target = self.config.target_degree;
+        let mut attempts = 0usize;
+        let max_attempts = 12 * target + 24;
+        while self.swarm.degree(slot) < target && attempts < max_attempts {
+            attempts += 1;
+            let q = self.present_slots[rng.gen_range(0..present)] as usize;
+            if q == slot {
+                continue;
+            }
+            // `connect_peers` rejects duplicates and full rows on its own.
+            self.swarm.connect_peers(slot, q);
+        }
+    }
+
+    /// Book-keeping for a freshly (re)occupied arena slot.
+    fn on_slot_filled(&mut self, slot: PeerId, round: u64) {
+        if slot == self.generation.len() {
+            self.generation.push(0);
+            self.arrival_round.push(0);
+            self.completion_recorded.push(false);
+            self.leave_decided.push(false);
+            self.publisher.push(false);
+            self.slot_pos.push(ABSENT);
+        }
+        self.generation[slot] = self.generation[slot].wrapping_add(1);
+        self.arrival_round[slot] = round;
+        self.completion_recorded[slot] = false;
+        self.leave_decided[slot] = false;
+        // Session arrivals are never publishers, complete or not.
+        self.publisher[slot] = false;
+        debug_assert_eq!(self.slot_pos[slot], ABSENT);
+        self.slot_pos[slot] = self.present_slots.len() as u32;
+        self.present_slots.push(slot as u32);
+    }
+
+    /// Removes `p` and records the departure.
+    fn depart(&mut self, p: PeerId, reason: DepartReason) {
+        self.swarm.depart(p);
+        // Swap-remove from the dense present list.
+        let pos = self.slot_pos[p] as usize;
+        debug_assert_eq!(self.present_slots[pos] as usize, p);
+        let last = *self.present_slots.last().expect("p was present");
+        self.present_slots[pos] = last;
+        self.slot_pos[last as usize] = pos as u32;
+        self.present_slots.pop();
+        self.slot_pos[p] = ABSENT;
+        self.stats.departures += 1;
+        match reason {
+            DepartReason::Aborted => self.stats.aborted += 1,
+            DepartReason::SeedExodus => self.stats.seed_exodus += 1,
+            DepartReason::Completed | DepartReason::SeedLeft => {}
+        }
+    }
+
+    /// Records download completions that happened during the last round
+    /// (non-original peers only — arriving seeds never "complete").
+    fn record_completions(&mut self) {
+        for p in 0..self.swarm.peer_count() {
+            if !self.swarm.is_present(p) || self.completion_recorded[p] {
+                continue;
+            }
+            let peer = self.swarm.peer(p);
+            if peer.is_original_seed() {
+                continue;
+            }
+            if let Some(completed) = peer.completed_round() {
+                self.completion_recorded[p] = true;
+                self.stats.completions += 1;
+                self.stats
+                    .completion_records
+                    .push((self.arrival_round[p], completed));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwarmConfig;
+
+    fn base_swarm(leechers: usize, seeds: usize, seed: u64) -> Swarm {
+        let n = leechers + seeds;
+        let cfg = SwarmConfig::builder()
+            .leechers(leechers)
+            .seeds(seeds)
+            .piece_count(48)
+            .piece_size_kbit(200.0)
+            .mean_neighbors(10.0)
+            .initial_completion(0.3)
+            .seed(seed)
+            .build();
+        Swarm::new(cfg, &vec![400.0; n])
+    }
+
+    #[test]
+    fn poisson_mean_is_about_lambda() {
+        let mut rng = event_rng(1, 0, 0);
+        for lambda in [0.5, 3.0, 25.0] {
+            let draws = 4000;
+            let total: u64 = (0..draws).map(|_| poisson(&mut rng, lambda)).sum();
+            let mean = total as f64 / draws as f64;
+            assert!(
+                (mean - lambda).abs() < 0.15 * lambda + 0.05,
+                "lambda {lambda}: mean {mean}"
+            );
+        }
+    }
+
+    #[test]
+    fn arrivals_grow_population_and_are_wired() {
+        let swarm = base_swarm(20, 2, 3);
+        let mut session = Session::new(
+            swarm,
+            SessionConfig {
+                arrival: ArrivalProcess::Poisson { rate: 3.0 },
+                arrival_upload_kbps: 300.0,
+                target_degree: 6,
+                ..SessionConfig::default()
+            },
+        );
+        session.run_rounds(10);
+        assert!(session.stats().arrivals > 10);
+        assert!(session.population().total() > 22);
+        session.swarm().validate_consistency();
+        // Arrivals got overlay edges.
+        let mut wired = 0;
+        for p in 22..session.swarm().peer_count() {
+            if session.swarm().is_present(p) {
+                assert!(session.swarm().degree(p) > 0, "arrival {p} left unwired");
+                wired += 1;
+            }
+        }
+        assert!(wired > 0);
+    }
+
+    #[test]
+    fn burst_process_fires_once() {
+        let swarm = base_swarm(10, 1, 4);
+        let mut session = Session::new(
+            swarm,
+            SessionConfig {
+                arrival: ArrivalProcess::Burst {
+                    round: 3,
+                    count: 25,
+                },
+                ..SessionConfig::default()
+            },
+        );
+        session.run_rounds(3);
+        assert_eq!(session.stats().arrivals, 0);
+        session.run_rounds(1);
+        assert_eq!(session.stats().arrivals, 25);
+        session.run_rounds(5);
+        assert_eq!(session.stats().arrivals, 25);
+        session.swarm().validate_consistency();
+    }
+
+    #[test]
+    fn trace_process_follows_schedule() {
+        let swarm = base_swarm(10, 1, 5);
+        let mut session = Session::new(
+            swarm,
+            SessionConfig {
+                arrival: ArrivalProcess::Trace {
+                    arrivals: vec![(1, 2), (4, 3), (4, 1)],
+                },
+                ..SessionConfig::default()
+            },
+        );
+        session.run_rounds(6);
+        assert_eq!(session.stats().arrivals, 6);
+    }
+
+    #[test]
+    fn seed_exodus_withdraws_original_seeds() {
+        let swarm = base_swarm(12, 3, 6);
+        let mut session = Session::new(
+            swarm,
+            SessionConfig {
+                departure: DepartureRules {
+                    seed_exodus_round: Some(4),
+                    ..DepartureRules::none()
+                },
+                ..SessionConfig::default()
+            },
+        );
+        session.run_rounds(4);
+        assert_eq!(session.stats().seed_exodus, 0);
+        session.run_rounds(1);
+        assert_eq!(session.stats().seed_exodus, 3);
+        for p in 12..15 {
+            assert!(!session.swarm().is_present(p));
+        }
+        session.swarm().validate_consistency();
+    }
+
+    #[test]
+    fn completions_are_recorded_and_promoted_seeds_leave() {
+        let n = 16;
+        let cfg = SwarmConfig::builder()
+            .leechers(n - 1)
+            .seeds(1)
+            .piece_count(16)
+            .piece_size_kbit(50.0)
+            .mean_neighbors(8.0)
+            .initial_completion(0.7)
+            .seed(8)
+            .build();
+        let swarm = Swarm::new(cfg, &vec![2000.0; n]);
+        let mut session = Session::new(
+            swarm,
+            SessionConfig {
+                departure: DepartureRules {
+                    seed_leave_prob: 0.5,
+                    ..DepartureRules::none()
+                },
+                ..SessionConfig::default()
+            },
+        );
+        session.run_rounds(40);
+        assert!(session.stats().completions > 0);
+        assert!(session.stats().departures > 0);
+        assert!(session.stats().mean_download_rounds().is_some());
+        let cohorts = session.cohort_completions(10);
+        assert!(!cohorts.is_empty());
+        assert_eq!(cohorts[0].window_start, 0);
+        session.swarm().validate_consistency();
+    }
+
+    #[test]
+    fn complete_arrivals_are_mortal_promoted_seeds() {
+        // An arrival that enters holding the whole file must not join the
+        // immortal publisher squad: the lingering-seed rule applies.
+        let swarm = base_swarm(10, 1, 14);
+        let mut session = Session::new(
+            swarm,
+            SessionConfig {
+                arrival: ArrivalProcess::Burst { round: 1, count: 4 },
+                arrival_completion: 1.0, // arrivals draw every piece
+                departure: DepartureRules {
+                    seed_leave_prob: 1.0,
+                    ..DepartureRules::none()
+                },
+                ..SessionConfig::default()
+            },
+        );
+        session.run_rounds(1);
+        assert_eq!(session.stats().arrivals, 0);
+        session.run_rounds(1); // burst lands at round 1
+        assert_eq!(session.stats().arrivals, 4);
+        // Next passes: decision round, then the certain seed-leave draw.
+        session.run_rounds(3);
+        assert!(
+            session.stats().departures >= 4,
+            "complete arrivals never departed: {:?}",
+            session.stats()
+        );
+        // The true publisher (the initial seed) is still there.
+        assert!(session.swarm().is_present(10));
+        session.swarm().validate_consistency();
+    }
+
+    #[test]
+    fn wiring_samples_present_peers_even_in_a_sparse_arena() {
+        // Shrink the present population far below the arena size, then
+        // admit a peer: it must still come out fully wired.
+        let swarm = base_swarm(60, 2, 15);
+        let mut session = Session::new(
+            swarm,
+            SessionConfig {
+                arrival: ArrivalProcess::Burst { round: 3, count: 2 },
+                departure: DepartureRules {
+                    abort_prob: 0.9, // empties most of the arena fast
+                    ..DepartureRules::none()
+                },
+                target_degree: 6,
+                ..SessionConfig::default()
+            },
+        );
+        session.run_rounds(4);
+        assert!(
+            session.population().total() < 30,
+            "population did not shrink: {:?}",
+            session.population()
+        );
+        assert_eq!(session.stats().arrivals, 2);
+        let arrivals: Vec<usize> = (62..session.swarm().peer_count())
+            .chain(0..62)
+            .filter(|&p| session.swarm().is_present(p) && session.arrival_round_of(p) == 3)
+            .collect();
+        for p in arrivals {
+            if session.swarm().is_present(p) {
+                assert!(
+                    session.swarm().degree(p) >= 3,
+                    "arrival {p} under-wired: degree {}",
+                    session.swarm().degree(p)
+                );
+            }
+        }
+        session.swarm().validate_consistency();
+    }
+
+    #[test]
+    fn generation_tags_invalidate_recycled_slots() {
+        let swarm = base_swarm(10, 1, 9);
+        let mut session = Session::new(
+            swarm,
+            SessionConfig {
+                arrival: ArrivalProcess::Burst { round: 1, count: 1 },
+                departure: DepartureRules {
+                    abort_prob: 1.0,
+                    ..DepartureRules::none()
+                },
+                ..SessionConfig::default()
+            },
+        );
+        // Round 0: nothing. Round 1: every incomplete leecher aborts, then
+        // one arrival lands in a recycled slot.
+        let stale = session.id_of(0);
+        assert_eq!(session.resolve(stale), Some(0));
+        session.run_rounds(2);
+        assert!(session.stats().departures > 0);
+        assert_eq!(
+            session.resolve(stale),
+            None,
+            "stale handle must not resolve"
+        );
+        session.swarm().validate_consistency();
+    }
+
+    #[test]
+    fn parallel_session_is_thread_count_independent() {
+        let run = |threads: usize| {
+            let swarm = base_swarm(18, 2, 11);
+            let mut session = Session::new(
+                swarm,
+                SessionConfig {
+                    arrival: ArrivalProcess::Poisson { rate: 2.0 },
+                    departure: DepartureRules {
+                        seed_leave_prob: 0.3,
+                        abort_prob: 0.02,
+                        ..DepartureRules::none()
+                    },
+                    arrival_upload_kbps: 350.0,
+                    target_degree: 8,
+                    ..SessionConfig::default()
+                },
+            );
+            session.run_rounds_parallel(15, threads);
+            let swarm = session.swarm();
+            let state: Vec<(bool, f64, usize)> = (0..swarm.peer_count())
+                .map(|p| {
+                    (
+                        swarm.is_present(p),
+                        swarm.peer(p).total_downloaded(),
+                        swarm.peer(p).pieces().count(),
+                    )
+                })
+                .collect();
+            (
+                state,
+                swarm.availability().to_vec(),
+                session.stats().clone(),
+            )
+        };
+        let baseline = run(1);
+        for threads in [2, 3, 8] {
+            assert_eq!(run(threads), baseline, "threads = {threads}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "piece mode")]
+    fn fluid_swarms_are_rejected() {
+        let cfg = SwarmConfig::builder()
+            .leechers(5)
+            .seeds(1)
+            .fluid_content(true)
+            .build();
+        let swarm = Swarm::new(cfg, &[100.0; 6]);
+        let _ = Session::new(swarm, SessionConfig::default());
+    }
+}

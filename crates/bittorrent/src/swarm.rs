@@ -18,14 +18,32 @@
 //! # Engine layout
 //!
 //! The engine is data-oriented, mirroring the `strat-core` treatment of
-//! the matching hot paths: the overlay is a CSR adjacency with a
+//! the matching hot paths: the overlay is a CSR-style arena with a
 //! precomputed reverse-edge index (`rev[e]` locates the slot of edge
 //! `q → p` given `e = p → q`, replacing the reference engine's linear
 //! `position()` scan on every delivery), per-peer scalars live in flat
-//! parallel arrays, per-edge rate/credit state lives in CSR-aligned
+//! parallel arrays, per-edge rate/credit state lives in row-aligned
 //! arrays, and unchoke sets live in a fixed-stride arena. A persistent
 //! [`Scratch`] arena holds the per-peer candidate/rank/pool buffers, so a
 //! steady-state [`Swarm::round`] performs **zero heap allocation**.
+//!
+//! # Open membership
+//!
+//! Overlay rows are allocated extents (`row_off`) with a live degree
+//! (`deg[p] ≤` row capacity), so the arena supports **membership
+//! mutation** between rounds without rebuilding: [`Swarm::depart`]
+//! removes a peer (unlinking every edge with `O(1)` swap-removes that
+//! patch the reverse-edge index in place), [`Swarm::arrive`] admits one
+//! into a free-listed slot (or grows the arena), and
+//! [`Swarm::connect_peers`] splices a tracker-handed edge into both rows.
+//! Piece availability is maintained incrementally through all of it by
+//! the ordered availability index (`avail` module), and
+//! [`Swarm::population`] / [`Swarm::completed`] read the
+//! incrementally-tracked population split and cumulative completions.
+//! The session layer ([`crate::session`]) drives these primitives with
+//! arrival/departure processes; a closed swarm (no mutation) behaves
+//! exactly as the historical fixed-`n` engine — the differential suites
+//! against [`crate::reference::RefSwarm`] pin that.
 //!
 //! Two round semantics are offered:
 //!
@@ -45,12 +63,15 @@ use std::ops::Range;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
 use strat_graph::{generators, NodeId};
 use strat_par::split_lengths;
 
+use crate::avail::AvailIndex;
 use crate::{PeerBehavior, PieceSet, SwarmConfig};
 
-/// Index of a peer inside a [`Swarm`].
+/// Index of a peer inside a [`Swarm`] (an arena slot; the session layer
+/// wraps it with a generation tag).
 pub type PeerId = usize;
 
 /// Sentinel for "no optimistic unchoke" in the flat optimistic array.
@@ -67,6 +88,26 @@ pub(crate) fn peer_round_rng(seed: u64, round: u64, peer: usize) -> ChaCha8Rng {
     let mut rng = ChaCha8Rng::seed_from_u64(seed ^ 0x7061_7261_6c6c_656c); // "parallel"
     rng.set_stream((round << 32) | peer as u64);
     rng
+}
+
+/// The present-population split of a swarm: peers still downloading vs
+/// peers holding the complete file (original seeds and promoted
+/// leechers). Maintained incrementally — reading it never rescans piece
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Population {
+    /// Present peers that do not yet hold every piece.
+    pub downloading: usize,
+    /// Present peers holding the complete file.
+    pub seeding: usize,
+}
+
+impl Population {
+    /// Total present peers.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.downloading + self.seeding
+    }
 }
 
 /// Borrowed view of one peer's state (the accessor surface the old
@@ -98,10 +139,12 @@ impl<'a> Peer<'a> {
         &self.swarm.pieces[self.id]
     }
 
-    /// Whether this peer started as a seed.
+    /// Whether this peer entered the swarm holding the complete file (an
+    /// original seed, or a complete arrival admitted by
+    /// [`Swarm::arrive`]).
     #[must_use]
     pub fn is_original_seed(&self) -> bool {
-        self.id >= self.swarm.config.leechers
+        self.swarm.original_seed[self.id]
     }
 
     /// Whether the peer currently holds every piece.
@@ -170,18 +213,20 @@ struct Scratch {
 }
 
 /// Working state of the parallel round driver — flow buffers, the
-/// start-of-round piece/availability snapshots, per-worker scratches and
-/// availability deltas. Persisted on the [`Swarm`] (like [`Scratch`]) so
-/// repeated [`Swarm::run_rounds_parallel`] calls — the sampling pattern
-/// of the flash-crowd kernel — allocate nothing in the steady state.
+/// start-of-round piece/availability snapshots, per-worker scratches,
+/// availability deltas and completion counters. Persisted on the
+/// [`Swarm`] (like [`Scratch`]) so repeated [`Swarm::run_rounds_parallel`]
+/// calls — the sampling pattern of the flash-crowd and session kernels —
+/// allocate nothing in the steady state.
 #[derive(Debug, Clone, Default)]
 struct ParBuffers {
     flow: Vec<f64>,
     flow_tft: Vec<bool>,
     pieces_prev: Vec<PieceSet>,
-    avail_prev: Vec<u32>,
+    avail_prev: AvailIndex,
     scratches: Vec<Scratch>,
     deltas: Vec<Vec<u32>>,
+    completions: Vec<usize>,
 }
 
 /// A BitTorrent swarm under Tit-for-Tat choking.
@@ -207,9 +252,10 @@ pub struct Swarm {
     config: SwarmConfig,
     /// Shared stream of the serial round semantics.
     rng: ChaCha8Rng,
-    /// CSR overlay: `nbr[nbr_off[p]..nbr_off[p + 1]]` lists `p`'s
-    /// neighbours.
-    nbr_off: Vec<usize>,
+    /// Overlay arena: row `p` is allocated `row_off[p]..row_off[p + 1]`
+    /// and live in `nbr[row_off[p]..][..deg[p]]`.
+    row_off: Vec<usize>,
+    deg: Vec<u32>,
     nbr: Vec<u32>,
     /// `rev[e]` = global slot of the reverse edge: for `e` in `p`'s row
     /// pointing at `q`, the slot of `p` inside `q`'s row.
@@ -219,11 +265,18 @@ pub struct Swarm {
     behavior: Vec<PeerBehavior>,
     pieces: Vec<PieceSet>,
     completed_round: Vec<Option<u64>>,
+    /// Whether the peer entered the swarm holding the complete file.
+    original_seed: Vec<bool>,
+    /// Membership: departed slots are absent and free-listed for reuse.
+    present: Vec<bool>,
+    free: Vec<u32>,
+    /// Row capacity handed to arena slots appended by [`Swarm::arrive`].
+    grow_row_cap: usize,
     total_up: Vec<f64>,
     total_down: Vec<f64>,
     tft_up: Vec<f64>,
     tft_down: Vec<f64>,
-    // Per-edge state, CSR-aligned.
+    // Per-edge state, row-aligned.
     received_prev: Vec<f64>,
     received_curr: Vec<f64>,
     credit: Vec<f64>,
@@ -234,9 +287,14 @@ pub struct Swarm {
     tft_len: Vec<u32>,
     /// Local neighbour position of the optimistic unchoke, or [`NO_OPT`].
     optimistic: Vec<u32>,
-    /// Global piece availability (holder counts), kept incrementally.
-    availability: Vec<u32>,
+    /// Global piece availability (present-holder counts), kept
+    /// incrementally sorted by `(count, piece)` for rarest-first picks.
+    avail: AvailIndex,
     round: u64,
+    // Incrementally tracked population split and cumulative completions.
+    downloading_now: usize,
+    seeding_now: usize,
+    completed_total: usize,
     /// Per-round cached completion/behaviour flags (recomputed once per
     /// round instead of per rechoke query).
     uploads_now: Vec<bool>,
@@ -286,17 +344,22 @@ impl Swarm {
         let mut rng = ChaCha8Rng::seed_from_u64(config.seed);
 
         // Tracker overlay: Erdős–Rényi with the requested expected degree
-        // (identical RNG consumption to the reference construction).
+        // (identical RNG consumption to the reference construction). Rows
+        // start exactly full (capacity = degree); sessions add slack via
+        // `reserve_overlay_slack` before mutating membership.
         let overlay = generators::erdos_renyi_mean_degree(n, config.mean_neighbors, &mut rng);
-        let mut nbr_off = Vec::with_capacity(n + 1);
-        nbr_off.push(0usize);
+        let mut row_off = Vec::with_capacity(n + 1);
+        row_off.push(0usize);
         let mut nbr: Vec<u32> = Vec::new();
         for p in 0..n {
             for v in overlay.neighbors(NodeId::new(p)) {
                 nbr.push(v.index() as u32);
             }
-            nbr_off.push(nbr.len());
+            row_off.push(nbr.len());
         }
+        let deg: Vec<u32> = (0..n)
+            .map(|p| (row_off[p + 1] - row_off[p]) as u32)
+            .collect();
         // Reverse-edge index: slot of (q → p) for every slot (p → q), built
         // with one counting-sort cursor pass instead of a hash map (the
         // construction bottleneck at n ≫ 10⁵). Overlay rows ascend by
@@ -304,9 +367,9 @@ impl Swarm {
         // visited (outer loop p ascending) in exactly the order of q's own
         // row — the k-th visit of target q is the reverse of q's k-th slot.
         let mut rev = vec![0u32; nbr.len()];
-        let mut cursor: Vec<usize> = nbr_off[..n].to_vec();
+        let mut cursor: Vec<usize> = row_off[..n].to_vec();
         for p in 0..n {
-            for e in nbr_off[p]..nbr_off[p + 1] {
+            for e in row_off[p]..row_off[p + 1] {
                 let q = nbr[e] as usize;
                 rev[e] = cursor[q] as u32;
                 cursor[q] += 1;
@@ -334,6 +397,9 @@ impl Swarm {
         let completed_round: Vec<Option<u64>> = (0..n)
             .map(|p| (p < config.leechers && pieces[p].is_complete()).then_some(0))
             .collect();
+        let completed_total = completed_round.iter().filter(|c| c.is_some()).count();
+        let seeding_now = pieces.iter().filter(|set| set.is_complete()).count();
+        let downloading_now = n - seeding_now;
 
         let mut availability = vec![0u32; config.piece_count];
         for set in &pieces {
@@ -346,13 +412,20 @@ impl Swarm {
         let stride = config.tft_slots;
         Self {
             rng,
-            nbr_off,
+            row_off,
+            deg,
             nbr,
             rev,
             upload_kbps: upload_kbps.to_vec(),
             behavior: behaviors.to_vec(),
             pieces,
             completed_round,
+            original_seed: (0..n).map(|p| p >= config.leechers).collect(),
+            present: vec![true; n],
+            free: Vec::new(),
+            grow_row_cap: (config.mean_neighbors.ceil() as usize)
+                .saturating_mul(2)
+                .max(4),
             total_up: vec![0.0; n],
             total_down: vec![0.0; n],
             tft_up: vec![0.0; n],
@@ -363,8 +436,11 @@ impl Swarm {
             tft_store: vec![0; n * stride],
             tft_len: vec![0; n],
             optimistic: vec![NO_OPT; n],
-            availability,
+            avail: AvailIndex::from_counts(availability),
             round: 0,
+            downloading_now,
+            seeding_now,
+            completed_total,
             uploads_now: vec![false; n],
             acts_seed_now: vec![false; n],
             scratch: Scratch::default(),
@@ -379,10 +455,21 @@ impl Swarm {
         &self.config
     }
 
-    /// Number of peers.
+    /// Number of arena slots (present peers plus free-listed departed
+    /// slots; equal to the peer count on closed swarms).
     #[must_use]
     pub fn peer_count(&self) -> usize {
         self.upload_kbps.len()
+    }
+
+    /// Whether arena slot `p` currently hosts a present peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn is_present(&self, p: PeerId) -> bool {
+        self.present[p]
     }
 
     /// Read access to peer `p`.
@@ -398,9 +485,22 @@ impl Swarm {
 
     /// Overlay neighbours of `p`, in adjacency order.
     pub fn neighbors(&self, p: PeerId) -> impl ExactSizeIterator<Item = PeerId> + '_ {
-        self.nbr[self.nbr_off[p]..self.nbr_off[p + 1]]
+        self.nbr[self.row_off[p]..self.row_off[p] + self.deg[p] as usize]
             .iter()
             .map(|&q| q as PeerId)
+    }
+
+    /// Live overlay degree of `p`.
+    #[must_use]
+    pub fn degree(&self, p: PeerId) -> usize {
+        self.deg[p] as usize
+    }
+
+    /// Allocated overlay-row capacity of `p` (an edge can only be added
+    /// while the live degree is below it).
+    #[must_use]
+    pub fn row_capacity(&self, p: PeerId) -> usize {
+        self.row_off[p + 1] - self.row_off[p]
     }
 
     /// Rounds simulated so far.
@@ -409,26 +509,42 @@ impl Swarm {
         self.round
     }
 
-    /// Global availability (holder count) per piece.
+    /// Global availability (present-holder count) per piece.
     #[must_use]
     pub fn availability(&self) -> &[u32] {
-        &self.availability
+        self.avail.counts()
     }
 
-    /// Number of leechers that hold the complete file.
+    /// The present-population split (downloading vs seeding peers),
+    /// tracked incrementally across transfers, arrivals and departures.
+    #[must_use]
+    pub fn population(&self) -> Population {
+        Population {
+            downloading: self.downloading_now,
+            seeding: self.seeding_now,
+        }
+    }
+
+    /// Cumulative number of download completions: every peer that entered
+    /// incomplete and finished the file, **including** peers that have
+    /// since departed. Equals [`Swarm::completed_count`] on closed swarms.
+    #[must_use]
+    pub fn completed(&self) -> usize {
+        self.completed_total
+    }
+
+    /// Number of leechers that completed the file (cumulative; see
+    /// [`Swarm::completed`], which this forwards to).
     #[must_use]
     pub fn completed_count(&self) -> usize {
-        self.completed_round[..self.config.leechers]
-            .iter()
-            .filter(|c| c.is_some())
-            .count()
+        self.completed()
     }
 
     /// The peers `p` is currently TFT-unchoking.
     #[must_use]
     pub fn tft_unchoked(&self, p: PeerId) -> Vec<PeerId> {
         let stride = self.config.tft_slots;
-        let base = self.nbr_off[p];
+        let base = self.row_off[p];
         self.tft_store[p * stride..p * stride + self.tft_len[p] as usize]
             .iter()
             .map(|&k| self.nbr[base + k as usize] as PeerId)
@@ -439,7 +555,7 @@ impl Swarm {
     #[must_use]
     pub fn optimistic_unchoked(&self, p: PeerId) -> Option<PeerId> {
         let k = self.optimistic[p];
-        (k != NO_OPT).then(|| self.nbr[self.nbr_off[p] + k as usize] as PeerId)
+        (k != NO_OPT).then(|| self.nbr[self.row_off[p] + k as usize] as PeerId)
     }
 
     /// Simulates one round (rechoke, then transfer) under the serial
@@ -515,11 +631,11 @@ impl Swarm {
         par.flow.resize(self.nbr.len(), 0.0);
         par.flow_tft.resize(self.nbr.len(), false);
         par.deltas.resize_with(workers, Vec::new);
+        par.completions.resize(workers, 0);
         if !fluid {
             if par.pieces_prev.len() != n {
                 par.pieces_prev = self.pieces.clone();
             }
-            par.avail_prev.resize(piece_count, 0);
             for delta in &mut par.deltas {
                 delta.resize(piece_count, 0);
             }
@@ -532,7 +648,7 @@ impl Swarm {
                 for (dst, src) in par.pieces_prev.iter_mut().zip(self.pieces.iter()) {
                     dst.copy_bits_from(src);
                 }
-                par.avail_prev.copy_from_slice(&self.availability);
+                par.avail_prev.clone_from(&self.avail);
             }
             self.par_rechoke_and_flows(
                 &ranges,
@@ -547,14 +663,23 @@ impl Swarm {
                 &par.pieces_prev,
                 &par.avail_prev,
                 &mut par.deltas,
+                &mut par.completions,
                 &mut par.scratches,
             );
             if !fluid {
                 for delta in &mut par.deltas {
-                    for (a, d) in self.availability.iter_mut().zip(delta.iter_mut()) {
-                        *a += *d;
+                    for (piece, d) in delta.iter_mut().enumerate() {
+                        for _ in 0..*d {
+                            self.avail.increment(piece);
+                        }
                         *d = 0;
                     }
+                }
+                for c in &mut par.completions {
+                    self.completed_total += *c;
+                    self.downloading_now -= *c;
+                    self.seeding_now += *c;
+                    *c = 0;
                 }
             }
             self.round += 1;
@@ -566,7 +691,7 @@ impl Swarm {
 
     /// Whether `q` is interested in `p`'s content.
     ///
-    /// Fluid mode: leechers are always interested (content never
+    /// Fluid mode: non-seed peers are always interested (content never
     /// bottlenecks, §6); seeds are interested in nobody.
     ///
     /// The completion fast paths are exact: a complete `q` lacks nothing
@@ -576,7 +701,7 @@ impl Swarm {
     fn interested(&self, q: PeerId, p: PeerId) -> bool {
         interested_at(
             self.config.fluid_content,
-            self.config.leechers,
+            &self.original_seed,
             &self.pieces,
             q,
             p,
@@ -589,18 +714,18 @@ impl Swarm {
             return true;
         }
         if self.config.fluid_content {
-            p >= self.config.leechers
+            self.original_seed[p]
         } else {
             self.pieces[p].is_complete()
         }
     }
 
-    /// Whether `p` currently uploads at all.
+    /// Whether `p` currently uploads at all (absent slots never do).
     fn uploads(&self, p: PeerId) -> bool {
-        if !self.behavior[p].uploads() {
+        if !self.present[p] || !self.behavior[p].uploads() {
             return false;
         }
-        if !self.config.fluid_content && self.pieces[p].is_complete() && p < self.config.leechers {
+        if !self.config.fluid_content && self.pieces[p].is_complete() && !self.original_seed[p] {
             self.config.seed_after_completion
         } else {
             true
@@ -622,9 +747,11 @@ impl Swarm {
         let mut scratch = std::mem::take(&mut self.scratch);
         let Swarm {
             ref config,
-            ref nbr_off,
+            ref row_off,
+            ref deg,
             ref nbr,
             ref pieces,
+            ref original_seed,
             ref received_prev,
             ref uploads_now,
             ref acts_seed_now,
@@ -638,7 +765,6 @@ impl Swarm {
         let n = uploads_now.len();
         let stride = config.tft_slots;
         let fluid = config.fluid_content;
-        let leechers = config.leechers;
         let rotate_optimistic = round.is_multiple_of(u64::from(config.optimistic_period));
         for p in 0..n {
             if !uploads_now[p] {
@@ -646,12 +772,12 @@ impl Swarm {
                 optimistic[p] = NO_OPT;
                 continue;
             }
-            let base = nbr_off[p];
+            let base = row_off[p];
             let opt = choke_policy(
                 &mut scratch,
                 rng,
-                nbr_off[p + 1] - base,
-                |k| interested_at(fluid, leechers, pieces, nbr[base + k] as usize, p),
+                deg[p] as usize,
+                |k| interested_at(fluid, original_seed, pieces, nbr[base + k] as usize, p),
                 |k| received_prev[base + k],
                 acts_seed_now[p],
                 stride,
@@ -690,7 +816,7 @@ impl Swarm {
             if opt != NO_OPT && !scratch.targets.iter().any(|&(k, _)| k == opt) {
                 scratch.targets.push((opt, false));
             }
-            let base = self.nbr_off[p];
+            let base = self.row_off[p];
             scratch
                 .targets
                 .retain(|&(k, _)| self.interested(self.nbr[base + k as usize] as usize, p));
@@ -725,17 +851,12 @@ impl Swarm {
         if self.credit[er] < piece_size {
             return;
         }
-        // Prefetch the whole pick sequence in one scan (see
-        // [`batch_rarest_picks`]); the bound covers every iteration the
-        // credit loop can possibly run.
+        // Prefetch the whole pick sequence in one ordered scan (see
+        // [`AvailIndex::batch_picks`]); the bound covers every iteration
+        // the credit loop can possibly run.
         let want = (self.credit[er] / piece_size) as usize + 2;
-        batch_rarest_picks(
-            &self.pieces[q],
-            &self.pieces[p],
-            &self.availability,
-            want,
-            picks,
-        );
+        self.avail
+            .batch_picks(&self.pieces[q], &self.pieces[p], want, picks);
         let mut used = 0;
         while self.credit[er] >= piece_size {
             let Some(&packed) = picks.get(used) else {
@@ -747,9 +868,12 @@ impl Swarm {
             let piece = (packed & u64::from(u32::MAX)) as usize;
             self.credit[er] -= piece_size;
             self.pieces[q].insert(piece);
-            self.availability[piece] += 1;
+            self.avail.increment(piece);
             if self.pieces[q].is_complete() && self.completed_round[q].is_none() {
                 self.completed_round[q] = Some(self.round + 1);
+                self.completed_total += 1;
+                self.downloading_now -= 1;
+                self.seeding_now += 1;
             }
         }
     }
@@ -766,10 +890,12 @@ impl Swarm {
     ) {
         let Swarm {
             ref config,
-            ref nbr_off,
+            ref row_off,
+            ref deg,
             ref nbr,
             ref upload_kbps,
             ref pieces,
+            ref original_seed,
             ref received_prev,
             ref uploads_now,
             ref acts_seed_now,
@@ -783,13 +909,12 @@ impl Swarm {
         } = *self;
         let stride = config.tft_slots;
         let fluid = config.fluid_content;
-        let leechers = config.leechers;
         let rotate_optimistic = round.is_multiple_of(u64::from(config.optimistic_period));
 
         let peer_sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
         let edge_sizes: Vec<usize> = ranges
             .iter()
-            .map(|r| nbr_off[r.end] - nbr_off[r.start])
+            .map(|r| row_off[r.end] - row_off[r.start])
             .collect();
         let tft_sizes: Vec<usize> = peer_sizes.iter().map(|l| l * stride).collect();
 
@@ -821,11 +946,11 @@ impl Swarm {
                 let ftft_c = ftft_parts.next().expect("one part per range");
                 let scratch = scratch_parts.next().expect("one scratch per range");
                 scope.spawn(move || {
-                    let edge_base = nbr_off[range.start];
+                    let edge_base = row_off[range.start];
                     for p in range.clone() {
                         let li = p - range.start;
-                        let eb = nbr_off[p];
-                        let ee = nbr_off[p + 1];
+                        let eb = row_off[p];
+                        let ee = eb + deg[p] as usize;
                         // Reset this sender's flow row from the last round.
                         for e in eb..ee {
                             flow_c[e - edge_base] = 0.0;
@@ -841,7 +966,9 @@ impl Swarm {
                             scratch,
                             &mut rng,
                             ee - eb,
-                            |k| interested_at(fluid, leechers, pieces, nbr[eb + k] as usize, p),
+                            |k| {
+                                interested_at(fluid, original_seed, pieces, nbr[eb + k] as usize, p)
+                            },
                             |k| received_prev[eb + k],
                             acts_seed_now[p],
                             stride,
@@ -863,7 +990,13 @@ impl Swarm {
                             scratch.targets.push((opt, false));
                         }
                         scratch.targets.retain(|&(k, _)| {
-                            interested_at(fluid, leechers, pieces, nbr[eb + k as usize] as usize, p)
+                            interested_at(
+                                fluid,
+                                original_seed,
+                                pieces,
+                                nbr[eb + k as usize] as usize,
+                                p,
+                            )
                         });
                         if scratch.targets.is_empty() {
                             continue;
@@ -887,8 +1020,9 @@ impl Swarm {
     /// Parallel pass 2: recipient-major delivery. Each recipient drains
     /// its incoming flows in ascending neighbour-slot order, converting
     /// credit into rarest-first picks against the start-of-round piece /
-    /// availability snapshot; availability increments accumulate into
-    /// per-worker deltas merged serially afterwards.
+    /// availability snapshot; availability increments and completion
+    /// counts accumulate into per-worker buffers merged serially
+    /// afterwards.
     #[allow(clippy::too_many_arguments)] // one slot per worker-owned buffer
     fn par_delivery(
         &mut self,
@@ -896,13 +1030,15 @@ impl Swarm {
         flow: &[f64],
         flow_tft: &[bool],
         pieces_prev: &[PieceSet],
-        avail_prev: &[u32],
+        avail_prev: &AvailIndex,
         deltas: &mut [Vec<u32>],
+        completions: &mut [usize],
         scratches: &mut [Scratch],
     ) {
         let Swarm {
             ref config,
-            ref nbr_off,
+            ref row_off,
+            ref deg,
             ref nbr,
             ref rev,
             ref mut pieces,
@@ -920,7 +1056,7 @@ impl Swarm {
         let peer_sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
         let edge_sizes: Vec<usize> = ranges
             .iter()
-            .map(|r| nbr_off[r.end] - nbr_off[r.start])
+            .map(|r| row_off[r.end] - row_off[r.start])
             .collect();
 
         let pieces_parts = split_lengths(pieces, &peer_sizes);
@@ -938,6 +1074,7 @@ impl Swarm {
             let mut rc_parts = rc_parts.into_iter();
             let mut credit_parts = credit_parts.into_iter();
             let mut delta_parts = deltas.iter_mut();
+            let mut comp_parts = completions.iter_mut();
             let mut scratch_parts = scratches.iter_mut();
             for range in ranges {
                 let range = range.clone();
@@ -948,13 +1085,14 @@ impl Swarm {
                 let rc_c = rc_parts.next().expect("one part per range");
                 let credit_c = credit_parts.next().expect("one part per range");
                 let delta = delta_parts.next().expect("one delta per range");
+                let comp = comp_parts.next().expect("one counter per range");
                 let scratch = scratch_parts.next().expect("one scratch per range");
                 scope.spawn(move || {
-                    let edge_base = nbr_off[range.start];
+                    let edge_base = row_off[range.start];
                     for q in range.clone() {
                         let li = q - range.start;
-                        let eb = nbr_off[q];
-                        let ee = nbr_off[q + 1];
+                        let eb = row_off[q];
+                        let ee = eb + deg[q] as usize;
                         for e in eb..ee {
                             let f = flow[rev[e] as usize];
                             if f == 0.0 {
@@ -976,10 +1114,9 @@ impl Swarm {
                             }
                             let p = nbr[e] as usize;
                             let want = (*cr / piece_size) as usize + 2;
-                            batch_rarest_picks(
+                            avail_prev.batch_picks(
                                 &pieces_c[li],
                                 &pieces_prev[p],
-                                avail_prev,
                                 want,
                                 &mut scratch.picks,
                             );
@@ -995,6 +1132,7 @@ impl Swarm {
                                 delta[piece] += 1;
                                 if pieces_c[li].is_complete() && completed_c[li].is_none() {
                                     completed_c[li] = Some(round + 1);
+                                    *comp += 1;
                                 }
                             }
                         }
@@ -1002,6 +1140,313 @@ impl Swarm {
                 });
             }
         });
+    }
+
+    // ------------------------------------------------------------------
+    // Open-membership primitives (driven by `crate::session`).
+    // ------------------------------------------------------------------
+
+    /// Re-lays out the overlay arena so every row has `extra` spare
+    /// neighbour slots beyond its live degree. Live edges, their
+    /// rate/credit state and within-row order are preserved exactly;
+    /// only the allocation changes, so rounds behave identically before
+    /// and after. Sessions call this once at construction so tracker
+    /// rewiring has room to splice in new edges.
+    pub fn reserve_overlay_slack(&mut self, extra: usize) {
+        if extra == 0 {
+            return;
+        }
+        let n = self.peer_count();
+        let old_off = std::mem::take(&mut self.row_off);
+        let mut new_off = Vec::with_capacity(n + 1);
+        new_off.push(0usize);
+        for p in 0..n {
+            new_off.push(new_off[p] + self.deg[p] as usize + extra);
+        }
+        let total = new_off[n];
+        let mut nbr = vec![0u32; total];
+        let mut rev = vec![0u32; total];
+        let mut received_prev = vec![0.0; total];
+        let mut received_curr = vec![0.0; total];
+        let mut credit = vec![0.0; total];
+        for p in 0..n {
+            for k in 0..self.deg[p] as usize {
+                let old_e = old_off[p] + k;
+                let q = self.nbr[old_e] as usize;
+                let local_er = self.rev[old_e] as usize - old_off[q];
+                let e = new_off[p] + k;
+                nbr[e] = q as u32;
+                rev[e] = (new_off[q] + local_er) as u32;
+                received_prev[e] = self.received_prev[old_e];
+                received_curr[e] = self.received_curr[old_e];
+                credit[e] = self.credit[old_e];
+            }
+        }
+        self.row_off = new_off;
+        self.nbr = nbr;
+        self.rev = rev;
+        self.received_prev = received_prev;
+        self.received_curr = received_curr;
+        self.credit = credit;
+        self.grow_row_cap = self
+            .grow_row_cap
+            .max(self.config.mean_neighbors.ceil() as usize + extra);
+        // Edge-aligned parallel buffers are stale; rebuild on next use.
+        self.par = ParBuffers::default();
+    }
+
+    /// Admits a peer into the swarm: reuses a free-listed departed slot
+    /// when one exists, otherwise grows the arena by one slot with
+    /// `row_cap` neighbour-slot capacity. The peer starts with no
+    /// overlay edges (wire it with [`Swarm::connect_peers`]); its pieces
+    /// join the availability index incrementally. A complete arrival
+    /// counts as an original seed (it never "completes a download").
+    ///
+    /// Returns the arena slot hosting the peer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the capacity is non-positive or `pieces` covers a
+    /// different file.
+    pub fn arrive(&mut self, upload_kbps: f64, behavior: PeerBehavior, pieces: PieceSet) -> PeerId {
+        assert!(
+            upload_kbps.is_finite() && upload_kbps > 0.0,
+            "upload capacities must be positive"
+        );
+        assert_eq!(
+            pieces.piece_count(),
+            self.config.piece_count,
+            "piece count mismatch"
+        );
+        let complete = pieces.is_complete();
+        let p = match self.free.pop() {
+            Some(slot) => slot as usize,
+            None => self.grow_one_slot(),
+        };
+        debug_assert!(!self.present[p] && self.deg[p] == 0);
+        self.present[p] = true;
+        self.upload_kbps[p] = upload_kbps;
+        self.behavior[p] = behavior;
+        for i in pieces.ones() {
+            self.avail.increment(i);
+        }
+        self.pieces[p] = pieces;
+        self.completed_round[p] = None;
+        self.original_seed[p] = complete;
+        self.total_up[p] = 0.0;
+        self.total_down[p] = 0.0;
+        self.tft_up[p] = 0.0;
+        self.tft_down[p] = 0.0;
+        self.tft_len[p] = 0;
+        self.optimistic[p] = NO_OPT;
+        if complete {
+            self.seeding_now += 1;
+        } else {
+            self.downloading_now += 1;
+        }
+        p
+    }
+
+    /// Appends one empty arena slot with the growth row capacity
+    /// (tracking the slack of [`Swarm::reserve_overlay_slack`], with a
+    /// floor of twice the configured mean degree) and returns it absent.
+    fn grow_one_slot(&mut self) -> PeerId {
+        let p = self.peer_count();
+        let row_cap = self.grow_row_cap;
+        let end = self.row_off[p] + row_cap;
+        self.row_off.push(end);
+        self.nbr.resize(end, 0);
+        self.rev.resize(end, 0);
+        self.received_prev.resize(end, 0.0);
+        self.received_curr.resize(end, 0.0);
+        self.credit.resize(end, 0.0);
+        self.deg.push(0);
+        self.upload_kbps.push(1.0);
+        self.behavior.push(PeerBehavior::Compliant);
+        self.pieces.push(PieceSet::new(self.config.piece_count));
+        self.completed_round.push(None);
+        self.original_seed.push(false);
+        self.present.push(false);
+        self.total_up.push(0.0);
+        self.total_down.push(0.0);
+        self.tft_up.push(0.0);
+        self.tft_down.push(0.0);
+        self.tft_store.resize((p + 1) * self.config.tft_slots, 0);
+        self.tft_len.push(0);
+        self.optimistic.push(NO_OPT);
+        self.uploads_now.push(false);
+        self.acts_seed_now.push(false);
+        p
+    }
+
+    /// Removes peer `p` from the swarm: unlinks every overlay edge
+    /// (patching the reverse-edge index in place), withdraws its pieces
+    /// from the availability index, and free-lists the slot for reuse by
+    /// a later [`Swarm::arrive`]. Cumulative transfer totals stay
+    /// readable until the slot is reused.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or already absent.
+    pub fn depart(&mut self, p: PeerId) {
+        assert!(self.present[p], "peer {p} is not present");
+        while self.deg[p] > 0 {
+            self.remove_edge_at(p, self.deg[p] as usize - 1);
+        }
+        let complete = self.pieces[p].is_complete();
+        let Swarm {
+            ref pieces,
+            ref mut avail,
+            ..
+        } = *self;
+        for i in pieces[p].ones() {
+            avail.decrement(i);
+        }
+        self.pieces[p].clear();
+        self.completed_round[p] = None;
+        if complete {
+            self.seeding_now -= 1;
+        } else {
+            self.downloading_now -= 1;
+        }
+        self.present[p] = false;
+        self.tft_len[p] = 0;
+        self.optimistic[p] = NO_OPT;
+        self.free.push(p as u32);
+    }
+
+    /// Adds the overlay edge `p – q` (tracker wiring). Returns `false`
+    /// without changes when the edge cannot be added: endpoints equal or
+    /// absent, already neighbours, or either row at capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slot is out of range.
+    pub fn connect_peers(&mut self, p: PeerId, q: PeerId) -> bool {
+        if p == q || !self.present[p] || !self.present[q] {
+            return false;
+        }
+        if self.deg[p] as usize >= self.row_capacity(p)
+            || self.deg[q] as usize >= self.row_capacity(q)
+        {
+            return false;
+        }
+        if self.neighbors(p).any(|v| v == q) {
+            return false;
+        }
+        let e = self.row_off[p] + self.deg[p] as usize;
+        let er = self.row_off[q] + self.deg[q] as usize;
+        self.nbr[e] = q as u32;
+        self.nbr[er] = p as u32;
+        self.rev[e] = er as u32;
+        self.rev[er] = e as u32;
+        for slot in [e, er] {
+            self.received_prev[slot] = 0.0;
+            self.received_curr[slot] = 0.0;
+            self.credit[slot] = 0.0;
+        }
+        self.deg[p] += 1;
+        self.deg[q] += 1;
+        true
+    }
+
+    /// Unlinks the edge at local slot `k` of `p`'s row: swap-removes both
+    /// directions (moving the displaced edges' state along and re-pointing
+    /// their reverse slots). The unchoke state (TFT set and optimistic
+    /// slot) of both endpoints is dropped — it stores local row positions,
+    /// which may have moved; the next rechoke rebuilds it.
+    fn remove_edge_at(&mut self, p: PeerId, k: usize) {
+        let e = self.row_off[p] + k;
+        let q = self.nbr[e] as usize;
+        let er = self.rev[e] as usize;
+        // q side: move q's last live edge into `er`.
+        let q_last = self.row_off[q] + self.deg[q] as usize - 1;
+        if er != q_last {
+            self.nbr[er] = self.nbr[q_last];
+            self.rev[er] = self.rev[q_last];
+            self.received_prev[er] = self.received_prev[q_last];
+            self.received_curr[er] = self.received_curr[q_last];
+            self.credit[er] = self.credit[q_last];
+            let partner = self.rev[er] as usize;
+            self.rev[partner] = er as u32;
+        }
+        self.clear_edge_slot(q_last);
+        self.deg[q] -= 1;
+        // p side: move p's last live edge into `e`. (The q-side move never
+        // touches p's row: rows hold at most one edge per neighbour.)
+        let p_last = self.row_off[p] + self.deg[p] as usize - 1;
+        if e != p_last {
+            self.nbr[e] = self.nbr[p_last];
+            self.rev[e] = self.rev[p_last];
+            self.received_prev[e] = self.received_prev[p_last];
+            self.received_curr[e] = self.received_curr[p_last];
+            self.credit[e] = self.credit[p_last];
+            let partner = self.rev[e] as usize;
+            self.rev[partner] = e as u32;
+        }
+        self.clear_edge_slot(p_last);
+        self.deg[p] -= 1;
+        self.tft_len[p] = 0;
+        self.tft_len[q] = 0;
+        self.optimistic[p] = NO_OPT;
+        self.optimistic[q] = NO_OPT;
+    }
+
+    #[inline]
+    fn clear_edge_slot(&mut self, e: usize) {
+        self.nbr[e] = 0;
+        self.rev[e] = 0;
+        self.received_prev[e] = 0.0;
+        self.received_curr[e] = 0.0;
+        self.credit[e] = 0.0;
+    }
+
+    /// Checks the engine's structural invariants — reverse-edge symmetry,
+    /// degree bounds, availability counts and the population split
+    /// against a from-scratch recount. Test support for the membership
+    /// proptests; `O(edges + peers · pieces)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any invariant is violated.
+    pub fn validate_consistency(&self) {
+        let n = self.peer_count();
+        let mut downloading = 0;
+        let mut seeding = 0;
+        for p in 0..n {
+            assert!(
+                self.deg[p] as usize <= self.row_capacity(p),
+                "peer {p} over capacity"
+            );
+            if !self.present[p] {
+                assert_eq!(self.deg[p], 0, "absent peer {p} keeps edges");
+                continue;
+            }
+            if self.pieces[p].is_complete() {
+                seeding += 1;
+            } else {
+                downloading += 1;
+            }
+            for e in self.row_off[p]..self.row_off[p] + self.deg[p] as usize {
+                let q = self.nbr[e] as usize;
+                assert!(self.present[q], "edge {p}–{q} points at an absent peer");
+                let er = self.rev[e] as usize;
+                assert!(
+                    (self.row_off[q]..self.row_off[q] + self.deg[q] as usize).contains(&er),
+                    "reverse slot of {p}->{q} outside {q}'s live row"
+                );
+                assert_eq!(self.nbr[er] as usize, p, "reverse slot mismatch");
+                assert_eq!(self.rev[er] as usize, e, "reverse-of-reverse mismatch");
+            }
+        }
+        assert_eq!(self.downloading_now, downloading, "downloading count");
+        assert_eq!(self.seeding_now, seeding, "seeding count");
+        for i in 0..self.config.piece_count {
+            let holders = (0..n)
+                .filter(|&p| self.present[p] && self.pieces[p].contains(i))
+                .count() as u32;
+            assert_eq!(holders, self.availability()[i], "availability of piece {i}");
+        }
     }
 }
 
@@ -1019,45 +1464,20 @@ fn interested_pieces(q: &PieceSet, p: &PieceSet) -> bool {
     q.is_interested_in(p)
 }
 
-/// The first `want` rarest-first picks among the pieces `other` has and
-/// `q` lacks, sorted in pick order and packed `(availability << 32) |
-/// piece`. This is exactly the sequence `want` successive
-/// [`PieceSet::rarest_missing_from`] + insert steps produce: inserting a
-/// pick removes it from the candidate set and bumps only its *own*
-/// availability, so the remaining candidates' `(availability, index)`
-/// keys never change — one scan replaces a rescan per converted piece.
-fn batch_rarest_picks(
-    q: &PieceSet,
-    other: &PieceSet,
-    availability: &[u32],
-    want: usize,
-    out: &mut Vec<u64>,
-) {
-    out.clear();
-    if want == 0 {
-        return;
-    }
-    for i in q.missing_from(other) {
-        let key = (u64::from(availability[i]) << 32) | i as u64;
-        if out.len() < want {
-            let pos = out.partition_point(|&k| k < key);
-            out.insert(pos, key);
-        } else if key < *out.last().expect("non-empty at capacity") {
-            let pos = out.partition_point(|&k| k < key);
-            out.pop();
-            out.insert(pos, key);
-        }
-    }
-}
-
 /// The engine's interest predicate over raw state (fluid shortcut or
 /// piece-mode fast paths) — the single definition every rechoke/flow
 /// closure and [`Swarm::interested`] share, so the predicate cannot drift
 /// between the serial and parallel semantics.
 #[inline]
-fn interested_at(fluid: bool, leechers: usize, pieces: &[PieceSet], q: usize, p: usize) -> bool {
+fn interested_at(
+    fluid: bool,
+    original_seed: &[bool],
+    pieces: &[PieceSet],
+    q: usize,
+    p: usize,
+) -> bool {
     if fluid {
-        q != p && q < leechers
+        q != p && !original_seed[q]
     } else {
         interested_pieces(&pieces[q], &pieces[p])
     }
@@ -1187,6 +1607,7 @@ mod tests {
         assert!(!swarm.peer(0).is_original_seed());
         // Availability counts all holders.
         assert!(swarm.availability().iter().all(|&a| a >= 2));
+        swarm.validate_consistency();
     }
 
     #[test]
@@ -1194,10 +1615,10 @@ mod tests {
         let cfg = small_config(25, 1);
         let swarm = Swarm::new(cfg, &uniform_uploads(26, 500.0));
         for p in 0..26 {
-            for e in swarm.nbr_off[p]..swarm.nbr_off[p + 1] {
+            for e in swarm.row_off[p]..swarm.row_off[p] + swarm.deg[p] as usize {
                 let q = swarm.nbr[e] as usize;
                 let er = swarm.rev[e] as usize;
-                assert!((swarm.nbr_off[q]..swarm.nbr_off[q + 1]).contains(&er));
+                assert!((swarm.row_off[q]..swarm.row_off[q] + swarm.deg[q] as usize).contains(&er));
                 assert_eq!(swarm.nbr[er] as usize, p);
                 assert_eq!(swarm.rev[er] as usize, e);
             }
@@ -1270,6 +1691,10 @@ mod tests {
         for p in 0..10 {
             assert!(swarm.peer(p).completed_round().is_some());
         }
+        // The incrementally tracked population agrees: everyone seeds now.
+        assert_eq!(swarm.population().downloading, 0);
+        assert_eq!(swarm.population().seeding, 11);
+        assert_eq!(swarm.completed(), 10);
     }
 
     #[test]
@@ -1368,6 +1793,7 @@ mod tests {
                 .count() as u32;
             assert_eq!(holders, swarm.availability()[i], "piece {i}");
         }
+        swarm.validate_consistency();
     }
 
     #[test]
@@ -1473,5 +1899,154 @@ mod tests {
         // Altruists keep uploading and (being leechers) keep downloading.
         assert!(swarm.peer(3).total_uploaded() > 0.0);
         assert!(swarm.peer(3).total_downloaded() > 0.0);
+    }
+
+    #[test]
+    fn slack_preserves_rounds_bit_for_bit() {
+        // Re-laying out the arena with spare row capacity must not change
+        // behaviour: identical seeds and rounds, identical state.
+        let run = |slack: usize| {
+            let cfg = small_config(20, 2);
+            let uploads: Vec<f64> = (0..22).map(|i| 150.0 + 25.0 * i as f64).collect();
+            let mut swarm = Swarm::new(cfg, &uploads);
+            swarm.reserve_overlay_slack(slack);
+            swarm.run_rounds(15);
+            (0..22)
+                .map(|p| {
+                    (
+                        swarm.peer(p).total_downloaded(),
+                        swarm.peer(p).pieces().count(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(7));
+    }
+
+    #[test]
+    fn slack_preserves_parallel_rounds_bit_for_bit() {
+        let run = |slack: usize| {
+            let cfg = small_config(19, 2);
+            let uploads: Vec<f64> = (0..21).map(|i| 150.0 + 25.0 * i as f64).collect();
+            let mut swarm = Swarm::new(cfg, &uploads);
+            swarm.reserve_overlay_slack(slack);
+            swarm.run_rounds_parallel(9, 3);
+            swarm.run_rounds_parallel(6, 3);
+            (0..21)
+                .map(|p| {
+                    (
+                        swarm.peer(p).total_downloaded(),
+                        swarm.peer(p).pieces().count(),
+                    )
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(0), run(5));
+    }
+
+    #[test]
+    fn depart_then_arrive_reuses_slot_and_keeps_invariants() {
+        let cfg = small_config(14, 2);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(16, 500.0));
+        swarm.reserve_overlay_slack(6);
+        swarm.run_rounds(4);
+        let before_pop = swarm.population();
+        let departed_complete = swarm.peer(5).pieces().is_complete();
+        swarm.depart(5);
+        assert!(!swarm.is_present(5));
+        assert_eq!(swarm.degree(5), 0);
+        swarm.validate_consistency();
+        let mid_pop = swarm.population();
+        assert_eq!(mid_pop.total() + 1, before_pop.total());
+        let _ = departed_complete;
+
+        // The freed slot is reused by the next arrival.
+        let slot = swarm.arrive(700.0, PeerBehavior::Compliant, PieceSet::new(64));
+        assert_eq!(slot, 5);
+        assert!(swarm.is_present(5));
+        assert_eq!(swarm.peer(5).upload_kbps(), 700.0);
+        assert_eq!(swarm.peer(5).total_downloaded(), 0.0);
+        // Wire it to a few present peers and keep simulating.
+        for q in [0usize, 1, 2] {
+            assert!(swarm.connect_peers(slot, q));
+        }
+        assert_eq!(swarm.degree(slot), 3);
+        swarm.validate_consistency();
+        swarm.run_rounds(6);
+        swarm.validate_consistency();
+        assert!(swarm.peer(slot).total_downloaded() > 0.0);
+    }
+
+    #[test]
+    fn depart_drops_stale_unchoke_state_of_survivors() {
+        // TFT sets store local row positions; a swap-removing departure
+        // invalidates them, so the survivors' unchoke state must be
+        // cleared rather than left pointing at reshuffled slots.
+        let cfg = small_config(16, 2);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(18, 500.0));
+        swarm.reserve_overlay_slack(4);
+        swarm.run_rounds(6); // populate TFT sets and optimistic slots
+        let victim = 3;
+        let neighbors: Vec<PeerId> = swarm.neighbors(victim).collect();
+        swarm.depart(victim);
+        for &q in &neighbors {
+            assert!(swarm.tft_unchoked(q).is_empty(), "stale TFT set on {q}");
+            assert!(swarm.optimistic_unchoked(q).is_none());
+        }
+        // Every remaining unchoke reference across the swarm is a live
+        // neighbor.
+        for p in 0..swarm.peer_count() {
+            if !swarm.is_present(p) {
+                continue;
+            }
+            let nbrs: Vec<PeerId> = swarm.neighbors(p).collect();
+            for t in swarm.tft_unchoked(p) {
+                assert!(nbrs.contains(&t), "peer {p} TFT-unchokes non-neighbor {t}");
+            }
+        }
+        swarm.run_rounds(4); // and the engine keeps simulating cleanly
+        swarm.validate_consistency();
+    }
+
+    #[test]
+    fn arrival_growth_appends_fresh_slots() {
+        let cfg = small_config(6, 1);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(7, 500.0));
+        swarm.reserve_overlay_slack(4);
+        let n0 = swarm.peer_count();
+        let p = swarm.arrive(333.0, PeerBehavior::Compliant, PieceSet::new(64));
+        assert_eq!(p, n0);
+        assert_eq!(swarm.peer_count(), n0 + 1);
+        assert!(swarm.row_capacity(p) >= 4);
+        assert!(swarm.connect_peers(p, 0));
+        swarm.validate_consistency();
+        // A complete arrival is an original seed and counts as seeding.
+        let seeds_before = swarm.population().seeding;
+        let s = swarm.arrive(900.0, PeerBehavior::Compliant, PieceSet::full(64));
+        assert!(swarm.peer(s).is_original_seed());
+        assert_eq!(swarm.population().seeding, seeds_before + 1);
+        swarm.validate_consistency();
+    }
+
+    #[test]
+    fn connect_rejects_duplicates_and_full_rows() {
+        let cfg = small_config(6, 1);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(7, 500.0));
+        // No slack: every initial row is exactly full.
+        let p = 0;
+        if swarm.degree(p) > 0 {
+            let q = swarm.neighbors(p).next().unwrap();
+            assert!(!swarm.connect_peers(p, q), "duplicate edge accepted");
+        }
+        assert!(!swarm.connect_peers(p, p), "self edge accepted");
+    }
+
+    #[test]
+    #[should_panic(expected = "is not present")]
+    fn double_depart_panics() {
+        let cfg = small_config(6, 1);
+        let mut swarm = Swarm::new(cfg, &uniform_uploads(7, 500.0));
+        swarm.depart(2);
+        swarm.depart(2);
     }
 }

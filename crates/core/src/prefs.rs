@@ -61,6 +61,23 @@ pub trait PreferenceSystem {
     /// Whether peer `p` strictly prefers `a` to `b` as a mate.
     fn prefers(&self, p: NodeId, a: NodeId, b: NodeId) -> bool;
 
+    /// An optional scalar **sort key** for `candidate` in `p`'s eyes:
+    /// when every member of a neighborhood reports `Some`, ordering the
+    /// row by ascending `(key, id)` must reproduce exactly the order of
+    /// pairwise [`prefers`](Self::prefers) comparisons with the id
+    /// tie-break — the contract [`PrefAcceptance::build`] relies on to
+    /// replace `O(deg log deg)` *indirect preference comparisons* per row
+    /// with `deg` key evaluations and a plain scalar sort (the cold-start
+    /// cost of the generalized engine is dominated by table
+    /// construction).
+    ///
+    /// Return `None` (the default) when no such scalar exists (e.g.
+    /// lexicographic combinations); builders fall back to the comparator
+    /// path.
+    fn sort_key(&self, _p: NodeId, _candidate: NodeId) -> Option<f64> {
+        None
+    }
+
     /// The most preferred element of `candidates` for `p`, if any.
     fn best_of(&self, p: NodeId, candidates: &[NodeId]) -> Option<NodeId> {
         let mut best: Option<NodeId> = None;
@@ -113,6 +130,11 @@ impl PreferenceSystem for GlobalPrefs {
     fn prefers(&self, _p: NodeId, a: NodeId, b: NodeId) -> bool {
         self.ranking.prefers(a, b)
     }
+
+    fn sort_key(&self, _p: NodeId, candidate: NodeId) -> Option<f64> {
+        // Rank positions are < 2^32, exactly representable in f64.
+        Some(self.ranking.rank_of(candidate).position() as f64)
+    }
 }
 
 /// A symmetric, distance-based utility: peer `p` prefers mates with
@@ -161,6 +183,12 @@ impl PreferenceSystem for LatencyPrefs {
         let db = self.distance(p, b);
         // Deterministic tie-break on node id keeps preferences strict.
         da < db || (da == db && a < b)
+    }
+
+    fn sort_key(&self, p: NodeId, candidate: NodeId) -> Option<f64> {
+        // `prefers` is exactly "(distance, id) ascending" (positions are
+        // finite, so distances never collide as NaN).
+        Some(self.distance(p, candidate))
     }
 }
 
@@ -242,6 +270,12 @@ impl PreferenceSystem for BandedRankPrefs {
 
     fn prefers(&self, _p: NodeId, a: NodeId, b: NodeId) -> bool {
         self.class(a) < self.class(b)
+    }
+
+    fn sort_key(&self, _p: NodeId, candidate: NodeId) -> Option<f64> {
+        // Intra-class ties resolve to ascending id under `(key, id)` —
+        // the same deterministic strictness the comparator path imposes.
+        Some(self.class(candidate) as f64)
     }
 }
 
@@ -499,23 +533,52 @@ impl PrefAcceptance {
         // fallback keeps the comparator a total order — the table then
         // *imposes* the strictness the contract asks for, deterministically,
         // instead of handing `sort_unstable_by` an inconsistent comparator.
+        //
+        // When the system provides scalar sort keys
+        // ([`PreferenceSystem::sort_key`]), each row sorts by its cached
+        // `(key, id)` pairs instead: `deg` key evaluations + a scalar sort
+        // replace `O(deg log deg)` indirect `prefers` calls. The key
+        // contract makes the two paths produce the identical order, so the
+        // table — and everything downstream — is bit-identical either way
+        // (this is what seeds the generalized engine's cold start the way
+        // Algorithm 1's precomputed ranks seed the ranked path).
         let mut pref_pos = vec![0u32; total];
         let mut order: Vec<u32> = Vec::new();
+        let mut keys: Vec<f64> = Vec::new();
         for v in graph.nodes() {
             let row = graph.neighbors(v);
             let base = offsets[v.index()] as usize;
             order.clear();
             order.extend(0..row.len() as u32);
-            order.sort_unstable_by(|&a, &b| {
-                let (qa, qb) = (row[a as usize], row[b as usize]);
-                if prefs.prefers(v, qa, qb) {
-                    Ordering::Less
-                } else if prefs.prefers(v, qb, qa) {
-                    Ordering::Greater
-                } else {
-                    qa.cmp(&qb)
+            keys.clear();
+            let mut keyed = true;
+            for &q in row {
+                match prefs.sort_key(v, q) {
+                    Some(key) => keys.push(key),
+                    None => {
+                        keyed = false;
+                        break;
+                    }
                 }
-            });
+            }
+            if keyed {
+                order.sort_unstable_by(|&a, &b| {
+                    keys[a as usize]
+                        .total_cmp(&keys[b as usize])
+                        .then_with(|| row[a as usize].cmp(&row[b as usize]))
+                });
+            } else {
+                order.sort_unstable_by(|&a, &b| {
+                    let (qa, qb) = (row[a as usize], row[b as usize]);
+                    if prefs.prefers(v, qa, qb) {
+                        Ordering::Less
+                    } else if prefs.prefers(v, qb, qa) {
+                        Ordering::Greater
+                    } else {
+                        qa.cmp(&qb)
+                    }
+                });
+            }
             for (pos, &slot) in order.iter().enumerate() {
                 pref_pos[base + slot as usize] = pos as u32;
             }
@@ -1154,6 +1217,55 @@ mod tests {
                 let (q_ids, _) = keys.row(q);
                 let back = q_ids.iter().position(|&w| w == v).expect("symmetric");
                 assert_eq!(keys.rev_key(v, k).position(), back, "({v}, {q})");
+            }
+        }
+    }
+
+    #[test]
+    fn keyed_and_comparator_builds_are_identical() {
+        // A wrapper hiding the sort keys forces the comparator path; the
+        // two tables must agree slot for slot.
+        struct NoKeys<P>(P);
+        impl<P: PreferenceSystem> PreferenceSystem for NoKeys<P> {
+            fn n(&self) -> usize {
+                self.0.n()
+            }
+            fn prefers(&self, p: NodeId, a: NodeId, b: NodeId) -> bool {
+                self.0.prefers(p, a, b)
+            }
+        }
+        let mut rng = ChaCha8Rng::seed_from_u64(55);
+        let graph = generators::erdos_renyi_mean_degree(80, 12.0, &mut rng);
+        let positions: Vec<f64> = (0..80).map(|i| ((i * 31) % 80) as f64 * 0.5).collect();
+        for (keyed, unkeyed) in [
+            (
+                PrefAcceptance::build(&graph, &LatencyPrefs::new(positions.clone())),
+                PrefAcceptance::build(&graph, &NoKeys(LatencyPrefs::new(positions.clone()))),
+            ),
+            (
+                PrefAcceptance::build(&graph, &GlobalPrefs::new(GlobalRanking::identity(80))),
+                PrefAcceptance::build(
+                    &graph,
+                    &NoKeys(GlobalPrefs::new(GlobalRanking::identity(80))),
+                ),
+            ),
+            (
+                PrefAcceptance::build(
+                    &graph,
+                    &BandedRankPrefs::new(GlobalRanking::identity(80), 7),
+                ),
+                PrefAcceptance::build(
+                    &graph,
+                    &NoKeys(BandedRankPrefs::new(GlobalRanking::identity(80), 7)),
+                ),
+            ),
+        ] {
+            for v in 0..80 {
+                let v = n(v);
+                assert_eq!(keyed.row(v), unkeyed.row(v), "row of {v}");
+                for k in 0..keyed.degree(v) {
+                    assert_eq!(keyed.rev_key(v, k), unkeyed.rev_key(v, k), "({v}, {k})");
+                }
             }
         }
     }

@@ -31,6 +31,9 @@ pub enum ScenarioError {
     },
     /// A swarm build was requested but the scenario has no `swarm` section.
     MissingSwarm,
+    /// A session build was requested but the swarm section has no `churn`
+    /// sub-section.
+    MissingChurn,
     /// The underlying graph construction failed.
     Graph(GraphError),
     /// The underlying matching-model construction failed.
@@ -56,6 +59,12 @@ impl core::fmt::Display for ScenarioError {
             }
             ScenarioError::MissingSwarm => {
                 write!(f, "scenario has no `swarm` section; cannot build a swarm")
+            }
+            ScenarioError::MissingChurn => {
+                write!(
+                    f,
+                    "swarm section has no `churn` sub-section; cannot build a session"
+                )
             }
             ScenarioError::Graph(e) => write!(f, "topology: {e}"),
             ScenarioError::Model(e) => write!(f, "model: {e}"),

@@ -7,8 +7,8 @@ use serde_json::Value;
 use strat_core::InitiativeStrategy;
 
 use crate::{
-    BehaviorMix, CapacityModel, ChurnModel, PreferenceModel, Scenario, ScenarioError, SwarmParams,
-    TopologyModel,
+    ArrivalProcess, BehaviorMix, CapacityModel, ChurnModel, DepartureRules, PreferenceModel,
+    Scenario, ScenarioError, SessionConfig, SwarmParams, TopologyModel,
 };
 
 impl Scenario {
@@ -197,7 +197,77 @@ impl SwarmParams {
                 free_riders: usize_field(behavior, "free_riders")?,
                 altruists: usize_field(behavior, "altruists")?,
             },
+            // Absent and null both mean "closed swarm" (pre-churn preset
+            // files carry no `churn` key at all).
+            churn: match value.get("churn") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(session_config_from_value(v)?),
+            },
         })
+    }
+}
+
+fn session_config_from_value(value: &Value) -> Result<SessionConfig, ScenarioError> {
+    let departure = require(value, "departure")?;
+    Ok(SessionConfig {
+        arrival: arrival_from_value(require(value, "arrival")?)?,
+        departure: DepartureRules {
+            leave_on_completion: f64_field(departure, "leave_on_completion")?,
+            seed_leave_prob: f64_field(departure, "seed_leave_prob")?,
+            seed_exodus_round: match require(departure, "seed_exodus_round")? {
+                Value::Null => None,
+                v => {
+                    Some(v.as_u64().ok_or_else(|| {
+                        type_error("seed_exodus_round", "unsigned integer or null")
+                    })?)
+                }
+            },
+            abort_prob: f64_field(departure, "abort_prob")?,
+        },
+        arrival_upload_kbps: f64_field(value, "arrival_upload_kbps")?,
+        arrival_completion: f64_field(value, "arrival_completion")?,
+        target_degree: usize_field(value, "target_degree")?,
+        session_seed: u64_field(value, "session_seed")?,
+    })
+}
+
+fn arrival_from_value(value: &Value) -> Result<ArrivalProcess, ScenarioError> {
+    let (tag, body) = variant(value, "arrival process")?;
+    match tag {
+        "None" => Ok(ArrivalProcess::None),
+        "Poisson" => Ok(ArrivalProcess::Poisson {
+            rate: f64_field(body, "rate")?,
+        }),
+        "Burst" => Ok(ArrivalProcess::Burst {
+            round: u64_field(body, "round")?,
+            count: u32::try_from(u64_field(body, "count")?)
+                .map_err(|_| type_error("count", "u32"))?,
+        }),
+        "Trace" => {
+            let raw = require(body, "arrivals")?
+                .as_array()
+                .ok_or_else(|| type_error("arrivals", "array"))?;
+            let mut arrivals = Vec::with_capacity(raw.len());
+            for pair in raw {
+                let pair = pair
+                    .as_array()
+                    .filter(|p| p.len() == 2)
+                    .ok_or_else(|| type_error("arrival entry", "[round, count] pair"))?;
+                arrivals.push((
+                    pair[0]
+                        .as_u64()
+                        .ok_or_else(|| type_error("arrival round", "unsigned integer"))?,
+                    u32::try_from(
+                        pair[1]
+                            .as_u64()
+                            .ok_or_else(|| type_error("arrival count", "unsigned integer"))?,
+                    )
+                    .map_err(|_| type_error("arrival count", "u32"))?,
+                ));
+            }
+            Ok(ArrivalProcess::Trace { arrivals })
+        }
+        other => Err(unknown_variant("arrival process", other)),
     }
 }
 
@@ -362,6 +432,57 @@ mod tests {
             Err(ScenarioError::Parse(_))
         ));
         assert!(Scenario::from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn churn_section_round_trips() {
+        for arrival in [
+            ArrivalProcess::None,
+            ArrivalProcess::Poisson { rate: 4.5 },
+            ArrivalProcess::Burst {
+                round: 12,
+                count: 300,
+            },
+            ArrivalProcess::Trace {
+                arrivals: vec![(1, 2), (9, 40)],
+            },
+        ] {
+            let scenario = Scenario::new("churny", 40).with_swarm(SwarmParams {
+                churn: Some(SessionConfig {
+                    arrival,
+                    departure: DepartureRules {
+                        leave_on_completion: 0.1,
+                        seed_leave_prob: 0.25,
+                        seed_exodus_round: Some(40),
+                        abort_prob: 0.01,
+                    },
+                    arrival_upload_kbps: 400.0,
+                    arrival_completion: 0.05,
+                    target_degree: 12,
+                    session_seed: 99,
+                }),
+                ..SwarmParams::default()
+            });
+            let parsed = Scenario::from_json(&scenario.to_json()).expect("round trip parses");
+            assert_eq!(parsed, scenario);
+        }
+        // `seed_exodus_round: null` round-trips too.
+        let scenario = Scenario::new("churny", 10).with_swarm(SwarmParams {
+            churn: Some(SessionConfig::default()),
+            ..SwarmParams::default()
+        });
+        assert_eq!(Scenario::from_json(&scenario.to_json()).unwrap(), scenario);
+    }
+
+    #[test]
+    fn legacy_swarm_sections_without_churn_parse_to_none() {
+        // Pre-churn preset files carry no `churn` key at all.
+        let scenario = Scenario::new("legacy", 8).with_swarm(SwarmParams::default());
+        let json = scenario.to_json().replace(",\"churn\":null", "");
+        // Only the scenario-level ChurnModel axis key remains.
+        assert_eq!(json.matches("churn").count(), 1, "not stripped: {json}");
+        let parsed = Scenario::from_json(&json).expect("legacy JSON parses");
+        assert_eq!(parsed.swarm.unwrap().churn, None);
     }
 
     #[test]

@@ -72,6 +72,9 @@ pub use model::{
     BehaviorMix, BuiltPreferences, CapacityModel, ChurnModel, PreferenceModel, TopologyModel,
 };
 pub use scenario::{Scenario, ScenarioDynamics, SwarmParams};
+// The swarm-churn section types come from the engine crate verbatim: the
+// scenario's `swarm.churn` section *is* a session configuration.
+pub use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
 
 /// Deterministic ChaCha8 stream `stream` derived from `seed` — the
 /// workspace-wide seed-derivation convention (formerly

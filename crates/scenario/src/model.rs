@@ -401,6 +401,14 @@ impl PreferenceSystem for BuiltPreferences {
             BuiltPreferences::BandedLatency(s) => s.prefers(p, a, b),
         }
     }
+
+    fn sort_key(&self, p: NodeId, candidate: NodeId) -> Option<f64> {
+        match self {
+            BuiltPreferences::Global(s) => s.sort_key(p, candidate),
+            BuiltPreferences::Latency(s) => s.sort_key(p, candidate),
+            BuiltPreferences::BandedLatency(s) => s.sort_key(p, candidate),
+        }
+    }
 }
 
 impl PreferenceModel {

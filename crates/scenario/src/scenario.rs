@@ -2,6 +2,9 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
+#[cfg(test)]
+use strat_bittorrent::session::ArrivalProcess;
+use strat_bittorrent::session::{Session, SessionConfig};
 use strat_bittorrent::{Swarm, SwarmConfig};
 use strat_core::{
     stable_configuration, stable_configuration_complete, stable_configuration_masked, Capacities,
@@ -280,6 +283,10 @@ pub struct SwarmParams {
     pub swarm_seed: u64,
     /// Protocol-behavior mix of the leecher population.
     pub behavior: BehaviorMix,
+    /// Open-membership section: arrival/departure processes driving a
+    /// [`Session`] ([`Scenario::build_session`]); `None` for closed
+    /// swarms.
+    pub churn: Option<SessionConfig>,
 }
 
 impl Default for SwarmParams {
@@ -301,6 +308,7 @@ impl Default for SwarmParams {
             fluid_content: false,
             swarm_seed: 0xb17,
             behavior: BehaviorMix::compliant(),
+            churn: None,
         }
     }
 }
@@ -663,6 +671,42 @@ impl Scenario {
             .build();
         Ok(Swarm::with_behaviors(config, &uploads, &behaviors))
     }
+
+    /// The open-membership session: the swarm of
+    /// [`build_swarm`](Self::build_swarm) (identical RNG consumption)
+    /// wrapped in the `swarm.churn` section's arrival/departure processes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::MissingSwarm`] /
+    /// [`ScenarioError::MissingChurn`] without the respective sections,
+    /// [`ScenarioError::InvalidParameter`] for a fluid-content swarm (open
+    /// membership needs completions), an out-of-range probability or
+    /// arrival rate, a non-positive arrival capacity or a zero target
+    /// degree; otherwise propagates component failures.
+    pub fn build_session<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Session, ScenarioError> {
+        let params = self.swarm.as_ref().ok_or(ScenarioError::MissingSwarm)?;
+        let churn = params.churn.as_ref().ok_or(ScenarioError::MissingChurn)?;
+        if params.fluid_content {
+            return Err(ScenarioError::InvalidParameter {
+                what: "swarm churn",
+                reason: "open membership requires piece mode (fluid content never completes)"
+                    .to_string(),
+            });
+        }
+        // The engine's own constraint set ([`SessionConfig::validate`], the
+        // single source of truth `Session::new` asserts), surfaced as a
+        // [`ScenarioError`] so malformed JSON fails cleanly instead of
+        // panicking.
+        churn
+            .validate()
+            .map_err(|reason| ScenarioError::InvalidParameter {
+                what: "swarm churn",
+                reason,
+            })?;
+        let swarm = self.build_swarm(rng)?;
+        Ok(Session::new(swarm, churn.clone()))
+    }
 }
 
 #[cfg(test)]
@@ -749,6 +793,79 @@ mod tests {
         assert_eq!(swarm.peer(19).behavior(), PeerBehavior::FreeRider);
         assert!(swarm.peer(20).is_original_seed());
         assert_eq!(swarm.peer(20).upload_kbps(), 1000.0);
+    }
+
+    #[test]
+    fn session_scenario_builds_and_runs() {
+        let scenario = Scenario::new("t", 24)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 8.0 })
+            .with_capacity(CapacityModel::Constant { value: 400.0 })
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                piece_count: 32,
+                piece_size_kbit: 150.0,
+                churn: Some(SessionConfig {
+                    arrival: ArrivalProcess::Poisson { rate: 2.0 },
+                    arrival_upload_kbps: 400.0,
+                    target_degree: 8,
+                    ..SessionConfig::default()
+                }),
+                ..SwarmParams::default()
+            });
+        let mut session = scenario.build_session(&mut rng(3)).unwrap();
+        session.run_rounds(8);
+        assert!(session.stats().arrivals > 0);
+        session.swarm().validate_consistency();
+        // Same stream, same session — and the embedded swarm matches the
+        // closed build (identical RNG consumption).
+        let swarm = scenario.build_swarm(&mut rng(3)).unwrap();
+        assert_eq!(
+            session.swarm().config().mean_neighbors,
+            swarm.config().mean_neighbors
+        );
+    }
+
+    #[test]
+    fn session_requires_churn_and_piece_mode() {
+        let base = Scenario::new("t", 10)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 6.0 })
+            .with_capacity(CapacityModel::Constant { value: 300.0 });
+        // No swarm section at all.
+        assert!(matches!(
+            base.clone().build_session(&mut rng(1)),
+            Err(ScenarioError::MissingSwarm)
+        ));
+        // Swarm section without churn.
+        let closed = base.clone().with_swarm(SwarmParams::default());
+        assert!(matches!(
+            closed.build_session(&mut rng(1)),
+            Err(ScenarioError::MissingChurn)
+        ));
+        // Fluid-content sessions are rejected.
+        let fluid = base.clone().with_swarm(SwarmParams {
+            fluid_content: true,
+            churn: Some(SessionConfig::default()),
+            ..SwarmParams::default()
+        });
+        assert!(matches!(
+            fluid.build_session(&mut rng(1)),
+            Err(ScenarioError::InvalidParameter { .. })
+        ));
+        // Out-of-range probabilities surface as errors, not panics.
+        let bad = base.with_swarm(SwarmParams {
+            churn: Some(SessionConfig {
+                departure: crate::DepartureRules {
+                    seed_leave_prob: 1.5,
+                    ..crate::DepartureRules::none()
+                },
+                ..SessionConfig::default()
+            }),
+            ..SwarmParams::default()
+        });
+        assert!(matches!(
+            bad.build_session(&mut rng(1)),
+            Err(ScenarioError::InvalidParameter { .. })
+        ));
     }
 
     #[test]

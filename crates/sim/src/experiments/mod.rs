@@ -14,6 +14,7 @@
 //! `SwarmConfig` by hand.
 
 pub mod bt1;
+pub mod btchurn;
 pub mod btflash;
 pub mod btfree;
 pub mod ext1;

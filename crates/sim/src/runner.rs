@@ -216,6 +216,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Free-rider share sweep over the BehaviorMix (TFT incentive structure)"
         ),
         entry!(
+            "btchurn",
+            btchurn,
+            "Open swarm: arrival x seed-leave sweep vs the fluid model (session subsystem)"
+        ),
+        entry!(
             "ext1",
             ext1,
             "Combined utilities: rank stratification vs latency clustering (section 7)"

@@ -48,6 +48,9 @@ const GOLDEN: &[(&str, u64)] = &[
     ("ext2", 0x87423fc70fa52cc7),
     // PR 4 addition (generic-engine latency clustering), recorded at birth.
     ("latstrat", 0xc2b9f5910930b60f),
+    // PR 5 addition (open-membership churn sweep vs the fluid model),
+    // recorded at birth.
+    ("btchurn", 0x1310264f860d92cb),
     ("fluid", 0xc0fe96f77ba157fe),
     ("mmo", 0x27179e7ca8fb3385),
 ];

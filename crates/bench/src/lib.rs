@@ -25,7 +25,9 @@ use criterion::{black_box, BenchmarkId, Criterion};
 use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
-use strat_bittorrent::{reference::RefSwarm, PeerBehavior, PieceSet, Swarm, SwarmConfig};
+use strat_bittorrent::{
+    overlay, reference::RefSwarm, FaultPlan, PeerBehavior, PieceSet, Swarm, SwarmConfig,
+};
 use strat_core::prefs::{best_mate_dynamics, LatencyPrefs, PrefDynamicsOutcome};
 use strat_core::GeneralDynamics;
 use strat_core::{
@@ -399,6 +401,64 @@ pub fn bench_session(c: &mut Criterion) {
     group.finish();
 }
 
+/// The fault plane on the session layer:
+///
+/// * `round_faulted_n1000` — the `round_churn_n1000` regime with every
+///   fault class live (crashes, transfer loss, repair); the delta to the
+///   fault-free twin is the plane's per-round overhead;
+/// * `overlay_snapshot_n1000` — the full degradation measurement
+///   (components, diameter of the largest component, seed reachability,
+///   stall scan) on a ~10³-peer stationary swarm.
+pub fn bench_faults(c: &mut Criterion) {
+    let mut group = c.benchmark_group("faults");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    let churn_swarm = |n0: usize| {
+        let config = SwarmConfig::builder()
+            .leechers(n0)
+            .seeds(2)
+            .piece_count(256)
+            .piece_size_kbit(250.0)
+            .initial_completion(0.5)
+            .mean_neighbors(20.0)
+            .seed(0x5e55)
+            .build();
+        Swarm::new(config, &vec![400.0; n0 + 2])
+    };
+    let churn_config = SessionConfig {
+        arrival: ArrivalProcess::Poisson { rate: 60.0 },
+        departure: DepartureRules {
+            seed_leave_prob: 0.25,
+            ..DepartureRules::none()
+        },
+        arrival_upload_kbps: 400.0,
+        target_degree: 20,
+        session_seed: 0x5e55,
+        ..SessionConfig::default()
+    };
+    let mut session = Session::with_faults(
+        churn_swarm(700),
+        churn_config,
+        FaultPlan {
+            crash_prob: 0.002,
+            loss_prob: 0.05,
+            outages: vec![],
+            partitions: vec![],
+            fault_seed: 0xfa17,
+        },
+    );
+    session.run_rounds(40); // stationary turnover with repair active
+    group.bench_function("round_faulted_n1000", |b| b.iter(|| session.run_rounds(1)));
+
+    let mut snapshot_target = Session::new(churn_swarm(1000), SessionConfig::default());
+    snapshot_target.run_rounds(8);
+    group.bench_function("overlay_snapshot_n1000", |b| {
+        b.iter(|| overlay::snapshot(snapshot_target.swarm()));
+    });
+    group.finish();
+}
+
 /// Registers every core group (optimized + reference) on `c`.
 pub fn core_groups(c: &mut Criterion) {
     bench_stable_configuration(c);
@@ -410,4 +470,5 @@ pub fn core_groups(c: &mut Criterion) {
     bench_swarm_rounds(c);
     bench_swarm_rounds_ref(c);
     bench_session(c);
+    bench_faults(c);
 }

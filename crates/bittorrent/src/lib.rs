@@ -48,7 +48,9 @@
 mod avail;
 mod behavior;
 mod config;
+pub mod faults;
 pub mod metrics;
+pub mod overlay;
 mod piece;
 pub mod reference;
 pub mod session;
@@ -56,5 +58,6 @@ mod swarm;
 
 pub use behavior::PeerBehavior;
 pub use config::{SwarmConfig, SwarmConfigBuilder};
+pub use faults::{FaultPlan, FaultWindow};
 pub use piece::PieceSet;
 pub use swarm::{Peer, PeerId, Population, Swarm};

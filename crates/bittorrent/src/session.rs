@@ -42,6 +42,7 @@ use rand::{Rng, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::faults::{fault_rng, FaultPlan, CRASH_EVENT, REPAIR_EVENT};
 use crate::{PeerBehavior, PeerId, PieceSet, Population, Swarm};
 
 /// One independent ChaCha stream per `(round, event)` pair — the session
@@ -273,6 +274,9 @@ pub enum DepartReason {
     SeedExodus,
     /// An incomplete leecher aborted (`abort_prob`).
     Aborted,
+    /// The fault plane crashed the peer (`FaultPlan::crash_prob`) — an
+    /// abrupt departure with no graceful-lifecycle draws.
+    Crashed,
 }
 
 /// Cumulative session statistics.
@@ -288,6 +292,15 @@ pub struct SessionStats {
     pub aborted: u64,
     /// Original seeds withdrawn by the exodus.
     pub seed_exodus: u64,
+    /// Fault-plane crashes (abrupt departures).
+    pub crashes: u64,
+    /// Arrivals whose announce hit a tracker outage and was queued.
+    pub deferred_announces: u64,
+    /// Announce retry attempts performed by queued arrivals (successful
+    /// admissions included).
+    pub announce_retries: u64,
+    /// Overlay edges added by the reconnect-to-target-degree repair pass.
+    pub repaired_edges: u64,
     /// `(arrival_round, completed_round)` per completion, in completion
     /// order — the raw material of the per-cohort metrics.
     pub completion_records: Vec<(u64, u64)>,
@@ -385,6 +398,36 @@ pub struct Session {
     /// True when both processes are inert — the zero-churn fast path that
     /// keeps the session bit-identical to the closed engine.
     inert: bool,
+    /// The fault schedule (see [`crate::faults`]).
+    faults: FaultPlan,
+    /// True when the plan injects anything; every fault hook is gated on
+    /// this, so inert plans leave the session bit-identical to one built
+    /// without a plan.
+    faults_active: bool,
+    /// Arrivals whose announce hit a tracker outage, waiting to retry.
+    pending: Vec<PendingAnnounce>,
+}
+
+/// An arrival queued behind a tracker outage: it keeps its own arrival
+/// event stream (jitter draws now, piece/wiring draws at admission) and
+/// retries with exponential backoff until the tracker answers.
+#[derive(Debug, Clone)]
+struct PendingAnnounce {
+    /// The arrival's `(seed, round, 2 + i)` event stream, carried across
+    /// retries.
+    rng: ChaCha8Rng,
+    /// Failed announce attempts so far (caps the backoff exponent).
+    attempt: u32,
+    /// First round the next retry may fire.
+    next_retry: u64,
+}
+
+/// Exponential backoff with deterministic jitter: `2^min(attempt, 6)`
+/// rounds plus a uniform draw of the same magnitude from the arrival's
+/// own event stream.
+fn backoff_delay(attempt: u32, rng: &mut ChaCha8Rng) -> u64 {
+    let base = 1u64 << attempt.min(6);
+    base + rng.gen_range(0..base)
 }
 
 /// `slot_pos` sentinel for departed slots.
@@ -400,7 +443,20 @@ impl Session {
     /// which fluid mode models away), a non-positive arrival capacity, an
     /// out-of-range probability, or a zero target degree.
     #[must_use]
-    pub fn new(mut swarm: Swarm, config: SessionConfig) -> Self {
+    pub fn new(swarm: Swarm, config: SessionConfig) -> Self {
+        Self::with_faults(swarm, config, FaultPlan::none())
+    }
+
+    /// Wraps a swarm in a session carrying a fault schedule (see
+    /// [`crate::faults`]). An inert plan ([`FaultPlan::is_inert`])
+    /// produces a session bit-identical to [`Session::new`]'s.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Session::new`], or on an
+    /// invalid plan ([`FaultPlan::validate`]).
+    #[must_use]
+    pub fn with_faults(mut swarm: Swarm, config: SessionConfig, faults: FaultPlan) -> Self {
         assert!(
             !swarm.config().fluid_content,
             "open membership requires piece mode (fluid content never completes)"
@@ -408,9 +464,16 @@ impl Session {
         if let Err(reason) = config.validate() {
             panic!("invalid session configuration: {reason}");
         }
+        if let Err(reason) = faults.validate() {
+            panic!("invalid fault plan: {reason}");
+        }
         let inert = config.arrival.is_inert() && config.departure.is_inert();
-        if !inert {
+        let faults_active = !faults.is_inert();
+        if !inert || faults_active {
             swarm.reserve_overlay_slack(config.target_degree.max(4));
+        }
+        if faults.loss_prob > 0.0 {
+            swarm.set_transfer_loss(faults.loss_prob, faults.fault_seed);
         }
         let n = swarm.peer_count();
         let publisher: Vec<bool> = (0..n).map(|p| swarm.peer(p).is_original_seed()).collect();
@@ -426,7 +489,22 @@ impl Session {
             slot_pos: (0..n as u32).collect(),
             stats: SessionStats::default(),
             inert,
+            faults,
+            faults_active,
+            pending: Vec::new(),
         }
+    }
+
+    /// The fault schedule in force (the inert plan when none was given).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Arrivals currently queued behind a tracker outage.
+    #[must_use]
+    pub fn pending_announces(&self) -> usize {
+        self.pending.len()
     }
 
     /// The underlying swarm (read access).
@@ -546,19 +624,141 @@ impl Session {
         }
     }
 
-    /// One session step: departures, then arrivals, then one swarm round
-    /// (serial when `threads` is `None`), then completion recording.
+    /// One session step: graceful departures, then fault events (crash
+    /// pass, partition cuts), then arrivals (queued during outages),
+    /// announce retries, the overlay-repair pass, one swarm round
+    /// (serial when `threads` is `None`), and completion recording.
+    /// Every fault hook is gated on the plan being non-inert, so the
+    /// zero-fault step is exactly the PR 5 session step.
     fn step_round(&mut self, threads: Option<usize>) {
+        let round = self.swarm.round_count();
         if !self.inert {
-            let round = self.swarm.round_count();
             self.departure_pass(round);
+        }
+        if self.faults_active {
+            self.fault_pass(round);
+        }
+        if !self.inert {
             self.arrival_pass(round);
+        }
+        if self.faults_active {
+            self.retry_pass(round);
+            self.repair_pass(round);
         }
         match threads {
             None => self.swarm.round(),
             Some(t) => self.swarm.run_rounds_parallel(1, t),
         }
         self.record_completions();
+    }
+
+    /// Fault event [`CRASH_EVENT`] of the round, plus partition cuts.
+    /// Crashes hit every present non-publisher peer independently (the
+    /// publisher squad pins the fluid oracle's `s0`, and crashing it
+    /// would conflate content death with overlay degradation); a crash
+    /// severs the peer's overlay row abruptly — no completion record, no
+    /// graceful-leave draws. A partition window starting this round cuts
+    /// every edge between the even and odd arena halves.
+    fn fault_pass(&mut self, round: u64) {
+        if self.faults.crash_prob > 0.0 {
+            let mut rng = fault_rng(self.faults.fault_seed, round, CRASH_EVENT);
+            for p in 0..self.swarm.peer_count() {
+                if self.swarm.is_present(p)
+                    && !self.publisher[p]
+                    && rng.gen_bool(self.faults.crash_prob)
+                {
+                    self.depart(p, DepartReason::Crashed);
+                }
+            }
+        }
+        if self.faults.partition_starts_at(round) {
+            self.sever_partition();
+        }
+    }
+
+    /// Cuts every overlay edge between the even and odd arena halves —
+    /// pure graph surgery, no randomness.
+    fn sever_partition(&mut self) {
+        for p in 0..self.swarm.peer_count() {
+            if !self.swarm.is_present(p) {
+                continue;
+            }
+            let cross: Vec<PeerId> = self
+                .swarm
+                .neighbors(p)
+                .filter(|&q| FaultPlan::cross_partition(p, q))
+                .collect();
+            for q in cross {
+                self.swarm.disconnect_peers(p, q);
+            }
+        }
+    }
+
+    /// Processes the pending-announce queue in insertion order: entries
+    /// whose backoff expired retry now — admission if the tracker is up,
+    /// another backoff draw (from the entry's own stream) if not.
+    fn retry_pass(&mut self, round: u64) {
+        if self.pending.is_empty() {
+            return;
+        }
+        let tracker_up = !self.faults.outage_active(round);
+        let mut still = Vec::new();
+        for mut entry in std::mem::take(&mut self.pending) {
+            if entry.next_retry > round {
+                still.push(entry);
+                continue;
+            }
+            self.stats.announce_retries += 1;
+            if tracker_up {
+                self.admit_arrival(entry.rng, round);
+            } else {
+                entry.attempt += 1;
+                entry.next_retry = round + backoff_delay(entry.attempt, &mut entry.rng);
+                still.push(entry);
+            }
+        }
+        self.pending = still;
+    }
+
+    /// Fault event [`REPAIR_EVENT`] of the round: reconnect-to-target-
+    /// degree repair. Peers left under the tracker wiring degree by
+    /// crashes or partition cuts ask the tracker for fresh contacts —
+    /// so the pass only runs for plans that damage the overlay
+    /// ([`FaultPlan::repair_enabled`]), and only while the tracker is
+    /// up. While a partition is active, cross-half candidates are
+    /// refused and the degree ceiling halves (the tracker's candidate
+    /// list is only half usable) — which is what makes the heal
+    /// observable: the under-degree survivors re-announce on the first
+    /// healed round, and their unrestricted candidate draws bridge the
+    /// halves back into one component.
+    fn repair_pass(&mut self, round: u64) {
+        if !self.faults.repair_enabled() || self.faults.outage_active(round) {
+            return;
+        }
+        let present = self.present_slots.len();
+        if present <= 1 {
+            return;
+        }
+        let partitioned = self.faults.partition_active(round);
+        let target = self.effective_target(partitioned);
+        let mut rng = fault_rng(self.faults.fault_seed, round, REPAIR_EVENT);
+        let max_attempts = 12 * target + 24;
+        for p in 0..self.swarm.peer_count() {
+            if !self.swarm.is_present(p) || self.swarm.degree(p) >= target {
+                continue;
+            }
+            let before = self.swarm.degree(p);
+            let mut attempts = 0usize;
+            while self.swarm.degree(p) < target && attempts < max_attempts {
+                attempts += 1;
+                let q = self.present_slots[rng.gen_range(0..present)] as usize;
+                if q == p || (partitioned && FaultPlan::cross_partition(p, q)) {
+                    continue;
+                }
+                self.swarm.connect_peers(p, q);
+            }
+            self.stats.repaired_edges += (self.swarm.degree(p) - before) as u64;
+        }
     }
 
     /// Event 0 of the round: the departure pass, slots in ascending order.
@@ -595,54 +795,89 @@ impl Session {
     }
 
     /// Events 1 and `2 + i` of the round: the arrival count, then one
-    /// wiring stream per admitted peer.
+    /// wiring stream per admitted peer. When a tracker outage is active,
+    /// each would-be arrival queues a [`PendingAnnounce`] instead —
+    /// carrying its own event stream, so its eventual admission draws
+    /// the exact pieces/wiring randomness its stream would have
+    /// produced (shifted by the backoff draws).
     fn arrival_pass(&mut self, round: u64) {
         let count = {
             let mut rng = event_rng(self.config.session_seed, round, 1);
             self.config.arrival.count_at(round, &mut rng)
         };
+        let outage = self.faults_active && self.faults.outage_active(round);
         for i in 0..count {
             let mut rng = event_rng(self.config.session_seed, round, 2 + i);
-            let mut pieces = PieceSet::new(self.swarm.config().piece_count);
-            if self.config.arrival_completion > 0.0 {
-                for piece in 0..self.swarm.config().piece_count {
-                    if rng.gen_bool(self.config.arrival_completion) {
-                        pieces.insert(piece);
-                    }
+            if outage {
+                let next_retry = round + backoff_delay(0, &mut rng);
+                self.pending.push(PendingAnnounce {
+                    rng,
+                    attempt: 0,
+                    next_retry,
+                });
+                self.stats.deferred_announces += 1;
+                continue;
+            }
+            self.admit_arrival(rng, round);
+        }
+    }
+
+    /// Admits one arrival, drawing its initial pieces and tracker wiring
+    /// from `rng` (the arrival's own event stream, whether fresh or
+    /// carried through an outage queue).
+    fn admit_arrival(&mut self, mut rng: ChaCha8Rng, round: u64) {
+        let mut pieces = PieceSet::new(self.swarm.config().piece_count);
+        if self.config.arrival_completion > 0.0 {
+            for piece in 0..self.swarm.config().piece_count {
+                if rng.gen_bool(self.config.arrival_completion) {
+                    pieces.insert(piece);
                 }
             }
-            let slot = self.swarm.arrive(
-                self.config.arrival_upload_kbps,
-                PeerBehavior::Compliant,
-                pieces,
-            );
-            self.on_slot_filled(slot, round);
-            self.stats.arrivals += 1;
-            self.wire(slot, &mut rng);
         }
+        let slot = self.swarm.arrive(
+            self.config.arrival_upload_kbps,
+            PeerBehavior::Compliant,
+            pieces,
+        );
+        self.on_slot_filled(slot, round);
+        self.stats.arrivals += 1;
+        self.wire(slot, &mut rng, round);
     }
 
     /// Tracker wiring: connects `slot` to up to `target_degree` distinct
     /// random **present** peers, drawn uniformly from the dense
     /// present-slot list (so a mostly free-listed arena cannot starve an
     /// arrival of edges; the bounded attempt budget only absorbs
-    /// duplicate/full-row collisions).
-    fn wire(&mut self, slot: PeerId, rng: &mut ChaCha8Rng) {
+    /// duplicate/full-row collisions). While a partition is active the
+    /// tracker refuses cross-half candidates.
+    fn wire(&mut self, slot: PeerId, rng: &mut ChaCha8Rng, round: u64) {
         let present = self.present_slots.len();
         if present <= 1 {
             return;
         }
-        let target = self.config.target_degree;
+        let partitioned = self.faults_active && self.faults.partition_active(round);
+        let target = self.effective_target(partitioned);
         let mut attempts = 0usize;
         let max_attempts = 12 * target + 24;
         while self.swarm.degree(slot) < target && attempts < max_attempts {
             attempts += 1;
             let q = self.present_slots[rng.gen_range(0..present)] as usize;
-            if q == slot {
+            if q == slot || (partitioned && FaultPlan::cross_partition(slot, q)) {
                 continue;
             }
             // `connect_peers` rejects duplicates and full rows on its own.
             self.swarm.connect_peers(slot, q);
+        }
+    }
+
+    /// The tracker wiring degree in force: the configured target, halved
+    /// (rounded up) while a partition makes half the candidate list
+    /// unreachable.
+    fn effective_target(&self, partitioned: bool) -> usize {
+        if partitioned {
+            self.config.target_degree.div_ceil(2)
+        } else {
+            self.config.target_degree
         }
     }
 
@@ -669,7 +904,10 @@ impl Session {
 
     /// Removes `p` and records the departure.
     fn depart(&mut self, p: PeerId, reason: DepartReason) {
-        self.swarm.depart(p);
+        match reason {
+            DepartReason::Crashed => self.swarm.crash(p),
+            _ => self.swarm.depart(p),
+        }
         // Swap-remove from the dense present list.
         let pos = self.slot_pos[p] as usize;
         debug_assert_eq!(self.present_slots[pos] as usize, p);
@@ -682,6 +920,7 @@ impl Session {
         match reason {
             DepartReason::Aborted => self.stats.aborted += 1,
             DepartReason::SeedExodus => self.stats.seed_exodus += 1,
+            DepartReason::Crashed => self.stats.crashes += 1,
             DepartReason::Completed | DepartReason::SeedLeft => {}
         }
     }

@@ -227,6 +227,7 @@ struct ParBuffers {
     scratches: Vec<Scratch>,
     deltas: Vec<Vec<u32>>,
     completions: Vec<usize>,
+    lost: Vec<u64>,
 }
 
 /// A BitTorrent swarm under Tit-for-Tat choking.
@@ -299,6 +300,16 @@ pub struct Swarm {
     /// round instead of per rechoke query).
     uploads_now: Vec<bool>,
     acts_seed_now: Vec<bool>,
+    /// Transfer-loss fault injection: per-delivery loss probability and
+    /// the fault-stream seed (see [`crate::faults`]). `loss_prob == 0`
+    /// disables the hook entirely (no draws, no overhead).
+    loss_prob: f64,
+    loss_seed: u64,
+    /// Cumulative lost deliveries, and lost kbit accumulated per
+    /// recipient (peer-owned rows keep the parallel engine's loss totals
+    /// bit-identical at any thread count).
+    lost_deliveries: u64,
+    lost_kbit_by_peer: Vec<f64>,
     scratch: Scratch,
     par: ParBuffers,
 }
@@ -443,10 +454,49 @@ impl Swarm {
             completed_total,
             uploads_now: vec![false; n],
             acts_seed_now: vec![false; n],
+            loss_prob: 0.0,
+            loss_seed: 0,
+            lost_deliveries: 0,
+            lost_kbit_by_peer: vec![0.0; n],
             scratch: Scratch::default(),
             par: ParBuffers::default(),
             config,
         }
+    }
+
+    /// Arms per-delivery transfer loss: every delivery is independently
+    /// dropped with probability `prob`, drawn from the fault stream
+    /// family of `fault_seed` keyed by `(round, recipient edge slot)` —
+    /// identical schedules for the serial and parallel engines at any
+    /// thread count. The sender still spends its upload capacity; the
+    /// recipient receives no rate, credit or pieces. `prob = 0` disables
+    /// the hook (the default; zero overhead).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `prob` is a finite probability in `[0, 1]`.
+    pub fn set_transfer_loss(&mut self, prob: f64, fault_seed: u64) {
+        assert!(
+            prob.is_finite() && (0.0..=1.0).contains(&prob),
+            "loss probability must be in [0, 1], got {prob}"
+        );
+        self.loss_prob = prob;
+        self.loss_seed = fault_seed;
+    }
+
+    /// Number of deliveries dropped by transfer loss so far.
+    #[must_use]
+    pub fn lost_deliveries(&self) -> u64 {
+        self.lost_deliveries
+    }
+
+    /// Total kbit dropped by transfer loss so far (upload capacity spent
+    /// by senders that never reached a recipient). Summed over the
+    /// per-recipient accumulators in peer order, so the value is
+    /// thread-count independent.
+    #[must_use]
+    pub fn lost_kbit(&self) -> f64 {
+        self.lost_kbit_by_peer.iter().sum()
     }
 
     /// The configuration in force.
@@ -632,6 +682,7 @@ impl Swarm {
         par.flow_tft.resize(self.nbr.len(), false);
         par.deltas.resize_with(workers, Vec::new);
         par.completions.resize(workers, 0);
+        par.lost.resize(workers, 0);
         if !fluid {
             if par.pieces_prev.len() != n {
                 par.pieces_prev = self.pieces.clone();
@@ -664,8 +715,13 @@ impl Swarm {
                 &par.avail_prev,
                 &mut par.deltas,
                 &mut par.completions,
+                &mut par.lost,
                 &mut par.scratches,
             );
+            for l in &mut par.lost {
+                self.lost_deliveries += *l;
+                *l = 0;
+            }
             if !fluid {
                 for delta in &mut par.deltas {
                     for (piece, d) in delta.iter_mut().enumerate() {
@@ -836,6 +892,19 @@ impl Swarm {
     fn deliver(&mut self, p: PeerId, e: usize, kbit: f64, is_tft: bool, picks: &mut Vec<u64>) {
         let q = self.nbr[e] as usize;
         let er = self.rev[e] as usize;
+        if self.loss_prob > 0.0
+            && crate::faults::loss_drawn(self.loss_seed, self.round, er, self.loss_prob)
+        {
+            // Lost in transit: the sender spends the capacity, the
+            // recipient sees nothing (no rate signal, credit or pieces).
+            self.total_up[p] += kbit;
+            if is_tft {
+                self.tft_up[p] += kbit;
+            }
+            self.lost_deliveries += 1;
+            self.lost_kbit_by_peer[q] += kbit;
+            return;
+        }
         self.total_up[p] += kbit;
         self.total_down[q] += kbit;
         if is_tft {
@@ -1033,6 +1102,7 @@ impl Swarm {
         avail_prev: &AvailIndex,
         deltas: &mut [Vec<u32>],
         completions: &mut [usize],
+        lost: &mut [u64],
         scratches: &mut [Scratch],
     ) {
         let Swarm {
@@ -1047,6 +1117,9 @@ impl Swarm {
             ref mut tft_down,
             ref mut received_curr,
             ref mut credit,
+            ref mut lost_kbit_by_peer,
+            loss_prob,
+            loss_seed,
             round,
             ..
         } = *self;
@@ -1065,6 +1138,7 @@ impl Swarm {
         let tftdown_parts = split_lengths(tft_down, &peer_sizes);
         let rc_parts = split_lengths(received_curr, &edge_sizes);
         let credit_parts = split_lengths(credit, &edge_sizes);
+        let lostk_parts = split_lengths(lost_kbit_by_peer, &peer_sizes);
 
         std::thread::scope(|scope| {
             let mut pieces_parts = pieces_parts.into_iter();
@@ -1073,8 +1147,10 @@ impl Swarm {
             let mut tftdown_parts = tftdown_parts.into_iter();
             let mut rc_parts = rc_parts.into_iter();
             let mut credit_parts = credit_parts.into_iter();
+            let mut lostk_parts = lostk_parts.into_iter();
             let mut delta_parts = deltas.iter_mut();
             let mut comp_parts = completions.iter_mut();
+            let mut lost_parts = lost.iter_mut();
             let mut scratch_parts = scratches.iter_mut();
             for range in ranges {
                 let range = range.clone();
@@ -1084,8 +1160,10 @@ impl Swarm {
                 let tftdown_c = tftdown_parts.next().expect("one part per range");
                 let rc_c = rc_parts.next().expect("one part per range");
                 let credit_c = credit_parts.next().expect("one part per range");
+                let lostk_c = lostk_parts.next().expect("one part per range");
                 let delta = delta_parts.next().expect("one delta per range");
                 let comp = comp_parts.next().expect("one counter per range");
+                let lost_n = lost_parts.next().expect("one counter per range");
                 let scratch = scratch_parts.next().expect("one scratch per range");
                 scope.spawn(move || {
                     let edge_base = row_off[range.start];
@@ -1099,6 +1177,16 @@ impl Swarm {
                                 continue;
                             }
                             let is_tft = flow_tft[rev[e] as usize];
+                            if loss_prob > 0.0
+                                && crate::faults::loss_drawn(loss_seed, round, e, loss_prob)
+                            {
+                                // Lost in transit: the sender's pass-1
+                                // capacity accounting stands, the
+                                // recipient records nothing.
+                                *lost_n += 1;
+                                lostk_c[li] += f;
+                                continue;
+                            }
                             down_c[li] += f;
                             if is_tft {
                                 tftdown_c[li] += f;
@@ -1271,6 +1359,7 @@ impl Swarm {
         self.total_down.push(0.0);
         self.tft_up.push(0.0);
         self.tft_down.push(0.0);
+        self.lost_kbit_by_peer.push(0.0);
         self.tft_store.resize((p + 1) * self.config.tft_slots, 0);
         self.tft_len.push(0);
         self.optimistic.push(NO_OPT);
@@ -1313,6 +1402,45 @@ impl Swarm {
         self.tft_len[p] = 0;
         self.optimistic[p] = NO_OPT;
         self.free.push(p as u32);
+    }
+
+    /// Crashes peer `p`: the fault-plane entry point for abrupt
+    /// departures. At the arena level a crash performs exactly the
+    /// overlay surgery of [`Swarm::depart`] — every edge is severed with
+    /// its rate/credit slots zeroed, pieces leave the availability index,
+    /// the slot is free-listed — because a half-removed peer would break
+    /// the engine's structural invariants. What makes a crash *abrupt*
+    /// is what does **not** happen: the session layer records no
+    /// completion, draws no graceful-leave randomness and exempts no one
+    /// but itself (see `session::Session`'s fault passes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or already absent.
+    pub fn crash(&mut self, p: PeerId) {
+        self.depart(p);
+    }
+
+    /// Removes the overlay edge `p – q` if it exists. Returns `false`
+    /// without changes when the edge is not present (either endpoint
+    /// absent or not neighbours). The inverse of
+    /// [`Swarm::connect_peers`]; used by the fault plane to sever
+    /// cross-partition edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either slot is out of range.
+    pub fn disconnect_peers(&mut self, p: PeerId, q: PeerId) -> bool {
+        if p == q || !self.present[p] || !self.present[q] {
+            return false;
+        }
+        let Some(k) =
+            (0..self.deg[p] as usize).find(|&k| self.nbr[self.row_off[p] + k] as usize == q)
+        else {
+            return false;
+        };
+        self.remove_edge_at(p, k);
+        true
     }
 
     /// Adds the overlay edge `p – q` (tracker wiring). Returns `false`
@@ -1402,9 +1530,12 @@ impl Swarm {
     }
 
     /// Checks the engine's structural invariants — reverse-edge symmetry,
-    /// degree bounds, availability counts and the population split
-    /// against a from-scratch recount. Test support for the membership
-    /// proptests; `O(edges + peers · pieces)`.
+    /// degree bounds, zeroed slack slots (no dangling credit or rate
+    /// state beyond any live row), free-list consistency (departed slots
+    /// exactly once on the free list, never live), availability counts
+    /// and the population split against a from-scratch recount. Test
+    /// support for the membership/fault proptests;
+    /// `O(edges + peers · pieces)`.
     ///
     /// # Panics
     ///
@@ -1413,13 +1544,35 @@ impl Swarm {
         let n = self.peer_count();
         let mut downloading = 0;
         let mut seeding = 0;
+        let mut free_seen = vec![false; n];
+        for &slot in &self.free {
+            let p = slot as usize;
+            assert!(p < n, "free-listed slot {p} out of range");
+            assert!(!free_seen[p], "slot {p} free-listed twice");
+            assert!(!self.present[p], "present peer {p} on the free list");
+            free_seen[p] = true;
+        }
         for p in 0..n {
             assert!(
                 self.deg[p] as usize <= self.row_capacity(p),
                 "peer {p} over capacity"
             );
+            // Slack slots past the live degree must hold no stale edge or
+            // transfer state: `clear_edge_slot` zeroes them on every
+            // removal, so a crash can never leave dangling credit/rate.
+            for e in self.row_off[p] + self.deg[p] as usize..self.row_off[p + 1] {
+                assert!(
+                    self.nbr[e] == 0
+                        && self.rev[e] == 0
+                        && self.received_prev[e] == 0.0
+                        && self.received_curr[e] == 0.0
+                        && self.credit[e] == 0.0,
+                    "slack slot {e} of peer {p} holds stale edge state"
+                );
+            }
             if !self.present[p] {
                 assert_eq!(self.deg[p], 0, "absent peer {p} keeps edges");
+                assert!(free_seen[p], "absent slot {p} missing from the free list");
                 continue;
             }
             if self.pieces[p].is_complete() {
@@ -1446,6 +1599,15 @@ impl Swarm {
                 .filter(|&p| self.present[p] && self.pieces[p].contains(i))
                 .count() as u32;
             assert_eq!(holders, self.availability()[i], "availability of piece {i}");
+        }
+    }
+
+    /// Runs [`Swarm::validate_consistency`] in debug builds and is a
+    /// no-op in release builds — the hook the differential suites call
+    /// after every churn/fault event, cheap enough to leave in hot loops.
+    pub fn check_invariants(&self) {
+        if cfg!(debug_assertions) {
+            self.validate_consistency();
         }
     }
 }

@@ -170,11 +170,13 @@ proptest! {
             for q in 0..swarm.peer_count().min(5 + j) {
                 let _ = swarm.connect_peers(slot, q);
             }
+            swarm.check_invariants();
             slots.push(slot);
         }
         swarm.validate_consistency();
         for &slot in slots.iter().rev() {
             swarm.depart(slot);
+            swarm.check_invariants();
         }
         swarm.validate_consistency();
 
@@ -212,10 +214,14 @@ proptest! {
                 ..SessionConfig::default()
             },
         );
-        if parallel {
-            session.run_rounds_parallel(rounds, 3);
-        } else {
-            session.run_rounds(rounds);
+        for _ in 0..rounds {
+            if parallel {
+                session.run_rounds_parallel(1, 3);
+            } else {
+                session.run_rounds(1);
+            }
+            // After every round's churn-event batch (debug builds only).
+            session.swarm().check_invariants();
         }
         session.swarm().validate_consistency();
         // Conservation still holds over the present+departed bookkeeping:

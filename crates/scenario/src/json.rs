@@ -7,8 +7,8 @@ use serde_json::Value;
 use strat_core::InitiativeStrategy;
 
 use crate::{
-    ArrivalProcess, BehaviorMix, CapacityModel, ChurnModel, DepartureRules, PreferenceModel,
-    Scenario, ScenarioError, SessionConfig, SwarmParams, TopologyModel,
+    ArrivalProcess, BehaviorMix, CapacityModel, ChurnModel, DepartureRules, FaultPlan, FaultWindow,
+    PreferenceModel, Scenario, ScenarioError, SessionConfig, SwarmParams, TopologyModel,
 };
 
 impl Scenario {
@@ -203,8 +203,38 @@ impl SwarmParams {
                 None | Some(Value::Null) => None,
                 Some(v) => Some(session_config_from_value(v)?),
             },
+            // Same legacy tolerance: pre-fault preset files carry no
+            // `faults` key.
+            faults: match value.get("faults") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(fault_plan_from_value(v)?),
+            },
         })
     }
+}
+
+fn fault_plan_from_value(value: &Value) -> Result<FaultPlan, ScenarioError> {
+    Ok(FaultPlan {
+        crash_prob: f64_field(value, "crash_prob")?,
+        loss_prob: f64_field(value, "loss_prob")?,
+        outages: fault_windows_field(value, "outages")?,
+        partitions: fault_windows_field(value, "partitions")?,
+        fault_seed: u64_field(value, "fault_seed")?,
+    })
+}
+
+fn fault_windows_field(value: &Value, field: &str) -> Result<Vec<FaultWindow>, ScenarioError> {
+    require(value, field)?
+        .as_array()
+        .ok_or_else(|| type_error(field, "array"))?
+        .iter()
+        .map(|w| {
+            Ok(FaultWindow {
+                start: u64_field(w, "start")?,
+                rounds: u64_field(w, "rounds")?,
+            })
+        })
+        .collect()
 }
 
 fn session_config_from_value(value: &Value) -> Result<SessionConfig, ScenarioError> {
@@ -472,6 +502,52 @@ mod tests {
             ..SwarmParams::default()
         });
         assert_eq!(Scenario::from_json(&scenario.to_json()).unwrap(), scenario);
+    }
+
+    #[test]
+    fn faults_section_round_trips() {
+        let scenario = Scenario::new("faulty", 30).with_swarm(SwarmParams {
+            churn: Some(SessionConfig::default()),
+            faults: Some(FaultPlan {
+                crash_prob: 0.01,
+                loss_prob: 0.05,
+                outages: vec![FaultWindow {
+                    start: 5,
+                    rounds: 3,
+                }],
+                partitions: vec![
+                    FaultWindow {
+                        start: 10,
+                        rounds: 4,
+                    },
+                    FaultWindow {
+                        start: 30,
+                        rounds: 2,
+                    },
+                ],
+                fault_seed: 0xfa17,
+            }),
+            ..SwarmParams::default()
+        });
+        let json = scenario.to_json();
+        assert!(json.contains("\"faults\":{\"crash_prob\":0.01"));
+        let parsed = Scenario::from_json(&json).expect("faults round trip parses");
+        assert_eq!(parsed, scenario);
+        // Pretty form too.
+        assert_eq!(
+            Scenario::from_json(&scenario.to_json_pretty()).unwrap(),
+            scenario
+        );
+    }
+
+    #[test]
+    fn legacy_swarm_sections_without_faults_parse_to_none() {
+        // Pre-fault preset files carry no `faults` key at all.
+        let scenario = Scenario::new("legacy", 8).with_swarm(SwarmParams::default());
+        let json = scenario.to_json().replace(",\"faults\":null", "");
+        assert!(!json.contains("faults"), "not stripped: {json}");
+        let parsed = Scenario::from_json(&json).expect("legacy JSON parses");
+        assert_eq!(parsed.swarm.unwrap().faults, None);
     }
 
     #[test]

@@ -73,8 +73,10 @@ pub use model::{
 };
 pub use scenario::{Scenario, ScenarioDynamics, SwarmParams};
 // The swarm-churn section types come from the engine crate verbatim: the
-// scenario's `swarm.churn` section *is* a session configuration.
+// scenario's `swarm.churn` section *is* a session configuration, and the
+// `swarm.faults` section *is* a fault plan.
 pub use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
+pub use strat_bittorrent::{FaultPlan, FaultWindow};
 
 /// Deterministic ChaCha8 stream `stream` derived from `seed` — the
 /// workspace-wide seed-derivation convention (formerly

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 #[cfg(test)]
 use strat_bittorrent::session::ArrivalProcess;
 use strat_bittorrent::session::{Session, SessionConfig};
-use strat_bittorrent::{Swarm, SwarmConfig};
+use strat_bittorrent::{FaultPlan, Swarm, SwarmConfig};
 use strat_core::{
     stable_configuration, stable_configuration_complete, stable_configuration_masked, Capacities,
     ChurnProcess, Dynamics, DynamicsDriver, GeneralDynamics, GlobalRanking, InitiativeOutcome,
@@ -287,6 +287,10 @@ pub struct SwarmParams {
     /// [`Session`] ([`Scenario::build_session`]); `None` for closed
     /// swarms.
     pub churn: Option<SessionConfig>,
+    /// Fault-plane section: crash/loss/outage/partition injection applied
+    /// by [`Scenario::build_session`]; `None` (or an inert plan) leaves
+    /// the session bit-identical to the fault-free build.
+    pub faults: Option<FaultPlan>,
 }
 
 impl Default for SwarmParams {
@@ -309,6 +313,7 @@ impl Default for SwarmParams {
             swarm_seed: 0xb17,
             behavior: BehaviorMix::compliant(),
             churn: None,
+            faults: None,
         }
     }
 }
@@ -704,8 +709,19 @@ impl Scenario {
                 what: "swarm churn",
                 reason,
             })?;
+        // Same pattern for the fault plan: surface
+        // [`FaultPlan::validate`]'s constraint set as an error instead of
+        // letting [`Session::with_faults`] panic on malformed JSON. An
+        // absent section is the inert plan (bit-identical build).
+        let faults = params.faults.clone().unwrap_or_else(FaultPlan::none);
+        faults
+            .validate()
+            .map_err(|reason| ScenarioError::InvalidParameter {
+                what: "swarm faults",
+                reason,
+            })?;
         let swarm = self.build_swarm(rng)?;
-        Ok(Session::new(swarm, churn.clone()))
+        Ok(Session::with_faults(swarm, churn.clone(), faults))
     }
 }
 
@@ -865,6 +881,59 @@ mod tests {
         assert!(matches!(
             bad.build_session(&mut rng(1)),
             Err(ScenarioError::InvalidParameter { .. })
+        ));
+    }
+
+    #[test]
+    fn faulted_session_builds_and_zero_fault_is_identical() {
+        let base = Scenario::new("t", 20)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 8.0 })
+            .with_capacity(CapacityModel::Constant { value: 400.0 })
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                piece_count: 32,
+                piece_size_kbit: 150.0,
+                churn: Some(SessionConfig {
+                    arrival: ArrivalProcess::Poisson { rate: 1.0 },
+                    arrival_upload_kbps: 400.0,
+                    target_degree: 8,
+                    ..SessionConfig::default()
+                }),
+                ..SwarmParams::default()
+            });
+        // An inert-but-present plan leaves the build bit-identical to the
+        // section-free one.
+        let mut swarm_params = base.swarm.clone().unwrap();
+        swarm_params.faults = Some(FaultPlan::none());
+        let inert = base.clone().with_swarm(swarm_params);
+        let mut a = base.build_session(&mut rng(2)).unwrap();
+        let mut b = inert.build_session(&mut rng(2)).unwrap();
+        a.run_rounds(10);
+        b.run_rounds(10);
+        assert_eq!(a.stats(), b.stats());
+        // A live plan actually injects faults.
+        let mut swarm_params = base.swarm.clone().unwrap();
+        swarm_params.faults = Some(FaultPlan {
+            crash_prob: 0.05,
+            fault_seed: 3,
+            ..FaultPlan::none()
+        });
+        let faulty = base.clone().with_swarm(swarm_params);
+        let mut c = faulty.build_session(&mut rng(2)).unwrap();
+        c.run_rounds(10);
+        assert!(c.stats().crashes > 0);
+        // Invalid plans surface as errors, not panics.
+        let mut swarm_params = base.swarm.clone().unwrap();
+        swarm_params.faults = Some(FaultPlan {
+            crash_prob: 1.5,
+            ..FaultPlan::none()
+        });
+        assert!(matches!(
+            base.with_swarm(swarm_params).build_session(&mut rng(2)),
+            Err(ScenarioError::InvalidParameter {
+                what: "swarm faults",
+                ..
+            })
         ));
     }
 

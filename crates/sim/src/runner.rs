@@ -221,6 +221,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Open swarm: arrival x seed-leave sweep vs the fluid model (session subsystem)"
         ),
         entry!(
+            "btfault",
+            btfault,
+            "Fault plane: crash/loss/outage/partition degradation and recovery (fault subsystem)"
+        ),
+        entry!(
             "ext1",
             ext1,
             "Combined utilities: rank stratification vs latency clustering (section 7)"

@@ -51,6 +51,9 @@ const GOLDEN: &[(&str, u64)] = &[
     // PR 5 addition (open-membership churn sweep vs the fluid model),
     // recorded at birth.
     ("btchurn", 0x1310264f860d92cb),
+    // PR 6 addition (fault-plane degradation/recovery sweep), recorded at
+    // birth.
+    ("btfault", 0x4cca2b7cae661056),
     ("fluid", 0xc0fe96f77ba157fe),
     ("mmo", 0x27179e7ca8fb3385),
 ];

@@ -226,7 +226,8 @@ impl_tuple_strategy!(
     (A.0, B.1, C.2, D.3, E.4, F.5),
 );
 
-/// Strategy for "any value of `T`" (supported: `bool`, `u32`, `u64`).
+/// Strategy for "any value of `T`" (supported: `bool`, `u8`, `u32`,
+/// `u64`).
 pub struct AnyStrategy<T>(PhantomData<T>);
 
 /// `proptest::arbitrary::any` equivalent.
@@ -256,6 +257,14 @@ impl Strategy for AnyStrategy<u32> {
 
     fn generate(&self, rng: &mut TestRng) -> u32 {
         rng.next_u32()
+    }
+}
+
+impl Strategy for AnyStrategy<u8> {
+    type Value = u8;
+
+    fn generate(&self, rng: &mut TestRng) -> u8 {
+        (rng.next_u32() & 0xff) as u8
     }
 }
 

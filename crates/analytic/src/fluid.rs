@@ -222,6 +222,159 @@ impl BtFluidParams {
     }
 }
 
+/// Parameters of the **multi-class** BitTorrent fluid model (Xu's
+/// heterogeneous extension of the Qiu–Srikant dynamics, arXiv
+/// 1311.1195): `k` bandwidth classes with arrival rates `lambda[i]` and
+/// per-peer service rates `mu[i]` (files per round), a common promoted-
+/// seed departure rate `gamma`, leecher upload effectiveness `eta`, and
+/// a permanent publisher squad of `s0` seeds serving at `mu_seed`.
+///
+/// The capacity split encodes the stratification the paper predicts:
+/// leecher-to-leecher upload is **reciprocated within the class** (under
+/// TFT a peer downloads from other leechers at the rate it uploads,
+/// `η·μ_i`), while seed capacity
+///
+/// ```text
+/// S = μ_seed·s0 + Σ_i μ_i·ȳ_i,   ȳ_i = λ_i/γ
+/// ```
+///
+/// is altruistic and shared equally over all `X = Σ_i x̄_i` leechers. The
+/// class-`i` balance `x̄_i · (η·μ_i + S/X) = λ_i` then closes into one
+/// scalar fixed point
+///
+/// ```text
+/// Σ_i λ_i / (η·μ_i·X + S) = 1
+/// ```
+///
+/// whose left side is strictly decreasing in `X` — solved here by
+/// bisection. For `k = 1` (and `mu_seed = mu`) the solution collapses to
+/// the classic `θ = 0` closed form `x̄ = (λ/μ − λ/γ − s0)/η` of
+/// [`BtFluidParams::steady_state`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtMultiClassParams {
+    /// Arrivals per round, one entry per class.
+    pub lambda: Vec<f64>,
+    /// Per-peer service rate in files per round, one entry per class.
+    pub mu: Vec<f64>,
+    /// Promoted-seed departure rate per round (common to all classes).
+    pub gamma: f64,
+    /// Leecher upload effectiveness.
+    pub eta: f64,
+    /// Permanent original seeds.
+    pub s0: f64,
+    /// Service rate of the permanent seeds, files per round.
+    pub mu_seed: f64,
+}
+
+/// Steady state of the multi-class fluid model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BtMultiClassState {
+    /// Leecher population per class (`x̄_i`).
+    pub leechers: Vec<f64>,
+    /// Promoted-seed population per class (`ȳ_i = λ_i/γ`).
+    pub seeds: Vec<f64>,
+}
+
+impl BtMultiClassParams {
+    fn validate(&self) {
+        assert!(
+            !self.lambda.is_empty() && self.lambda.len() == self.mu.len(),
+            "need one (lambda, mu) pair per class"
+        );
+        assert!(
+            self.lambda.iter().all(|&l| l.is_finite() && l > 0.0)
+                && self.mu.iter().all(|&m| m.is_finite() && m > 0.0)
+                && self.gamma > 0.0
+                && self.eta > 0.0
+                && self.s0 >= 0.0
+                && self.mu_seed >= 0.0,
+            "multi-class fluid parameters out of range: {self:?}"
+        );
+    }
+
+    /// Total altruistic seed capacity `S` in files per round.
+    fn seed_capacity(&self) -> f64 {
+        let promoted: f64 = self
+            .lambda
+            .iter()
+            .zip(&self.mu)
+            .map(|(&l, &m)| m * l / self.gamma)
+            .sum();
+        self.mu_seed * self.s0 + promoted
+    }
+
+    /// The steady state: per-class leecher masses `x̄_i` from the scalar
+    /// fixed point above, promoted seeds `ȳ_i = λ_i/γ`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on out-of-range parameters or when the seed capacity alone
+    /// oversupplies the total arrival flux (`S ≥ Σλ_i` leaves no
+    /// interior steady state, mirroring the single-class panic).
+    #[must_use]
+    pub fn steady_state(&self) -> BtMultiClassState {
+        self.validate();
+        let s = self.seed_capacity();
+        let total_lambda: f64 = self.lambda.iter().sum();
+        assert!(
+            s < total_lambda,
+            "no interior steady state: seed capacity {s} oversupplies arrivals {total_lambda}"
+        );
+        // f(X) = Σ λ_i/(η μ_i X + S) − 1 is strictly decreasing with
+        // f(0) = Σλ/S − 1 > 0; double an upper bracket until f < 0,
+        // then bisect.
+        let f = |x: f64| -> f64 {
+            self.lambda
+                .iter()
+                .zip(&self.mu)
+                .map(|(&l, &m)| l / (self.eta * m * x + s))
+                .sum::<f64>()
+                - 1.0
+        };
+        let mut hi = 1.0;
+        while f(hi) > 0.0 {
+            hi *= 2.0;
+            assert!(hi.is_finite(), "bisection bracket diverged: {self:?}");
+        }
+        let mut lo = 0.0;
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if f(mid) > 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        let x_total = 0.5 * (lo + hi);
+        let leechers = self
+            .lambda
+            .iter()
+            .zip(&self.mu)
+            .map(|(&l, &m)| l / (self.eta * m + s / x_total))
+            .collect();
+        let seeds = self.lambda.iter().map(|&l| l / self.gamma).collect();
+        BtMultiClassState { leechers, seeds }
+    }
+
+    /// Mean rounds a class-`i` peer spends downloading in steady state
+    /// (Little's law per class, `x̄_i / λ_i`) — the per-class completion
+    /// time oracle the `btevent` experiment sweeps against.
+    ///
+    /// # Panics
+    ///
+    /// As [`BtMultiClassParams::steady_state`].
+    #[must_use]
+    pub fn mean_download_rounds(&self) -> Vec<f64> {
+        let state = self.steady_state();
+        state
+            .leechers
+            .iter()
+            .zip(&self.lambda)
+            .map(|(&x, &l)| x / l)
+            .collect()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -338,6 +491,103 @@ mod tests {
             ..bt_params()
         };
         let _ = p.steady_state();
+    }
+
+    #[test]
+    fn multiclass_collapses_to_single_class() {
+        let p = bt_params(); // theta = 0
+        let mc = BtMultiClassParams {
+            lambda: vec![p.lambda],
+            mu: vec![p.mu],
+            gamma: p.gamma,
+            eta: p.eta,
+            s0: p.s0,
+            mu_seed: p.mu,
+        };
+        let single = p.steady_state();
+        let multi = mc.steady_state();
+        assert!((multi.leechers[0] - single.leechers).abs() < 1e-8);
+        assert!((multi.seeds[0] - single.seeds).abs() < 1e-12);
+        assert!((mc.mean_download_rounds()[0] - p.mean_download_rounds()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn multiclass_balance_and_monotonicity() {
+        let mc = BtMultiClassParams {
+            lambda: vec![2.0, 2.0, 2.0],
+            mu: vec![1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0],
+            gamma: 0.25,
+            eta: 1.0,
+            s0: 2.0,
+            mu_seed: 1.0 / 16.0,
+        };
+        let state = mc.steady_state();
+        // Scalar fixed point holds.
+        let x: f64 = state.leechers.iter().sum();
+        let s = mc.mu_seed * mc.s0
+            + mc.mu
+                .iter()
+                .zip(&state.seeds)
+                .map(|(&m, &y)| m * y)
+                .sum::<f64>();
+        let resid: f64 = mc
+            .lambda
+            .iter()
+            .zip(&mc.mu)
+            .map(|(&l, &m)| l / (mc.eta * m * x + s))
+            .sum::<f64>()
+            - 1.0;
+        assert!(resid.abs() < 1e-10, "fixed-point residual {resid}");
+        // Per-class balance: x_i (η μ_i + S/X) = λ_i.
+        for i in 0..3 {
+            let flux = state.leechers[i] * (mc.eta * mc.mu[i] + s / x);
+            assert!((flux - mc.lambda[i]).abs() < 1e-8);
+        }
+        // Faster classes finish faster.
+        let t = mc.mean_download_rounds();
+        assert!(t[0] > t[1] && t[1] > t[2], "{t:?}");
+    }
+
+    #[test]
+    fn multiclass_equal_mu_split_is_invariant() {
+        // Splitting one class's arrivals into two equal-mu classes must
+        // not move the total population or the per-class delay.
+        let whole = BtMultiClassParams {
+            lambda: vec![4.0],
+            mu: vec![1.0 / 16.0],
+            gamma: 0.25,
+            eta: 1.0,
+            s0: 2.0,
+            mu_seed: 1.0 / 16.0,
+        };
+        let split = BtMultiClassParams {
+            lambda: vec![1.0, 3.0],
+            mu: vec![1.0 / 16.0, 1.0 / 16.0],
+            ..whole.clone()
+        };
+        let a = whole.steady_state();
+        let b = split.steady_state();
+        let xa: f64 = a.leechers.iter().sum();
+        let xb: f64 = b.leechers.iter().sum();
+        assert!((xa - xb).abs() < 1e-8);
+        let ta = whole.mean_download_rounds()[0];
+        for tb in split.mean_download_rounds() {
+            assert!((ta - tb).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "oversupplies arrivals")]
+    fn multiclass_oversupplied_swarm_rejected() {
+        let mc = BtMultiClassParams {
+            lambda: vec![0.1],
+            mu: vec![1.0 / 16.0],
+            gamma: 0.25,
+            eta: 1.0,
+            s0: 100.0,
+            mu_seed: 1.0,
+        };
+        let _ = mc.steady_state();
     }
 
     #[test]

@@ -26,7 +26,8 @@ use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
 use strat_bittorrent::{
-    overlay, reference::RefSwarm, FaultPlan, PeerBehavior, PieceSet, Swarm, SwarmConfig,
+    overlay, reference::RefSwarm, EventEngine, EventTiming, FaultPlan, PeerBehavior, PieceSet,
+    Swarm, SwarmConfig,
 };
 use strat_core::prefs::{best_mate_dynamics, LatencyPrefs, PrefDynamicsOutcome};
 use strat_core::GeneralDynamics;
@@ -274,8 +275,11 @@ const PIECE_WINDOW: u64 = 8;
 
 /// The serial swarm round at n = 500 leechers: the fluid steady state
 /// (rechoke + rate transfer, the bt1 regime), a fixed pre-completion
-/// window in piece mode, and one indexed-semantics round at n = 2000 run
-/// through [`Swarm::run_rounds_parallel`] on all available cores.
+/// window in piece mode, one indexed-semantics round at n = 2000 run
+/// through [`Swarm::run_rounds_parallel`] on all available cores, and
+/// one indexed round of the n = 10⁵ flash crowd (cold piece-mode swarm,
+/// btflash geometry) pinning the scaling trajectory toward the
+/// million-peer target.
 pub fn bench_swarm_rounds(c: &mut Criterion) {
     let mut group = c.benchmark_group("swarm");
     group.warm_up_time(Duration::from_millis(400));
@@ -296,6 +300,26 @@ pub fn bench_swarm_rounds(c: &mut Criterion) {
     let (config, uploads) = swarm_inputs(2000, true, 0xb18);
     let mut swarm = Swarm::new(config, &uploads);
     group.bench_function("rounds_indexed_n2000_fluid", |b| {
+        b.iter(|| swarm.run_rounds_parallel(1, threads));
+    });
+    // Flash crowd at n = 10⁵ (btflash geometry, scaled 10x): an
+    // ever-advancing swarm, so the measured regime is the hot early
+    // wave — the cold swarm stays far from completion across the
+    // sampling window.
+    let config = SwarmConfig::builder()
+        .leechers(100_000)
+        .seeds(20)
+        .piece_count(128)
+        .piece_size_kbit(1024.0)
+        .initial_completion(0.02)
+        .mean_neighbors(20.0)
+        .seed(0xf1a5)
+        .build();
+    let uploads: Vec<f64> = (0..100_020)
+        .map(|i| 150.0 + (i % 97) as f64 * 10.0)
+        .collect();
+    let mut swarm = Swarm::new(config, &uploads);
+    group.bench_function("flash_round_indexed_n100000_pieces", |b| {
         b.iter(|| swarm.run_rounds_parallel(1, threads));
     });
     group.finish();
@@ -459,6 +483,86 @@ pub fn bench_faults(c: &mut Criterion) {
     group.finish();
 }
 
+/// The continuous-time event core:
+///
+/// * `sync_rounds8_n500_pieces` — the event engine driven in its
+///   synchronous limit over the same pre-completion window as
+///   `swarm/rounds8_n500_pieces`; the `events_ref` twin replays the
+///   bit-identical trajectory on the indexed round engine, so the
+///   speedup row is the queue's measured overhead for event-sequencing
+///   a round;
+/// * `run_for_60s_churn_hetero_n500` — one minute of simulated time in
+///   the fully continuous regime: three speed classes, a 5 s transfer
+///   quantum, announce-driven rewiring, stationary Poisson churn.
+pub fn bench_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    let (config, uploads) = swarm_inputs(500, false, 0xb17);
+    let round_seconds = config.round_seconds;
+    let pristine = EventEngine::new(
+        Swarm::new(config, &uploads),
+        EventTiming::synchronous_limit(round_seconds),
+        None,
+    );
+    group.bench_function("sync_rounds8_n500_pieces", |b| {
+        b.iter(|| {
+            let mut engine = pristine.clone();
+            engine.run_sync_rounds(PIECE_WINDOW);
+            engine
+        });
+    });
+
+    let (config, uploads) = swarm_inputs(500, false, 0xe7e);
+    let mut swarm = Swarm::new(config, &uploads);
+    swarm.reserve_overlay_slack(24);
+    let mut engine = EventEngine::new(
+        swarm,
+        EventTiming {
+            rechoke_interval: 10.0,
+            transfer_quantum: Some(5.0),
+            announce_interval: Some(30.0),
+            speed_multipliers: vec![0.5, 1.0, 2.0],
+        },
+        Some(SessionConfig {
+            arrival: ArrivalProcess::Poisson { rate: 3.0 },
+            departure: DepartureRules {
+                leave_on_completion: 0.6,
+                seed_leave_prob: 0.2,
+                ..DepartureRules::none()
+            },
+            arrival_upload_kbps: 400.0,
+            target_degree: 20,
+            session_seed: 0xe7e,
+            ..SessionConfig::default()
+        }),
+    );
+    engine.run_for(600.0); // reach stationary turnover
+    group.bench_function("run_for_60s_churn_hetero_n500", |b| {
+        b.iter(|| engine.run_for(60.0));
+    });
+    group.finish();
+}
+
+/// The indexed round engine on the synchronous-limit instance of
+/// [`bench_events`]: same trajectory, no event queue.
+pub fn bench_events_ref(c: &mut Criterion) {
+    let mut group = c.benchmark_group("events_ref");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    let (config, uploads) = swarm_inputs(500, false, 0xb17);
+    let pristine = Swarm::new(config, &uploads);
+    group.bench_function("sync_rounds8_n500_pieces", |b| {
+        b.iter(|| {
+            let mut swarm = pristine.clone();
+            swarm.run_rounds_parallel(PIECE_WINDOW, 1);
+            swarm
+        });
+    });
+    group.finish();
+}
+
 /// Registers every core group (optimized + reference) on `c`.
 pub fn core_groups(c: &mut Criterion) {
     bench_stable_configuration(c);
@@ -471,4 +575,6 @@ pub fn core_groups(c: &mut Criterion) {
     bench_swarm_rounds_ref(c);
     bench_session(c);
     bench_faults(c);
+    bench_events(c);
+    bench_events_ref(c);
 }

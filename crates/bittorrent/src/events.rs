@@ -1,0 +1,1367 @@
+//! Continuous-time discrete-event swarm core with heterogeneous peer
+//! speeds.
+//!
+//! The round engine ([`Swarm::round`] and its indexed/parallel variants)
+//! forces every peer onto one synchronous clock. Real clients rechoke on
+//! wall-clock timers and transfer pieces at rates set by whoever unchoked
+//! them, so stratification emerges from *asynchronous* timing — Legout et
+//! al. measure clustering over 10-second rechoke intervals, and Xu's
+//! multi-class fluid model prices per-bandwidth-class completion times
+//! that only a heterogeneous-speed engine can be checked against. This
+//! module provides that engine: [`EventEngine`] runs the existing swarm
+//! arena under a binary-heap event loop in which rechoke ticks, piece
+//! transfers, tracker announces, and session arrivals / departures are
+//! timestamped events.
+//!
+//! # Event model
+//!
+//! Five event kinds share one priority queue, ordered by
+//! `(time, kind, a, b, seq)` with `total_cmp` on time — ties are broken
+//! deterministically, never by heap insertion accident:
+//!
+//! | kind | order | payload |
+//! |---|---|---|
+//! | transfer | 0 | recipient slot `a`, global edge slot `b`, plan id `tag` |
+//! | departure | 1 | peer slot `a`, abort-only flag `b`, generation `tag` |
+//! | arrival | 2 | arrival index `a`, chain flag `b` |
+//! | rechoke | 3 | peer slot `a`, tick `b`, generation `tag` |
+//! | announce | 4 | peer slot `a`, generation `tag` |
+//!
+//! The kind order at an equal timestamp mirrors one session round: the
+//! closing interval's transfers land first, then departures and arrivals
+//! edit the membership, then the new interval's rechokes re-plan flows.
+//!
+//! # Flows, credit, and re-planning
+//!
+//! Each unchoke plans a constant-rate flow on the recipient-side edge
+//! slot (`upload · multiplier · interval / targets`, in kbit per rechoke
+//! interval). A transfer event is scheduled for the moment the edge's
+//! credit crosses one piece (`duration = piece_size / allocated rate`);
+//! whenever a rechoke re-plans the rate, the stale event is invalidated
+//! by a fresh *plan id* and the crossing is re-predicted. Fired transfers
+//! re-check the settled credit, so an early prediction is a harmless
+//! no-op. All internal timestamps are kept in **rechoke-interval units**
+//! (tick `k` is exactly the float `k`), which makes interval-boundary
+//! arithmetic exact and is the backbone of the synchronous-limit
+//! guarantee below.
+//!
+//! # Determinism contract
+//!
+//! Every random draw comes from a ChaCha stream keyed by purpose:
+//! rechokes reuse the round engine's `(seed, tick, peer)` streams, and
+//! churn / announce / arrival draws use per-event streams keyed
+//! `(session_seed, event_seq)` where `event_seq` is the global event
+//! sequence number assigned at scheduling time. Replays are bit-identical
+//! regardless of wall-clock or platform.
+//!
+//! # Synchronous limit
+//!
+//! With [`EventTiming::synchronous_limit`] — homogeneous speeds, transfer
+//! quantum equal to the rechoke interval — the engine reproduces the
+//! round engine **bit-for-bit**: same rechoke RNG streams, the same
+//! `upload · round_seconds / targets` share expression, deliveries
+//! deposited one add per edge per round in the recipient-major ascending
+//! order of `par_delivery`, and piece conversions against the same
+//! start-of-round availability / piece snapshots. The differential suite
+//! in `tests/` pins this equivalence on full swarm state.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::avail::AvailIndex;
+use crate::behavior::PeerBehavior;
+use crate::piece::PieceSet;
+use crate::session::{ArrivalProcess, SessionConfig};
+use crate::swarm::{peer_round_rng, PeerId, Swarm};
+
+/// Domain separator for per-event ChaCha streams ("eventseq"): churn,
+/// announce, and arrival draws are keyed `(seed ^ SEP, stream = seq)` so
+/// they can never collide with the rechoke streams (`peer_round_rng`),
+/// the session streams, or the fault plane.
+const EVENT_SEQ_SEP: u64 = 0x6576_656e_7473_6571;
+
+/// Per-event RNG: one independent ChaCha stream per scheduled event,
+/// keyed by the engine seed and the event's global sequence number.
+pub(crate) fn event_seq_rng(seed: u64, seq: u64) -> ChaCha8Rng {
+    let mut rng = ChaCha8Rng::seed_from_u64(seed ^ EVENT_SEQ_SEP);
+    rng.set_stream(seq);
+    rng
+}
+
+/// Transfer completion: credit on an edge crossed one piece (kind 0).
+const K_TRANSFER: u8 = 0;
+/// Peer departure — churn leave, abort, or seed exodus (kind 1).
+const K_DEPART: u8 = 1;
+/// Peer arrival via the tracker (kind 2).
+const K_ARRIVAL: u8 = 2;
+/// Rechoke tick: one peer re-plans its unchokes and flows (kind 3).
+const K_RECHOKE: u8 = 3;
+/// Tracker announce: a peer below target degree asks for neighbours
+/// (kind 4).
+const K_ANNOUNCE: u8 = 4;
+
+/// One scheduled event. Ordering is total and deterministic:
+/// `(time, kind, a, b, seq)` with `f64::total_cmp` on the timestamp.
+#[derive(Debug, Clone, Copy)]
+struct Ev {
+    /// Timestamp in rechoke-interval units.
+    time: f64,
+    kind: u8,
+    a: u64,
+    b: u64,
+    /// Guard token: plan id for transfers, peer generation for
+    /// departure / rechoke / announce events. Stale events (token
+    /// mismatch at fire time) are dropped.
+    tag: u64,
+    /// Global sequence number, assigned at scheduling time; final
+    /// tie-breaker and the per-event RNG stream key.
+    seq: u64,
+}
+
+impl PartialEq for Ev {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
+
+impl Eq for Ev {}
+
+impl PartialOrd for Ev {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ev {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.time
+            .total_cmp(&other.time)
+            .then_with(|| self.kind.cmp(&other.kind))
+            .then_with(|| self.a.cmp(&other.a))
+            .then_with(|| self.b.cmp(&other.b))
+            .then_with(|| self.seq.cmp(&other.seq))
+    }
+}
+
+/// Timing axis of the event engine: rechoke cadence, transfer
+/// quantization, tracker announce cadence, and per-class speed
+/// multipliers.
+///
+/// Peers are assigned to speed classes round-robin (initial peers by
+/// slot, arrivals by arrival order); class `i` uploads at
+/// `upload_kbps · speed_multipliers[i]`. One class with multiplier 1.0
+/// (the default) keeps the configured capacities untouched.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventTiming {
+    /// Seconds between a peer's rechoke ticks (Legout et al.'s
+    /// wall-clock rechoke period; BitTorrent's classic value is 10 s).
+    pub rechoke_interval: f64,
+    /// Transfer-completion quantum in seconds: piece-crossing events are
+    /// snapped *up* to the next multiple. `None` fires them at the exact
+    /// continuous crossing time; `Some(rechoke_interval)` is the
+    /// synchronous limit where the engine equals the round engine.
+    pub transfer_quantum: Option<f64>,
+    /// Seconds between a peer's tracker announces (re-wiring below the
+    /// churn target degree); `None` disables periodic announces.
+    pub announce_interval: Option<f64>,
+    /// Per-class upload-speed multipliers; peers join classes
+    /// round-robin. Must be non-empty, finite, and positive.
+    pub speed_multipliers: Vec<f64>,
+}
+
+impl Default for EventTiming {
+    fn default() -> Self {
+        EventTiming {
+            rechoke_interval: 10.0,
+            transfer_quantum: None,
+            announce_interval: None,
+            speed_multipliers: vec![1.0],
+        }
+    }
+}
+
+impl EventTiming {
+    /// The synchronous limit: homogeneous speeds, transfer quantum equal
+    /// to the rechoke interval set to the round engine's
+    /// `round_seconds`. Under this timing the event engine reproduces
+    /// the round engine bit-for-bit.
+    #[must_use]
+    pub fn synchronous_limit(round_seconds: f64) -> Self {
+        EventTiming {
+            rechoke_interval: round_seconds,
+            transfer_quantum: Some(round_seconds),
+            announce_interval: None,
+            speed_multipliers: vec![1.0],
+        }
+    }
+
+    /// Validates the timing axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint: the
+    /// rechoke interval, transfer quantum, and announce interval must be
+    /// finite and positive, and the multiplier list non-empty with every
+    /// entry finite and positive.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.rechoke_interval.is_finite() || self.rechoke_interval <= 0.0 {
+            return Err(format!(
+                "rechoke_interval must be finite and positive, got {}",
+                self.rechoke_interval
+            ));
+        }
+        if let Some(q) = self.transfer_quantum {
+            if !q.is_finite() || q <= 0.0 {
+                return Err(format!(
+                    "transfer_quantum must be finite and positive, got {q}"
+                ));
+            }
+        }
+        if let Some(a) = self.announce_interval {
+            if !a.is_finite() || a <= 0.0 {
+                return Err(format!(
+                    "announce_interval must be finite and positive, got {a}"
+                ));
+            }
+        }
+        if self.speed_multipliers.is_empty() {
+            return Err("speed_multipliers must not be empty".into());
+        }
+        for &m in &self.speed_multipliers {
+            if !m.is_finite() || m <= 0.0 {
+                return Err(format!(
+                    "speed multipliers must be finite and positive, got {m}"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// One download completion under the event clock.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CompletionRecord {
+    /// Arena slot of the completing peer.
+    pub slot: u32,
+    /// Speed class of the completing peer.
+    pub class: u32,
+    /// Arrival time in seconds (0 for initial peers).
+    pub arrival_time: f64,
+    /// Completion time in seconds.
+    pub completion_time: f64,
+    /// Completion time in rechoke-interval units, rounded up — equals
+    /// the round-engine completion round in the synchronous limit.
+    pub completion_round: u64,
+}
+
+/// Cumulative event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EventStats {
+    /// Peers admitted by arrival events.
+    pub arrivals: u64,
+    /// Peers removed by departure events (leaves, aborts, exodus).
+    pub departures: u64,
+    /// Piece-transfer crossings fired (stale plans dispatch but are
+    /// dropped uncounted).
+    pub transfers: u64,
+    /// Rechoke ticks fired.
+    pub rechokes: u64,
+    /// Tracker announces fired.
+    pub announces: u64,
+    /// Total events dispatched.
+    pub events: u64,
+}
+
+/// Continuous-time discrete-event engine over a [`Swarm`] arena.
+///
+/// Construct with [`EventEngine::new`], then drive with
+/// [`EventEngine::run_sync_rounds`] (tick-aligned horizons, comparable
+/// round-for-round with the round engine) or [`EventEngine::run_for`]
+/// (arbitrary horizons in seconds). The two driving styles cannot be
+/// mixed on one engine. The wrapped swarm stays inspectable through
+/// every public accessor; its own `round()` methods must not be called
+/// while the engine owns it (the engine never calls them, so
+/// `round_count()` stays 0 and completion rounds are stamped from event
+/// time).
+#[derive(Debug, Clone)]
+pub struct EventEngine {
+    swarm: Swarm,
+    timing: EventTiming,
+    churn: Option<SessionConfig>,
+    /// Transfer quantum in rechoke-interval units (1.0 in the
+    /// synchronous limit — exactly, since it is computed as `q / q`).
+    quantum_intervals: Option<f64>,
+    /// Announce interval in rechoke-interval units.
+    announce_intervals: Option<f64>,
+    heap: BinaryHeap<Reverse<Ev>>,
+    /// Current time in rechoke-interval units.
+    clock: f64,
+    /// Next global event sequence number.
+    seq: u64,
+    /// Next transfer plan id (0 is reserved for "no plan").
+    next_plan_id: u64,
+    /// Tick-aligned rounds driven so far by `run_sync_rounds`.
+    rounds_run: u64,
+    /// Whether `run_for` has been used (excludes `run_sync_rounds`).
+    continuous: bool,
+
+    // Per-edge state, indexed by global edge slot on the *recipient*
+    // side (the slot in the downloader's row pointing back at the
+    // sender, so `edge_target` of the slot is the sender).
+    /// Planned rate in kbit per rechoke interval (0 = choked).
+    flow: Vec<f64>,
+    /// Whether the planned flow fills a TFT slot (vs optimistic).
+    ftft: Vec<bool>,
+    /// Settled kbit toward the next piece conversion.
+    credit: Vec<f64>,
+    /// Settled kbit received over the current interval — the rate signal
+    /// the next rechoke ranks by (the event-clock `received_prev`).
+    window: Vec<f64>,
+    /// Settled download kbit awaiting deposit into the recipient's
+    /// totals (flushed one add per edge at the recipient's tick, so the
+    /// accumulation order matches the round engine's delivery pass).
+    pend_down: Vec<f64>,
+    /// TFT share of `pend_down`.
+    pend_tft: Vec<f64>,
+    /// Time (interval units) up to which the edge has been settled.
+    last_settle: Vec<f64>,
+    /// Live plan id (0 = none); transfer events carry the id they were
+    /// scheduled under and fire only if it still matches.
+    plan_id: Vec<u64>,
+
+    // Per-peer state, indexed by arena slot.
+    /// Speed class (round-robin over `timing.speed_multipliers`).
+    class: Vec<u32>,
+    /// Membership generation; bumped on departure so queued events
+    /// addressed to a previous occupant of the slot are dropped.
+    generation: Vec<u64>,
+    /// Sender piece snapshot taken at the peer's last rechoke — the
+    /// event-clock `pieces_prev` that piece picks draw from.
+    plan_pieces: Vec<PieceSet>,
+    /// Arrival time in interval units (0 for initial peers).
+    arrival_time: Vec<f64>,
+    /// Position in `present_slots` (`u32::MAX` when absent).
+    slot_pos: Vec<u32>,
+    /// Present arena slots, swap-removed on departure (tracker
+    /// candidate list).
+    present_slots: Vec<u32>,
+
+    /// Availability snapshot refreshed on timestamp advance after any
+    /// rechoke — the event-clock `avail_prev` that piece picks draw
+    /// from.
+    snapshot: AvailIndex,
+    snapshot_dirty: bool,
+
+    // Reusable scratch.
+    targets: Vec<(u32, bool)>,
+    picks: Vec<u64>,
+    wire_scratch: Vec<u32>,
+
+    /// Arrivals admitted so far (drives round-robin class assignment).
+    arrival_counter: u64,
+    /// Arrival events scheduled so far (tie-break payload).
+    arrivals_pushed: u64,
+    completions: Vec<CompletionRecord>,
+    stats: EventStats,
+}
+
+impl EventEngine {
+    /// Wraps `swarm` in an event engine with the given timing axis and
+    /// optional open-membership churn (arrival process, departure rules,
+    /// and tracker wiring reuse the session vocabulary).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the swarm runs fluid content (the event clock needs
+    /// piece-grained transfers), if `timing` fails validation, or if a
+    /// provided churn config fails validation.
+    #[must_use]
+    pub fn new(mut swarm: Swarm, timing: EventTiming, churn: Option<SessionConfig>) -> Self {
+        assert!(
+            !swarm.config().fluid_content,
+            "event engine requires piece-mode content"
+        );
+        if let Err(e) = timing.validate() {
+            panic!("invalid event timing: {e}");
+        }
+        if let Some(ch) = &churn {
+            if let Err(e) = ch.validate() {
+                panic!("invalid churn config: {e}");
+            }
+            swarm.reserve_overlay_slack(ch.target_degree.max(4));
+        }
+        let n = swarm.peer_count();
+        let m = swarm.edge_arena_len();
+        let interval = timing.rechoke_interval;
+        let quantum_intervals = timing.transfer_quantum.map(|q| q / interval);
+        let announce_intervals = timing.announce_interval.map(|a| a / interval);
+        let snapshot = swarm.avail_index().clone();
+        let mut engine = EventEngine {
+            swarm,
+            timing,
+            churn,
+            quantum_intervals,
+            announce_intervals,
+            heap: BinaryHeap::new(),
+            clock: 0.0,
+            seq: 0,
+            next_plan_id: 0,
+            rounds_run: 0,
+            continuous: false,
+            flow: vec![0.0; m],
+            ftft: vec![false; m],
+            credit: vec![0.0; m],
+            window: vec![0.0; m],
+            pend_down: vec![0.0; m],
+            pend_tft: vec![0.0; m],
+            last_settle: vec![0.0; m],
+            plan_id: vec![0; m],
+            class: vec![0; n],
+            generation: vec![0; n],
+            plan_pieces: Vec::with_capacity(n),
+            arrival_time: vec![0.0; n],
+            slot_pos: vec![u32::MAX; n],
+            present_slots: Vec::with_capacity(n),
+            snapshot,
+            snapshot_dirty: false,
+            targets: Vec::new(),
+            picks: Vec::new(),
+            wire_scratch: Vec::new(),
+            arrival_counter: 0,
+            arrivals_pushed: 0,
+            completions: Vec::new(),
+            stats: EventStats::default(),
+        };
+        let classes = engine.timing.speed_multipliers.len() as u32;
+        for (p, c) in engine.class.iter_mut().enumerate() {
+            *c = p as u32 % classes;
+        }
+        for p in 0..n {
+            engine.plan_pieces.push(engine.swarm.pieces_at(p).clone());
+            if engine.swarm.is_present(p) {
+                engine.slot_pos[p] = engine.present_slots.len() as u32;
+                engine.present_slots.push(p as u32);
+            }
+        }
+        engine.schedule_genesis();
+        engine
+    }
+
+    /// Queues the genesis events: tick-0 rechokes for every present
+    /// peer, then the churn plane (first Poisson gap or the burst/trace
+    /// schedule, seed exodus, abort timers) and periodic announces.
+    fn schedule_genesis(&mut self) {
+        let n = self.swarm.peer_count();
+        for p in 0..n {
+            if self.swarm.is_present(p) {
+                self.push(0.0, K_RECHOKE, p as u64, 0, self.generation[p]);
+            }
+        }
+        let Some(ch) = self.churn.clone() else {
+            return;
+        };
+        let seed = ch.session_seed;
+        match &ch.arrival {
+            ArrivalProcess::None => {}
+            ArrivalProcess::Poisson { rate } => {
+                if *rate > 0.0 {
+                    let sq = self.alloc_seq();
+                    let mut rng = event_seq_rng(seed, sq);
+                    let gap = exp_gap(&mut rng, 1.0 / rate);
+                    let idx = self.arrival_pushed();
+                    self.push(gap, K_ARRIVAL, idx, 1, 0);
+                }
+            }
+            ArrivalProcess::Burst { round, count } => {
+                for _ in 0..*count {
+                    let idx = self.arrival_pushed();
+                    self.push(*round as f64, K_ARRIVAL, idx, 0, 0);
+                }
+            }
+            ArrivalProcess::Trace { arrivals } => {
+                for &(round, count) in arrivals {
+                    for _ in 0..count {
+                        let idx = self.arrival_pushed();
+                        self.push(round as f64, K_ARRIVAL, idx, 0, 0);
+                    }
+                }
+            }
+        }
+        if let Some(exodus) = ch.departure.seed_exodus_round {
+            for p in 0..n {
+                if self.swarm.is_present(p) && self.swarm.peer(p).is_original_seed() {
+                    self.push(exodus as f64, K_DEPART, p as u64, 0, self.generation[p]);
+                }
+            }
+        }
+        if ch.departure.abort_prob > 0.0 {
+            for p in 0..n {
+                if self.swarm.is_present(p) && !self.swarm.pieces_at(p).is_complete() {
+                    let sq = self.alloc_seq();
+                    let mut rng = event_seq_rng(seed, sq);
+                    let gap = round_prob_gap(&mut rng, ch.departure.abort_prob);
+                    self.push(gap, K_DEPART, p as u64, 1, self.generation[p]);
+                }
+            }
+        }
+        if let Some(ai) = self.announce_intervals {
+            for p in 0..n {
+                if self.swarm.is_present(p) {
+                    self.push(ai, K_ANNOUNCE, p as u64, 0, self.generation[p]);
+                }
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Driving.
+    // ------------------------------------------------------------------
+
+    /// Advances the engine by `rounds` tick-aligned rounds: every event
+    /// up to the horizon fires, transfers *at* the horizon land (they
+    /// are the closing interval's deliveries), and all remaining
+    /// per-edge credit is settled and deposited. After `k` calls
+    /// totalling `K` rounds the wrapped swarm state is directly
+    /// comparable with a round-engine swarm run for `K` rounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EventEngine::run_for`] was already used on this
+    /// engine.
+    pub fn run_sync_rounds(&mut self, rounds: u64) {
+        assert!(
+            !self.continuous,
+            "cannot mix run_sync_rounds with run_for on one engine"
+        );
+        self.rounds_run += rounds;
+        let tau_end = self.rounds_run as f64;
+        self.pump(tau_end, false);
+        self.flush_all(tau_end);
+        self.clock = tau_end;
+    }
+
+    /// Advances the engine by `seconds` of simulated time (any horizon,
+    /// not necessarily tick-aligned), firing every event inside the
+    /// window and settling all credit at its end.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EventEngine::run_sync_rounds`] was already used on
+    /// this engine.
+    pub fn run_for(&mut self, seconds: f64) {
+        assert!(
+            self.rounds_run == 0,
+            "cannot mix run_for with run_sync_rounds on one engine"
+        );
+        self.continuous = true;
+        let tau_end = self.clock + seconds / self.timing.rechoke_interval;
+        self.pump(tau_end, true);
+        self.flush_all(tau_end);
+        self.clock = tau_end;
+    }
+
+    /// Pops and dispatches events up to `tau_end`. With
+    /// `inclusive = false`, non-transfer events *at* the horizon stay
+    /// queued (they belong to the next round); transfers at the horizon
+    /// fire, because they deliver the closing interval's flows.
+    fn pump(&mut self, tau_end: f64, inclusive: bool) {
+        while let Some(&Reverse(head)) = self.heap.peek() {
+            if head.time > tau_end {
+                break;
+            }
+            if !inclusive && head.time == tau_end && head.kind != K_TRANSFER {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked event");
+            if ev.time > self.clock {
+                if self.snapshot_dirty {
+                    self.snapshot.clone_from(self.swarm.avail_index());
+                    self.snapshot_dirty = false;
+                }
+                self.clock = ev.time;
+            }
+            self.stats.events += 1;
+            match ev.kind {
+                K_TRANSFER => self.fire_transfer(ev.a as usize, ev.b as usize, ev.tag, ev.time),
+                K_DEPART => self.fire_departure(ev.a as usize, ev.tag, ev.b == 1, ev.time),
+                K_ARRIVAL => self.fire_arrival(ev.b == 1, ev.seq, ev.time),
+                K_RECHOKE => self.fire_rechoke(ev.a as usize, ev.b, ev.tag, ev.time),
+                K_ANNOUNCE => self.fire_announce(ev.a as usize, ev.tag, ev.seq, ev.time),
+                other => unreachable!("unknown event kind {other}"),
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Settlement.
+    // ------------------------------------------------------------------
+
+    /// Settles edge `e` up to `tau`: accrues `flow · elapsed` into the
+    /// edge's credit, rate window, and pending-deposit accumulators, and
+    /// deposits the sender's upload totals immediately (sender-side
+    /// addends within one interval are equal, so their order cannot
+    /// matter; recipient-side deposits are deferred to `deposit_row` to
+    /// preserve the round engine's accumulation order).
+    fn settle_edge(&mut self, e: usize, tau: f64) {
+        let f = self.flow[e];
+        if f == 0.0 {
+            self.last_settle[e] = tau;
+            return;
+        }
+        let dt = tau - self.last_settle[e];
+        self.last_settle[e] = tau;
+        if dt <= 0.0 {
+            return;
+        }
+        let delta = f * dt;
+        self.credit[e] += delta;
+        self.window[e] += delta;
+        self.pend_down[e] += delta;
+        let is_tft = self.ftft[e];
+        if is_tft {
+            self.pend_tft[e] += delta;
+        }
+        let sender = self.swarm.edge_target(e);
+        self.swarm.event_deposit_up(sender, delta, is_tft);
+    }
+
+    /// Settles every edge of `q`'s row to `tau` and flushes the pending
+    /// download deposits — one add per edge in ascending slot order,
+    /// reproducing the delivery pass's recipient-major accumulation.
+    fn deposit_row(&mut self, q: PeerId, tau: f64) {
+        let (base, end) = self.swarm.row_bounds(q);
+        for e in base..end {
+            self.settle_edge(e, tau);
+            let pd = self.pend_down[e];
+            if pd == 0.0 {
+                continue;
+            }
+            let pt = self.pend_tft[e];
+            self.pend_down[e] = 0.0;
+            self.pend_tft[e] = 0.0;
+            self.swarm.event_deposit_down(q, pd, pt);
+        }
+    }
+
+    /// Settles and flushes every present peer's row at `tau` (horizon
+    /// barrier for the driving methods), in ascending slot order.
+    fn flush_all(&mut self, tau: f64) {
+        for p in 0..self.swarm.peer_count() {
+            if self.swarm.is_present(p) {
+                self.deposit_row(p, tau);
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Event handlers.
+    // ------------------------------------------------------------------
+
+    /// Rechoke tick for peer `p`: settle the closing interval, rank by
+    /// the receipt window, re-plan outgoing flows at the planned share,
+    /// snapshot the peer's pieces, and queue the next tick.
+    fn fire_rechoke(&mut self, p: PeerId, tick: u64, gen: u64, tau: f64) {
+        if self.generation[p] != gen || !self.swarm.is_present(p) {
+            return;
+        }
+        self.stats.rechokes += 1;
+        self.deposit_row(p, tau);
+        let config = self.swarm.config();
+        let cfg_seed = config.seed;
+        let rotate = tick.is_multiple_of(u64::from(config.optimistic_period));
+        let mut rng = peer_round_rng(cfg_seed, tick, p);
+        let mut targets = std::mem::take(&mut self.targets);
+        self.swarm
+            .event_rechoke(p, &mut rng, rotate, &self.window, &mut targets);
+        // Reset this sender's previous plan: settle each outgoing edge
+        // before overwriting its rate (settle-before-replan keeps
+        // same-timestamp rechoke order immaterial), then invalidate any
+        // scheduled crossings.
+        let (base, end) = self.swarm.row_bounds(p);
+        for e in base..end {
+            let er = self.swarm.edge_rev(e);
+            self.settle_edge(er, tau);
+            self.flow[er] = 0.0;
+            self.ftft[er] = false;
+            self.plan_id[er] = 0;
+        }
+        // The receipt window rolls over at the tick, after ranking.
+        for e in base..end {
+            self.window[e] = 0.0;
+        }
+        if !targets.is_empty() {
+            let mult = self.timing.speed_multipliers[self.class[p] as usize];
+            let share = self.swarm.peer(p).upload_kbps() * mult * self.timing.rechoke_interval
+                / targets.len() as f64;
+            for &(k, is_tft) in &targets {
+                let e = base + k as usize;
+                let er = self.swarm.edge_rev(e);
+                let q = self.swarm.edge_target(e);
+                self.flow[er] = share;
+                self.ftft[er] = is_tft;
+                self.next_plan_id += 1;
+                self.plan_id[er] = self.next_plan_id;
+                self.schedule_crossing(q, er, tau);
+            }
+        }
+        self.targets = targets;
+        self.plan_pieces[p].clone_from(self.swarm.pieces_at(p));
+        self.snapshot_dirty = true;
+        self.push((tick + 1) as f64, K_RECHOKE, p as u64, tick + 1, gen);
+    }
+
+    /// Transfer event on edge `e` into recipient `q`: settle, convert
+    /// every whole piece of credit into rarest-first picks against the
+    /// availability / sender snapshots, and re-predict the next
+    /// crossing. Stale plans (tag mismatch) are dropped unfired.
+    fn fire_transfer(&mut self, q: PeerId, e: usize, tag: u64, tau: f64) {
+        if tag == 0 || self.plan_id[e] != tag {
+            return;
+        }
+        self.stats.transfers += 1;
+        self.settle_edge(e, tau);
+        let piece_size = self.swarm.config().piece_size_kbit;
+        // Quantized crossings re-check exactly (the synchronous limit
+        // must match the round engine's exact comparison); continuous
+        // crossings accept an FP-relative shortfall, otherwise a
+        // prediction that settles epsilon short of a piece would
+        // re-predict a crossing at a time that cannot advance.
+        let threshold = if self.quantum_intervals.is_some() {
+            piece_size
+        } else {
+            piece_size * (1.0 - 1e-9)
+        };
+        if self.credit[e] >= threshold {
+            let sender = self.swarm.edge_target(e);
+            let want = (self.credit[e] / piece_size) as usize + 2;
+            let mut picks = std::mem::take(&mut self.picks);
+            self.swarm.event_batch_picks(
+                &self.snapshot,
+                q,
+                &self.plan_pieces[sender],
+                want,
+                &mut picks,
+            );
+            let stamp = round_equiv(tau);
+            let mut used = 0;
+            while self.credit[e] >= threshold {
+                let Some(&packed) = picks.get(used) else {
+                    break;
+                };
+                used += 1;
+                let piece = (packed & u64::from(u32::MAX)) as usize;
+                self.credit[e] -= piece_size;
+                if self.swarm.event_convert_piece(q, piece, stamp) {
+                    self.on_completion(q, tau, stamp);
+                }
+            }
+            self.picks = picks;
+        }
+        if self.flow[e] > 0.0 && self.credit[e] < threshold {
+            self.schedule_crossing(q, e, tau);
+        }
+    }
+
+    /// Predicts when edge `e`'s credit crosses one piece under its
+    /// current flow and queues the transfer event — at the exact
+    /// continuous crossing, or snapped up to the next transfer-quantum
+    /// multiple. A fired event re-checks the settled credit, so an
+    /// early (FP-pessimistic) prediction self-corrects.
+    fn schedule_crossing(&mut self, q: PeerId, e: usize, tau: f64) {
+        let f = self.flow[e];
+        if f <= 0.0 {
+            return;
+        }
+        let piece_size = self.swarm.config().piece_size_kbit;
+        let need = (piece_size - self.credit[e]).max(0.0);
+        let raw = tau + need / f;
+        let time = match self.quantum_intervals {
+            Some(qu) => {
+                // In the synchronous limit `need <= share` exactly, so
+                // `raw <= tau + 1` and the rounded crossing never lands
+                // later than the round engine's delivery tick.
+                let mut m = (raw / qu - 1e-9).ceil();
+                if m * qu <= tau {
+                    m = (tau / qu + 1e-9).floor() + 1.0;
+                }
+                m * qu
+            }
+            None => raw.max(tau),
+        };
+        let tag = self.plan_id[e];
+        self.push(time, K_TRANSFER, q as u64, e as u64, tag);
+    }
+
+    /// Completion bookkeeping: record the event, then draw the churn
+    /// departure plan (leave immediately, or linger as a seed with a
+    /// per-interval leave probability) from a fresh per-event stream.
+    fn on_completion(&mut self, q: PeerId, tau: f64, stamp: u64) {
+        let interval = self.timing.rechoke_interval;
+        self.completions.push(CompletionRecord {
+            slot: q as u32,
+            class: self.class[q],
+            arrival_time: self.arrival_time[q] * interval,
+            completion_time: tau * interval,
+            completion_round: stamp,
+        });
+        let (leave_p, linger_p, seed) = match &self.churn {
+            Some(ch) => (
+                ch.departure.leave_on_completion,
+                ch.departure.seed_leave_prob,
+                ch.session_seed,
+            ),
+            None => return,
+        };
+        if leave_p <= 0.0 && linger_p <= 0.0 {
+            return;
+        }
+        let gen = self.generation[q];
+        let sq = self.alloc_seq();
+        let mut rng = event_seq_rng(seed, sq);
+        if leave_p > 0.0 && rng.gen_bool(leave_p) {
+            self.push(tau, K_DEPART, q as u64, 0, gen);
+        } else if linger_p > 0.0 {
+            let gap = round_prob_gap(&mut rng, linger_p);
+            self.push(tau + gap, K_DEPART, q as u64, 0, gen);
+        }
+    }
+
+    /// Departure of peer `d`: settle and flush its row, detach every
+    /// edge (mirroring the swap-moves on the engine's per-edge arrays),
+    /// and remove the peer. `only_if_incomplete` marks abort timers,
+    /// which lapse once the download finished.
+    fn fire_departure(&mut self, d: PeerId, gen: u64, only_if_incomplete: bool, tau: f64) {
+        if self.generation[d] != gen || !self.swarm.is_present(d) {
+            return;
+        }
+        if only_if_incomplete && self.swarm.pieces_at(d).is_complete() {
+            return;
+        }
+        self.stats.departures += 1;
+        self.deposit_row(d, tau);
+        while self.swarm.degree(d) > 0 {
+            let k = self.swarm.degree(d) - 1;
+            self.detach_edge(d, k, tau);
+        }
+        self.swarm.depart(d);
+        let pos = self.slot_pos[d] as usize;
+        self.present_slots.swap_remove(pos);
+        if pos < self.present_slots.len() {
+            let moved = self.present_slots[pos] as usize;
+            self.slot_pos[moved] = pos as u32;
+        }
+        self.slot_pos[d] = u32::MAX;
+        self.generation[d] = self.generation[d].wrapping_add(1);
+    }
+
+    /// Detaches the edge at local slot `k` of `p`'s row, mirroring
+    /// [`Swarm::remove_edge_at`]'s q-side-then-p-side swap-moves on the
+    /// engine's per-edge arrays. Both directions are settled and their
+    /// pending deposits flushed first (the endpoints keep what was
+    /// already transferred); displaced flowing edges get a fresh plan id
+    /// and a rescheduled crossing, since their queued events point at
+    /// the old slots.
+    fn detach_edge(&mut self, p: PeerId, k: usize, tau: f64) {
+        let (p_base, p_end) = self.swarm.row_bounds(p);
+        let e = p_base + k;
+        let q = self.swarm.edge_target(e);
+        let er = self.swarm.edge_rev(e);
+        let (_, q_end) = self.swarm.row_bounds(q);
+        // Settle and flush the dying edge in both directions.
+        for slot in [e, er] {
+            self.settle_edge(slot, tau);
+            let pd = self.pend_down[slot];
+            if pd != 0.0 {
+                let pt = self.pend_tft[slot];
+                self.pend_down[slot] = 0.0;
+                self.pend_tft[slot] = 0.0;
+                let owner = if slot == e { p } else { q };
+                self.swarm.event_deposit_down(owner, pd, pt);
+            }
+        }
+        // Mirror the q-side swap-move (q's last live edge into `er`).
+        let q_last = q_end - 1;
+        if er != q_last {
+            self.move_edge_slot(q_last, er, q, tau);
+        }
+        self.clear_engine_slot(q_last);
+        // Mirror the p-side swap-move (p's last live edge into `e`).
+        let p_last = p_end - 1;
+        if e != p_last {
+            self.move_edge_slot(p_last, e, p, tau);
+        }
+        self.clear_engine_slot(p_last);
+        self.swarm.remove_edge_at(p, k);
+    }
+
+    /// Moves per-edge engine state from `src` to `dst` (both in
+    /// `owner`'s row) during a swap-remove. A flowing moved edge gets a
+    /// fresh plan id and a rescheduled crossing: its queued transfer
+    /// events carry the old slot index and must die.
+    fn move_edge_slot(&mut self, src: usize, dst: usize, owner: PeerId, tau: f64) {
+        self.flow[dst] = self.flow[src];
+        self.ftft[dst] = self.ftft[src];
+        self.credit[dst] = self.credit[src];
+        self.window[dst] = self.window[src];
+        self.pend_down[dst] = self.pend_down[src];
+        self.pend_tft[dst] = self.pend_tft[src];
+        self.last_settle[dst] = self.last_settle[src];
+        if self.flow[dst] > 0.0 {
+            self.next_plan_id += 1;
+            self.plan_id[dst] = self.next_plan_id;
+            self.schedule_crossing(owner, dst, tau);
+        } else {
+            self.plan_id[dst] = 0;
+        }
+    }
+
+    /// Zeroes all engine state of a vacated edge slot.
+    fn clear_engine_slot(&mut self, e: usize) {
+        self.flow[e] = 0.0;
+        self.ftft[e] = false;
+        self.credit[e] = 0.0;
+        self.window[e] = 0.0;
+        self.pend_down[e] = 0.0;
+        self.pend_tft[e] = 0.0;
+        self.plan_id[e] = 0;
+    }
+
+    /// Arrival event: draw the newcomer's initial pieces from its
+    /// per-event stream, admit it into the arena, wire it to shuffled
+    /// tracker candidates, arm its churn timers, and align its first
+    /// rechoke to the tick grid. Poisson arrivals chain the next
+    /// inter-arrival gap from the same stream.
+    fn fire_arrival(&mut self, chain: bool, seq: u64, tau: f64) {
+        let (upload, completion, target, abort_p, linger_p, seed, rate) = match &self.churn {
+            Some(ch) => (
+                ch.arrival_upload_kbps,
+                ch.arrival_completion,
+                ch.target_degree,
+                ch.departure.abort_prob,
+                ch.departure.seed_leave_prob,
+                ch.session_seed,
+                match ch.arrival {
+                    ArrivalProcess::Poisson { rate } => rate,
+                    _ => 0.0,
+                },
+            ),
+            None => return,
+        };
+        self.stats.arrivals += 1;
+        let mut rng = event_seq_rng(seed, seq);
+        let piece_count = self.swarm.config().piece_count;
+        let mut pieces = PieceSet::new(piece_count);
+        if completion > 0.0 {
+            for piece in 0..piece_count {
+                if rng.gen_bool(completion) {
+                    pieces.insert(piece);
+                }
+            }
+        }
+        let complete = pieces.is_complete();
+        let slot = self.swarm.arrive(upload, PeerBehavior::Compliant, pieces);
+        self.sync_capacity(tau);
+        let classes = self.timing.speed_multipliers.len() as u64;
+        self.class[slot] = (self.arrival_counter % classes) as u32;
+        self.arrival_counter += 1;
+        self.arrival_time[slot] = tau;
+        self.plan_pieces[slot].clone_from(self.swarm.pieces_at(slot));
+        self.slot_pos[slot] = self.present_slots.len() as u32;
+        self.present_slots.push(slot as u32);
+        // The newcomer changes availability: piece picks after this
+        // timestamp must see it.
+        self.snapshot_dirty = true;
+        let gen = self.generation[slot];
+        self.wire_shuffled(slot, target, &mut rng, tau);
+        if !complete && abort_p > 0.0 {
+            let gap = round_prob_gap(&mut rng, abort_p);
+            self.push(tau + gap, K_DEPART, slot as u64, 1, gen);
+        }
+        if complete && linger_p > 0.0 {
+            let gap = round_prob_gap(&mut rng, linger_p);
+            self.push(tau + gap, K_DEPART, slot as u64, 0, gen);
+        }
+        // First rechoke on the tick grid: at `tau` itself when the
+        // arrival lands on a tick, else at the next tick.
+        let rounded = tau.round();
+        let tick = if (tau - rounded).abs() < 1e-9 {
+            rounded as u64
+        } else {
+            tau.ceil() as u64
+        };
+        self.push(tick as f64, K_RECHOKE, slot as u64, tick, gen);
+        if let Some(ai) = self.announce_intervals {
+            self.push(tau + ai, K_ANNOUNCE, slot as u64, 0, gen);
+        }
+        if chain && rate > 0.0 {
+            let gap = exp_gap(&mut rng, 1.0 / rate);
+            let idx = self.arrival_pushed();
+            self.push(tau + gap, K_ARRIVAL, idx, 1, 0);
+        }
+    }
+
+    /// Tracker announce: if the peer sits below the churn target
+    /// degree, wire it to shuffled candidates; then queue the next
+    /// announce.
+    fn fire_announce(&mut self, p: PeerId, gen: u64, seq: u64, tau: f64) {
+        if self.generation[p] != gen || !self.swarm.is_present(p) {
+            return;
+        }
+        self.stats.announces += 1;
+        let (target, seed) = match &self.churn {
+            Some(ch) => (ch.target_degree, ch.session_seed),
+            None => return,
+        };
+        if self.swarm.degree(p) < target {
+            let mut rng = event_seq_rng(seed, seq);
+            self.wire_shuffled(p, target, &mut rng, tau);
+        }
+        if let Some(ai) = self.announce_intervals {
+            self.push(tau + ai, K_ANNOUNCE, p as u64, 0, gen);
+        }
+    }
+
+    /// One shuffled candidate pass over the present peers: connects
+    /// `slot` to candidates in shuffled order until it reaches `target`
+    /// degree (capacity and duplicate edges are rejected by the arena).
+    fn wire_shuffled(&mut self, slot: PeerId, target: usize, rng: &mut ChaCha8Rng, tau: f64) {
+        let mut cands = std::mem::take(&mut self.wire_scratch);
+        cands.clear();
+        cands.extend_from_slice(&self.present_slots);
+        cands.shuffle(rng);
+        for &c in &cands {
+            if self.swarm.degree(slot) >= target {
+                break;
+            }
+            let q = c as usize;
+            if q == slot {
+                continue;
+            }
+            self.connect_mirrored(slot, q, tau);
+        }
+        self.wire_scratch = cands;
+    }
+
+    /// Connects `p`–`q` in the arena and initialises the engine state of
+    /// the two new edge slots (which sit at the rows' previous ends).
+    fn connect_mirrored(&mut self, p: PeerId, q: PeerId, tau: f64) -> bool {
+        let ep = self.swarm.row_bounds(p).1;
+        let eq = self.swarm.row_bounds(q).1;
+        if !self.swarm.connect_peers(p, q) {
+            return false;
+        }
+        for e in [ep, eq] {
+            self.clear_engine_slot(e);
+            self.last_settle[e] = tau;
+        }
+        true
+    }
+
+    /// Grows the engine's per-peer / per-edge arrays to match the arena
+    /// after an arrival (which may have appended slots or overlay rows).
+    fn sync_capacity(&mut self, tau: f64) {
+        let n = self.swarm.peer_count();
+        let m = self.swarm.edge_arena_len();
+        if self.class.len() < n {
+            let piece_count = self.swarm.config().piece_count;
+            self.class.resize(n, 0);
+            self.generation.resize(n, 0);
+            self.arrival_time.resize(n, 0.0);
+            self.slot_pos.resize(n, u32::MAX);
+            self.plan_pieces
+                .resize_with(n, || PieceSet::new(piece_count));
+        }
+        if self.flow.len() < m {
+            self.flow.resize(m, 0.0);
+            self.ftft.resize(m, false);
+            self.credit.resize(m, 0.0);
+            self.window.resize(m, 0.0);
+            self.pend_down.resize(m, 0.0);
+            self.pend_tft.resize(m, 0.0);
+            self.last_settle.resize(m, tau);
+            self.plan_id.resize(m, 0);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Plumbing.
+    // ------------------------------------------------------------------
+
+    /// Queues an event, assigning the next global sequence number.
+    fn push(&mut self, time: f64, kind: u8, a: u64, b: u64, tag: u64) {
+        let seq = self.alloc_seq();
+        self.heap.push(Reverse(Ev {
+            time,
+            kind,
+            a,
+            b,
+            tag,
+            seq,
+        }));
+    }
+
+    /// Allocates a global sequence number (every number keys one
+    /// independent ChaCha stream, whether or not an event carries it).
+    fn alloc_seq(&mut self) -> u64 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    /// Next arrival index (display / tie-break payload of arrival
+    /// events).
+    fn arrival_pushed(&mut self) -> u64 {
+        let idx = self.arrivals_pushed;
+        self.arrivals_pushed += 1;
+        idx
+    }
+
+    // ------------------------------------------------------------------
+    // Accessors.
+    // ------------------------------------------------------------------
+
+    /// The wrapped swarm (every public accessor remains valid).
+    #[must_use]
+    pub fn swarm(&self) -> &Swarm {
+        &self.swarm
+    }
+
+    /// Cumulative event counters.
+    #[must_use]
+    pub fn stats(&self) -> &EventStats {
+        &self.stats
+    }
+
+    /// Download completions recorded so far, in completion order.
+    #[must_use]
+    pub fn completions(&self) -> &[CompletionRecord] {
+        &self.completions
+    }
+
+    /// Current simulated time in seconds.
+    #[must_use]
+    pub fn clock_seconds(&self) -> f64 {
+        self.clock * self.timing.rechoke_interval
+    }
+
+    /// The timing axis in force.
+    #[must_use]
+    pub fn timing(&self) -> &EventTiming {
+        &self.timing
+    }
+
+    /// Number of present peers.
+    #[must_use]
+    pub fn present_count(&self) -> usize {
+        self.present_slots.len()
+    }
+
+    /// Speed class of peer `p`.
+    #[must_use]
+    pub fn class_of(&self, p: PeerId) -> u32 {
+        self.class[p]
+    }
+
+    /// Unwraps the engine, returning the swarm.
+    #[must_use]
+    pub fn into_swarm(self) -> Swarm {
+        self.swarm
+    }
+}
+
+/// The event time in completed-round units: `ceil(tau)` with an FP
+/// slack so tick-boundary timestamps map to their own tick — equals the
+/// round engine's `round + 1` completion stamp in the synchronous
+/// limit.
+fn round_equiv(tau: f64) -> u64 {
+    let r = (tau - 1e-9).ceil();
+    if r <= 0.0 {
+        0
+    } else {
+        r as u64
+    }
+}
+
+/// One exponential inter-event gap with the given mean (interval
+/// units).
+fn exp_gap(rng: &mut ChaCha8Rng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    -mean * (1.0 - u).ln()
+}
+
+/// Exponential gap equivalent to a per-interval Bernoulli probability
+/// `p`: the continuous-time rate `-ln(1 - p)` per interval preserves
+/// the per-interval survival probability of the round-based draw.
+fn round_prob_gap(rng: &mut ChaCha8Rng, p: f64) -> f64 {
+    if p >= 1.0 {
+        return 0.0;
+    }
+    let rate = -(-p).ln_1p();
+    if rate <= 0.0 {
+        return f64::INFINITY;
+    }
+    exp_gap(rng, 1.0 / rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SwarmConfig;
+
+    fn build_swarm(seed: u64) -> Swarm {
+        let config = SwarmConfig::builder()
+            .leechers(30)
+            .seeds(2)
+            .piece_count(48)
+            .piece_size_kbit(180.0)
+            .mean_neighbors(9.0)
+            .initial_completion(0.35)
+            .seed(seed)
+            .build();
+        let uploads: Vec<f64> = (0..32).map(|i| 120.0 + 31.0 * i as f64).collect();
+        Swarm::new(config, &uploads)
+    }
+
+    #[test]
+    fn synchronous_limit_matches_round_engine_state() {
+        for seed in [3u64, 11, 2007] {
+            let mut oracle = build_swarm(seed);
+            let rs = oracle.config().round_seconds;
+            let mut engine =
+                EventEngine::new(build_swarm(seed), EventTiming::synchronous_limit(rs), None);
+            for _ in 0..3 {
+                oracle.run_rounds_parallel(7, 4);
+                engine.run_sync_rounds(7);
+                let ev = engine.swarm();
+                for p in 0..oracle.peer_count() {
+                    let (a, b) = (oracle.peer(p), ev.peer(p));
+                    assert_eq!(a.pieces(), b.pieces(), "pieces diverged at peer {p}");
+                    assert_eq!(
+                        a.completed_round(),
+                        b.completed_round(),
+                        "completion stamp diverged at peer {p}"
+                    );
+                    assert!(
+                        a.total_uploaded() == b.total_uploaded()
+                            && a.total_downloaded() == b.total_downloaded()
+                            && a.tft_uploaded() == b.tft_uploaded()
+                            && a.tft_downloaded() == b.tft_downloaded(),
+                        "transfer totals diverged at peer {p}"
+                    );
+                }
+                assert_eq!(oracle.availability(), ev.availability());
+                assert_eq!(oracle.completed(), ev.completed());
+            }
+        }
+    }
+
+    #[test]
+    fn event_determinism_same_seed_same_history() {
+        let timing = EventTiming {
+            rechoke_interval: 10.0,
+            transfer_quantum: None,
+            announce_interval: Some(25.0),
+            speed_multipliers: vec![0.5, 1.0, 2.0],
+        };
+        let churn = SessionConfig {
+            arrival: ArrivalProcess::Poisson { rate: 0.8 },
+            ..SessionConfig::default()
+        };
+        let run = || {
+            let mut engine = EventEngine::new(build_swarm(7), timing.clone(), Some(churn.clone()));
+            engine.run_for(400.0);
+            (
+                *engine.stats(),
+                engine.completions().to_vec(),
+                engine.present_count(),
+            )
+        };
+        let (s1, c1, n1) = run();
+        let (s2, c2, n2) = run();
+        assert_eq!(s1, s2);
+        assert_eq!(n1, n2);
+        assert_eq!(c1.len(), c2.len());
+        for (a, b) in c1.iter().zip(&c2) {
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn heterogeneous_speeds_order_class_completion() {
+        // Three classes at 1:2:4 speed; faster classes should finish
+        // (weakly) earlier on average.
+        let timing = EventTiming {
+            rechoke_interval: 10.0,
+            transfer_quantum: None,
+            announce_interval: None,
+            speed_multipliers: vec![1.0, 2.0, 4.0],
+        };
+        let mut engine = EventEngine::new(build_swarm(5), timing, None);
+        engine.run_for(4000.0);
+        let mut sums = [0.0f64; 3];
+        let mut counts = [0u32; 3];
+        for rec in engine.completions() {
+            sums[rec.class as usize] += rec.completion_time;
+            counts[rec.class as usize] += 1;
+        }
+        assert!(counts.iter().all(|&c| c > 0), "every class completes");
+        let means: Vec<f64> = (0..3).map(|c| sums[c] / f64::from(counts[c])).collect();
+        assert!(
+            means[0] > means[2],
+            "4x-speed class should finish before 1x ({means:?})"
+        );
+    }
+
+    #[test]
+    fn churned_engine_keeps_arena_invariants() {
+        let timing = EventTiming {
+            rechoke_interval: 10.0,
+            transfer_quantum: Some(5.0),
+            announce_interval: Some(30.0),
+            speed_multipliers: vec![0.5, 2.0],
+        };
+        let churn = SessionConfig {
+            arrival: ArrivalProcess::Poisson { rate: 1.2 },
+            departure: crate::session::DepartureRules {
+                leave_on_completion: 0.5,
+                seed_leave_prob: 0.1,
+                seed_exodus_round: None,
+                abort_prob: 0.01,
+            },
+            ..SessionConfig::default()
+        };
+        let mut engine = EventEngine::new(build_swarm(13), timing, Some(churn));
+        for _ in 0..8 {
+            engine.run_for(50.0);
+            engine.swarm().check_invariants();
+        }
+        assert!(engine.stats().arrivals > 0);
+        assert!(engine.stats().departures > 0);
+    }
+
+    #[test]
+    fn timing_validation_rejects_bad_axes() {
+        let mut t = EventTiming::default();
+        assert!(t.validate().is_ok());
+        t.rechoke_interval = 0.0;
+        assert!(t.validate().is_err());
+        t = EventTiming::default();
+        t.speed_multipliers.clear();
+        assert!(t.validate().is_err());
+        t = EventTiming {
+            speed_multipliers: vec![1.0, -2.0],
+            ..EventTiming::default()
+        };
+        assert!(t.validate().is_err());
+        t = EventTiming {
+            transfer_quantum: Some(f64::NAN),
+            ..EventTiming::default()
+        };
+        assert!(t.validate().is_err());
+    }
+}

@@ -48,6 +48,7 @@
 mod avail;
 mod behavior;
 mod config;
+pub mod events;
 pub mod faults;
 pub mod metrics;
 pub mod overlay;
@@ -58,6 +59,7 @@ mod swarm;
 
 pub use behavior::PeerBehavior;
 pub use config::{SwarmConfig, SwarmConfigBuilder};
+pub use events::{CompletionRecord, EventEngine, EventStats, EventTiming};
 pub use faults::{FaultPlan, FaultWindow};
 pub use piece::PieceSet;
 pub use swarm::{Peer, PeerId, Population, Swarm};

@@ -75,7 +75,7 @@ use crate::{PeerBehavior, PieceSet, SwarmConfig};
 pub type PeerId = usize;
 
 /// Sentinel for "no optimistic unchoke" in the flat optimistic array.
-const NO_OPT: u32 = u32::MAX;
+pub(crate) const NO_OPT: u32 = u32::MAX;
 
 /// One independent ChaCha stream per `(round, peer)` pair: the randomness
 /// source of the indexed-round semantics. The stream id packs the round in
@@ -203,13 +203,13 @@ impl<'a> Peer<'a> {
 /// the optimistic pool and the transfer target list. Persisted across
 /// rounds so the steady-state serial round never allocates.
 #[derive(Debug, Clone, Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     cand: Vec<u32>,
     ranked: Vec<u32>,
     pool: Vec<u32>,
     targets: Vec<(u32, bool)>,
     /// Prefetched rarest-first picks, packed `(availability << 32) | piece`.
-    picks: Vec<u64>,
+    pub(crate) picks: Vec<u64>,
 }
 
 /// Working state of the parallel round driver — flow buffers, the
@@ -1483,7 +1483,7 @@ impl Swarm {
     /// their reverse slots). The unchoke state (TFT set and optimistic
     /// slot) of both endpoints is dropped — it stores local row positions,
     /// which may have moved; the next rechoke rebuilds it.
-    fn remove_edge_at(&mut self, p: PeerId, k: usize) {
+    pub(crate) fn remove_edge_at(&mut self, p: PeerId, k: usize) {
         let e = self.row_off[p] + k;
         let q = self.nbr[e] as usize;
         let er = self.rev[e] as usize;
@@ -1610,6 +1610,179 @@ impl Swarm {
             self.validate_consistency();
         }
     }
+
+    // ------------------------------------------------------------------
+    // Continuous-time hooks (driven by `crate::events`).
+    //
+    // The event engine owns its own per-edge rate/credit/window arrays
+    // and the event clock; the swarm contributes the overlay arena, the
+    // shared choke policy and the piece/availability/total bookkeeping.
+    // None of the round-engine per-edge state (`received_*`, `credit`)
+    // is touched through these hooks, so an event-driven swarm can still
+    // be inspected with every public accessor.
+    // ------------------------------------------------------------------
+
+    /// Live piece availability index (the event engine snapshots it at
+    /// rechoke-tick boundaries, mirroring `avail_prev` of the indexed
+    /// round).
+    pub(crate) fn avail_index(&self) -> &AvailIndex {
+        &self.avail
+    }
+
+    /// Total edge-arena length (the event engine sizes its row-aligned
+    /// per-edge arrays to this).
+    pub(crate) fn edge_arena_len(&self) -> usize {
+        self.nbr.len()
+    }
+
+    /// Live extent `[start, end)` of peer `p`'s overlay row.
+    pub(crate) fn row_bounds(&self, p: PeerId) -> (usize, usize) {
+        let b = self.row_off[p];
+        (b, b + self.deg[p] as usize)
+    }
+
+    /// Neighbour pointed at by global edge slot `e`.
+    pub(crate) fn edge_target(&self, e: usize) -> PeerId {
+        self.nbr[e] as usize
+    }
+
+    /// Global slot of the reverse edge of `e`.
+    pub(crate) fn edge_rev(&self, e: usize) -> usize {
+        self.rev[e] as usize
+    }
+
+    /// Piece set of peer `p` (borrowed live, unlike [`Swarm::peer`]'s
+    /// clone-free accessor this one is crate-internal and infallible).
+    pub(crate) fn pieces_at(&self, p: PeerId) -> &PieceSet {
+        &self.pieces[p]
+    }
+
+    /// One peer's rechoke under the event clock: runs the shared
+    /// [`choke_policy`] with `window[e]` (global-slot-indexed receipts
+    /// over the closing interval) as the rate signal, commits the unchoke
+    /// arena, and fills `targets` with the interest-filtered transfer
+    /// targets `(local slot, is_tft)` — exactly the flow-planning step of
+    /// [`Swarm::par_rechoke_and_flows`], with the caller's RNG.
+    pub(crate) fn event_rechoke(
+        &mut self,
+        p: PeerId,
+        rng: &mut ChaCha8Rng,
+        rotate_optimistic: bool,
+        window: &[f64],
+        targets: &mut Vec<(u32, bool)>,
+    ) {
+        targets.clear();
+        if !self.uploads(p) {
+            self.tft_len[p] = 0;
+            self.optimistic[p] = NO_OPT;
+            return;
+        }
+        let acts_seed = self.acts_as_seed(p);
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let Swarm {
+            ref config,
+            ref row_off,
+            ref deg,
+            ref nbr,
+            ref pieces,
+            ref original_seed,
+            ref mut tft_store,
+            ref mut tft_len,
+            ref mut optimistic,
+            ..
+        } = *self;
+        let stride = config.tft_slots;
+        let fluid = config.fluid_content;
+        let base = row_off[p];
+        let opt = choke_policy(
+            &mut scratch,
+            rng,
+            deg[p] as usize,
+            |k| interested_at(fluid, original_seed, pieces, nbr[base + k] as usize, p),
+            |k| window[base + k],
+            acts_seed,
+            stride,
+            config.optimistic_slots,
+            rotate_optimistic,
+            optimistic[p],
+        );
+        tft_len[p] = scratch.ranked.len() as u32;
+        tft_store[p * stride..p * stride + scratch.ranked.len()].copy_from_slice(&scratch.ranked);
+        optimistic[p] = opt;
+        for &k in &scratch.ranked {
+            targets.push((k, true));
+        }
+        if opt != NO_OPT && !targets.iter().any(|&(k, _)| k == opt) {
+            targets.push((opt, false));
+        }
+        targets.retain(|&(k, _)| {
+            interested_at(
+                fluid,
+                original_seed,
+                pieces,
+                nbr[base + k as usize] as usize,
+                p,
+            )
+        });
+        self.scratch = scratch;
+    }
+
+    /// Deposits settled upload credit on the sender side (the event-clock
+    /// analogue of the pass-1 `up_c[li] += share` accounting).
+    pub(crate) fn event_deposit_up(&mut self, p: PeerId, kbit: f64, is_tft: bool) {
+        self.total_up[p] += kbit;
+        if is_tft {
+            self.tft_up[p] += kbit;
+        }
+    }
+
+    /// Deposits settled download credit on the recipient side — one add
+    /// per edge per tick in ascending slot order, reproducing the
+    /// recipient-major delivery's accumulation order bit-for-bit in the
+    /// synchronous limit.
+    pub(crate) fn event_deposit_down(&mut self, q: PeerId, kbit: f64, tft_kbit: f64) {
+        self.total_down[q] += kbit;
+        if tft_kbit != 0.0 {
+            self.tft_down[q] += tft_kbit;
+        }
+    }
+
+    /// Rarest-first pick prefetch against the event engine's availability
+    /// snapshot: fills `picks` with up to `want` pieces `sender_snapshot`
+    /// holds and recipient `q` (live) lacks.
+    pub(crate) fn event_batch_picks(
+        &self,
+        snapshot: &AvailIndex,
+        q: PeerId,
+        sender_snapshot: &PieceSet,
+        want: usize,
+        picks: &mut Vec<u64>,
+    ) {
+        snapshot.batch_picks(&self.pieces[q], sender_snapshot, want, picks);
+    }
+
+    /// Lands one converted piece on `q` at event time: inserts it, bumps
+    /// live availability, and on completion stamps `completion_round`
+    /// (the event time in rechoke-interval units) into the completion
+    /// bookkeeping. Returns whether this landing completed the download.
+    pub(crate) fn event_convert_piece(
+        &mut self,
+        q: PeerId,
+        piece: usize,
+        completion_round: u64,
+    ) -> bool {
+        self.pieces[q].insert(piece);
+        self.avail.increment(piece);
+        if self.pieces[q].is_complete() && self.completed_round[q].is_none() {
+            self.completed_round[q] = Some(completion_round);
+            self.completed_total += 1;
+            self.downloading_now -= 1;
+            self.seeding_now += 1;
+            true
+        } else {
+            false
+        }
+    }
 }
 
 /// Piece-mode interest with `O(1)` completion fast paths (see
@@ -1631,7 +1804,7 @@ fn interested_pieces(q: &PieceSet, p: &PieceSet) -> bool {
 /// closure and [`Swarm::interested`] share, so the predicate cannot drift
 /// between the serial and parallel semantics.
 #[inline]
-fn interested_at(
+pub(crate) fn interested_at(
     fluid: bool,
     original_seed: &[bool],
     pieces: &[PieceSet],
@@ -1655,7 +1828,7 @@ fn interested_at(
 /// only difference between the two is which RNG arrives here), so the
 /// policy cannot drift between the two semantics.
 #[allow(clippy::too_many_arguments)]
-fn choke_policy(
+pub(crate) fn choke_policy(
     scratch: &mut Scratch,
     rng: &mut ChaCha8Rng,
     deg: usize,

@@ -34,6 +34,9 @@ pub enum ScenarioError {
     /// A session build was requested but the swarm section has no `churn`
     /// sub-section.
     MissingChurn,
+    /// An event-engine build was requested but the swarm section has no
+    /// `timing` sub-section.
+    MissingTiming,
     /// The underlying graph construction failed.
     Graph(GraphError),
     /// The underlying matching-model construction failed.
@@ -64,6 +67,12 @@ impl core::fmt::Display for ScenarioError {
                 write!(
                     f,
                     "swarm section has no `churn` sub-section; cannot build a session"
+                )
+            }
+            ScenarioError::MissingTiming => {
+                write!(
+                    f,
+                    "swarm section has no `timing` sub-section; cannot build an event engine"
                 )
             }
             ScenarioError::Graph(e) => write!(f, "topology: {e}"),

@@ -7,8 +7,9 @@ use serde_json::Value;
 use strat_core::InitiativeStrategy;
 
 use crate::{
-    ArrivalProcess, BehaviorMix, CapacityModel, ChurnModel, DepartureRules, FaultPlan, FaultWindow,
-    PreferenceModel, Scenario, ScenarioError, SessionConfig, SwarmParams, TopologyModel,
+    ArrivalProcess, BehaviorMix, CapacityModel, ChurnModel, DepartureRules, EventTiming, FaultPlan,
+    FaultWindow, PreferenceModel, Scenario, ScenarioError, SessionConfig, SwarmParams,
+    TopologyModel,
 };
 
 impl Scenario {
@@ -209,7 +210,41 @@ impl SwarmParams {
                 None | Some(Value::Null) => None,
                 Some(v) => Some(fault_plan_from_value(v)?),
             },
+            // Same again: pre-event-core preset files carry no `timing`
+            // key, and absence means the synchronous round engine.
+            timing: match value.get("timing") {
+                None | Some(Value::Null) => None,
+                Some(v) => Some(event_timing_from_value(v)?),
+            },
         })
+    }
+}
+
+fn event_timing_from_value(value: &Value) -> Result<EventTiming, ScenarioError> {
+    let multipliers = require(value, "speed_multipliers")?
+        .as_array()
+        .ok_or_else(|| type_error("speed_multipliers", "array"))?
+        .iter()
+        .map(|m| {
+            m.as_f64()
+                .ok_or_else(|| type_error("speed multiplier", "number"))
+        })
+        .collect::<Result<Vec<f64>, _>>()?;
+    Ok(EventTiming {
+        rechoke_interval: f64_field(value, "rechoke_interval")?,
+        transfer_quantum: optional_f64_field(value, "transfer_quantum")?,
+        announce_interval: optional_f64_field(value, "announce_interval")?,
+        speed_multipliers: multipliers,
+    })
+}
+
+fn optional_f64_field(value: &Value, field: &str) -> Result<Option<f64>, ScenarioError> {
+    match require(value, field)? {
+        Value::Null => Ok(None),
+        v => Ok(Some(
+            v.as_f64()
+                .ok_or_else(|| type_error(field, "number or null"))?,
+        )),
     }
 }
 
@@ -258,6 +293,14 @@ fn session_config_from_value(value: &Value) -> Result<SessionConfig, ScenarioErr
         arrival_completion: f64_field(value, "arrival_completion")?,
         target_degree: usize_field(value, "target_degree")?,
         session_seed: u64_field(value, "session_seed")?,
+        // Legacy tolerance: pre-batching preset files carry no
+        // `batched_wiring` key; absence means the per-arrival path.
+        batched_wiring: match value.get("batched_wiring") {
+            None | Some(Value::Null) => false,
+            Some(v) => v
+                .as_bool()
+                .ok_or_else(|| type_error("batched_wiring", "bool"))?,
+        },
     })
 }
 
@@ -490,6 +533,7 @@ mod tests {
                     arrival_completion: 0.05,
                     target_degree: 12,
                     session_seed: 99,
+                    batched_wiring: false,
                 }),
                 ..SwarmParams::default()
             });
@@ -538,6 +582,66 @@ mod tests {
             Scenario::from_json(&scenario.to_json_pretty()).unwrap(),
             scenario
         );
+    }
+
+    #[test]
+    fn timing_section_round_trips() {
+        for timing in [
+            EventTiming::default(),
+            EventTiming {
+                rechoke_interval: 10.0,
+                transfer_quantum: Some(10.0),
+                announce_interval: Some(120.0),
+                speed_multipliers: vec![0.5, 1.0, 2.0],
+            },
+        ] {
+            let scenario = Scenario::new("timed", 20).with_swarm(SwarmParams {
+                timing: Some(timing),
+                ..SwarmParams::default()
+            });
+            let json = scenario.to_json();
+            assert!(json.contains("\"timing\":{\"rechoke_interval\":10"));
+            let parsed = Scenario::from_json(&json).expect("timing round trip parses");
+            assert_eq!(parsed, scenario);
+            // Pretty form too.
+            assert_eq!(
+                Scenario::from_json(&scenario.to_json_pretty()).unwrap(),
+                scenario
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_swarm_sections_without_timing_parse_to_none() {
+        // Pre-event-core preset files carry no `timing` key at all.
+        let scenario = Scenario::new("legacy", 8).with_swarm(SwarmParams::default());
+        let json = scenario.to_json().replace(",\"timing\":null", "");
+        assert!(!json.contains("timing"), "not stripped: {json}");
+        let parsed = Scenario::from_json(&json).expect("legacy JSON parses");
+        assert_eq!(parsed.swarm.unwrap().timing, None);
+    }
+
+    #[test]
+    fn legacy_churn_sections_without_batched_wiring_parse_to_false() {
+        // Pre-batching preset files carry no `batched_wiring` key.
+        let scenario = Scenario::new("legacy", 8).with_swarm(SwarmParams {
+            churn: Some(SessionConfig::default()),
+            ..SwarmParams::default()
+        });
+        let json = scenario.to_json().replace(",\"batched_wiring\":false", "");
+        assert!(!json.contains("batched_wiring"), "not stripped: {json}");
+        let parsed = Scenario::from_json(&json).expect("legacy JSON parses");
+        assert!(!parsed.swarm.unwrap().churn.unwrap().batched_wiring);
+        // And the explicit true form round-trips.
+        let scenario = Scenario::new("batched", 8).with_swarm(SwarmParams {
+            churn: Some(SessionConfig {
+                batched_wiring: true,
+                ..SessionConfig::default()
+            }),
+            ..SwarmParams::default()
+        });
+        let parsed = Scenario::from_json(&scenario.to_json()).expect("round trip parses");
+        assert!(parsed.swarm.unwrap().churn.unwrap().batched_wiring);
     }
 
     #[test]

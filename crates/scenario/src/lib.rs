@@ -76,7 +76,7 @@ pub use scenario::{Scenario, ScenarioDynamics, SwarmParams};
 // scenario's `swarm.churn` section *is* a session configuration, and the
 // `swarm.faults` section *is* a fault plan.
 pub use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
-pub use strat_bittorrent::{FaultPlan, FaultWindow};
+pub use strat_bittorrent::{EventEngine, EventTiming, FaultPlan, FaultWindow};
 
 /// Deterministic ChaCha8 stream `stream` derived from `seed` — the
 /// workspace-wide seed-derivation convention (formerly

@@ -5,7 +5,7 @@ use serde::{Deserialize, Serialize};
 #[cfg(test)]
 use strat_bittorrent::session::ArrivalProcess;
 use strat_bittorrent::session::{Session, SessionConfig};
-use strat_bittorrent::{FaultPlan, Swarm, SwarmConfig};
+use strat_bittorrent::{EventEngine, EventTiming, FaultPlan, Swarm, SwarmConfig};
 use strat_core::{
     stable_configuration, stable_configuration_complete, stable_configuration_masked, Capacities,
     ChurnProcess, Dynamics, DynamicsDriver, GeneralDynamics, GlobalRanking, InitiativeOutcome,
@@ -291,6 +291,11 @@ pub struct SwarmParams {
     /// by [`Scenario::build_session`]; `None` (or an inert plan) leaves
     /// the session bit-identical to the fault-free build.
     pub faults: Option<FaultPlan>,
+    /// Timing axis: `None` selects the synchronous round engine;
+    /// `Some` selects the continuous-time event engine
+    /// ([`Scenario::build_event_engine`]) with per-class speed
+    /// multipliers and rechoke/announce intervals.
+    pub timing: Option<EventTiming>,
 }
 
 impl Default for SwarmParams {
@@ -314,6 +319,7 @@ impl Default for SwarmParams {
             behavior: BehaviorMix::compliant(),
             churn: None,
             faults: None,
+            timing: None,
         }
     }
 }
@@ -723,6 +729,60 @@ impl Scenario {
         let swarm = self.build_swarm(rng)?;
         Ok(Session::with_faults(swarm, churn.clone(), faults))
     }
+
+    /// The continuous-time event engine: the swarm of
+    /// [`build_swarm`](Self::build_swarm) (identical RNG consumption)
+    /// driven by the `swarm.timing` section's discrete-event clock, with
+    /// the `swarm.churn` section (if present) supplying arrival/departure
+    /// processes on the event timeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::MissingSwarm`] /
+    /// [`ScenarioError::MissingTiming`] without the respective sections,
+    /// [`ScenarioError::InvalidParameter`] for a fluid-content swarm, a
+    /// malformed timing or churn sub-section, or a swarm section that
+    /// combines `timing` with a fault plan (the fault plane is a
+    /// round-engine construct; the event engine does not consume it);
+    /// otherwise propagates component failures.
+    pub fn build_event_engine<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+    ) -> Result<EventEngine, ScenarioError> {
+        let params = self.swarm.as_ref().ok_or(ScenarioError::MissingSwarm)?;
+        let timing = params.timing.clone().ok_or(ScenarioError::MissingTiming)?;
+        if params.fluid_content {
+            return Err(ScenarioError::InvalidParameter {
+                what: "swarm timing",
+                reason: "event engine requires piece mode (fluid content never completes)"
+                    .to_string(),
+            });
+        }
+        if params.faults.is_some() {
+            return Err(ScenarioError::InvalidParameter {
+                what: "swarm timing",
+                reason: "fault plans are a round-engine construct; \
+                         remove `swarm.faults` or `swarm.timing`"
+                    .to_string(),
+            });
+        }
+        timing
+            .validate()
+            .map_err(|reason| ScenarioError::InvalidParameter {
+                what: "swarm timing",
+                reason,
+            })?;
+        if let Some(churn) = &params.churn {
+            churn
+                .validate()
+                .map_err(|reason| ScenarioError::InvalidParameter {
+                    what: "swarm churn",
+                    reason,
+                })?;
+        }
+        let swarm = self.build_swarm(rng)?;
+        Ok(EventEngine::new(swarm, timing, params.churn.clone()))
+    }
 }
 
 #[cfg(test)]
@@ -932,6 +992,97 @@ mod tests {
             base.with_swarm(swarm_params).build_session(&mut rng(2)),
             Err(ScenarioError::InvalidParameter {
                 what: "swarm faults",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn event_engine_builds_and_matches_round_engine_in_sync_limit() {
+        let scenario = Scenario::new("t", 24)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 8.0 })
+            .with_capacity(CapacityModel::Constant { value: 300.0 })
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                piece_count: 32,
+                piece_size_kbit: 150.0,
+                timing: Some(EventTiming::synchronous_limit(10.0)),
+                ..SwarmParams::default()
+            });
+        let mut engine = scenario.build_event_engine(&mut rng(4)).unwrap();
+        engine.run_sync_rounds(6);
+        // Identical RNG consumption: the embedded swarm equals the swarm
+        // of build_swarm run through the round engine (the event engine
+        // reproduces the indexed-stream semantics of
+        // `run_rounds_parallel`, not the legacy sequential `run_rounds`).
+        let mut swarm = scenario.build_swarm(&mut rng(4)).unwrap();
+        swarm.run_rounds_parallel(6, 2);
+        assert_eq!(engine.swarm().completed_count(), swarm.completed_count());
+        for p in 0..swarm.peer_count() {
+            assert_eq!(
+                engine.swarm().peer(p).total_downloaded().to_bits(),
+                swarm.peer(p).total_downloaded().to_bits(),
+                "peer {p} download totals diverge"
+            );
+        }
+        engine.swarm().validate_consistency();
+    }
+
+    #[test]
+    fn event_engine_rejects_missing_or_conflicting_sections() {
+        let base = Scenario::new("t", 10)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 6.0 })
+            .with_capacity(CapacityModel::Constant { value: 300.0 });
+        // No swarm section at all.
+        assert!(matches!(
+            base.clone().build_event_engine(&mut rng(1)),
+            Err(ScenarioError::MissingSwarm)
+        ));
+        // Swarm section without timing.
+        let untimed = base.clone().with_swarm(SwarmParams::default());
+        assert!(matches!(
+            untimed.build_event_engine(&mut rng(1)),
+            Err(ScenarioError::MissingTiming)
+        ));
+        // Fluid-content swarms are rejected.
+        let fluid = base.clone().with_swarm(SwarmParams {
+            fluid_content: true,
+            timing: Some(EventTiming::default()),
+            ..SwarmParams::default()
+        });
+        assert!(matches!(
+            fluid.build_event_engine(&mut rng(1)),
+            Err(ScenarioError::InvalidParameter {
+                what: "swarm timing",
+                ..
+            })
+        ));
+        // The fault plane is round-engine-only: combining it with the
+        // timing axis is an error even when the plan is inert.
+        let faulted = base.clone().with_swarm(SwarmParams {
+            timing: Some(EventTiming::default()),
+            faults: Some(FaultPlan::none()),
+            ..SwarmParams::default()
+        });
+        assert!(matches!(
+            faulted.build_event_engine(&mut rng(1)),
+            Err(ScenarioError::InvalidParameter {
+                what: "swarm timing",
+                ..
+            })
+        ));
+        // Malformed timing surfaces as an error, not a panic.
+        let bad = base.with_swarm(SwarmParams {
+            timing: Some(EventTiming {
+                rechoke_interval: 0.0,
+                ..EventTiming::default()
+            }),
+            ..SwarmParams::default()
+        });
+        assert!(matches!(
+            bad.build_event_engine(&mut rng(1)),
+            Err(ScenarioError::InvalidParameter {
+                what: "swarm timing",
                 ..
             })
         ));

@@ -131,6 +131,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 arrival_completion: 0.0,
                 target_degree: 20,
                 session_seed: ctx.seed ^ 0xc4a9,
+                batched_wiring: false,
             }),
             ..SwarmParams::default()
         });

@@ -153,6 +153,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 arrival_completion: 0.0,
                 target_degree: 16,
                 session_seed: ctx.seed ^ 0xfa07,
+                batched_wiring: false,
             }),
             ..SwarmParams::default()
         });

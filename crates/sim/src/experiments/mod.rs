@@ -15,6 +15,7 @@
 
 pub mod bt1;
 pub mod btchurn;
+pub mod btevent;
 pub mod btfault;
 pub mod btflash;
 pub mod btfree;

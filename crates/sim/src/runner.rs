@@ -221,6 +221,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Open swarm: arrival x seed-leave sweep vs the fluid model (session subsystem)"
         ),
         entry!(
+            "btevent",
+            btevent,
+            "Event engine: speed-heterogeneity sweep vs the multi-class fluid model (event core)"
+        ),
+        entry!(
             "btfault",
             btfault,
             "Fault plane: crash/loss/outage/partition degradation and recovery (fault subsystem)"

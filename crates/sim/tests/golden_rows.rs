@@ -54,6 +54,9 @@ const GOLDEN: &[(&str, u64)] = &[
     // PR 6 addition (fault-plane degradation/recovery sweep), recorded at
     // birth.
     ("btfault", 0x4cca2b7cae661056),
+    // PR 7 addition (event-engine heterogeneity sweep vs the multi-class
+    // fluid model), recorded at birth.
+    ("btevent", 0x2d66d4c083c1c0d3),
     ("fluid", 0xc0fe96f77ba157fe),
     ("mmo", 0x27179e7ca8fb3385),
 ];

@@ -83,6 +83,34 @@ fn main() {
         }
     }
 
+    // The observer seam's zero-cost gate. The two rows come from one
+    // interleaved `bench_pair`, so their ratio is drift-free; pair them
+    // by hand (plain round = reference, NullObserver round = optimized)
+    // and, at full time scale, reject more than 1% overhead. Scaled
+    // (smoke) runs measure too briefly for the bound to be meaningful.
+    let observer_row = |bench: &str| {
+        groups
+            .iter()
+            .find(|m| m.group == "observer" && m.bench == bench)
+            .unwrap_or_else(|| panic!("observer/{bench} exported"))
+            .median_ns
+    };
+    let plain_ns = observer_row("round_n2000_fluid_plain");
+    let observed_ns = observer_row("round_n2000_fluid_null_observer");
+    speedups.push(Speedup {
+        group: "observer".to_string(),
+        bench: "round_n2000_fluid".to_string(),
+        reference_ns: plain_ns,
+        optimized_ns: observed_ns,
+        speedup: plain_ns / observed_ns,
+    });
+    if (time_scale - 1.0).abs() < f64::EPSILON {
+        assert!(
+            observed_ns <= plain_ns * 1.01,
+            "NullObserver round overhead exceeds 1%: {observed_ns:.0} ns observed vs {plain_ns:.0} ns plain"
+        );
+    }
+
     let report = Report {
         generated_by: "crates/bench/src/bin/export.rs".to_string(),
         command: "cargo run --release -p strat-bench --bin export".to_string(),

@@ -26,8 +26,8 @@ use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
 use strat_bittorrent::{
-    overlay, reference::RefSwarm, EventEngine, EventTiming, FaultPlan, PeerBehavior, PieceSet,
-    Swarm, SwarmConfig,
+    overlay, reference::RefSwarm, EventEngine, EventTiming, FaultPlan, NullObserver, PeerBehavior,
+    PieceSet, Swarm, SwarmConfig,
 };
 use strat_core::prefs::{best_mate_dynamics, LatencyPrefs, PrefDynamicsOutcome};
 use strat_core::GeneralDynamics;
@@ -563,6 +563,30 @@ pub fn bench_events_ref(c: &mut Criterion) {
     group.finish();
 }
 
+///// The `RunObserver` layer's zero-cost claim as a measured number: the
+/// n = 2000 fluid round through the plain `round()` against the same
+/// round driven through `round_with(&NullObserver)`, on identically
+/// seeded twin swarms. The two rows come from one `bench_pair` —
+/// interleaved A/B sample blocks, so slow machine drift cancels out of
+/// the ratio — and the `BENCH_core.json` exporter asserts the observed
+/// median stays within 1% of the plain one at full time scale (the two
+/// paths monomorphize to the same code; the gate guards the seam).
+pub fn bench_observer(c: &mut Criterion) {
+    let mut group = c.benchmark_group("observer");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+    let (config, uploads) = swarm_inputs(2000, true, 0xb18);
+    let mut plain = Swarm::new(config.clone(), &uploads);
+    let mut observed = Swarm::new(config, &uploads);
+    group.bench_pair(
+        "round_n2000_fluid_plain",
+        || plain.round(),
+        "round_n2000_fluid_null_observer",
+        || observed.round_with(&NullObserver),
+    );
+    group.finish();
+}
+
 /// Registers every core group (optimized + reference) on `c`.
 pub fn core_groups(c: &mut Criterion) {
     bench_stable_configuration(c);
@@ -577,4 +601,5 @@ pub fn core_groups(c: &mut Criterion) {
     bench_faults(c);
     bench_events(c);
     bench_events_ref(c);
+    bench_observer(c);
 }

@@ -32,6 +32,7 @@ pub enum PeerBehavior {
 impl PeerBehavior {
     /// Whether this behavior uploads at all.
     #[must_use]
+    #[inline]
     pub fn uploads(self) -> bool {
         !matches!(self, PeerBehavior::FreeRider)
     }
@@ -39,6 +40,7 @@ impl PeerBehavior {
     /// Whether this behavior ignores the reciprocation signal when
     /// selecting unchoke targets.
     #[must_use]
+    #[inline]
     pub fn ignores_reciprocation(self) -> bool {
         matches!(self, PeerBehavior::Altruistic)
     }

@@ -75,6 +75,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::avail::AvailIndex;
 use crate::behavior::PeerBehavior;
+use crate::observer::{NullObserver, RunObserver};
 use crate::piece::PieceSet;
 use crate::session::{ArrivalProcess, SessionConfig};
 use crate::swarm::{peer_round_rng, PeerId, Swarm};
@@ -534,14 +535,38 @@ impl EventEngine {
     /// Panics if [`EventEngine::run_for`] was already used on this
     /// engine.
     pub fn run_sync_rounds(&mut self, rounds: u64) {
+        self.run_sync_rounds_observed(rounds, &NullObserver);
+    }
+
+    /// [`run_sync_rounds`](Self::run_sync_rounds) with a [`RunObserver`]
+    /// tap. Observers are pure taps: attaching one changes no engine
+    /// state and consumes no randomness. Hook times are τ in
+    /// rechoke-interval units; the `transfer` hook fires per credit
+    /// *settlement* with the settled kilobits (the event engine's
+    /// continuous analogue of the round engine's per-round deliveries).
+    /// A disabled observer dispatches to the crate's own non-generic
+    /// path, so out-of-crate callers pay no re-instantiation penalty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EventEngine::run_for`] was already used on this
+    /// engine.
+    pub fn run_sync_rounds_with<O: RunObserver>(&mut self, rounds: u64, obs: &O) {
+        if !O::ENABLED {
+            return self.run_sync_rounds(rounds);
+        }
+        self.run_sync_rounds_observed(rounds, obs);
+    }
+
+    fn run_sync_rounds_observed<O: RunObserver>(&mut self, rounds: u64, obs: &O) {
         assert!(
             !self.continuous,
             "cannot mix run_sync_rounds with run_for on one engine"
         );
         self.rounds_run += rounds;
         let tau_end = self.rounds_run as f64;
-        self.pump(tau_end, false);
-        self.flush_all(tau_end);
+        self.pump(tau_end, false, obs);
+        self.flush_all(tau_end, obs);
         self.clock = tau_end;
     }
 
@@ -554,14 +579,34 @@ impl EventEngine {
     /// Panics if [`EventEngine::run_sync_rounds`] was already used on
     /// this engine.
     pub fn run_for(&mut self, seconds: f64) {
+        self.run_for_observed(seconds, &NullObserver);
+    }
+
+    /// [`run_for`](Self::run_for) with a [`RunObserver`] tap (see
+    /// [`run_sync_rounds_with`](Self::run_sync_rounds_with) for the hook
+    /// semantics). A disabled observer dispatches to the crate's own
+    /// non-generic path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`EventEngine::run_sync_rounds`] was already used on
+    /// this engine.
+    pub fn run_for_with<O: RunObserver>(&mut self, seconds: f64, obs: &O) {
+        if !O::ENABLED {
+            return self.run_for(seconds);
+        }
+        self.run_for_observed(seconds, obs);
+    }
+
+    fn run_for_observed<O: RunObserver>(&mut self, seconds: f64, obs: &O) {
         assert!(
             self.rounds_run == 0,
             "cannot mix run_for with run_sync_rounds on one engine"
         );
         self.continuous = true;
         let tau_end = self.clock + seconds / self.timing.rechoke_interval;
-        self.pump(tau_end, true);
-        self.flush_all(tau_end);
+        self.pump(tau_end, true, obs);
+        self.flush_all(tau_end, obs);
         self.clock = tau_end;
     }
 
@@ -569,7 +614,7 @@ impl EventEngine {
     /// `inclusive = false`, non-transfer events *at* the horizon stay
     /// queued (they belong to the next round); transfers at the horizon
     /// fire, because they deliver the closing interval's flows.
-    fn pump(&mut self, tau_end: f64, inclusive: bool) {
+    fn pump<O: RunObserver>(&mut self, tau_end: f64, inclusive: bool, obs: &O) {
         while let Some(&Reverse(head)) = self.heap.peek() {
             if head.time > tau_end {
                 break;
@@ -587,11 +632,13 @@ impl EventEngine {
             }
             self.stats.events += 1;
             match ev.kind {
-                K_TRANSFER => self.fire_transfer(ev.a as usize, ev.b as usize, ev.tag, ev.time),
-                K_DEPART => self.fire_departure(ev.a as usize, ev.tag, ev.b == 1, ev.time),
-                K_ARRIVAL => self.fire_arrival(ev.b == 1, ev.seq, ev.time),
-                K_RECHOKE => self.fire_rechoke(ev.a as usize, ev.b, ev.tag, ev.time),
-                K_ANNOUNCE => self.fire_announce(ev.a as usize, ev.tag, ev.seq, ev.time),
+                K_TRANSFER => {
+                    self.fire_transfer(ev.a as usize, ev.b as usize, ev.tag, ev.time, obs);
+                }
+                K_DEPART => self.fire_departure(ev.a as usize, ev.tag, ev.b == 1, ev.time, obs),
+                K_ARRIVAL => self.fire_arrival(ev.b == 1, ev.seq, ev.time, obs),
+                K_RECHOKE => self.fire_rechoke(ev.a as usize, ev.b, ev.tag, ev.time, obs),
+                K_ANNOUNCE => self.fire_announce(ev.a as usize, ev.tag, ev.seq, ev.time, obs),
                 other => unreachable!("unknown event kind {other}"),
             }
         }
@@ -607,7 +654,7 @@ impl EventEngine {
     /// addends within one interval are equal, so their order cannot
     /// matter; recipient-side deposits are deferred to `deposit_row` to
     /// preserve the round engine's accumulation order).
-    fn settle_edge(&mut self, e: usize, tau: f64) {
+    fn settle_edge<O: RunObserver>(&mut self, e: usize, tau: f64, obs: &O) {
         let f = self.flow[e];
         if f == 0.0 {
             self.last_settle[e] = tau;
@@ -628,15 +675,21 @@ impl EventEngine {
         }
         let sender = self.swarm.edge_target(e);
         self.swarm.event_deposit_up(sender, delta, is_tft);
+        if O::ENABLED {
+            // `e` sits in the recipient's row; its reverse slot's target
+            // is the row owner.
+            let recipient = self.swarm.edge_target(self.swarm.edge_rev(e));
+            obs.transfer(tau, sender, recipient, delta, is_tft);
+        }
     }
 
     /// Settles every edge of `q`'s row to `tau` and flushes the pending
     /// download deposits — one add per edge in ascending slot order,
     /// reproducing the delivery pass's recipient-major accumulation.
-    fn deposit_row(&mut self, q: PeerId, tau: f64) {
+    fn deposit_row<O: RunObserver>(&mut self, q: PeerId, tau: f64, obs: &O) {
         let (base, end) = self.swarm.row_bounds(q);
         for e in base..end {
-            self.settle_edge(e, tau);
+            self.settle_edge(e, tau, obs);
             let pd = self.pend_down[e];
             if pd == 0.0 {
                 continue;
@@ -650,10 +703,10 @@ impl EventEngine {
 
     /// Settles and flushes every present peer's row at `tau` (horizon
     /// barrier for the driving methods), in ascending slot order.
-    fn flush_all(&mut self, tau: f64) {
+    fn flush_all<O: RunObserver>(&mut self, tau: f64, obs: &O) {
         for p in 0..self.swarm.peer_count() {
             if self.swarm.is_present(p) {
-                self.deposit_row(p, tau);
+                self.deposit_row(p, tau, obs);
             }
         }
     }
@@ -665,12 +718,15 @@ impl EventEngine {
     /// Rechoke tick for peer `p`: settle the closing interval, rank by
     /// the receipt window, re-plan outgoing flows at the planned share,
     /// snapshot the peer's pieces, and queue the next tick.
-    fn fire_rechoke(&mut self, p: PeerId, tick: u64, gen: u64, tau: f64) {
+    fn fire_rechoke<O: RunObserver>(&mut self, p: PeerId, tick: u64, gen: u64, tau: f64, obs: &O) {
         if self.generation[p] != gen || !self.swarm.is_present(p) {
             return;
         }
         self.stats.rechokes += 1;
-        self.deposit_row(p, tau);
+        if O::ENABLED {
+            obs.rechoke_tick(tau, p);
+        }
+        self.deposit_row(p, tau, obs);
         let config = self.swarm.config();
         let cfg_seed = config.seed;
         let rotate = tick.is_multiple_of(u64::from(config.optimistic_period));
@@ -685,7 +741,7 @@ impl EventEngine {
         let (base, end) = self.swarm.row_bounds(p);
         for e in base..end {
             let er = self.swarm.edge_rev(e);
-            self.settle_edge(er, tau);
+            self.settle_edge(er, tau, obs);
             self.flow[er] = 0.0;
             self.ftft[er] = false;
             self.plan_id[er] = 0;
@@ -707,6 +763,9 @@ impl EventEngine {
                 self.next_plan_id += 1;
                 self.plan_id[er] = self.next_plan_id;
                 self.schedule_crossing(q, er, tau);
+                if O::ENABLED {
+                    obs.unchoke(tau, p, q, !is_tft);
+                }
             }
         }
         self.targets = targets;
@@ -719,12 +778,12 @@ impl EventEngine {
     /// every whole piece of credit into rarest-first picks against the
     /// availability / sender snapshots, and re-predict the next
     /// crossing. Stale plans (tag mismatch) are dropped unfired.
-    fn fire_transfer(&mut self, q: PeerId, e: usize, tag: u64, tau: f64) {
+    fn fire_transfer<O: RunObserver>(&mut self, q: PeerId, e: usize, tag: u64, tau: f64, obs: &O) {
         if tag == 0 || self.plan_id[e] != tag {
             return;
         }
         self.stats.transfers += 1;
-        self.settle_edge(e, tau);
+        self.settle_edge(e, tau, obs);
         let piece_size = self.swarm.config().piece_size_kbit;
         // Quantized crossings re-check exactly (the synchronous limit
         // must match the round engine's exact comparison); continuous
@@ -756,8 +815,11 @@ impl EventEngine {
                 used += 1;
                 let piece = (packed & u64::from(u32::MAX)) as usize;
                 self.credit[e] -= piece_size;
+                if O::ENABLED {
+                    obs.piece_converted(tau, q, piece);
+                }
                 if self.swarm.event_convert_piece(q, piece, stamp) {
-                    self.on_completion(q, tau, stamp);
+                    self.on_completion(q, tau, stamp, obs);
                 }
             }
             self.picks = picks;
@@ -800,7 +862,10 @@ impl EventEngine {
     /// Completion bookkeeping: record the event, then draw the churn
     /// departure plan (leave immediately, or linger as a seed with a
     /// per-interval leave probability) from a fresh per-event stream.
-    fn on_completion(&mut self, q: PeerId, tau: f64, stamp: u64) {
+    fn on_completion<O: RunObserver>(&mut self, q: PeerId, tau: f64, stamp: u64, obs: &O) {
+        if O::ENABLED {
+            obs.completed(tau, q);
+        }
         let interval = self.timing.rechoke_interval;
         self.completions.push(CompletionRecord {
             slot: q as u32,
@@ -835,7 +900,14 @@ impl EventEngine {
     /// edge (mirroring the swap-moves on the engine's per-edge arrays),
     /// and remove the peer. `only_if_incomplete` marks abort timers,
     /// which lapse once the download finished.
-    fn fire_departure(&mut self, d: PeerId, gen: u64, only_if_incomplete: bool, tau: f64) {
+    fn fire_departure<O: RunObserver>(
+        &mut self,
+        d: PeerId,
+        gen: u64,
+        only_if_incomplete: bool,
+        tau: f64,
+        obs: &O,
+    ) {
         if self.generation[d] != gen || !self.swarm.is_present(d) {
             return;
         }
@@ -843,10 +915,13 @@ impl EventEngine {
             return;
         }
         self.stats.departures += 1;
-        self.deposit_row(d, tau);
+        if O::ENABLED {
+            obs.departure(tau, d);
+        }
+        self.deposit_row(d, tau, obs);
         while self.swarm.degree(d) > 0 {
             let k = self.swarm.degree(d) - 1;
-            self.detach_edge(d, k, tau);
+            self.detach_edge(d, k, tau, obs);
         }
         self.swarm.depart(d);
         let pos = self.slot_pos[d] as usize;
@@ -866,7 +941,7 @@ impl EventEngine {
     /// already transferred); displaced flowing edges get a fresh plan id
     /// and a rescheduled crossing, since their queued events point at
     /// the old slots.
-    fn detach_edge(&mut self, p: PeerId, k: usize, tau: f64) {
+    fn detach_edge<O: RunObserver>(&mut self, p: PeerId, k: usize, tau: f64, obs: &O) {
         let (p_base, p_end) = self.swarm.row_bounds(p);
         let e = p_base + k;
         let q = self.swarm.edge_target(e);
@@ -874,7 +949,7 @@ impl EventEngine {
         let (_, q_end) = self.swarm.row_bounds(q);
         // Settle and flush the dying edge in both directions.
         for slot in [e, er] {
-            self.settle_edge(slot, tau);
+            self.settle_edge(slot, tau, obs);
             let pd = self.pend_down[slot];
             if pd != 0.0 {
                 let pt = self.pend_tft[slot];
@@ -936,8 +1011,8 @@ impl EventEngine {
     /// tracker candidates, arm its churn timers, and align its first
     /// rechoke to the tick grid. Poisson arrivals chain the next
     /// inter-arrival gap from the same stream.
-    fn fire_arrival(&mut self, chain: bool, seq: u64, tau: f64) {
-        let (upload, completion, target, abort_p, linger_p, seed, rate) = match &self.churn {
+    fn fire_arrival<O: RunObserver>(&mut self, chain: bool, seq: u64, tau: f64, obs: &O) {
+        let (upload, completion, target, abort_p, linger_p, seed, rate, cap) = match &self.churn {
             Some(ch) => (
                 ch.arrival_upload_kbps,
                 ch.arrival_completion,
@@ -949,6 +1024,7 @@ impl EventEngine {
                     ArrivalProcess::Poisson { rate } => rate,
                     _ => 0.0,
                 },
+                ch.peer_list_cap,
             ),
             None => return,
         };
@@ -977,7 +1053,10 @@ impl EventEngine {
         // timestamp must see it.
         self.snapshot_dirty = true;
         let gen = self.generation[slot];
-        self.wire_shuffled(slot, target, &mut rng, tau);
+        if O::ENABLED {
+            obs.arrival(tau, slot);
+        }
+        self.wire_shuffled(slot, target, cap, &mut rng, tau);
         if !complete && abort_p > 0.0 {
             let gap = round_prob_gap(&mut rng, abort_p);
             self.push(tau + gap, K_DEPART, slot as u64, 1, gen);
@@ -1008,18 +1087,21 @@ impl EventEngine {
     /// Tracker announce: if the peer sits below the churn target
     /// degree, wire it to shuffled candidates; then queue the next
     /// announce.
-    fn fire_announce(&mut self, p: PeerId, gen: u64, seq: u64, tau: f64) {
+    fn fire_announce<O: RunObserver>(&mut self, p: PeerId, gen: u64, seq: u64, tau: f64, obs: &O) {
         if self.generation[p] != gen || !self.swarm.is_present(p) {
             return;
         }
         self.stats.announces += 1;
-        let (target, seed) = match &self.churn {
-            Some(ch) => (ch.target_degree, ch.session_seed),
+        if O::ENABLED {
+            obs.announce(tau, p);
+        }
+        let (target, seed, cap) = match &self.churn {
+            Some(ch) => (ch.target_degree, ch.session_seed, ch.peer_list_cap),
             None => return,
         };
         if self.swarm.degree(p) < target {
             let mut rng = event_seq_rng(seed, seq);
-            self.wire_shuffled(p, target, &mut rng, tau);
+            self.wire_shuffled(p, target, cap, &mut rng, tau);
         }
         if let Some(ai) = self.announce_intervals {
             self.push(tau + ai, K_ANNOUNCE, p as u64, 0, gen);
@@ -1029,12 +1111,24 @@ impl EventEngine {
     /// One shuffled candidate pass over the present peers: connects
     /// `slot` to candidates in shuffled order until it reaches `target`
     /// degree (capacity and duplicate edges are rejected by the arena).
-    fn wire_shuffled(&mut self, slot: PeerId, target: usize, rng: &mut ChaCha8Rng, tau: f64) {
+    /// A tracker peer-list cap limits the pass to the first `cap`
+    /// shuffled candidates — i.e. the uniform subset the tracker handed
+    /// out; `None` scans the whole list (legacy behaviour, draw-for-draw
+    /// identical since the full shuffle happens either way).
+    fn wire_shuffled(
+        &mut self,
+        slot: PeerId,
+        target: usize,
+        cap: Option<usize>,
+        rng: &mut ChaCha8Rng,
+        tau: f64,
+    ) {
         let mut cands = std::mem::take(&mut self.wire_scratch);
         cands.clear();
         cands.extend_from_slice(&self.present_slots);
         cands.shuffle(rng);
-        for &c in &cands {
+        let handed = cap.map_or(cands.len(), |c| c.min(cands.len()));
+        for &c in &cands[..handed] {
             if self.swarm.degree(slot) >= target {
                 break;
             }

@@ -51,6 +51,7 @@ mod config;
 pub mod events;
 pub mod faults;
 pub mod metrics;
+pub mod observer;
 pub mod overlay;
 mod piece;
 pub mod reference;
@@ -61,5 +62,8 @@ pub use behavior::PeerBehavior;
 pub use config::{SwarmConfig, SwarmConfigBuilder};
 pub use events::{CompletionRecord, EventEngine, EventStats, EventTiming};
 pub use faults::{FaultPlan, FaultWindow};
+pub use observer::{
+    ClusterAffinity, ClusterObserver, NullObserver, RunObserver, TraceLog, TraceObserver,
+};
 pub use piece::PieceSet;
 pub use swarm::{Peer, PeerId, Population, Swarm};

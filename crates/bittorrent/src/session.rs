@@ -44,6 +44,7 @@ use rand_chacha::ChaCha8Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::faults::{fault_rng, FaultPlan, CRASH_EVENT, REPAIR_EVENT};
+use crate::observer::{NullObserver, RunObserver};
 use crate::{PeerBehavior, PeerId, PieceSet, Population, Swarm};
 
 /// One independent ChaCha stream per `(round, event)` pair — the session
@@ -213,6 +214,17 @@ pub struct SessionConfig {
     /// default; the rejection-sampling path is the retained reference.
     #[serde(default)]
     pub batched_wiring: bool,
+    /// Tracker peer-list cap: the maximum number of *candidate* peers
+    /// the tracker hands out per wiring request (Al-Hamra et al.,
+    /// *Understanding the Properties of the BitTorrent Overlay*). `None`
+    /// (the default, and the legacy behaviour) lets wiring consider the
+    /// whole present population; `Some(c)` draws at most `c` uniform
+    /// candidates per request, so a peer can connect to at most
+    /// `min(c, target_degree)` neighbours per announce and the overlay
+    /// gets sparser and wider as `c` shrinks. `None` is bit-identical to
+    /// pre-cap builds on every wiring path.
+    #[serde(default)]
+    pub peer_list_cap: Option<usize>,
 }
 
 impl Default for SessionConfig {
@@ -227,6 +239,7 @@ impl Default for SessionConfig {
             target_degree: 20,
             session_seed: 0x5e55,
             batched_wiring: false,
+            peer_list_cap: None,
         }
     }
 }
@@ -266,6 +279,9 @@ impl SessionConfig {
         }
         if self.target_degree == 0 {
             return Err("target degree must be positive".to_string());
+        }
+        if self.peer_list_cap == Some(0) {
+            return Err("peer_list_cap must be positive when set (None = uncapped)".to_string());
         }
         Ok(())
     }
@@ -635,7 +651,22 @@ impl Session {
     /// each round.
     pub fn run_rounds(&mut self, rounds: u64) {
         for _ in 0..rounds {
-            self.step_round(None);
+            self.step_round(None, &NullObserver);
+        }
+    }
+
+    /// [`run_rounds`](Self::run_rounds) with a [`RunObserver`] tap on
+    /// membership events (arrivals, departures, crashes) and the swarm
+    /// round. Observers are pure taps: attaching one changes no session
+    /// state and consumes no randomness. A disabled observer dispatches
+    /// to the crate's own non-generic path, so out-of-crate callers pay
+    /// no re-instantiation penalty.
+    pub fn run_rounds_with<O: RunObserver>(&mut self, rounds: u64, obs: &O) {
+        if !O::ENABLED {
+            return self.run_rounds(rounds);
+        }
+        for _ in 0..rounds {
+            self.step_round(None, obs);
         }
     }
 
@@ -644,7 +675,24 @@ impl Session {
     /// Bit-identical for any thread count.
     pub fn run_rounds_parallel(&mut self, rounds: u64, threads: usize) {
         for _ in 0..rounds {
-            self.step_round(Some(threads));
+            self.step_round(Some(threads), &NullObserver);
+        }
+    }
+
+    /// [`run_rounds_parallel`](Self::run_rounds_parallel) with a
+    /// [`RunObserver`] tap. A disabled observer dispatches to the
+    /// crate's own non-generic path.
+    pub fn run_rounds_parallel_with<O: RunObserver>(
+        &mut self,
+        rounds: u64,
+        threads: usize,
+        obs: &O,
+    ) {
+        if !O::ENABLED {
+            return self.run_rounds_parallel(rounds, threads);
+        }
+        for _ in 0..rounds {
+            self.step_round(Some(threads), obs);
         }
     }
 
@@ -654,19 +702,19 @@ impl Session {
     /// (serial when `threads` is `None`), and completion recording.
     /// Every fault hook is gated on the plan being non-inert, so the
     /// zero-fault step is exactly the PR 5 session step.
-    fn step_round(&mut self, threads: Option<usize>) {
+    fn step_round<O: RunObserver>(&mut self, threads: Option<usize>, obs: &O) {
         let round = self.swarm.round_count();
         if !self.inert {
-            self.departure_pass(round);
+            self.departure_pass(round, obs);
         }
         if self.faults_active {
-            self.fault_pass(round);
+            self.fault_pass(round, obs);
         }
         if !self.inert {
-            self.arrival_pass(round);
+            self.arrival_pass(round, obs);
         }
         if self.faults_active {
-            self.retry_pass(round);
+            self.retry_pass(round, obs);
         }
         if self.config.batched_wiring {
             self.wire_pass_batched(round);
@@ -675,8 +723,8 @@ impl Session {
             self.repair_pass(round);
         }
         match threads {
-            None => self.swarm.round(),
-            Some(t) => self.swarm.run_rounds_parallel(1, t),
+            None => self.swarm.round_with(obs),
+            Some(t) => self.swarm.run_rounds_parallel_with(1, t, obs),
         }
         self.record_completions();
     }
@@ -688,7 +736,7 @@ impl Session {
     /// severs the peer's overlay row abruptly — no completion record, no
     /// graceful-leave draws. A partition window starting this round cuts
     /// every edge between the even and odd arena halves.
-    fn fault_pass(&mut self, round: u64) {
+    fn fault_pass<O: RunObserver>(&mut self, round: u64, obs: &O) {
         if self.faults.crash_prob > 0.0 {
             let mut rng = fault_rng(self.faults.fault_seed, round, CRASH_EVENT);
             for p in 0..self.swarm.peer_count() {
@@ -696,7 +744,7 @@ impl Session {
                     && !self.publisher[p]
                     && rng.gen_bool(self.faults.crash_prob)
                 {
-                    self.depart(p, DepartReason::Crashed);
+                    self.depart(p, DepartReason::Crashed, obs);
                 }
             }
         }
@@ -726,7 +774,7 @@ impl Session {
     /// Processes the pending-announce queue in insertion order: entries
     /// whose backoff expired retry now — admission if the tracker is up,
     /// another backoff draw (from the entry's own stream) if not.
-    fn retry_pass(&mut self, round: u64) {
+    fn retry_pass<O: RunObserver>(&mut self, round: u64, obs: &O) {
         if self.pending.is_empty() {
             return;
         }
@@ -739,7 +787,7 @@ impl Session {
             }
             self.stats.announce_retries += 1;
             if tracker_up {
-                self.admit_arrival(entry.rng, round);
+                self.admit_arrival(entry.rng, round, obs);
             } else {
                 entry.attempt += 1;
                 entry.next_retry = round + backoff_delay(entry.attempt, &mut entry.rng);
@@ -791,7 +839,7 @@ impl Session {
     }
 
     /// Event 0 of the round: the departure pass, slots in ascending order.
-    fn departure_pass(&mut self, round: u64) {
+    fn departure_pass<O: RunObserver>(&mut self, round: u64, obs: &O) {
         let rules = self.config.departure;
         if rules.is_inert() {
             return;
@@ -804,7 +852,7 @@ impl Session {
             }
             if self.publisher[p] {
                 if exodus_now {
-                    self.depart(p, DepartReason::SeedExodus);
+                    self.depart(p, DepartReason::SeedExodus, obs);
                 }
                 continue;
             }
@@ -812,13 +860,13 @@ impl Session {
                 if !self.leave_decided[p] {
                     self.leave_decided[p] = true;
                     if rules.leave_on_completion > 0.0 && rng.gen_bool(rules.leave_on_completion) {
-                        self.depart(p, DepartReason::Completed);
+                        self.depart(p, DepartReason::Completed, obs);
                     }
                 } else if rules.seed_leave_prob > 0.0 && rng.gen_bool(rules.seed_leave_prob) {
-                    self.depart(p, DepartReason::SeedLeft);
+                    self.depart(p, DepartReason::SeedLeft, obs);
                 }
             } else if rules.abort_prob > 0.0 && rng.gen_bool(rules.abort_prob) {
-                self.depart(p, DepartReason::Aborted);
+                self.depart(p, DepartReason::Aborted, obs);
             }
         }
     }
@@ -829,7 +877,7 @@ impl Session {
     /// carrying its own event stream, so its eventual admission draws
     /// the exact pieces/wiring randomness its stream would have
     /// produced (shifted by the backoff draws).
-    fn arrival_pass(&mut self, round: u64) {
+    fn arrival_pass<O: RunObserver>(&mut self, round: u64, obs: &O) {
         let count = {
             let mut rng = event_rng(self.config.session_seed, round, 1);
             self.config.arrival.count_at(round, &mut rng)
@@ -847,14 +895,14 @@ impl Session {
                 self.stats.deferred_announces += 1;
                 continue;
             }
-            self.admit_arrival(rng, round);
+            self.admit_arrival(rng, round, obs);
         }
     }
 
     /// Admits one arrival, drawing its initial pieces and tracker wiring
     /// from `rng` (the arrival's own event stream, whether fresh or
     /// carried through an outage queue).
-    fn admit_arrival(&mut self, mut rng: ChaCha8Rng, round: u64) {
+    fn admit_arrival<O: RunObserver>(&mut self, mut rng: ChaCha8Rng, round: u64, obs: &O) {
         let mut pieces = PieceSet::new(self.swarm.config().piece_count);
         if self.config.arrival_completion > 0.0 {
             for piece in 0..self.swarm.config().piece_count {
@@ -870,6 +918,9 @@ impl Session {
         );
         self.on_slot_filled(slot, round);
         self.stats.arrivals += 1;
+        if O::ENABLED {
+            obs.arrival(round as f64, slot);
+        }
         if self.config.batched_wiring {
             self.wire_batch.push(slot as u32);
         } else {
@@ -890,6 +941,30 @@ impl Session {
         }
         let partitioned = self.faults_active && self.faults.partition_active(round);
         let target = self.effective_target(partitioned);
+        if let Some(cap) = self.config.peer_list_cap {
+            // Capped tracker: hand out at most `cap` *distinct* uniform
+            // candidates (partial Fisher–Yates over a present-list copy),
+            // then let the arrival connect to as many as fit. The `None`
+            // branch below is the untouched legacy path, bit-identical
+            // to pre-cap builds.
+            let mut cands = self.present_slots.clone();
+            let handed = cap.min(cands.len());
+            for i in 0..handed {
+                if self.swarm.degree(slot) >= target {
+                    break;
+                }
+                let j = rng.gen_range(i..cands.len());
+                cands.swap(i, j);
+                let q = cands[i] as usize;
+                if q == slot || (partitioned && FaultPlan::cross_partition(slot, q)) {
+                    continue;
+                }
+                // `connect_peers` rejects duplicates and full rows on its
+                // own.
+                self.swarm.connect_peers(slot, q);
+            }
+            return;
+        }
         let mut attempts = 0usize;
         let max_attempts = 12 * target + 24;
         while self.swarm.degree(slot) < target && attempts < max_attempts {
@@ -928,10 +1003,17 @@ impl Session {
         let mut cands = self.present_slots.clone();
         cands.shuffle(&mut rng);
         let mut cursor = 0usize;
+        // A peer-list cap limits each arrival's lap over the shuffled
+        // candidate list — the tracker "hands out" only the next `cap`
+        // entries. Uncapped laps scan the whole list (legacy behaviour).
+        let lap = self
+            .config
+            .peer_list_cap
+            .map_or(cands.len(), |cap| cap.min(cands.len()));
         for &slot in &batch {
             let slot = slot as usize;
             let mut scanned = 0usize;
-            while self.swarm.degree(slot) < target && scanned < cands.len() {
+            while self.swarm.degree(slot) < target && scanned < lap {
                 let q = cands[cursor] as usize;
                 cursor = (cursor + 1) % cands.len();
                 scanned += 1;
@@ -978,10 +1060,17 @@ impl Session {
     }
 
     /// Removes `p` and records the departure.
-    fn depart(&mut self, p: PeerId, reason: DepartReason) {
+    fn depart<O: RunObserver>(&mut self, p: PeerId, reason: DepartReason, obs: &O) {
         match reason {
             DepartReason::Crashed => self.swarm.crash(p),
             _ => self.swarm.depart(p),
+        }
+        if O::ENABLED {
+            let t = self.swarm.round_count() as f64;
+            match reason {
+                DepartReason::Crashed => obs.crash(t, p),
+                _ => obs.departure(t, p),
+            }
         }
         // Swap-remove from the dense present list.
         let pos = self.slot_pos[p] as usize;

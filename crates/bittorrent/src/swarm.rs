@@ -68,6 +68,7 @@ use strat_graph::{generators, NodeId};
 use strat_par::split_lengths;
 
 use crate::avail::AvailIndex;
+use crate::observer::{NullObserver, RunObserver};
 use crate::{PeerBehavior, PieceSet, SwarmConfig};
 
 /// Index of a peer inside a [`Swarm`] (an arena slot; the session layer
@@ -612,9 +613,33 @@ impl Swarm {
     /// semantics — bit-identical to
     /// [`reference::RefSwarm::round`](crate::reference::RefSwarm::round).
     pub fn round(&mut self) {
+        self.round_observed(&NullObserver);
+    }
+
+    /// [`round`](Self::round) with a [`RunObserver`] tap. The observer is
+    /// a pure `&self` tap — attaching one changes no swarm state and
+    /// consumes no randomness. A disabled observer (`O::ENABLED = false`,
+    /// e.g. [`NullObserver`]) dispatches to the crate's own non-generic
+    /// round, so out-of-crate callers pay no re-instantiation penalty —
+    /// the unobserved path is exactly [`round`](Self::round)'s code
+    /// wherever it is called from.
+    pub fn round_with<O: RunObserver>(&mut self, obs: &O) {
+        if !O::ENABLED {
+            return self.round();
+        }
+        self.round_observed(obs);
+    }
+
+    /// The round body shared by [`round`](Self::round) (which pins the
+    /// in-crate `NullObserver` instantiation) and the enabled arm of
+    /// [`round_with`](Self::round_with).
+    fn round_observed<O: RunObserver>(&mut self, obs: &O) {
         self.refresh_round_flags();
-        self.rechoke();
-        self.transfer();
+        self.rechoke(obs);
+        self.transfer(obs);
+        if O::ENABLED {
+            obs.round_end(self.round);
+        }
         self.round += 1;
         std::mem::swap(&mut self.received_prev, &mut self.received_curr);
         self.received_curr.fill(0.0);
@@ -646,6 +671,17 @@ impl Swarm {
         }
     }
 
+    /// [`run_rounds`](Self::run_rounds) with a [`RunObserver`] tap. A
+    /// disabled observer dispatches to [`run_rounds`](Self::run_rounds).
+    pub fn run_rounds_with<O: RunObserver>(&mut self, rounds: u64, obs: &O) {
+        if !O::ENABLED {
+            return self.run_rounds(rounds);
+        }
+        for _ in 0..rounds {
+            self.round_observed(obs);
+        }
+    }
+
     /// Runs `rounds` rounds under the **indexed-stream** semantics across
     /// up to `threads` worker threads.
     ///
@@ -662,6 +698,36 @@ impl Swarm {
     /// rechoke-and-flows pass over senders, then a parallel delivery pass
     /// over recipients, then an `O(pieces)` availability merge.
     pub fn run_rounds_parallel(&mut self, rounds: u64, threads: usize) {
+        self.run_rounds_parallel_observed(rounds, threads, &NullObserver);
+    }
+
+    /// [`run_rounds_parallel`](Self::run_rounds_parallel) with a
+    /// [`RunObserver`] tap shared by all workers. Event *aggregates* are
+    /// thread-invariant (see [`crate::observer`] for the ordering
+    /// contract); the swarm state itself stays bit-identical for any
+    /// thread count and any observer. A disabled observer dispatches to
+    /// the crate's own non-generic path.
+    pub fn run_rounds_parallel_with<O: RunObserver>(
+        &mut self,
+        rounds: u64,
+        threads: usize,
+        obs: &O,
+    ) {
+        if !O::ENABLED {
+            return self.run_rounds_parallel(rounds, threads);
+        }
+        self.run_rounds_parallel_observed(rounds, threads, obs);
+    }
+
+    /// The parallel-round body shared by the non-generic entry point and
+    /// the enabled arm of
+    /// [`run_rounds_parallel_with`](Self::run_rounds_parallel_with).
+    fn run_rounds_parallel_observed<O: RunObserver>(
+        &mut self,
+        rounds: u64,
+        threads: usize,
+        obs: &O,
+    ) {
         let n = self.peer_count();
         if rounds == 0 || n == 0 {
             return;
@@ -706,6 +772,7 @@ impl Swarm {
                 &mut par.scratches,
                 &mut par.flow,
                 &mut par.flow_tft,
+                obs,
             );
             self.par_delivery(
                 &ranges,
@@ -717,6 +784,7 @@ impl Swarm {
                 &mut par.completions,
                 &mut par.lost,
                 &mut par.scratches,
+                obs,
             );
             for l in &mut par.lost {
                 self.lost_deliveries += *l;
@@ -738,6 +806,9 @@ impl Swarm {
                     *c = 0;
                 }
             }
+            if O::ENABLED {
+                obs.round_end(self.round);
+            }
             self.round += 1;
             std::mem::swap(&mut self.received_prev, &mut self.received_curr);
             self.received_curr.fill(0.0);
@@ -754,6 +825,7 @@ impl Swarm {
     /// (never interested), and a complete `p` holds every piece an
     /// incomplete `q` lacks (always interesting) — both `O(1)` instead of
     /// a bitset scan.
+    #[inline]
     fn interested(&self, q: PeerId, p: PeerId) -> bool {
         interested_at(
             self.config.fluid_content,
@@ -765,6 +837,7 @@ impl Swarm {
     }
 
     /// Whether `p` rechokes like a seed (no reciprocation signal).
+    #[inline]
     fn acts_as_seed(&self, p: PeerId) -> bool {
         if self.behavior[p].ignores_reciprocation() {
             return true;
@@ -777,6 +850,7 @@ impl Swarm {
     }
 
     /// Whether `p` currently uploads at all (absent slots never do).
+    #[inline]
     fn uploads(&self, p: PeerId) -> bool {
         if !self.present[p] || !self.behavior[p].uploads() {
             return false;
@@ -799,7 +873,7 @@ impl Swarm {
         }
     }
 
-    fn rechoke(&mut self) {
+    fn rechoke<O: RunObserver>(&mut self, obs: &O) {
         let mut scratch = std::mem::take(&mut self.scratch);
         let Swarm {
             ref config,
@@ -845,11 +919,20 @@ impl Swarm {
             tft_store[p * stride..p * stride + scratch.ranked.len()]
                 .copy_from_slice(&scratch.ranked);
             optimistic[p] = opt;
+            if O::ENABLED {
+                let t = round as f64;
+                for &k in &scratch.ranked {
+                    obs.unchoke(t, p, nbr[base + k as usize] as usize, false);
+                }
+                if opt != NO_OPT {
+                    obs.unchoke(t, p, nbr[base + opt as usize] as usize, true);
+                }
+            }
         }
         self.scratch = scratch;
     }
 
-    fn transfer(&mut self) {
+    fn transfer<O: RunObserver>(&mut self, obs: &O) {
         let mut scratch = std::mem::take(&mut self.scratch);
         let n = self.peer_count();
         let stride = self.config.tft_slots;
@@ -881,7 +964,7 @@ impl Swarm {
             }
             let share = self.upload_kbps[p] * round_seconds / scratch.targets.len() as f64;
             for &(k, is_tft) in &scratch.targets {
-                self.deliver(p, base + k as usize, share, is_tft, &mut scratch.picks);
+                self.deliver(p, base + k as usize, share, is_tft, &mut scratch.picks, obs);
             }
         }
         self.scratch = scratch;
@@ -889,9 +972,18 @@ impl Swarm {
 
     /// Delivers `kbit` from `p` along its edge slot `e`, converting credit
     /// into rarest-first pieces (prefetched into `picks`).
-    fn deliver(&mut self, p: PeerId, e: usize, kbit: f64, is_tft: bool, picks: &mut Vec<u64>) {
+    fn deliver<O: RunObserver>(
+        &mut self,
+        p: PeerId,
+        e: usize,
+        kbit: f64,
+        is_tft: bool,
+        picks: &mut Vec<u64>,
+        obs: &O,
+    ) {
         let q = self.nbr[e] as usize;
         let er = self.rev[e] as usize;
+        let t = self.round as f64;
         if self.loss_prob > 0.0
             && crate::faults::loss_drawn(self.loss_seed, self.round, er, self.loss_prob)
         {
@@ -903,6 +995,9 @@ impl Swarm {
             }
             self.lost_deliveries += 1;
             self.lost_kbit_by_peer[q] += kbit;
+            if O::ENABLED {
+                obs.transfer_lost(t, p, q, kbit);
+            }
             return;
         }
         self.total_up[p] += kbit;
@@ -912,6 +1007,9 @@ impl Swarm {
             self.tft_down[q] += kbit;
         }
         self.received_curr[er] += kbit;
+        if O::ENABLED {
+            obs.transfer(t, p, q, kbit, is_tft);
+        }
         if self.config.fluid_content {
             return; // rates only; no piece bookkeeping in fluid mode
         }
@@ -938,11 +1036,17 @@ impl Swarm {
             self.credit[er] -= piece_size;
             self.pieces[q].insert(piece);
             self.avail.increment(piece);
+            if O::ENABLED {
+                obs.piece_converted(t, q, piece);
+            }
             if self.pieces[q].is_complete() && self.completed_round[q].is_none() {
                 self.completed_round[q] = Some(self.round + 1);
                 self.completed_total += 1;
                 self.downloading_now -= 1;
                 self.seeding_now += 1;
+                if O::ENABLED {
+                    obs.completed((self.round + 1) as f64, q);
+                }
             }
         }
     }
@@ -950,12 +1054,13 @@ impl Swarm {
     /// Parallel pass 1: rechoke decisions plus outgoing flow computation.
     /// Every write lands in sender-owned rows (unchoke arena, flow rows,
     /// upload totals), so peers partition freely across workers.
-    fn par_rechoke_and_flows(
+    fn par_rechoke_and_flows<O: RunObserver>(
         &mut self,
         ranges: &[Range<usize>],
         scratches: &mut [Scratch],
         flow: &mut [f64],
         flow_tft: &mut [bool],
+        obs: &O,
     ) {
         let Swarm {
             ref config,
@@ -1049,6 +1154,15 @@ impl Swarm {
                         tft_store_c[li * stride..li * stride + scratch.ranked.len()]
                             .copy_from_slice(&scratch.ranked);
                         opt_c[li] = opt;
+                        if O::ENABLED {
+                            let t = round as f64;
+                            for &k in &scratch.ranked {
+                                obs.unchoke(t, p, nbr[eb + k as usize] as usize, false);
+                            }
+                            if opt != NO_OPT {
+                                obs.unchoke(t, p, nbr[eb + opt as usize] as usize, true);
+                            }
+                        }
 
                         // Outgoing flows from start-of-round interest.
                         scratch.targets.clear();
@@ -1093,7 +1207,7 @@ impl Swarm {
     /// counts accumulate into per-worker buffers merged serially
     /// afterwards.
     #[allow(clippy::too_many_arguments)] // one slot per worker-owned buffer
-    fn par_delivery(
+    fn par_delivery<O: RunObserver>(
         &mut self,
         ranges: &[Range<usize>],
         flow: &[f64],
@@ -1104,6 +1218,7 @@ impl Swarm {
         completions: &mut [usize],
         lost: &mut [u64],
         scratches: &mut [Scratch],
+        obs: &O,
     ) {
         let Swarm {
             ref config,
@@ -1185,6 +1300,9 @@ impl Swarm {
                                 // recipient records nothing.
                                 *lost_n += 1;
                                 lostk_c[li] += f;
+                                if O::ENABLED {
+                                    obs.transfer_lost(round as f64, nbr[e] as usize, q, f);
+                                }
                                 continue;
                             }
                             down_c[li] += f;
@@ -1192,6 +1310,9 @@ impl Swarm {
                                 tftdown_c[li] += f;
                             }
                             rc_c[e - edge_base] += f;
+                            if O::ENABLED {
+                                obs.transfer(round as f64, nbr[e] as usize, q, f, is_tft);
+                            }
                             if fluid {
                                 continue;
                             }
@@ -1218,9 +1339,15 @@ impl Swarm {
                                 *cr -= piece_size;
                                 pieces_c[li].insert(piece);
                                 delta[piece] += 1;
+                                if O::ENABLED {
+                                    obs.piece_converted(round as f64, q, piece);
+                                }
                                 if pieces_c[li].is_complete() && completed_c[li].is_none() {
                                     completed_c[li] = Some(round + 1);
                                     *comp += 1;
+                                    if O::ENABLED {
+                                        obs.completed((round + 1) as f64, q);
+                                    }
                                 }
                             }
                         }

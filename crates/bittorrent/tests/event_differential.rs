@@ -185,6 +185,7 @@ proptest! {
             target_degree: 7,
             session_seed: seed ^ 0xaa,
             batched_wiring: batched,
+            peer_list_cap: None,
         };
         let run = || {
             let mut engine = EventEngine::new(

@@ -157,6 +157,7 @@ fn batched_wiring_admits_bit_identical_cohorts() {
             target_degree: 7,
             session_seed: seed ^ 0xbeef,
             batched_wiring: false,
+            peer_list_cap: None,
         };
         let mut reference = Session::new(build_frozen_swarm(18, 2, seed), config.clone());
         let mut batched = Session::new(
@@ -225,6 +226,7 @@ fn batched_wiring_is_deterministic_across_thread_counts() {
         target_degree: 8,
         session_seed: 0x5eed,
         batched_wiring: true,
+        peer_list_cap: None,
     };
     // Baseline is the indexed-stream (parallel) semantics at one worker;
     // the legacy sequential `run_rounds` draws a different (also valid)
@@ -263,6 +265,7 @@ fn batched_wiring_reaches_target_degree() {
             target_degree: target,
             session_seed: 1,
             batched_wiring: true,
+            peer_list_cap: None,
         },
     );
     session.run_rounds(1);

@@ -301,6 +301,16 @@ fn session_config_from_value(value: &Value) -> Result<SessionConfig, ScenarioErr
                 .as_bool()
                 .ok_or_else(|| type_error("batched_wiring", "bool"))?,
         },
+        // Legacy tolerance again: pre-tracker-cap preset files carry no
+        // `peer_list_cap` key; absence (like null) means uncapped.
+        peer_list_cap: match value.get("peer_list_cap") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .and_then(|c| usize::try_from(c).ok())
+                    .ok_or_else(|| type_error("peer_list_cap", "unsigned integer or null"))?,
+            ),
+        },
     })
 }
 
@@ -534,6 +544,7 @@ mod tests {
                     target_degree: 12,
                     session_seed: 99,
                     batched_wiring: false,
+                    peer_list_cap: Some(16),
                 }),
                 ..SwarmParams::default()
             });
@@ -642,6 +653,29 @@ mod tests {
         });
         let parsed = Scenario::from_json(&scenario.to_json()).expect("round trip parses");
         assert!(parsed.swarm.unwrap().churn.unwrap().batched_wiring);
+    }
+
+    #[test]
+    fn legacy_churn_sections_without_peer_list_cap_parse_to_none() {
+        // Pre-tracker-cap preset files carry no `peer_list_cap` key.
+        let scenario = Scenario::new("legacy", 8).with_swarm(SwarmParams {
+            churn: Some(SessionConfig::default()),
+            ..SwarmParams::default()
+        });
+        let json = scenario.to_json().replace(",\"peer_list_cap\":null", "");
+        assert!(!json.contains("peer_list_cap"), "not stripped: {json}");
+        let parsed = Scenario::from_json(&json).expect("legacy JSON parses");
+        assert_eq!(parsed.swarm.unwrap().churn.unwrap().peer_list_cap, None);
+        // And the explicit capped form round-trips.
+        let scenario = Scenario::new("capped", 8).with_swarm(SwarmParams {
+            churn: Some(SessionConfig {
+                peer_list_cap: Some(8),
+                ..SessionConfig::default()
+            }),
+            ..SwarmParams::default()
+        });
+        let parsed = Scenario::from_json(&scenario.to_json()).expect("round trip parses");
+        assert_eq!(parsed.swarm.unwrap().churn.unwrap().peer_list_cap, Some(8));
     }
 
     #[test]

@@ -132,6 +132,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 target_degree: 20,
                 session_seed: ctx.seed ^ 0xc4a9,
                 batched_wiring: false,
+                peer_list_cap: None,
             }),
             ..SwarmParams::default()
         });

@@ -160,6 +160,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 target_degree: 20,
                 session_seed: ctx.seed ^ 0xe7e4,
                 batched_wiring: false,
+                peer_list_cap: None,
             }),
             timing: Some(EventTiming {
                 rechoke_interval: 10.0,

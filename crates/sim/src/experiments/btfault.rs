@@ -154,6 +154,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 target_degree: 16,
                 session_seed: ctx.seed ^ 0xfa07,
                 batched_wiring: false,
+                peer_list_cap: None,
             }),
             ..SwarmParams::default()
         });

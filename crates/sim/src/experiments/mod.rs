@@ -15,10 +15,12 @@
 
 pub mod bt1;
 pub mod btchurn;
+pub mod btcluster;
 pub mod btevent;
 pub mod btfault;
 pub mod btflash;
 pub mod btfree;
+pub mod btoverlay;
 pub mod ext1;
 pub mod ext2;
 pub mod fig1;

@@ -231,6 +231,16 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Fault plane: crash/loss/outage/partition degradation and recovery (fault subsystem)"
         ),
         entry!(
+            "btcluster",
+            btcluster,
+            "TFT unchokes cluster by bandwidth class, Legout et al. (observer layer)"
+        ),
+        entry!(
+            "btoverlay",
+            btoverlay,
+            "Peer-list cap shapes the live overlay, Al-Hamra et al. (observer layer)"
+        ),
+        entry!(
             "ext1",
             ext1,
             "Combined utilities: rank stratification vs latency clustering (section 7)"

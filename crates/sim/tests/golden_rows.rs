@@ -57,6 +57,10 @@ const GOLDEN: &[(&str, u64)] = &[
     // PR 7 addition (event-engine heterogeneity sweep vs the multi-class
     // fluid model), recorded at birth.
     ("btevent", 0x2d66d4c083c1c0d3),
+    // PR 8 additions (observer-layer clustering + live-overlay sweeps),
+    // recorded at birth.
+    ("btcluster", 0x8e7790d9562b9e73),
+    ("btoverlay", 0x6e199d7e5d7422f9),
     ("fluid", 0xc0fe96f77ba157fe),
     ("mmo", 0x27179e7ca8fb3385),
 ];

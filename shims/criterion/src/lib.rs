@@ -1,9 +1,10 @@
 //! Offline stand-in for `criterion`.
 //!
 //! Provides the API subset the workspace's benches use (`benchmark_group`,
-//! `bench_function`, `bench_with_input`, `Bencher::iter`, `black_box`, the
-//! `criterion_group!`/`criterion_main!` macros) on top of a simple but
-//! honest measurement core: warm-up, then `sample_size` samples of
+//! `bench_function`, `bench_with_input`, `bench_pair`, `Bencher::iter`,
+//! `black_box`, the `criterion_group!`/`criterion_main!` macros) on top of
+//! a simple but honest measurement core: warm-up, then `sample_size`
+//! samples of
 //! auto-calibrated iteration batches, reporting the **median**
 //! per-iteration time after Tukey IQR outlier rejection (samples outside
 //! `[Q1 − 1.5·IQR, Q3 + 1.5·IQR]` — warm-up spikes, scheduler
@@ -124,6 +125,71 @@ impl BenchmarkGroup<'_> {
         self
     }
 
+    /// Measures two bodies with **interleaved** sample blocks, reporting
+    /// one row each. Back-to-back `bench_function` runs of near-identical
+    /// kernels absorb slow machine drift (frequency scaling, thermal
+    /// state) into their ratio; alternating A/B blocks within every
+    /// sample keeps that drift common to both sides, so the ratio of the
+    /// two medians is meaningful at the percent level. Both sides run
+    /// the same calibrated iteration count per block.
+    pub fn bench_pair<OA, OB>(
+        &mut self,
+        id_a: impl Into<String>,
+        mut a: impl FnMut() -> OA,
+        id_b: impl Into<String>,
+        mut b: impl FnMut() -> OB,
+    ) -> &mut Self {
+        let scale = self.criterion.time_scale;
+        let warm_up = self.warm_up.mul_f64(scale);
+        let measurement = self.measurement.mul_f64(scale);
+
+        // Warm up both sides alternately while estimating iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < warm_up || warm_iters == 0 {
+            black_box(a());
+            black_box(b());
+            warm_iters += 1;
+        }
+        let per_pair = warm_start.elapsed().as_secs_f64() / warm_iters as f64;
+
+        // Calibrate so the A+B blocks of one sample fill the per-sample
+        // slice of the measurement budget.
+        let budget = measurement.as_secs_f64().max(1e-3);
+        let per_sample = budget / self.sample_size as f64;
+        let iters = ((per_sample / per_pair.max(1e-9)).floor() as u64).max(1);
+
+        let mut samples_a = Vec::with_capacity(self.sample_size);
+        let mut samples_b = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(a());
+            }
+            samples_a.push(start.elapsed().as_nanos() as f64 / iters as f64);
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(b());
+            }
+            samples_b.push(start.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_a.sort_by(f64::total_cmp);
+        samples_b.sort_by(f64::total_cmp);
+        self.emit(
+            &id_a.into(),
+            robust_median(&samples_a),
+            self.sample_size,
+            iters,
+        );
+        self.emit(
+            &id_b.into(),
+            robust_median(&samples_b),
+            self.sample_size,
+            iters,
+        );
+        self
+    }
+
     /// Ends the group (cosmetic; reports are emitted eagerly).
     pub fn finish(&mut self) {}
 
@@ -147,12 +213,14 @@ impl BenchmarkGroup<'_> {
             );
             return;
         };
+        self.emit(id, median_ns, bencher.samples, bencher.iters_per_sample);
+    }
+
+    fn emit(&self, id: &str, median_ns: f64, samples: usize, iters_per_sample: u64) {
         println!(
-            "{:<52} median {:>12.1} ns  ({} samples x {} iters)",
+            "{:<52} median {:>12.1} ns  ({samples} samples x {iters_per_sample} iters)",
             format!("{}/{}", self.name, id),
             median_ns,
-            bencher.samples,
-            bencher.iters_per_sample,
         );
         if let Ok(path) = std::env::var("CRITERION_JSON") {
             if let Ok(mut file) = std::fs::OpenOptions::new()

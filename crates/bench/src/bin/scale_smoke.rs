@@ -1,0 +1,62 @@
+//! Release-mode scale smoke for CI: the n = 10⁵ flash-crowd round (the
+//! `swarm/flash_round_indexed_n100000_pieces` bench instance) must finish
+//! one indexed round within a wall-clock budget, so a regression on the
+//! million-peer scale path fails the build instead of silently inflating
+//! the next `BENCH_core.json` refresh.
+//!
+//! ```text
+//! cargo run --release -p strat-bench --bin scale_smoke
+//! ```
+//!
+//! The budget defaults to 900 ms — ~5x the measured median on the bench
+//! box, slack for slower CI runners but far under the 253 ms-per-round
+//! pre-optimization baseline times five. Override with
+//! `SCALE_SMOKE_BUDGET_MS` when a runner class needs different headroom.
+
+use std::time::Instant;
+
+use strat_bittorrent::{Swarm, SwarmConfig};
+
+fn main() {
+    let budget_ms: f64 = std::env::var("SCALE_SMOKE_BUDGET_MS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|b: &f64| b.is_finite() && *b > 0.0)
+        .unwrap_or(900.0);
+
+    let config = SwarmConfig::builder()
+        .leechers(100_000)
+        .seeds(20)
+        .piece_count(128)
+        .piece_size_kbit(1024.0)
+        .initial_completion(0.02)
+        .mean_neighbors(20.0)
+        .seed(0xf1a5)
+        .build();
+    let uploads: Vec<f64> = (0..100_020)
+        .map(|i| 150.0 + (i % 97) as f64 * 10.0)
+        .collect();
+    let threads = strat_par::default_threads();
+
+    let build_start = Instant::now();
+    let mut swarm = Swarm::new(config, &uploads);
+    println!("built n=100020 swarm in {:?}", build_start.elapsed());
+
+    // One warm round (buffer growth, page faults), then take the best of
+    // three — the budget bounds steady-state cost, not cold-start noise.
+    swarm.run_rounds_parallel(1, threads);
+    let mut best_ms = f64::INFINITY;
+    for i in 0..3 {
+        let start = Instant::now();
+        swarm.run_rounds_parallel(1, threads);
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        println!("round {i}: {ms:.1} ms");
+        best_ms = best_ms.min(ms);
+    }
+
+    assert!(
+        best_ms <= budget_ms,
+        "scale smoke failed: best flash round took {best_ms:.1} ms, budget {budget_ms:.0} ms"
+    );
+    println!("scale smoke ok: best {best_ms:.1} ms <= budget {budget_ms:.0} ms");
+}

@@ -322,6 +322,28 @@ pub fn bench_swarm_rounds(c: &mut Criterion) {
     group.bench_function("flash_round_indexed_n100000_pieces", |b| {
         b.iter(|| swarm.run_rounds_parallel(1, threads));
     });
+    // The million-peer target row: the same flash geometry at n = 10⁶.
+    // Each iteration is whole seconds, so the sample count drops to keep
+    // the export run bounded; the word-parallel kernels, sharded
+    // availability merge and O(live) sweeps are what keep this row from
+    // scaling worse than linearly in the n = 10⁵ row.
+    group.sample_size(5);
+    let config = SwarmConfig::builder()
+        .leechers(1_000_000)
+        .seeds(200)
+        .piece_count(128)
+        .piece_size_kbit(1024.0)
+        .initial_completion(0.02)
+        .mean_neighbors(20.0)
+        .seed(0xf1a6)
+        .build();
+    let uploads: Vec<f64> = (0..1_000_200)
+        .map(|i| 150.0 + (i % 97) as f64 * 10.0)
+        .collect();
+    let mut swarm = Swarm::new(config, &uploads);
+    group.bench_function("flash_round_indexed_n1000000_pieces", |b| {
+        b.iter(|| swarm.run_rounds_parallel(1, threads));
+    });
     group.finish();
 }
 
@@ -421,6 +443,45 @@ pub fn bench_session(c: &mut Criterion) {
             session.run_rounds(PIECE_WINDOW);
             session
         });
+    });
+
+    // The million-peer churn row: one full session round (departure,
+    // arrival, wiring and record passes plus the indexed swarm round) at
+    // n = 10⁶ in a stationary regime — 600 Poisson arrivals per round
+    // balanced by a matching abort rate, slow downloads so the
+    // population holds, and arena compaction armed. The O(live) pass
+    // sweeps and slot-reusing arena are what keep the session overhead a
+    // small fraction of the round itself at this scale.
+    group.sample_size(5);
+    let threads = strat_par::default_threads();
+    let big_config = SwarmConfig::builder()
+        .leechers(1_000_000)
+        .seeds(2)
+        .piece_count(256)
+        .piece_size_kbit(2500.0)
+        .initial_completion(0.5)
+        .mean_neighbors(20.0)
+        .seed(0x5e56)
+        .build();
+    let mut big = Session::new(
+        Swarm::new(big_config, &vec![400.0; 1_000_002]),
+        SessionConfig {
+            arrival: ArrivalProcess::Poisson { rate: 600.0 },
+            departure: DepartureRules {
+                seed_leave_prob: 0.25,
+                abort_prob: 0.0006,
+                ..DepartureRules::none()
+            },
+            arrival_upload_kbps: 400.0,
+            target_degree: 20,
+            session_seed: 0x5e56,
+            compact_threshold: Some(0.25),
+            ..SessionConfig::default()
+        },
+    );
+    big.run_rounds_parallel(2, threads); // settle the arrival/abort turnover
+    group.bench_function("round_churn_indexed_n1000000", |b| {
+        b.iter(|| big.run_rounds_parallel(1, threads));
     });
     group.finish();
 }

@@ -25,6 +25,43 @@
 
 use crate::PieceSet;
 
+/// A parallel worker's thread-local availability delta: holder additions
+/// accumulated during a round's delivery pass, drained into the shared
+/// [`AvailIndex`] by [`AvailIndex::merge_shard`] once the workers join.
+/// The `touched` list makes the drain `O(touched pieces)` per shard
+/// rather than a full-population sweep, so the serial merge phase of a
+/// million-peer round costs only what the round actually delivered.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct AvailShard {
+    /// Pending holder additions per piece; entries are zeroed as the
+    /// shard drains, so a drained shard is reusable as-is.
+    delta: Vec<u32>,
+    /// Pieces with a non-zero delta, in first-touch order.
+    touched: Vec<u32>,
+}
+
+impl AvailShard {
+    /// Sizes the shard for `pieces` pieces. Cheap when already sized: a
+    /// drained shard is all-zero and keeps its buffers.
+    pub(crate) fn reset(&mut self, pieces: usize) {
+        if self.delta.len() != pieces {
+            self.delta = vec![0; pieces];
+            self.touched.clear();
+        }
+        debug_assert!(self.touched.is_empty());
+        debug_assert!(self.delta.iter().all(|&d| d == 0));
+    }
+
+    /// Records one holder addition for `piece`.
+    #[inline]
+    pub(crate) fn add(&mut self, piece: usize) {
+        if self.delta[piece] == 0 {
+            self.touched.push(piece as u32);
+        }
+        self.delta[piece] += 1;
+    }
+}
+
 /// Piece availability (present-holder counts) with a bucket-contiguous
 /// rarest-first permutation (see the [module docs](self)).
 #[derive(Debug, Default)]
@@ -142,6 +179,32 @@ impl AvailIndex {
         self.bucket_start[c] = (first + 1) as u32;
     }
 
+    /// Applies `by` holder additions to `piece` as the exact swap
+    /// sequence of `by` successive [`AvailIndex::increment`] calls, so a
+    /// batched shard drain leaves `order`/`pos` bit-identical to the
+    /// serial one-increment-at-a-time walk it replaces.
+    #[inline]
+    pub(crate) fn increment_by(&mut self, piece: usize, by: u32) {
+        for _ in 0..by {
+            self.increment(piece);
+        }
+    }
+
+    /// Drains one worker's shard into the index: touched pieces applied
+    /// in ascending piece order, each as its full delta. Called once per
+    /// shard in worker order, this replays the exact increment sequence
+    /// of the historical worker-major full-population merge — shards are
+    /// `O(touched)` to drain instead of `O(piece_count)`.
+    pub(crate) fn merge_shard(&mut self, shard: &mut AvailShard) {
+        shard.touched.sort_unstable();
+        for &piece in &shard.touched {
+            let p = piece as usize;
+            let d = std::mem::take(&mut shard.delta[p]);
+            self.increment_by(p, d);
+        }
+        shard.touched.clear();
+    }
+
     /// The first `want` rarest-first picks among the pieces `other` has
     /// and `q` lacks, in pick order, packed `(count << 32) | piece` — the
     /// exact sequence `want` successive reference picks
@@ -149,20 +212,20 @@ impl AvailIndex {
     /// inserting a pick bumps only its *own* availability and the
     /// remaining candidates' `(count, index)` keys never change.
     ///
-    /// Two equivalent strategies, chosen by candidate density **at the
-    /// rare end**: for a *seed* sender feeding a recipient that still
-    /// lacks a sizable fraction of the file — the dominant transfer of
-    /// flash crowds and churning swarms — every rare piece is a
-    /// candidate, so the permutation is walked front-to-back (count
-    /// segments ascend; each segment's candidates emit index-sorted
-    /// through the insertion buffer, and the walk stops at the first
-    /// segment boundary with the buffer full; an `O(1)` probe of the
-    /// rarest bucket's size keeps homogeneous-availability states off
-    /// this path, where whole-segment walks would not pay). Otherwise —
-    /// partial senders, whose holdings are exactly *not* the rare
-    /// prefix, or nearly-complete recipients — the candidate bitset is
-    /// scanned word-parallel instead, exactly like the retained
-    /// reference scan.
+    /// Two equivalent strategies, chosen by the **candidate count** from
+    /// one word-parallel ANDNOT + `count_ones` sweep (the candidate mask
+    /// `other & !q`): when candidates are dense — the seed-feeds-fresh
+    /// -leecher transfers that dominate flash crowds and churning swarms
+    /// — the permutation is walked front-to-back, probing the mask per
+    /// entry (count segments ascend; each segment's candidates emit
+    /// index-sorted through the insertion buffer, and the walk stops at
+    /// the first segment boundary with the buffer full; an `O(1)` probe
+    /// of the rarest bucket's size keeps homogeneous-availability states
+    /// off this path, where whole-segment walks would not pay).
+    /// Otherwise — sparse candidates, e.g. nearly-complete recipients —
+    /// the mask words are scanned directly, exactly like the retained
+    /// reference scan. Both strategies emit the identical canonical
+    /// `(count, index)` sequence, so the heuristic is unobservable.
     #[inline]
     pub(crate) fn batch_picks(
         &self,
@@ -176,7 +239,6 @@ impl AvailIndex {
             return;
         }
         let pieces = q.piece_count();
-        let missing = pieces - q.count();
         // O(1) probe of the rarest bucket's size: homogeneous availability
         // (a few giant segments) forces the walk through whole segments
         // before it may stop, so the bitset scan wins there.
@@ -185,35 +247,55 @@ impl AvailIndex {
             let first_bucket = self.bucket_start[c0 + 1] - self.bucket_start[c0];
             (first_bucket as usize) * 8 <= pieces
         };
-        if spread && missing * 8 >= pieces && other.is_complete() {
-            // Ordered walk over the bucket-contiguous permutation.
-            let mut segment_count = u32::MAX;
-            let mut segment_base = 0usize; // finalized picks before this segment
-            for &piece in &self.order {
-                let i = piece as usize;
-                let c = self.counts[i];
-                if c != segment_count {
-                    // A segment boundary: earlier segments' picks are final.
-                    if out.len() == want {
-                        return;
+        // Candidate mask on the stack: 16 words cover every in-tree piece
+        // count (≤ 1024 pieces); larger files take the mask-free scan.
+        const MASK_WORDS: usize = 16;
+        let word_len = pieces.div_ceil(64);
+        if word_len <= MASK_WORDS {
+            let mut mask = [0u64; MASK_WORDS];
+            let cand = q.candidate_mask_into(other, &mut mask[..word_len]);
+            if cand == 0 {
+                return;
+            }
+            if spread && cand * 8 >= pieces {
+                // Ordered walk over the bucket-contiguous permutation,
+                // candidacy answered by one mask probe per entry.
+                let mut segment_count = u32::MAX;
+                let mut segment_base = 0usize; // finalized picks before this segment
+                for &piece in &self.order {
+                    let i = piece as usize;
+                    let c = self.counts[i];
+                    if c != segment_count {
+                        // A segment boundary: earlier segments' picks are final.
+                        if out.len() == want {
+                            return;
+                        }
+                        segment_count = c;
+                        segment_base = out.len();
                     }
-                    segment_count = c;
-                    segment_base = out.len();
+                    if mask[i / 64] & (1u64 << (i % 64)) != 0 {
+                        // Insert index-sorted within the segment's own region,
+                        // bounded by the room the buffer still has.
+                        let key = (u64::from(c) << 32) | u64::from(piece);
+                        insert_bounded(out, segment_base, want, key);
+                    }
                 }
-                // The walk is gated on a complete sender, so candidacy is
-                // just "q lacks the piece".
-                debug_assert!(other.contains(i));
-                if !q.contains(i) {
-                    // Insert index-sorted within the segment's own region,
-                    // bounded by the room the buffer still has.
-                    let key = (u64::from(c) << 32) | u64::from(piece);
-                    insert_bounded(out, segment_base, want, key);
+            } else {
+                // Sparse-candidate scan (the reference strategy) over the
+                // mask words, insertion-sorting the top `want` by key.
+                for (w, &word) in mask[..word_len].iter().enumerate() {
+                    let mut bits = word;
+                    while bits != 0 {
+                        let i = w * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let key = (u64::from(self.counts[i]) << 32) | i as u64;
+                        insert_bounded(out, 0, want, key);
+                    }
                 }
             }
         } else {
-            // Sparse-candidate scan (the reference strategy): enumerate the
-            // few missing pieces word-parallel, insertion-sort the top
-            // `want` by key.
+            // Mask-free fallback for very large files: enumerate missing
+            // pieces word-parallel, insertion-sort the top `want` by key.
             for i in q.missing_from(other) {
                 let key = (u64::from(self.counts[i]) << 32) | i as u64;
                 insert_bounded(out, 0, want, key);
@@ -353,5 +435,76 @@ mod tests {
         idx.increment(0);
         idx.validate();
         assert_eq!(idx.counts(), &[1, 2, 1]);
+    }
+
+    /// `increment_by(p, k)` is exactly `k` single increments: same
+    /// counts, same invariants, and the same `batch_picks` output (the
+    /// full observable surface — within-bucket order is free to differ).
+    #[test]
+    fn increment_by_matches_repeated_increments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0xba7c);
+        let pieces = 70;
+        for case in 0..60 {
+            let counts: Vec<u32> = (0..pieces).map(|_| rng.gen_range(0..5)).collect();
+            let mut bulk = AvailIndex::from_counts(counts.clone());
+            let mut single = AvailIndex::from_counts(counts);
+            for _ in 0..40 {
+                let piece = rng.gen_range(0..pieces);
+                let by = rng.gen_range(0..6u32);
+                bulk.increment_by(piece, by);
+                for _ in 0..by {
+                    single.increment(piece);
+                }
+            }
+            bulk.validate();
+            assert_eq!(bulk.counts(), single.counts(), "case {case}");
+            let mut q = PieceSet::new(pieces);
+            let mut other = PieceSet::new(pieces);
+            for i in 0..pieces {
+                if rng.gen_bool(0.4) {
+                    q.insert(i);
+                }
+                if rng.gen_bool(0.5) {
+                    other.insert(i);
+                }
+            }
+            let (mut got_bulk, mut got_single) = (Vec::new(), Vec::new());
+            bulk.batch_picks(&q, &other, 4, &mut got_bulk);
+            single.batch_picks(&q, &other, 4, &mut got_single);
+            assert_eq!(got_bulk, got_single, "case {case} picks");
+        }
+    }
+
+    /// Draining worker shards in order is exactly the serial increment
+    /// walk: `merge_shard` over any partition of the additions leaves the
+    /// same counts and invariants, and empties every shard for reuse.
+    #[test]
+    fn shard_merge_matches_serial_increments() {
+        let mut rng = ChaCha8Rng::seed_from_u64(0x5a4d);
+        let pieces = 90;
+        for workers in [1usize, 2, 3, 8] {
+            let counts: Vec<u32> = (0..pieces).map(|_| rng.gen_range(0..4)).collect();
+            let mut sharded = AvailIndex::from_counts(counts.clone());
+            let mut serial = AvailIndex::from_counts(counts);
+            let mut shards: Vec<AvailShard> = vec![AvailShard::default(); workers];
+            for shard in &mut shards {
+                shard.reset(pieces);
+            }
+            for _ in 0..500 {
+                let piece = rng.gen_range(0..pieces);
+                let worker = rng.gen_range(0..workers);
+                shards[worker].add(piece);
+                serial.increment(piece);
+            }
+            for shard in &mut shards {
+                sharded.merge_shard(shard);
+            }
+            sharded.validate();
+            assert_eq!(sharded.counts(), serial.counts(), "workers {workers}");
+            // Drained shards are all-zero and immediately reusable.
+            for shard in &mut shards {
+                shard.reset(pieces);
+            }
+        }
     }
 }

@@ -730,7 +730,7 @@ impl EventEngine {
         let config = self.swarm.config();
         let cfg_seed = config.seed;
         let rotate = tick.is_multiple_of(u64::from(config.optimistic_period));
-        let mut rng = peer_round_rng(cfg_seed, tick, p);
+        let mut rng = peer_round_rng(cfg_seed, tick, self.swarm.stream_of(p));
         let mut targets = std::mem::take(&mut self.targets);
         self.swarm
             .event_rechoke(p, &mut rng, rotate, &self.window, &mut targets);

@@ -225,6 +225,26 @@ pub struct SessionConfig {
     /// pre-cap builds on every wiring path.
     #[serde(default)]
     pub peer_list_cap: Option<usize>,
+    /// Arena-compaction trigger: when the dead-slot fraction
+    /// `swarm.dead_slots() / swarm.peer_count()` reaches this threshold
+    /// at the end of a round, the session compacts the arena
+    /// ([`Swarm::compact`](crate::Swarm::compact)) and remaps its own
+    /// slot-keyed state. `None` (the default) never compacts and is
+    /// bit-identical to pre-compaction builds on every path.
+    ///
+    /// Compaction renames arena slots, so it invalidates every
+    /// outstanding [`SessionPeerId`] (resolution fails cleanly — the
+    /// surviving slots take fresh generations) and renames the slots an
+    /// observer sees. Under the **indexed** round semantics
+    /// ([`Session::run_rounds_parallel`]) a compacting session stays
+    /// bit-identical to its non-compacting twin — peers keep their
+    /// stream identities and the session passes iterate in stream order
+    /// — except under slot-parity partitions or transfer loss, whose
+    /// draws are keyed by slot/edge position. Serial-round sessions
+    /// diverge once churn resumes (the serial engine draws from one
+    /// shared stream in slot order).
+    #[serde(default)]
+    pub compact_threshold: Option<f64>,
 }
 
 impl Default for SessionConfig {
@@ -240,6 +260,7 @@ impl Default for SessionConfig {
             session_seed: 0x5e55,
             batched_wiring: false,
             peer_list_cap: None,
+            compact_threshold: None,
         }
     }
 }
@@ -282,6 +303,13 @@ impl SessionConfig {
         }
         if self.peer_list_cap == Some(0) {
             return Err("peer_list_cap must be positive when set (None = uncapped)".to_string());
+        }
+        if let Some(t) = self.compact_threshold {
+            if !(t.is_finite() && 0.0 < t && t <= 1.0) {
+                return Err(format!(
+                    "compact_threshold must be in (0, 1] when set (None = never), got {t}"
+                ));
+            }
         }
         Ok(())
     }
@@ -445,6 +473,19 @@ pub struct Session {
     /// Slots admitted this round and awaiting the batched wiring pass
     /// (only used when `config.batched_wiring` is set).
     wire_batch: Vec<u32>,
+    /// Generation handed to slots the arena grows fresh. Bumped past
+    /// every generation ever issued when a compaction renames slots, so
+    /// no pre-compaction handle can alias a post-compaction occupant.
+    gen_floor: u32,
+    /// Whether any present peer's stream id differs from its slot. False
+    /// until a post-compaction arrival lands (survivors keep slot order
+    /// = stream order); while false the per-slot session passes iterate
+    /// slots ascending with zero overhead, exactly the legacy order.
+    stream_order_diverged: bool,
+    /// Reusable buffer for the per-slot passes' iteration order.
+    pass_buf: Vec<u32>,
+    /// Arena compactions performed so far.
+    compactions: u64,
 }
 
 /// An arrival queued behind a tracker outage: it keeps its own arrival
@@ -532,7 +573,18 @@ impl Session {
             faults_active,
             pending: Vec::new(),
             wire_batch: Vec::new(),
+            gen_floor: 0,
+            stream_order_diverged: false,
+            pass_buf: Vec::new(),
+            compactions: 0,
         }
+    }
+
+    /// Arena compactions performed so far (see
+    /// [`SessionConfig::compact_threshold`]).
+    #[must_use]
+    pub fn compactions(&self) -> u64 {
+        self.compactions
     }
 
     /// The fault schedule in force (the inert plan when none was given).
@@ -727,6 +779,81 @@ impl Session {
             Some(t) => self.swarm.run_rounds_parallel_with(1, t, obs),
         }
         self.record_completions();
+        self.maybe_compact();
+    }
+
+    /// Present slots in **indexed-stream order** — the iteration order of
+    /// every per-slot session pass. Until a post-compaction arrival lands
+    /// slot order and stream order coincide (compaction preserves
+    /// survivors' relative order, and streams recycle in free-list
+    /// lockstep before that), so the common case collects the live
+    /// prefix with no sort. The caller returns the buffer through
+    /// `self.pass_buf` when done.
+    ///
+    /// Stream order is what keeps a compacting session's sequential
+    /// event streams (departure/crash draws, completion-record order)
+    /// assigned to the same peers as its non-compacting twin's
+    /// slot-ascending passes.
+    fn take_pass_order(&mut self) -> Vec<u32> {
+        let mut order = std::mem::take(&mut self.pass_buf);
+        order.clear();
+        let lb = self.swarm.live_slot_bound();
+        order.extend((0..lb as u32).filter(|&p| self.swarm.is_present(p as usize)));
+        if self.stream_order_diverged {
+            let swarm = &self.swarm;
+            order.sort_unstable_by_key(|&p| swarm.stream_of(p as usize));
+        }
+        order
+    }
+
+    /// End-of-round compaction check: once the dead-slot fraction
+    /// reaches `config.compact_threshold`, compact the swarm arena and
+    /// remap the session's slot-keyed state along the old→new slot map.
+    /// Outstanding [`SessionPeerId`]s are invalidated wholesale: every
+    /// surviving slot takes a generation above anything issued before.
+    fn maybe_compact(&mut self) {
+        let Some(threshold) = self.config.compact_threshold else {
+            return;
+        };
+        let n = self.swarm.peer_count();
+        let dead = self.swarm.dead_slots();
+        if dead == 0 || (dead as f64) < threshold * n as f64 {
+            return;
+        }
+        let remap = self.swarm.compact();
+        let floor = self
+            .generation
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(0)
+            .wrapping_add(1);
+        self.gen_floor = floor;
+        fn retain_live<T>(remap: &[u32], v: &mut Vec<T>) {
+            let mut i = 0;
+            v.retain(|_| {
+                let keep = remap[i] != u32::MAX;
+                i += 1;
+                keep
+            });
+        }
+        retain_live(&remap, &mut self.generation);
+        retain_live(&remap, &mut self.arrival_round);
+        retain_live(&remap, &mut self.completion_recorded);
+        retain_live(&remap, &mut self.leave_decided);
+        retain_live(&remap, &mut self.publisher);
+        self.generation.fill(floor);
+        // The dense present list keeps its positional order (tracker
+        // wiring draws positions into it); only the slot values move.
+        for slot in &mut self.present_slots {
+            *slot = remap[*slot as usize];
+            debug_assert_ne!(*slot, u32::MAX);
+        }
+        self.slot_pos = vec![ABSENT; self.swarm.peer_count()];
+        for (pos, &slot) in self.present_slots.iter().enumerate() {
+            self.slot_pos[slot as usize] = pos as u32;
+        }
+        self.compactions += 1;
     }
 
     /// Fault event [`CRASH_EVENT`] of the round, plus partition cuts.
@@ -739,14 +866,14 @@ impl Session {
     fn fault_pass<O: RunObserver>(&mut self, round: u64, obs: &O) {
         if self.faults.crash_prob > 0.0 {
             let mut rng = fault_rng(self.faults.fault_seed, round, CRASH_EVENT);
-            for p in 0..self.swarm.peer_count() {
-                if self.swarm.is_present(p)
-                    && !self.publisher[p]
-                    && rng.gen_bool(self.faults.crash_prob)
-                {
+            let order = self.take_pass_order();
+            for &p in &order {
+                let p = p as usize;
+                if !self.publisher[p] && rng.gen_bool(self.faults.crash_prob) {
                     self.depart(p, DepartReason::Crashed, obs);
                 }
             }
+            self.pass_buf = order;
         }
         if self.faults.partition_starts_at(round) {
             self.sever_partition();
@@ -756,7 +883,7 @@ impl Session {
     /// Cuts every overlay edge between the even and odd arena halves —
     /// pure graph surgery, no randomness.
     fn sever_partition(&mut self) {
-        for p in 0..self.swarm.peer_count() {
+        for p in 0..self.swarm.live_slot_bound() {
             if !self.swarm.is_present(p) {
                 continue;
             }
@@ -820,8 +947,10 @@ impl Session {
         let target = self.effective_target(partitioned);
         let mut rng = fault_rng(self.faults.fault_seed, round, REPAIR_EVENT);
         let max_attempts = 12 * target + 24;
-        for p in 0..self.swarm.peer_count() {
-            if !self.swarm.is_present(p) || self.swarm.degree(p) >= target {
+        let order = self.take_pass_order();
+        for &p in &order {
+            let p = p as usize;
+            if self.swarm.degree(p) >= target {
                 continue;
             }
             let before = self.swarm.degree(p);
@@ -836,6 +965,7 @@ impl Session {
             }
             self.stats.repaired_edges += (self.swarm.degree(p) - before) as u64;
         }
+        self.pass_buf = order;
     }
 
     /// Event 0 of the round: the departure pass, slots in ascending order.
@@ -846,10 +976,9 @@ impl Session {
         }
         let mut rng = event_rng(self.config.session_seed, round, 0);
         let exodus_now = rules.seed_exodus_round == Some(round);
-        for p in 0..self.swarm.peer_count() {
-            if !self.swarm.is_present(p) {
-                continue;
-            }
+        let order = self.take_pass_order();
+        for &p in &order {
+            let p = p as usize;
             if self.publisher[p] {
                 if exodus_now {
                     self.depart(p, DepartReason::SeedExodus, obs);
@@ -869,6 +998,7 @@ impl Session {
                 self.depart(p, DepartReason::Aborted, obs);
             }
         }
+        self.pass_buf = order;
     }
 
     /// Events 1 and `2 + i` of the round: the arrival count, then one
@@ -916,6 +1046,12 @@ impl Session {
             PeerBehavior::Compliant,
             pieces,
         );
+        if self.swarm.stream_of(slot) != slot {
+            // A post-compaction arrival: its stream identity (a recycled
+            // dead slot's) no longer matches its arena slot, so the
+            // per-slot passes must start sorting by stream.
+            self.stream_order_diverged = true;
+        }
         self.on_slot_filled(slot, round);
         self.stats.arrivals += 1;
         if O::ENABLED {
@@ -1041,7 +1177,7 @@ impl Session {
     /// Book-keeping for a freshly (re)occupied arena slot.
     fn on_slot_filled(&mut self, slot: PeerId, round: u64) {
         if slot == self.generation.len() {
-            self.generation.push(0);
+            self.generation.push(self.gen_floor);
             self.arrival_round.push(0);
             self.completion_recorded.push(false);
             self.leave_decided.push(false);
@@ -1092,8 +1228,10 @@ impl Session {
     /// Records download completions that happened during the last round
     /// (non-original peers only — arriving seeds never "complete").
     fn record_completions(&mut self) {
-        for p in 0..self.swarm.peer_count() {
-            if !self.swarm.is_present(p) || self.completion_recorded[p] {
+        let order = self.take_pass_order();
+        for &p in &order {
+            let p = p as usize;
+            if self.completion_recorded[p] {
                 continue;
             }
             let peer = self.swarm.peer(p);
@@ -1108,6 +1246,7 @@ impl Session {
                     .push((self.arrival_round[p], completed));
             }
         }
+        self.pass_buf = order;
     }
 }
 

@@ -59,6 +59,7 @@
 //!   under the workspace determinism contract (`strat-par`).
 
 use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -67,7 +68,7 @@ use serde::{Deserialize, Serialize};
 use strat_graph::{generators, NodeId};
 use strat_par::split_lengths;
 
-use crate::avail::AvailIndex;
+use crate::avail::{AvailIndex, AvailShard};
 use crate::observer::{NullObserver, RunObserver};
 use crate::{PeerBehavior, PieceSet, SwarmConfig};
 
@@ -213,22 +214,45 @@ pub(crate) struct Scratch {
     pub(crate) picks: Vec<u64>,
 }
 
-/// Working state of the parallel round driver — flow buffers, the
-/// start-of-round piece/availability snapshots, per-worker scratches,
-/// availability deltas and completion counters. Persisted on the
-/// [`Swarm`] (like [`Scratch`]) so repeated [`Swarm::run_rounds_parallel`]
-/// calls — the sampling pattern of the flash-crowd and session kernels —
-/// allocate nothing in the steady state.
-#[derive(Debug, Clone, Default)]
+/// Working state of the parallel round driver — the scatter-write flow
+/// mailbox, the start-of-round piece/availability snapshots, per-worker
+/// scratches, availability shards and completion counters. Persisted on
+/// the [`Swarm`] (like [`Scratch`]) so repeated
+/// [`Swarm::run_rounds_parallel`] calls — the sampling pattern of the
+/// flash-crowd and session kernels — allocate nothing in the steady
+/// state.
+///
+/// `flow` is one edge-arena-aligned slot per edge, holding an `f64` as
+/// bits with the sign carrying the TFT flag (`+share` = TFT flow,
+/// `-share` = optimistic, `0` = no flow; shares are strictly positive).
+/// Pass 1 *scatters* each sender's share into the reverse-edge slot —
+/// every slot has exactly one writing owner, so relaxed stores suffice
+/// and the scope join publishes them — and pass 2 then reads each
+/// recipient's incoming flows **contiguously** and zeroes the slot,
+/// replacing the previous gather of `flow[rev[e]]` (two random reads
+/// into multi-megabyte arrays per edge, the dominant cost of the
+/// delivery pass at n = 10⁵⁺). Invariant: outside a running parallel
+/// round every slot is zero — pass 2 zeroes all it reads, slack slots
+/// are never written, and the membership primitives only ever move
+/// zeroed slots — so no per-round reset sweep is needed.
+#[derive(Debug, Default)]
 struct ParBuffers {
-    flow: Vec<f64>,
-    flow_tft: Vec<bool>,
+    flow: Vec<AtomicU64>,
     pieces_prev: Vec<PieceSet>,
     avail_prev: AvailIndex,
     scratches: Vec<Scratch>,
-    deltas: Vec<Vec<u32>>,
+    shards: Vec<AvailShard>,
     completions: Vec<usize>,
     lost: Vec<u64>,
+}
+
+/// Scratch state: cloning a [`Swarm`] starts the copy with fresh buffers
+/// (rebuilt on first parallel round; the all-zero `flow` invariant holds
+/// vacuously).
+impl Clone for ParBuffers {
+    fn clone(&self) -> Self {
+        Self::default()
+    }
 }
 
 /// A BitTorrent swarm under Tit-for-Tat choking.
@@ -272,6 +296,30 @@ pub struct Swarm {
     /// Membership: departed slots are absent and free-listed for reuse.
     present: Vec<bool>,
     free: Vec<u32>,
+    /// Exclusive upper bound on the present slots: every present peer
+    /// lives below it, and it is *tight* (`live_bound == 0` or slot
+    /// `live_bound - 1` is present). Maintained in amortized `O(1)`
+    /// alongside the free list so round loops scan `live_bound` slots
+    /// instead of the whole arena when churn has piled up dead slots
+    /// past the live population.
+    live_bound: usize,
+    /// Indexed-stream identity of each slot: the *logical* peer index
+    /// its `(seed, round, stream)` ChaCha streams are keyed by. Equal to
+    /// the slot index until [`Swarm::compact`] remaps slots; carried
+    /// through the reuse stack so a compacted swarm draws exactly the
+    /// randomness its uncompacted twin would.
+    stream_id: Vec<u32>,
+    /// `(stream, row capacity)` of departed slots, pushed by
+    /// [`Swarm::depart`] in lockstep with `free` and popped by
+    /// [`Swarm::arrive`]. Compaction clears `free` (the dead slots no
+    /// longer exist) but keeps this stack: arrivals that would have
+    /// reused a dead slot instead grow a fresh slot carrying the dead
+    /// slot's stream id and row capacity, keeping stream assignment and
+    /// wiring capacity identical to the uncompacted twin.
+    reuse_stack: Vec<(u32, u32)>,
+    /// Virtual arena length had no compaction ever run: the stream id
+    /// handed to arrivals that grow genuinely fresh slots.
+    logical_len: u64,
     /// Row capacity handed to arena slots appended by [`Swarm::arrive`].
     grow_row_cap: usize,
     total_up: Vec<f64>,
@@ -281,6 +329,12 @@ pub struct Swarm {
     // Per-edge state, row-aligned.
     received_prev: Vec<f64>,
     received_curr: Vec<f64>,
+    /// Set by the parallel engine, which skips the end-of-round zeroing
+    /// sweep of `received_curr` (its pass 2 *stores* into every live slot,
+    /// so the stale values from two rounds back are never read). The
+    /// serial round accumulates with `+=` and so clears the array lazily
+    /// when it finds this flag raised.
+    received_curr_stale: bool,
     credit: Vec<f64>,
     /// Unchoke arena: row `p` occupies
     /// `tft_store[p * tft_slots..][..tft_len[p]]` (local neighbour
@@ -311,6 +365,10 @@ pub struct Swarm {
     /// bit-identical at any thread count).
     lost_deliveries: u64,
     lost_kbit_by_peer: Vec<f64>,
+    /// Loss accumulated by occupants of slots that [`Swarm::compact`]
+    /// dropped, so [`Swarm::lost_kbit`] keeps its running total across
+    /// compactions.
+    lost_kbit_departed: f64,
     scratch: Scratch,
     par: ParBuffers,
 }
@@ -435,6 +493,10 @@ impl Swarm {
             original_seed: (0..n).map(|p| p >= config.leechers).collect(),
             present: vec![true; n],
             free: Vec::new(),
+            live_bound: n,
+            stream_id: (0..n as u32).collect(),
+            reuse_stack: Vec::new(),
+            logical_len: n as u64,
             grow_row_cap: (config.mean_neighbors.ceil() as usize)
                 .saturating_mul(2)
                 .max(4),
@@ -444,6 +506,7 @@ impl Swarm {
             tft_down: vec![0.0; n],
             received_prev: vec![0.0; edges],
             received_curr: vec![0.0; edges],
+            received_curr_stale: false,
             credit: vec![0.0; edges],
             tft_store: vec![0; n * stride],
             tft_len: vec![0; n],
@@ -459,6 +522,7 @@ impl Swarm {
             loss_seed: 0,
             lost_deliveries: 0,
             lost_kbit_by_peer: vec![0.0; n],
+            lost_kbit_departed: 0.0,
             scratch: Scratch::default(),
             par: ParBuffers::default(),
             config,
@@ -497,7 +561,7 @@ impl Swarm {
     /// thread-count independent.
     #[must_use]
     pub fn lost_kbit(&self) -> f64 {
-        self.lost_kbit_by_peer.iter().sum()
+        self.lost_kbit_departed + self.lost_kbit_by_peer.iter().sum::<f64>()
     }
 
     /// The configuration in force.
@@ -634,6 +698,10 @@ impl Swarm {
     /// in-crate `NullObserver` instantiation) and the enabled arm of
     /// [`round_with`](Self::round_with).
     fn round_observed<O: RunObserver>(&mut self, obs: &O) {
+        if self.received_curr_stale {
+            self.received_curr.fill(0.0);
+            self.received_curr_stale = false;
+        }
         self.refresh_round_flags();
         self.rechoke(obs);
         self.transfer(obs);
@@ -694,9 +762,12 @@ impl Swarm {
     /// [`reference::RefSwarm::round_indexed`](crate::reference::RefSwarm::round_indexed),
     /// the serial oracle this method is differentially tested against).
     ///
-    /// Round structure: flags + snapshot, then a parallel
-    /// rechoke-and-flows pass over senders, then a parallel delivery pass
-    /// over recipients, then an `O(pieces)` availability merge.
+    /// Round structure: a parallel rechoke-and-flows pass over senders
+    /// (which also refreshes the per-peer flags and piece snapshot
+    /// chunk-locally and scatters flows into recipient-row mailboxes),
+    /// then a parallel delivery pass over recipients draining those
+    /// mailboxes contiguously, then an `O(touched pieces)` sharded
+    /// availability merge in worker order.
     pub fn run_rounds_parallel(&mut self, rounds: u64, threads: usize) {
         self.run_rounds_parallel_observed(rounds, threads, &NullObserver);
     }
@@ -732,55 +803,59 @@ impl Swarm {
         if rounds == 0 || n == 0 {
             return;
         }
-        let threads = threads.max(1).min(n);
+        // Workers partition the live prefix only: dead slots past
+        // `live_bound` have no edges, draw nothing and write nothing, so
+        // skipping them changes no observable state.
+        let lb = self.live_bound;
+        let threads = threads.max(1);
         let fluid = self.config.fluid_content;
         let piece_count = self.config.piece_count;
-        let ranges: Vec<Range<usize>> = strat_par::chunk_ranges(n as u64, threads)
+        let ranges: Vec<Range<usize>> = strat_par::chunk_ranges(lb as u64, threads)
             .into_iter()
             .map(|r| r.start as usize..r.end as usize)
             .collect();
         let workers = ranges.len();
         // Persistent buffers: sized on first use, reused by every round of
         // every later call (worker-count changes only resize the per-worker
-        // vectors).
+        // vectors). The flow mailbox is rebuilt whenever the edge arena
+        // was re-laid-out — a fresh mailbox is all-zero, which is exactly
+        // the between-rounds invariant.
         let mut par = std::mem::take(&mut self.par);
-        par.flow.resize(self.nbr.len(), 0.0);
-        par.flow_tft.resize(self.nbr.len(), false);
-        par.deltas.resize_with(workers, Vec::new);
+        if par.flow.len() != self.nbr.len() {
+            par.flow = std::iter::repeat_with(|| AtomicU64::new(0))
+                .take(self.nbr.len())
+                .collect();
+        }
+        par.shards.resize_with(workers, AvailShard::default);
         par.completions.resize(workers, 0);
         par.lost.resize(workers, 0);
         if !fluid {
             if par.pieces_prev.len() != n {
                 par.pieces_prev = self.pieces.clone();
             }
-            for delta in &mut par.deltas {
-                delta.resize(piece_count, 0);
+            for shard in &mut par.shards {
+                shard.reset(piece_count);
             }
         }
         par.scratches.resize_with(workers, Scratch::default);
 
         for _ in 0..rounds {
-            self.refresh_round_flags();
             if !fluid {
-                for (dst, src) in par.pieces_prev.iter_mut().zip(self.pieces.iter()) {
-                    dst.copy_bits_from(src);
-                }
                 par.avail_prev.clone_from(&self.avail);
             }
             self.par_rechoke_and_flows(
                 &ranges,
                 &mut par.scratches,
-                &mut par.flow,
-                &mut par.flow_tft,
+                if fluid { &mut [] } else { &mut par.pieces_prev },
+                &par.flow,
                 obs,
             );
             self.par_delivery(
                 &ranges,
                 &par.flow,
-                &par.flow_tft,
                 &par.pieces_prev,
                 &par.avail_prev,
-                &mut par.deltas,
+                &mut par.shards,
                 &mut par.completions,
                 &mut par.lost,
                 &mut par.scratches,
@@ -791,13 +866,8 @@ impl Swarm {
                 *l = 0;
             }
             if !fluid {
-                for delta in &mut par.deltas {
-                    for (piece, d) in delta.iter_mut().enumerate() {
-                        for _ in 0..*d {
-                            self.avail.increment(piece);
-                        }
-                        *d = 0;
-                    }
+                for shard in &mut par.shards {
+                    self.avail.merge_shard(shard);
                 }
                 for c in &mut par.completions {
                     self.completed_total += *c;
@@ -810,8 +880,14 @@ impl Swarm {
                 obs.round_end(self.round);
             }
             self.round += 1;
+            // No reset sweep: slack slots and departed rows are zero in
+            // both arrays (membership ops maintain that), and the next
+            // round's pass 2 *stores* into every live slot of present
+            // rows, so the stale receipts left in the new current array
+            // are never read. `received_curr_stale` makes the serial
+            // round (which accumulates with `+=`) clear lazily instead.
             std::mem::swap(&mut self.received_prev, &mut self.received_curr);
-            self.received_curr.fill(0.0);
+            self.received_curr_stale = true;
         }
         self.par = par;
     }
@@ -839,38 +915,59 @@ impl Swarm {
     /// Whether `p` rechokes like a seed (no reciprocation signal).
     #[inline]
     fn acts_as_seed(&self, p: PeerId) -> bool {
-        if self.behavior[p].ignores_reciprocation() {
-            return true;
-        }
-        if self.config.fluid_content {
-            self.original_seed[p]
-        } else {
-            self.pieces[p].is_complete()
-        }
+        acts_seed_at(
+            &self.config,
+            &self.behavior,
+            &self.pieces,
+            &self.original_seed,
+            p,
+        )
     }
 
     /// Whether `p` currently uploads at all (absent slots never do).
     #[inline]
     fn uploads(&self, p: PeerId) -> bool {
-        if !self.present[p] || !self.behavior[p].uploads() {
-            return false;
-        }
-        if !self.config.fluid_content && self.pieces[p].is_complete() && !self.original_seed[p] {
-            self.config.seed_after_completion
-        } else {
-            true
-        }
+        uploads_at(
+            &self.config,
+            &self.present,
+            &self.behavior,
+            &self.pieces,
+            &self.original_seed,
+            p,
+        )
     }
 
-    /// Caches the completion-dependent flags once per round. Nothing the
-    /// rechoke phase does can change them, so the per-peer recomputation
-    /// the reference engine performs inside its rechoke loop is redundant
-    /// — this is the per-round completion cache.
+    /// Caches the completion-dependent flags once per round (the serial
+    /// round's per-round completion cache; the parallel pass evaluates
+    /// the same predicates worker-locally instead). Nothing the rechoke
+    /// phase does can change them, so the per-peer recomputation the
+    /// reference engine performs inside its rechoke loop is redundant.
+    /// Only the live prefix needs refreshing: every consumer iterates
+    /// below `live_bound`.
     fn refresh_round_flags(&mut self) {
-        for p in 0..self.peer_count() {
+        for p in 0..self.live_bound {
             self.uploads_now[p] = self.uploads(p);
             self.acts_seed_now[p] = self.acts_as_seed(p);
         }
+    }
+
+    /// Tight exclusive upper bound on the present arena slots (see the
+    /// `live_bound` field).
+    pub(crate) fn live_slot_bound(&self) -> usize {
+        self.live_bound
+    }
+
+    /// Indexed-stream identity of slot `p`: the logical peer index its
+    /// `(seed, round, stream)` ChaCha streams are keyed by, and the slot
+    /// the same peer occupies on a never-compacted twin. Equal to `p`
+    /// until [`Swarm::compact`] remaps slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn stream_of(&self, p: PeerId) -> usize {
+        self.stream_id[p] as usize
     }
 
     fn rechoke<O: RunObserver>(&mut self, obs: &O) {
@@ -890,13 +987,13 @@ impl Swarm {
             ref mut tft_len,
             ref mut optimistic,
             round,
+            live_bound,
             ..
         } = *self;
-        let n = uploads_now.len();
         let stride = config.tft_slots;
         let fluid = config.fluid_content;
         let rotate_optimistic = round.is_multiple_of(u64::from(config.optimistic_period));
-        for p in 0..n {
+        for p in 0..live_bound {
             if !uploads_now[p] {
                 tft_len[p] = 0;
                 optimistic[p] = NO_OPT;
@@ -934,10 +1031,9 @@ impl Swarm {
 
     fn transfer<O: RunObserver>(&mut self, obs: &O) {
         let mut scratch = std::mem::take(&mut self.scratch);
-        let n = self.peer_count();
         let stride = self.config.tft_slots;
         let round_seconds = self.config.round_seconds;
-        for p in 0..n {
+        for p in 0..self.live_bound {
             // Live check (not the round cache): a peer that completed
             // earlier in this transfer phase may stop uploading mid-round
             // when `seed_after_completion` is off, exactly like the
@@ -1052,14 +1148,19 @@ impl Swarm {
     }
 
     /// Parallel pass 1: rechoke decisions plus outgoing flow computation.
-    /// Every write lands in sender-owned rows (unchoke arena, flow rows,
-    /// upload totals), so peers partition freely across workers.
+    /// Every write lands in sender-owned rows (unchoke arena, upload
+    /// totals, the sender's own `pieces_prev` snapshot chunk) or in the
+    /// sender's uniquely-owned reverse-edge flow slots, so peers
+    /// partition freely across workers. Folds the per-round flag refresh
+    /// and piece-snapshot copy into the workers (pieces are frozen for
+    /// the whole pass, so chunk-local evaluation sees exactly the
+    /// start-of-round state).
     fn par_rechoke_and_flows<O: RunObserver>(
         &mut self,
         ranges: &[Range<usize>],
         scratches: &mut [Scratch],
-        flow: &mut [f64],
-        flow_tft: &mut [bool],
+        pieces_prev: &mut [PieceSet],
+        flow: &[AtomicU64],
         obs: &O,
     ) {
         let Swarm {
@@ -1067,12 +1168,14 @@ impl Swarm {
             ref row_off,
             ref deg,
             ref nbr,
+            ref rev,
             ref upload_kbps,
+            ref behavior,
             ref pieces,
             ref original_seed,
+            ref present,
+            ref stream_id,
             ref received_prev,
-            ref uploads_now,
-            ref acts_seed_now,
             ref mut tft_store,
             ref mut tft_len,
             ref mut optimistic,
@@ -1086,10 +1189,6 @@ impl Swarm {
         let rotate_optimistic = round.is_multiple_of(u64::from(config.optimistic_period));
 
         let peer_sizes: Vec<usize> = ranges.iter().map(ExactSizeIterator::len).collect();
-        let edge_sizes: Vec<usize> = ranges
-            .iter()
-            .map(|r| row_off[r.end] - row_off[r.start])
-            .collect();
         let tft_sizes: Vec<usize> = peer_sizes.iter().map(|l| l * stride).collect();
 
         let tft_store_parts = split_lengths(tft_store, &tft_sizes);
@@ -1097,8 +1196,13 @@ impl Swarm {
         let opt_parts = split_lengths(optimistic, &peer_sizes);
         let up_parts = split_lengths(total_up, &peer_sizes);
         let tftup_parts = split_lengths(tft_up, &peer_sizes);
-        let flow_parts = split_lengths(flow, &edge_sizes);
-        let ftft_parts = split_lengths(flow_tft, &edge_sizes);
+        // Fluid mode keeps no piece snapshot; hand every worker an empty
+        // chunk.
+        let pp_parts: Vec<&mut [PieceSet]> = if pieces_prev.is_empty() {
+            ranges.iter().map(|_| Default::default()).collect()
+        } else {
+            split_lengths(pieces_prev, &peer_sizes)
+        };
 
         std::thread::scope(|scope| {
             let mut tft_store_parts = tft_store_parts.into_iter();
@@ -1106,8 +1210,7 @@ impl Swarm {
             let mut opt_parts = opt_parts.into_iter();
             let mut up_parts = up_parts.into_iter();
             let mut tftup_parts = tftup_parts.into_iter();
-            let mut flow_parts = flow_parts.into_iter();
-            let mut ftft_parts = ftft_parts.into_iter();
+            let mut pp_parts = pp_parts.into_iter();
             let mut scratch_parts = scratches.iter_mut();
             for range in ranges {
                 let range = range.clone();
@@ -1116,26 +1219,23 @@ impl Swarm {
                 let opt_c = opt_parts.next().expect("one part per range");
                 let up_c = up_parts.next().expect("one part per range");
                 let tftup_c = tftup_parts.next().expect("one part per range");
-                let flow_c = flow_parts.next().expect("one part per range");
-                let ftft_c = ftft_parts.next().expect("one part per range");
+                let pp_c = pp_parts.next().expect("one part per range");
                 let scratch = scratch_parts.next().expect("one scratch per range");
                 scope.spawn(move || {
-                    let edge_base = row_off[range.start];
+                    let snap = !pp_c.is_empty();
                     for p in range.clone() {
                         let li = p - range.start;
+                        if snap {
+                            pp_c[li].copy_bits_from(&pieces[p]);
+                        }
                         let eb = row_off[p];
                         let ee = eb + deg[p] as usize;
-                        // Reset this sender's flow row from the last round.
-                        for e in eb..ee {
-                            flow_c[e - edge_base] = 0.0;
-                            ftft_c[e - edge_base] = false;
-                        }
-                        if !uploads_now[p] {
+                        if !uploads_at(config, present, behavior, pieces, original_seed, p) {
                             tft_len_c[li] = 0;
                             opt_c[li] = NO_OPT;
                             continue;
                         }
-                        let mut rng = peer_round_rng(config.seed, round, p);
+                        let mut rng = peer_round_rng(config.seed, round, stream_id[p] as usize);
                         let opt = choke_policy(
                             scratch,
                             &mut rng,
@@ -1144,7 +1244,7 @@ impl Swarm {
                                 interested_at(fluid, original_seed, pieces, nbr[eb + k] as usize, p)
                             },
                             |k| received_prev[eb + k],
-                            acts_seed_now[p],
+                            acts_seed_at(config, behavior, pieces, original_seed, p),
                             stride,
                             config.optimistic_slots,
                             rotate_optimistic,
@@ -1164,7 +1264,13 @@ impl Swarm {
                             }
                         }
 
-                        // Outgoing flows from start-of-round interest.
+                        // Outgoing flows from start-of-round interest. The
+                        // choke policy's candidate filter already applied
+                        // exactly this interest predicate over the frozen
+                        // piece state, so the ranked set and the optimistic
+                        // pick need no re-filtering here (the serial
+                        // transfer phase re-checks because its pieces
+                        // mutate mid-round; this pass's cannot).
                         scratch.targets.clear();
                         for &k in &scratch.ranked {
                             scratch.targets.push((k, true));
@@ -1172,23 +1278,19 @@ impl Swarm {
                         if opt != NO_OPT && !scratch.targets.iter().any(|&(k, _)| k == opt) {
                             scratch.targets.push((opt, false));
                         }
-                        scratch.targets.retain(|&(k, _)| {
-                            interested_at(
-                                fluid,
-                                original_seed,
-                                pieces,
-                                nbr[eb + k as usize] as usize,
-                                p,
-                            )
-                        });
                         if scratch.targets.is_empty() {
                             continue;
                         }
                         let share =
                             upload_kbps[p] * config.round_seconds / scratch.targets.len() as f64;
                         for &(k, is_tft) in &scratch.targets {
-                            flow_c[eb + k as usize - edge_base] = share;
-                            ftft_c[eb + k as usize - edge_base] = is_tft;
+                            // Scatter into the recipient's row: the
+                            // reverse-edge slot has exactly one writer (this
+                            // sender), so a relaxed store is race-free and
+                            // the scope join publishes it to pass 2.
+                            let mailbox = rev[eb + k as usize] as usize;
+                            let signed = if is_tft { share } else { -share };
+                            flow[mailbox].store(signed.to_bits(), Ordering::Relaxed);
                             up_c[li] += share;
                             if is_tft {
                                 tftup_c[li] += share;
@@ -1201,20 +1303,22 @@ impl Swarm {
     }
 
     /// Parallel pass 2: recipient-major delivery. Each recipient drains
-    /// its incoming flows in ascending neighbour-slot order, converting
-    /// credit into rarest-first picks against the start-of-round piece /
-    /// availability snapshot; availability increments and completion
-    /// counts accumulate into per-worker buffers merged serially
+    /// its incoming flows — read **contiguously** out of its own row of
+    /// the flow mailbox (pass 1 scattered them there) and zeroed behind
+    /// the read, restoring the all-zero invariant — in ascending
+    /// neighbour-slot order, converting credit into rarest-first picks
+    /// against the start-of-round piece / availability snapshot;
+    /// availability increments accumulate into per-worker shards and
+    /// completion counts into per-worker counters, merged serially
     /// afterwards.
     #[allow(clippy::too_many_arguments)] // one slot per worker-owned buffer
     fn par_delivery<O: RunObserver>(
         &mut self,
         ranges: &[Range<usize>],
-        flow: &[f64],
-        flow_tft: &[bool],
+        flow: &[AtomicU64],
         pieces_prev: &[PieceSet],
         avail_prev: &AvailIndex,
-        deltas: &mut [Vec<u32>],
+        shards: &mut [AvailShard],
         completions: &mut [usize],
         lost: &mut [u64],
         scratches: &mut [Scratch],
@@ -1225,7 +1329,6 @@ impl Swarm {
             ref row_off,
             ref deg,
             ref nbr,
-            ref rev,
             ref mut pieces,
             ref mut completed_round,
             ref mut total_down,
@@ -1263,7 +1366,7 @@ impl Swarm {
             let mut rc_parts = rc_parts.into_iter();
             let mut credit_parts = credit_parts.into_iter();
             let mut lostk_parts = lostk_parts.into_iter();
-            let mut delta_parts = deltas.iter_mut();
+            let mut shard_parts = shards.iter_mut();
             let mut comp_parts = completions.iter_mut();
             let mut lost_parts = lost.iter_mut();
             let mut scratch_parts = scratches.iter_mut();
@@ -1276,7 +1379,7 @@ impl Swarm {
                 let rc_c = rc_parts.next().expect("one part per range");
                 let credit_c = credit_parts.next().expect("one part per range");
                 let lostk_c = lostk_parts.next().expect("one part per range");
-                let delta = delta_parts.next().expect("one delta per range");
+                let shard = shard_parts.next().expect("one shard per range");
                 let comp = comp_parts.next().expect("one counter per range");
                 let lost_n = lost_parts.next().expect("one counter per range");
                 let scratch = scratch_parts.next().expect("one scratch per range");
@@ -1287,11 +1390,21 @@ impl Swarm {
                         let eb = row_off[q];
                         let ee = eb + deg[q] as usize;
                         for e in eb..ee {
-                            let f = flow[rev[e] as usize];
-                            if f == 0.0 {
+                            let bits = flow[e].load(Ordering::Relaxed);
+                            if bits == 0 {
+                                // Store semantics: every live slot is
+                                // visited exactly once per round, so the
+                                // rate window needs no serial reset sweep.
+                                rc_c[e - edge_base] = 0.0;
                                 continue;
                             }
-                            let is_tft = flow_tft[rev[e] as usize];
+                            // Restore the all-zero mailbox invariant; the
+                            // sign carried the TFT flag, `abs` recovers the
+                            // exact share bits pass 1 computed.
+                            flow[e].store(0, Ordering::Relaxed);
+                            let signed = f64::from_bits(bits);
+                            let is_tft = signed > 0.0;
+                            let f = signed.abs();
                             if loss_prob > 0.0
                                 && crate::faults::loss_drawn(loss_seed, round, e, loss_prob)
                             {
@@ -1300,6 +1413,7 @@ impl Swarm {
                                 // recipient records nothing.
                                 *lost_n += 1;
                                 lostk_c[li] += f;
+                                rc_c[e - edge_base] = 0.0;
                                 if O::ENABLED {
                                     obs.transfer_lost(round as f64, nbr[e] as usize, q, f);
                                 }
@@ -1309,7 +1423,7 @@ impl Swarm {
                             if is_tft {
                                 tftdown_c[li] += f;
                             }
-                            rc_c[e - edge_base] += f;
+                            rc_c[e - edge_base] = f;
                             if O::ENABLED {
                                 obs.transfer(round as f64, nbr[e] as usize, q, f, is_tft);
                             }
@@ -1338,7 +1452,7 @@ impl Swarm {
                                 let piece = (packed & u64::from(u32::MAX)) as usize;
                                 *cr -= piece_size;
                                 pieces_c[li].insert(piece);
-                                delta[piece] += 1;
+                                shard.add(piece);
                                 if O::ENABLED {
                                     obs.piece_converted(round as f64, q, piece);
                                 }
@@ -1435,11 +1549,37 @@ impl Swarm {
         );
         let complete = pieces.is_complete();
         let p = match self.free.pop() {
-            Some(slot) => slot as usize,
-            None => self.grow_one_slot(),
+            Some(slot) => {
+                // The reuse stack moves in lockstep with the free list
+                // (same LIFO order), so the popped entry is this slot's
+                // own stream and capacity pre-compaction — and the dead
+                // slot's identity this arrival would have inherited in
+                // the uncompacted twin post-compaction.
+                let (stream, cap) = self
+                    .reuse_stack
+                    .pop()
+                    .expect("reuse stack tracks the free list");
+                let slot = slot as usize;
+                debug_assert_eq!(cap as usize, self.row_capacity(slot));
+                self.stream_id[slot] = stream;
+                slot
+            }
+            None => match self.reuse_stack.pop() {
+                // Post-compaction: the dead slot itself is gone, but its
+                // stream id and row capacity live on in a fresh slot, so
+                // randomness and wiring acceptance match the uncompacted
+                // twin exactly.
+                Some((stream, cap)) => self.grow_one_slot(cap as usize, stream),
+                None => {
+                    let stream = self.logical_len as u32;
+                    self.logical_len += 1;
+                    self.grow_one_slot(self.grow_row_cap, stream)
+                }
+            },
         };
         debug_assert!(!self.present[p] && self.deg[p] == 0);
         self.present[p] = true;
+        self.live_bound = self.live_bound.max(p + 1);
         self.upload_kbps[p] = upload_kbps;
         self.behavior[p] = behavior;
         for i in pieces.ones() {
@@ -1462,12 +1602,15 @@ impl Swarm {
         p
     }
 
-    /// Appends one empty arena slot with the growth row capacity
-    /// (tracking the slack of [`Swarm::reserve_overlay_slack`], with a
-    /// floor of twice the configured mean degree) and returns it absent.
-    fn grow_one_slot(&mut self) -> PeerId {
+    /// Appends one empty arena slot with the given row capacity and
+    /// indexed-stream identity and returns it absent. Fresh growth hands
+    /// the growth capacity (tracking the slack of
+    /// [`Swarm::reserve_overlay_slack`], with a floor of twice the
+    /// configured mean degree) and the next logical stream; reuse-driven
+    /// growth after compaction carries a dead slot's capacity and stream
+    /// instead.
+    fn grow_one_slot(&mut self, row_cap: usize, stream: u32) -> PeerId {
         let p = self.peer_count();
-        let row_cap = self.grow_row_cap;
         let end = self.row_off[p] + row_cap;
         self.row_off.push(end);
         self.nbr.resize(end, 0);
@@ -1492,6 +1635,7 @@ impl Swarm {
         self.optimistic.push(NO_OPT);
         self.uploads_now.push(false);
         self.acts_seed_now.push(false);
+        self.stream_id.push(stream);
         p
     }
 
@@ -1529,6 +1673,13 @@ impl Swarm {
         self.tft_len[p] = 0;
         self.optimistic[p] = NO_OPT;
         self.free.push(p as u32);
+        self.reuse_stack
+            .push((self.stream_id[p], self.row_capacity(p) as u32));
+        // Keep the live bound tight: each scan step undoes one earlier
+        // arrival's increment, so maintenance stays amortized O(1).
+        while self.live_bound > 0 && !self.present[self.live_bound - 1] {
+            self.live_bound -= 1;
+        }
     }
 
     /// Crashes peer `p`: the fault-plane entry point for abrupt
@@ -1546,6 +1697,160 @@ impl Swarm {
     /// Panics if `p` is out of range or already absent.
     pub fn crash(&mut self, p: PeerId) {
         self.depart(p);
+    }
+
+    /// Free-listed dead arena slots (the compaction trigger's numerator:
+    /// `peer_count() - dead_slots()` peers are present).
+    #[must_use]
+    pub fn dead_slots(&self) -> usize {
+        self.free.len()
+    }
+
+    /// Compacts the arena: every present peer moves onto the dense slot
+    /// prefix `0..population` **in slot order**, and the free-listed dead
+    /// slots are dropped entirely. Returns the old-slot → new-slot map
+    /// (`u32::MAX` for dropped slots) so callers holding slot-keyed state
+    /// (e.g. the session layer) can follow the move.
+    ///
+    /// What survives, exactly:
+    ///
+    /// * live overlay rows keep their **capacities** (capacity is
+    ///   observable through [`Swarm::connect_peers`]' full-row
+    ///   rejection), their edge order, and every per-edge value; the
+    ///   reverse-edge index is recomputed from the preserved local
+    ///   positions;
+    /// * each peer keeps its indexed-stream identity (`stream_id`), so
+    ///   parallel rounds draw exactly the randomness the uncompacted twin
+    ///   would — and the reuse stack is kept while the free list is
+    ///   cleared, so arrivals that would have recycled a dead slot grow a
+    ///   fresh slot carrying the dead slot's stream and capacity instead;
+    /// * dead slots' loss accumulators fold into a departed-total bucket
+    ///   ([`Swarm::lost_kbit`] is conserved); their cumulative transfer
+    ///   totals (readable until reuse on the uncompacted twin) are
+    ///   dropped.
+    ///
+    /// The **serial** round draws peer randomness from one shared stream
+    /// in slot order, so a compacted swarm's serial rounds diverge from
+    /// its uncompacted twin once churn resumes; the indexed-stream
+    /// parallel rounds ([`Swarm::run_rounds_parallel`]) stay bit-identical.
+    pub fn compact(&mut self) -> Vec<u32> {
+        const DEAD: u32 = u32::MAX;
+        let n = self.peer_count();
+        let mut remap = vec![DEAD; n];
+        let mut live = 0usize;
+        for p in 0..n {
+            if self.present[p] {
+                remap[p] = live as u32;
+                live += 1;
+            }
+        }
+        if live == n {
+            return remap;
+        }
+        // New row offsets: live rows keep their exact capacities.
+        let old_off = std::mem::take(&mut self.row_off);
+        let mut new_off = Vec::with_capacity(live + 1);
+        new_off.push(0usize);
+        for p in 0..n {
+            if self.present[p] {
+                let cap = old_off[p + 1] - old_off[p];
+                new_off.push(new_off[new_off.len() - 1] + cap);
+            }
+        }
+        // Rewrite nbr/rev in place at their old positions first: the
+        // reverse index needs the old offsets of both endpoints to
+        // recover each edge's local position in its partner's row.
+        for p in 0..n {
+            if !self.present[p] {
+                continue;
+            }
+            for k in 0..self.deg[p] as usize {
+                let e = old_off[p] + k;
+                let q = self.nbr[e] as usize;
+                let local_er = self.rev[e] as usize - old_off[q];
+                self.nbr[e] = remap[q];
+                self.rev[e] = (new_off[remap[q] as usize] + local_er) as u32;
+            }
+        }
+        // Slide live rows down to their new offsets (rows only ever move
+        // left, so forward in-place copies never overwrite unread data).
+        // Whole-capacity copies carry the rows' slack slots, which the
+        // membership ops keep zeroed.
+        let mut dst_p = 0usize;
+        for p in 0..n {
+            if !self.present[p] {
+                continue;
+            }
+            let src = old_off[p];
+            let cap = old_off[p + 1] - src;
+            let dst = new_off[dst_p];
+            if dst != src {
+                self.nbr.copy_within(src..src + cap, dst);
+                self.rev.copy_within(src..src + cap, dst);
+                self.received_prev.copy_within(src..src + cap, dst);
+                self.received_curr.copy_within(src..src + cap, dst);
+                self.credit.copy_within(src..src + cap, dst);
+            }
+            dst_p += 1;
+        }
+        let total = new_off[live];
+        self.nbr.truncate(total);
+        self.rev.truncate(total);
+        self.received_prev.truncate(total);
+        self.received_curr.truncate(total);
+        self.credit.truncate(total);
+        self.row_off = new_off;
+        // Unchoke rows (fixed stride) slide the same way.
+        let stride = self.config.tft_slots;
+        let mut dst_p = 0usize;
+        for p in 0..n {
+            if !self.present[p] {
+                continue;
+            }
+            if dst_p != p {
+                self.tft_store
+                    .copy_within(p * stride..(p + 1) * stride, dst_p * stride);
+            }
+            dst_p += 1;
+        }
+        self.tft_store.truncate(live * stride);
+        for p in 0..n {
+            if !self.present[p] {
+                self.lost_kbit_departed += self.lost_kbit_by_peer[p];
+            }
+        }
+        // Per-peer arrays: order-preserving retain over the present mask.
+        fn retain_present<T>(present: &[bool], v: &mut Vec<T>) {
+            let mut i = 0;
+            v.retain(|_| {
+                let keep = present[i];
+                i += 1;
+                keep
+            });
+        }
+        let present = std::mem::take(&mut self.present);
+        retain_present(&present, &mut self.deg);
+        retain_present(&present, &mut self.upload_kbps);
+        retain_present(&present, &mut self.behavior);
+        retain_present(&present, &mut self.pieces);
+        retain_present(&present, &mut self.completed_round);
+        retain_present(&present, &mut self.original_seed);
+        retain_present(&present, &mut self.total_up);
+        retain_present(&present, &mut self.total_down);
+        retain_present(&present, &mut self.tft_up);
+        retain_present(&present, &mut self.tft_down);
+        retain_present(&present, &mut self.lost_kbit_by_peer);
+        retain_present(&present, &mut self.tft_len);
+        retain_present(&present, &mut self.optimistic);
+        retain_present(&present, &mut self.uploads_now);
+        retain_present(&present, &mut self.acts_seed_now);
+        retain_present(&present, &mut self.stream_id);
+        self.present = vec![true; live];
+        self.free.clear();
+        self.live_bound = live;
+        // Edge-aligned parallel buffers are stale; rebuild on next use.
+        self.par = ParBuffers::default();
+        remap
     }
 
     /// Removes the overlay edge `p – q` if it exists. Returns `false`
@@ -1679,6 +1984,37 @@ impl Swarm {
             assert!(!self.present[p], "present peer {p} on the free list");
             free_seen[p] = true;
         }
+        assert!(
+            self.free.len() <= self.reuse_stack.len(),
+            "free list outgrew the reuse stack"
+        );
+        assert!(self.live_bound <= n, "live bound past the arena");
+        assert!(
+            self.live_bound == 0 || self.present[self.live_bound - 1],
+            "live bound is not tight"
+        );
+        assert!(
+            (self.live_bound..n).all(|p| !self.present[p]),
+            "present peer past the live bound"
+        );
+        // Present peers' stream ids are distinct logical identities.
+        let mut streams: Vec<u32> = (0..n)
+            .filter(|&p| self.present[p])
+            .map(|p| self.stream_id[p])
+            .collect();
+        streams.sort_unstable();
+        streams.dedup();
+        assert_eq!(
+            streams.len(),
+            self.present.iter().filter(|&&x| x).count(),
+            "duplicate stream id among present peers"
+        );
+        assert!(
+            self.stream_id
+                .iter()
+                .all(|&s| u64::from(s) < self.logical_len),
+            "stream id past the logical arena length"
+        );
         for p in 0..n {
             assert!(
                 self.deg[p] as usize <= self.row_capacity(p),
@@ -1942,6 +2278,47 @@ pub(crate) fn interested_at(
         q != p && !original_seed[q]
     } else {
         interested_pieces(&pieces[q], &pieces[p])
+    }
+}
+
+/// [`Swarm::uploads`] over raw state — shared with the parallel rechoke
+/// workers, which evaluate it chunk-locally instead of reading a
+/// serially-precomputed flag array.
+#[inline]
+fn uploads_at(
+    config: &SwarmConfig,
+    present: &[bool],
+    behavior: &[PeerBehavior],
+    pieces: &[PieceSet],
+    original_seed: &[bool],
+    p: usize,
+) -> bool {
+    if !present[p] || !behavior[p].uploads() {
+        return false;
+    }
+    if !config.fluid_content && pieces[p].is_complete() && !original_seed[p] {
+        config.seed_after_completion
+    } else {
+        true
+    }
+}
+
+/// [`Swarm::acts_as_seed`] over raw state (see [`uploads_at`]).
+#[inline]
+fn acts_seed_at(
+    config: &SwarmConfig,
+    behavior: &[PeerBehavior],
+    pieces: &[PieceSet],
+    original_seed: &[bool],
+    p: usize,
+) -> bool {
+    if behavior[p].ignores_reciprocation() {
+        return true;
+    }
+    if config.fluid_content {
+        original_seed[p]
+    } else {
+        pieces[p].is_complete()
     }
 }
 

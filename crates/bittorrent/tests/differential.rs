@@ -252,3 +252,43 @@ fn free_rider_counts_stable_across_refactor() {
         assert!(engine.peer(p).total_downloaded() > 0.0);
     }
 }
+
+/// Piece-storage and pick-mask variants: the word-parallel kernels must
+/// stay bit-identical to the reference across every storage regime —
+/// inline words (≤256 pieces), heap words (257..=1024), and the
+/// `batch_picks` mask fallback beyond 1024 — at every thread count, so
+/// the sharded availability merge is exercised in each regime too.
+#[test]
+fn parallel_matches_indexed_across_piece_storage_variants() {
+    for (pieces, rounds, label) in [
+        (80usize, 20u64, "inline"),
+        (300, 14, "heap"),
+        (1100, 8, "mask-fallback"),
+    ] {
+        let n = 26;
+        let config = SwarmConfig::builder()
+            .leechers(n - 2)
+            .seeds(2)
+            .piece_count(pieces)
+            .piece_size_kbit(40.0)
+            .initial_completion(0.3)
+            .mean_neighbors(10.0)
+            .seed(0x9e37 + pieces as u64)
+            .build();
+        let uploads: Vec<f64> = (0..n).map(|i| 150.0 + 47.0 * i as f64).collect();
+        let mut reference = RefSwarm::new(config.clone(), &uploads);
+        for _ in 0..rounds {
+            reference.round_indexed();
+        }
+        let want = reference_state(&reference);
+        for threads in [1usize, 2, 3, 8] {
+            let mut engine = Swarm::new(config.clone(), &uploads);
+            engine.run_rounds_parallel(rounds, threads);
+            assert_eq!(
+                engine_state(&engine),
+                want,
+                "threads {threads} diverged: {label} ({pieces} pieces)"
+            );
+        }
+    }
+}

@@ -186,6 +186,7 @@ proptest! {
             session_seed: seed ^ 0xaa,
             batched_wiring: batched,
             peer_list_cap: None,
+            compact_threshold: None,
         };
         let run = || {
             let mut engine = EventEngine::new(

@@ -100,6 +100,7 @@ fn churn_config(seed: u64) -> SessionConfig {
         session_seed: seed ^ 0x0b5,
         batched_wiring: false,
         peer_list_cap: None,
+        compact_threshold: None,
     }
 }
 

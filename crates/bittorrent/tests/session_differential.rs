@@ -158,6 +158,7 @@ fn batched_wiring_admits_bit_identical_cohorts() {
             session_seed: seed ^ 0xbeef,
             batched_wiring: false,
             peer_list_cap: None,
+            compact_threshold: None,
         };
         let mut reference = Session::new(build_frozen_swarm(18, 2, seed), config.clone());
         let mut batched = Session::new(
@@ -227,6 +228,7 @@ fn batched_wiring_is_deterministic_across_thread_counts() {
         session_seed: 0x5eed,
         batched_wiring: true,
         peer_list_cap: None,
+        compact_threshold: None,
     };
     // Baseline is the indexed-stream (parallel) semantics at one worker;
     // the legacy sequential `run_rounds` draws a different (also valid)
@@ -266,6 +268,7 @@ fn batched_wiring_reaches_target_degree() {
             session_seed: 1,
             batched_wiring: true,
             peer_list_cap: None,
+            compact_threshold: None,
         },
     );
     session.run_rounds(1);

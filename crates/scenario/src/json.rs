@@ -311,6 +311,15 @@ fn session_config_from_value(value: &Value) -> Result<SessionConfig, ScenarioErr
                     .ok_or_else(|| type_error("peer_list_cap", "unsigned integer or null"))?,
             ),
         },
+        // Legacy tolerance once more: pre-compaction preset files carry
+        // no `compact_threshold` key; absence (like null) never compacts.
+        compact_threshold: match value.get("compact_threshold") {
+            None | Some(Value::Null) => None,
+            Some(v) => Some(
+                v.as_f64()
+                    .ok_or_else(|| type_error("compact_threshold", "number or null"))?,
+            ),
+        },
     })
 }
 
@@ -545,6 +554,7 @@ mod tests {
                     session_seed: 99,
                     batched_wiring: false,
                     peer_list_cap: Some(16),
+                    compact_threshold: Some(0.5),
                 }),
                 ..SwarmParams::default()
             });
@@ -676,6 +686,34 @@ mod tests {
         });
         let parsed = Scenario::from_json(&scenario.to_json()).expect("round trip parses");
         assert_eq!(parsed.swarm.unwrap().churn.unwrap().peer_list_cap, Some(8));
+    }
+
+    #[test]
+    fn legacy_churn_sections_without_compact_threshold_parse_to_none() {
+        // Pre-compaction preset files carry no `compact_threshold` key.
+        let scenario = Scenario::new("legacy", 8).with_swarm(SwarmParams {
+            churn: Some(SessionConfig::default()),
+            ..SwarmParams::default()
+        });
+        let json = scenario
+            .to_json()
+            .replace(",\"compact_threshold\":null", "");
+        assert!(!json.contains("compact_threshold"), "not stripped: {json}");
+        let parsed = Scenario::from_json(&json).expect("legacy JSON parses");
+        assert_eq!(parsed.swarm.unwrap().churn.unwrap().compact_threshold, None);
+        // And the explicit compacting form round-trips.
+        let scenario = Scenario::new("compacting", 8).with_swarm(SwarmParams {
+            churn: Some(SessionConfig {
+                compact_threshold: Some(0.25),
+                ..SessionConfig::default()
+            }),
+            ..SwarmParams::default()
+        });
+        let parsed = Scenario::from_json(&scenario.to_json()).expect("round trip parses");
+        assert_eq!(
+            parsed.swarm.unwrap().churn.unwrap().compact_threshold,
+            Some(0.25)
+        );
     }
 
     #[test]

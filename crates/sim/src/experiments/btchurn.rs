@@ -133,6 +133,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 session_seed: ctx.seed ^ 0xc4a9,
                 batched_wiring: false,
                 peer_list_cap: None,
+                compact_threshold: None,
             }),
             ..SwarmParams::default()
         });

@@ -161,6 +161,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 session_seed: ctx.seed ^ 0xe7e4,
                 batched_wiring: false,
                 peer_list_cap: None,
+                compact_threshold: None,
             }),
             timing: Some(EventTiming {
                 rechoke_interval: 10.0,

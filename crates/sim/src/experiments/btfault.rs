@@ -155,6 +155,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 session_seed: ctx.seed ^ 0xfa07,
                 batched_wiring: false,
                 peer_list_cap: None,
+                compact_threshold: None,
             }),
             ..SwarmParams::default()
         });

@@ -64,6 +64,7 @@ fn cell_scenario(base: &Scenario, cap: Option<usize>) -> Scenario {
     base.clone().with_swarm(SwarmParams {
         churn: Some(SessionConfig {
             peer_list_cap: cap,
+            compact_threshold: None,
             ..churn
         }),
         ..swarm
@@ -102,6 +103,7 @@ pub fn preset(ctx: &ExperimentContext) -> Scenario {
                 session_seed: ctx.seed ^ 0x0b7a,
                 batched_wiring: false,
                 peer_list_cap: None,
+                compact_threshold: None,
             }),
             ..SwarmParams::default()
         });

@@ -275,6 +275,7 @@ fn burst_arrival_transient_follows_fluid_oracle() {
         session_seed: 0xb1257,
         batched_wiring: false,
         peer_list_cap: None,
+        compact_threshold: None,
     };
     let session = Session::new(churn_swarm(x_bar, s0, 0.5, 11), config);
     let (polled, log, session) = run_observed(session, horizon);
@@ -351,6 +352,7 @@ fn seed_exodus_transient_follows_fluid_oracle() {
         session_seed: 0xe50d,
         batched_wiring: false,
         peer_list_cap: None,
+        compact_threshold: None,
     };
     let session = Session::new(churn_swarm(x_bar, s0, 0.5, 12), config);
     let (polled, log, session) = run_observed(session, horizon);
@@ -447,6 +449,7 @@ fn abort_ramp_transient_follows_fluid_oracle() {
         session_seed: 0xab07,
         batched_wiring: false,
         peer_list_cap: None,
+        compact_threshold: None,
     };
     let session = Session::new(churn_swarm(x_start, s0, 0.5, 13), config);
     let (polled, log, session) = run_observed(session, horizon);

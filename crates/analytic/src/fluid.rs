@@ -373,6 +373,33 @@ impl BtMultiClassParams {
             .map(|(&x, &l)| x / l)
             .collect()
     }
+
+    /// The model with every **class** service rate scaled by
+    /// `share ∈ (0, 1]` — the capacity-share-adjusted oracle for
+    /// multi-swarm universes: a member splitting its upload across `k`
+    /// concurrent torrents serves each at `share ≈ 1/k` of its rate, in
+    /// the leecher phase *and* the promoted-seed phase, so the
+    /// per-torrent dynamics follow the same fixed point with effective
+    /// rates `share·μ_i`. The permanent publishers (`s0`, `mu_seed`)
+    /// stay single-torrent in the universe and keep their full rate, and
+    /// arrival/departure rates are membership counts, not bandwidth — the
+    /// `btmulti` experiment threads its own effective per-torrent `λ`
+    /// separately.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `share` is outside `(0, 1]`.
+    #[must_use]
+    pub fn with_capacity_share(&self, share: f64) -> Self {
+        assert!(
+            share.is_finite() && share > 0.0 && share <= 1.0,
+            "capacity share must lie in (0, 1], got {share}"
+        );
+        Self {
+            mu: self.mu.iter().map(|m| m * share).collect(),
+            ..self.clone()
+        }
+    }
 }
 
 #[cfg(test)]
@@ -574,6 +601,45 @@ mod tests {
         for tb in split.mean_download_rounds() {
             assert!((ta - tb).abs() < 1e-8);
         }
+    }
+
+    #[test]
+    fn capacity_share_slows_every_class_but_spares_publishers() {
+        let mc = BtMultiClassParams {
+            lambda: vec![2.0, 2.0, 2.0],
+            mu: vec![1.0 / 32.0, 1.0 / 16.0, 1.0 / 8.0],
+            gamma: 0.25,
+            eta: 1.0,
+            s0: 2.0,
+            mu_seed: 1.0 / 16.0,
+        };
+        let halved = mc.with_capacity_share(0.5);
+        assert_eq!(halved.mu, vec![1.0 / 64.0, 1.0 / 32.0, 1.0 / 16.0]);
+        // Publishers are single-torrent in the universe: unscaled.
+        assert_eq!(halved.mu_seed, mc.mu_seed);
+        assert_eq!(halved.lambda, mc.lambda);
+        // Share 1 is the identity.
+        assert_eq!(mc.with_capacity_share(1.0), mc);
+        // Splitting capacity strictly lengthens every class's download.
+        let full = mc.mean_download_rounds();
+        let split = halved.mean_download_rounds();
+        for (f, s) in full.iter().zip(&split) {
+            assert!(s > f, "full {f}, split {s}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity share must lie in (0, 1]")]
+    fn capacity_share_out_of_range_rejected() {
+        let mc = BtMultiClassParams {
+            lambda: vec![2.0],
+            mu: vec![1.0 / 16.0],
+            gamma: 0.25,
+            eta: 1.0,
+            s0: 2.0,
+            mu_seed: 1.0 / 16.0,
+        };
+        let _ = mc.with_capacity_share(0.0);
     }
 
     #[test]

@@ -26,8 +26,9 @@ use rand::{Rng as _, SeedableRng};
 use rand_chacha::ChaCha8Rng;
 use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
 use strat_bittorrent::{
-    overlay, reference::RefSwarm, EventEngine, EventTiming, FaultPlan, NullObserver, PeerBehavior,
-    PieceSet, Swarm, SwarmConfig,
+    overlay, reference::RefSwarm, CapacitySplit, EventEngine, EventTiming, FaultPlan,
+    MembershipModel, NullObserver, PeerBehavior, PieceSet, Swarm, SwarmConfig, Universe,
+    UniverseConfig,
 };
 use strat_core::prefs::{best_mate_dynamics, LatencyPrefs, PrefDynamicsOutcome};
 use strat_core::GeneralDynamics;
@@ -648,6 +649,73 @@ pub fn bench_observer(c: &mut Criterion) {
     group.finish();
 }
 
+/// The multi-swarm universe subsystem:
+///
+/// * `round_shared_n1000_t8` — one universe step over 8 torrents sharing
+///   a ~1000-member population under stationary Poisson churn: all eight
+///   membership passes, the cross-swarm claim pass, replica sync,
+///   demand-weighted capacity rebalance and all eight swarm rounds;
+/// * `membership_join_leave_d20` — the membership primitives the claim
+///   and sync passes are built from: one `join_with` (arena slot claim +
+///   degree-20 wiring) immediately undone by `leave`, on a stationary
+///   ~1000-peer session with join slack reserved.
+pub fn bench_universe(c: &mut Criterion) {
+    let mut group = c.benchmark_group("universe");
+    group.warm_up_time(Duration::from_millis(400));
+    group.measurement_time(Duration::from_secs(2));
+
+    let universe_session = |t: u64| {
+        let config = SwarmConfig::builder()
+            .leechers(125)
+            .seeds(2)
+            .piece_count(256)
+            .piece_size_kbit(250.0)
+            .initial_completion(0.5)
+            .mean_neighbors(20.0)
+            .seed(0x7e11 ^ t)
+            .build();
+        Session::new(
+            Swarm::new(config, &vec![400.0; 127]),
+            SessionConfig {
+                arrival: ArrivalProcess::Poisson { rate: 7.5 },
+                departure: DepartureRules {
+                    seed_leave_prob: 0.25,
+                    ..DepartureRules::none()
+                },
+                arrival_upload_kbps: 400.0,
+                target_degree: 20,
+                session_seed: 0x7e11 ^ t,
+                ..SessionConfig::default()
+            },
+        )
+    };
+    let mut universe = Universe::new(
+        (0..8).map(universe_session).collect(),
+        UniverseConfig {
+            membership: MembershipModel::Fixed { extra: 1 },
+            split: CapacitySplit::DemandWeighted,
+            ..UniverseConfig::default()
+        },
+    );
+    universe.run_rounds(20, None); // reach stationary cross-swarm turnover
+    group.bench_function("round_shared_n1000_t8", |b| {
+        b.iter(|| universe.run_rounds(1, None));
+    });
+
+    let mut session = universe_session(8);
+    session.reserve_join_slack();
+    session.run_rounds(20);
+    let mut rng = ChaCha8Rng::seed_from_u64(0x7e11);
+    group.bench_function("membership_join_leave_d20", |b| {
+        b.iter(|| {
+            let id = session.join_with(400.0, 0.0, &mut rng, &NullObserver);
+            session.leave(id, &NullObserver);
+            black_box(id)
+        });
+    });
+    group.finish();
+}
+
 /// Registers every core group (optimized + reference) on `c`.
 pub fn core_groups(c: &mut Criterion) {
     bench_stable_configuration(c);
@@ -663,4 +731,5 @@ pub fn core_groups(c: &mut Criterion) {
     bench_events(c);
     bench_events_ref(c);
     bench_observer(c);
+    bench_universe(c);
 }

@@ -104,6 +104,8 @@ fn scale_path_rows_are_present() {
         ("swarm", "flash_round_indexed_n1000000_pieces"),
         ("session", "round_churn_n1000"),
         ("session", "round_churn_indexed_n1000000"),
+        ("universe", "round_shared_n1000_t8"),
+        ("universe", "membership_join_leave_d20"),
     ] {
         assert!(
             groups.iter().any(|(g, b, _)| g == group && b == bench),

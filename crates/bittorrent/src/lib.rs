@@ -57,6 +57,7 @@ mod piece;
 pub mod reference;
 pub mod session;
 mod swarm;
+pub mod universe;
 
 pub use behavior::PeerBehavior;
 pub use config::{SwarmConfig, SwarmConfigBuilder};
@@ -67,3 +68,7 @@ pub use observer::{
 };
 pub use piece::PieceSet;
 pub use swarm::{Peer, PeerId, Population, Swarm};
+pub use universe::{
+    derive_seed, CapacitySplit, MembershipModel, Universe, UniverseCompletion, UniverseConfig,
+    UniverseStats,
+};

@@ -358,6 +358,44 @@ impl ClusterObserver {
         }
     }
 
+    /// Builds an observer with a fixed class count and an empty slot
+    /// map: every slot starts untracked and is registered through
+    /// [`assign_class`](Self::assign_class) as it fills — the shape the
+    /// universe experiments need, where arrivals land in arena slots
+    /// over time.
+    #[must_use]
+    pub fn with_class_count(k: usize) -> Self {
+        let cells = k * k;
+        Self {
+            classes: Vec::new(),
+            k,
+            tft: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+            optimistic: (0..cells).map(|_| AtomicU64::new(0)).collect(),
+        }
+    }
+
+    /// Maps `slot` to `class` from now on (growing the slot map with
+    /// untracked entries as needed). Re-assigning a slot is idempotent
+    /// for an unchanged class; past counts are never re-bucketed, so a
+    /// recycled slot's new class applies only to unchokes recorded after
+    /// the call.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is neither below the observer's class count nor
+    /// [`UNTRACKED_CLASS`].
+    pub fn assign_class(&mut self, slot: usize, class: u32) {
+        assert!(
+            class == UNTRACKED_CLASS || (class as usize) < self.k,
+            "class {class} out of range (k = {})",
+            self.k
+        );
+        if slot >= self.classes.len() {
+            self.classes.resize(slot + 1, UNTRACKED_CLASS);
+        }
+        self.classes[slot] = class;
+    }
+
     fn class_of(&self, slot: usize) -> Option<usize> {
         match self.classes.get(slot) {
             Some(&c) if c != UNTRACKED_CLASS => Some(c as usize),

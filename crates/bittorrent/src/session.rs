@@ -341,6 +341,10 @@ pub enum DepartReason {
     /// The fault plane crashed the peer (`FaultPlan::crash_prob`) — an
     /// abrupt departure with no graceful-lifecycle draws.
     Crashed,
+    /// An external driver withdrew the peer ([`Session::leave`]) — the
+    /// universe layer removing a member's replica when its home-torrent
+    /// occupant departs.
+    Left,
 }
 
 /// Cumulative session statistics.
@@ -486,6 +490,14 @@ pub struct Session {
     pass_buf: Vec<u32>,
     /// Arena compactions performed so far.
     compactions: u64,
+    /// When set, [`Session::admit_arrival`] records each admission's
+    /// handle for [`Session::drain_recent_arrivals`] (the universe
+    /// layer's claim pass). Off by default: the unobserved session keeps
+    /// zero bookkeeping.
+    track_arrivals: bool,
+    /// Handles admitted since the last drain (only filled while
+    /// `track_arrivals` is set).
+    recent_arrivals: Vec<SessionPeerId>,
 }
 
 /// An arrival queued behind a tracker outage: it keeps its own arrival
@@ -577,6 +589,8 @@ impl Session {
             stream_order_diverged: false,
             pass_buf: Vec::new(),
             compactions: 0,
+            track_arrivals: false,
+            recent_arrivals: Vec::new(),
         }
     }
 
@@ -585,6 +599,16 @@ impl Session {
     #[must_use]
     pub fn compactions(&self) -> u64 {
         self.compactions
+    }
+
+    /// Reserves overlay slack for externally driven joins
+    /// ([`Session::join_with`]) the way the constructor does for churned
+    /// sessions. The universe layer calls this on every session of a
+    /// multi-torrent universe; a single-torrent universe never does, so
+    /// it stays bit-identical to the plain session.
+    pub fn reserve_join_slack(&mut self) {
+        self.swarm
+            .reserve_overlay_slack(self.config.target_degree.max(4));
     }
 
     /// The fault schedule in force (the inert plan when none was given).
@@ -755,6 +779,21 @@ impl Session {
     /// Every fault hook is gated on the plan being non-inert, so the
     /// zero-fault step is exactly the PR 5 session step.
     fn step_round<O: RunObserver>(&mut self, threads: Option<usize>, obs: &O) {
+        self.membership_pass_with(obs);
+        self.round_pass_with(threads, obs);
+    }
+
+    /// The membership half of one session step: graceful departures,
+    /// fault events (crash pass, partition cuts), arrivals (queued
+    /// during outages), announce retries, batched tracker wiring, and
+    /// the overlay-repair pass — everything that runs *before* the swarm
+    /// round. [`round_pass_with`](Self::round_pass_with) is the other
+    /// half; running the two back to back is exactly one
+    /// [`run_rounds`](Self::run_rounds) step, so a driver that
+    /// interleaves its own work between the halves (the universe layer's
+    /// claim/rebalance passes) stays bit-identical to a plain session
+    /// whenever that work touches no session state.
+    pub fn membership_pass_with<O: RunObserver>(&mut self, obs: &O) {
         let round = self.swarm.round_count();
         if !self.inert {
             self.departure_pass(round, obs);
@@ -774,12 +813,116 @@ impl Session {
         if self.faults_active {
             self.repair_pass(round);
         }
+    }
+
+    /// The round half of one session step: one swarm round (serial when
+    /// `threads` is `None`, indexed-stream parallel otherwise),
+    /// completion recording, and the end-of-round compaction check. See
+    /// [`membership_pass_with`](Self::membership_pass_with).
+    pub fn round_pass_with<O: RunObserver>(&mut self, threads: Option<usize>, obs: &O) {
         match threads {
             None => self.swarm.round_with(obs),
             Some(t) => self.swarm.run_rounds_parallel_with(1, t, obs),
         }
         self.record_completions();
         self.maybe_compact();
+    }
+
+    /// Turns arrival tracking on or off (off by default). While on,
+    /// every admission records its generation-tagged handle for
+    /// [`drain_recent_arrivals`](Self::drain_recent_arrivals); the
+    /// universe layer's claim pass runs on this. Tracking is pure
+    /// bookkeeping — it changes no session state and consumes no
+    /// randomness.
+    pub fn track_arrivals(&mut self, on: bool) {
+        self.track_arrivals = on;
+        if !on {
+            self.recent_arrivals.clear();
+        }
+    }
+
+    /// Takes the handles admitted since the last drain, in admission
+    /// order. Empty unless [`track_arrivals`](Self::track_arrivals) is
+    /// on.
+    pub fn drain_recent_arrivals(&mut self) -> Vec<SessionPeerId> {
+        std::mem::take(&mut self.recent_arrivals)
+    }
+
+    /// Admits one externally driven peer — the cross-swarm tracker's
+    /// join — with the given upload capacity, drawing its initial pieces
+    /// (i.i.d. per piece at `completion`) and tracker wiring from the
+    /// **caller's** stream. The join honours `target_degree` and
+    /// `peer_list_cap` exactly like a session arrival, counts in
+    /// `stats.arrivals`, and returns the generation-tagged handle. It is
+    /// *not* recorded for [`drain_recent_arrivals`]: the universe layer
+    /// claims session arrivals, not its own joins.
+    ///
+    /// [`drain_recent_arrivals`]: Self::drain_recent_arrivals
+    ///
+    /// # Panics
+    ///
+    /// Panics if `upload_kbps` is non-positive or `completion` is not a
+    /// probability.
+    pub fn join_with<O: RunObserver>(
+        &mut self,
+        upload_kbps: f64,
+        completion: f64,
+        rng: &mut ChaCha8Rng,
+        obs: &O,
+    ) -> SessionPeerId {
+        assert!(
+            completion.is_finite() && (0.0..=1.0).contains(&completion),
+            "join completion must be a probability in [0, 1], got {completion}"
+        );
+        let round = self.swarm.round_count();
+        let mut pieces = PieceSet::new(self.swarm.config().piece_count);
+        if completion > 0.0 {
+            for piece in 0..self.swarm.config().piece_count {
+                if rng.gen_bool(completion) {
+                    pieces.insert(piece);
+                }
+            }
+        }
+        let slot = self
+            .swarm
+            .arrive(upload_kbps, PeerBehavior::Compliant, pieces);
+        if self.swarm.stream_of(slot) != slot {
+            self.stream_order_diverged = true;
+        }
+        self.on_slot_filled(slot, round);
+        self.stats.arrivals += 1;
+        if O::ENABLED {
+            obs.arrival(round as f64, slot);
+        }
+        self.wire(slot, rng, round);
+        self.id_of(slot)
+    }
+
+    /// Withdraws the peer behind `id` — the cross-swarm tracker's leave,
+    /// recorded as [`DepartReason::Left`]. Returns `false` without
+    /// changes when the handle is stale (slot recycled or occupant
+    /// already gone).
+    pub fn leave<O: RunObserver>(&mut self, id: SessionPeerId, obs: &O) -> bool {
+        let Some(slot) = self.resolve(id) else {
+            return false;
+        };
+        self.depart(slot, DepartReason::Left, obs);
+        true
+    }
+
+    /// Sets the upload capacity of the peer behind `id` — the universe
+    /// layer's per-rechoke capacity-split write. Returns `false` without
+    /// changes when the handle is stale.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `kbps` is non-positive.
+    pub fn set_upload_kbps(&mut self, id: SessionPeerId, kbps: f64) -> bool {
+        let Some(slot) = self.resolve(id) else {
+            return false;
+        };
+        self.swarm.set_upload_kbps(slot, kbps);
+        true
     }
 
     /// Present slots in **indexed-stream order** — the iteration order of
@@ -1054,6 +1197,9 @@ impl Session {
         }
         self.on_slot_filled(slot, round);
         self.stats.arrivals += 1;
+        if self.track_arrivals {
+            self.recent_arrivals.push(self.id_of(slot));
+        }
         if O::ENABLED {
             obs.arrival(round as f64, slot);
         }
@@ -1221,7 +1367,7 @@ impl Session {
             DepartReason::Aborted => self.stats.aborted += 1,
             DepartReason::SeedExodus => self.stats.seed_exodus += 1,
             DepartReason::Crashed => self.stats.crashes += 1,
-            DepartReason::Completed | DepartReason::SeedLeft => {}
+            DepartReason::Completed | DepartReason::SeedLeft | DepartReason::Left => {}
         }
     }
 

@@ -1639,6 +1639,24 @@ impl Swarm {
         p
     }
 
+    /// Sets the upload capacity of present peer `p` (kbps). The value
+    /// takes effect at the next round's share computation — this is the
+    /// universe layer's capacity-split write at rechoke boundaries.
+    /// Writing a peer's current capacity back is a bitwise no-op.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or absent, or `kbps` is
+    /// non-positive.
+    pub fn set_upload_kbps(&mut self, p: PeerId, kbps: f64) {
+        assert!(self.present[p], "peer {p} is not present");
+        assert!(
+            kbps.is_finite() && kbps > 0.0,
+            "upload capacities must be positive"
+        );
+        self.upload_kbps[p] = kbps;
+    }
+
     /// Removes peer `p` from the swarm: unlinks every overlay edge
     /// (patching the reverse-edge index in place), withdraws its pieces
     /// from the availability index, and free-lists the slot for reuse by

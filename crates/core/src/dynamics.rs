@@ -68,6 +68,9 @@ use crate::{
 #[derive(Debug, Clone)]
 pub struct Dynamics {
     engine: Engine<RankedAcceptance>,
+    /// Memoized [`disorder`](Self::disorder) value: reads between events
+    /// are O(1) instead of an O(n) metric scan.
+    disorder_memo: VersionMemo,
     /// Memoized [`disorder_general`](Self::disorder_general) value: reads
     /// between events are O(1) instead of an O(n) metric scan.
     general_memo: VersionMemo,
@@ -87,6 +90,7 @@ impl Dynamics {
     ) -> Result<Self, ModelError> {
         Ok(Self {
             engine: Engine::new(acc, caps, strategy)?,
+            disorder_memo: VersionMemo::default(),
             general_memo: VersionMemo::default(),
         })
     }
@@ -104,6 +108,7 @@ impl Dynamics {
     ) -> Result<Self, ModelError> {
         Ok(Self {
             engine: Engine::with_configuration(acc, caps, strategy, matching)?,
+            disorder_memo: VersionMemo::default(),
             general_memo: VersionMemo::default(),
         })
     }
@@ -199,15 +204,18 @@ impl Dynamics {
     /// Disorder of the current configuration: distance to the instant stable
     /// configuration of the present peers (1-matching metric of §3).
     ///
-    /// The instant stable configuration is memoized per presence set:
-    /// repeated calls between churn events reuse it (`O(n)` per call
-    /// instead of a full `O(Σ deg)` recomputation — the first bite of
-    /// scaling the metric past 10⁶ peers).
+    /// The *value* is memoized per `(presence, configuration)` version pair
+    /// on top of the shared instant-stable memo (which is itself memoized
+    /// per presence set), so repeated reads at a fixed configuration cost
+    /// O(1) rather than an O(n) distance scan.
     #[must_use]
     pub fn disorder(&self) -> f64 {
-        self.with_instant_stable(|stable, matching| {
-            distance::disorder(self.acceptance().ranking(), matching, stable)
-        })
+        self.disorder_memo
+            .get_or_compute(self.engine.versions(), || {
+                self.with_instant_stable(|stable, matching| {
+                    distance::disorder(self.acceptance().ranking(), matching, stable)
+                })
+            })
     }
 
     /// Disorder under the generalized b-matching metric.
@@ -434,6 +442,28 @@ mod tests {
         assert_eq!(dyn_.disorder_general(), fresh(&dyn_));
         // And a second read with no event in between stays identical.
         assert_eq!(dyn_.disorder_general(), fresh(&dyn_));
+    }
+
+    #[test]
+    fn disorder_value_memo_tracks_every_event_kind() {
+        // The value memo must refresh across initiatives (config version),
+        // removals and insertions (presence version) alike.
+        let (mut dyn_, mut rng) = build(50, 10.0, 1, InitiativeStrategy::BestMate, 31);
+        let fresh = |d: &Dynamics| {
+            let stable =
+                stable_configuration_masked(d.acceptance(), d.capacities(), |v| d.is_present(v))
+                    .unwrap();
+            distance::disorder(d.acceptance().ranking(), d.matching(), &stable)
+        };
+        assert_eq!(dyn_.disorder(), fresh(&dyn_));
+        dyn_.run_base_unit(&mut rng);
+        assert_eq!(dyn_.disorder(), fresh(&dyn_));
+        dyn_.remove_peer(n(3));
+        assert_eq!(dyn_.disorder(), fresh(&dyn_));
+        dyn_.insert_peer(n(3));
+        assert_eq!(dyn_.disorder(), fresh(&dyn_));
+        // And a second read with no event in between stays identical.
+        assert_eq!(dyn_.disorder(), fresh(&dyn_));
     }
 
     #[test]

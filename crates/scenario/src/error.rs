@@ -37,6 +37,9 @@ pub enum ScenarioError {
     /// An event-engine build was requested but the swarm section has no
     /// `timing` sub-section.
     MissingTiming,
+    /// A universe build was requested but the swarm section has no
+    /// `universe` sub-section.
+    MissingUniverse,
     /// The underlying graph construction failed.
     Graph(GraphError),
     /// The underlying matching-model construction failed.
@@ -73,6 +76,12 @@ impl core::fmt::Display for ScenarioError {
                 write!(
                     f,
                     "swarm section has no `timing` sub-section; cannot build an event engine"
+                )
+            }
+            ScenarioError::MissingUniverse => {
+                write!(
+                    f,
+                    "swarm section has no `universe` sub-section; cannot build a universe"
                 )
             }
             ScenarioError::Graph(e) => write!(f, "topology: {e}"),

@@ -6,10 +6,12 @@
 use serde_json::Value;
 use strat_core::InitiativeStrategy;
 
+use strat_bittorrent::universe::{CapacitySplit, MembershipModel};
+
 use crate::{
     ArrivalProcess, BehaviorMix, CapacityModel, ChurnModel, DepartureRules, EventTiming, FaultPlan,
     FaultWindow, PreferenceModel, Scenario, ScenarioError, SessionConfig, SwarmParams,
-    TopologyModel,
+    TopologyModel, UniverseParams,
 };
 
 impl Scenario {
@@ -198,25 +200,57 @@ impl SwarmParams {
                 free_riders: usize_field(behavior, "free_riders")?,
                 altruists: usize_field(behavior, "altruists")?,
             },
-            // Absent and null both mean "closed swarm" (pre-churn preset
-            // files carry no `churn` key at all).
-            churn: match value.get("churn") {
-                None | Some(Value::Null) => None,
-                Some(v) => Some(session_config_from_value(v)?),
-            },
-            // Same legacy tolerance: pre-fault preset files carry no
-            // `faults` key.
-            faults: match value.get("faults") {
-                None | Some(Value::Null) => None,
-                Some(v) => Some(fault_plan_from_value(v)?),
-            },
-            // Same again: pre-event-core preset files carry no `timing`
-            // key, and absence means the synchronous round engine.
-            timing: match value.get("timing") {
-                None | Some(Value::Null) => None,
-                Some(v) => Some(event_timing_from_value(v)?),
-            },
+            churn: optional_section(value, "churn", session_config_from_value)?,
+            faults: optional_section(value, "faults", fault_plan_from_value)?,
+            timing: optional_section(value, "timing", event_timing_from_value)?,
+            universe: optional_section(value, "universe", universe_params_from_value)?,
         })
+    }
+}
+
+/// Legacy-tolerant optional swarm sub-section: preset files written
+/// before a section existed carry no key at all, and absence — like an
+/// explicit `null` — means the section is disabled (closed swarm, no
+/// faults, synchronous rounds, single torrent).
+fn optional_section<T>(
+    value: &Value,
+    field: &str,
+    parse: impl FnOnce(&Value) -> Result<T, ScenarioError>,
+) -> Result<Option<T>, ScenarioError> {
+    match value.get(field) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => parse(v).map(Some),
+    }
+}
+
+fn universe_params_from_value(value: &Value) -> Result<UniverseParams, ScenarioError> {
+    Ok(UniverseParams {
+        torrents: usize_field(value, "torrents")?,
+        popularity_skew: f64_field(value, "popularity_skew")?,
+        membership: membership_from_value(require(value, "membership")?)?,
+        split: split_from_value(require(value, "split")?)?,
+        class_upload_kbps: f64_array_field(value, "class_upload_kbps")?,
+        universe_seed: u64_field(value, "universe_seed")?,
+    })
+}
+
+fn membership_from_value(value: &Value) -> Result<MembershipModel, ScenarioError> {
+    let (tag, body) = variant(value, "membership model")?;
+    match tag {
+        "Single" => Ok(MembershipModel::Single),
+        "Fixed" => Ok(MembershipModel::Fixed {
+            extra: usize_field(body, "extra")?,
+        }),
+        other => Err(unknown_variant("membership model", other)),
+    }
+}
+
+fn split_from_value(value: &Value) -> Result<CapacitySplit, ScenarioError> {
+    let (tag, _) = variant(value, "capacity split")?;
+    match tag {
+        "EqualShare" => Ok(CapacitySplit::EqualShare),
+        "DemandWeighted" => Ok(CapacitySplit::DemandWeighted),
+        other => Err(unknown_variant("capacity split", other)),
     }
 }
 
@@ -714,6 +748,49 @@ mod tests {
             parsed.swarm.unwrap().churn.unwrap().compact_threshold,
             Some(0.25)
         );
+    }
+
+    #[test]
+    fn universe_section_round_trips() {
+        for (membership, split) in [
+            (MembershipModel::Single, CapacitySplit::EqualShare),
+            (
+                MembershipModel::Fixed { extra: 2 },
+                CapacitySplit::DemandWeighted,
+            ),
+        ] {
+            let scenario = Scenario::new("multi", 25).with_swarm(SwarmParams {
+                churn: Some(SessionConfig::default()),
+                universe: Some(UniverseParams {
+                    torrents: 8,
+                    popularity_skew: 1.2,
+                    membership,
+                    split,
+                    class_upload_kbps: vec![150.0, 400.0, 950.0],
+                    universe_seed: 0xbead,
+                }),
+                ..SwarmParams::default()
+            });
+            let json = scenario.to_json();
+            assert!(json.contains("\"universe\":{\"torrents\":8"));
+            let parsed = Scenario::from_json(&json).expect("universe round trip parses");
+            assert_eq!(parsed, scenario);
+            // Pretty form too.
+            assert_eq!(
+                Scenario::from_json(&scenario.to_json_pretty()).unwrap(),
+                scenario
+            );
+        }
+    }
+
+    #[test]
+    fn legacy_swarm_sections_without_universe_parse_to_none() {
+        // Pre-universe preset files carry no `universe` key at all.
+        let scenario = Scenario::new("legacy", 8).with_swarm(SwarmParams::default());
+        let json = scenario.to_json().replace(",\"universe\":null", "");
+        assert!(!json.contains("universe"), "not stripped: {json}");
+        let parsed = Scenario::from_json(&json).expect("legacy JSON parses");
+        assert_eq!(parsed.swarm.unwrap().universe, None);
     }
 
     #[test]

@@ -71,11 +71,12 @@ pub use error::ScenarioError;
 pub use model::{
     BehaviorMix, BuiltPreferences, CapacityModel, ChurnModel, PreferenceModel, TopologyModel,
 };
-pub use scenario::{Scenario, ScenarioDynamics, SwarmParams};
+pub use scenario::{Scenario, ScenarioDynamics, SwarmParams, UniverseParams};
 // The swarm-churn section types come from the engine crate verbatim: the
 // scenario's `swarm.churn` section *is* a session configuration, and the
 // `swarm.faults` section *is* a fault plan.
 pub use strat_bittorrent::session::{ArrivalProcess, DepartureRules, Session, SessionConfig};
+pub use strat_bittorrent::universe::{CapacitySplit, MembershipModel, Universe, UniverseConfig};
 pub use strat_bittorrent::{EventEngine, EventTiming, FaultPlan, FaultWindow};
 
 /// Deterministic ChaCha8 stream `stream` derived from `seed` — the

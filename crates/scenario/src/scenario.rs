@@ -2,9 +2,10 @@
 
 use rand::Rng;
 use serde::{Deserialize, Serialize};
-#[cfg(test)]
-use strat_bittorrent::session::ArrivalProcess;
-use strat_bittorrent::session::{Session, SessionConfig};
+use strat_bittorrent::session::{ArrivalProcess, Session, SessionConfig};
+use strat_bittorrent::universe::{
+    derive_seed, CapacitySplit, MembershipModel, Universe, UniverseConfig,
+};
 use strat_bittorrent::{EventEngine, EventTiming, FaultPlan, Swarm, SwarmConfig};
 use strat_core::{
     stable_configuration, stable_configuration_complete, stable_configuration_masked, Capacities,
@@ -296,6 +297,65 @@ pub struct SwarmParams {
     /// ([`Scenario::build_event_engine`]) with per-class speed
     /// multipliers and rechoke/announce intervals.
     pub timing: Option<EventTiming>,
+    /// Multi-swarm axis: `None` is a single-torrent scenario; `Some`
+    /// makes [`Scenario::build_universe`] run `torrents` sessions over a
+    /// shared peer population with cross-swarm membership and capacity
+    /// splitting.
+    pub universe: Option<UniverseParams>,
+}
+
+/// The `swarm.universe` section: a shared peer population across
+/// `torrents` swarms ([`Scenario::build_universe`]).
+///
+/// Torrent `t` derives its seeds from the scenario's single-swarm seeds
+/// via [`derive_seed`]`(base, t)` (torrent 0 keeps them exactly), and its
+/// Poisson arrival rate from the base rate via the popularity weights:
+/// torrent `t` has weight `(t + 1)^(-popularity_skew)` (a Zipf ramp; skew
+/// 0 is uniform) and rate `base_rate · torrents · ŵ_t` with `ŵ` the
+/// normalized weights — the *total* universe arrival rate is the base
+/// rate scaled by the torrent count, shared out by popularity. A
+/// 1-torrent universe therefore builds the exact session of
+/// [`Scenario::build_session`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UniverseParams {
+    /// Number of torrents (swarms) sharing the population.
+    pub torrents: usize,
+    /// Zipf exponent of the per-torrent popularity weights (0 = uniform).
+    pub popularity_skew: f64,
+    /// Per-member multi-torrent membership process.
+    pub membership: MembershipModel,
+    /// Capacity-split policy across a member's active replicas.
+    pub split: CapacitySplit,
+    /// Capacity classes assigned to members round-robin in claim order
+    /// (empty keeps session-given capacities).
+    pub class_upload_kbps: Vec<f64>,
+    /// Seed of the universe's own ChaCha streams.
+    pub universe_seed: u64,
+}
+
+impl Default for UniverseParams {
+    /// Two uniformly popular torrents, one extra membership per member,
+    /// equal capacity split, no capacity classes, seed `0x0a11`.
+    fn default() -> Self {
+        Self {
+            torrents: 2,
+            popularity_skew: 0.0,
+            membership: MembershipModel::Fixed { extra: 1 },
+            split: CapacitySplit::EqualShare,
+            class_upload_kbps: Vec::new(),
+            universe_seed: 0x0a11,
+        }
+    }
+}
+
+impl UniverseParams {
+    /// The unnormalized popularity weights `(t + 1)^(-skew)`.
+    #[must_use]
+    pub fn popularity_weights(&self) -> Vec<f64> {
+        (0..self.torrents)
+            .map(|t| ((t + 1) as f64).powf(-self.popularity_skew))
+            .collect()
+    }
 }
 
 impl Default for SwarmParams {
@@ -320,6 +380,7 @@ impl Default for SwarmParams {
             churn: None,
             faults: None,
             timing: None,
+            universe: None,
         }
     }
 }
@@ -783,6 +844,117 @@ impl Scenario {
         let swarm = self.build_swarm(rng)?;
         Ok(EventEngine::new(swarm, timing, params.churn.clone()))
     }
+
+    /// The multi-swarm universe: `torrents` sessions — each the
+    /// single-swarm build with per-torrent [`derive_seed`]-derived swarm
+    /// and session seeds and popularity-scaled Poisson arrival rates —
+    /// sharing one peer population through the `swarm.universe` section's
+    /// membership and capacity-split policies.
+    ///
+    /// RNG consumption is one [`build_swarm`](Self::build_swarm)
+    /// equivalent per torrent, in torrent order; torrent 0 keeps the
+    /// scenario's single-swarm seeds exactly, so a 1-torrent universe
+    /// consumes the stream exactly like
+    /// [`build_session`](Self::build_session) and embeds a bit-identical
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScenarioError::MissingSwarm`] /
+    /// [`ScenarioError::MissingUniverse`] / [`ScenarioError::MissingChurn`]
+    /// without the respective sections, and
+    /// [`ScenarioError::InvalidParameter`] for a fluid-content swarm, a
+    /// malformed churn or universe sub-section, a compacting churn
+    /// section (compaction invalidates the universe's cross-swarm peer
+    /// handles), or a swarm section combining `universe` with `faults` or
+    /// `timing` (both are single-session constructs); otherwise
+    /// propagates component failures.
+    pub fn build_universe<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Universe, ScenarioError> {
+        let params = self.swarm.as_ref().ok_or(ScenarioError::MissingSwarm)?;
+        let universe = params
+            .universe
+            .as_ref()
+            .ok_or(ScenarioError::MissingUniverse)?;
+        let churn = params.churn.as_ref().ok_or(ScenarioError::MissingChurn)?;
+        if params.fluid_content {
+            return Err(ScenarioError::InvalidParameter {
+                what: "swarm universe",
+                reason: "shared membership requires piece mode (fluid content never completes)"
+                    .to_string(),
+            });
+        }
+        if params.faults.is_some() {
+            return Err(ScenarioError::InvalidParameter {
+                what: "swarm universe",
+                reason: "fault plans are a single-session construct; \
+                         remove `swarm.faults` or `swarm.universe`"
+                    .to_string(),
+            });
+        }
+        if params.timing.is_some() {
+            return Err(ScenarioError::InvalidParameter {
+                what: "swarm universe",
+                reason: "the event clock is a single-session construct; \
+                         remove `swarm.timing` or `swarm.universe`"
+                    .to_string(),
+            });
+        }
+        if churn.compact_threshold.is_some() {
+            return Err(ScenarioError::InvalidParameter {
+                what: "swarm universe",
+                reason: "universe sessions must not compact \
+                         (compaction invalidates cross-swarm peer handles)"
+                    .to_string(),
+            });
+        }
+        churn
+            .validate()
+            .map_err(|reason| ScenarioError::InvalidParameter {
+                what: "swarm churn",
+                reason,
+            })?;
+        if !(universe.popularity_skew.is_finite() && universe.popularity_skew >= 0.0) {
+            return Err(ScenarioError::InvalidParameter {
+                what: "swarm universe",
+                reason: format!(
+                    "popularity skew must be a finite non-negative exponent, got {}",
+                    universe.popularity_skew
+                ),
+            });
+        }
+        let weights = universe.popularity_weights();
+        let config = UniverseConfig {
+            membership: universe.membership,
+            split: universe.split,
+            class_upload_kbps: universe.class_upload_kbps.clone(),
+            popularity: weights.clone(),
+            universe_seed: universe.universe_seed,
+        };
+        config
+            .validate(universe.torrents)
+            .map_err(|reason| ScenarioError::InvalidParameter {
+                what: "swarm universe",
+                reason,
+            })?;
+        let total_weight: f64 = weights.iter().sum();
+        let mut sessions = Vec::with_capacity(universe.torrents);
+        for (t, weight) in weights.iter().enumerate() {
+            let mut per_torrent = self.clone();
+            let mut swarm_params = params.clone();
+            swarm_params.swarm_seed = derive_seed(params.swarm_seed, t as u64);
+            per_torrent.swarm = Some(swarm_params);
+            let swarm = per_torrent.build_swarm(rng)?;
+            let mut session_config = churn.clone();
+            session_config.session_seed = derive_seed(churn.session_seed, t as u64);
+            if let ArrivalProcess::Poisson { rate } = session_config.arrival {
+                session_config.arrival = ArrivalProcess::Poisson {
+                    rate: rate * universe.torrents as f64 * weight / total_weight,
+                };
+            }
+            sessions.push(Session::new(swarm, session_config));
+        }
+        Ok(Universe::new(sessions, config))
+    }
 }
 
 #[cfg(test)]
@@ -1086,6 +1258,151 @@ mod tests {
                 ..
             })
         ));
+    }
+
+    #[test]
+    fn universe_scenario_builds_and_runs() {
+        let scenario = Scenario::new("multi", 16)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 8.0 })
+            .with_capacity(CapacityModel::Constant { value: 400.0 })
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                piece_count: 32,
+                piece_size_kbit: 150.0,
+                churn: Some(SessionConfig {
+                    arrival: ArrivalProcess::Poisson { rate: 1.5 },
+                    arrival_upload_kbps: 400.0,
+                    target_degree: 8,
+                    ..SessionConfig::default()
+                }),
+                universe: Some(UniverseParams {
+                    torrents: 3,
+                    popularity_skew: 1.0,
+                    ..UniverseParams::default()
+                }),
+                ..SwarmParams::default()
+            });
+        let mut universe = scenario.build_universe(&mut rng(5)).unwrap();
+        assert_eq!(universe.torrent_count(), 3);
+        universe.run_rounds(6, None);
+        assert!(universe.stats().cross_joins > 0);
+        for t in 0..3 {
+            universe.session(t).swarm().validate_consistency();
+        }
+        // Popularity-scaled arrivals: the rate sum is the base rate times
+        // the torrent count, shared out by the Zipf weights.
+        let rates: Vec<f64> = (0..3)
+            .map(|t| match universe.session(t).config().arrival {
+                ArrivalProcess::Poisson { rate } => rate,
+                ref other => panic!("expected Poisson arrivals, got {other:?}"),
+            })
+            .collect();
+        assert!((rates.iter().sum::<f64>() - 1.5 * 3.0).abs() < 1e-9);
+        assert!(rates[0] > rates[1] && rates[1] > rates[2], "{rates:?}");
+        // Deterministic: same stream, same universe.
+        let mut again = scenario.build_universe(&mut rng(5)).unwrap();
+        again.run_rounds(6, None);
+        assert_eq!(again.stats(), universe.stats());
+    }
+
+    #[test]
+    fn one_torrent_universe_embeds_the_session_build() {
+        let scenario = Scenario::new("multi1", 20)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 8.0 })
+            .with_capacity(CapacityModel::Constant { value: 400.0 })
+            .with_swarm(SwarmParams {
+                seeds: 2,
+                piece_count: 32,
+                piece_size_kbit: 150.0,
+                churn: Some(SessionConfig {
+                    arrival: ArrivalProcess::Poisson { rate: 2.0 },
+                    arrival_upload_kbps: 400.0,
+                    target_degree: 8,
+                    ..SessionConfig::default()
+                }),
+                universe: Some(UniverseParams {
+                    torrents: 1,
+                    ..UniverseParams::default()
+                }),
+                ..SwarmParams::default()
+            });
+        let mut universe = scenario.build_universe(&mut rng(9)).unwrap();
+        universe.run_rounds(10, None);
+        let mut session = scenario.build_session(&mut rng(9)).unwrap();
+        session.run_rounds(10);
+        assert_eq!(universe.session(0).stats(), session.stats());
+        for p in 0..session.swarm().peer_count() {
+            assert_eq!(
+                universe
+                    .session(0)
+                    .swarm()
+                    .peer(p)
+                    .total_downloaded()
+                    .to_bits(),
+                session.swarm().peer(p).total_downloaded().to_bits(),
+                "peer {p} download totals diverge"
+            );
+        }
+    }
+
+    #[test]
+    fn universe_rejects_missing_or_conflicting_sections() {
+        let base = Scenario::new("t", 10)
+            .with_topology(TopologyModel::ErdosRenyiMeanDegree { d: 6.0 })
+            .with_capacity(CapacityModel::Constant { value: 300.0 });
+        // No swarm section at all.
+        assert!(matches!(
+            base.clone().build_universe(&mut rng(1)),
+            Err(ScenarioError::MissingSwarm)
+        ));
+        // Swarm section without universe.
+        let single = base.clone().with_swarm(SwarmParams::default());
+        assert!(matches!(
+            single.build_universe(&mut rng(1)),
+            Err(ScenarioError::MissingUniverse)
+        ));
+        // Universe without churn (the arrival process drives membership).
+        let churnless = base.clone().with_swarm(SwarmParams {
+            universe: Some(UniverseParams::default()),
+            ..SwarmParams::default()
+        });
+        assert!(matches!(
+            churnless.build_universe(&mut rng(1)),
+            Err(ScenarioError::MissingChurn)
+        ));
+        let with_universe = |mutate: fn(&mut SwarmParams)| {
+            let mut params = SwarmParams {
+                churn: Some(SessionConfig::default()),
+                universe: Some(UniverseParams::default()),
+                ..SwarmParams::default()
+            };
+            mutate(&mut params);
+            base.clone().with_swarm(params)
+        };
+        // Fault plans, the event clock, and compaction all conflict.
+        for scenario in [
+            with_universe(|p| p.faults = Some(FaultPlan::none())),
+            with_universe(|p| p.timing = Some(EventTiming::default())),
+            with_universe(|p| {
+                p.churn.as_mut().unwrap().compact_threshold = Some(0.5);
+            }),
+            with_universe(|p| p.fluid_content = true),
+            with_universe(|p| {
+                p.universe.as_mut().unwrap().popularity_skew = -1.0;
+            }),
+            with_universe(|p| p.universe.as_mut().unwrap().torrents = 0),
+            with_universe(|p| {
+                p.universe.as_mut().unwrap().class_upload_kbps = vec![-5.0];
+            }),
+        ] {
+            assert!(matches!(
+                scenario.build_universe(&mut rng(1)),
+                Err(ScenarioError::InvalidParameter {
+                    what: "swarm universe",
+                    ..
+                })
+            ));
+        }
     }
 
     #[test]

@@ -20,6 +20,7 @@ pub mod btevent;
 pub mod btfault;
 pub mod btflash;
 pub mod btfree;
+pub mod btmulti;
 pub mod btoverlay;
 pub mod ext1;
 pub mod ext2;

@@ -241,6 +241,11 @@ pub fn registry() -> Vec<ExperimentEntry> {
             "Peer-list cap shapes the live overlay, Al-Hamra et al. (observer layer)"
         ),
         entry!(
+            "btmulti",
+            btmulti,
+            "Multi-swarm universe: shared population vs per-torrent fluid oracle (universe subsystem)"
+        ),
+        entry!(
             "ext1",
             ext1,
             "Combined utilities: rank stratification vs latency clustering (section 7)"

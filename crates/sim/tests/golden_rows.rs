@@ -61,6 +61,9 @@ const GOLDEN: &[(&str, u64)] = &[
     // recorded at birth.
     ("btcluster", 0x8e7790d9562b9e73),
     ("btoverlay", 0x6e199d7e5d7422f9),
+    // PR 10 addition (multi-swarm shared-population universe sweep),
+    // recorded at birth.
+    ("btmulti", 0x1f437f8ea1d63274),
     ("fluid", 0xc0fe96f77ba157fe),
     ("mmo", 0x27179e7ca8fb3385),
 ];
